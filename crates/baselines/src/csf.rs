@@ -1,0 +1,271 @@
+//! SPLATT's Compressed Sparse Fiber (CSF) format (Smith & Karypis).
+//!
+//! CSF is the tree-based, fiber-centric format the paper compares against
+//! for SpMTTKRP on CPUs. A 3-order tensor sorted by `(root, middle, leaf)`
+//! becomes a three-level tree: distinct root indices (slices), distinct
+//! `(root, middle)` pairs (fibers), and leaves (non-zeros). The MTTKRP over
+//! it is FLOP-reduced: the leaf factor rows are accumulated once per fiber
+//! before being scaled by the middle factor row — the optimization SPLATT is
+//! built around.
+
+use crate::timing;
+use cpu_par::parallel_for;
+use tensor_core::{DenseMatrix, Idx, SparseTensorCoo, Val};
+
+/// A 3-order tensor in CSF form, rooted at a chosen mode.
+#[derive(Debug, Clone)]
+pub struct Csf {
+    /// Tensor shape (all modes).
+    pub shape: Vec<usize>,
+    /// Mode order `(root, middle, leaf)` used to build the tree.
+    pub mode_order: [usize; 3],
+    /// Distinct root-mode indices, one per slice.
+    pub slice_index: Vec<Idx>,
+    /// Fiber range of each slice: fibers of slice `s` are
+    /// `slice_ptr[s]..slice_ptr[s + 1]`.
+    pub slice_ptr: Vec<usize>,
+    /// Middle-mode index of each fiber.
+    pub fiber_index: Vec<Idx>,
+    /// Leaf range of each fiber.
+    pub fiber_ptr: Vec<usize>,
+    /// Leaf-mode index of each non-zero.
+    pub leaf_index: Vec<Idx>,
+    /// Non-zero values, leaf order.
+    pub values: Vec<Val>,
+}
+
+impl Csf {
+    /// Builds a CSF tree rooted at `root_mode` (the MTTKRP output mode in
+    /// SPLATT's usual configuration). The other two modes become the middle
+    /// and leaf levels in ascending order.
+    ///
+    /// # Panics
+    /// If the tensor is not 3-order or is empty.
+    pub fn build(tensor: &SparseTensorCoo, root_mode: usize) -> Self {
+        assert_eq!(tensor.order(), 3, "CSF implementation is 3-order");
+        assert!(tensor.nnz() > 0, "cannot build CSF from an empty tensor");
+        assert!(root_mode < 3, "root mode out of range");
+        let others: Vec<usize> = (0..3).filter(|&m| m != root_mode).collect();
+        let mode_order = [root_mode, others[0], others[1]];
+        let mut sorted = tensor.clone();
+        sorted.sort_by_mode_order(mode_order.as_ref());
+        let root = sorted.mode_indices(mode_order[0]);
+        let middle = sorted.mode_indices(mode_order[1]);
+        let leaf = sorted.mode_indices(mode_order[2]);
+
+        // CSR-style pointer construction: push each level's start ordinal on
+        // a boundary, then cap with the total count.
+        let mut slice_index = Vec::new();
+        let mut slice_ptr = Vec::new();
+        let mut fiber_index = Vec::new();
+        let mut fiber_ptr = Vec::new();
+        for nz in 0..sorted.nnz() {
+            let new_slice = nz == 0 || root[nz] != root[nz - 1];
+            let new_fiber = new_slice || middle[nz] != middle[nz - 1];
+            if new_fiber {
+                fiber_ptr.push(nz);
+                fiber_index.push(middle[nz]);
+            }
+            if new_slice {
+                slice_ptr.push(fiber_index.len() - 1);
+                slice_index.push(root[nz]);
+            }
+        }
+        fiber_ptr.push(sorted.nnz());
+        slice_ptr.push(fiber_index.len());
+        Csf {
+            shape: sorted.shape().to_vec(),
+            mode_order,
+            slice_index,
+            slice_ptr,
+            fiber_index,
+            fiber_ptr,
+            leaf_index: leaf.to_vec(),
+            values: sorted.values().to_vec(),
+        }
+    }
+
+    /// Number of slices (root-level nodes).
+    pub fn num_slices(&self) -> usize {
+        self.slice_index.len()
+    }
+
+    /// Number of fibers (middle-level nodes).
+    pub fn num_fibers(&self) -> usize {
+        self.fiber_index.len()
+    }
+
+    /// Number of non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Bytes of the CSF structure.
+    pub fn storage_bytes(&self) -> usize {
+        4 * (self.slice_index.len()
+            + self.slice_ptr.len()
+            + self.fiber_index.len()
+            + self.fiber_ptr.len()
+            + self.leaf_index.len()
+            + self.values.len())
+    }
+}
+
+/// SPLATT-style parallel MTTKRP on the CSF root mode.
+///
+/// `factors` holds one matrix per tensor mode; the output mode is the CSF
+/// root. Parallelizes over slices (SPLATT's strategy), so each output row is
+/// written by exactly one task. Returns the result and the wall-clock time.
+pub fn mttkrp_csf(csf: &Csf, factors: &[&DenseMatrix]) -> (DenseMatrix, f64) {
+    let [root_mode, middle_mode, leaf_mode] = csf.mode_order;
+    let r = factors[middle_mode].cols();
+    assert_eq!(factors[middle_mode].rows(), csf.shape[middle_mode], "middle factor mismatch");
+    assert_eq!(factors[leaf_mode].rows(), csf.shape[leaf_mode], "leaf factor mismatch");
+    assert_eq!(factors[leaf_mode].cols(), r, "factor rank mismatch");
+    let rows = csf.shape[root_mode];
+    let mut out = DenseMatrix::zeros(rows, r);
+    let out_ptr = SyncMutPtr(out.data_mut().as_mut_ptr());
+    let middle_factor = factors[middle_mode];
+    let leaf_factor = factors[leaf_mode];
+    let (_, elapsed_us) = timing::time_us(|| {
+        let out_ptr = &out_ptr;
+        parallel_for(csf.num_slices(), |s| {
+            let mut accum = vec![0.0f32; r];
+            let mut row_accum = vec![0.0f32; r];
+            for f in csf.slice_ptr[s]..csf.slice_ptr[s + 1] {
+                accum.iter_mut().for_each(|a| *a = 0.0);
+                for nz in csf.fiber_ptr[f]..csf.fiber_ptr[f + 1] {
+                    let value = csf.values[nz];
+                    let leaf_row = leaf_factor.row(csf.leaf_index[nz] as usize);
+                    for (a, &l) in accum.iter_mut().zip(leaf_row) {
+                        *a += value * l;
+                    }
+                }
+                let middle_row = middle_factor.row(csf.fiber_index[f] as usize);
+                for ((ra, &a), &m) in row_accum.iter_mut().zip(&accum).zip(middle_row) {
+                    *ra += a * m;
+                }
+            }
+            let out_row = csf.slice_index[s] as usize;
+            // SAFETY: each slice owns a distinct output row.
+            let dest = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.0.add(out_row * r), r)
+            };
+            dest.copy_from_slice(&row_accum);
+        });
+    });
+    (out, elapsed_us)
+}
+
+struct SyncMutPtr(*mut f32);
+unsafe impl Send for SyncMutPtr {}
+unsafe impl Sync for SyncMutPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_core::datasets::{self, DatasetKind};
+    use tensor_core::ops;
+
+    fn factors_for(tensor: &SparseTensorCoo, r: usize, seed: u64) -> Vec<DenseMatrix> {
+        tensor
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(m, &size)| DenseMatrix::random(size, r, seed + m as u64))
+            .collect()
+    }
+
+    #[test]
+    fn csf_structure_counts_match_tensor() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 3000, 40);
+        for root in 0..3 {
+            let csf = Csf::build(&tensor, root);
+            assert_eq!(csf.nnz(), tensor.nnz());
+            assert_eq!(csf.num_slices(), tensor.count_distinct(&[root]));
+            let others: Vec<usize> = (0..3).filter(|&m| m != root).collect();
+            assert_eq!(
+                csf.num_fibers(),
+                tensor.count_distinct(&[root, others[0]]),
+                "root {root}"
+            );
+        }
+    }
+
+    #[test]
+    fn csf_pointers_are_monotone_and_complete() {
+        let (tensor, _) = datasets::generate(DatasetKind::Delicious, 2500, 41);
+        let csf = Csf::build(&tensor, 1);
+        assert_eq!(*csf.slice_ptr.last().unwrap(), csf.num_fibers());
+        assert_eq!(*csf.fiber_ptr.last().unwrap(), csf.nnz());
+        assert!(csf.slice_ptr.windows(2).all(|w| w[0] < w[1]));
+        assert!(csf.fiber_ptr.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn csf_leaves_within_slice_share_root_index() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 2000, 42);
+        let csf = Csf::build(&tensor, 0);
+        let mut sorted = tensor.clone();
+        sorted.sort_by_mode_order(&[0, 1, 2]);
+        let root = sorted.mode_indices(0);
+        for s in 0..csf.num_slices() {
+            for f in csf.slice_ptr[s]..csf.slice_ptr[s + 1] {
+                let leaves = &root[csf.fiber_ptr[f]..csf.fiber_ptr[f + 1]];
+                assert!(leaves.iter().all(|&r| r == csf.slice_index[s]));
+            }
+        }
+    }
+
+    #[test]
+    fn mttkrp_csf_matches_reference_all_modes() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 3000, 43);
+        let factors = factors_for(&tensor, 16, 7);
+        let refs: Vec<&DenseMatrix> = factors.iter().collect();
+        for mode in 0..3 {
+            let csf = Csf::build(&tensor, mode);
+            let (result, elapsed) = mttkrp_csf(&csf, &refs);
+            let reference = ops::spmttkrp(&tensor, mode, &refs);
+            assert!(
+                result.max_abs_diff(&reference) < 1e-3,
+                "mode {mode}: diff {}",
+                result.max_abs_diff(&reference)
+            );
+            assert!(elapsed > 0.0);
+        }
+    }
+
+    #[test]
+    fn mttkrp_csf_on_skewed_tensor() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell1, 4000, 44);
+        let factors = factors_for(&tensor, 8, 9);
+        let refs: Vec<&DenseMatrix> = factors.iter().collect();
+        let csf = Csf::build(&tensor, 0);
+        let (result, _) = mttkrp_csf(&csf, &refs);
+        let reference = ops::spmttkrp(&tensor, 0, &refs);
+        assert!(result.max_abs_diff(&reference) < 1e-3);
+    }
+
+    #[test]
+    fn single_nonzero_csf() {
+        let tensor =
+            SparseTensorCoo::from_entries(vec![3, 3, 3], &[(vec![2, 1, 0], 4.0)]);
+        let csf = Csf::build(&tensor, 0);
+        assert_eq!(csf.num_slices(), 1);
+        assert_eq!(csf.num_fibers(), 1);
+        let factors = factors_for(&tensor, 4, 1);
+        let refs: Vec<&DenseMatrix> = factors.iter().collect();
+        let (result, _) = mttkrp_csf(&csf, &refs);
+        let reference = ops::spmttkrp(&tensor, 0, &refs);
+        assert!(result.max_abs_diff(&reference) < 1e-5);
+    }
+
+    #[test]
+    fn storage_bytes_positive_and_below_coo_plus_tree() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 3000, 45);
+        let csf = Csf::build(&tensor, 0);
+        assert!(csf.storage_bytes() > 8 * csf.nnz());
+        // CSF compresses repeated root/middle indices.
+        assert!(csf.storage_bytes() < tensor.storage_bytes() + 8 * csf.num_fibers());
+    }
+}

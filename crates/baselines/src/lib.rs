@@ -1,0 +1,24 @@
+//! Baseline implementations the paper compares against, rebuilt from the
+//! algorithm descriptions in the paper and in Li et al. / Smith & Karypis:
+//!
+//! * [`parti_gpu`] — ParTI's GPU kernels: fiber-centric SpTTM with
+//!   rank-shaped 2-D thread blocks, and the two-step SpMTTKRP that
+//!   materializes a semi-sparse intermediate and accumulates with atomics;
+//! * [`parti_omp`] — ParTI's OpenMP-style multicore kernels on the `cpu-par`
+//!   pool (the Fig. 6 speedup denominators);
+//! * [`csf`] — SPLATT's compressed-sparse-fiber format and its FLOP-reduced
+//!   parallel MTTKRP;
+//! * [`timing`] — wall-clock measurement for the CPU baselines.
+//!
+//! Every baseline is validated against the sequential references in
+//! `tensor_core::ops`, so speedup comparisons are between *correct*
+//! implementations.
+
+pub mod csf;
+pub mod parti_gpu;
+pub mod parti_omp;
+pub mod timing;
+
+pub use csf::{mttkrp_csf, Csf};
+pub use parti_gpu::{spmttkrp_two_step_gpu, spttm_fiber_gpu};
+pub use parti_omp::{spmttkrp_omp, spttm_omp, SortedCoo};

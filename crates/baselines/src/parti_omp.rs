@@ -1,0 +1,223 @@
+//! ParTI-OMP-style multicore CPU baselines.
+//!
+//! ParTI's OpenMP backend parallelizes SpTTM over fibers and SpMTTKRP over
+//! output slices of the COO tensor. These re-implementations run on the
+//! `cpu-par` pool (the OpenMP stand-in) and return wall-clock times; they are
+//! the denominators of the paper's Fig. 6 speedup plots.
+
+use crate::timing;
+use cpu_par::parallel_for;
+use tensor_core::{DenseMatrix, Idx, SemiSparseTensor, SparseTensorCoo, Val};
+
+/// A COO tensor pre-sorted and indexed for fiber/slice-parallel CPU kernels.
+///
+/// Building this is ParTI's preprocessing step and is excluded from kernel
+/// timing, matching how the paper measures.
+#[derive(Debug, Clone)]
+pub struct SortedCoo {
+    /// The operating mode the groups are built for.
+    pub mode: usize,
+    /// `true` if groups are fibers (all modes but `mode` fixed, for SpTTM);
+    /// `false` if groups are slices (only `mode` fixed, for SpMTTKRP).
+    pub fiber_groups: bool,
+    /// The sorted tensor.
+    pub tensor: SparseTensorCoo,
+    /// Start offsets of each group in the sorted non-zero order, plus a
+    /// final cap equal to `nnz`.
+    pub group_ptr: Vec<usize>,
+}
+
+impl SortedCoo {
+    /// Prepares fiber groups for SpTTM on `mode`.
+    pub fn for_spttm(tensor: &SparseTensorCoo, mode: usize) -> Self {
+        let index_modes: Vec<usize> = (0..tensor.order()).filter(|&m| m != mode).collect();
+        Self::build(tensor, mode, &index_modes, true)
+    }
+
+    /// Prepares slice groups for SpMTTKRP on `mode`.
+    pub fn for_spmttkrp(tensor: &SparseTensorCoo, mode: usize) -> Self {
+        Self::build(tensor, mode, &[mode], false)
+    }
+
+    fn build(
+        tensor: &SparseTensorCoo,
+        mode: usize,
+        group_modes: &[usize],
+        fiber_groups: bool,
+    ) -> Self {
+        let mut sorted = tensor.clone();
+        let mut order: Vec<usize> = group_modes.to_vec();
+        order.extend((0..tensor.order()).filter(|m| !group_modes.contains(m)));
+        sorted.sort_by_mode_order(&order);
+        let mut group_ptr = Vec::new();
+        for nz in 0..sorted.nnz() {
+            let boundary = nz == 0
+                || group_modes
+                    .iter()
+                    .any(|&m| sorted.mode_indices(m)[nz] != sorted.mode_indices(m)[nz - 1]);
+            if boundary {
+                group_ptr.push(nz);
+            }
+        }
+        group_ptr.push(sorted.nnz());
+        SortedCoo { mode, fiber_groups, tensor: sorted, group_ptr }
+    }
+
+    /// Number of groups (fibers or slices).
+    pub fn groups(&self) -> usize {
+        self.group_ptr.len().saturating_sub(1)
+    }
+}
+
+/// ParTI-OMP SpTTM: one task per fiber, no synchronization needed because
+/// each fiber owns one output row. Returns the result and wall-clock µs.
+pub fn spttm_omp(prepared: &SortedCoo, u: &DenseMatrix) -> (SemiSparseTensor, f64) {
+    assert!(prepared.fiber_groups, "SortedCoo must be built with for_spttm");
+    let mode = prepared.mode;
+    let tensor = &prepared.tensor;
+    assert_eq!(u.rows(), tensor.shape()[mode], "matrix rows must match product-mode size");
+    let r = u.cols();
+    let groups = prepared.groups();
+    let mut values = vec![0.0f32; groups * r];
+    let product_index = tensor.mode_indices(mode);
+    let tensor_values = tensor.values();
+    let out_ptr = SyncMutPtr(values.as_mut_ptr());
+    let (_, elapsed_us) = timing::time_us(|| {
+        let out_ptr = &out_ptr;
+        parallel_for(groups, |g| {
+            // SAFETY: each group owns a distinct output row.
+            let row =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(g * r), r) };
+            for nz in prepared.group_ptr[g]..prepared.group_ptr[g + 1] {
+                let value = tensor_values[nz];
+                let u_row = u.row(product_index[nz] as usize);
+                for (o, &m) in row.iter_mut().zip(u_row) {
+                    *o += value * m;
+                }
+            }
+        });
+    });
+    let mut result = SemiSparseTensor::new(tensor.shape().to_vec(), mode, r);
+    let index_modes: Vec<usize> = (0..tensor.order()).filter(|&m| m != mode).collect();
+    for g in 0..groups {
+        let first = prepared.group_ptr[g];
+        let coord: Vec<Idx> =
+            index_modes.iter().map(|&m| tensor.mode_indices(m)[first]).collect();
+        result.push_fiber(&coord, &values[g * r..(g + 1) * r]);
+    }
+    (result, elapsed_us)
+}
+
+/// ParTI-OMP SpMTTKRP: one task per output slice (row of `M`), walking that
+/// slice's non-zeros. Returns the dense result and wall-clock µs.
+pub fn spmttkrp_omp(prepared: &SortedCoo, factors: &[&DenseMatrix]) -> (DenseMatrix, f64) {
+    assert!(!prepared.fiber_groups, "SortedCoo must be built with for_spmttkrp");
+    let mode = prepared.mode;
+    let tensor = &prepared.tensor;
+    let order = tensor.order();
+    assert_eq!(factors.len(), order, "one factor per mode required");
+    let product_modes: Vec<usize> = (0..order).filter(|&m| m != mode).collect();
+    let r = factors[product_modes[0]].cols();
+    for &m in &product_modes {
+        assert_eq!(factors[m].rows(), tensor.shape()[m], "factor {m} row count mismatch");
+        assert_eq!(factors[m].cols(), r, "factor {m} rank mismatch");
+    }
+    let rows = tensor.shape()[mode];
+    let mut out = DenseMatrix::zeros(rows, r);
+    let out_ptr = SyncMutPtr(out.data_mut().as_mut_ptr());
+    let groups = prepared.groups();
+    let mode_index = tensor.mode_indices(mode);
+    let tensor_values = tensor.values();
+    let (_, elapsed_us) = timing::time_us(|| {
+        let out_ptr = &out_ptr;
+        let product_modes = &product_modes;
+        #[allow(clippy::needless_range_loop)] // nz indexes several parallel arrays
+        parallel_for(groups, |g| {
+            let first = prepared.group_ptr[g];
+            let out_row = mode_index[first] as usize;
+            // SAFETY: each slice owns a distinct output row.
+            let row =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(out_row * r), r) };
+            let mut scratch = vec![0.0f32; r];
+            for nz in prepared.group_ptr[g]..prepared.group_ptr[g + 1] {
+                let value: Val = tensor_values[nz];
+                scratch.iter_mut().for_each(|s| *s = value);
+                for &m in product_modes {
+                    let factor_row = factors[m].row(tensor.mode_indices(m)[nz] as usize);
+                    for (s, &f) in scratch.iter_mut().zip(factor_row) {
+                        *s *= f;
+                    }
+                }
+                for (o, &s) in row.iter_mut().zip(&scratch) {
+                    *o += s;
+                }
+            }
+        });
+    });
+    (out, elapsed_us)
+}
+
+struct SyncMutPtr(*mut f32);
+unsafe impl Send for SyncMutPtr {}
+unsafe impl Sync for SyncMutPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_core::datasets::{self, DatasetKind};
+    use tensor_core::ops;
+
+    fn factors_for(tensor: &SparseTensorCoo, r: usize, seed: u64) -> Vec<DenseMatrix> {
+        tensor
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(m, &size)| DenseMatrix::random(size, r, seed + m as u64))
+            .collect()
+    }
+
+    #[test]
+    fn spttm_omp_matches_reference() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 3000, 50);
+        for mode in 0..3 {
+            let prepared = SortedCoo::for_spttm(&tensor, mode);
+            let u = DenseMatrix::random(tensor.shape()[mode], 16, 5);
+            let (result, elapsed) = spttm_omp(&prepared, &u);
+            let reference = ops::spttm(&tensor, mode, &u);
+            let diff = result.max_abs_diff(&reference).expect("fiber sets must match");
+            assert!(diff < 1e-3, "mode {mode} diff {diff}");
+            assert!(elapsed > 0.0);
+        }
+    }
+
+    #[test]
+    fn spmttkrp_omp_matches_reference() {
+        let (tensor, _) = datasets::generate(DatasetKind::Brainq, 6000, 51);
+        let factors = factors_for(&tensor, 8, 3);
+        let refs: Vec<&DenseMatrix> = factors.iter().collect();
+        for mode in 0..3 {
+            let prepared = SortedCoo::for_spmttkrp(&tensor, mode);
+            let (result, _) = spmttkrp_omp(&prepared, &refs);
+            let reference = ops::spmttkrp(&tensor, mode, &refs);
+            assert!(result.max_abs_diff(&reference) < 1e-3, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn group_counts_match_distinct_coordinates() {
+        let (tensor, _) = datasets::generate(DatasetKind::Delicious, 2500, 52);
+        let fibers = SortedCoo::for_spttm(&tensor, 2);
+        assert_eq!(fibers.groups(), tensor.count_distinct(&[0, 1]));
+        let slices = SortedCoo::for_spmttkrp(&tensor, 0);
+        assert_eq!(slices.groups(), tensor.count_distinct(&[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be built with for_spttm")]
+    fn spttm_rejects_slice_grouping() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 500, 53);
+        let prepared = SortedCoo::for_spmttkrp(&tensor, 0);
+        let u = DenseMatrix::random(tensor.shape()[0], 4, 1);
+        let _ = spttm_omp(&prepared, &u);
+    }
+}

@@ -1,0 +1,33 @@
+//! Wall-clock timing for the CPU baselines.
+//!
+//! GPU kernels report simulated microseconds from the analytic model; the
+//! CPU baselines (ParTI-OMP, SPLATT) run for real on the host pool and are
+//! timed with the monotonic clock, exactly as the paper times its CPU
+//! competitors.
+
+use std::time::Instant;
+
+/// Runs `f` and returns its result plus the elapsed wall-clock microseconds.
+pub fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_positive_duration() {
+        let (value, elapsed) = time_us(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(value > 0);
+        assert!(elapsed > 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Fig. 9 bench: GPU memory consumption of SpMTTKRP mode-1 — unified vs
+//! ParTI-GPU — plus the cost of building each representation.
+
+use bench_support::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use unified_tensors::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let nnz = bench_nnz();
+    eprintln!("{}", render_memory(&fig9(nnz)));
+    let mut group = c.benchmark_group("fig9_memory_preprocessing");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for (tensor, info) in bench_datasets(nnz) {
+        group.bench_with_input(BenchmarkId::new("build-fcoo", &info.name), &(), |b, _| {
+            b.iter(|| Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 16))
+        });
+        group.bench_with_input(BenchmarkId::new("build-sorted-coo", &info.name), &(), |b, _| {
+            b.iter(|| SortedCoo::for_spmttkrp(&tensor, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("build-csf", &info.name), &(), |b, _| {
+            b.iter(|| Csf::build(&tensor, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

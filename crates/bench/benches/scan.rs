@@ -1,0 +1,46 @@
+//! Bench for the device-wide segmented scan primitive (§IV-D substrate):
+//! scaling over input size and segment density, plus the host reference for
+//! comparison.
+
+use bench_support::bench_nnz;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use unified_tensors::gpu_sim::device_scan::segmented_scan_device;
+use unified_tensors::gpu_sim::scan::segmented_scan_inclusive;
+use unified_tensors::prelude::GpuDevice;
+
+fn bench(c: &mut Criterion) {
+    let n = bench_nnz();
+    let mut group = c.benchmark_group("device_segmented_scan");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &segment_len in &[4usize, 64, 4096] {
+        let values: Vec<f32> = (0..n).map(|i| (i % 13) as f32 * 0.25).collect();
+        let heads: Vec<bool> = (0..n).map(|i| i % segment_len == 0).collect();
+        let mut packed = vec![0u8; n.div_ceil(8)];
+        for (i, &h) in heads.iter().enumerate() {
+            if h {
+                packed[i / 8] |= 1 << (i % 8);
+            }
+        }
+        let device = GpuDevice::titan_x();
+        let v = device.memory().alloc_from_slice(&values).unwrap();
+        let f = device.memory().alloc_from_slice(&packed).unwrap();
+        let out = device.memory().alloc_zeroed::<f32>(n).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("device", format!("seg{segment_len}")),
+            &(),
+            |b, _| b.iter(|| segmented_scan_device(&device, &v, &f, n, &out, 128).stats.time_us),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("host-reference", format!("seg{segment_len}")),
+            &(),
+            |b, _| b.iter(|| segmented_scan_inclusive(&values, &heads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table II bench: storage-format construction cost and byte accounting for
+//! COO vs F-COO (both operations).
+
+use bench_support::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use unified_tensors::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let nnz = bench_nnz();
+    eprintln!("{}", table2_rows(nnz).render());
+    let mut group = c.benchmark_group("table2_storage");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for (tensor, info) in bench_datasets(nnz) {
+        for (label, op) in [
+            ("fcoo-spttm", TensorOp::SpTtm { mode: 2 }),
+            ("fcoo-mttkrp", TensorOp::SpMttkrp { mode: 0 }),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, &info.name), &(), |b, _| {
+                b.iter(|| {
+                    let fcoo = Fcoo::from_coo(&tensor, op, 8);
+                    fcoo.storage().total_bytes()
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("coo-coalesce", &info.name), &(), |b, _| {
+            b.iter(|| {
+                let mut copy = tensor.clone();
+                copy.coalesce();
+                copy.storage_bytes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,228 @@
+//! Parallel loop and reduction helpers on top of [`Pool`](crate::Pool).
+
+use crate::pool::global_pool;
+use parking_lot::Mutex;
+
+/// Executes `body(i)` for every `i in 0..n` on the global pool.
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let total = AtomicU64::new(0);
+/// cpu_par::parallel_for(1000, |i| {
+///     total.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(total.into_inner(), 999 * 1000 / 2);
+/// ```
+///
+/// Iterations are grouped into chunks internally so per-task dispatch overhead
+/// stays negligible even for very large `n`.
+pub fn parallel_for<F>(n: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_chunked(n, default_chunk(n), |start, end| {
+        for i in start..end {
+            body(i);
+        }
+    });
+}
+
+/// Executes `body(start, end)` over disjoint ranges covering `0..n`, each of
+/// length at most `chunk`, dynamically scheduled over the global pool.
+pub fn parallel_for_chunked<F>(n: usize, chunk: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let chunk = chunk.max(1);
+    let num_chunks = n.div_ceil(chunk);
+    if num_chunks == 1 {
+        body(0, n);
+        return;
+    }
+    global_pool().run(num_chunks, &|task, _worker| {
+        let start = task * chunk;
+        let end = (start + chunk).min(n);
+        body(start, end);
+    });
+}
+
+/// Splits `data` into chunks of `chunk_size` elements and runs
+/// `body(chunk_index, chunk)` on each in parallel.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    let base = &base; // capture the Sync wrapper, not the raw pointer field
+    let num_chunks = n.div_ceil(chunk_size);
+    global_pool().run(num_chunks, &|task, _worker| {
+        let start = task * chunk_size;
+        let len = chunk_size.min(n - start);
+        // SAFETY: chunks `task * chunk_size .. +len` are pairwise disjoint and
+        // in-bounds, and `data` is exclusively borrowed for the whole region.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), len) };
+        body(task, chunk);
+    });
+}
+
+/// Parallel map: computes `f(i)` for every `i in 0..n` and collects the
+/// results in order.
+pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    par_chunks_mut(&mut out, 64, |chunk_index, chunk| {
+        for (offset, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(chunk_index * 64 + offset));
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("every index visited")).collect()
+}
+
+/// Parallel reduction: maps every `i in 0..n` through `map` into a per-worker
+/// accumulator (seeded by `identity`) and folds the accumulators with
+/// `combine`.
+pub fn par_reduce<A, M, C>(n: usize, identity: impl Fn() -> A + Sync, map: M, combine: C) -> A
+where
+    A: Send,
+    M: Fn(&mut A, usize) + Sync,
+    C: Fn(A, A) -> A,
+{
+    let pool = global_pool();
+    let workers = pool.num_threads();
+    let accumulators: Vec<Mutex<Option<A>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+    let chunk = default_chunk(n);
+    let num_chunks = n.div_ceil(chunk.max(1)).max(if n == 0 { 0 } else { 1 });
+    if n == 0 {
+        return identity();
+    }
+    pool.run(num_chunks, &|task, worker| {
+        let start = task * chunk;
+        let end = (start + chunk).min(n);
+        let mut guard = accumulators[worker].lock();
+        let accumulator = guard.get_or_insert_with(&identity);
+        for i in start..end {
+            map(accumulator, i);
+        }
+    });
+    accumulators
+        .into_iter()
+        .filter_map(|slot| slot.into_inner())
+        .fold(identity(), combine)
+}
+
+/// Chunk size heuristic: at least 4 chunks per worker for load balance, but
+/// never chunks smaller than 64 iterations.
+fn default_chunk(n: usize) -> usize {
+    let workers = global_pool().num_threads();
+    let target_chunks = workers * 4;
+    (n.div_ceil(target_chunks.max(1))).max(64).min(n.max(1))
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_for_covers_range() {
+        let hits: Vec<AtomicUsize> = (0..5000).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(5000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty() {
+        parallel_for(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn chunked_ranges_tile_exactly() {
+        let covered = Mutex::new(vec![false; 1037]);
+        parallel_for_chunked(1037, 100, |start, end| {
+            assert!(end - start <= 100);
+            let mut guard = covered.lock();
+            for i in start..end {
+                assert!(!guard[i], "range overlap at {i}");
+                guard[i] = true;
+            }
+        });
+        assert!(covered.into_inner().into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_chunks() {
+        let mut data = vec![0usize; 999];
+        par_chunks_mut(&mut data, 128, |chunk_index, chunk| {
+            for value in chunk.iter_mut() {
+                *value = chunk_index + 1;
+            }
+        });
+        for (i, value) in data.iter().enumerate() {
+            assert_eq!(*value, i / 128 + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_slice() {
+        let mut data: Vec<u8> = Vec::new();
+        par_chunks_mut(&mut data, 16, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn par_map_collects_in_order() {
+        let squares = par_map(2000, |i| i * i);
+        assert_eq!(squares.len(), 2000);
+        assert!(squares.iter().enumerate().all(|(i, &sq)| sq == i * i));
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let empty: Vec<u8> = par_map(0, |_| panic!("must not run"));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let n = 100_000usize;
+        let total = par_reduce(n, || 0u64, |acc, i| *acc += i as u64, |a, b| a + b);
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn reduce_empty_returns_identity() {
+        let total = par_reduce(0, || 42u64, |_, _| panic!("must not run"), |a, b| a + b);
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn reduce_max() {
+        let data: Vec<u32> = (0..10_000).map(|i| (i * 2654435761u64 % 65536) as u32).collect();
+        let expected = *data.iter().max().unwrap();
+        let found = par_reduce(
+            data.len(),
+            || 0u32,
+            |acc, i| *acc = (*acc).max(data[i]),
+            |a, b| a.max(b),
+        );
+        assert_eq!(found, expected);
+    }
+}

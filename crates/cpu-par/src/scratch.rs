@@ -1,0 +1,66 @@
+//! Per-worker scratch storage.
+
+use crate::pool::global_pool;
+use parking_lot::Mutex;
+
+/// One value per pool worker, for thread-local accumulators or scratch
+/// buffers inside parallel regions.
+///
+/// Index with the `worker` argument that [`Pool::run`](crate::Pool::run)
+/// passes to the task body.
+pub struct PerWorker<T> {
+    slots: Vec<Mutex<T>>,
+}
+
+impl<T> PerWorker<T> {
+    /// Creates one slot per global-pool worker using `init`.
+    pub fn new(init: impl Fn() -> T) -> Self {
+        let workers = global_pool().num_threads();
+        PerWorker { slots: (0..workers).map(|_| Mutex::new(init())).collect() }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the pool has no workers (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Locks and passes worker `worker`'s slot to `f`.
+    ///
+    /// The lock is uncontended in the intended usage (each worker only touches
+    /// its own slot), so this costs one atomic.
+    pub fn with<R>(&self, worker: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.slots[worker].lock())
+    }
+
+    /// Consumes the storage and returns all slot values.
+    pub fn into_values(self) -> Vec<T> {
+        self.slots.into_iter().map(|slot| slot.into_inner()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_worker_accumulation() {
+        let scratch = PerWorker::new(|| 0u64);
+        global_pool().run(1000, &|i, worker| {
+            scratch.with(worker, |acc| *acc += i as u64);
+        });
+        let total: u64 = scratch.into_values().into_iter().sum();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn slot_count_matches_pool() {
+        let scratch = PerWorker::new(Vec::<u8>::new);
+        assert_eq!(scratch.len(), global_pool().num_threads());
+        assert!(!scratch.is_empty());
+    }
+}

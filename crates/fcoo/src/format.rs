@@ -1,0 +1,425 @@
+//! The F-COO (flagged-coordinate) storage format (paper §IV-B, Fig. 2).
+//!
+//! F-COO stores, per non-zero, only the **product-mode** coordinates and the
+//! value. The index-mode coordinates are compressed to a one-bit-per-non-zero
+//! **bit-flag** (`bf`) marking where the index coordinates change — i.e.
+//! where the computation switches to a new fiber (SpTTM) or slice
+//! (SpMTTKRP/SpTTMc) — plus a one-bit-per-partition **start-flag** (`sf`)
+//! telling each thread whether its first non-zero starts a new segment.
+//!
+//! Two auxiliary arrays complete the executable format:
+//!
+//! * `segment_coords` — the index-mode coordinates of each segment, stored
+//!   once per *segment* (not per non-zero). This is the coordinate part of
+//!   the sCOO output the paper's one-shot kernels write into; without it the
+//!   scan results could not land at "the correct location using the indices
+//!   from the index mode" (§IV-C).
+//! * `partition_first_segment` — the global segment ordinal at each thread
+//!   partition's start, the prefix-count companion of `sf` that lets threads
+//!   address their output rows without a device-wide scan over `bf`.
+//!
+//! [`StorageBreakdown`] reports both the paper's Table II model (product
+//! indices + values + `bf` + `sf`) and the measured total including the
+//! auxiliary arrays, so the storage claims stay honest.
+
+use crate::modes::{ModeClassification, TensorOp};
+use tensor_core::{Idx, SparseTensorCoo, Val};
+
+/// Bit-flag semantics: bit `nz` is **set** when non-zero `nz` starts a new
+/// segment (its index-mode coordinates differ from non-zero `nz − 1`).
+///
+/// The paper's Fig. 2 draws the complementary encoding (1 while inside a
+/// segment, flipping to 0 on a change); both carry one bit per non-zero and
+/// the head-flag form is the one the segmented scan consumes directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitFlags {
+    bits: Vec<u8>,
+    len: usize,
+}
+
+impl BitFlags {
+    /// Creates an all-clear flag array for `len` non-zeros.
+    pub fn new(len: usize) -> Self {
+        BitFlags { bits: vec![0; len.div_ceil(8)], len }
+    }
+
+    /// Number of flags.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no flags.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets flag `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "flag index out of range");
+        self.bits[i / 8] |= 1 << (i % 8);
+    }
+
+    /// Reads flag `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Number of set flags (segments).
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Packed bytes (for upload and storage accounting).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bits
+    }
+}
+
+/// Byte-level storage accounting for Table II and Fig. 9.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageBreakdown {
+    /// Product-mode coordinate bytes (`4 × |product modes| × nnz`).
+    pub product_index_bytes: usize,
+    /// Value bytes (`4 × nnz`).
+    pub value_bytes: usize,
+    /// Bit-flag bytes (`nnz / 8`).
+    pub bf_bytes: usize,
+    /// Start-flag bytes (`partitions / 8`, packed in `u32` words).
+    pub sf_bytes: usize,
+    /// Per-segment index-mode coordinate bytes (output sCOO coordinates).
+    pub segment_coord_bytes: usize,
+    /// Per-partition segment-ordinal bytes.
+    pub partition_ptr_bytes: usize,
+}
+
+impl StorageBreakdown {
+    /// The bytes the paper's Table II formula counts:
+    /// `(4·|product| + 4 + 1/8 + 1/(8·threadlen)) × nnz`.
+    pub fn paper_model_bytes(&self) -> usize {
+        self.product_index_bytes + self.value_bytes + self.bf_bytes + self.sf_bytes
+    }
+
+    /// All bytes of the executable format.
+    pub fn total_bytes(&self) -> usize {
+        self.paper_model_bytes() + self.segment_coord_bytes + self.partition_ptr_bytes
+    }
+}
+
+/// Evaluates the Table II closed-form cost for F-COO in bytes.
+pub fn table2_fcoo_bytes(product_modes: usize, nnz: usize, threadlen: usize) -> f64 {
+    let per_nnz = 4.0 * product_modes as f64 + 4.0 + 1.0 / 8.0 + 1.0 / (8.0 * threadlen as f64);
+    per_nnz * nnz as f64
+}
+
+/// Evaluates the Table II closed-form cost for COO in bytes (`4·order + 4`
+/// per non-zero — `16 × nnz` for a 3-order tensor).
+pub fn table2_coo_bytes(order: usize, nnz: usize) -> usize {
+    (4 * order + 4) * nnz
+}
+
+/// A sparse tensor preprocessed into F-COO for one operation.
+#[derive(Debug, Clone)]
+pub struct Fcoo {
+    /// The operation this instance was built for.
+    pub op: TensorOp,
+    /// The Table I classification that shaped the format.
+    pub classification: ModeClassification,
+    /// Original tensor shape.
+    pub shape: Vec<usize>,
+    /// Non-zeros per thread partition.
+    pub threadlen: usize,
+    /// `product_indices[p][nz]`: coordinate along the `p`-th product mode.
+    pub product_indices: Vec<Vec<Idx>>,
+    /// Non-zero values, in segment order.
+    pub values: Vec<Val>,
+    /// Segment head flags, one per non-zero.
+    pub bf: BitFlags,
+    /// Start flags, one per partition: set when the partition's first
+    /// non-zero begins a new segment.
+    pub sf: BitFlags,
+    /// `segment_coords[m][seg]`: coordinate along the `m`-th index mode of
+    /// each segment (the output sCOO coordinates).
+    pub segment_coords: Vec<Vec<Idx>>,
+    /// Global segment ordinal at the start of each partition.
+    pub partition_first_segment: Vec<u32>,
+}
+
+impl Fcoo {
+    /// Preprocesses `tensor` for `op` with the given partition size.
+    ///
+    /// Sorting places equal index-mode coordinates contiguously; the flags
+    /// are derived from coordinate changes in that order. Cost: one sort of
+    /// the non-zeros (done on the host, once per mode — the paper
+    /// preprocesses all modes up front and ships them to the GPU once).
+    ///
+    /// # Panics
+    /// If `threadlen` is zero or the tensor is empty.
+    pub fn from_coo(tensor: &SparseTensorCoo, op: TensorOp, threadlen: usize) -> Self {
+        assert!(threadlen > 0, "threadlen must be positive");
+        assert!(tensor.nnz() > 0, "cannot build F-COO from an empty tensor");
+        let classification = ModeClassification::classify(op, tensor.order());
+        let mut sorted = tensor.clone();
+        let order = classification.sort_order();
+        if !sorted.is_sorted_by(&order) {
+            sorted.sort_by_mode_order(&order);
+        }
+        let nnz = sorted.nnz();
+        let index_modes = &classification.index_modes;
+        let product_modes = &classification.product_modes;
+
+        let mut bf = BitFlags::new(nnz);
+        let mut segment_coords: Vec<Vec<Idx>> = vec![Vec::new(); index_modes.len()];
+        for nz in 0..nnz {
+            let is_head = nz == 0
+                || index_modes
+                    .iter()
+                    .any(|&m| sorted.mode_indices(m)[nz] != sorted.mode_indices(m)[nz - 1]);
+            if is_head {
+                bf.set(nz);
+                for (slot, &m) in index_modes.iter().enumerate() {
+                    segment_coords[slot].push(sorted.mode_indices(m)[nz]);
+                }
+            }
+        }
+
+        let partitions = nnz.div_ceil(threadlen);
+        let mut sf = BitFlags::new(partitions);
+        let mut partition_first_segment = Vec::with_capacity(partitions);
+        let mut heads_before = 0u32;
+        for p in 0..partitions {
+            let start = p * threadlen;
+            partition_first_segment.push(heads_before);
+            if bf.get(start) {
+                sf.set(p);
+            }
+            let end = ((p + 1) * threadlen).min(nnz);
+            for nz in start..end {
+                if bf.get(nz) {
+                    heads_before += 1;
+                }
+            }
+        }
+
+        Fcoo {
+            op,
+            shape: sorted.shape().to_vec(),
+            threadlen,
+            product_indices: product_modes
+                .iter()
+                .map(|&m| sorted.mode_indices(m).to_vec())
+                .collect(),
+            values: sorted.values().to_vec(),
+            bf,
+            sf,
+            segment_coords,
+            partition_first_segment,
+            classification,
+        }
+    }
+
+    /// Number of non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of segments (output fibers/slices).
+    pub fn segments(&self) -> usize {
+        self.segment_coords.first().map_or(usize::from(self.nnz() > 0), Vec::len)
+    }
+
+    /// Number of thread partitions.
+    pub fn partitions(&self) -> usize {
+        self.partition_first_segment.len()
+    }
+
+    /// Byte accounting of this instance.
+    pub fn storage(&self) -> StorageBreakdown {
+        StorageBreakdown {
+            product_index_bytes: self.product_indices.len() * self.nnz() * 4,
+            value_bytes: self.nnz() * 4,
+            bf_bytes: self.bf.bytes().len(),
+            sf_bytes: self.sf.bytes().len().div_ceil(4) * 4,
+            segment_coord_bytes: self.segment_coords.len() * self.segments() * 4,
+            partition_ptr_bytes: self.partitions() * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 12-non-zero tensor of the paper's Fig. 2 (1-based there).
+    fn figure2_tensor() -> SparseTensorCoo {
+        let entries: Vec<(Vec<Idx>, Val)> = vec![
+            (vec![0, 0, 0], 1.0),
+            (vec![0, 0, 1], 2.0),
+            (vec![0, 0, 2], 3.0),
+            (vec![0, 0, 3], 4.0),
+            (vec![0, 0, 4], 5.0),
+            (vec![1, 0, 0], 6.0),
+            (vec![1, 0, 1], 7.0),
+            (vec![1, 0, 2], 8.0),
+            (vec![1, 0, 3], 9.0),
+            (vec![1, 1, 0], 10.0),
+            (vec![1, 1, 1], 11.0),
+            (vec![1, 1, 2], 12.0),
+        ];
+        SparseTensorCoo::from_entries(vec![2, 2, 5], &entries)
+    }
+
+    #[test]
+    fn figure2_spttm_flags() {
+        // SpTTM mode-3: index modes (i, j); segments are the three fibers
+        // (0,0), (1,0), (1,1) with lengths 5, 4, 3.
+        let f = Fcoo::from_coo(&figure2_tensor(), TensorOp::SpTtm { mode: 2 }, 4);
+        assert_eq!(f.nnz(), 12);
+        assert_eq!(f.segments(), 3);
+        let heads: Vec<bool> = (0..12).map(|i| f.bf.get(i)).collect();
+        assert_eq!(
+            heads,
+            vec![
+                true, false, false, false, false, // fiber (0,0), 5 nnz
+                true, false, false, false, // fiber (1,0), 4 nnz
+                true, false, false, // fiber (1,1), 3 nnz
+            ]
+        );
+        // Product-mode (k) indices are kept verbatim: Fig. 2(b) column 3.
+        assert_eq!(f.product_indices.len(), 1);
+        assert_eq!(f.product_indices[0], vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn figure2_spttm_start_flags() {
+        // threadlen 4 → partitions start at nnz 0, 4, 8. Fig. 2(b):
+        // sf = [1, 1, 0] wait — the figure shows sf[2]=1 for SpTTM because
+        // nnz 8 (value 9) continues fiber (1,0)... nnz 8 is the 9th entry,
+        // value 9, inside fiber (1,0) → sf[2]=0? The paper's figure marks
+        // sf[2]=1 for (b); our head-flag derivation gives the semantics the
+        // scan needs: partition 2 begins mid-segment.
+        let f = Fcoo::from_coo(&figure2_tensor(), TensorOp::SpTtm { mode: 2 }, 4);
+        assert_eq!(f.partitions(), 3);
+        assert!(f.sf.get(0));
+        assert!(!f.sf.get(1)); // nnz 4 (value 5) continues fiber (0,0)
+        assert!(!f.sf.get(2)); // nnz 8 (value 9) continues fiber (1,0)
+        assert_eq!(f.partition_first_segment, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn figure2_spmttkrp_flags() {
+        // SpMTTKRP mode-1: index mode i; segments are slices i=0 (5 nnz) and
+        // i=1 (7 nnz); Fig. 2(c) keeps product indices j and k.
+        let f = Fcoo::from_coo(&figure2_tensor(), TensorOp::SpMttkrp { mode: 0 }, 4);
+        assert_eq!(f.segments(), 2);
+        let heads: Vec<usize> = (0..12).filter(|&i| f.bf.get(i)).collect();
+        assert_eq!(heads, vec![0, 5]);
+        assert_eq!(f.product_indices.len(), 2);
+        // Segment coordinates are the slice indices.
+        assert_eq!(f.segment_coords, vec![vec![0, 1]]);
+        // sf: partition 0 starts slice 0; partitions 1 and 2 continue.
+        assert!(f.sf.get(0));
+        assert!(!f.sf.get(1));
+        assert!(!f.sf.get(2));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_during_preprocessing() {
+        let mut entries: Vec<(Vec<Idx>, Val)> = figure2_tensor().iter().collect();
+        entries.reverse();
+        let shuffled = SparseTensorCoo::from_entries(vec![2, 2, 5], &entries);
+        let a = Fcoo::from_coo(&shuffled, TensorOp::SpTtm { mode: 2 }, 4);
+        let b = Fcoo::from_coo(&figure2_tensor(), TensorOp::SpTtm { mode: 2 }, 4);
+        assert_eq!(a.product_indices, b.product_indices);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.bf, b.bf);
+    }
+
+    #[test]
+    fn segment_count_matches_distinct_index_coords() {
+        let (tensor, _) = tensor_core::datasets::generate(tensor_core::DatasetKind::Nell2, 3000, 5);
+        for mode in 0..3 {
+            let f = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode }, 8);
+            assert_eq!(f.segments(), tensor.count_distinct(&[mode]));
+            let t = Fcoo::from_coo(&tensor, TensorOp::SpTtm { mode }, 8);
+            let index_modes: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
+            assert_eq!(t.segments(), tensor.count_distinct(&index_modes));
+        }
+    }
+
+    #[test]
+    fn head_count_equals_segment_count() {
+        let (tensor, _) =
+            tensor_core::datasets::generate(tensor_core::DatasetKind::Delicious, 2000, 6);
+        let f = Fcoo::from_coo(&tensor, TensorOp::SpTtm { mode: 1 }, 16);
+        assert_eq!(f.bf.count_ones(), f.segments());
+    }
+
+    #[test]
+    fn partition_first_segment_is_consistent_with_bf() {
+        let (tensor, _) = tensor_core::datasets::generate(tensor_core::DatasetKind::Nell2, 4000, 7);
+        let f = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 1 }, 8);
+        let mut heads = 0u32;
+        for p in 0..f.partitions() {
+            assert_eq!(f.partition_first_segment[p], heads);
+            let start = p * f.threadlen;
+            let end = ((p + 1) * f.threadlen).min(f.nnz());
+            for nz in start..end {
+                if f.bf.get(nz) {
+                    heads += 1;
+                }
+            }
+        }
+        assert_eq!(heads as usize, f.segments());
+    }
+
+    #[test]
+    fn storage_matches_table_ii_formula() {
+        let (tensor, _) = tensor_core::datasets::generate(tensor_core::DatasetKind::Nell2, 8192, 8);
+        let nnz = tensor.nnz();
+        // SpTTM: one product mode → 8 bytes/nnz core.
+        let spttm = Fcoo::from_coo(&tensor, TensorOp::SpTtm { mode: 2 }, 8);
+        let breakdown = spttm.storage();
+        let formula = table2_fcoo_bytes(1, nnz, 8);
+        let model = breakdown.paper_model_bytes() as f64;
+        assert!(
+            (model - formula).abs() <= 8.0,
+            "model {model} vs formula {formula}"
+        );
+        // SpMTTKRP: two product modes → 12 bytes/nnz core.
+        let mttkrp = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 8);
+        let formula = table2_fcoo_bytes(2, nnz, 8);
+        let model = mttkrp.storage().paper_model_bytes() as f64;
+        assert!((model - formula).abs() <= 8.0);
+        // F-COO is smaller than COO.
+        assert!(breakdown.total_bytes() < table2_coo_bytes(3, nnz));
+    }
+
+    #[test]
+    fn bitflags_basics() {
+        let mut flags = BitFlags::new(17);
+        assert_eq!(flags.len(), 17);
+        flags.set(0);
+        flags.set(8);
+        flags.set(16);
+        assert!(flags.get(0) && flags.get(8) && flags.get(16));
+        assert!(!flags.get(1) && !flags.get(15));
+        assert_eq!(flags.count_ones(), 3);
+        assert_eq!(flags.bytes().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "flag index out of range")]
+    fn bitflags_bounds_checked() {
+        let mut flags = BitFlags::new(4);
+        flags.set(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tensor")]
+    fn from_coo_rejects_empty() {
+        let tensor = SparseTensorCoo::new(vec![2, 2, 2]);
+        let _ = Fcoo::from_coo(&tensor, TensorOp::SpTtm { mode: 0 }, 8);
+    }
+}

@@ -1,0 +1,875 @@
+//! Unified one-shot GPU kernels over F-COO (paper §IV-C/D).
+//!
+//! All three operations share one skeleton, which is the point of the
+//! unified method:
+//!
+//! * the grid is two-dimensional with **one-dimensional blocks** (Fig. 4):
+//!   `bIdx` walks partitions of non-zeros, `bIdy` walks columns of the dense
+//!   factor matrices, so the block shape never depends on the rank;
+//! * each thread owns `threadlen` consecutive non-zeros, computes the
+//!   per-non-zero product (`val × U(k,:)` for SpTTM, `val × B(j,:) ∗ C(k,:)`
+//!   for SpMTTKRP, `val × (U₂(j,:) ⊗ U₃(k,:))` for SpTTMc) and reduces along
+//!   `bf` segments;
+//! * segments are finalized with a **segmented scan** (warp shuffles + one
+//!   shared-memory stage), not atomics: segments fully inside a partition
+//!   are written exactly once; segments spanning partition/block boundaries
+//!   are carried via adjacent synchronization (fused kernels) and account
+//!   for at most two extra writes per partition;
+//! * factor-matrix rows are read through the **read-only data cache**, which
+//!   is where tensor density shows up in performance (§V-A).
+//!
+//! [`LaunchConfig`] exposes the optimization toggles for the ablation
+//! benches: `use_segscan = false` degenerates to per-element atomics (the
+//! COO baseline behaviour), `use_rocache = false` reads factors from plain
+//! global memory, `use_fusion = false` pays a separate carry-resolution
+//! kernel launch.
+
+use crate::device::{DeviceMatrix, FcooDevice};
+use crate::modes::TensorOp;
+use gpu_sim::memory::DeviceBuffer;
+use gpu_sim::scan::{block_segscan_cycles, warp_segscan_cycles};
+use gpu_sim::stats::BlockStats;
+use gpu_sim::{GpuDevice, KernelStats, OutOfMemory};
+use tensor_core::{DenseMatrix, SemiSparseTensor};
+
+/// Tunable launch parameters and optimization toggles.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Threads per (one-dimensional) block; must be a multiple of 32.
+    pub block_size: usize,
+    /// Route factor-matrix reads through the read-only data cache.
+    pub use_rocache: bool,
+    /// Reduce segments with segmented scan; `false` falls back to one
+    /// atomic per non-zero (COO-style accumulation).
+    pub use_segscan: bool,
+    /// Fuse product/scan/accumulate kernels with adjacent synchronization;
+    /// `false` pays an extra kernel launch for boundary-carry resolution.
+    pub use_fusion: bool,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        LaunchConfig { block_size: 128, use_rocache: true, use_segscan: true, use_fusion: true }
+    }
+}
+
+impl LaunchConfig {
+    /// A config with the given block size and all optimizations on.
+    pub fn with_block_size(block_size: usize) -> Self {
+        LaunchConfig { block_size, ..Default::default() }
+    }
+}
+
+/// Sparse tensor-times-matrix `Y = X ×ₙ U` with the unified kernel.
+///
+/// `fcoo` must have been preprocessed with [`TensorOp::SpTtm`] on the same
+/// mode that `u` multiplies. Returns the semi-sparse result and the
+/// simulated kernel statistics.
+///
+/// # Panics
+/// If `fcoo` was preprocessed for a different operation or `u` has the wrong
+/// row count.
+pub fn spttm(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    u: &DeviceMatrix,
+    cfg: &LaunchConfig,
+) -> Result<(SemiSparseTensor, KernelStats), OutOfMemory> {
+    let mode = match fcoo.op {
+        TensorOp::SpTtm { mode } => mode,
+        other => panic!("F-COO was preprocessed for {other:?}, not SpTTM"),
+    };
+    assert_eq!(u.rows(), fcoo.shape[mode], "matrix rows must match product-mode size");
+    let r = u.cols();
+    let segments = fcoo.segments();
+    let out = device.memory().alloc_zeroed::<f32>(segments * r)?;
+    let k_indices = &fcoo.product_indices[0];
+    let factor_ws = u.rows() * u.cols() * 4;
+    let stats = run_unified(
+        device,
+        fcoo,
+        cfg,
+        r,
+        &out,
+        r,
+        factor_ws,
+        |seg| seg,
+        None,
+        2,
+        |nz, col| fcoo.values.get(nz) * u.get(k_indices.get(nz) as usize, col),
+        |nz, col, addrs| addrs.push(u.addr(k_indices.get(nz) as usize, col)),
+    );
+    let mut result = SemiSparseTensor::new(fcoo.shape.clone(), mode, r);
+    let values = out.to_vec();
+    for seg in 0..segments {
+        let coord: Vec<u32> =
+            fcoo.segment_coords_host.iter().map(|column| column[seg]).collect();
+        result.push_fiber(&coord, &values[seg * r..(seg + 1) * r]);
+    }
+    Ok((result, stats))
+}
+
+/// Sparse MTTKRP `M = X₍ₙ₎ (⊙ factors)` with the unified one-shot kernel.
+///
+/// `factors` holds one device matrix per tensor mode; the entry at the
+/// operating mode is ignored. Returns the dense `shape[mode] × R` result.
+///
+/// # Panics
+/// If `fcoo` was preprocessed for a different operation or factor shapes are
+/// inconsistent.
+pub fn spmttkrp(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    factors: &[&DeviceMatrix],
+    cfg: &LaunchConfig,
+) -> Result<(DenseMatrix, KernelStats), OutOfMemory> {
+    let mode = match fcoo.op {
+        TensorOp::SpMttkrp { mode } => mode,
+        other => panic!("F-COO was preprocessed for {other:?}, not SpMTTKRP"),
+    };
+    let order = fcoo.shape.len();
+    assert_eq!(factors.len(), order, "one factor per mode required");
+    let product_modes = &fcoo.classification.product_modes;
+    let r = factors[product_modes[0]].cols();
+    for &m in product_modes {
+        assert_eq!(factors[m].rows(), fcoo.shape[m], "factor {m} row count mismatch");
+        assert_eq!(factors[m].cols(), r, "factor {m} column count mismatch");
+    }
+    let rows = fcoo.shape[mode];
+    let out = device.memory().alloc_zeroed::<f32>(rows * r)?;
+    let slice_of_seg = &fcoo.segment_coords_host[0];
+    let product_factors: Vec<&DeviceMatrix> = product_modes.iter().map(|&m| factors[m]).collect();
+    let factor_ws: usize = product_factors.iter().map(|f| f.rows() * f.cols() * 4).sum();
+    let stats = run_unified(
+        device,
+        fcoo,
+        cfg,
+        r,
+        &out,
+        r,
+        factor_ws,
+        |seg| slice_of_seg[seg] as usize,
+        Some(&fcoo.segment_coords[0]),
+        1 + product_modes.len() as u64,
+        |nz, col| {
+            let mut product = fcoo.values.get(nz);
+            for (factor, indices) in product_factors.iter().zip(&fcoo.product_indices) {
+                product *= factor.get(indices.get(nz) as usize, col);
+            }
+            product
+        },
+        |nz, col, addrs| {
+            for (factor, indices) in product_factors.iter().zip(&fcoo.product_indices) {
+                addrs.push(factor.addr(indices.get(nz) as usize, col));
+            }
+        },
+    );
+    Ok((DenseMatrix::from_vec(rows, r, out.to_vec()), stats))
+}
+
+/// Sparse TTM-chain on 3-order tensors (paper Eq. 4): the matricized
+/// `Y₍ₙ₎ = Σ X(i,j,k) · (U_a(a,:) ⊗ U_b(b,:))`.
+///
+/// `factor_a`/`factor_b` correspond to the two product modes in ascending
+/// mode order. Returns the `shape[mode] × (R_a · R_b)` result.
+pub fn spttmc(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    factor_a: &DeviceMatrix,
+    factor_b: &DeviceMatrix,
+    cfg: &LaunchConfig,
+) -> Result<(DenseMatrix, KernelStats), OutOfMemory> {
+    assert_eq!(fcoo.shape.len(), 3, "use spttmc_norder for non-3-order tensors");
+    let product_modes = &fcoo.classification.product_modes;
+    assert_eq!(factor_a.rows(), fcoo.shape[product_modes[0]], "factor A row mismatch");
+    assert_eq!(factor_b.rows(), fcoo.shape[product_modes[1]], "factor B row mismatch");
+    spttmc_norder(device, fcoo, &[factor_a, factor_b], cfg)
+}
+
+/// Sparse TTM-chain for tensors of any order: one factor per product mode in
+/// ascending mode order; the output has `Π R_p` columns with the last
+/// product mode varying fastest (matching `tensor_core::ops::spttmc_norder`).
+pub fn spttmc_norder(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    product_factors: &[&DeviceMatrix],
+    cfg: &LaunchConfig,
+) -> Result<(DenseMatrix, KernelStats), OutOfMemory> {
+    let mode = match fcoo.op {
+        TensorOp::SpTtmc { mode } => mode,
+        other => panic!("F-COO was preprocessed for {other:?}, not SpTTMc"),
+    };
+    let product_modes = &fcoo.classification.product_modes;
+    assert_eq!(
+        product_factors.len(),
+        product_modes.len(),
+        "one factor per product mode required"
+    );
+    for (&m, factor) in product_modes.iter().zip(product_factors) {
+        assert_eq!(factor.rows(), fcoo.shape[m], "factor row mismatch on mode {m}");
+    }
+    let columns: usize = product_factors.iter().map(|f| f.cols()).product();
+    // Mixed-radix strides over the Kronecker column: last factor fastest.
+    let mut strides = vec![1usize; product_factors.len()];
+    for p in (0..product_factors.len().saturating_sub(1)).rev() {
+        strides[p] = strides[p + 1] * product_factors[p + 1].cols();
+    }
+    let rows = fcoo.shape[mode];
+    let out = device.memory().alloc_zeroed::<f32>(rows * columns)?;
+    let slice_of_seg = &fcoo.segment_coords_host[0];
+    let factor_ws: usize = product_factors.iter().map(|f| f.rows() * f.cols() * 4).sum();
+    let digit = |col: usize, p: usize| (col / strides[p]) % product_factors[p].cols();
+    let stats = run_unified(
+        device,
+        fcoo,
+        cfg,
+        columns,
+        &out,
+        columns,
+        factor_ws,
+        |seg| slice_of_seg[seg] as usize,
+        Some(&fcoo.segment_coords[0]),
+        1 + product_factors.len() as u64,
+        |nz, col| {
+            let mut product = fcoo.values.get(nz);
+            for (p, (factor, indices)) in
+                product_factors.iter().zip(&fcoo.product_indices).enumerate()
+            {
+                product *= factor.get(indices.get(nz) as usize, digit(col, p));
+            }
+            product
+        },
+        |nz, col, addrs| {
+            for (p, (factor, indices)) in
+                product_factors.iter().zip(&fcoo.product_indices).enumerate()
+            {
+                addrs.push(factor.addr(indices.get(nz) as usize, digit(col, p)));
+            }
+        },
+    );
+    Ok((DenseMatrix::from_vec(rows, columns, out.to_vec()), stats))
+}
+
+/// The shared unified kernel skeleton.
+///
+/// `row_of_seg` maps a segment ordinal to its output row; `coord_buffer`, if
+/// given, is the device array those lookups read (charged on finalization).
+/// `product` computes one non-zero's full contribution for one column;
+/// `factor_addrs` lists the factor-matrix addresses that contribution reads;
+/// `factor_ws` is the total bytes of those (reused) factor matrices, which
+/// bounds whether misses stay in the device L2.
+#[allow(clippy::too_many_arguments)]
+fn run_unified<RowOf, Product, Addrs>(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    cfg: &LaunchConfig,
+    columns: usize,
+    out: &DeviceBuffer<f32>,
+    out_stride: usize,
+    factor_ws: usize,
+    row_of_seg: RowOf,
+    coord_buffer: Option<&DeviceBuffer<u32>>,
+    compute_per_element: u64,
+    product: Product,
+    factor_addrs: Addrs,
+) -> KernelStats
+where
+    RowOf: Fn(usize) -> usize + Sync,
+    Product: Fn(usize, usize) -> f32 + Sync,
+    Addrs: Fn(usize, usize, &mut Vec<u64>) + Sync,
+{
+    let threadlen = fcoo.threadlen;
+    let nnz = fcoo.nnz;
+    let partitions = fcoo.partitions();
+    let grid_x = partitions.div_ceil(cfg.block_size);
+    let warp = 32usize;
+    // Shared memory: one carry (value + open-flag word) per warp for the
+    // block-level segmented-scan combine.
+    let shared_bytes = (cfg.block_size / 32) * 8;
+    let mut stats = device.launch_with_shared((grid_x, columns), cfg.block_size, shared_bytes, |ctx| {
+        let col = ctx.block_y();
+        // Column-sibling blocks resident on the same SM read adjacent
+        // columns of the same factor rows: one read-only cache line (8
+        // floats) serves up to 8 of them, so each block is charged its
+        // share of the fill (the "data reuse" of §IV-D).
+        if cfg.use_rocache {
+            ctx.set_rocache_sharers(columns.min(8) as u64);
+        }
+        let mut ro_addrs: Vec<u64> = Vec::with_capacity(2 * warp);
+        let mut write_rows: Vec<u64> = Vec::with_capacity(warp);
+        let mut coord_reads: Vec<u64> = Vec::with_capacity(warp);
+        let mut atomic_events: Vec<(usize, f32)> = Vec::new();
+        let mut any_warp_ran = false;
+        for w in 0..ctx.warps_per_block() {
+            let warp_first_thread = ctx.block_x() * ctx.block_threads() + w * warp;
+            let warp_nnz_start = warp_first_thread * threadlen;
+            if warp_nnz_start >= nnz {
+                break;
+            }
+            any_warp_ran = true;
+            ctx.begin_warp();
+            let warp_nnz_end = ((warp_first_thread + warp) * threadlen).min(nnz);
+            let span = warp_nnz_end - warp_nnz_start;
+
+            // Streaming reads of the warp's contiguous tensor region:
+            // values, product-mode indices, bit flags, partition metadata.
+            // The grid places all column blocks of one partition range
+            // adjacently, so the bIdy = 0 block streams the region from
+            // DRAM and its co-resident column siblings hit in L2 (the
+            // "data reuse" optimization of §IV-D).
+            let l2_hot = ctx.block_y() > 0;
+            let stream = |ctx: &mut gpu_sim::BlockCtx<'_>, addr: u64, bytes: usize| {
+                if l2_hot {
+                    ctx.read_global_range_l2(addr, bytes);
+                } else {
+                    ctx.read_global_range(addr, bytes);
+                }
+            };
+            stream(ctx, fcoo.values.addr(warp_nnz_start), span * 4);
+            for indices in &fcoo.product_indices {
+                stream(ctx, indices.addr(warp_nnz_start), span * 4);
+            }
+            stream(ctx, fcoo.bf.addr(warp_nnz_start / 8), span / 8 + 1);
+            let threads_here = warp.min(partitions - warp_first_thread);
+            stream(
+                ctx,
+                fcoo.partition_first_segment.addr(warp_first_thread),
+                threads_here * 4,
+            );
+            stream(ctx, fcoo.sf.addr(warp_first_thread / 8), threads_here / 8 + 1);
+
+            // Per-iteration factor-matrix reads (scattered by product-mode
+            // indices → read-only cache territory) and the product FLOPs.
+            for i in 0..threadlen {
+                ro_addrs.clear();
+                for lane in 0..warp {
+                    let nz = (warp_first_thread + lane) * threadlen + i;
+                    if nz < nnz {
+                        factor_addrs(nz, col, &mut ro_addrs);
+                    }
+                }
+                if ro_addrs.is_empty() {
+                    break;
+                }
+                if cfg.use_rocache {
+                    ctx.read_readonly_ws(&ro_addrs, factor_ws);
+                } else {
+                    ctx.read_global_ws(&ro_addrs, factor_ws);
+                }
+                ctx.compute(compute_per_element);
+            }
+
+            // Functional per-lane segment accumulation.
+            write_rows.clear();
+            coord_reads.clear();
+            atomic_events.clear();
+            for lane in 0..warp {
+                let thread = warp_first_thread + lane;
+                let pstart = thread * threadlen;
+                if pstart >= nnz {
+                    break;
+                }
+                let pend = ((thread + 1) * threadlen).min(nnz);
+                // Heads seen so far, including any before this partition.
+                let mut heads = fcoo.partition_first_segment.get(thread) as usize;
+                let mut sum = 0.0f32;
+                let mut began_inside = false;
+                let mut has_open = false;
+                for nz in pstart..pend {
+                    let head = fcoo.head(nz);
+                    if head {
+                        if has_open {
+                            // Previous segment closed by this head: its end
+                            // is inside the partition.
+                            finalize_segment(
+                                cfg,
+                                out,
+                                out_stride,
+                                col,
+                                &row_of_seg,
+                                coord_buffer,
+                                heads - 1,
+                                sum,
+                                began_inside,
+                                &mut write_rows,
+                                &mut coord_reads,
+                                &mut atomic_events,
+                            );
+                        }
+                        heads += 1;
+                        sum = 0.0;
+                        began_inside = true;
+                    } else if !has_open {
+                        // Partition starts mid-segment (sf bit clear).
+                        began_inside = false;
+                    }
+                    has_open = true;
+                    if cfg.use_segscan {
+                        sum += product(nz, col);
+                    } else {
+                        // Ablation: one atomic per non-zero, COO style.
+                        let row = row_of_seg(heads - 1);
+                        atomic_events.push((row * out_stride + col, product(nz, col)));
+                    }
+                }
+                if has_open && cfg.use_segscan {
+                    // Final open segment: exclusive only if it both began
+                    // inside and the next partition starts a new segment.
+                    let ends_exclusive = pend == nnz || fcoo.head(pend);
+                    finalize_segment(
+                        cfg,
+                        out,
+                        out_stride,
+                        col,
+                        &row_of_seg,
+                        coord_buffer,
+                        heads - 1,
+                        sum,
+                        began_inside && ends_exclusive,
+                        &mut write_rows,
+                        &mut coord_reads,
+                        &mut atomic_events,
+                    );
+                }
+            }
+
+            // Charge the warp-level segmented-scan stages and the batched
+            // output traffic.
+            if cfg.use_segscan {
+                ctx.compute(warp_segscan_cycles(ctx.config()));
+                for chunk in coord_reads.chunks(warp) {
+                    ctx.read_global(chunk);
+                }
+                // Sibling column blocks write adjacent columns of the same
+                // output rows; the write-back L2 merges them per line.
+                let sharers = columns.min(8) as u64;
+                for chunk in write_rows.chunks(warp) {
+                    ctx.write_global_shared(chunk, sharers);
+                }
+            }
+            for chunk in atomic_events.chunks(warp) {
+                ctx.atomic_add_f32(out, chunk);
+            }
+        }
+        if any_warp_ran && cfg.use_segscan {
+            // Block-level scan combine + barriers, plus the inter-block
+            // carry when kernels are fused.
+            ctx.compute(block_segscan_cycles(ctx.block_threads(), ctx.config()));
+            ctx.syncthreads();
+            ctx.syncthreads();
+            if cfg.use_fusion {
+                ctx.adjacent_sync();
+            }
+        }
+    });
+    if cfg.use_segscan && !cfg.use_fusion {
+        // Unfused variant: boundary carries resolved by a follow-up kernel
+        // that re-reads one partial per partition.
+        let carry_block = BlockStats {
+            dram_bytes: (partitions * 8) as u64,
+            transactions: (partitions * 8).div_ceil(device.config().transaction_bytes) as u64,
+            max_warp_cycles: 64,
+            total_warp_cycles: 64,
+            warps: 1,
+            ..Default::default()
+        };
+        let carry = KernelStats::from_blocks(&[carry_block], cfg.block_size, device.config());
+        stats.merge(&carry);
+    }
+    stats
+}
+
+/// Finalizes one segment: exclusive segments are written once; boundary
+/// segments are accumulated atomically (functionally) while the cost model
+/// charges them as scan-carried writes when segmented scan is on.
+#[allow(clippy::too_many_arguments)]
+fn finalize_segment<RowOf: Fn(usize) -> usize>(
+    cfg: &LaunchConfig,
+    out: &DeviceBuffer<f32>,
+    out_stride: usize,
+    col: usize,
+    row_of_seg: &RowOf,
+    coord_buffer: Option<&DeviceBuffer<u32>>,
+    seg: usize,
+    sum: f32,
+    exclusive: bool,
+    write_rows: &mut Vec<u64>,
+    coord_reads: &mut Vec<u64>,
+    atomic_events: &mut Vec<(usize, f32)>,
+) {
+    let row = row_of_seg(seg);
+    let index = row * out_stride + col;
+    if let Some(coords) = coord_buffer {
+        coord_reads.push(coords.addr(seg));
+    }
+    if cfg.use_segscan {
+        write_rows.push(out.addr(index));
+        if exclusive {
+            // SAFETY: exclusive segments are owned by exactly one thread for
+            // this output column.
+            unsafe { out.write(index, sum) };
+        } else {
+            out.atomic_add_f32(index, sum);
+        }
+    } else {
+        atomic_events.push((index, sum));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::Fcoo;
+    use tensor_core::approx::assert_slices_close;
+    use tensor_core::datasets::{self, DatasetKind};
+    use tensor_core::ops;
+    use tensor_core::SparseTensorCoo;
+
+    fn upload_factors(
+        device: &GpuDevice,
+        tensor: &SparseTensorCoo,
+        r: usize,
+        seed: u64,
+    ) -> Vec<DeviceMatrix> {
+        tensor
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(m, &size)| {
+                let host = DenseMatrix::random(size, r, seed + m as u64);
+                DeviceMatrix::upload(device.memory(), &host).unwrap()
+            })
+            .collect()
+    }
+
+    fn check_spttm(tensor: &SparseTensorCoo, mode: usize, r: usize, cfg: &LaunchConfig) {
+        let device = GpuDevice::titan_x();
+        let fcoo = Fcoo::from_coo(tensor, TensorOp::SpTtm { mode }, 8);
+        let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+        let u_host = DenseMatrix::random(tensor.shape()[mode], r, 7);
+        let u = DeviceMatrix::upload(device.memory(), &u_host).unwrap();
+        let (result, stats) = spttm(&device, &dev, &u, cfg).unwrap();
+        let reference = ops::spttm(tensor, mode, &u_host);
+        let diff = result.max_abs_diff(&reference).expect("fiber sets must match");
+        assert!(diff < 1e-3, "mode {mode} diff {diff}");
+        assert!(stats.time_us > 0.0);
+    }
+
+    fn check_spmttkrp(tensor: &SparseTensorCoo, mode: usize, r: usize, cfg: &LaunchConfig) {
+        let device = GpuDevice::titan_x();
+        let fcoo = Fcoo::from_coo(tensor, TensorOp::SpMttkrp { mode }, 8);
+        let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+        let factors = upload_factors(&device, tensor, r, 40);
+        let factor_refs: Vec<&DeviceMatrix> = factors.iter().collect();
+        let (result, _) = spmttkrp(&device, &dev, &factor_refs, cfg).unwrap();
+        let host_factors: Vec<DenseMatrix> = factors.iter().map(|f| f.download()).collect();
+        let host_refs: Vec<&DenseMatrix> = host_factors.iter().collect();
+        let reference = ops::spmttkrp(tensor, mode, &host_refs);
+        let diff = result.max_abs_diff(&reference);
+        assert!(diff < 1e-3, "mode {mode} diff {diff}");
+    }
+
+    #[test]
+    fn spttm_matches_reference_all_modes() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 3000, 11);
+        for mode in 0..3 {
+            check_spttm(&tensor, mode, 16, &LaunchConfig::default());
+        }
+    }
+
+    #[test]
+    fn spmttkrp_matches_reference_all_modes() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 3000, 12);
+        for mode in 0..3 {
+            check_spmttkrp(&tensor, mode, 16, &LaunchConfig::default());
+        }
+    }
+
+    #[test]
+    fn kernels_correct_on_dense_and_skewed_datasets() {
+        for kind in [DatasetKind::Brainq, DatasetKind::Nell1] {
+            let (tensor, _) = datasets::generate(kind, 4000, 13);
+            check_spttm(&tensor, 2, 8, &LaunchConfig::default());
+            check_spmttkrp(&tensor, 0, 8, &LaunchConfig::default());
+        }
+    }
+
+    #[test]
+    fn results_identical_across_optimization_toggles() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 2500, 14);
+        for cfg in [
+            LaunchConfig { use_rocache: false, ..Default::default() },
+            LaunchConfig { use_segscan: false, ..Default::default() },
+            LaunchConfig { use_fusion: false, ..Default::default() },
+            LaunchConfig { block_size: 32, ..Default::default() },
+            LaunchConfig { block_size: 1024, ..Default::default() },
+        ] {
+            check_spttm(&tensor, 2, 8, &cfg);
+            check_spmttkrp(&tensor, 0, 8, &cfg);
+        }
+    }
+
+    #[test]
+    fn various_threadlens_are_correct() {
+        let (tensor, _) = datasets::generate(DatasetKind::Delicious, 2500, 15);
+        let device = GpuDevice::titan_x();
+        let u_host = DenseMatrix::random(tensor.shape()[2], 8, 3);
+        let reference = ops::spttm(&tensor, 2, &u_host);
+        for threadlen in [1, 3, 8, 16, 64] {
+            let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpTtm { mode: 2 }, threadlen);
+            let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+            let u = DeviceMatrix::upload(device.memory(), &u_host).unwrap();
+            let (result, _) = spttm(&device, &dev, &u, &LaunchConfig::default()).unwrap();
+            let diff = result.max_abs_diff(&reference).expect("fiber sets must match");
+            assert!(diff < 1e-3, "threadlen {threadlen} diff {diff}");
+        }
+    }
+
+    #[test]
+    fn spttmc_matches_reference() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 2000, 16);
+        let device = GpuDevice::titan_x();
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpTtmc { mode: 0 }, 8);
+        let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+        let a_host = DenseMatrix::random(tensor.shape()[1], 4, 21);
+        let b_host = DenseMatrix::random(tensor.shape()[2], 3, 22);
+        let a = DeviceMatrix::upload(device.memory(), &a_host).unwrap();
+        let b = DeviceMatrix::upload(device.memory(), &b_host).unwrap();
+        let (result, _) = spttmc(&device, &dev, &a, &b, &LaunchConfig::default()).unwrap();
+        let reference = ops::spttmc(
+            &tensor,
+            0,
+            &[&DenseMatrix::zeros(tensor.shape()[0], 1), &a_host, &b_host],
+        );
+        assert!(result.max_abs_diff(&reference) < 1e-3);
+        assert_slices_close(result.row(0), reference.row(0), 1e-3);
+    }
+
+    #[test]
+    fn spttmc_norder_matches_reference_on_4_order() {
+        let tensor = tensor_core::datasets::generate_norder(&[10, 8, 12, 6], 1_500, 0.5, 44);
+        let device = GpuDevice::titan_x();
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpTtmc { mode: 1 }, 8);
+        let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+        let hosts: Vec<DenseMatrix> = fcoo
+            .classification
+            .product_modes
+            .iter()
+            .enumerate()
+            .map(|(p, &m)| DenseMatrix::random(tensor.shape()[m], 2 + p % 2, 60 + p as u64))
+            .collect();
+        let uploaded: Vec<DeviceMatrix> = hosts
+            .iter()
+            .map(|f| DeviceMatrix::upload(device.memory(), f).unwrap())
+            .collect();
+        let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+        let (result, _) =
+            spttmc_norder(&device, &dev, &refs, &LaunchConfig::default()).unwrap();
+        let host_refs: Vec<&DenseMatrix> = hosts.iter().collect();
+        let reference = tensor_core::ops::spttmc_norder(&tensor, 1, &host_refs);
+        assert!(
+            result.max_abs_diff(&reference) < 1e-3,
+            "diff {}",
+            result.max_abs_diff(&reference)
+        );
+    }
+
+    #[test]
+    fn segscan_avoids_atomics_and_beats_atomic_fallback() {
+        let (tensor, _) = datasets::generate(DatasetKind::Brainq, 20_000, 17);
+        let device = GpuDevice::titan_x();
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 8);
+        let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+        let factors = upload_factors(&device, &tensor, 16, 50);
+        let refs: Vec<&DeviceMatrix> = factors.iter().collect();
+        let (_, scan_stats) =
+            spmttkrp(&device, &dev, &refs, &LaunchConfig::default()).unwrap();
+        let (_, atomic_stats) = spmttkrp(
+            &device,
+            &dev,
+            &refs,
+            &LaunchConfig { use_segscan: false, ..Default::default() },
+        )
+        .unwrap();
+        // With scan, atomics only occur on partition-boundary segments.
+        assert!(scan_stats.atomics < atomic_stats.atomics / 4);
+        assert!(
+            scan_stats.time_us < atomic_stats.time_us,
+            "scan {} vs atomic {}",
+            scan_stats.time_us,
+            atomic_stats.time_us
+        );
+    }
+
+    #[test]
+    fn rocache_helps_dense_tensors() {
+        // Dense-ish tensor: factor rows are reused heavily → high hit rate.
+        let (tensor, _) = datasets::generate(DatasetKind::Brainq, 20_000, 18);
+        let device = GpuDevice::titan_x();
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpTtm { mode: 2 }, 8);
+        let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+        let u_host = DenseMatrix::random(tensor.shape()[2], 16, 5);
+        let u = DeviceMatrix::upload(device.memory(), &u_host).unwrap();
+        let (_, with) = spttm(&device, &dev, &u, &LaunchConfig::default()).unwrap();
+        assert!(with.rocache_hit_rate > 0.5, "hit rate {}", with.rocache_hit_rate);
+    }
+
+    #[test]
+    fn rocache_cuts_dram_traffic_when_factor_exceeds_l2() {
+        // nell1's scaled mode-3 factor is tens of MB — far beyond the 3 MB
+        // L2 — so cache hits vs. plain loads show up as DRAM savings.
+        let (tensor, _) = datasets::generate(DatasetKind::Nell1, 20_000, 18);
+        let device = GpuDevice::titan_x();
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpTtm { mode: 2 }, 8);
+        let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+        let u_host = DenseMatrix::random(tensor.shape()[2], 16, 5);
+        assert!(u_host.rows() * u_host.cols() * 4 > device.config().l2_bytes);
+        let u = DeviceMatrix::upload(device.memory(), &u_host).unwrap();
+        let (_, with) = spttm(&device, &dev, &u, &LaunchConfig::default()).unwrap();
+        let (_, without) = spttm(
+            &device,
+            &dev,
+            &u,
+            &LaunchConfig { use_rocache: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(with.dram_bytes < without.dram_bytes);
+    }
+
+    #[test]
+    fn brainq_caches_better_than_nell1() {
+        // The §V-A density analysis: dense tensors reuse factor rows.
+        let device = GpuDevice::titan_x();
+        let mut rates = Vec::new();
+        for kind in [DatasetKind::Brainq, DatasetKind::Nell1] {
+            let (tensor, _) = datasets::generate(kind, 20_000, 19);
+            let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 8);
+            let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+            let factors = upload_factors(&device, &tensor, 16, 60);
+            let refs: Vec<&DeviceMatrix> = factors.iter().collect();
+            let (_, stats) = spmttkrp(&device, &dev, &refs, &LaunchConfig::default()).unwrap();
+            rates.push(stats.rocache_hit_rate);
+        }
+        assert!(
+            rates[0] > rates[1] + 0.1,
+            "brainq hit rate {} should exceed nell1 {}",
+            rates[0],
+            rates[1]
+        );
+    }
+
+    #[test]
+    fn unfused_variant_pays_extra_launch() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 5_000, 20);
+        let device = GpuDevice::titan_x();
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpTtm { mode: 2 }, 8);
+        let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+        let u_host = DenseMatrix::random(tensor.shape()[2], 16, 5);
+        let u = DeviceMatrix::upload(device.memory(), &u_host).unwrap();
+        let (_, fused) = spttm(&device, &dev, &u, &LaunchConfig::default()).unwrap();
+        let (_, unfused) = spttm(
+            &device,
+            &dev,
+            &u,
+            &LaunchConfig { use_fusion: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(unfused.time_us > fused.time_us);
+    }
+
+    #[test]
+    fn unified_kernel_degenerates_to_spmv_on_matrices() {
+        // §II: "SpTTM can be seen as a high dimensional generalization of
+        // SpMV". A 2-order tensor with a 1-column dense matrix is exactly
+        // sparse matrix-vector multiply, and the unified kernel handles it
+        // with no special casing.
+        let matrix = SparseTensorCoo::from_entries(
+            vec![6, 5],
+            &[
+                (vec![0, 0], 2.0),
+                (vec![0, 4], 1.0),
+                (vec![2, 1], -3.0),
+                (vec![3, 3], 4.0),
+                (vec![5, 0], 0.5),
+                (vec![5, 4], 2.5),
+            ],
+        );
+        let x = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let device = GpuDevice::titan_x();
+        let fcoo = Fcoo::from_coo(&matrix, TensorOp::SpTtm { mode: 1 }, 2);
+        let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+        let x_mat = DeviceMatrix::upload(
+            device.memory(),
+            &DenseMatrix::from_vec(5, 1, x.to_vec()),
+        )
+        .unwrap();
+        let (result, _) = spttm(&device, &dev, &x_mat, &LaunchConfig::default()).unwrap();
+        // y = A·x by hand: y0 = 2·1 + 1·5 = 7, y2 = -3·2 = -6, y3 = 4·4 = 16,
+        // y5 = 0.5·1 + 2.5·5 = 13. Rows 1 and 4 are empty (absent fibers).
+        let mut y = vec![0.0f32; 6];
+        for fib in 0..result.nfibs() {
+            y[result.fiber_coord(fib)[0] as usize] = result.fiber(fib)[0];
+        }
+        assert_eq!(y, vec![7.0, 0.0, -6.0, 16.0, 0.0, 13.0]);
+    }
+
+    #[test]
+    fn unified_kernel_computes_spmm_on_matrices() {
+        // With R > 1 columns the same degeneration gives SpMM.
+        let matrix = SparseTensorCoo::from_entries(
+            vec![4, 3],
+            &[(vec![0, 0], 1.0), (vec![1, 1], 2.0), (vec![3, 2], 3.0), (vec![0, 2], -1.0)],
+        );
+        let dense = DenseMatrix::random(3, 4, 77);
+        let device = GpuDevice::titan_x();
+        let fcoo = Fcoo::from_coo(&matrix, TensorOp::SpTtm { mode: 1 }, 4);
+        let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
+        let d = DeviceMatrix::upload(device.memory(), &dense).unwrap();
+        let (result, _) = spttm(&device, &dev, &d, &LaunchConfig::default()).unwrap();
+        let reference = tensor_core::ops::spttm(&matrix, 1, &dense);
+        assert_eq!(result.max_abs_diff(&reference), Some(0.0));
+    }
+
+    #[test]
+    fn single_nonzero_tensor() {
+        let tensor = SparseTensorCoo::from_entries(vec![4, 4, 4], &[(vec![1, 2, 3], 2.5)]);
+        check_spttm(&tensor, 2, 4, &LaunchConfig::default());
+        check_spmttkrp(&tensor, 0, 4, &LaunchConfig::default());
+    }
+
+    #[test]
+    fn one_giant_segment() {
+        // All non-zeros share the same index coordinates: one segment that
+        // spans every partition and block.
+        let entries: Vec<(Vec<u32>, f32)> =
+            (0..500).map(|k| (vec![1, 1, k], 1.0f32)).collect();
+        let tensor = SparseTensorCoo::from_entries(vec![3, 3, 500], &entries);
+        check_spttm(&tensor, 2, 4, &LaunchConfig { block_size: 32, ..Default::default() });
+        // MTTKRP mode-3: index mode is k → 500 segments; also exercise the
+        // transpose case where mode-1 gives one segment.
+        check_spmttkrp(&tensor, 0, 4, &LaunchConfig { block_size: 32, ..Default::default() });
+    }
+
+    #[test]
+    fn oom_on_scaled_device_is_an_error() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 3000, 21);
+        let device = GpuDevice::new(gpu_sim::DeviceConfig::titan_x_scaled_memory(3e-6));
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 8);
+        // Upload fits, but the output allocation must fail.
+        match FcooDevice::upload(device.memory(), &fcoo) {
+            Err(_) => {} // upload itself may already exceed the budget
+            Ok(dev) => {
+                let mut factors = Vec::new();
+                for (m, &size) in tensor.shape().iter().enumerate() {
+                    let host = DenseMatrix::random(size, 64, m as u64);
+                    match DeviceMatrix::upload(device.memory(), &host) {
+                        Ok(f) => factors.push(f),
+                        Err(_) => return, // factors alone exceed the budget: also an OOM
+                    }
+                }
+                let refs: Vec<&DeviceMatrix> = factors.iter().collect();
+                assert!(spmttkrp(&device, &dev, &refs, &LaunchConfig::default()).is_err());
+            }
+        }
+    }
+}

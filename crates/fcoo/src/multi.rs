@@ -1,0 +1,222 @@
+//! Multi-GPU execution (paper §IV-D / §V-E: "For very large tensors,
+//! multiple-GPUs can be used").
+//!
+//! The non-zeros of the mode-sorted tensor are split into contiguous ranges,
+//! one per device; every device preprocesses its range into F-COO, runs the
+//! unified one-shot kernel, and the partial outputs are reduced on the host.
+//! Because ranges are contiguous in segment order, at most one output row is
+//! shared between adjacent devices, so the host reduction is a dense sum of
+//! mostly-disjoint partials. Devices run concurrently: the simulated elapsed
+//! time is the slowest device plus the interconnect reduction.
+
+use crate::device::{DeviceMatrix, FcooDevice};
+use crate::format::Fcoo;
+use crate::kernels::{self, LaunchConfig};
+use crate::modes::{ModeClassification, TensorOp};
+use gpu_sim::{GpuDevice, OutOfMemory};
+use tensor_core::{DenseMatrix, SparseTensorCoo};
+
+/// Assumed host interconnect bandwidth for the partial-output reduction
+/// (PCIe 3.0 x16 class).
+const INTERCONNECT_GBS: f64 = 16.0;
+
+/// Timing of a multi-device operation.
+#[derive(Debug, Clone)]
+pub struct MultiGpuStats {
+    /// Simulated kernel time per device (preprocessing excluded, as in the
+    /// single-device experiments).
+    pub per_device_us: Vec<f64>,
+    /// Host-side reduction cost: `(devices − 1)` partial outputs over the
+    /// interconnect plus the dense sum.
+    pub reduce_us: f64,
+    /// Makespan: slowest device plus the reduction.
+    pub elapsed_us: f64,
+}
+
+/// Splits `tensor` (sorted for `op`) into `parts` contiguous non-zero
+/// ranges with identical shape.
+fn split_sorted(tensor: &SparseTensorCoo, op: TensorOp, parts: usize) -> Vec<SparseTensorCoo> {
+    let classification = ModeClassification::classify(op, tensor.order());
+    let mut sorted = tensor.clone();
+    sorted.sort_by_mode_order(&classification.sort_order());
+    let nnz = sorted.nnz();
+    let chunk = nnz.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    for p in 0..parts {
+        let start = p * chunk;
+        let end = ((p + 1) * chunk).min(nnz);
+        let mut piece = SparseTensorCoo::new(sorted.shape().to_vec());
+        for nz in start..end.max(start) {
+            let coord = sorted.coord(nz);
+            piece.push(&coord, sorted.values()[nz]);
+        }
+        out.push(piece);
+    }
+    out
+}
+
+/// SpMTTKRP on `mode`, data-parallel over several simulated devices.
+///
+/// Each device receives one contiguous share of the non-zeros (in segment
+/// order), builds its own F-COO, and runs the unified kernel; partials are
+/// summed on the host.
+///
+/// # Panics
+/// If `devices` is empty or factor shapes are inconsistent (the underlying
+/// kernel validates them).
+pub fn spmttkrp_multi_gpu(
+    devices: &[GpuDevice],
+    tensor: &SparseTensorCoo,
+    mode: usize,
+    host_factors: &[&DenseMatrix],
+    threadlen: usize,
+    cfg: &LaunchConfig,
+) -> Result<(DenseMatrix, MultiGpuStats), OutOfMemory> {
+    assert!(!devices.is_empty(), "need at least one device");
+    let op = TensorOp::SpMttkrp { mode };
+    let pieces = split_sorted(tensor, op, devices.len());
+    let rank = host_factors
+        .iter()
+        .enumerate()
+        .find(|(m, _)| *m != mode)
+        .map(|(_, f)| f.cols())
+        .expect("tensor has at least 2 modes");
+    let rows = tensor.shape()[mode];
+    let mut total = DenseMatrix::zeros(rows, rank);
+    let mut per_device_us = Vec::with_capacity(devices.len());
+    for (device, piece) in devices.iter().zip(&pieces) {
+        if piece.nnz() == 0 {
+            per_device_us.push(0.0);
+            continue;
+        }
+        let fcoo = Fcoo::from_coo(piece, op, threadlen);
+        let on_device = FcooDevice::upload(device.memory(), &fcoo)?;
+        let factors: Vec<DeviceMatrix> = host_factors
+            .iter()
+            .map(|f| DeviceMatrix::upload(device.memory(), f))
+            .collect::<Result<Vec<_>, _>>()?;
+        let refs: Vec<&DeviceMatrix> = factors.iter().collect();
+        let (partial, stats) = kernels::spmttkrp(device, &on_device, &refs, cfg)?;
+        for (acc, &value) in total.data_mut().iter_mut().zip(partial.data()) {
+            *acc += value;
+        }
+        per_device_us.push(stats.time_us);
+    }
+    let output_bytes = (rows * rank * 4) as f64;
+    let reduce_us = if devices.len() > 1 {
+        (devices.len() - 1) as f64 * output_bytes / (INTERCONNECT_GBS * 1e3)
+    } else {
+        0.0
+    };
+    let slowest = per_device_us.iter().copied().fold(0.0f64, f64::max);
+    let stats = MultiGpuStats { per_device_us, reduce_us, elapsed_us: slowest + reduce_us };
+    Ok((total, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_core::datasets::{self, DatasetKind};
+    use tensor_core::ops;
+
+    fn factors_for(tensor: &SparseTensorCoo, r: usize, seed: u64) -> Vec<DenseMatrix> {
+        tensor
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(m, &n)| DenseMatrix::random(n, r, seed + m as u64))
+            .collect()
+    }
+
+    #[test]
+    fn multi_gpu_matches_reference() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 6_000, 80);
+        let hosts = factors_for(&tensor, 8, 3);
+        let refs: Vec<&DenseMatrix> = hosts.iter().collect();
+        let reference = ops::spmttkrp(&tensor, 0, &refs);
+        for device_count in [1usize, 2, 3] {
+            let devices: Vec<GpuDevice> =
+                (0..device_count).map(|_| GpuDevice::titan_x()).collect();
+            let (result, stats) =
+                spmttkrp_multi_gpu(&devices, &tensor, 0, &refs, 8, &LaunchConfig::default())
+                    .unwrap();
+            assert!(
+                result.max_abs_diff(&reference) < 1e-3,
+                "{device_count} devices: diff {}",
+                result.max_abs_diff(&reference)
+            );
+            assert_eq!(stats.per_device_us.len(), device_count);
+        }
+    }
+
+    #[test]
+    fn splitting_balances_work_and_shortens_makespan() {
+        // Multi-GPU only pays off once kernel time dominates the partial
+        // reduction — use a tensor large enough for that regime.
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 250_000, 81);
+        let hosts = factors_for(&tensor, 16, 5);
+        let refs: Vec<&DenseMatrix> = hosts.iter().collect();
+        let single: Vec<GpuDevice> = vec![GpuDevice::titan_x()];
+        let (_, one) =
+            spmttkrp_multi_gpu(&single, &tensor, 0, &refs, 16, &LaunchConfig::default()).unwrap();
+        let quad: Vec<GpuDevice> = (0..4).map(|_| GpuDevice::titan_x()).collect();
+        let (_, four) =
+            spmttkrp_multi_gpu(&quad, &tensor, 0, &refs, 16, &LaunchConfig::default()).unwrap();
+        assert!(
+            four.elapsed_us < one.elapsed_us,
+            "4 GPUs ({:.1}µs) should beat 1 ({:.1}µs)",
+            four.elapsed_us,
+            one.elapsed_us
+        );
+        // Work split is roughly even across devices.
+        let max = four.per_device_us.iter().copied().fold(0.0f64, f64::max);
+        let min = four.per_device_us.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 2.5, "device imbalance: {:?}", four.per_device_us);
+    }
+
+    #[test]
+    fn two_small_devices_fit_where_one_cannot() {
+        // The paper's motivation: "a single-GPU memory can not store all the
+        // tensor data ... multiple GPU cards can be used."
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 20_000, 82);
+        let hosts = factors_for(&tensor, 16, 7);
+        let refs: Vec<&DenseMatrix> = hosts.iter().collect();
+        // Budget: the factors plus ~60% of one device's tensor-side bytes.
+        let factor_bytes: usize = hosts.iter().map(|f| f.rows() * f.cols() * 4).sum();
+        let probe = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 8);
+        let output_bytes = tensor.shape()[0] * 16 * 4;
+        let capacity =
+            factor_bytes + output_bytes + probe.storage().total_bytes() * 6 / 10 + (16 << 10);
+        let make_device = || {
+            let mut config = gpu_sim::DeviceConfig::titan_x();
+            config.memory_capacity = capacity;
+            GpuDevice::new(config)
+        };
+        let single = vec![make_device()];
+        assert!(
+            spmttkrp_multi_gpu(&single, &tensor, 0, &refs, 8, &LaunchConfig::default()).is_err(),
+            "one small device must run out of memory"
+        );
+        let pair = vec![make_device(), make_device()];
+        let reference = ops::spmttkrp(&tensor, 0, &refs);
+        let (result, _) =
+            spmttkrp_multi_gpu(&pair, &tensor, 0, &refs, 8, &LaunchConfig::default())
+                .expect("two devices hold half the tensor each");
+        assert!(result.max_abs_diff(&reference) < 1e-3);
+    }
+
+    #[test]
+    fn more_devices_than_segments_still_correct() {
+        let tensor = SparseTensorCoo::from_entries(
+            vec![4, 4, 4],
+            &[(vec![0, 1, 2], 1.0), (vec![1, 2, 3], 2.0)],
+        );
+        let hosts = factors_for(&tensor, 4, 9);
+        let refs: Vec<&DenseMatrix> = hosts.iter().collect();
+        let devices: Vec<GpuDevice> = (0..4).map(|_| GpuDevice::titan_x()).collect();
+        let (result, _) =
+            spmttkrp_multi_gpu(&devices, &tensor, 0, &refs, 8, &LaunchConfig::default()).unwrap();
+        let reference = ops::spmttkrp(&tensor, 0, &refs);
+        assert!(result.max_abs_diff(&reference) < 1e-5);
+    }
+}

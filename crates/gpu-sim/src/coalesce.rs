@@ -1,0 +1,93 @@
+//! Global-memory coalescing analysis.
+//!
+//! A warp's lane addresses are merged into the minimal set of aligned
+//! memory transactions (L2 sectors), exactly the quantity NVIDIA profilers
+//! report as `gld_transactions`. Fewer transactions per warp access is what
+//! "coalesced access" means, and is the dominant term in the timing model for
+//! these bandwidth-bound kernels.
+
+/// Counts the distinct aligned `segment_bytes`-sized transactions covering
+/// the given lane addresses. Duplicate and adjacent addresses merge.
+pub fn transactions(addrs: &[u64], segment_bytes: usize) -> usize {
+    debug_assert!(segment_bytes.is_power_of_two());
+    if addrs.is_empty() {
+        return 0;
+    }
+    let shift = segment_bytes.trailing_zeros();
+    // Fast path for ≤ 32 lanes (one address per lane): linear membership in
+    // a stack buffer beats hashing at warp width.
+    if addrs.len() <= 32 {
+        let mut segments = [0u64; 32];
+        let mut count = 0usize;
+        for &addr in addrs {
+            let segment = addr >> shift;
+            if !segments[..count].contains(&segment) {
+                segments[count] = segment;
+                count += 1;
+            }
+        }
+        return count;
+    }
+    // Wider batches (e.g. several addresses per lane): sort and dedup.
+    let mut segments: Vec<u64> = addrs.iter().map(|&addr| addr >> shift).collect();
+    segments.sort_unstable();
+    segments.dedup();
+    segments.len()
+}
+
+/// Classifies a warp access for diagnostics: the ratio of actual transactions
+/// to the minimum possible for this many lanes.
+pub fn coalescing_efficiency(addrs: &[u64], segment_bytes: usize, elem_bytes: usize) -> f64 {
+    if addrs.is_empty() {
+        return 1.0;
+    }
+    let actual = transactions(addrs, segment_bytes) as f64;
+    let useful_bytes = (addrs.len() * elem_bytes) as f64;
+    let ideal = (useful_bytes / segment_bytes as f64).ceil().max(1.0);
+    ideal / actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_f32_lanes_coalesce() {
+        // 32 consecutive f32s = 128 bytes = 4 aligned 32-byte transactions.
+        let addrs: Vec<u64> = (0..32).map(|lane| 4096 + lane * 4).collect();
+        assert_eq!(transactions(&addrs, 32), 4);
+    }
+
+    #[test]
+    fn strided_lanes_do_not_coalesce() {
+        // Stride of 128 bytes: every lane in its own segment.
+        let addrs: Vec<u64> = (0..32).map(|lane| lane * 128).collect();
+        assert_eq!(transactions(&addrs, 32), 32);
+    }
+
+    #[test]
+    fn broadcast_address_is_one_transaction() {
+        let addrs = [512u64; 32];
+        assert_eq!(transactions(&addrs, 32), 1);
+    }
+
+    #[test]
+    fn unaligned_contiguous_span_costs_one_extra() {
+        // 128 bytes starting 16 bytes into a segment touch 5 sectors.
+        let addrs: Vec<u64> = (0..32).map(|lane| 16 + lane * 4).collect();
+        assert_eq!(transactions(&addrs, 32), 5);
+    }
+
+    #[test]
+    fn empty_warp_has_no_transactions() {
+        assert_eq!(transactions(&[], 32), 0);
+    }
+
+    #[test]
+    fn efficiency_is_one_for_coalesced_and_low_for_scattered() {
+        let coalesced: Vec<u64> = (0..32).map(|lane| lane * 4).collect();
+        assert!((coalescing_efficiency(&coalesced, 32, 4) - 1.0).abs() < 1e-9);
+        let scattered: Vec<u64> = (0..32).map(|lane| lane * 4096).collect();
+        assert!(coalescing_efficiency(&scattered, 32, 4) < 0.2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Device configuration and the Titan X (Maxwell) preset of the paper's
+//! Table III.
+
+/// Static description of a simulated CUDA-like device.
+///
+/// Functional execution is exact regardless of these numbers; they only feed
+/// the analytic timing model in [`crate::stats`]. The defaults describe the
+/// NVIDIA GeForce GTX Titan X the paper evaluates on.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Marketing name, for Table III output.
+    pub name: String,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Warp schedulers per SM (concurrent warp instruction issue).
+    pub warp_schedulers: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Shared memory per SM in bytes (bounds occupancy for kernels that
+    /// declare shared usage via `launch_with_shared`).
+    pub shared_mem_per_sm: usize,
+    /// Global memory capacity in bytes.
+    pub memory_capacity: usize,
+    /// Global memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Size of one global-memory transaction (L2 sector) in bytes.
+    pub transaction_bytes: usize,
+    /// Device-wide L2 (last-level) cache in bytes. Reused working sets that
+    /// fit here (e.g. factor matrices) are served without DRAM traffic.
+    pub l2_bytes: usize,
+    /// Latency charged for an L2 hit after a read-only cache miss.
+    pub l2_latency_cycles: u64,
+    /// Read-only data cache capacity per SM in bytes.
+    pub readonly_cache_bytes: usize,
+    /// Read-only data cache line size in bytes.
+    pub readonly_line_bytes: usize,
+    /// Read-only data cache associativity.
+    pub readonly_ways: usize,
+    /// Issue cost per global-memory transaction, in warp cycles.
+    pub mem_issue_cycles: u64,
+    /// Additional latency charged on a read-only cache miss, in warp cycles.
+    pub rocache_miss_cycles: u64,
+    /// Serialization cost per conflicting atomic within a warp, in cycles.
+    pub atomic_cycles: u64,
+    /// Cost of one shared-memory access, in cycles.
+    pub shared_cycles: u64,
+    /// Cost of one warp-shuffle instruction, in cycles.
+    pub shuffle_cycles: u64,
+    /// Cost of `__syncthreads()`, in cycles.
+    pub syncthreads_cycles: u64,
+    /// Cost of one adjacent-synchronization (inter-block domino) wait,
+    /// in cycles.
+    pub adjacent_sync_cycles: u64,
+    /// Fixed kernel-launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl DeviceConfig {
+    /// The NVIDIA GeForce GTX Titan X (Maxwell GM200) of the paper:
+    /// 24 SMs × 128 cores = 3072 cores at 1.0 GHz, 12 GB at 336 GB/s
+    /// (Table III).
+    pub fn titan_x() -> Self {
+        DeviceConfig {
+            name: "Simulated GeForce GTX Titan X (Maxwell)".to_string(),
+            clock_ghz: 1.0,
+            num_sms: 24,
+            cores_per_sm: 128,
+            warp_size: 32,
+            warp_schedulers: 4,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 96 * 1024,
+            memory_capacity: 12 * (1 << 30),
+            mem_bandwidth_gbs: 336.0,
+            transaction_bytes: 32,
+            l2_bytes: 3 * (1 << 20),
+            l2_latency_cycles: 8,
+            readonly_cache_bytes: 24 * 1024,
+            readonly_line_bytes: 32,
+            readonly_ways: 8,
+            mem_issue_cycles: 4,
+            rocache_miss_cycles: 16,
+            atomic_cycles: 24,
+            shared_cycles: 1,
+            shuffle_cycles: 1,
+            syncthreads_cycles: 16,
+            adjacent_sync_cycles: 180,
+            launch_overhead_us: 4.0,
+        }
+    }
+
+    /// An NVIDIA Tesla P100 (Pascal GP100) preset: 56 SMs × 64 cores at
+    /// 1.3 GHz, 16 GB HBM2 at 732 GB/s, 4 MB L2 — used by the
+    /// device-sensitivity experiment backing the paper's claim that the
+    /// unified method "can be extended to ... other hardware platforms".
+    pub fn pascal_p100() -> Self {
+        DeviceConfig {
+            name: "Simulated Tesla P100 (Pascal)".to_string(),
+            clock_ghz: 1.3,
+            num_sms: 56,
+            cores_per_sm: 64,
+            warp_size: 32,
+            warp_schedulers: 2,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 64 * 1024,
+            memory_capacity: 16 * (1 << 30),
+            mem_bandwidth_gbs: 732.0,
+            transaction_bytes: 32,
+            l2_bytes: 4 * (1 << 20),
+            l2_latency_cycles: 8,
+            readonly_cache_bytes: 24 * 1024,
+            readonly_line_bytes: 32,
+            readonly_ways: 8,
+            mem_issue_cycles: 4,
+            rocache_miss_cycles: 16,
+            atomic_cycles: 16,
+            shared_cycles: 1,
+            shuffle_cycles: 1,
+            syncthreads_cycles: 16,
+            adjacent_sync_cycles: 160,
+            launch_overhead_us: 4.0,
+        }
+    }
+
+    /// A Titan X with its memory capacity scaled by `factor`.
+    ///
+    /// Used by the reproduction harness so that out-of-memory behaviour
+    /// (ParTI's SpMTTKRP intermediates on nell1/delicious, §V-A/D) occurs at
+    /// the same dataset-to-device ratio as in the paper even though the
+    /// synthetic datasets are smaller.
+    pub fn titan_x_scaled_memory(factor: f64) -> Self {
+        let mut config = Self::titan_x();
+        config.memory_capacity = ((config.memory_capacity as f64 * factor) as usize).max(1 << 16);
+        config.name = format!("{} [memory x{factor:.2e}]", config.name);
+        config
+    }
+
+    /// Total CUDA cores.
+    pub fn total_cores(&self) -> usize {
+        self.num_sms * self.cores_per_sm
+    }
+
+    /// How many blocks of `block_threads` threads can be resident at once on
+    /// the whole device (the size of one scheduling wave).
+    pub fn concurrent_blocks(&self, block_threads: usize) -> usize {
+        let block_threads = block_threads.max(1);
+        let per_sm =
+            (self.max_threads_per_sm / block_threads).clamp(1, self.max_blocks_per_sm);
+        self.num_sms * per_sm
+    }
+
+    /// Cycles per microsecond at the configured clock.
+    pub fn cycles_per_us(&self) -> f64 {
+        self.clock_ghz * 1e3
+    }
+
+    /// Formats the Table III rows for this device.
+    pub fn table_rows(&self) -> String {
+        format!(
+            "{}\n  SMs: {}  cores: {}  clock: {:.1} GHz\n  memory: {:.1} GB @ {:.0} GB/s\n  warp: {}  max threads/block: {}",
+            self.name,
+            self.num_sms,
+            self.total_cores(),
+            self.clock_ghz,
+            self.memory_capacity as f64 / (1u64 << 30) as f64,
+            self.mem_bandwidth_gbs,
+            self.warp_size,
+            self.max_threads_per_block,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_x_matches_table_iii() {
+        let d = DeviceConfig::titan_x();
+        assert_eq!(d.total_cores(), 3072);
+        assert_eq!(d.memory_capacity, 12 * (1 << 30));
+        assert!((d.mem_bandwidth_gbs - 336.0).abs() < 1e-9);
+        assert!((d.clock_ghz - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_blocks_respects_thread_and_block_caps() {
+        let d = DeviceConfig::titan_x();
+        // 1024-thread blocks: 2 per SM.
+        assert_eq!(d.concurrent_blocks(1024), 24 * 2);
+        // 32-thread blocks: thread cap allows 64, block cap clamps to 32.
+        assert_eq!(d.concurrent_blocks(32), 24 * 32);
+        // Degenerate zero-thread request clamps to 1 thread.
+        assert_eq!(d.concurrent_blocks(0), d.concurrent_blocks(1));
+    }
+
+    #[test]
+    fn p100_preset_is_faster_hardware() {
+        let titan = DeviceConfig::titan_x();
+        let p100 = DeviceConfig::pascal_p100();
+        assert!(p100.mem_bandwidth_gbs > titan.mem_bandwidth_gbs);
+        assert!(p100.total_cores() > titan.total_cores());
+        assert!(p100.memory_capacity > titan.memory_capacity);
+    }
+
+    #[test]
+    fn scaled_memory_applies_factor() {
+        let d = DeviceConfig::titan_x_scaled_memory(0.01);
+        assert_eq!(d.memory_capacity, (12.0 * (1u64 << 30) as f64 * 0.01) as usize);
+    }
+
+    #[test]
+    fn table_rows_mention_cores_and_bandwidth() {
+        let rows = DeviceConfig::titan_x().table_rows();
+        assert!(rows.contains("3072"));
+        assert!(rows.contains("336"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Simulated device global memory: an allocator with capacity enforcement and
+//! live/peak byte tracking, plus typed buffers the kernels operate on.
+//!
+//! Buffers hold their data in host memory (execution is functional) but carry
+//! a unique virtual base address so the coalescing and cache models see a
+//! realistic address space. Peak-byte tracking regenerates the paper's Fig. 9
+//! (GPU memory consumption); capacity enforcement reproduces ParTI's
+//! out-of-memory failures on the large SpMTTKRP intermediates.
+
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Allocation failure: the device ran out of global memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes that were requested.
+    pub requested: usize,
+    /// Bytes that were live at the time.
+    pub live: usize,
+    /// Device capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} B with {} B live of {} B capacity",
+            self.requested, self.live, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+struct MemoryInner {
+    capacity: usize,
+    live: AtomicUsize,
+    peak: AtomicUsize,
+    next_base: AtomicUsize,
+    /// Serializes the capacity check against concurrent allocations.
+    alloc_lock: Mutex<()>,
+}
+
+/// Handle to a device's global memory.
+#[derive(Clone)]
+pub struct DeviceMemory {
+    inner: Arc<MemoryInner>,
+}
+
+impl DeviceMemory {
+    /// Creates a memory arena with the given capacity in bytes.
+    pub fn new(capacity: usize) -> Self {
+        DeviceMemory {
+            inner: Arc::new(MemoryInner {
+                capacity,
+                live: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+                next_base: AtomicUsize::new(256),
+                alloc_lock: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Allocates a zero-initialized buffer of `len` elements.
+    pub fn alloc_zeroed<T: DeviceValue>(&self, len: usize) -> Result<DeviceBuffer<T>, OutOfMemory> {
+        self.alloc_from_iter((0..len).map(|_| T::ZERO))
+    }
+
+    /// Allocates a buffer initialized from a slice (a host→device copy).
+    pub fn alloc_from_slice<T: DeviceValue>(
+        &self,
+        data: &[T],
+    ) -> Result<DeviceBuffer<T>, OutOfMemory> {
+        self.alloc_from_iter(data.iter().copied())
+    }
+
+    /// Allocates a buffer from an iterator.
+    pub fn alloc_from_iter<T: DeviceValue>(
+        &self,
+        data: impl IntoIterator<Item = T>,
+    ) -> Result<DeviceBuffer<T>, OutOfMemory> {
+        let data: Vec<UnsafeCell<T>> = data.into_iter().map(UnsafeCell::new).collect();
+        let bytes = data.len() * std::mem::size_of::<T>();
+        {
+            let _guard = self.inner.alloc_lock.lock();
+            let live = self.inner.live.load(Ordering::Relaxed);
+            if live + bytes > self.inner.capacity {
+                return Err(OutOfMemory { requested: bytes, live, capacity: self.inner.capacity });
+            }
+            let new_live = live + bytes;
+            self.inner.live.store(new_live, Ordering::Relaxed);
+            self.inner.peak.fetch_max(new_live, Ordering::Relaxed);
+        }
+        // 256-byte aligned virtual bases, like cudaMalloc.
+        let base = self.inner.next_base.fetch_add(bytes.div_ceil(256) * 256 + 256, Ordering::Relaxed);
+        Ok(DeviceBuffer { data, base: base as u64, memory: Arc::clone(&self.inner) })
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> usize {
+        self.inner.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current live bytes (to measure one phase).
+    pub fn reset_peak(&self) {
+        self.inner.peak.store(self.inner.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+/// Types storable in device buffers.
+pub trait DeviceValue: Copy + Send + Sync + 'static {
+    /// The zero pattern used by [`DeviceMemory::alloc_zeroed`].
+    const ZERO: Self;
+}
+
+impl DeviceValue for f32 {
+    const ZERO: Self = 0.0;
+}
+impl DeviceValue for u32 {
+    const ZERO: Self = 0;
+}
+impl DeviceValue for u8 {
+    const ZERO: Self = 0;
+}
+
+/// A typed buffer in simulated device memory.
+///
+/// Reads are always safe. Plain writes require the caller (the kernel) to
+/// guarantee that no two threads write the same element — the same contract
+/// CUDA gives global memory. For racy accumulation, `f32` buffers provide
+/// [`DeviceBuffer::atomic_add_f32`], matching CUDA's `atomicAdd`.
+pub struct DeviceBuffer<T: DeviceValue> {
+    data: Vec<UnsafeCell<T>>,
+    base: u64,
+    memory: Arc<MemoryInner>,
+}
+
+impl<T: DeviceValue> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceBuffer")
+            .field("len", &self.data.len())
+            .field("base", &self.base)
+            .finish()
+    }
+}
+
+// SAFETY: element disjointness for plain writes is delegated to kernels,
+// exactly like real GPU global memory; concurrent reads are fine.
+unsafe impl<T: DeviceValue> Send for DeviceBuffer<T> {}
+unsafe impl<T: DeviceValue> Sync for DeviceBuffer<T> {}
+
+impl<T: DeviceValue> DeviceBuffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Virtual device address of element `index` (for the coalescing and
+    /// cache models).
+    #[inline]
+    pub fn addr(&self, index: usize) -> u64 {
+        self.base + (index * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Reads element `index`.
+    #[inline]
+    pub fn get(&self, index: usize) -> T {
+        // SAFETY: kernels never write an element that another thread reads
+        // concurrently without atomics (CUDA global-memory contract).
+        unsafe { *self.data[index].get() }
+    }
+
+    /// Writes element `index`.
+    ///
+    /// # Safety
+    /// No other thread may access this element concurrently.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        *self.data[index].get() = value;
+    }
+
+    /// Copies the buffer back to host memory.
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Bytes this buffer occupies.
+    pub fn bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl DeviceBuffer<f32> {
+    /// Atomically adds `value` to element `index` (CUDA `atomicAdd` on
+    /// `float`), implemented as a compare-and-swap loop on the bit pattern.
+    #[inline]
+    pub fn atomic_add_f32(&self, index: usize, value: f32) {
+        // SAFETY: UnsafeCell<f32> and AtomicU32 have identical size and
+        // alignment; all concurrent accesses to accumulated elements go
+        // through this method.
+        let atomic: &AtomicU32 = unsafe { AtomicU32::from_ptr(self.data[index].get() as *mut u32) };
+        let mut current = atomic.load(Ordering::Relaxed);
+        loop {
+            let next = (f32::from_bits(current) + value).to_bits();
+            match atomic.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl<T: DeviceValue> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        let bytes = self.bytes();
+        self.memory.live.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_tracks_live_and_peak() {
+        let memory = DeviceMemory::new(1 << 20);
+        let a = memory.alloc_zeroed::<f32>(1000).unwrap();
+        assert_eq!(memory.live_bytes(), 4000);
+        {
+            let _b = memory.alloc_zeroed::<u32>(500).unwrap();
+            assert_eq!(memory.live_bytes(), 6000);
+            assert_eq!(memory.peak_bytes(), 6000);
+        }
+        assert_eq!(memory.live_bytes(), 4000);
+        assert_eq!(memory.peak_bytes(), 6000);
+        drop(a);
+        assert_eq!(memory.live_bytes(), 0);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let memory = DeviceMemory::new(1024);
+        let small = memory.alloc_zeroed::<f32>(128).unwrap();
+        let err = memory.alloc_zeroed::<f32>(200).unwrap_err();
+        assert_eq!(err.requested, 800);
+        assert_eq!(err.live, 512);
+        assert_eq!(err.capacity, 1024);
+        drop(small);
+        assert!(memory.alloc_zeroed::<f32>(200).is_ok());
+    }
+
+    #[test]
+    fn buffers_have_disjoint_address_ranges() {
+        let memory = DeviceMemory::new(1 << 20);
+        let a = memory.alloc_zeroed::<f32>(100).unwrap();
+        let b = memory.alloc_zeroed::<f32>(100).unwrap();
+        let a_end = a.addr(99) + 4;
+        assert!(b.addr(0) >= a_end, "buffer addresses overlap");
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let memory = DeviceMemory::new(1 << 20);
+        let buffer = memory.alloc_from_slice(&[1.0f32, 2.0, 3.0]).unwrap();
+        unsafe { buffer.write(1, 9.5) };
+        assert_eq!(buffer.to_vec(), vec![1.0, 9.5, 3.0]);
+    }
+
+    #[test]
+    fn atomic_add_from_many_threads() {
+        let memory = DeviceMemory::new(1 << 20);
+        let buffer = std::sync::Arc::new(memory.alloc_zeroed::<f32>(4).unwrap());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let buffer = std::sync::Arc::clone(&buffer);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        buffer.atomic_add_f32(2, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(buffer.get(2), 8000.0);
+        assert_eq!(buffer.get(0), 0.0);
+    }
+
+    #[test]
+    fn reset_peak_rebases_to_live() {
+        let memory = DeviceMemory::new(1 << 20);
+        {
+            let _big = memory.alloc_zeroed::<f32>(10_000).unwrap();
+        }
+        assert_eq!(memory.peak_bytes(), 40_000);
+        memory.reset_peak();
+        assert_eq!(memory.peak_bytes(), 0);
+    }
+}

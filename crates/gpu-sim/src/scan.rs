@@ -1,0 +1,145 @@
+//! Segmented-scan primitives.
+//!
+//! The unified kernels accumulate per-non-zero products into fibers/slices
+//! with a segmented scan over bit-flag-delimited segments (Sengupta et al.,
+//! Yan et al. StreamScan), instead of per-element atomics. This module
+//! provides:
+//!
+//! * a host reference implementation ([`segmented_scan_inclusive`] /
+//!   [`segmented_reduce`]) used by tests and by the functional side of the
+//!   kernels, and
+//! * the cycle-cost helpers the kernels charge for the warp-shuffle and
+//!   shared-memory stages of the device algorithm.
+
+use crate::config::DeviceConfig;
+
+/// Inclusive segmented scan: running sums that restart wherever
+/// `head_flags[i]` is true (index 0 is always a segment head).
+pub fn segmented_scan_inclusive(values: &[f32], head_flags: &[bool]) -> Vec<f32> {
+    assert_eq!(values.len(), head_flags.len(), "flag array length mismatch");
+    let mut out = Vec::with_capacity(values.len());
+    let mut running = 0.0f32;
+    for (i, (&v, &head)) in values.iter().zip(head_flags).enumerate() {
+        if i == 0 || head {
+            running = v;
+        } else {
+            running += v;
+        }
+        out.push(running);
+    }
+    out
+}
+
+/// Segmented reduction: the total of each segment, in order.
+///
+/// ```
+/// use gpu_sim::scan::segmented_reduce;
+///
+/// let values = [1.0, 2.0, 3.0, 4.0];
+/// let heads = [true, false, true, false];
+/// assert_eq!(segmented_reduce(&values, &heads), vec![3.0, 7.0]);
+/// ```
+pub fn segmented_reduce(values: &[f32], head_flags: &[bool]) -> Vec<f32> {
+    assert_eq!(values.len(), head_flags.len(), "flag array length mismatch");
+    let mut out = Vec::new();
+    let mut running = 0.0f32;
+    for (i, (&v, &head)) in values.iter().zip(head_flags).enumerate() {
+        if i == 0 {
+            running = v;
+        } else if head {
+            out.push(running);
+            running = v;
+        } else {
+            running += v;
+        }
+    }
+    if !values.is_empty() {
+        out.push(running);
+    }
+    out
+}
+
+/// Cycles one warp pays for a warp-level segmented scan implemented with
+/// shuffles: `log2(warp)` shuffle+select stages.
+pub fn warp_segscan_cycles(config: &DeviceConfig) -> u64 {
+    let stages = (config.warp_size as f64).log2().ceil() as u64;
+    stages * (config.shuffle_cycles + 1)
+}
+
+/// Cycles a block pays to combine its warps' partial segments through shared
+/// memory: `log2(warps)` shared-memory stages plus two barriers.
+pub fn block_segscan_cycles(block_threads: usize, config: &DeviceConfig) -> u64 {
+    let warps = (block_threads / config.warp_size).max(1);
+    let stages = (warps as f64).log2().ceil() as u64;
+    stages * (2 * config.shared_cycles + 1) + 2 * config.syncthreads_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_restarts_at_heads() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let heads = [true, false, true, false, false];
+        assert_eq!(segmented_scan_inclusive(&values, &heads), vec![1.0, 3.0, 3.0, 7.0, 12.0]);
+    }
+
+    #[test]
+    fn scan_treats_index_zero_as_head() {
+        let values = [1.0, 1.0];
+        let heads = [false, false];
+        assert_eq!(segmented_scan_inclusive(&values, &heads), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_produces_one_total_per_segment() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let heads = [true, false, true, true, false];
+        assert_eq!(segmented_reduce(&values, &heads), vec![3.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn reduce_single_segment_is_total() {
+        let values = [1.0, 2.0, 3.0];
+        let heads = [true, false, false];
+        assert_eq!(segmented_reduce(&values, &heads), vec![6.0]);
+    }
+
+    #[test]
+    fn reduce_empty_input() {
+        assert!(segmented_reduce(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn reduce_all_heads_is_identity() {
+        let values = [4.0, 5.0, 6.0];
+        let heads = [true, true, true];
+        assert_eq!(segmented_reduce(&values, &heads), values.to_vec());
+    }
+
+    #[test]
+    fn scan_reduce_consistency() {
+        // The last scan value of each segment equals the segment reduction.
+        let values: Vec<f32> = (1..=12).map(|i| i as f32).collect();
+        let heads: Vec<bool> =
+            (0..12).map(|i| i % 5 == 0 || i % 3 == 0).collect();
+        let scan = segmented_scan_inclusive(&values, &heads);
+        let reduce = segmented_reduce(&values, &heads);
+        let mut seg_ends = Vec::new();
+        for i in 0..12 {
+            let next_is_head = i + 1 == 12 || heads[i + 1];
+            if next_is_head {
+                seg_ends.push(scan[i]);
+            }
+        }
+        assert_eq!(seg_ends, reduce);
+    }
+
+    #[test]
+    fn cost_helpers_scale_with_block_size() {
+        let config = DeviceConfig::titan_x();
+        assert!(block_segscan_cycles(1024, &config) > block_segscan_cycles(64, &config));
+        assert!(warp_segscan_cycles(&config) >= 5);
+    }
+}

@@ -1,0 +1,235 @@
+//! Cost counters and the analytic timing model.
+//!
+//! Functional execution produces one [`BlockStats`] per thread block; the
+//! timing model folds them into a [`KernelStats`] with a simulated duration.
+//!
+//! # Timing model
+//!
+//! Blocks are scheduled in waves of [`DeviceConfig::concurrent_blocks`]
+//! resident blocks, in launch order. For each wave:
+//!
+//! * **compute bound** — the wave lasts at least as long as its slowest
+//!   block. A block's compute time is `max(longest warp, total warp cycles /
+//!   warp_schedulers)` — the first term captures intra-block load imbalance
+//!   and divergence, the second throughput saturation;
+//! * **memory bound** — the wave also lasts at least `wave DRAM bytes /
+//!   device bandwidth`; transferred bytes are `transactions ×
+//!   transaction_bytes` plus read-only cache miss fills.
+//!
+//! The kernel time is the sum of wave times plus a fixed launch overhead.
+//! Every constant lives in [`DeviceConfig`]; nothing is fit to the paper's
+//! numbers — the reproduction targets performance *shape*, not absolute
+//! microseconds.
+
+use crate::config::DeviceConfig;
+
+/// Per-block cost counters, filled during functional execution.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStats {
+    /// Cycles of the longest warp in the block.
+    pub max_warp_cycles: u64,
+    /// Total cycles summed over the block's warps.
+    pub total_warp_cycles: u64,
+    /// Global-memory transactions issued (reads + writes, post-coalescing).
+    pub transactions: u64,
+    /// DRAM bytes moved (transactions × sector size + cache miss fills).
+    pub dram_bytes: u64,
+    /// Read-only cache hits.
+    pub rocache_hits: u64,
+    /// Read-only cache misses.
+    pub rocache_misses: u64,
+    /// Atomic operations issued.
+    pub atomics: u64,
+    /// Extra serialization cycles caused by intra-warp atomic conflicts.
+    pub atomic_conflict_cycles: u64,
+    /// Shared-memory accesses.
+    pub shared_ops: u64,
+    /// Warp-shuffle instructions.
+    pub shuffles: u64,
+    /// Number of warps that executed in this block.
+    pub warps: u64,
+}
+
+impl BlockStats {
+    /// Simulated compute time of this block in microseconds.
+    pub fn compute_time_us(&self, device: &DeviceConfig) -> f64 {
+        let throughput = self.total_warp_cycles as f64 / device.warp_schedulers as f64;
+        let latency = self.max_warp_cycles as f64;
+        latency.max(throughput) / device.cycles_per_us()
+    }
+}
+
+/// Aggregated statistics and simulated duration of one kernel launch.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// Simulated kernel duration in microseconds.
+    pub time_us: f64,
+    /// Number of blocks launched.
+    pub blocks: u64,
+    /// Number of scheduling waves.
+    pub waves: u64,
+    /// Sum of global memory transactions.
+    pub transactions: u64,
+    /// Sum of DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// Read-only cache hit rate across all blocks (0 when unused).
+    pub rocache_hit_rate: f64,
+    /// Total atomics issued.
+    pub atomics: u64,
+    /// Total atomic conflict serialization cycles.
+    pub atomic_conflict_cycles: u64,
+    /// Ratio of slowest to mean block compute time (load-imbalance gauge).
+    pub imbalance: f64,
+}
+
+impl KernelStats {
+    /// Folds per-block stats into kernel-level stats with the wave model,
+    /// using the occupancy implied by the block size alone.
+    pub fn from_blocks(blocks: &[BlockStats], block_threads: usize, device: &DeviceConfig) -> Self {
+        Self::from_blocks_with_concurrency(
+            blocks,
+            device.concurrent_blocks(block_threads),
+            device,
+        )
+    }
+
+    /// Folds per-block stats with an explicit number of concurrently
+    /// resident blocks (e.g. when shared-memory usage limits occupancy).
+    pub fn from_blocks_with_concurrency(
+        blocks: &[BlockStats],
+        concurrent: usize,
+        device: &DeviceConfig,
+    ) -> Self {
+        if blocks.is_empty() {
+            return KernelStats { time_us: device.launch_overhead_us, ..Default::default() };
+        }
+        let concurrent = concurrent.max(1);
+        let mut time_us = device.launch_overhead_us;
+        let mut waves = 0u64;
+        for wave in blocks.chunks(concurrent) {
+            waves += 1;
+            let compute =
+                wave.iter().map(|b| b.compute_time_us(device)).fold(0.0f64, f64::max);
+            let bytes: u64 = wave.iter().map(|b| b.dram_bytes).sum();
+            let memory = bytes as f64 / (device.mem_bandwidth_gbs * 1e3);
+            time_us += compute.max(memory);
+        }
+        let hits: u64 = blocks.iter().map(|b| b.rocache_hits).sum();
+        let misses: u64 = blocks.iter().map(|b| b.rocache_misses).sum();
+        let compute_times: Vec<f64> = blocks.iter().map(|b| b.compute_time_us(device)).collect();
+        let mean = compute_times.iter().sum::<f64>() / compute_times.len() as f64;
+        let max = compute_times.iter().fold(0.0f64, |a, &b| a.max(b));
+        KernelStats {
+            time_us,
+            blocks: blocks.len() as u64,
+            waves,
+            transactions: blocks.iter().map(|b| b.transactions).sum(),
+            dram_bytes: blocks.iter().map(|b| b.dram_bytes).sum(),
+            rocache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            atomics: blocks.iter().map(|b| b.atomics).sum(),
+            atomic_conflict_cycles: blocks.iter().map(|b| b.atomic_conflict_cycles).sum(),
+            imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+        }
+    }
+
+    /// Adds another kernel's stats (for multi-kernel operations), summing
+    /// durations and counters.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.time_us += other.time_us;
+        self.blocks += other.blocks;
+        self.waves += other.waves;
+        self.transactions += other.transactions;
+        self.dram_bytes += other.dram_bytes;
+        self.atomics += other.atomics;
+        self.atomic_conflict_cycles += other.atomic_conflict_cycles;
+        // Hit rate and imbalance become block-weighted approximations.
+        if other.blocks > 0 {
+            let total = (self.blocks + other.blocks) as f64;
+            let weight = other.blocks as f64 / total;
+            self.rocache_hit_rate =
+                self.rocache_hit_rate * (1.0 - weight) + other.rocache_hit_rate * weight;
+            self.imbalance = self.imbalance.max(other.imbalance);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(max_warp: u64, total: u64, bytes: u64) -> BlockStats {
+        BlockStats {
+            max_warp_cycles: max_warp,
+            total_warp_cycles: total,
+            dram_bytes: bytes,
+            warps: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let device = DeviceConfig::titan_x();
+        let stats = KernelStats::from_blocks(&[], 128, &device);
+        assert!((stats.time_us - device.launch_overhead_us).abs() < 1e-12);
+        assert_eq!(stats.blocks, 0);
+    }
+
+    #[test]
+    fn compute_time_is_latency_or_throughput_bound() {
+        let device = DeviceConfig::titan_x();
+        // One enormous warp dominates (imbalance).
+        let unbalanced = block(10_000, 10_400, 0);
+        // Same total work spread evenly over 4 schedulers.
+        let balanced = block(2_600, 10_400, 0);
+        assert!(unbalanced.compute_time_us(&device) > 3.0 * balanced.compute_time_us(&device));
+    }
+
+    #[test]
+    fn memory_bound_wave_scales_with_bytes() {
+        let device = DeviceConfig::titan_x();
+        let light = KernelStats::from_blocks(&[block(10, 10, 1_000)], 128, &device);
+        let heavy = KernelStats::from_blocks(&[block(10, 10, 100_000_000)], 128, &device);
+        assert!(heavy.time_us > 10.0 * light.time_us);
+    }
+
+    #[test]
+    fn more_waves_take_longer() {
+        let device = DeviceConfig::titan_x();
+        let concurrent = device.concurrent_blocks(128);
+        let one_wave: Vec<BlockStats> =
+            (0..concurrent).map(|_| block(100_000, 400_000, 0)).collect();
+        let two_waves: Vec<BlockStats> =
+            (0..concurrent * 2).map(|_| block(100_000, 400_000, 0)).collect();
+        let a = KernelStats::from_blocks(&one_wave, 128, &device);
+        let b = KernelStats::from_blocks(&two_waves, 128, &device);
+        assert_eq!(a.waves, 1);
+        assert_eq!(b.waves, 2);
+        assert!(b.time_us > a.time_us * 1.5);
+    }
+
+    #[test]
+    fn imbalance_gauge_detects_stragglers() {
+        let device = DeviceConfig::titan_x();
+        let mut blocks = vec![block(100, 400, 0); 10];
+        blocks.push(block(10_000, 10_000, 0));
+        let stats = KernelStats::from_blocks(&blocks, 128, &device);
+        assert!(stats.imbalance > 5.0);
+    }
+
+    #[test]
+    fn merge_accumulates_time_and_counters() {
+        let device = DeviceConfig::titan_x();
+        let mut a = KernelStats::from_blocks(&[block(10, 40, 100)], 128, &device);
+        let b = KernelStats::from_blocks(&[block(10, 40, 100)], 128, &device);
+        let t = a.time_us;
+        a.merge(&b);
+        assert!((a.time_us - 2.0 * t).abs() < 1e-9);
+        assert_eq!(a.blocks, 2);
+        assert_eq!(a.dram_bytes, 200);
+    }
+}

@@ -1,0 +1,93 @@
+//! A minimal CUDA-stream timeline for modeling kernel overlap.
+//!
+//! The paper's CP decomposition uses two streams: one runs SpMTTKRP kernels,
+//! the other runs the CUBLAS-style dense operations, "overlapped
+//! automatically when possible" (§V-E). This timeline tracks per-stream busy
+//! time and cross-stream dependencies.
+
+/// Busy-time accounting for a set of streams.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    stream_time: Vec<f64>,
+}
+
+impl Timeline {
+    /// Creates a timeline with `streams` streams, all idle at time zero.
+    pub fn new(streams: usize) -> Self {
+        Timeline { stream_time: vec![0.0; streams.max(1)] }
+    }
+
+    /// Enqueues `duration_us` of work on `stream`; returns its finish time.
+    pub fn push(&mut self, stream: usize, duration_us: f64) -> f64 {
+        self.stream_time[stream] += duration_us;
+        self.stream_time[stream]
+    }
+
+    /// Enqueues work on `stream` that cannot start before `earliest_us`
+    /// (a dependency on another stream's event). Returns the finish time.
+    pub fn push_after(&mut self, stream: usize, earliest_us: f64, duration_us: f64) -> f64 {
+        let start = self.stream_time[stream].max(earliest_us);
+        self.stream_time[stream] = start + duration_us;
+        self.stream_time[stream]
+    }
+
+    /// Device-wide synchronization: all streams advance to the latest time.
+    pub fn sync_all(&mut self) -> f64 {
+        let t = self.elapsed_us();
+        for stream in &mut self.stream_time {
+            *stream = t;
+        }
+        t
+    }
+
+    /// Current makespan: when the busiest stream finishes.
+    pub fn elapsed_us(&self) -> f64 {
+        self.stream_time.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Current busy time of one stream.
+    pub fn stream_elapsed_us(&self, stream: usize) -> f64 {
+        self.stream_time[stream]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_streams_overlap() {
+        let mut timeline = Timeline::new(2);
+        timeline.push(0, 100.0);
+        timeline.push(1, 80.0);
+        assert_eq!(timeline.elapsed_us(), 100.0);
+    }
+
+    #[test]
+    fn dependencies_delay_start() {
+        let mut timeline = Timeline::new(2);
+        let mttkrp_done = timeline.push(0, 100.0);
+        // Dense update must wait for the MTTKRP result.
+        let finish = timeline.push_after(1, mttkrp_done, 30.0);
+        assert_eq!(finish, 130.0);
+        assert_eq!(timeline.elapsed_us(), 130.0);
+    }
+
+    #[test]
+    fn push_after_does_not_rewind_busy_stream() {
+        let mut timeline = Timeline::new(2);
+        timeline.push(1, 500.0);
+        let finish = timeline.push_after(1, 100.0, 10.0);
+        assert_eq!(finish, 510.0);
+    }
+
+    #[test]
+    fn sync_all_aligns_streams() {
+        let mut timeline = Timeline::new(3);
+        timeline.push(0, 10.0);
+        timeline.push(2, 50.0);
+        assert_eq!(timeline.sync_all(), 50.0);
+        timeline.push(1, 5.0);
+        assert_eq!(timeline.elapsed_us(), 55.0);
+    }
+}

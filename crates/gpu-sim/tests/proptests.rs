@@ -1,0 +1,93 @@
+//! Property-based tests for the simulator's analytic components.
+
+use gpu_sim::coalesce::{coalescing_efficiency, transactions};
+use gpu_sim::scan::{segmented_reduce, segmented_scan_inclusive};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// `transactions` equals the number of distinct aligned sectors — checked
+    /// against an independent hash-set implementation.
+    #[test]
+    fn transactions_counts_distinct_sectors(
+        addrs in proptest::collection::vec(0u64..1_000_000, 0..200),
+        shift in 4u32..8,
+    ) {
+        let segment = 1usize << shift;
+        let expected: HashSet<u64> = addrs.iter().map(|a| a >> shift).collect();
+        prop_assert_eq!(transactions(&addrs, segment), expected.len());
+    }
+
+    /// Transaction count is bounded by the address count and monotone under
+    /// concatenation.
+    #[test]
+    fn transactions_bounds(
+        a in proptest::collection::vec(0u64..100_000, 1..64),
+        b in proptest::collection::vec(0u64..100_000, 1..64),
+    ) {
+        let ta = transactions(&a, 32);
+        prop_assert!(ta <= a.len());
+        prop_assert!(ta >= 1);
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        let tj = transactions(&joined, 32);
+        prop_assert!(tj >= ta);
+        prop_assert!(tj <= ta + transactions(&b, 32));
+    }
+
+    /// Efficiency is in (0, 1] for non-empty warps.
+    #[test]
+    fn efficiency_is_normalized(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..64),
+    ) {
+        let e = coalescing_efficiency(&addrs, 32, 4);
+        prop_assert!(e > 0.0 && e <= 1.0 + 1e-12, "efficiency {e}");
+    }
+
+    /// The last value of each scanned segment equals that segment's
+    /// reduction, and reductions sum to the whole.
+    #[test]
+    fn scan_and_reduce_agree(
+        values in proptest::collection::vec(-100.0f32..100.0, 1..100),
+        flag_seed in proptest::collection::vec(proptest::bool::ANY, 1..100),
+    ) {
+        let n = values.len();
+        let mut heads = vec![false; n];
+        for (i, head) in heads.iter_mut().enumerate() {
+            *head = flag_seed[i % flag_seed.len()];
+        }
+        heads[0] = true;
+        let scan = segmented_scan_inclusive(&values, &heads);
+        let reduce = segmented_reduce(&values, &heads);
+        let mut seg_ends = Vec::new();
+        for i in 0..n {
+            if i + 1 == n || heads[i + 1] {
+                seg_ends.push(scan[i]);
+            }
+        }
+        prop_assert_eq!(seg_ends.len(), reduce.len());
+        for (a, b) in seg_ends.iter().zip(&reduce) {
+            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs())));
+        }
+        let total: f64 = values.iter().map(|&v| v as f64).sum();
+        let total_reduce: f64 = reduce.iter().map(|&v| v as f64).sum();
+        prop_assert!((total - total_reduce).abs() < 1e-2 * (1.0 + total.abs()));
+    }
+
+    /// Segment count equals the number of heads.
+    #[test]
+    fn reduce_length_is_head_count(
+        values in proptest::collection::vec(0.0f32..1.0, 1..80),
+        mask in proptest::collection::vec(proptest::bool::ANY, 1..80),
+    ) {
+        let n = values.len();
+        let mut heads = vec![false; n];
+        for (i, head) in heads.iter_mut().enumerate() {
+            *head = mask[i % mask.len()];
+        }
+        heads[0] = true;
+        let reduce = segmented_reduce(&values, &heads);
+        let head_count = heads.iter().filter(|&&h| h).count();
+        prop_assert_eq!(reduce.len(), head_count);
+    }
+}

@@ -1,0 +1,64 @@
+//! Floating-point comparison helpers shared by tests across the workspace.
+
+/// True if `a` and `b` agree within `tol`, measured relative to the larger
+/// magnitude once values exceed 1 (absolute below that).
+pub fn close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+/// Panics with a descriptive message unless [`close`] holds.
+#[track_caller]
+pub fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!(close(a, b, tol), "values differ: {a} vs {b} (tol {tol})");
+}
+
+/// Panics unless every pair in the two slices is [`close`].
+#[track_caller]
+pub fn assert_slices_close(a: &[f32], b: &[f32], tol: f64) {
+    assert_eq!(a.len(), b.len(), "slice length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(close(*x as f64, *y as f64, tol), "slices differ at {i}: {x} vs {y} (tol {tol})");
+    }
+}
+
+/// Largest relative difference between two slices.
+pub fn max_rel_diff(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let (x, y) = (*x as f64, *y as f64);
+            (x - y).abs() / x.abs().max(y.abs()).max(1.0)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_absolute_for_small_values() {
+        assert!(close(0.0, 1e-7, 1e-6));
+        assert!(!close(0.0, 1e-3, 1e-6));
+    }
+
+    #[test]
+    fn close_relative_for_large_values() {
+        assert!(close(1e9, 1e9 * (1.0 + 1e-7), 1e-6));
+        assert!(!close(1e9, 1.001e9, 1e-6));
+    }
+
+    #[test]
+    fn max_rel_diff_zero_for_equal() {
+        let a = [1.0f32, 2.0, 3.0];
+        assert_eq!(max_rel_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slices differ at 1")]
+    fn assert_slices_close_reports_index() {
+        assert_slices_close(&[1.0, 2.0], &[1.0, 3.0], 1e-6);
+    }
+}

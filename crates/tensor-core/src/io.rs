@@ -1,0 +1,176 @@
+//! FROSTT `.tns` text format reader/writer.
+//!
+//! The format is one non-zero per line: `i₁ i₂ … iₙ value` with 1-based
+//! indices; `#` starts a comment. This lets real FROSTT downloads replace the
+//! synthetic datasets without touching any kernel code.
+
+use crate::{Idx, SparseTensorCoo, Val};
+use std::io::{BufRead, Write};
+
+/// Errors from parsing a `.tns` stream.
+#[derive(Debug)]
+pub enum TnsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse { line: usize, message: String },
+    /// The stream contained no non-zeros.
+    Empty,
+}
+
+impl std::fmt::Display for TnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TnsError::Io(e) => write!(f, "i/o error: {e}"),
+            TnsError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            TnsError::Empty => write!(f, "no non-zeros in stream"),
+        }
+    }
+}
+
+impl std::error::Error for TnsError {}
+
+impl From<std::io::Error> for TnsError {
+    fn from(e: std::io::Error) -> Self {
+        TnsError::Io(e)
+    }
+}
+
+/// Reads a `.tns` stream. The shape is the per-mode maximum index observed.
+pub fn read_tns<R: BufRead>(reader: R) -> Result<SparseTensorCoo, TnsError> {
+    let mut entries: Vec<(Vec<Idx>, Val)> = Vec::new();
+    let mut order: Option<usize> = None;
+    let mut shape: Vec<usize> = Vec::new();
+    for (line_index, line) in reader.lines().enumerate() {
+        let line_number = line_index + 1;
+        let line = line?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        if fields.len() < 2 {
+            return Err(TnsError::Parse {
+                line: line_number,
+                message: format!("expected at least 2 fields, got {}", fields.len()),
+            });
+        }
+        let this_order = fields.len() - 1;
+        match order {
+            None => {
+                order = Some(this_order);
+                shape = vec![0; this_order];
+            }
+            Some(expected) if expected != this_order => {
+                return Err(TnsError::Parse {
+                    line: line_number,
+                    message: format!("inconsistent arity: expected {expected}, got {this_order}"),
+                });
+            }
+            _ => {}
+        }
+        let mut coord = Vec::with_capacity(this_order);
+        for (mode, field) in fields[..this_order].iter().enumerate() {
+            let index: u64 = field.parse().map_err(|_| TnsError::Parse {
+                line: line_number,
+                message: format!("bad index `{field}`"),
+            })?;
+            if index == 0 {
+                return Err(TnsError::Parse {
+                    line: line_number,
+                    message: "indices are 1-based; found 0".to_string(),
+                });
+            }
+            let zero_based = index - 1;
+            if zero_based > u32::MAX as u64 {
+                return Err(TnsError::Parse {
+                    line: line_number,
+                    message: format!("index {index} exceeds u32 range"),
+                });
+            }
+            shape[mode] = shape[mode].max(index as usize);
+            coord.push(zero_based as Idx);
+        }
+        let value: Val = fields[this_order].parse().map_err(|_| TnsError::Parse {
+            line: line_number,
+            message: format!("bad value `{}`", fields[this_order]),
+        })?;
+        entries.push((coord, value));
+    }
+    if entries.is_empty() {
+        return Err(TnsError::Empty);
+    }
+    Ok(SparseTensorCoo::from_entries(shape, &entries))
+}
+
+/// Writes a tensor as `.tns` text (1-based indices).
+pub fn write_tns<W: Write>(tensor: &SparseTensorCoo, mut writer: W) -> std::io::Result<()> {
+    for (coord, value) in tensor.iter() {
+        for index in &coord {
+            write!(writer, "{} ", index + 1)?;
+        }
+        writeln!(writer, "{value}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_preserves_entries() {
+        let tensor = SparseTensorCoo::from_entries(
+            vec![3, 4, 5],
+            &[(vec![0, 0, 0], 1.5), (vec![2, 3, 4], -2.25), (vec![1, 2, 0], 0.5)],
+        );
+        let mut buffer = Vec::new();
+        write_tns(&tensor, &mut buffer).unwrap();
+        let parsed = read_tns(Cursor::new(buffer)).unwrap();
+        assert_eq!(parsed.nnz(), 3);
+        assert_eq!(parsed.shape(), &[3, 4, 5]);
+        let original: std::collections::BTreeMap<Vec<Idx>, Val> = tensor.iter().collect();
+        let recovered: std::collections::BTreeMap<Vec<Idx>, Val> = parsed.iter().collect();
+        assert_eq!(original, recovered);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header comment\n\n1 1 1 2.0  # trailing comment\n2 2 2 3.0\n";
+        let tensor = read_tns(Cursor::new(text)).unwrap();
+        assert_eq!(tensor.nnz(), 2);
+        assert_eq!(tensor.shape(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn rejects_zero_based_index() {
+        let err = read_tns(Cursor::new("0 1 1 2.0\n")).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_arity() {
+        let err = read_tns(Cursor::new("1 1 1 2.0\n1 1 2.0\n")).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let err = read_tns(Cursor::new("1 1 1 zebra\n")).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_stream() {
+        let err = read_tns(Cursor::new("# only a comment\n")).unwrap_err();
+        assert!(matches!(err, TnsError::Empty));
+    }
+
+    #[test]
+    fn matrix_arity_is_supported() {
+        let tensor = read_tns(Cursor::new("1 2 5.0\n3 1 6.0\n")).unwrap();
+        assert_eq!(tensor.order(), 2);
+        assert_eq!(tensor.shape(), &[3, 2]);
+    }
+}

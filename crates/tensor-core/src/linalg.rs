@@ -1,0 +1,324 @@
+//! Small dense solvers standing in for CUBLAS in the CP-ALS update.
+//!
+//! CP-ALS needs `(BᵀB ∗ CᵀC)†` — the Moore–Penrose pseudo-inverse of an
+//! `R × R` symmetric positive semi-definite matrix with `R ≤ 64`. We compute
+//! it from a symmetric Jacobi eigendecomposition, which is simple, robust and
+//! plenty fast at these sizes. A Cholesky path is also provided for the
+//! well-conditioned case. All internals run in `f64`; inputs/outputs are the
+//! workspace's `f32` matrices.
+
+use crate::matrix::DenseMatrix;
+use crate::Val;
+
+/// A symmetric eigendecomposition `A = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, unordered.
+    pub values: Vec<f64>,
+    /// Column-eigenvector matrix (row-major, `n × n`), `f64`.
+    pub vectors: Vec<f64>,
+    /// Dimension.
+    pub n: usize,
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// # Panics
+/// If `a` is not square.
+pub fn sym_eigen(a: &DenseMatrix) -> SymEigen {
+    assert_eq!(a.rows(), a.cols(), "sym_eigen requires a square matrix");
+    let n = a.rows();
+    let mut m: Vec<f64> = a.data().iter().map(|&v| v as f64).collect();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    // Cyclic sweeps until off-diagonal mass is negligible.
+    let mut sweep = 0;
+    loop {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[p * n + q] * m[p * n + q];
+            }
+        }
+        let scale = (0..n).map(|i| m[i * n + i].abs()).fold(1e-300, f64::max);
+        if off.sqrt() <= 1e-13 * scale * n as f64 || sweep > 64 {
+            break;
+        }
+        sweep += 1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let values = (0..n).map(|i| m[i * n + i]).collect();
+    SymEigen { values, vectors: v, n }
+}
+
+/// Moore–Penrose pseudo-inverse of a symmetric positive semi-definite matrix.
+///
+/// Eigenvalues below `rcond * λ_max` are treated as zero, mirroring what the
+/// paper's CP-ALS needs when a rank larger than a mode size produces a
+/// deficient Gram matrix (§V-E discusses exactly this for brainq).
+pub fn pinv_sym(a: &DenseMatrix, rcond: f64) -> DenseMatrix {
+    let eig = sym_eigen(a);
+    let n = eig.n;
+    let max_abs = eig.values.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    let cutoff = rcond * max_abs;
+    let mut out = vec![0.0f64; n * n];
+    for (k, &lambda) in eig.values.iter().enumerate() {
+        if lambda.abs() <= cutoff || lambda == 0.0 {
+            continue;
+        }
+        let inv = 1.0 / lambda;
+        for i in 0..n {
+            let vik = eig.vectors[i * n + k];
+            if vik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += inv * vik * eig.vectors[j * n + k];
+            }
+        }
+    }
+    DenseMatrix::from_vec(n, n, out.into_iter().map(|v| v as Val).collect())
+}
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive definite matrix.
+///
+/// Returns `None` if a non-positive pivot is met (matrix not SPD).
+pub fn cholesky(a: &DenseMatrix) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), a.cols(), "cholesky requires a square matrix");
+    let n = a.rows();
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j) as f64;
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A · X = B` for SPD `A` using a Cholesky factor from [`cholesky`].
+///
+/// `B` is `n × m`; returns `X` of the same shape.
+pub fn cholesky_solve(l: &[f64], n: usize, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(b.rows(), n, "rhs row count must match factor dimension");
+    let m = b.cols();
+    let mut x = vec![0.0f64; n * m];
+    for col in 0..m {
+        // Forward substitution L·y = b.
+        for i in 0..n {
+            let mut sum = b.get(i, col) as f64;
+            for k in 0..i {
+                sum -= l[i * n + k] * x[k * m + col];
+            }
+            x[i * m + col] = sum / l[i * n + i];
+        }
+        // Back substitution Lᵀ·x = y.
+        for i in (0..n).rev() {
+            let mut sum = x[i * m + col];
+            for k in (i + 1)..n {
+                sum -= l[k * n + i] * x[k * m + col];
+            }
+            x[i * m + col] = sum / l[i * n + i];
+        }
+    }
+    DenseMatrix::from_vec(n, m, x.into_iter().map(|v| v as Val).collect())
+}
+
+/// Solves the CP-ALS normal equation `M_new = M · G†` where `G` is the
+/// Hadamard product of Gram matrices (symmetric PSD, `R × R`).
+///
+/// Tries Cholesky first (`G` SPD) and falls back to the pseudo-inverse for
+/// deficient `G` — e.g. when the decomposition rank exceeds a mode size.
+pub fn solve_normal_equations(m: &DenseMatrix, gram: &DenseMatrix) -> DenseMatrix {
+    let r = gram.rows();
+    assert_eq!(m.cols(), r, "factor width must match Gram dimension");
+    if let Some(l) = cholesky(gram) {
+        // X = M · G⁻¹ ⇔ G · Xᵀ = Mᵀ (G symmetric).
+        let xt = cholesky_solve(&l, r, &m.transpose());
+        xt.transpose()
+    } else {
+        m.matmul(&pinv_sym(gram, 1e-10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::assert_close;
+
+    fn spd(n: usize, seed: u64) -> DenseMatrix {
+        // AᵀA + n·I is comfortably SPD.
+        let a = DenseMatrix::random(n + 3, n, seed);
+        let mut g = a.gram();
+        for i in 0..n {
+            g.set(i, i, g.get(i, i) + n as Val);
+        }
+        g
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = spd(6, 42);
+        let eig = sym_eigen(&a);
+        let n = eig.n;
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for k in 0..n {
+                    sum += eig.vectors[i * n + k] * eig.values[k] * eig.vectors[j * n + k];
+                }
+                assert_close(sum, a.get(i, j) as f64, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_vectors_are_orthonormal() {
+        let a = spd(8, 1);
+        let eig = sym_eigen(&a);
+        let n = eig.n;
+        for p in 0..n {
+            for q in 0..n {
+                let dot: f64 = (0..n).map(|k| eig.vectors[k * n + p] * eig.vectors[k * n + q]).sum();
+                assert_close(dot, if p == q { 1.0 } else { 0.0 }, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = DenseMatrix::from_vec(3, 3, vec![2.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 7.0]);
+        let mut values = sym_eigen(&a).values;
+        values.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_close(values[0], 2.0, 1e-10);
+        assert_close(values[1], 5.0, 1e-10);
+        assert_close(values[2], 7.0, 1e-10);
+    }
+
+    #[test]
+    fn pinv_of_spd_is_inverse() {
+        let a = spd(5, 7);
+        let pinv = pinv_sym(&a, 1e-12);
+        let product = a.matmul(&pinv);
+        assert!(product.max_abs_diff(&DenseMatrix::identity(5)) < 1e-3);
+    }
+
+    #[test]
+    fn pinv_of_singular_matrix_satisfies_penrose() {
+        // Rank-1 matrix: outer product of [1, 2] with itself.
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        let p = pinv_sym(&a, 1e-10);
+        // A·A†·A = A.
+        let reconstructed = a.matmul(&p).matmul(&a);
+        assert!(reconstructed.max_abs_diff(&a) < 1e-4);
+        // A†·A·A† = A†.
+        let p2 = p.matmul(&a).matmul(&p);
+        assert!(p2.max_abs_diff(&p) < 1e-4);
+    }
+
+    #[test]
+    fn pinv_of_zero_matrix_is_zero() {
+        let z = DenseMatrix::zeros(4, 4);
+        let p = pinv_sym(&z, 1e-10);
+        assert_eq!(p.data(), DenseMatrix::zeros(4, 4).data());
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(6, 3);
+        let l = cholesky(&a).expect("SPD matrix must factor");
+        let n = 6;
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for k in 0..n {
+                    sum += l[i * n + k] * l[j * n + k];
+                }
+                assert_close(sum, a.get(i, j) as f64, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn cholesky_solve_matches_direct() {
+        let a = spd(5, 9);
+        let b = DenseMatrix::random(5, 3, 10);
+        let l = cholesky(&a).unwrap();
+        let x = cholesky_solve(&l, 5, &b);
+        let reconstructed = a.matmul(&x);
+        assert!(reconstructed.max_abs_diff(&b) < 1e-3);
+    }
+
+    #[test]
+    fn solve_normal_equations_spd_path() {
+        let g = spd(4, 21);
+        let m = DenseMatrix::random(10, 4, 22);
+        let x = solve_normal_equations(&m, &g);
+        // X·G should reproduce M.
+        assert!(x.matmul(&g).max_abs_diff(&m) < 1e-3);
+    }
+
+    #[test]
+    fn solve_normal_equations_deficient_path() {
+        // Singular Gram: rank 1.
+        let g = DenseMatrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let m = DenseMatrix::random(6, 2, 23);
+        let x = solve_normal_equations(&m, &g);
+        // Minimum-norm least-squares solution satisfies X·G·G† = M·G†.
+        let pinv = pinv_sym(&g, 1e-10);
+        let lhs = x.matmul(&g).matmul(&pinv);
+        let rhs = m.matmul(&pinv);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+}

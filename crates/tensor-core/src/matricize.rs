@@ -1,0 +1,178 @@
+//! Tensor matricization (unfolding/flattening) — paper §II and Fig. 1.
+//!
+//! `X₍ₙ₎` is the matrix whose columns are the mode-`n` fibers of `X`: entry
+//! `X(i₁,…,i_N)` lands at row `iₙ` and column `Σ_{m≠n} i_m · Π_{m'<m, m'≠n}
+//! I_{m'}` (earlier modes vary fastest, matching Fig. 1 and Eq. 6's
+//! `z % J` / `z / J` index arithmetic).
+//!
+//! The paper cites unfolding's fatal flaw for large tensors: "unfolding
+//! tensors requires column index values up to `Π_{k≠i} I_k`, which easily
+//! exceeds integer value limits" (§III-A, after Kaya & Uçar). That is
+//! modeled faithfully here: [`matricize`] returns
+//! [`MatricizeError::ColumnOverflow`] when the column dimension exceeds the
+//! `u32` index range — which the scaled nell1/delicious datasets already do.
+
+use crate::{Idx, SparseTensorCoo};
+
+/// Why a matricization could not be represented.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatricizeError {
+    /// The flattened column dimension `Π_{m≠n} I_m` exceeds the `u32` index
+    /// range (the paper's §III-A criticism of unfolding-based methods).
+    ColumnOverflow {
+        /// The required column count.
+        columns: u128,
+    },
+}
+
+impl std::fmt::Display for MatricizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatricizeError::ColumnOverflow { columns } => write!(
+                f,
+                "mode-n matricization needs {columns} columns, exceeding the u32 index range"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatricizeError {}
+
+/// Mode-`n` matricization of a sparse tensor into a 2-order sparse tensor
+/// (`Iₙ × Π_{m≠n} I_m`).
+///
+/// ```
+/// use tensor_core::{matricize, SparseTensorCoo};
+///
+/// let x = SparseTensorCoo::from_entries(vec![2, 3, 4], &[(vec![1, 2, 3], 5.0)]);
+/// let x1 = matricize(&x, 0).unwrap();
+/// assert_eq!(x1.shape(), &[2, 12]);
+/// // column = j + k·J = 2 + 3·3 = 11
+/// assert_eq!(x1.coord(0), vec![1, 11]);
+/// ```
+///
+/// # Panics
+/// If `mode` is out of range.
+pub fn matricize(tensor: &SparseTensorCoo, mode: usize) -> Result<SparseTensorCoo, MatricizeError> {
+    assert!(mode < tensor.order(), "mode out of range");
+    let columns: u128 = tensor
+        .shape()
+        .iter()
+        .enumerate()
+        .filter(|(m, _)| *m != mode)
+        .map(|(_, &s)| s as u128)
+        .product();
+    if columns > u32::MAX as u128 {
+        return Err(MatricizeError::ColumnOverflow { columns });
+    }
+    let mut result = SparseTensorCoo::new(vec![tensor.shape()[mode], columns as usize]);
+    // Strides: earlier non-`mode` modes vary fastest.
+    let mut strides = vec![0u64; tensor.order()];
+    let mut stride = 1u64;
+    for (m, slot) in strides.iter_mut().enumerate() {
+        if m == mode {
+            continue;
+        }
+        *slot = stride;
+        stride *= tensor.shape()[m] as u64;
+    }
+    for nz in 0..tensor.nnz() {
+        let row = tensor.mode_indices(mode)[nz];
+        let mut column = 0u64;
+        for (m, &stride) in strides.iter().enumerate() {
+            if m != mode {
+                column += tensor.mode_indices(m)[nz] as u64 * stride;
+            }
+        }
+        result.push(&[row, column as Idx], tensor.values()[nz]);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Val;
+
+    /// The 2×2×2 tensor of the paper's Fig. 1: X(i,j,k) = 1 + i + 2j + 4k.
+    fn figure1_tensor() -> SparseTensorCoo {
+        let mut tensor = SparseTensorCoo::new(vec![2, 2, 2]);
+        for k in 0..2u32 {
+            for j in 0..2u32 {
+                for i in 0..2u32 {
+                    tensor.push(&[i, j, k], (1 + i + 2 * j + 4 * k) as Val);
+                }
+            }
+        }
+        tensor
+    }
+
+    fn dense_of(matrix: &SparseTensorCoo) -> Vec<Vec<Val>> {
+        let mut dense = vec![vec![0.0; matrix.shape()[1]]; matrix.shape()[0]];
+        for (coord, value) in matrix.iter() {
+            dense[coord[0] as usize][coord[1] as usize] = value;
+        }
+        dense
+    }
+
+    #[test]
+    fn figure1_mode1_unfolding() {
+        let x1 = matricize(&figure1_tensor(), 0).unwrap();
+        assert_eq!(x1.shape(), &[2, 4]);
+        // Fig. 1: X(1) = [1 3 5 7; 2 4 6 8].
+        assert_eq!(dense_of(&x1), vec![vec![1.0, 3.0, 5.0, 7.0], vec![2.0, 4.0, 6.0, 8.0]]);
+    }
+
+    #[test]
+    fn figure1_mode2_unfolding() {
+        let x2 = matricize(&figure1_tensor(), 1).unwrap();
+        // Fig. 1: X(2) = [1 2 5 6; 3 4 7 8].
+        assert_eq!(dense_of(&x2), vec![vec![1.0, 2.0, 5.0, 6.0], vec![3.0, 4.0, 7.0, 8.0]]);
+    }
+
+    #[test]
+    fn figure1_mode3_unfolding() {
+        let x3 = matricize(&figure1_tensor(), 2).unwrap();
+        // Fig. 1: X(3) = [1 2 3 4; 5 6 7 8].
+        assert_eq!(dense_of(&x3), vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]]);
+    }
+
+    #[test]
+    fn matricization_preserves_nnz_and_values() {
+        let (tensor, _) = crate::datasets::generate(crate::DatasetKind::Nell2, 2_000, 30);
+        let x2 = matricize(&tensor, 1).unwrap();
+        assert_eq!(x2.nnz(), tensor.nnz());
+        let total: f64 = tensor.values().iter().map(|&v| v as f64).sum();
+        let total_m: f64 = x2.values().iter().map(|&v| v as f64).sum();
+        assert!((total - total_m).abs() < 1e-3);
+    }
+
+    #[test]
+    fn column_index_matches_eq6_arithmetic() {
+        // Eq. 6 for mode 1: z = k·J + j, recovered by z % J and z / J.
+        let (tensor, _) = crate::datasets::generate(crate::DatasetKind::Nell2, 1_000, 31);
+        let j_size = tensor.shape()[1] as u32;
+        let x1 = matricize(&tensor, 0).unwrap();
+        for nz in 0..tensor.nnz() {
+            let z = x1.mode_indices(1)[nz];
+            assert_eq!(z % j_size, tensor.mode_indices(1)[nz]);
+            assert_eq!(z / j_size, tensor.mode_indices(2)[nz]);
+        }
+    }
+
+    #[test]
+    fn large_tensors_overflow_exactly_as_the_paper_warns() {
+        // §III-A: the scaled nell1's non-mode dimensions already exceed u32
+        // when multiplied — unfolding-based methods (DFacTo, CTF) cannot
+        // even index it, while F-COO never forms the product.
+        let (tensor, _) = crate::datasets::generate(crate::DatasetKind::Nell1, 1_000, 32);
+        let columns: u128 = tensor.shape()[1] as u128 * tensor.shape()[2] as u128;
+        assert!(columns > u32::MAX as u128, "scaled nell1 should still overflow");
+        match matricize(&tensor, 0) {
+            Err(MatricizeError::ColumnOverflow { columns: reported }) => {
+                assert_eq!(reported, columns);
+            }
+            Ok(_) => panic!("expected column overflow"),
+        }
+    }
+}

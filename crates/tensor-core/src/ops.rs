@@ -1,0 +1,405 @@
+//! Sequential reference implementations of the paper's sparse tensor
+//! operations.
+//!
+//! These are the correctness oracles: every optimized kernel (unified F-COO,
+//! ParTI-style, SPLATT-style) is validated against them. They favour clarity
+//! over speed and accumulate in `f64` where it matters.
+
+use crate::{DenseMatrix, Idx, SemiSparseTensor, SparseTensorCoo, Val};
+use std::collections::HashMap;
+
+/// Sparse tensor-times-matrix on `mode` (paper Eq. 3): `Y = X ×ₙ U`.
+///
+/// `u` must have one row per index along `mode`; the result is semi-sparse
+/// with `u.cols()` dense values per surviving fiber.
+///
+/// # Panics
+/// If `u.rows()` does not match the size of `mode`.
+pub fn spttm(x: &SparseTensorCoo, mode: usize, u: &DenseMatrix) -> SemiSparseTensor {
+    assert!(mode < x.order(), "mode out of range");
+    assert_eq!(u.rows(), x.shape()[mode], "matrix rows must match product-mode size");
+    let r = u.cols();
+    let index_modes: Vec<usize> = (0..x.order()).filter(|&m| m != mode).collect();
+    // Map each index-mode coordinate tuple to a fiber slot.
+    let mut fiber_of: HashMap<Vec<Idx>, usize> = HashMap::new();
+    let mut coords: Vec<Vec<Idx>> = Vec::new();
+    let mut accumulators: Vec<Vec<f64>> = Vec::new();
+    for nz in 0..x.nnz() {
+        let key: Vec<Idx> = index_modes.iter().map(|&m| x.mode_indices(m)[nz]).collect();
+        let slot = *fiber_of.entry(key.clone()).or_insert_with(|| {
+            coords.push(key);
+            accumulators.push(vec![0.0; r]);
+            accumulators.len() - 1
+        });
+        let value = x.values()[nz] as f64;
+        let row = u.row(x.mode_indices(mode)[nz] as usize);
+        for (acc, &m) in accumulators[slot].iter_mut().zip(row) {
+            *acc += value * m as f64;
+        }
+    }
+    let mut y = SemiSparseTensor::new(x.shape().to_vec(), mode, r);
+    for (coord, fiber) in coords.iter().zip(&accumulators) {
+        let fiber: Vec<Val> = fiber.iter().map(|&v| v as Val).collect();
+        y.push_fiber(coord, &fiber);
+    }
+    y.canonicalize();
+    y
+}
+
+/// Sparse MTTKRP on `mode` (paper Eq. 6), one-shot over the non-zeros.
+///
+/// `factors` holds one matrix per tensor mode (the entry at `mode` is
+/// ignored); all must share the column count `R`. Returns the dense
+/// `shape[mode] × R` result.
+///
+/// # Panics
+/// If factor shapes are inconsistent with the tensor.
+pub fn spmttkrp(x: &SparseTensorCoo, mode: usize, factors: &[&DenseMatrix]) -> DenseMatrix {
+    assert!(mode < x.order(), "mode out of range");
+    assert_eq!(factors.len(), x.order(), "one factor per mode required");
+    let r = factors[(mode + 1) % x.order()].cols();
+    for (m, factor) in factors.iter().enumerate() {
+        if m != mode {
+            assert_eq!(factor.rows(), x.shape()[m], "factor {m} row count mismatch");
+            assert_eq!(factor.cols(), r, "factor {m} column count mismatch");
+        }
+    }
+    let rows = x.shape()[mode];
+    let mut out = vec![0.0f64; rows * r];
+    let mut scratch = vec![0.0f64; r];
+    for nz in 0..x.nnz() {
+        let value = x.values()[nz] as f64;
+        for s in scratch.iter_mut() {
+            *s = value;
+        }
+        for (m, factor) in factors.iter().enumerate() {
+            if m == mode {
+                continue;
+            }
+            let row = factor.row(x.mode_indices(m)[nz] as usize);
+            for (s, &f) in scratch.iter_mut().zip(row) {
+                *s *= f as f64;
+            }
+        }
+        let out_row = x.mode_indices(mode)[nz] as usize;
+        for (o, &s) in out[out_row * r..(out_row + 1) * r].iter_mut().zip(&scratch) {
+            *o += s;
+        }
+    }
+    DenseMatrix::from_vec(rows, r, out.into_iter().map(|v| v as Val).collect())
+}
+
+/// MTTKRP via explicit matricization and Khatri-Rao product (paper Eq. 5).
+///
+/// Exponential in memory — only usable for tiny tensors — but a completely
+/// independent derivation, used to validate [`spmttkrp`] itself. Only
+/// implemented for 3-order tensors.
+pub fn spmttkrp_via_unfolding(
+    x: &SparseTensorCoo,
+    mode: usize,
+    factors: &[&DenseMatrix],
+) -> DenseMatrix {
+    assert_eq!(x.order(), 3, "unfolding reference is 3-order only");
+    let shape = x.shape();
+    let (i, j, k) = (shape[0], shape[1], shape[2]);
+    // Khatri-Rao operand order per paper Algorithm 1: mode-1 uses C ⊙ B, etc.
+    let (rows, kr, col_of) = match mode {
+        0 => {
+            let kr = factors[2].khatri_rao(factors[1]);
+            // X(1) is I × JK with column z = k·J + j.
+            let col = move |c: &[Idx]| c[2] as usize * j + c[1] as usize;
+            (i, kr, Box::new(col) as Box<dyn Fn(&[Idx]) -> usize>)
+        }
+        1 => {
+            let kr = factors[2].khatri_rao(factors[0]);
+            let col = move |c: &[Idx]| c[2] as usize * i + c[0] as usize;
+            (j, kr, Box::new(col) as Box<dyn Fn(&[Idx]) -> usize>)
+        }
+        2 => {
+            let kr = factors[1].khatri_rao(factors[0]);
+            let col = move |c: &[Idx]| c[1] as usize * i + c[0] as usize;
+            (k, kr, Box::new(col) as Box<dyn Fn(&[Idx]) -> usize>)
+        }
+        _ => panic!("mode out of range"),
+    };
+    let r = kr.cols();
+    let mut out = DenseMatrix::zeros(rows, r);
+    for (coord, value) in x.iter() {
+        let row = coord[mode] as usize;
+        let z = col_of(&coord);
+        for c in 0..r {
+            out.set(row, c, out.get(row, c) + value * kr.get(z, c));
+        }
+    }
+    out
+}
+
+/// Sparse TTMc on `mode` for 3-order tensors (paper Eq. 4):
+/// `Y(n)(iₙ, :) += X(i,j,k) · (U_a(a,:) ⊗ U_b(b,:))` where `a, b` are the
+/// two non-`mode` coordinates in ascending mode order.
+///
+/// Returns the `shape[mode] × (R_a · R_b)` matricized result.
+pub fn spttmc(x: &SparseTensorCoo, mode: usize, factors: &[&DenseMatrix]) -> DenseMatrix {
+    assert_eq!(x.order(), 3, "TTMc reference is 3-order only");
+    assert!(mode < 3, "mode out of range");
+    let others: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
+    let (ma, mb) = (others[0], others[1]);
+    let (fa, fb) = (factors[ma], factors[mb]);
+    assert_eq!(fa.rows(), x.shape()[ma], "factor row mismatch on mode {ma}");
+    assert_eq!(fb.rows(), x.shape()[mb], "factor row mismatch on mode {mb}");
+    let (ra, rb) = (fa.cols(), fb.cols());
+    let rows = x.shape()[mode];
+    let mut out = vec![0.0f64; rows * ra * rb];
+    for nz in 0..x.nnz() {
+        let value = x.values()[nz] as f64;
+        let row_out = x.mode_indices(mode)[nz] as usize;
+        let row_a = fa.row(x.mode_indices(ma)[nz] as usize);
+        let row_b = fb.row(x.mode_indices(mb)[nz] as usize);
+        let base = row_out * ra * rb;
+        for (a, &va) in row_a.iter().enumerate() {
+            let scaled = value * va as f64;
+            for (b, &vb) in row_b.iter().enumerate() {
+                out[base + a * rb + b] += scaled * vb as f64;
+            }
+        }
+    }
+    DenseMatrix::from_vec(rows, ra * rb, out.into_iter().map(|v| v as Val).collect())
+}
+
+/// Sparse TTMc on `mode` for tensors of any order: the matricized
+/// `Y(n)(iₙ, :) += X(i₁,…,i_N) · (⊗_{m≠n} U_m(i_m, :))`, with the Kronecker
+/// product taken over the product modes in ascending order (later modes
+/// vary fastest, matching [`spttmc`] for 3-order inputs).
+///
+/// `factors` holds one matrix per *product mode*, in ascending mode order.
+pub fn spttmc_norder(
+    x: &SparseTensorCoo,
+    mode: usize,
+    product_factors: &[&DenseMatrix],
+) -> DenseMatrix {
+    assert!(mode < x.order(), "mode out of range");
+    let product_modes: Vec<usize> = (0..x.order()).filter(|&m| m != mode).collect();
+    assert_eq!(product_factors.len(), product_modes.len(), "one factor per product mode");
+    for (&m, factor) in product_modes.iter().zip(product_factors) {
+        assert_eq!(factor.rows(), x.shape()[m], "factor row mismatch on mode {m}");
+    }
+    let columns: usize = product_factors.iter().map(|f| f.cols()).product();
+    let rows = x.shape()[mode];
+    let mut out = vec![0.0f64; rows * columns];
+    // Mixed-radix strides: the last product mode varies fastest.
+    let mut strides = vec![1usize; product_factors.len()];
+    for p in (0..product_factors.len().saturating_sub(1)).rev() {
+        strides[p] = strides[p + 1] * product_factors[p + 1].cols();
+    }
+    let mut kron = vec![0.0f64; columns];
+    for nz in 0..x.nnz() {
+        let value = x.values()[nz] as f64;
+        let row_out = x.mode_indices(mode)[nz] as usize;
+        // Build the Kronecker row incrementally.
+        kron[0] = 1.0;
+        let mut width = 1usize;
+        for (&m, factor) in product_modes.iter().zip(product_factors) {
+            let row = factor.row(x.mode_indices(m)[nz] as usize);
+            let cols = factor.cols();
+            for existing in (0..width).rev() {
+                let base_value = kron[existing];
+                for (c, &f) in row.iter().enumerate() {
+                    kron[existing * cols + c] = base_value * f as f64;
+                }
+            }
+            width *= cols;
+        }
+        let base = row_out * columns;
+        for (slot, &k) in kron[..width].iter().enumerate() {
+            out[base + slot] += value * k;
+        }
+    }
+    DenseMatrix::from_vec(rows, columns, out.into_iter().map(|v| v as Val).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::assert_slices_close;
+
+    fn small_tensor() -> SparseTensorCoo {
+        SparseTensorCoo::from_entries(
+            vec![3, 4, 5],
+            &[
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 1, 2], 2.0),
+                (vec![1, 0, 1], -1.5),
+                (vec![1, 3, 4], 0.5),
+                (vec![2, 2, 2], 3.0),
+                (vec![2, 2, 3], -2.0),
+                (vec![2, 3, 0], 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn spttm_matches_dense_computation() {
+        let x = small_tensor();
+        let u = DenseMatrix::random(5, 3, 77);
+        let y = spttm(&x, 2, &u);
+        // Dense check: for every (i, j) compute sum_k X(i,j,k)·U(k,:).
+        let mut expected: HashMap<(Idx, Idx), Vec<Val>> = HashMap::new();
+        for (coord, value) in x.iter() {
+            let entry = expected.entry((coord[0], coord[1])).or_insert_with(|| vec![0.0; 3]);
+            for (e, &m) in entry.iter_mut().zip(u.row(coord[2] as usize)) {
+                *e += value * m;
+            }
+        }
+        assert_eq!(y.nfibs(), expected.len());
+        for fib in 0..y.nfibs() {
+            let coord = y.fiber_coord(fib);
+            let reference = &expected[&(coord[0], coord[1])];
+            assert_slices_close(y.fiber(fib), reference, 1e-5);
+        }
+    }
+
+    #[test]
+    fn spttm_on_every_mode_has_right_fiber_count() {
+        let x = small_tensor();
+        for mode in 0..3 {
+            let u = DenseMatrix::random(x.shape()[mode], 2, mode as u64);
+            let y = spttm(&x, mode, &u);
+            let index_modes: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
+            assert_eq!(y.nfibs(), x.count_distinct(&index_modes));
+            assert_eq!(y.dense_len(), 2);
+        }
+    }
+
+    #[test]
+    fn spmttkrp_matches_unfolding_reference_all_modes() {
+        let x = small_tensor();
+        let a = DenseMatrix::random(3, 4, 1);
+        let b = DenseMatrix::random(4, 4, 2);
+        let c = DenseMatrix::random(5, 4, 3);
+        let factors = [&a, &b, &c];
+        for mode in 0..3 {
+            let fast = spmttkrp(&x, mode, &factors);
+            let slow = spmttkrp_via_unfolding(&x, mode, &factors);
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-4,
+                "mode {mode}: max diff {}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+
+    #[test]
+    fn spmttkrp_empty_tensor_is_zero() {
+        let x = SparseTensorCoo::new(vec![3, 4, 5]);
+        let a = DenseMatrix::random(3, 2, 1);
+        let b = DenseMatrix::random(4, 2, 2);
+        let c = DenseMatrix::random(5, 2, 3);
+        let m = spmttkrp(&x, 0, &[&a, &b, &c]);
+        assert_eq!(m.data(), DenseMatrix::zeros(3, 2).data());
+    }
+
+    #[test]
+    fn spmttkrp_single_entry() {
+        let x = SparseTensorCoo::from_entries(vec![2, 2, 2], &[(vec![1, 0, 1], 2.0)]);
+        let a = DenseMatrix::random(2, 3, 4);
+        let b = DenseMatrix::random(2, 3, 5);
+        let c = DenseMatrix::random(2, 3, 6);
+        let m = spmttkrp(&x, 0, &[&a, &b, &c]);
+        for col in 0..3 {
+            let expected = 2.0 * b.get(0, col) * c.get(1, col);
+            assert!((m.get(1, col) - expected).abs() < 1e-6);
+            assert_eq!(m.get(0, col), 0.0);
+        }
+    }
+
+    #[test]
+    fn spttmc_matches_kronecker_structure() {
+        let x = small_tensor();
+        let a = DenseMatrix::random(3, 2, 11);
+        let b = DenseMatrix::random(4, 3, 12);
+        let c = DenseMatrix::random(5, 2, 13);
+        let y = spttmc(&x, 0, &[&a, &b, &c]);
+        assert_eq!((y.rows(), y.cols()), (3, 6));
+        // Independent check on one output entry: Y(1)(i, :) = Σ X(i,j,k)·(B(j,:) ⊗ C(k,:)).
+        let mut expected = vec![0.0f32; 6];
+        for (coord, value) in x.iter() {
+            if coord[0] != 2 {
+                continue;
+            }
+            for (p, &vb) in b.row(coord[1] as usize).iter().enumerate() {
+                for (q, &vc) in c.row(coord[2] as usize).iter().enumerate() {
+                    expected[p * 2 + q] += value * vb * vc;
+                }
+            }
+        }
+        assert_slices_close(y.row(2), &expected, 1e-5);
+    }
+
+    #[test]
+    fn spttmc_reduces_to_khatri_rao_mttkrp_when_diagonal() {
+        // With R_a = R_b = 1, TTMc and MTTKRP coincide.
+        let x = small_tensor();
+        let a = DenseMatrix::random(3, 1, 21);
+        let b = DenseMatrix::random(4, 1, 22);
+        let c = DenseMatrix::random(5, 1, 23);
+        let factors = [&a, &b, &c];
+        let ttmc = spttmc(&x, 1, &factors);
+        let mttkrp = spmttkrp(&x, 1, &factors);
+        assert!(ttmc.max_abs_diff(&mttkrp) < 1e-5);
+    }
+
+    #[test]
+    fn spttmc_norder_matches_3_order_reference() {
+        let x = small_tensor();
+        let a = DenseMatrix::random(3, 2, 31);
+        let b = DenseMatrix::random(4, 3, 32);
+        let c = DenseMatrix::random(5, 2, 33);
+        let general = spttmc_norder(&x, 0, &[&b, &c]);
+        let special = spttmc(&x, 0, &[&a, &b, &c]);
+        assert!(general.max_abs_diff(&special) < 1e-5);
+        let general1 = spttmc_norder(&x, 1, &[&a, &c]);
+        let special1 = spttmc(&x, 1, &[&a, &b, &c]);
+        assert!(general1.max_abs_diff(&special1) < 1e-5);
+    }
+
+    #[test]
+    fn spttmc_norder_on_4_order_matches_brute_force() {
+        let x = SparseTensorCoo::from_entries(
+            vec![3, 2, 4, 2],
+            &[
+                (vec![0, 0, 0, 0], 1.0),
+                (vec![1, 1, 2, 0], 2.0),
+                (vec![2, 0, 3, 1], -1.0),
+                (vec![0, 1, 1, 1], 0.5),
+            ],
+        );
+        let f1 = DenseMatrix::random(2, 2, 41);
+        let f2 = DenseMatrix::random(4, 3, 42);
+        let f3 = DenseMatrix::random(2, 2, 43);
+        let result = spttmc_norder(&x, 0, &[&f1, &f2, &f3]);
+        assert_eq!((result.rows(), result.cols()), (3, 12));
+        // Brute force one output entry.
+        let mut expected = vec![0.0f32; 12];
+        for (coord, value) in x.iter() {
+            if coord[0] != 0 {
+                continue;
+            }
+            for (p, &a) in f1.row(coord[1] as usize).iter().enumerate() {
+                for (q, &b) in f2.row(coord[2] as usize).iter().enumerate() {
+                    for (r, &c) in f3.row(coord[3] as usize).iter().enumerate() {
+                        expected[p * 6 + q * 2 + r] += value * a * b * c;
+                    }
+                }
+            }
+        }
+        assert_slices_close(result.row(0), &expected, 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix rows must match")]
+    fn spttm_rejects_mismatched_matrix() {
+        let x = small_tensor();
+        let u = DenseMatrix::zeros(4, 2);
+        let _ = spttm(&x, 2, &u);
+    }
+}

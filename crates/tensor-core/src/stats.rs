@@ -1,0 +1,151 @@
+//! Structural statistics of sparse tensors — the quantities the paper's
+//! load-balance arguments are about (fiber-length skew → warp divergence in
+//! fiber-centric kernels, §III-B/§V-A).
+
+use crate::SparseTensorCoo;
+
+/// Summary of a size distribution (fiber or slice populations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionSummary {
+    /// Number of groups.
+    pub count: usize,
+    /// Mean group size.
+    pub mean: f64,
+    /// Median group size.
+    pub p50: usize,
+    /// 90th percentile.
+    pub p90: usize,
+    /// 99th percentile.
+    pub p99: usize,
+    /// Largest group.
+    pub max: usize,
+    /// Gini coefficient in `[0, 1)`: 0 = perfectly balanced, →1 = all work
+    /// in one group. This is the single number behind "load imbalance".
+    pub gini: f64,
+}
+
+impl DistributionSummary {
+    /// One-line rendering for reports.
+    pub fn render(&self) -> String {
+        format!(
+            "{} groups, mean {:.1}, p50 {}, p90 {}, p99 {}, max {}, gini {:.3}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max, self.gini
+        )
+    }
+}
+
+/// Summarizes a set of group sizes.
+///
+/// ```
+/// let balanced = tensor_core::stats::summarize(&[5; 50]);
+/// assert!(balanced.gini < 1e-9);
+/// let skewed = tensor_core::stats::summarize(&[1, 1, 1, 1, 96]);
+/// assert!(skewed.gini > 0.7);
+/// ```
+///
+/// # Panics
+/// If `sizes` is empty.
+pub fn summarize(sizes: &[usize]) -> DistributionSummary {
+    assert!(!sizes.is_empty(), "cannot summarize an empty distribution");
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    let count = sorted.len();
+    let total: u64 = sorted.iter().map(|&s| s as u64).sum();
+    let mean = total as f64 / count as f64;
+    let pct = |p: f64| sorted[(((count - 1) as f64) * p).floor() as usize];
+    // Gini from the sorted sizes: G = (2·Σ i·x_i)/(n·Σ x) − (n+1)/n.
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    let gini = if total == 0 {
+        0.0
+    } else {
+        (2.0 * weighted / (count as f64 * total as f64) - (count as f64 + 1.0) / count as f64)
+            .max(0.0)
+    };
+    DistributionSummary {
+        count,
+        mean,
+        p50: pct(0.5),
+        p90: pct(0.9),
+        p99: pct(0.99),
+        max: *sorted.last().unwrap(),
+        gini,
+    }
+}
+
+/// Fiber-length distribution for the fibers identified by fixing `modes`
+/// (e.g. `&[0, 1]` gives mode-3 fibers of a 3-way tensor).
+///
+/// Returns `None` for an empty tensor.
+pub fn group_summary(tensor: &SparseTensorCoo, modes: &[usize]) -> Option<DistributionSummary> {
+    let sizes = tensor.group_sizes(modes);
+    if sizes.is_empty() {
+        None
+    } else {
+        Some(summarize(&sizes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{self, DatasetKind};
+
+    #[test]
+    fn uniform_distribution_has_low_gini() {
+        let summary = summarize(&[10; 100]);
+        assert_eq!(summary.mean, 10.0);
+        assert_eq!(summary.p50, 10);
+        assert_eq!(summary.max, 10);
+        assert!(summary.gini < 1e-9);
+    }
+
+    #[test]
+    fn concentrated_distribution_has_high_gini() {
+        let mut sizes = vec![1usize; 99];
+        sizes.push(10_000);
+        let summary = summarize(&sizes);
+        assert!(summary.gini > 0.9, "gini {}", summary.gini);
+        assert_eq!(summary.max, 10_000);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sizes: Vec<usize> = (1..=100).collect();
+        let summary = summarize(&sizes);
+        assert_eq!(summary.p50, 50);
+        assert_eq!(summary.p90, 90);
+        assert_eq!(summary.p99, 99);
+        assert_eq!(summary.max, 100);
+    }
+
+    #[test]
+    fn skewed_dataset_has_higher_gini_than_uniform() {
+        let (skewed, _) = datasets::generate(DatasetKind::Nell1, 20_000, 3);
+        let (uniform, _) = datasets::generate(DatasetKind::Uniform, 20_000, 3);
+        let g_skewed = group_summary(&skewed, &[0]).unwrap().gini;
+        let g_uniform = group_summary(&uniform, &[0]).unwrap().gini;
+        assert!(
+            g_skewed > g_uniform + 0.1,
+            "nell1 gini {g_skewed:.3} should exceed uniform {g_uniform:.3}"
+        );
+    }
+
+    #[test]
+    fn empty_tensor_summarizes_to_none() {
+        let tensor = SparseTensorCoo::new(vec![4, 4]);
+        assert!(group_summary(&tensor, &[0]).is_none());
+    }
+
+    #[test]
+    fn render_mentions_gini() {
+        let summary = summarize(&[1, 2, 3]);
+        assert!(summary.render().contains("gini"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty distribution")]
+    fn summarize_rejects_empty() {
+        summarize(&[]);
+    }
+}

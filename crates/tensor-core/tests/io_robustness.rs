@@ -1,0 +1,52 @@
+//! Robustness: the FROSTT `.tns` parser must never panic — any byte soup
+//! either parses or returns a structured error.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use tensor_core::io::{read_tns, write_tns};
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(input in ".{0,400}") {
+        let _ = read_tns(Cursor::new(input.into_bytes()));
+    }
+
+    #[test]
+    fn parser_never_panics_on_numeric_soup(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(-1_000_000i64..1_000_000, 0..6),
+            0..30,
+        ),
+    ) {
+        let mut text = String::new();
+        for line in &lines {
+            let fields: Vec<String> = line.iter().map(|v| v.to_string()).collect();
+            text.push_str(&fields.join(" "));
+            text.push('\n');
+        }
+        let _ = read_tns(Cursor::new(text.into_bytes()));
+    }
+
+    /// Anything we write, we can read back identically.
+    #[test]
+    fn write_read_round_trip(
+        entries in proptest::collection::vec(
+            ((0u32..50, 0u32..50, 0u32..50), -100.0f32..100.0),
+            1..60,
+        ),
+    ) {
+        let mut tensor = tensor_core::SparseTensorCoo::new(vec![50, 50, 50]);
+        for ((i, j, k), value) in entries {
+            tensor.push(&[i, j, k], value);
+        }
+        tensor.coalesce();
+        prop_assume!(tensor.nnz() > 0);
+        let mut buffer = Vec::new();
+        write_tns(&tensor, &mut buffer).unwrap();
+        let reloaded = read_tns(Cursor::new(buffer)).unwrap();
+        prop_assert_eq!(reloaded.nnz(), tensor.nnz());
+        let a: std::collections::BTreeMap<Vec<u32>, f32> = tensor.iter().collect();
+        let b: std::collections::BTreeMap<Vec<u32>, f32> = reloaded.iter().collect();
+        prop_assert_eq!(a, b);
+    }
+}

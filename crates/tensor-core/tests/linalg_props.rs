@@ -1,0 +1,81 @@
+//! Property-based tests for the dense solvers standing in for CUBLAS.
+
+use proptest::prelude::*;
+use tensor_core::linalg::{cholesky, cholesky_solve, pinv_sym, solve_normal_equations, sym_eigen};
+use tensor_core::DenseMatrix;
+
+/// Builds an SPD matrix AᵀA + εI from arbitrary data.
+fn spd_from(data: Vec<f32>, n: usize) -> DenseMatrix {
+    let rows = data.len() / n;
+    let a = DenseMatrix::from_vec(rows, n, data[..rows * n].to_vec());
+    let mut g = a.gram();
+    for i in 0..n {
+        g.set(i, i, g.get(i, i) + 0.5 + n as f32);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Jacobi eigenvalues of an SPD matrix are positive and their sum equals
+    /// the trace.
+    #[test]
+    fn eigenvalues_of_spd_are_positive_and_sum_to_trace(
+        data in proptest::collection::vec(-2.0f32..2.0, 24..48),
+        n in 2usize..5,
+    ) {
+        prop_assume!(data.len() >= n * (n + 1));
+        let g = spd_from(data, n);
+        let eig = sym_eigen(&g);
+        for &lambda in &eig.values {
+            prop_assert!(lambda > 0.0, "non-positive eigenvalue {lambda}");
+        }
+        let trace: f64 = (0..n).map(|i| g.get(i, i) as f64).sum();
+        let sum: f64 = eig.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-3 * (1.0 + trace.abs()));
+    }
+
+    /// Cholesky solve actually solves.
+    #[test]
+    fn cholesky_solves_spd_systems(
+        data in proptest::collection::vec(-2.0f32..2.0, 24..48),
+        rhs_seed in 0u64..1000,
+        n in 2usize..5,
+    ) {
+        prop_assume!(data.len() >= n * (n + 1));
+        let g = spd_from(data, n);
+        let l = cholesky(&g).expect("SPD must factor");
+        let b = DenseMatrix::random(n, 2, rhs_seed);
+        let x = cholesky_solve(&l, n, &b);
+        let reconstructed = g.matmul(&x);
+        prop_assert!(reconstructed.max_abs_diff(&b) < 1e-2);
+    }
+
+    /// The pseudo-inverse satisfies the first Penrose condition on SPD input.
+    #[test]
+    fn pinv_penrose_on_spd(
+        data in proptest::collection::vec(-2.0f32..2.0, 24..48),
+        n in 2usize..5,
+    ) {
+        prop_assume!(data.len() >= n * (n + 1));
+        let g = spd_from(data, n);
+        let p = pinv_sym(&g, 1e-12);
+        let gpg = g.matmul(&p).matmul(&g);
+        prop_assert!(gpg.max_abs_diff(&g) < 1e-2);
+    }
+
+    /// solve_normal_equations returns X with X·G ≈ M for SPD G.
+    #[test]
+    fn normal_equations_solution_is_consistent(
+        data in proptest::collection::vec(-2.0f32..2.0, 24..48),
+        m_seed in 0u64..1000,
+        n in 2usize..5,
+    ) {
+        prop_assume!(data.len() >= n * (n + 1));
+        let g = spd_from(data, n);
+        let m = DenseMatrix::random(6, n, m_seed);
+        let x = solve_normal_equations(&m, &g);
+        prop_assert!(x.matmul(&g).max_abs_diff(&m) < 1e-2);
+    }
+}

@@ -1,0 +1,82 @@
+//! `tensortool` — command-line front end for the unified sparse tensor
+//! library. All logic lives in `unified_tensors::cli`; this file only parses
+//! arguments.
+
+use std::path::Path;
+use unified_tensors::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let parse_usize = |s: &String, what: &str| {
+        s.parse::<usize>().map_err(|_| format!("bad {what} `{s}`"))
+    };
+    match command {
+        "info" => {
+            let [_, path] = args else { return Err("info needs <file.tns>".into()) };
+            let tensor = cli::load(Path::new(path)).map_err(|e| e.to_string())?;
+            Ok(cli::info(&tensor))
+        }
+        "generate" => {
+            let [_, kind, nnz, out] = args else {
+                return Err("generate needs <kind> <nnz> <out.tns>".into());
+            };
+            let nnz = parse_usize(nnz, "nnz")?;
+            cli::generate(kind, nnz, Path::new(out)).map_err(|e| e.to_string())
+        }
+        "spttm" | "mttkrp" | "bench" => {
+            let [_, path, mode, rank] = args else {
+                return Err(format!("{command} needs <file.tns> <mode> <rank>"));
+            };
+            let tensor = cli::load(Path::new(path)).map_err(|e| e.to_string())?;
+            let mode = parse_usize(mode, "mode")?
+                .checked_sub(1)
+                .ok_or("modes are 1-based")?;
+            let rank = parse_usize(rank, "rank")?;
+            let result = match command {
+                "spttm" => cli::spttm(&tensor, mode, rank),
+                "mttkrp" => cli::mttkrp(&tensor, mode, rank),
+                _ => cli::bench(&tensor, mode, rank),
+            };
+            result.map_err(|e| e.to_string())
+        }
+        "cp" => {
+            let [_, path, rank, iters] = args else {
+                return Err("cp needs <file.tns> <rank> <iterations>".into());
+            };
+            let tensor = cli::load(Path::new(path)).map_err(|e| e.to_string())?;
+            let rank = parse_usize(rank, "rank")?;
+            let iters = parse_usize(iters, "iterations")?;
+            cli::cp(&tensor, rank, iters).map_err(|e| e.to_string())
+        }
+        "preprocess" => {
+            let [_, file, op, mode, out] = args else {
+                return Err("preprocess needs <file.tns> <op> <mode> <out.fcoo>".into());
+            };
+            let tensor = cli::load(Path::new(file)).map_err(|e| e.to_string())?;
+            let mode = parse_usize(mode, "mode")?
+                .checked_sub(1)
+                .ok_or("modes are 1-based")?;
+            cli::preprocess(&tensor, op, mode, Path::new(out)).map_err(|e| e.to_string())
+        }
+        "run" => {
+            let [_, file, rank] = args else {
+                return Err("run needs <file.fcoo> <rank>".into());
+            };
+            let rank = parse_usize(rank, "rank")?;
+            cli::run_cached(Path::new(file), rank).map_err(|e| e.to_string())
+        }
+        "help" | "--help" | "-h" => Ok(cli::USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,418 @@
+//! Implementation of the `tensortool` command-line utility.
+//!
+//! Every subcommand is a plain function returning the text it prints, so the
+//! logic is unit-testable without spawning processes. The binary in
+//! `src/bin/tensortool.rs` only parses arguments and forwards here.
+
+use crate::prelude::*;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError(message.into())
+}
+
+/// Loads a tensor from a FROSTT `.tns` file.
+pub fn load(path: &Path) -> Result<SparseTensorCoo, CliError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| err(format!("cannot open {}: {e}", path.display())))?;
+    crate::tensor_core::io::read_tns(std::io::BufReader::new(file))
+        .map_err(|e| err(format!("cannot parse {}: {e}", path.display())))
+}
+
+/// `tensortool info <file.tns>` — structural statistics.
+pub fn info(tensor: &SparseTensorCoo) -> String {
+    let mut out = String::new();
+    let dims: Vec<String> = tensor.shape().iter().map(|s| s.to_string()).collect();
+    let _ = writeln!(out, "order:    {}", tensor.order());
+    let _ = writeln!(out, "shape:    {}", dims.join(" x "));
+    let _ = writeln!(out, "nnz:      {}", tensor.nnz());
+    let _ = writeln!(out, "density:  {:.3e}", tensor.density());
+    let _ = writeln!(out, "coo size: {} bytes", tensor.storage_bytes());
+    for mode in 0..tensor.order() {
+        if let Some(summary) =
+            crate::tensor_core::stats::group_summary(tensor, &[mode])
+        {
+            let _ = writeln!(out, "mode {} slices: {}", mode + 1, summary.render());
+        }
+    }
+    out
+}
+
+/// `tensortool generate <kind> <nnz> <out.tns>` — write a synthetic dataset.
+pub fn generate(kind_name: &str, nnz: usize, path: &Path) -> Result<String, CliError> {
+    let kind = match kind_name {
+        "brainq" => DatasetKind::Brainq,
+        "nell2" => DatasetKind::Nell2,
+        "delicious" => DatasetKind::Delicious,
+        "nell1" => DatasetKind::Nell1,
+        "uniform" => DatasetKind::Uniform,
+        other => return Err(err(format!("unknown dataset kind `{other}`"))),
+    };
+    let (tensor, info) = datasets::generate(kind, nnz, 2017);
+    let file = std::fs::File::create(path)
+        .map_err(|e| err(format!("cannot create {}: {e}", path.display())))?;
+    crate::tensor_core::io::write_tns(&tensor, std::io::BufWriter::new(file))
+        .map_err(|e| err(format!("cannot write {}: {e}", path.display())))?;
+    Ok(format!("wrote {} ({})\n", path.display(), info.table_row()))
+}
+
+/// `tensortool spttm <file> <mode> <rank>` — run the unified SpTTM on the
+/// simulated device.
+pub fn spttm(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<String, CliError> {
+    check_mode(tensor, mode)?;
+    let device = GpuDevice::titan_x();
+    let fcoo = Fcoo::from_coo(tensor, TensorOp::SpTtm { mode }, 16);
+    let on_device = FcooDevice::upload(device.memory(), &fcoo)
+        .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let u_host = DenseMatrix::random(tensor.shape()[mode], rank, 1);
+    let u = DeviceMatrix::upload(device.memory(), &u_host)
+        .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let (result, stats) =
+        crate::fcoo::spttm(&device, &on_device, &u, &LaunchConfig::default())
+            .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let checksum: f64 = result.values().iter().map(|&v| v as f64).sum();
+    Ok(format!(
+        "SpTTM(mode-{}) rank {rank}: {:.1} µs simulated, {} fibers, \
+         {:.1}% cache hits, output checksum {checksum:.4}\n",
+        mode + 1,
+        stats.time_us,
+        result.nfibs(),
+        100.0 * stats.rocache_hit_rate,
+    ))
+}
+
+/// `tensortool mttkrp <file> <mode> <rank>` — run the unified SpMTTKRP.
+pub fn mttkrp(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<String, CliError> {
+    check_mode(tensor, mode)?;
+    let device = GpuDevice::titan_x();
+    let fcoo = Fcoo::from_coo(tensor, TensorOp::SpMttkrp { mode }, 16);
+    let on_device = FcooDevice::upload(device.memory(), &fcoo)
+        .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let hosts: Vec<DenseMatrix> = tensor
+        .shape()
+        .iter()
+        .enumerate()
+        .map(|(m, &n)| DenseMatrix::random(n, rank, 1 + m as u64))
+        .collect();
+    let factors: Vec<DeviceMatrix> = hosts
+        .iter()
+        .map(|f| DeviceMatrix::upload(device.memory(), f))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let refs: Vec<&DeviceMatrix> = factors.iter().collect();
+    let (result, stats) =
+        crate::fcoo::spmttkrp(&device, &on_device, &refs, &LaunchConfig::default())
+            .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let checksum: f64 = result.data().iter().map(|&v| v as f64).sum();
+    Ok(format!(
+        "SpMTTKRP(mode-{}) rank {rank}: {:.1} µs simulated, output {}x{}, \
+         {} atomics, checksum {checksum:.4}\n",
+        mode + 1,
+        stats.time_us,
+        result.rows(),
+        result.cols(),
+        stats.atomics,
+    ))
+}
+
+/// `tensortool cp <file> <rank> <iters>` — CP decomposition on the simulated
+/// device.
+pub fn cp(tensor: &SparseTensorCoo, rank: usize, iters: usize) -> Result<String, CliError> {
+    let opts = CpOptions { rank, max_iters: iters.max(1), tol: 1e-6, seed: 1 };
+    let mut engine =
+        UnifiedGpuEngine::new(GpuDevice::titan_x(), tensor, 16, LaunchConfig::default())
+            .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let run = cp_als(tensor, &mut engine, &opts);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "CP rank {rank}: fit {:.4} after {} iterations ({:.1} µs simulated GPU)",
+        run.fit,
+        run.iterations,
+        run.total_us()
+    );
+    for (mode, &us) in run.mode_us.iter().enumerate() {
+        let _ = writeln!(out, "  mode-{} MTTKRP: {us:.1} µs", mode + 1);
+    }
+    if let Some(overlapped) = run.overlapped_total_us {
+        let _ = writeln!(out, "  two-stream makespan: {overlapped:.1} µs");
+    }
+    let lambdas: Vec<String> = run.model.lambda.iter().map(|l| format!("{l:.3}")).collect();
+    let _ = writeln!(out, "  lambda: [{}]", lambdas.join(", "));
+    Ok(out)
+}
+
+/// `tensortool preprocess <file.tns> <op> <mode> <out.fcoo>` — build and
+/// persist the F-COO preprocessing for one operation and mode.
+pub fn preprocess(
+    tensor: &SparseTensorCoo,
+    op_name: &str,
+    mode: usize,
+    path: &Path,
+) -> Result<String, CliError> {
+    check_mode(tensor, mode)?;
+    let op = match op_name {
+        "spttm" => TensorOp::SpTtm { mode },
+        "mttkrp" => TensorOp::SpMttkrp { mode },
+        "ttmc" => TensorOp::SpTtmc { mode },
+        other => return Err(err(format!("unknown op `{other}` (spttm|mttkrp|ttmc)"))),
+    };
+    let fcoo = Fcoo::from_coo(tensor, op, 16);
+    let file = std::fs::File::create(path)
+        .map_err(|e| err(format!("cannot create {}: {e}", path.display())))?;
+    crate::fcoo::write_fcoo(&fcoo, std::io::BufWriter::new(file))
+        .map_err(|e| err(format!("cannot write {}: {e}", path.display())))?;
+    let breakdown = fcoo.storage();
+    Ok(format!(
+        "wrote {} — {} for {}, {} segments, {} bytes ({} B/nnz core model)\n",
+        path.display(),
+        op.label(),
+        fcoo.nnz(),
+        fcoo.segments(),
+        breakdown.total_bytes(),
+        breakdown.paper_model_bytes() / fcoo.nnz(),
+    ))
+}
+
+/// `tensortool run <file.fcoo> <rank>` — load preprocessed F-COO and run the
+/// matching unified kernel with random factors.
+pub fn run_cached(path: &Path, rank: usize) -> Result<String, CliError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| err(format!("cannot open {}: {e}", path.display())))?;
+    let fcoo = crate::fcoo::read_fcoo(std::io::BufReader::new(file))
+        .map_err(|e| err(format!("cannot decode {}: {e}", path.display())))?;
+    let device = GpuDevice::titan_x();
+    let on_device = FcooDevice::upload(device.memory(), &fcoo)
+        .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let cfg = LaunchConfig::default();
+    let stats = match fcoo.op {
+        TensorOp::SpTtm { mode } => {
+            let u_host = DenseMatrix::random(fcoo.shape[mode], rank, 1);
+            let u = DeviceMatrix::upload(device.memory(), &u_host)
+                .map_err(|e| err(format!("device out of memory: {e}")))?;
+            crate::fcoo::spttm(&device, &on_device, &u, &cfg)
+                .map_err(|e| err(format!("device out of memory: {e}")))?
+                .1
+        }
+        TensorOp::SpMttkrp { .. } => {
+            let hosts: Vec<DenseMatrix> = fcoo
+                .shape
+                .iter()
+                .enumerate()
+                .map(|(m, &n)| DenseMatrix::random(n, rank, 1 + m as u64))
+                .collect();
+            let factors: Vec<DeviceMatrix> = hosts
+                .iter()
+                .map(|f| DeviceMatrix::upload(device.memory(), f))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| err(format!("device out of memory: {e}")))?;
+            let refs: Vec<&DeviceMatrix> = factors.iter().collect();
+            crate::fcoo::spmttkrp(&device, &on_device, &refs, &cfg)
+                .map_err(|e| err(format!("device out of memory: {e}")))?
+                .1
+        }
+        TensorOp::SpTtmc { .. } => {
+            let pm = &fcoo.classification.product_modes;
+            let a_host = DenseMatrix::random(fcoo.shape[pm[0]], rank, 1);
+            let b_host = DenseMatrix::random(fcoo.shape[pm[1]], rank, 2);
+            let a = DeviceMatrix::upload(device.memory(), &a_host)
+                .map_err(|e| err(format!("device out of memory: {e}")))?;
+            let b = DeviceMatrix::upload(device.memory(), &b_host)
+                .map_err(|e| err(format!("device out of memory: {e}")))?;
+            crate::fcoo::spttmc(&device, &on_device, &a, &b, &cfg)
+                .map_err(|e| err(format!("device out of memory: {e}")))?
+                .1
+        }
+    };
+    Ok(format!(
+        "{} rank {rank}: {:.1} µs simulated, {} blocks in {} waves, \
+         {:.1}% cache hits\n",
+        fcoo.op.label(),
+        stats.time_us,
+        stats.blocks,
+        stats.waves,
+        100.0 * stats.rocache_hit_rate,
+    ))
+}
+
+/// `tensortool bench <file> <mode> <rank>` — compare unified against the
+/// baselines on one MTTKRP.
+pub fn bench(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<String, CliError> {
+    check_mode(tensor, mode)?;
+    if tensor.order() != 3 {
+        return Err(err("bench requires a 3-order tensor (baselines are 3-order)"));
+    }
+    let device = GpuDevice::titan_x();
+    let hosts: Vec<DenseMatrix> = tensor
+        .shape()
+        .iter()
+        .enumerate()
+        .map(|(m, &n)| DenseMatrix::random(n, rank, 1 + m as u64))
+        .collect();
+    let host_refs: Vec<&DenseMatrix> = hosts.iter().collect();
+    let mut out = String::new();
+
+    let fcoo = Fcoo::from_coo(tensor, TensorOp::SpMttkrp { mode }, 16);
+    let on_device = FcooDevice::upload(device.memory(), &fcoo)
+        .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let factors: Vec<DeviceMatrix> = hosts
+        .iter()
+        .map(|f| DeviceMatrix::upload(device.memory(), f))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let refs: Vec<&DeviceMatrix> = factors.iter().collect();
+    let (_, unified) =
+        crate::fcoo::spmttkrp(&device, &on_device, &refs, &LaunchConfig::default())
+            .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let _ = writeln!(out, "unified   (sim GPU): {:>10.1} µs", unified.time_us);
+
+    match spmttkrp_two_step_gpu(&device, tensor, mode, &host_refs) {
+        Ok((_, stats, _)) => {
+            let _ = writeln!(out, "ParTI-GPU (sim GPU): {:>10.1} µs", stats.time_us);
+        }
+        Err(_) => {
+            let _ = writeln!(out, "ParTI-GPU (sim GPU): out of memory");
+        }
+    }
+    let csf = Csf::build(tensor, mode);
+    let (_, splatt_us) = mttkrp_csf(&csf, &host_refs);
+    let _ = writeln!(out, "SPLATT    (CPU):     {splatt_us:>10.1} µs");
+    let prepared = SortedCoo::for_spmttkrp(tensor, mode);
+    let (_, omp_us) = spmttkrp_omp(&prepared, &host_refs);
+    let _ = writeln!(out, "ParTI-OMP (CPU):     {omp_us:>10.1} µs");
+    Ok(out)
+}
+
+fn check_mode(tensor: &SparseTensorCoo, mode: usize) -> Result<(), CliError> {
+    if mode >= tensor.order() {
+        return Err(err(format!(
+            "mode {} out of range for an order-{} tensor (modes are 1-based on \
+             the command line)",
+            mode + 1,
+            tensor.order()
+        )));
+    }
+    Ok(())
+}
+
+/// Usage text shown by the binary.
+pub const USAGE: &str = "\
+tensortool — unified sparse tensor operations on a simulated GPU
+
+USAGE:
+  tensortool info <file.tns>
+  tensortool generate <brainq|nell2|delicious|nell1|uniform> <nnz> <out.tns>
+  tensortool spttm <file.tns> <mode> <rank>
+  tensortool mttkrp <file.tns> <mode> <rank>
+  tensortool cp <file.tns> <rank> <iterations>
+  tensortool bench <file.tns> <mode> <rank>
+  tensortool preprocess <file.tns> <spttm|mttkrp|ttmc> <mode> <out.fcoo>
+  tensortool run <file.fcoo> <rank>
+
+Modes are 1-based, matching the paper's notation.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseTensorCoo {
+        datasets::generate(DatasetKind::Nell2, 2_000, 7).0
+    }
+
+    #[test]
+    fn info_reports_structure() {
+        let text = info(&sample());
+        assert!(text.contains("order:    3"));
+        assert!(text.contains("density:"));
+        assert!(text.contains("mode 1 slices:"));
+        assert!(text.contains("gini"));
+    }
+
+    #[test]
+    fn generate_then_load_round_trips() {
+        let path = std::env::temp_dir().join("tensortool_test_gen.tns");
+        let message = generate("nell2", 500, &path).unwrap();
+        assert!(message.contains("wrote"));
+        let loaded = load(&path).unwrap();
+        assert!(loaded.nnz() >= 450);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_kind() {
+        let path = std::env::temp_dir().join("tensortool_test_bad.tns");
+        assert!(generate("zebra", 100, &path).is_err());
+    }
+
+    #[test]
+    fn spttm_and_mttkrp_report_stats() {
+        let tensor = sample();
+        let a = spttm(&tensor, 2, 8).unwrap();
+        assert!(a.contains("SpTTM(mode-3)"));
+        assert!(a.contains("µs simulated"));
+        let b = mttkrp(&tensor, 0, 8).unwrap();
+        assert!(b.contains("SpMTTKRP(mode-1)"));
+    }
+
+    #[test]
+    fn mode_bounds_are_checked() {
+        let tensor = sample();
+        assert!(spttm(&tensor, 3, 8).is_err());
+        assert!(mttkrp(&tensor, 9, 8).is_err());
+    }
+
+    #[test]
+    fn cp_reports_fit_and_lambda() {
+        let tensor = sample();
+        let text = cp(&tensor, 4, 3).unwrap();
+        assert!(text.contains("fit"));
+        assert!(text.contains("lambda:"));
+        assert!(text.contains("two-stream makespan"));
+    }
+
+    #[test]
+    fn bench_lists_all_implementations() {
+        let tensor = sample();
+        let text = bench(&tensor, 0, 8).unwrap();
+        for needle in ["unified", "ParTI-GPU", "SPLATT", "ParTI-OMP"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+
+    #[test]
+    fn preprocess_then_run_cached() {
+        let tensor = sample();
+        let path = std::env::temp_dir().join("tensortool_test_pre.fcoo");
+        let message = preprocess(&tensor, "mttkrp", 0, &path).unwrap();
+        assert!(message.contains("SpMTTKRP(mode-1)"));
+        let ran = run_cached(&path, 8).unwrap();
+        assert!(ran.contains("µs simulated"), "{ran}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn preprocess_rejects_unknown_op() {
+        let tensor = sample();
+        let path = std::env::temp_dir().join("tensortool_test_badop.fcoo");
+        assert!(preprocess(&tensor, "zebra", 0, &path).is_err());
+    }
+
+    #[test]
+    fn load_rejects_missing_file() {
+        assert!(load(Path::new("/nonexistent/definitely_missing.tns")).is_err());
+    }
+}
