@@ -119,8 +119,16 @@ impl Csf {
 pub fn mttkrp_csf(csf: &Csf, factors: &[&DenseMatrix]) -> (DenseMatrix, f64) {
     let [root_mode, middle_mode, leaf_mode] = csf.mode_order;
     let r = factors[middle_mode].cols();
-    assert_eq!(factors[middle_mode].rows(), csf.shape[middle_mode], "middle factor mismatch");
-    assert_eq!(factors[leaf_mode].rows(), csf.shape[leaf_mode], "leaf factor mismatch");
+    assert_eq!(
+        factors[middle_mode].rows(),
+        csf.shape[middle_mode],
+        "middle factor mismatch"
+    );
+    assert_eq!(
+        factors[leaf_mode].rows(),
+        csf.shape[leaf_mode],
+        "leaf factor mismatch"
+    );
     assert_eq!(factors[leaf_mode].cols(), r, "factor rank mismatch");
     let rows = csf.shape[root_mode];
     let mut out = DenseMatrix::zeros(rows, r);
@@ -148,9 +156,7 @@ pub fn mttkrp_csf(csf: &Csf, factors: &[&DenseMatrix]) -> (DenseMatrix, f64) {
             }
             let out_row = csf.slice_index[s] as usize;
             // SAFETY: each slice owns a distinct output row.
-            let dest = unsafe {
-                std::slice::from_raw_parts_mut(out_ptr.0.add(out_row * r), r)
-            };
+            let dest = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(out_row * r), r) };
             dest.copy_from_slice(&row_accum);
         });
     });
@@ -158,7 +164,10 @@ pub fn mttkrp_csf(csf: &Csf, factors: &[&DenseMatrix]) -> (DenseMatrix, f64) {
 }
 
 struct SyncMutPtr(*mut f32);
+// SAFETY: the pointer targets the output buffer, which outlives the scoped
+// workers; writes are restricted to disjoint rows per worker.
 unsafe impl Send for SyncMutPtr {}
+// SAFETY: see `Send` above — per-worker row disjointness makes this sound.
 unsafe impl Sync for SyncMutPtr {}
 
 #[cfg(test)]
@@ -248,8 +257,7 @@ mod tests {
 
     #[test]
     fn single_nonzero_csf() {
-        let tensor =
-            SparseTensorCoo::from_entries(vec![3, 3, 3], &[(vec![2, 1, 0], 4.0)]);
+        let tensor = SparseTensorCoo::from_entries(vec![3, 3, 3], &[(vec![2, 1, 0], 4.0)]);
         let csf = Csf::build(&tensor, 0);
         assert_eq!(csf.num_slices(), 1);
         assert_eq!(csf.num_fibers(), 1);

@@ -57,10 +57,17 @@ fn spttm_fiber_device(
     prepared: &SortedCoo,
     u_host: &DenseMatrix,
 ) -> Result<FiberSpttmDevice, OutOfMemory> {
-    assert!(prepared.fiber_groups, "SortedCoo must be built with for_spttm");
+    assert!(
+        prepared.fiber_groups,
+        "SortedCoo must be built with for_spttm"
+    );
     let tensor = &prepared.tensor;
     let mode = prepared.mode;
-    assert_eq!(u_host.rows(), tensor.shape()[mode], "matrix rows must match product-mode size");
+    assert_eq!(
+        u_host.rows(),
+        tensor.shape()[mode],
+        "matrix rows must match product-mode size"
+    );
     let r = u_host.cols();
     let nfibs = prepared.groups();
 
@@ -73,7 +80,16 @@ fn spttm_fiber_device(
     let out = memory.alloc_zeroed::<f32>(nfibs * r)?;
 
     let stats = run_fiber_kernel(
-        device, nfibs, r, &group_ptr, &values, &k_indices, &u, u_host.cols(), &out, None,
+        device,
+        nfibs,
+        r,
+        &group_ptr,
+        &values,
+        &k_indices,
+        &u,
+        u_host.cols(),
+        &out,
+        None,
     );
     Ok(FiberSpttmDevice {
         out,
@@ -104,8 +120,10 @@ pub fn spttm_fiber_gpu(
     let index_modes: Vec<usize> = (0..tensor.order()).filter(|&m| m != mode).collect();
     for g in 0..nfibs {
         let first = prepared.group_ptr[g];
-        let coord: Vec<Idx> =
-            index_modes.iter().map(|&m| tensor.mode_indices(m)[first]).collect();
+        let coord: Vec<Idx> = index_modes
+            .iter()
+            .map(|&m| tensor.mode_indices(m)[first])
+            .collect();
         result.push_fiber(&coord, &host_values[g * r..(g + 1) * r]);
     }
     Ok((result, step.stats))
@@ -147,9 +165,8 @@ fn run_fiber_kernel(
                 ctx_fiber(block_x, threads_x, tx)
             };
             let lane_ty = |lane: usize| (w * warp + lane) / threads_x;
-            let any_active = (0..warp).any(|lane| {
-                lane_fiber(lane) < nfibs && lane_ty(lane) < threads_y
-            });
+            let any_active =
+                (0..warp).any(|lane| lane_fiber(lane) < nfibs && lane_ty(lane) < threads_y);
             if !any_active {
                 continue;
             }
@@ -387,7 +404,9 @@ mod tests {
             let u = DenseMatrix::random(tensor.shape()[mode], 16, 2);
             let (result, stats) = spttm_fiber_gpu(&device, &prepared, &u).unwrap();
             let reference = ops::spttm(&tensor, mode, &u);
-            let diff = result.max_abs_diff(&reference).expect("fiber sets must match");
+            let diff = result
+                .max_abs_diff(&reference)
+                .expect("fiber sets must match");
             assert!(diff < 1e-3, "mode {mode} diff {diff}");
             assert!(stats.time_us > 0.0);
         }
@@ -400,8 +419,7 @@ mod tests {
         let factors = factors_for(&tensor, 8, 4);
         let refs: Vec<&DenseMatrix> = factors.iter().collect();
         for mode in 0..3 {
-            let (result, _, peak) =
-                spmttkrp_two_step_gpu(&device, &tensor, mode, &refs).unwrap();
+            let (result, _, peak) = spmttkrp_two_step_gpu(&device, &tensor, mode, &refs).unwrap();
             let reference = ops::spmttkrp(&tensor, mode, &refs);
             assert!(result.max_abs_diff(&reference) < 1e-3, "mode {mode}");
             assert!(peak > 0);

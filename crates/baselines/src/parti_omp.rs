@@ -60,7 +60,12 @@ impl SortedCoo {
             }
         }
         group_ptr.push(sorted.nnz());
-        SortedCoo { mode, fiber_groups, tensor: sorted, group_ptr }
+        SortedCoo {
+            mode,
+            fiber_groups,
+            tensor: sorted,
+            group_ptr,
+        }
     }
 
     /// Number of groups (fibers or slices).
@@ -72,10 +77,17 @@ impl SortedCoo {
 /// ParTI-OMP SpTTM: one task per fiber, no synchronization needed because
 /// each fiber owns one output row. Returns the result and wall-clock µs.
 pub fn spttm_omp(prepared: &SortedCoo, u: &DenseMatrix) -> (SemiSparseTensor, f64) {
-    assert!(prepared.fiber_groups, "SortedCoo must be built with for_spttm");
+    assert!(
+        prepared.fiber_groups,
+        "SortedCoo must be built with for_spttm"
+    );
     let mode = prepared.mode;
     let tensor = &prepared.tensor;
-    assert_eq!(u.rows(), tensor.shape()[mode], "matrix rows must match product-mode size");
+    assert_eq!(
+        u.rows(),
+        tensor.shape()[mode],
+        "matrix rows must match product-mode size"
+    );
     let r = u.cols();
     let groups = prepared.groups();
     let mut values = vec![0.0f32; groups * r];
@@ -86,8 +98,7 @@ pub fn spttm_omp(prepared: &SortedCoo, u: &DenseMatrix) -> (SemiSparseTensor, f6
         let out_ptr = &out_ptr;
         parallel_for(groups, |g| {
             // SAFETY: each group owns a distinct output row.
-            let row =
-                unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(g * r), r) };
+            let row = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(g * r), r) };
             for nz in prepared.group_ptr[g]..prepared.group_ptr[g + 1] {
                 let value = tensor_values[nz];
                 let u_row = u.row(product_index[nz] as usize);
@@ -101,8 +112,10 @@ pub fn spttm_omp(prepared: &SortedCoo, u: &DenseMatrix) -> (SemiSparseTensor, f6
     let index_modes: Vec<usize> = (0..tensor.order()).filter(|&m| m != mode).collect();
     for g in 0..groups {
         let first = prepared.group_ptr[g];
-        let coord: Vec<Idx> =
-            index_modes.iter().map(|&m| tensor.mode_indices(m)[first]).collect();
+        let coord: Vec<Idx> = index_modes
+            .iter()
+            .map(|&m| tensor.mode_indices(m)[first])
+            .collect();
         result.push_fiber(&coord, &values[g * r..(g + 1) * r]);
     }
     (result, elapsed_us)
@@ -111,7 +124,10 @@ pub fn spttm_omp(prepared: &SortedCoo, u: &DenseMatrix) -> (SemiSparseTensor, f6
 /// ParTI-OMP SpMTTKRP: one task per output slice (row of `M`), walking that
 /// slice's non-zeros. Returns the dense result and wall-clock µs.
 pub fn spmttkrp_omp(prepared: &SortedCoo, factors: &[&DenseMatrix]) -> (DenseMatrix, f64) {
-    assert!(!prepared.fiber_groups, "SortedCoo must be built with for_spmttkrp");
+    assert!(
+        !prepared.fiber_groups,
+        "SortedCoo must be built with for_spmttkrp"
+    );
     let mode = prepared.mode;
     let tensor = &prepared.tensor;
     let order = tensor.order();
@@ -119,7 +135,11 @@ pub fn spmttkrp_omp(prepared: &SortedCoo, factors: &[&DenseMatrix]) -> (DenseMat
     let product_modes: Vec<usize> = (0..order).filter(|&m| m != mode).collect();
     let r = factors[product_modes[0]].cols();
     for &m in &product_modes {
-        assert_eq!(factors[m].rows(), tensor.shape()[m], "factor {m} row count mismatch");
+        assert_eq!(
+            factors[m].rows(),
+            tensor.shape()[m],
+            "factor {m} row count mismatch"
+        );
         assert_eq!(factors[m].cols(), r, "factor {m} rank mismatch");
     }
     let rows = tensor.shape()[mode];
@@ -136,8 +156,7 @@ pub fn spmttkrp_omp(prepared: &SortedCoo, factors: &[&DenseMatrix]) -> (DenseMat
             let first = prepared.group_ptr[g];
             let out_row = mode_index[first] as usize;
             // SAFETY: each slice owns a distinct output row.
-            let row =
-                unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(out_row * r), r) };
+            let row = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(out_row * r), r) };
             let mut scratch = vec![0.0f32; r];
             for nz in prepared.group_ptr[g]..prepared.group_ptr[g + 1] {
                 let value: Val = tensor_values[nz];
@@ -158,7 +177,10 @@ pub fn spmttkrp_omp(prepared: &SortedCoo, factors: &[&DenseMatrix]) -> (DenseMat
 }
 
 struct SyncMutPtr(*mut f32);
+// SAFETY: the pointer targets the output buffer, which outlives the scoped
+// workers; writes are restricted to disjoint rows per worker.
 unsafe impl Send for SyncMutPtr {}
+// SAFETY: see `Send` above — per-worker row disjointness makes this sound.
 unsafe impl Sync for SyncMutPtr {}
 
 #[cfg(test)]
@@ -184,7 +206,9 @@ mod tests {
             let u = DenseMatrix::random(tensor.shape()[mode], 16, 5);
             let (result, elapsed) = spttm_omp(&prepared, &u);
             let reference = ops::spttm(&tensor, mode, &u);
-            let diff = result.max_abs_diff(&reference).expect("fiber sets must match");
+            let diff = result
+                .max_abs_diff(&reference)
+                .expect("fiber sets must match");
             assert!(diff < 1e-3, "mode {mode} diff {diff}");
             assert!(elapsed > 0.0);
         }

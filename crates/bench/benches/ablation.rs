@@ -26,14 +26,33 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     let variants = [
         ("all-on", LaunchConfig::default()),
-        ("no-segscan", LaunchConfig { use_segscan: false, ..Default::default() }),
-        ("no-rocache", LaunchConfig { use_rocache: false, ..Default::default() }),
-        ("no-fusion", LaunchConfig { use_fusion: false, ..Default::default() }),
+        (
+            "no-segscan",
+            LaunchConfig {
+                use_segscan: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-rocache",
+            LaunchConfig {
+                use_rocache: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-fusion",
+            LaunchConfig {
+                use_fusion: false,
+                ..Default::default()
+            },
+        ),
     ];
     for (name, cfg) in variants {
         group.bench_with_input(BenchmarkId::new("brainq", name), &(), |b, _| {
             b.iter(|| {
-                unified_tensors::fcoo::spmttkrp(&device, &on_device, &refs, &cfg).unwrap()
+                unified_tensors::fcoo::spmttkrp(&device, &on_device, &refs, &cfg)
+                    .expect("bench setup")
             })
         });
     }

@@ -9,7 +9,12 @@ use unified_tensors::prelude::*;
 fn bench(c: &mut Criterion) {
     let nnz = bench_nnz();
     eprintln!("{}", render_cp(&fig10(nnz)));
-    let opts = CpOptions { rank: 8, max_iters: 2, tol: 1e-7, seed: 3 };
+    let opts = CpOptions {
+        rank: 8,
+        max_iters: 2,
+        tol: 1e-7,
+        seed: 3,
+    };
     let mut group = c.benchmark_group("fig10_cp_decomposition");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(400));

@@ -17,9 +17,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("build-fcoo", &info.name), &(), |b, _| {
             b.iter(|| Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 16))
         });
-        group.bench_with_input(BenchmarkId::new("build-sorted-coo", &info.name), &(), |b, _| {
-            b.iter(|| SortedCoo::for_spmttkrp(&tensor, 0))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build-sorted-coo", &info.name),
+            &(),
+            |b, _| b.iter(|| SortedCoo::for_spmttkrp(&tensor, 0)),
+        );
         group.bench_with_input(BenchmarkId::new("build-csf", &info.name), &(), |b, _| {
             b.iter(|| Csf::build(&tensor, 0))
         });

@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
                         &refs,
                         &LaunchConfig::default(),
                     )
-                    .unwrap()
+                    .expect("bench setup")
                 })
             },
         );

@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
                             &u,
                             &LaunchConfig::default(),
                         )
-                        .unwrap()
+                        .expect("bench setup")
                     })
                 },
             );
@@ -41,7 +41,9 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("parti-gpu-{}", info.name), rank),
                 &(),
-                |b, _| b.iter(|| spttm_fiber_gpu(&device, &prepared, &u_host).unwrap()),
+                |b, _| {
+                    b.iter(|| spttm_fiber_gpu(&device, &prepared, &u_host).expect("bench setup"))
+                },
             );
         }
     }

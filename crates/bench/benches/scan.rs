@@ -25,13 +25,25 @@ fn bench(c: &mut Criterion) {
             }
         }
         let device = GpuDevice::titan_x();
-        let v = device.memory().alloc_from_slice(&values).unwrap();
-        let f = device.memory().alloc_from_slice(&packed).unwrap();
-        let out = device.memory().alloc_zeroed::<f32>(n).unwrap();
+        let v = device
+            .memory()
+            .alloc_from_slice(&values)
+            .expect("bench setup");
+        let f = device
+            .memory()
+            .alloc_from_slice(&packed)
+            .expect("bench setup");
+        let out = device.memory().alloc_zeroed::<f32>(n).expect("bench setup");
         group.bench_with_input(
             BenchmarkId::new("device", format!("seg{segment_len}")),
             &(),
-            |b, _| b.iter(|| segmented_scan_device(&device, &v, &f, n, &out, 128).stats.time_us),
+            |b, _| {
+                b.iter(|| {
+                    segmented_scan_device(&device, &v, &f, n, &out, 128)
+                        .stats
+                        .time_us
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("host-reference", format!("seg{segment_len}")),

@@ -32,11 +32,11 @@ fn bench(c: &mut Criterion) {
                     &refs,
                     &LaunchConfig::default(),
                 )
-                .unwrap()
+                .expect("bench setup")
             })
         });
         group.bench_with_input(BenchmarkId::new("parti-gpu", &info.name), &(), |b, _| {
-            b.iter(|| spmttkrp_two_step_gpu(&device, &tensor, 0, &host_refs).unwrap())
+            b.iter(|| spmttkrp_two_step_gpu(&device, &tensor, 0, &host_refs).expect("bench setup"))
         });
         let csf = Csf::build(&tensor, 0);
         group.bench_with_input(BenchmarkId::new("splatt", &info.name), &(), |b, _| {

@@ -23,12 +23,12 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("unified", &info.name), &(), |b, _| {
             b.iter(|| {
                 unified_tensors::fcoo::spttm(&device, &on_device, &u, &LaunchConfig::default())
-                    .unwrap()
+                    .expect("bench setup")
             })
         });
         let prepared = SortedCoo::for_spttm(&tensor, 2);
         group.bench_with_input(BenchmarkId::new("parti-gpu", &info.name), &(), |b, _| {
-            b.iter(|| spttm_fiber_gpu(&device, &prepared, &u_host).unwrap())
+            b.iter(|| spttm_fiber_gpu(&device, &prepared, &u_host).expect("bench setup"))
         });
         group.bench_with_input(BenchmarkId::new("parti-omp", &info.name), &(), |b, _| {
             b.iter(|| spttm_omp(&prepared, &u_host))

@@ -27,13 +27,17 @@ fn bench(c: &mut Criterion) {
             .map(|f| DeviceMatrix::upload(device.memory(), f).expect("fits"))
             .collect();
         let refs: Vec<&DeviceMatrix> = factors.iter().collect();
-        let cfg = LaunchConfig { block_size, ..Default::default() };
+        let cfg = LaunchConfig {
+            block_size,
+            ..Default::default()
+        };
         group.bench_with_input(
             BenchmarkId::new("mttkrp-brainq", format!("bs{block_size}_tl{threadlen}")),
             &(),
             |b, _| {
                 b.iter(|| {
-                    unified_tensors::fcoo::spmttkrp(&device, &on_device, &refs, &cfg).unwrap()
+                    unified_tensors::fcoo::spmttkrp(&device, &on_device, &refs, &cfg)
+                        .expect("bench setup")
                 })
             },
         );

@@ -32,7 +32,11 @@ pub fn table1_text() -> String {
     ] {
         let c = unified_tensors::fcoo::ModeClassification::classify(op, 3);
         let one_based = |modes: &[usize]| {
-            modes.iter().map(|m| (m + 1).to_string()).collect::<Vec<_>>().join(",")
+            modes
+                .iter()
+                .map(|m| (m + 1).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         };
         t.row(vec![
             op.label(),
@@ -58,7 +62,14 @@ pub fn table3_text() -> String {
 
 /// Table IV: dataset descriptions at the current scale.
 pub fn table4_rows(nnz: usize) -> TextTable {
-    let mut t = TextTable::new(&["dataset", "order", "mode sizes", "nnz", "density", "paper nnz"]);
+    let mut t = TextTable::new(&[
+        "dataset",
+        "order",
+        "mode sizes",
+        "nnz",
+        "density",
+        "paper nnz",
+    ]);
     for (_, info) in bench_datasets(nnz) {
         let dims: Vec<String> = info.shape.iter().map(|s| s.to_string()).collect();
         t.row(vec![
@@ -91,14 +102,14 @@ pub fn table2_rows(nnz: usize) -> TextTable {
     for (tensor, info) in bench_datasets(nnz) {
         let n = tensor.nnz();
         let coo = unified_tensors::fcoo::table2_coo_bytes(3, n);
-        for (op, product_modes) in
-            [(TensorOp::SpTtm { mode: 2 }, 1usize), (TensorOp::SpMttkrp { mode: 0 }, 2usize)]
-        {
+        for (op, product_modes) in [
+            (TensorOp::SpTtm { mode: 2 }, 1usize),
+            (TensorOp::SpMttkrp { mode: 0 }, 2usize),
+        ] {
             let threadlen = 8;
             let fcoo = Fcoo::from_coo(&tensor, op, threadlen);
             let breakdown = fcoo.storage();
-            let formula =
-                unified_tensors::fcoo::table2_fcoo_bytes(product_modes, n, threadlen);
+            let formula = unified_tensors::fcoo::table2_fcoo_bytes(product_modes, n, threadlen);
             t.row(vec![
                 info.name.clone(),
                 op.label(),
@@ -146,7 +157,11 @@ pub fn fig5_surfaces(nnz: usize) -> Vec<TuningReport> {
                 None,
                 None,
             );
-            TuningReport { dataset: info.name, op: "SpMTTKRP(mode-1)".into(), result }
+            TuningReport {
+                dataset: info.name,
+                op: "SpMTTKRP(mode-1)".into(),
+                result,
+            }
         })
         .collect()
 }
@@ -238,9 +253,11 @@ pub fn fig6a(nnz: usize) -> Vec<SpeedupRow> {
             let (unified_result, unified_stats) =
                 run_unified_spttm(&device, &tensor, 2, &u_host, 16, 128);
             let reference = ops::spttm(&tensor, 2, &u_host);
-            for (name, result) in
-                [("omp", &omp_result), ("parti-gpu", &gpu_result), ("unified", &unified_result)]
-            {
+            for (name, result) in [
+                ("omp", &omp_result),
+                ("parti-gpu", &gpu_result),
+                ("unified", &unified_result),
+            ] {
                 let diff = result.max_abs_diff(&reference).expect("fiber sets");
                 assert!(diff < 1e-2, "{name} diverged on {}: {diff}", info.name);
             }
@@ -277,8 +294,7 @@ pub fn fig6b(nnz: usize) -> Vec<SpeedupRow> {
                     spmttkrp_two_step_gpu(&device, &tensor, 0, &host_refs).expect("fits");
                 Some(stats.time_us)
             };
-            let (_, unified_stats) =
-                run_unified_mttkrp(&device, &tensor, 0, &hosts, 16, 128);
+            let (_, unified_stats) = run_unified_mttkrp(&device, &tensor, 0, &hosts, 16, 128);
             SpeedupRow {
                 dataset: info.name,
                 parti_omp_us: omp_us,
@@ -313,10 +329,14 @@ pub fn render_speedups(rows: &[SpeedupRow], with_splatt: bool) -> String {
         }
         cells.push(fmt_us(row.unified_us));
         cells.push(
-            row.parti_gpu_us.map_or("-".into(), |t| fmt_x(row.parti_omp_us / t)),
+            row.parti_gpu_us
+                .map_or("-".into(), |t| fmt_x(row.parti_omp_us / t)),
         );
         if with_splatt {
-            cells.push(row.splatt_us.map_or("-".into(), |t| fmt_x(row.parti_omp_us / t)));
+            cells.push(
+                row.splatt_us
+                    .map_or("-".into(), |t| fmt_x(row.parti_omp_us / t)),
+            );
         }
         cells.push(fmt_x(row.parti_omp_us / row.unified_us));
         t.row(cells);
@@ -351,8 +371,14 @@ pub fn fig7_spttm(nnz: usize) -> Vec<ModeRow> {
         unified[mode] = stats.time_us;
     }
     vec![
-        ModeRow { implementation: "ParTI-GPU".into(), mode_us: parti },
-        ModeRow { implementation: "Unified".into(), mode_us: unified },
+        ModeRow {
+            implementation: "ParTI-GPU".into(),
+            mode_us: parti,
+        },
+        ModeRow {
+            implementation: "Unified".into(),
+            mode_us: unified,
+        },
     ]
 }
 
@@ -376,9 +402,18 @@ pub fn fig7_spmttkrp(nnz: usize) -> Vec<ModeRow> {
         unified[mode] = stats.time_us;
     }
     vec![
-        ModeRow { implementation: "ParTI-GPU".into(), mode_us: parti },
-        ModeRow { implementation: "SPLATT".into(), mode_us: splatt },
-        ModeRow { implementation: "Unified".into(), mode_us: unified },
+        ModeRow {
+            implementation: "ParTI-GPU".into(),
+            mode_us: parti,
+        },
+        ModeRow {
+            implementation: "SPLATT".into(),
+            mode_us: splatt,
+        },
+        ModeRow {
+            implementation: "Unified".into(),
+            mode_us: unified,
+        },
     ]
 }
 
@@ -429,8 +464,14 @@ pub fn fig8(nnz: usize) -> Vec<RankRow> {
             let (_, stats) = spttm_fiber_gpu(&device, &prepared, &u_host).expect("fits");
             parti_series.push((rank, stats.time_us));
         }
-        rows.push(RankRow { label: format!("Unified ({})", info.name), series: unified_series });
-        rows.push(RankRow { label: format!("ParTI-GPU ({})", info.name), series: parti_series });
+        rows.push(RankRow {
+            label: format!("Unified ({})", info.name),
+            series: unified_series,
+        });
+        rows.push(RankRow {
+            label: format!("ParTI-GPU ({})", info.name),
+            series: parti_series,
+        });
     }
     rows
 }
@@ -448,7 +489,11 @@ pub fn render_ranks(rows: &[RankRow]) -> String {
     for row in rows {
         let mut cells = vec![row.label.clone()];
         cells.extend(row.series.iter().map(|&(_, us)| fmt_us(us)));
-        let slope = row.series.last().unwrap().1 - row.series.first().unwrap().1;
+        let (first, last) = match (row.series.first(), row.series.last()) {
+            (Some(first), Some(last)) => (first.1, last.1),
+            _ => continue,
+        };
+        let slope = last - first;
         cells.push(format!("+{}", fmt_us(slope)));
         t.row(cells);
     }
@@ -495,8 +540,7 @@ pub fn fig9_row(tensor: &SparseTensorCoo, info: &DatasetInfo, rank: usize) -> Me
     let paper_nnz = info.paper_nnz as f64;
     let paper_fibers = fiber_ratio * paper_nnz;
     let paper_kind = DatasetKind::PAPER.iter().find(|k| k.name() == info.name);
-    let paper_rows =
-        paper_kind.map_or(out_rows as f64 * scale, |k| k.paper_shape()[0] as f64);
+    let paper_rows = paper_kind.map_or(out_rows as f64 * scale, |k| k.paper_shape()[0] as f64);
     let paper_factor_rows: f64 = paper_kind.map_or(
         tensor.shape().iter().map(|&s| s as f64).sum::<f64>() * scale,
         |k| k.paper_shape().iter().map(|&s| s as f64).sum(),
@@ -545,10 +589,17 @@ pub fn render_memory(rows: &[MemoryRow]) -> String {
             row.dataset.clone(),
             row.parti_bytes.to_string(),
             row.unified_bytes.to_string(),
-            format!("{:.1}%", 100.0 * (1.0 - row.unified_bytes as f64 / row.parti_bytes as f64)),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - row.unified_bytes as f64 / row.parti_bytes as f64)
+            ),
             format!("{:.2} GB", row.parti_paper_gb),
             format!("{:.2} GB", row.unified_paper_gb),
-            if row.parti_paper_gb > 12.0 { "ParTI OOM".into() } else { "both".to_string() },
+            if row.parti_paper_gb > 12.0 {
+                "ParTI OOM".into()
+            } else {
+                "both".to_string()
+            },
         ]);
     }
     t.render()
@@ -561,16 +612,27 @@ pub fn render_memory(rows: &[MemoryRow]) -> String {
 /// Fig. 10: CP-ALS time breakdown, SPLATT vs unified, on brainq and nell2 at
 /// rank 8.
 pub fn fig10(nnz: usize) -> Vec<(String, CpRun)> {
-    let opts = CpOptions { rank: 8, max_iters: 5, tol: 1e-7, seed: 3 };
+    let opts = CpOptions {
+        rank: 8,
+        max_iters: 5,
+        tol: 1e-7,
+        seed: 3,
+    };
     let mut out = Vec::new();
     for kind in [DatasetKind::Brainq, DatasetKind::Nell2] {
         let (tensor, info) = datasets::generate(kind, nnz, 2017);
         let mut splatt = SplattEngine::new(&tensor);
-        out.push((format!("{}-SPLATT", info.name), cp_als(&tensor, &mut splatt, &opts)));
+        out.push((
+            format!("{}-SPLATT", info.name),
+            cp_als(&tensor, &mut splatt, &opts),
+        ));
         let mut unified =
             UnifiedGpuEngine::new(GpuDevice::titan_x(), &tensor, 16, LaunchConfig::default())
                 .expect("fits");
-        out.push((format!("{}-Unified", info.name), cp_als(&tensor, &mut unified, &opts)));
+        out.push((
+            format!("{}-Unified", info.name),
+            cp_als(&tensor, &mut unified, &opts),
+        ));
     }
     out
 }
@@ -640,12 +702,7 @@ pub fn ablations(nnz: usize) -> Vec<AblationRow> {
     // on unified kernels.
     let host_refs: Vec<&DenseMatrix> = hosts.iter().collect();
     let two_step = unified_tensors::fcoo::spmttkrp_two_step_unified(
-        &device,
-        &tensor,
-        0,
-        &host_refs,
-        16,
-        &base,
+        &device, &tensor, 0, &host_refs, 16, &base,
     )
     .expect("fits");
     vec![
@@ -657,17 +714,26 @@ pub fn ablations(nnz: usize) -> Vec<AblationRow> {
         AblationRow {
             name: "segmented scan (vs per-nnz atomics)".into(),
             on_us,
-            off_us: run(&LaunchConfig { use_segscan: false, ..base.clone() }),
+            off_us: run(&LaunchConfig {
+                use_segscan: false,
+                ..base.clone()
+            }),
         },
         AblationRow {
             name: "read-only cache (vs plain global loads)".into(),
             on_us,
-            off_us: run(&LaunchConfig { use_rocache: false, ..base.clone() }),
+            off_us: run(&LaunchConfig {
+                use_rocache: false,
+                ..base.clone()
+            }),
         },
         AblationRow {
             name: "kernel fusion (vs separate carry kernel)".into(),
             on_us,
-            off_us: run(&LaunchConfig { use_fusion: false, ..base.clone() }),
+            off_us: run(&LaunchConfig {
+                use_fusion: false,
+                ..base.clone()
+            }),
         },
     ]
 }
@@ -715,7 +781,11 @@ pub fn device_sensitivity(nnz: usize) -> Vec<DeviceRow> {
             let (_, unified) = run_unified_mttkrp(&device, &tensor, 0, &hosts, 16, 128);
             let (_, parti, _) =
                 spmttkrp_two_step_gpu(&device, &tensor, 0, &host_refs).expect("fits");
-            DeviceRow { device: name, unified_us: unified.time_us, parti_us: parti.time_us }
+            DeviceRow {
+                device: name,
+                unified_us: unified.time_us,
+                parti_us: parti.time_us,
+            }
         })
         .collect()
 }
@@ -750,7 +820,10 @@ pub fn run_unified_spttm(
     let fcoo = Fcoo::from_coo(tensor, TensorOp::SpTtm { mode }, threadlen);
     let on_device = FcooDevice::upload(device.memory(), &fcoo).expect("fits");
     let u = DeviceMatrix::upload(device.memory(), u_host).expect("fits");
-    let cfg = LaunchConfig { block_size, ..Default::default() };
+    let cfg = LaunchConfig {
+        block_size,
+        ..Default::default()
+    };
     unified_tensors::fcoo::spttm(device, &on_device, &u, &cfg).expect("kernel")
 }
 
@@ -765,10 +838,15 @@ pub fn run_unified_mttkrp(
 ) -> (DenseMatrix, KernelStats) {
     let fcoo = Fcoo::from_coo(tensor, TensorOp::SpMttkrp { mode }, threadlen);
     let on_device = FcooDevice::upload(device.memory(), &fcoo).expect("fits");
-    let factors: Vec<DeviceMatrix> =
-        hosts.iter().map(|f| DeviceMatrix::upload(device.memory(), f).expect("fits")).collect();
+    let factors: Vec<DeviceMatrix> = hosts
+        .iter()
+        .map(|f| DeviceMatrix::upload(device.memory(), f).expect("fits"))
+        .collect();
     let refs: Vec<&DeviceMatrix> = factors.iter().collect();
-    let cfg = LaunchConfig { block_size, ..Default::default() };
+    let cfg = LaunchConfig {
+        block_size,
+        ..Default::default()
+    };
     unified_tensors::fcoo::spmttkrp(device, &on_device, &refs, &cfg).expect("kernel")
 }
 
@@ -811,7 +889,11 @@ mod tests {
         let by_name = |name: &str| rows.iter().find(|r| r.dataset == name).unwrap();
         // nell1 and delicious exceed 12 GB at paper scale for ParTI; brainq
         // and nell2 fit — exactly the paper's Fig. 6b/9 situation.
-        assert!(by_name("nell1").parti_paper_gb > 12.0, "{}", by_name("nell1").parti_paper_gb);
+        assert!(
+            by_name("nell1").parti_paper_gb > 12.0,
+            "{}",
+            by_name("nell1").parti_paper_gb
+        );
         assert!(
             by_name("delicious").parti_paper_gb > 12.0,
             "{}",
@@ -821,7 +903,11 @@ mod tests {
         assert!(by_name("brainq").parti_paper_gb < 12.0);
         // Unified fits everywhere.
         for row in &rows {
-            assert!(row.unified_paper_gb < 12.0, "{} unified projection", row.dataset);
+            assert!(
+                row.unified_paper_gb < 12.0,
+                "{} unified projection",
+                row.dataset
+            );
             assert!(row.unified_bytes < row.parti_bytes, "{}", row.dataset);
         }
     }
@@ -854,7 +940,10 @@ mod tests {
         // One-shot must beat the two-step intermediate (Fig. 3), and the
         // segmented scan must beat per-nnz atomics on the atomic-heavy
         // brainq.
-        assert!(rows[0].off_us > rows[0].on_us, "one-shot should beat two-step");
+        assert!(
+            rows[0].off_us > rows[0].on_us,
+            "one-shot should beat two-step"
+        );
         assert!(rows[1].off_us > rows[1].on_us, "scan should beat atomics");
     }
 }

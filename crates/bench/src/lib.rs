@@ -21,7 +21,10 @@ use unified_tensors::prelude::*;
 /// under a few minutes on a laptop while preserving every qualitative
 /// relationship (see DESIGN.md on scaling).
 pub fn default_nnz() -> usize {
-    std::env::var("REPRO_NNZ").ok().and_then(|v| v.parse().ok()).unwrap_or(60_000)
+    std::env::var("REPRO_NNZ")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60_000)
 }
 
 /// The four paper datasets at the given budget, in Fig. 6 order
@@ -43,5 +46,8 @@ pub fn make_factors(tensor: &SparseTensorCoo, rank: usize, seed: u64) -> Vec<Den
 /// Non-zero budget for criterion benches (`BENCH_NNZ`, default 20k — small
 /// enough that a full `cargo bench` stays in minutes).
 pub fn bench_nnz() -> usize {
-    std::env::var("BENCH_NNZ").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000)
+    std::env::var("BENCH_NNZ")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
 }

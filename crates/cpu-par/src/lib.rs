@@ -38,7 +38,9 @@ pub struct CpuInfo {
 /// Queries host CPU information.
 pub fn cpu_info() -> CpuInfo {
     CpuInfo {
-        logical_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        logical_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         pool_threads: global_pool().num_threads(),
     }
 }

@@ -88,7 +88,9 @@ where
             *slot = Some(f(chunk_index * 64 + offset));
         }
     });
-    out.into_iter().map(|slot| slot.expect("every index visited")).collect()
+    out.into_iter()
+        .map(|slot| slot.expect("every index visited"))
+        .collect()
 }
 
 /// Parallel reduction: maps every `i in 0..n` through `map` into a per-worker
@@ -132,7 +134,10 @@ fn default_chunk(n: usize) -> usize {
 }
 
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer targets a slice that outlives the scoped workers, and
+// each worker dereferences a disjoint chunk of it.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: see `Send` above — chunk disjointness makes shared access sound.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]
@@ -215,7 +220,9 @@ mod tests {
 
     #[test]
     fn reduce_max() {
-        let data: Vec<u32> = (0..10_000).map(|i| (i * 2654435761u64 % 65536) as u32).collect();
+        let data: Vec<u32> = (0..10_000)
+            .map(|i| (i * 2654435761u64 % 65536) as u32)
+            .collect();
         let expected = *data.iter().max().unwrap();
         let found = par_reduce(
             data.len(),

@@ -22,7 +22,10 @@ type Task<'a> = dyn Fn(usize, usize) + Sync + 'a;
 /// [`Pool::run`] does not return until the completion signal fires.
 #[derive(Clone, Copy)]
 struct TaskPtr(*const Task<'static>);
+// SAFETY: dereferenced only while `Pool::run` blocks on the completion
+// signal, so the pointee (a `Sync` closure) is live; see the doc above.
 unsafe impl Send for TaskPtr {}
+// SAFETY: the pointee is `Sync`, so shared access from workers is sound.
 unsafe impl Sync for TaskPtr {}
 
 struct Region {
@@ -72,7 +75,11 @@ impl Pool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        Pool { shared, handles, num_threads }
+        Pool {
+            shared,
+            handles,
+            num_threads,
+        }
     }
 
     /// Number of worker threads.
@@ -90,6 +97,8 @@ impl Pool {
             return;
         }
         // Erase the closure lifetime; see `TaskPtr` for the soundness argument.
+        // SAFETY: only the lifetime is transmuted; `run` does not return
+        // until every worker has dropped its reference (see `TaskPtr`).
         let erased: TaskPtr =
             TaskPtr(unsafe { std::mem::transmute::<*const Task<'a>, *const Task<'static>>(task) });
         let region = Arc::new(Region {
@@ -151,6 +160,8 @@ fn worker_loop(shared: &Shared, worker: usize) {
             }
         };
         // Claim and execute tasks until the region is exhausted.
+        // SAFETY: the region is only handed to workers while `Pool::run`
+        // blocks, which keeps the erased closure alive (see `TaskPtr`).
         let task: &Task<'static> = unsafe { &*region.task.0 };
         loop {
             let index = region.next.fetch_add(1, Ordering::Relaxed);
@@ -179,7 +190,9 @@ pub fn global_pool() -> &'static Pool {
             .ok()
             .and_then(|value| value.parse::<usize>().ok())
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             });
         Pool::new(threads)
     })

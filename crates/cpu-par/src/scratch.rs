@@ -16,7 +16,9 @@ impl<T> PerWorker<T> {
     /// Creates one slot per global-pool worker using `init`.
     pub fn new(init: impl Fn() -> T) -> Self {
         let workers = global_pool().num_threads();
-        PerWorker { slots: (0..workers).map(|_| Mutex::new(init())).collect() }
+        PerWorker {
+            slots: (0..workers).map(|_| Mutex::new(init())).collect(),
+        }
     }
 
     /// Number of slots.
@@ -39,7 +41,10 @@ impl<T> PerWorker<T> {
 
     /// Consumes the storage and returns all slot values.
     pub fn into_values(self) -> Vec<T> {
-        self.slots.into_iter().map(|slot| slot.into_inner()).collect()
+        self.slots
+            .into_iter()
+            .map(|slot| slot.into_inner())
+            .collect()
     }
 }
 

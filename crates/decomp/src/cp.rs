@@ -48,7 +48,12 @@ pub struct CpOptions {
 
 impl Default for CpOptions {
     fn default() -> Self {
-        CpOptions { rank: 8, max_iters: 20, tol: 1e-5, seed: 1 }
+        CpOptions {
+            rank: 8,
+            max_iters: 20,
+            tol: 1e-5,
+            seed: 1,
+        }
     }
 }
 
@@ -111,11 +116,7 @@ impl CpRun {
 ///
 /// # Panics
 /// If the rank is zero or the tensor is empty.
-pub fn cp_als(
-    tensor: &SparseTensorCoo,
-    engine: &mut dyn MttkrpEngine,
-    opts: &CpOptions,
-) -> CpRun {
+pub fn cp_als(tensor: &SparseTensorCoo, engine: &mut dyn MttkrpEngine, opts: &CpOptions) -> CpRun {
     assert!(opts.rank > 0, "rank must be positive");
     assert!(tensor.nnz() > 0, "cannot decompose an empty tensor");
     let order = tensor.order();
@@ -129,7 +130,11 @@ pub fn cp_als(
             f
         })
         .collect();
-    let norm_x_sq: f64 = tensor.values().iter().map(|&v| (v as f64) * (v as f64)).sum();
+    let norm_x_sq: f64 = tensor
+        .values()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum();
     let mut lambda: Vec<Val> = vec![1.0; opts.rank];
     let mut mode_us = vec![0.0f64; order];
     let mut other_us = 0.0f64;
@@ -196,13 +201,12 @@ pub fn cp_als(
                 Some(acc) => acc.hadamard(&gram),
             });
         }
-        let gram_product = gram_product.unwrap();
+        let gram_product = gram_product.expect("CP requires at least two modes");
         let mut norm_model_sq = 0.0f64;
         for r in 0..opts.rank {
             for s in 0..opts.rank {
-                norm_model_sq += (lambda[r] as f64)
-                    * (lambda[s] as f64)
-                    * (gram_product.get(r, s) as f64);
+                norm_model_sq +=
+                    (lambda[r] as f64) * (lambda[s] as f64) * (gram_product.get(r, s) as f64);
             }
         }
         let residual_sq = (norm_x_sq + norm_model_sq - 2.0 * inner).max(0.0);
@@ -233,11 +237,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// A dense low-rank tensor stored as COO: Σ_r a_r ∘ b_r ∘ c_r.
-    pub(crate) fn low_rank_tensor(
-        shape: [usize; 3],
-        rank: usize,
-        seed: u64,
-    ) -> SparseTensorCoo {
+    pub(crate) fn low_rank_tensor(shape: [usize; 3], rank: usize, seed: u64) -> SparseTensorCoo {
         let mut rng = SmallRng::seed_from_u64(seed);
         let a = DenseMatrix::from_fn(shape[0], rank, |_, _| rng.gen::<f32>() + 0.1);
         let b = DenseMatrix::from_fn(shape[1], rank, |_, _| rng.gen::<f32>() + 0.1);
@@ -246,8 +246,9 @@ mod tests {
         for i in 0..shape[0] {
             for j in 0..shape[1] {
                 for k in 0..shape[2] {
-                    let value: f32 =
-                        (0..rank).map(|r| a.get(i, r) * b.get(j, r) * c.get(k, r)).sum();
+                    let value: f32 = (0..rank)
+                        .map(|r| a.get(i, r) * b.get(j, r) * c.get(k, r))
+                        .sum();
                     tensor.push(&[i as u32, j as u32, k as u32], value);
                 }
             }
@@ -262,7 +263,12 @@ mod tests {
         let run = cp_als(
             &tensor,
             &mut engine,
-            &CpOptions { rank: 3, max_iters: 60, tol: 1e-9, seed: 2 },
+            &CpOptions {
+                rank: 3,
+                max_iters: 60,
+                tol: 1e-9,
+                seed: 2,
+            },
         );
         assert!(run.fit > 0.98, "fit {} too low", run.fit);
         assert!(run.iterations >= 2);
@@ -277,18 +283,35 @@ mod tests {
             let run = cp_als(
                 &tensor,
                 &mut engine,
-                &CpOptions { rank, max_iters: 40, tol: 1e-10, seed: 3 },
+                &CpOptions {
+                    rank,
+                    max_iters: 40,
+                    tol: 1e-10,
+                    seed: 3,
+                },
             );
             fits.push(run.fit);
         }
-        assert!(fits[1] > fits[0], "rank-4 fit {} should beat rank-1 {}", fits[1], fits[0]);
+        assert!(
+            fits[1] > fits[0],
+            "rank-4 fit {} should beat rank-1 {}",
+            fits[1],
+            fits[0]
+        );
     }
 
     #[test]
     fn factors_are_column_normalized_with_positive_lambda() {
         let tensor = low_rank_tensor([5, 6, 7], 2, 11);
         let mut engine = ReferenceEngine::new(&tensor);
-        let run = cp_als(&tensor, &mut engine, &CpOptions { rank: 2, ..Default::default() });
+        let run = cp_als(
+            &tensor,
+            &mut engine,
+            &CpOptions {
+                rank: 2,
+                ..Default::default()
+            },
+        );
         for factor in &run.model.factors {
             for norm in factor.column_norms() {
                 assert!((norm - 1.0).abs() < 1e-3, "column norm {norm}");
@@ -304,7 +327,12 @@ mod tests {
         let run = cp_als(
             &tensor,
             &mut engine,
-            &CpOptions { rank: 2, max_iters: 80, tol: 1e-10, seed: 4 },
+            &CpOptions {
+                rank: 2,
+                max_iters: 80,
+                tol: 1e-10,
+                seed: 4,
+            },
         );
         let mut worst = 0.0f64;
         for (coord, value) in tensor.iter() {

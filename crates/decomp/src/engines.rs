@@ -124,14 +124,12 @@ impl MttkrpEngine for UnifiedGpuEngine {
         let uploaded: Vec<DeviceMatrix> = factors
             .iter()
             .map(|f| {
-                DeviceMatrix::upload(self.device.memory(), f)
-                    .expect("device sized for CP factors")
+                DeviceMatrix::upload(self.device.memory(), f).expect("device sized for CP factors")
             })
             .collect();
         let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
-        let (result, stats) =
-            fcoo::spmttkrp(&self.device, &self.per_mode[mode], &refs, &self.cfg)
-                .expect("device sized for CP output");
+        let (result, stats) = fcoo::spmttkrp(&self.device, &self.per_mode[mode], &refs, &self.cfg)
+            .expect("device sized for CP output");
         self.last_mttkrp_finish = self.timeline.push(0, stats.time_us);
         (result, stats.time_us)
     }
@@ -141,18 +139,17 @@ impl MttkrpEngine for UnifiedGpuEngine {
         // R×R solve, at a conservative 10% of the device's peak single
         // precision throughput, plus per-kernel launch overheads.
         let config = self.device.config();
-        let peak_flops_per_us =
-            config.total_cores() as f64 * 2.0 * config.clock_ghz * 1e3;
+        let peak_flops_per_us = config.total_cores() as f64 * 2.0 * config.clock_ghz * 1e3;
         let effective = 0.1 * peak_flops_per_us;
         // The Gram products read factors the MTTKRP does not write: they run
         // on stream 1 concurrently with the MTTKRP kernel.
         let gram_flops = 2.0 * rows as f64 * (rank * rank) as f64;
         let gram_us = gram_flops / effective + 2.0 * config.launch_overhead_us;
         // The solve consumes the MTTKRP result: it waits for stream 0.
-        let solve_us =
-            (rank * rank * rank) as f64 / effective + config.launch_overhead_us;
+        let solve_us = (rank * rank * rank) as f64 / effective + config.launch_overhead_us;
         self.timeline.push(1, gram_us);
-        self.timeline.push_after(1, self.last_mttkrp_finish, solve_us);
+        self.timeline
+            .push_after(1, self.last_mttkrp_finish, solve_us);
         Some(gram_us + solve_us)
     }
 
@@ -173,7 +170,9 @@ pub struct SplattEngine {
 impl SplattEngine {
     /// Builds CSF trees rooted at each mode.
     pub fn new(tensor: &SparseTensorCoo) -> Self {
-        SplattEngine { per_mode: (0..tensor.order()).map(|m| Csf::build(tensor, m)).collect() }
+        SplattEngine {
+            per_mode: (0..tensor.order()).map(|m| Csf::build(tensor, m)).collect(),
+        }
     }
 }
 
@@ -195,7 +194,12 @@ mod tests {
     use tensor_core::datasets::{self, DatasetKind};
 
     fn options() -> CpOptions {
-        CpOptions { rank: 4, max_iters: 6, tol: 1e-7, seed: 3 }
+        CpOptions {
+            rank: 4,
+            max_iters: 6,
+            tol: 1e-7,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -268,11 +272,19 @@ mod tests {
             UnifiedGpuEngine::new(GpuDevice::titan_x(), &tensor, 8, LaunchConfig::default())
                 .unwrap();
         let run = cp_als(&tensor, &mut unified, &options());
-        let overlapped = run.overlapped_total_us.expect("unified engine models streams");
+        let overlapped = run
+            .overlapped_total_us
+            .expect("unified engine models streams");
         let serial = run.total_us();
         let mttkrp_total: f64 = run.mode_us.iter().sum();
-        assert!(overlapped <= serial + 1e-6, "overlap {overlapped} vs serial {serial}");
-        assert!(overlapped >= mttkrp_total, "makespan cannot beat the critical path");
+        assert!(
+            overlapped <= serial + 1e-6,
+            "overlap {overlapped} vs serial {serial}"
+        );
+        assert!(
+            overlapped >= mttkrp_total,
+            "makespan cannot beat the critical path"
+        );
         assert!(overlapped < serial, "gram products must actually overlap");
     }
 

@@ -93,7 +93,10 @@ pub fn tucker_hooi(
     assert!(order >= 2, "HOOI needs at least 2 modes");
     assert_eq!(opts.ranks.len(), order, "one rank per mode required");
     for (mode, (&rank, &size)) in opts.ranks.iter().zip(tensor.shape()).enumerate() {
-        assert!(rank >= 1 && rank <= size, "rank {rank} invalid for mode {mode} (size {size})");
+        assert!(
+            rank >= 1 && rank <= size,
+            "rank {rank} invalid for mode {mode} (size {size})"
+        );
     }
     assert!(opts.max_iters >= 1, "at least one sweep required");
 
@@ -110,9 +113,15 @@ pub fn tucker_hooi(
         .iter()
         .zip(&opts.ranks)
         .enumerate()
-        .map(|(m, (&size, &rank))| orthonormalize(DenseMatrix::random(size, rank, opts.seed + m as u64)))
+        .map(|(m, (&size, &rank))| {
+            orthonormalize(DenseMatrix::random(size, rank, opts.seed + m as u64))
+        })
         .collect();
-    let norm_x_sq: f64 = tensor.values().iter().map(|&v| (v as f64) * (v as f64)).sum();
+    let norm_x_sq: f64 = tensor
+        .values()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum();
     let cfg = LaunchConfig::default();
     let ttmc = |mode: usize, factors: &[DenseMatrix]| -> Result<DenseMatrix, OutOfMemory> {
         let others: Vec<usize> = (0..order).filter(|&m| m != mode).collect();
@@ -135,7 +144,12 @@ pub fn tucker_hooi(
     let w = ttmc(0, &factors)?;
     let core = factors[0].transpose().matmul(&w);
     let core_norm = core.frobenius();
-    Ok(TuckerModel { factors, core, core_norm, norm_x_sq })
+    Ok(TuckerModel {
+        factors,
+        core,
+        core_norm,
+        norm_x_sq,
+    })
 }
 
 /// Gram–Schmidt column orthonormalization.
@@ -143,13 +157,17 @@ fn orthonormalize(mut m: DenseMatrix) -> DenseMatrix {
     let (rows, cols) = (m.rows(), m.cols());
     for c in 0..cols {
         for prev in 0..c {
-            let dot: f64 =
-                (0..rows).map(|r| (m.get(r, c) * m.get(r, prev)) as f64).sum();
+            let dot: f64 = (0..rows)
+                .map(|r| (m.get(r, c) * m.get(r, prev)) as f64)
+                .sum();
             for r in 0..rows {
                 m.set(r, c, m.get(r, c) - (dot as f32) * m.get(r, prev));
             }
         }
-        let norm: f64 = (0..rows).map(|r| (m.get(r, c) as f64).powi(2)).sum::<f64>().sqrt();
+        let norm: f64 = (0..rows)
+            .map(|r| (m.get(r, c) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         if norm > 1e-12 {
             for r in 0..rows {
                 m.set(r, c, m.get(r, c) / norm as f32);
@@ -223,7 +241,11 @@ mod tests {
         let model = tucker_hooi(
             &device,
             &tensor,
-            &TuckerOptions { ranks: vec![2, 2, 2], max_iters: 6, seed: 1 },
+            &TuckerOptions {
+                ranks: vec![2, 2, 2],
+                max_iters: 6,
+                seed: 1,
+            },
         )
         .unwrap();
         assert!(model.fit() > 0.98, "fit {} too low", model.fit());
@@ -236,7 +258,11 @@ mod tests {
         let model = tucker_hooi(
             &device,
             &tensor,
-            &TuckerOptions { ranks: vec![2, 3, 2], max_iters: 3, seed: 2 },
+            &TuckerOptions {
+                ranks: vec![2, 3, 2],
+                max_iters: 3,
+                seed: 2,
+            },
         )
         .unwrap();
         for factor in &model.factors {
@@ -261,13 +287,21 @@ mod tests {
         let small = tucker_hooi(
             &device,
             &tensor,
-            &TuckerOptions { ranks: vec![1, 1, 1], max_iters: 5, seed: 3 },
+            &TuckerOptions {
+                ranks: vec![1, 1, 1],
+                max_iters: 5,
+                seed: 3,
+            },
         )
         .unwrap();
         let large = tucker_hooi(
             &device,
             &tensor,
-            &TuckerOptions { ranks: vec![2, 2, 2], max_iters: 5, seed: 3 },
+            &TuckerOptions {
+                ranks: vec![2, 2, 2],
+                max_iters: 5,
+                seed: 3,
+            },
         )
         .unwrap();
         assert!(large.fit() >= small.fit() - 1e-6);
@@ -280,7 +314,11 @@ mod tests {
         let model = tucker_hooi(
             &device,
             &tensor,
-            &TuckerOptions { ranks: vec![2, 2, 2], max_iters: 8, seed: 4 },
+            &TuckerOptions {
+                ranks: vec![2, 2, 2],
+                max_iters: 8,
+                seed: 4,
+            },
         )
         .unwrap();
         assert!(model.fit() > 0.98);
@@ -288,8 +326,7 @@ mod tests {
         let mut worst = 0.0f64;
         for (coord, value) in tensor.iter() {
             let predicted = model.predict(&coord);
-            worst = worst
-                .max(((predicted - value) as f64).abs() / (value.abs().max(0.05) as f64));
+            worst = worst.max(((predicted - value) as f64).abs() / (value.abs().max(0.05) as f64));
         }
         assert!(worst < 0.2, "worst relative reconstruction error {worst}");
     }
@@ -301,7 +338,11 @@ mod tests {
         let model = tucker_hooi(
             &device,
             &tensor,
-            &TuckerOptions { ranks: vec![2, 2, 2], max_iters: 3, seed: 5 },
+            &TuckerOptions {
+                ranks: vec![2, 2, 2],
+                max_iters: 3,
+                seed: 5,
+            },
         )
         .unwrap();
         assert!((model.core_norm - model.core.frobenius()).abs() < 1e-9);
@@ -344,7 +385,11 @@ mod tests {
         let model = tucker_hooi(
             &device,
             &tensor,
-            &TuckerOptions { ranks: vec![2, 2, 2, 2], max_iters: 6, seed: 2 },
+            &TuckerOptions {
+                ranks: vec![2, 2, 2, 2],
+                max_iters: 6,
+                seed: 2,
+            },
         )
         .unwrap();
         assert!(model.fit() > 0.95, "4-order fit {}", model.fit());
@@ -352,8 +397,7 @@ mod tests {
         let mut worst = 0.0f64;
         for (coord, value) in tensor.iter() {
             let predicted = model.predict(&coord);
-            worst = worst
-                .max(((predicted - value) as f64).abs() / (value.abs().max(0.05) as f64));
+            worst = worst.max(((predicted - value) as f64).abs() / (value.abs().max(0.05) as f64));
         }
         assert!(worst < 0.3, "worst 4-order reconstruction error {worst}");
     }
@@ -366,7 +410,11 @@ mod tests {
         let _ = tucker_hooi(
             &device,
             &tensor,
-            &TuckerOptions { ranks: vec![9, 2, 2], max_iters: 1, seed: 1 },
+            &TuckerOptions {
+                ranks: vec![9, 2, 2],
+                max_iters: 1,
+                seed: 1,
+            },
         );
     }
 }

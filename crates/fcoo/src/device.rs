@@ -32,7 +32,11 @@ impl DeviceMatrix {
 
     /// Allocates a zeroed device matrix.
     pub fn zeros(memory: &DeviceMemory, rows: usize, cols: usize) -> Result<Self, OutOfMemory> {
-        Ok(DeviceMatrix { buf: memory.alloc_zeroed(rows * cols)?, rows, cols })
+        Ok(DeviceMatrix {
+            buf: memory.alloc_zeroed(rows * cols)?,
+            rows,
+            cols,
+        })
     }
 
     /// Number of rows.
@@ -130,7 +134,9 @@ impl FcooDevice {
 
     /// Number of segments (output fibers/slices).
     pub fn segments(&self) -> usize {
-        self.segment_coords_host.first().map_or(usize::from(self.nnz > 0), Vec::len)
+        self.segment_coords_host
+            .first()
+            .map_or(usize::from(self.nnz > 0), Vec::len)
     }
 
     /// Number of thread partitions.

@@ -40,7 +40,10 @@ pub struct BitFlags {
 impl BitFlags {
     /// Creates an all-clear flag array for `len` non-zeros.
     pub fn new(len: usize) -> Self {
-        BitFlags { bits: vec![0; len.div_ceil(8)], len }
+        BitFlags {
+            bits: vec![0; len.div_ceil(8)],
+            len,
+        }
     }
 
     /// Number of flags.
@@ -226,7 +229,9 @@ impl Fcoo {
 
     /// Number of segments (output fibers/slices).
     pub fn segments(&self) -> usize {
-        self.segment_coords.first().map_or(usize::from(self.nnz() > 0), Vec::len)
+        self.segment_coords
+            .first()
+            .map_or(usize::from(self.nnz() > 0), Vec::len)
     }
 
     /// Number of thread partitions.
@@ -288,7 +293,10 @@ mod tests {
         );
         // Product-mode (k) indices are kept verbatim: Fig. 2(b) column 3.
         assert_eq!(f.product_indices.len(), 1);
-        assert_eq!(f.product_indices[0], vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 0, 1, 2]);
+        assert_eq!(
+            f.product_indices[0],
+            vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 0, 1, 2]
+        );
     }
 
     #[test]

@@ -49,14 +49,22 @@ pub struct LaunchConfig {
 
 impl Default for LaunchConfig {
     fn default() -> Self {
-        LaunchConfig { block_size: 128, use_rocache: true, use_segscan: true, use_fusion: true }
+        LaunchConfig {
+            block_size: 128,
+            use_rocache: true,
+            use_segscan: true,
+            use_fusion: true,
+        }
     }
 }
 
 impl LaunchConfig {
     /// A config with the given block size and all optimizations on.
     pub fn with_block_size(block_size: usize) -> Self {
-        LaunchConfig { block_size, ..Default::default() }
+        LaunchConfig {
+            block_size,
+            ..Default::default()
+        }
     }
 }
 
@@ -79,7 +87,11 @@ pub fn spttm(
         TensorOp::SpTtm { mode } => mode,
         other => panic!("F-COO was preprocessed for {other:?}, not SpTTM"),
     };
-    assert_eq!(u.rows(), fcoo.shape[mode], "matrix rows must match product-mode size");
+    assert_eq!(
+        u.rows(),
+        fcoo.shape[mode],
+        "matrix rows must match product-mode size"
+    );
     let r = u.cols();
     let segments = fcoo.segments();
     let out = device.memory().alloc_zeroed::<f32>(segments * r)?;
@@ -102,8 +114,11 @@ pub fn spttm(
     let mut result = SemiSparseTensor::new(fcoo.shape.clone(), mode, r);
     let values = out.to_vec();
     for seg in 0..segments {
-        let coord: Vec<u32> =
-            fcoo.segment_coords_host.iter().map(|column| column[seg]).collect();
+        let coord: Vec<u32> = fcoo
+            .segment_coords_host
+            .iter()
+            .map(|column| column[seg])
+            .collect();
         result.push_fiber(&coord, &values[seg * r..(seg + 1) * r]);
     }
     Ok((result, stats))
@@ -132,14 +147,21 @@ pub fn spmttkrp(
     let product_modes = &fcoo.classification.product_modes;
     let r = factors[product_modes[0]].cols();
     for &m in product_modes {
-        assert_eq!(factors[m].rows(), fcoo.shape[m], "factor {m} row count mismatch");
+        assert_eq!(
+            factors[m].rows(),
+            fcoo.shape[m],
+            "factor {m} row count mismatch"
+        );
         assert_eq!(factors[m].cols(), r, "factor {m} column count mismatch");
     }
     let rows = fcoo.shape[mode];
     let out = device.memory().alloc_zeroed::<f32>(rows * r)?;
     let slice_of_seg = &fcoo.segment_coords_host[0];
     let product_factors: Vec<&DeviceMatrix> = product_modes.iter().map(|&m| factors[m]).collect();
-    let factor_ws: usize = product_factors.iter().map(|f| f.rows() * f.cols() * 4).sum();
+    let factor_ws: usize = product_factors
+        .iter()
+        .map(|f| f.rows() * f.cols() * 4)
+        .sum();
     let stats = run_unified(
         device,
         fcoo,
@@ -179,10 +201,22 @@ pub fn spttmc(
     factor_b: &DeviceMatrix,
     cfg: &LaunchConfig,
 ) -> Result<(DenseMatrix, KernelStats), OutOfMemory> {
-    assert_eq!(fcoo.shape.len(), 3, "use spttmc_norder for non-3-order tensors");
+    assert_eq!(
+        fcoo.shape.len(),
+        3,
+        "use spttmc_norder for non-3-order tensors"
+    );
     let product_modes = &fcoo.classification.product_modes;
-    assert_eq!(factor_a.rows(), fcoo.shape[product_modes[0]], "factor A row mismatch");
-    assert_eq!(factor_b.rows(), fcoo.shape[product_modes[1]], "factor B row mismatch");
+    assert_eq!(
+        factor_a.rows(),
+        fcoo.shape[product_modes[0]],
+        "factor A row mismatch"
+    );
+    assert_eq!(
+        factor_b.rows(),
+        fcoo.shape[product_modes[1]],
+        "factor B row mismatch"
+    );
     spttmc_norder(device, fcoo, &[factor_a, factor_b], cfg)
 }
 
@@ -206,7 +240,11 @@ pub fn spttmc_norder(
         "one factor per product mode required"
     );
     for (&m, factor) in product_modes.iter().zip(product_factors) {
-        assert_eq!(factor.rows(), fcoo.shape[m], "factor row mismatch on mode {m}");
+        assert_eq!(
+            factor.rows(),
+            fcoo.shape[m],
+            "factor row mismatch on mode {m}"
+        );
     }
     let columns: usize = product_factors.iter().map(|f| f.cols()).product();
     // Mixed-radix strides over the Kronecker column: last factor fastest.
@@ -217,7 +255,10 @@ pub fn spttmc_norder(
     let rows = fcoo.shape[mode];
     let out = device.memory().alloc_zeroed::<f32>(rows * columns)?;
     let slice_of_seg = &fcoo.segment_coords_host[0];
-    let factor_ws: usize = product_factors.iter().map(|f| f.rows() * f.cols() * 4).sum();
+    let factor_ws: usize = product_factors
+        .iter()
+        .map(|f| f.rows() * f.cols() * 4)
+        .sum();
     let digit = |col: usize, p: usize| (col / strides[p]) % product_factors[p].cols();
     let stats = run_unified(
         device,
@@ -232,16 +273,20 @@ pub fn spttmc_norder(
         1 + product_factors.len() as u64,
         |nz, col| {
             let mut product = fcoo.values.get(nz);
-            for (p, (factor, indices)) in
-                product_factors.iter().zip(&fcoo.product_indices).enumerate()
+            for (p, (factor, indices)) in product_factors
+                .iter()
+                .zip(&fcoo.product_indices)
+                .enumerate()
             {
                 product *= factor.get(indices.get(nz) as usize, digit(col, p));
             }
             product
         },
         |nz, col, addrs| {
-            for (p, (factor, indices)) in
-                product_factors.iter().zip(&fcoo.product_indices).enumerate()
+            for (p, (factor, indices)) in product_factors
+                .iter()
+                .zip(&fcoo.product_indices)
+                .enumerate()
             {
                 addrs.push(factor.addr(indices.get(nz) as usize, digit(col, p)));
             }
@@ -286,182 +331,190 @@ where
     // Shared memory: one carry (value + open-flag word) per warp for the
     // block-level segmented-scan combine.
     let shared_bytes = (cfg.block_size / 32) * 8;
-    let mut stats = device.launch_with_shared((grid_x, columns), cfg.block_size, shared_bytes, |ctx| {
-        let col = ctx.block_y();
-        // Column-sibling blocks resident on the same SM read adjacent
-        // columns of the same factor rows: one read-only cache line (8
-        // floats) serves up to 8 of them, so each block is charged its
-        // share of the fill (the "data reuse" of §IV-D).
-        if cfg.use_rocache {
-            ctx.set_rocache_sharers(columns.min(8) as u64);
-        }
-        let mut ro_addrs: Vec<u64> = Vec::with_capacity(2 * warp);
-        let mut write_rows: Vec<u64> = Vec::with_capacity(warp);
-        let mut coord_reads: Vec<u64> = Vec::with_capacity(warp);
-        let mut atomic_events: Vec<(usize, f32)> = Vec::new();
-        let mut any_warp_ran = false;
-        for w in 0..ctx.warps_per_block() {
-            let warp_first_thread = ctx.block_x() * ctx.block_threads() + w * warp;
-            let warp_nnz_start = warp_first_thread * threadlen;
-            if warp_nnz_start >= nnz {
-                break;
+    let mut stats =
+        device.launch_with_shared((grid_x, columns), cfg.block_size, shared_bytes, |ctx| {
+            let col = ctx.block_y();
+            // Column-sibling blocks resident on the same SM read adjacent
+            // columns of the same factor rows: one read-only cache line (8
+            // floats) serves up to 8 of them, so each block is charged its
+            // share of the fill (the "data reuse" of §IV-D).
+            if cfg.use_rocache {
+                ctx.set_rocache_sharers(columns.min(8) as u64);
             }
-            any_warp_ran = true;
-            ctx.begin_warp();
-            let warp_nnz_end = ((warp_first_thread + warp) * threadlen).min(nnz);
-            let span = warp_nnz_end - warp_nnz_start;
-
-            // Streaming reads of the warp's contiguous tensor region:
-            // values, product-mode indices, bit flags, partition metadata.
-            // The grid places all column blocks of one partition range
-            // adjacently, so the bIdy = 0 block streams the region from
-            // DRAM and its co-resident column siblings hit in L2 (the
-            // "data reuse" optimization of §IV-D).
-            let l2_hot = ctx.block_y() > 0;
-            let stream = |ctx: &mut gpu_sim::BlockCtx<'_>, addr: u64, bytes: usize| {
-                if l2_hot {
-                    ctx.read_global_range_l2(addr, bytes);
-                } else {
-                    ctx.read_global_range(addr, bytes);
-                }
-            };
-            stream(ctx, fcoo.values.addr(warp_nnz_start), span * 4);
-            for indices in &fcoo.product_indices {
-                stream(ctx, indices.addr(warp_nnz_start), span * 4);
-            }
-            stream(ctx, fcoo.bf.addr(warp_nnz_start / 8), span / 8 + 1);
-            let threads_here = warp.min(partitions - warp_first_thread);
-            stream(
-                ctx,
-                fcoo.partition_first_segment.addr(warp_first_thread),
-                threads_here * 4,
-            );
-            stream(ctx, fcoo.sf.addr(warp_first_thread / 8), threads_here / 8 + 1);
-
-            // Per-iteration factor-matrix reads (scattered by product-mode
-            // indices → read-only cache territory) and the product FLOPs.
-            for i in 0..threadlen {
-                ro_addrs.clear();
-                for lane in 0..warp {
-                    let nz = (warp_first_thread + lane) * threadlen + i;
-                    if nz < nnz {
-                        factor_addrs(nz, col, &mut ro_addrs);
-                    }
-                }
-                if ro_addrs.is_empty() {
+            let mut ro_addrs: Vec<u64> = Vec::with_capacity(2 * warp);
+            let mut write_rows: Vec<u64> = Vec::with_capacity(warp);
+            let mut coord_reads: Vec<u64> = Vec::with_capacity(warp);
+            let mut atomic_events: Vec<(usize, f32)> = Vec::new();
+            let mut any_warp_ran = false;
+            for w in 0..ctx.warps_per_block() {
+                let warp_first_thread = ctx.block_x() * ctx.block_threads() + w * warp;
+                let warp_nnz_start = warp_first_thread * threadlen;
+                if warp_nnz_start >= nnz {
                     break;
                 }
-                if cfg.use_rocache {
-                    ctx.read_readonly_ws(&ro_addrs, factor_ws);
-                } else {
-                    ctx.read_global_ws(&ro_addrs, factor_ws);
-                }
-                ctx.compute(compute_per_element);
-            }
+                any_warp_ran = true;
+                ctx.begin_warp();
+                let warp_nnz_end = ((warp_first_thread + warp) * threadlen).min(nnz);
+                let span = warp_nnz_end - warp_nnz_start;
 
-            // Functional per-lane segment accumulation.
-            write_rows.clear();
-            coord_reads.clear();
-            atomic_events.clear();
-            for lane in 0..warp {
-                let thread = warp_first_thread + lane;
-                let pstart = thread * threadlen;
-                if pstart >= nnz {
-                    break;
-                }
-                let pend = ((thread + 1) * threadlen).min(nnz);
-                // Heads seen so far, including any before this partition.
-                let mut heads = fcoo.partition_first_segment.get(thread) as usize;
-                let mut sum = 0.0f32;
-                let mut began_inside = false;
-                let mut has_open = false;
-                for nz in pstart..pend {
-                    let head = fcoo.head(nz);
-                    if head {
-                        if has_open {
-                            // Previous segment closed by this head: its end
-                            // is inside the partition.
-                            finalize_segment(
-                                cfg,
-                                out,
-                                out_stride,
-                                col,
-                                &row_of_seg,
-                                coord_buffer,
-                                heads - 1,
-                                sum,
-                                began_inside,
-                                &mut write_rows,
-                                &mut coord_reads,
-                                &mut atomic_events,
-                            );
-                        }
-                        heads += 1;
-                        sum = 0.0;
-                        began_inside = true;
-                    } else if !has_open {
-                        // Partition starts mid-segment (sf bit clear).
-                        began_inside = false;
-                    }
-                    has_open = true;
-                    if cfg.use_segscan {
-                        sum += product(nz, col);
+                // Streaming reads of the warp's contiguous tensor region:
+                // values, product-mode indices, bit flags, partition metadata.
+                // The grid places all column blocks of one partition range
+                // adjacently, so the bIdy = 0 block streams the region from
+                // DRAM and its co-resident column siblings hit in L2 (the
+                // "data reuse" optimization of §IV-D).
+                let l2_hot = ctx.block_y() > 0;
+                let stream = |ctx: &mut gpu_sim::BlockCtx<'_>, addr: u64, bytes: usize| {
+                    if l2_hot {
+                        ctx.read_global_range_l2(addr, bytes);
                     } else {
-                        // Ablation: one atomic per non-zero, COO style.
-                        let row = row_of_seg(heads - 1);
-                        atomic_events.push((row * out_stride + col, product(nz, col)));
+                        ctx.read_global_range(addr, bytes);
+                    }
+                };
+                stream(ctx, fcoo.values.addr(warp_nnz_start), span * 4);
+                for indices in &fcoo.product_indices {
+                    stream(ctx, indices.addr(warp_nnz_start), span * 4);
+                }
+                // The bit-flag bytes this warp touches: its own non-zeros plus
+                // the one-byte lookahead for the head flag at `pend` (clamped to
+                // the last flag byte — `head(nnz)` is never read).
+                let bf_first = warp_nnz_start / 8;
+                let bf_last = warp_nnz_end.min(nnz - 1) / 8;
+                stream(ctx, fcoo.bf.addr(bf_first), bf_last - bf_first + 1);
+                let threads_here = warp.min(partitions - warp_first_thread);
+                stream(
+                    ctx,
+                    fcoo.partition_first_segment.addr(warp_first_thread),
+                    threads_here * 4,
+                );
+                let sf_first = warp_first_thread / 8;
+                let sf_last = (warp_first_thread + threads_here - 1) / 8;
+                stream(ctx, fcoo.sf.addr(sf_first), sf_last - sf_first + 1);
+
+                // Per-iteration factor-matrix reads (scattered by product-mode
+                // indices → read-only cache territory) and the product FLOPs.
+                for i in 0..threadlen {
+                    ro_addrs.clear();
+                    for lane in 0..warp {
+                        let nz = (warp_first_thread + lane) * threadlen + i;
+                        if nz < nnz {
+                            factor_addrs(nz, col, &mut ro_addrs);
+                        }
+                    }
+                    if ro_addrs.is_empty() {
+                        break;
+                    }
+                    if cfg.use_rocache {
+                        ctx.read_readonly_ws(&ro_addrs, factor_ws);
+                    } else {
+                        ctx.read_global_ws(&ro_addrs, factor_ws);
+                    }
+                    ctx.compute(compute_per_element);
+                }
+
+                // Functional per-lane segment accumulation.
+                write_rows.clear();
+                coord_reads.clear();
+                atomic_events.clear();
+                for lane in 0..warp {
+                    let thread = warp_first_thread + lane;
+                    let pstart = thread * threadlen;
+                    if pstart >= nnz {
+                        break;
+                    }
+                    let pend = ((thread + 1) * threadlen).min(nnz);
+                    // Heads seen so far, including any before this partition.
+                    let mut heads = fcoo.partition_first_segment.get(thread) as usize;
+                    let mut sum = 0.0f32;
+                    let mut began_inside = false;
+                    let mut has_open = false;
+                    for nz in pstart..pend {
+                        let head = fcoo.head(nz);
+                        if head {
+                            if has_open {
+                                // Previous segment closed by this head: its end
+                                // is inside the partition.
+                                finalize_segment(
+                                    cfg,
+                                    out,
+                                    out_stride,
+                                    col,
+                                    &row_of_seg,
+                                    coord_buffer,
+                                    heads - 1,
+                                    sum,
+                                    began_inside,
+                                    &mut write_rows,
+                                    &mut coord_reads,
+                                    &mut atomic_events,
+                                );
+                            }
+                            heads += 1;
+                            sum = 0.0;
+                            began_inside = true;
+                        } else if !has_open {
+                            // Partition starts mid-segment (sf bit clear).
+                            began_inside = false;
+                        }
+                        has_open = true;
+                        if cfg.use_segscan {
+                            sum += product(nz, col);
+                        } else {
+                            // Ablation: one atomic per non-zero, COO style.
+                            let row = row_of_seg(heads - 1);
+                            atomic_events.push((row * out_stride + col, product(nz, col)));
+                        }
+                    }
+                    if has_open && cfg.use_segscan {
+                        // Final open segment: exclusive only if it both began
+                        // inside and the next partition starts a new segment.
+                        let ends_exclusive = pend == nnz || fcoo.head(pend);
+                        finalize_segment(
+                            cfg,
+                            out,
+                            out_stride,
+                            col,
+                            &row_of_seg,
+                            coord_buffer,
+                            heads - 1,
+                            sum,
+                            began_inside && ends_exclusive,
+                            &mut write_rows,
+                            &mut coord_reads,
+                            &mut atomic_events,
+                        );
                     }
                 }
-                if has_open && cfg.use_segscan {
-                    // Final open segment: exclusive only if it both began
-                    // inside and the next partition starts a new segment.
-                    let ends_exclusive = pend == nnz || fcoo.head(pend);
-                    finalize_segment(
-                        cfg,
-                        out,
-                        out_stride,
-                        col,
-                        &row_of_seg,
-                        coord_buffer,
-                        heads - 1,
-                        sum,
-                        began_inside && ends_exclusive,
-                        &mut write_rows,
-                        &mut coord_reads,
-                        &mut atomic_events,
-                    );
-                }
-            }
 
-            // Charge the warp-level segmented-scan stages and the batched
-            // output traffic.
-            if cfg.use_segscan {
-                ctx.compute(warp_segscan_cycles(ctx.config()));
-                for chunk in coord_reads.chunks(warp) {
-                    ctx.read_global(chunk);
+                // Charge the warp-level segmented-scan stages and the batched
+                // output traffic.
+                if cfg.use_segscan {
+                    ctx.compute(warp_segscan_cycles(ctx.config()));
+                    for chunk in coord_reads.chunks(warp) {
+                        ctx.read_global(chunk);
+                    }
+                    // Sibling column blocks write adjacent columns of the same
+                    // output rows; the write-back L2 merges them per line.
+                    let sharers = columns.min(8) as u64;
+                    for chunk in write_rows.chunks(warp) {
+                        ctx.write_global_shared(chunk, sharers);
+                    }
                 }
-                // Sibling column blocks write adjacent columns of the same
-                // output rows; the write-back L2 merges them per line.
-                let sharers = columns.min(8) as u64;
-                for chunk in write_rows.chunks(warp) {
-                    ctx.write_global_shared(chunk, sharers);
+                for chunk in atomic_events.chunks(warp) {
+                    ctx.atomic_add_f32(out, chunk);
                 }
             }
-            for chunk in atomic_events.chunks(warp) {
-                ctx.atomic_add_f32(out, chunk);
+            if any_warp_ran && cfg.use_segscan {
+                // Block-level scan combine + barriers, plus the inter-block
+                // carry when kernels are fused.
+                ctx.compute(block_segscan_cycles(ctx.block_threads(), ctx.config()));
+                ctx.syncthreads();
+                ctx.syncthreads();
+                if cfg.use_fusion {
+                    ctx.adjacent_sync();
+                }
             }
-        }
-        if any_warp_ran && cfg.use_segscan {
-            // Block-level scan combine + barriers, plus the inter-block
-            // carry when kernels are fused.
-            ctx.compute(block_segscan_cycles(ctx.block_threads(), ctx.config()));
-            ctx.syncthreads();
-            ctx.syncthreads();
-            if cfg.use_fusion {
-                ctx.adjacent_sync();
-            }
-        }
-    });
+        });
     if cfg.use_segscan && !cfg.use_fusion {
         // Unfused variant: boundary carries resolved by a follow-up kernel
         // that re-reads one partial per partition.
@@ -550,7 +603,9 @@ mod tests {
         let u = DeviceMatrix::upload(device.memory(), &u_host).unwrap();
         let (result, stats) = spttm(&device, &dev, &u, cfg).unwrap();
         let reference = ops::spttm(tensor, mode, &u_host);
-        let diff = result.max_abs_diff(&reference).expect("fiber sets must match");
+        let diff = result
+            .max_abs_diff(&reference)
+            .expect("fiber sets must match");
         assert!(diff < 1e-3, "mode {mode} diff {diff}");
         assert!(stats.time_us > 0.0);
     }
@@ -598,11 +653,26 @@ mod tests {
     fn results_identical_across_optimization_toggles() {
         let (tensor, _) = datasets::generate(DatasetKind::Nell2, 2500, 14);
         for cfg in [
-            LaunchConfig { use_rocache: false, ..Default::default() },
-            LaunchConfig { use_segscan: false, ..Default::default() },
-            LaunchConfig { use_fusion: false, ..Default::default() },
-            LaunchConfig { block_size: 32, ..Default::default() },
-            LaunchConfig { block_size: 1024, ..Default::default() },
+            LaunchConfig {
+                use_rocache: false,
+                ..Default::default()
+            },
+            LaunchConfig {
+                use_segscan: false,
+                ..Default::default()
+            },
+            LaunchConfig {
+                use_fusion: false,
+                ..Default::default()
+            },
+            LaunchConfig {
+                block_size: 32,
+                ..Default::default()
+            },
+            LaunchConfig {
+                block_size: 1024,
+                ..Default::default()
+            },
         ] {
             check_spttm(&tensor, 2, 8, &cfg);
             check_spmttkrp(&tensor, 0, 8, &cfg);
@@ -620,7 +690,9 @@ mod tests {
             let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
             let u = DeviceMatrix::upload(device.memory(), &u_host).unwrap();
             let (result, _) = spttm(&device, &dev, &u, &LaunchConfig::default()).unwrap();
-            let diff = result.max_abs_diff(&reference).expect("fiber sets must match");
+            let diff = result
+                .max_abs_diff(&reference)
+                .expect("fiber sets must match");
             assert!(diff < 1e-3, "threadlen {threadlen} diff {diff}");
         }
     }
@@ -663,8 +735,7 @@ mod tests {
             .map(|f| DeviceMatrix::upload(device.memory(), f).unwrap())
             .collect();
         let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
-        let (result, _) =
-            spttmc_norder(&device, &dev, &refs, &LaunchConfig::default()).unwrap();
+        let (result, _) = spttmc_norder(&device, &dev, &refs, &LaunchConfig::default()).unwrap();
         let host_refs: Vec<&DenseMatrix> = hosts.iter().collect();
         let reference = tensor_core::ops::spttmc_norder(&tensor, 1, &host_refs);
         assert!(
@@ -682,13 +753,15 @@ mod tests {
         let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
         let factors = upload_factors(&device, &tensor, 16, 50);
         let refs: Vec<&DeviceMatrix> = factors.iter().collect();
-        let (_, scan_stats) =
-            spmttkrp(&device, &dev, &refs, &LaunchConfig::default()).unwrap();
+        let (_, scan_stats) = spmttkrp(&device, &dev, &refs, &LaunchConfig::default()).unwrap();
         let (_, atomic_stats) = spmttkrp(
             &device,
             &dev,
             &refs,
-            &LaunchConfig { use_segscan: false, ..Default::default() },
+            &LaunchConfig {
+                use_segscan: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         // With scan, atomics only occur on partition-boundary segments.
@@ -711,7 +784,11 @@ mod tests {
         let u_host = DenseMatrix::random(tensor.shape()[2], 16, 5);
         let u = DeviceMatrix::upload(device.memory(), &u_host).unwrap();
         let (_, with) = spttm(&device, &dev, &u, &LaunchConfig::default()).unwrap();
-        assert!(with.rocache_hit_rate > 0.5, "hit rate {}", with.rocache_hit_rate);
+        assert!(
+            with.rocache_hit_rate > 0.5,
+            "hit rate {}",
+            with.rocache_hit_rate
+        );
     }
 
     #[test]
@@ -730,7 +807,10 @@ mod tests {
             &device,
             &dev,
             &u,
-            &LaunchConfig { use_rocache: false, ..Default::default() },
+            &LaunchConfig {
+                use_rocache: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(with.dram_bytes < without.dram_bytes);
@@ -771,7 +851,10 @@ mod tests {
             &device,
             &dev,
             &u,
-            &LaunchConfig { use_fusion: false, ..Default::default() },
+            &LaunchConfig {
+                use_fusion: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(unfused.time_us > fused.time_us);
@@ -798,11 +881,8 @@ mod tests {
         let device = GpuDevice::titan_x();
         let fcoo = Fcoo::from_coo(&matrix, TensorOp::SpTtm { mode: 1 }, 2);
         let dev = FcooDevice::upload(device.memory(), &fcoo).unwrap();
-        let x_mat = DeviceMatrix::upload(
-            device.memory(),
-            &DenseMatrix::from_vec(5, 1, x.to_vec()),
-        )
-        .unwrap();
+        let x_mat = DeviceMatrix::upload(device.memory(), &DenseMatrix::from_vec(5, 1, x.to_vec()))
+            .unwrap();
         let (result, _) = spttm(&device, &dev, &x_mat, &LaunchConfig::default()).unwrap();
         // y = A·x by hand: y0 = 2·1 + 1·5 = 7, y2 = -3·2 = -6, y3 = 4·4 = 16,
         // y5 = 0.5·1 + 2.5·5 = 13. Rows 1 and 4 are empty (absent fibers).
@@ -818,7 +898,12 @@ mod tests {
         // With R > 1 columns the same degeneration gives SpMM.
         let matrix = SparseTensorCoo::from_entries(
             vec![4, 3],
-            &[(vec![0, 0], 1.0), (vec![1, 1], 2.0), (vec![3, 2], 3.0), (vec![0, 2], -1.0)],
+            &[
+                (vec![0, 0], 1.0),
+                (vec![1, 1], 2.0),
+                (vec![3, 2], 3.0),
+                (vec![0, 2], -1.0),
+            ],
         );
         let dense = DenseMatrix::random(3, 4, 77);
         let device = GpuDevice::titan_x();
@@ -841,13 +926,28 @@ mod tests {
     fn one_giant_segment() {
         // All non-zeros share the same index coordinates: one segment that
         // spans every partition and block.
-        let entries: Vec<(Vec<u32>, f32)> =
-            (0..500).map(|k| (vec![1, 1, k], 1.0f32)).collect();
+        let entries: Vec<(Vec<u32>, f32)> = (0..500).map(|k| (vec![1, 1, k], 1.0f32)).collect();
         let tensor = SparseTensorCoo::from_entries(vec![3, 3, 500], &entries);
-        check_spttm(&tensor, 2, 4, &LaunchConfig { block_size: 32, ..Default::default() });
+        check_spttm(
+            &tensor,
+            2,
+            4,
+            &LaunchConfig {
+                block_size: 32,
+                ..Default::default()
+            },
+        );
         // MTTKRP mode-3: index mode is k → 500 segments; also exercise the
         // transpose case where mode-1 gives one segment.
-        check_spmttkrp(&tensor, 0, 4, &LaunchConfig { block_size: 32, ..Default::default() });
+        check_spmttkrp(
+            &tensor,
+            0,
+            4,
+            &LaunchConfig {
+                block_size: 32,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

@@ -39,6 +39,8 @@
 //! assert!(stats.time_us > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod device;
 pub mod format;
 pub mod kernels;
@@ -54,5 +56,5 @@ pub use kernels::{spmttkrp, spttm, spttmc, spttmc_norder, LaunchConfig};
 pub use modes::{ModeClassification, TensorOp};
 pub use multi::{spmttkrp_multi_gpu, MultiGpuStats};
 pub use serialize::{read_fcoo, write_fcoo, DecodeError};
-pub use two_step::{spmttkrp_two_step_unified, TwoStepOutcome};
 pub use tune::{tune, TunePoint, TuneResult, BLOCK_SIZES, THREADLENS};
+pub use two_step::{spmttkrp_two_step_unified, TwoStepOutcome};

@@ -66,7 +66,10 @@ impl ModeClassification {
     pub fn classify(op: TensorOp, order: usize) -> Self {
         assert!(order >= 2, "tensor operations need at least 2 modes");
         let mode = op.mode();
-        assert!(mode < order, "operating mode {mode} out of range for order {order}");
+        assert!(
+            mode < order,
+            "operating mode {mode} out of range for order {order}"
+        );
         let all: Vec<usize> = (0..order).collect();
         match op {
             TensorOp::SpTtm { mode } => ModeClassification {
@@ -84,7 +87,11 @@ impl ModeClassification {
     /// equal index coordinates are contiguous — the segments of the scan),
     /// then product modes.
     pub fn sort_order(&self) -> Vec<usize> {
-        self.index_modes.iter().chain(&self.product_modes).copied().collect()
+        self.index_modes
+            .iter()
+            .chain(&self.product_modes)
+            .copied()
+            .collect()
     }
 }
 

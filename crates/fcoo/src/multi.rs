@@ -109,7 +109,11 @@ pub fn spmttkrp_multi_gpu(
         0.0
     };
     let slowest = per_device_us.iter().copied().fold(0.0f64, f64::max);
-    let stats = MultiGpuStats { per_device_us, reduce_us, elapsed_us: slowest + reduce_us };
+    let stats = MultiGpuStats {
+        per_device_us,
+        reduce_us,
+        elapsed_us: slowest + reduce_us,
+    };
     Ok((total, stats))
 }
 
@@ -135,8 +139,7 @@ mod tests {
         let refs: Vec<&DenseMatrix> = hosts.iter().collect();
         let reference = ops::spmttkrp(&tensor, 0, &refs);
         for device_count in [1usize, 2, 3] {
-            let devices: Vec<GpuDevice> =
-                (0..device_count).map(|_| GpuDevice::titan_x()).collect();
+            let devices: Vec<GpuDevice> = (0..device_count).map(|_| GpuDevice::titan_x()).collect();
             let (result, stats) =
                 spmttkrp_multi_gpu(&devices, &tensor, 0, &refs, 8, &LaunchConfig::default())
                     .unwrap();
@@ -170,8 +173,16 @@ mod tests {
         );
         // Work split is roughly even across devices.
         let max = four.per_device_us.iter().copied().fold(0.0f64, f64::max);
-        let min = four.per_device_us.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(max / min < 2.5, "device imbalance: {:?}", four.per_device_us);
+        let min = four
+            .per_device_us
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min < 2.5,
+            "device imbalance: {:?}",
+            four.per_device_us
+        );
     }
 
     #[test]
@@ -199,9 +210,8 @@ mod tests {
         );
         let pair = vec![make_device(), make_device()];
         let reference = ops::spmttkrp(&tensor, 0, &refs);
-        let (result, _) =
-            spmttkrp_multi_gpu(&pair, &tensor, 0, &refs, 8, &LaunchConfig::default())
-                .expect("two devices hold half the tensor each");
+        let (result, _) = spmttkrp_multi_gpu(&pair, &tensor, 0, &refs, 8, &LaunchConfig::default())
+            .expect("two devices hold half the tensor each");
         assert!(result.max_abs_diff(&reference) < 1e-3);
     }
 

@@ -75,7 +75,9 @@ fn write_u32_slice(w: &mut impl Write, data: &[u32]) -> io::Result<()> {
 fn read_u32_vec(r: &mut impl Read, cap: u64) -> Result<Vec<u32>, DecodeError> {
     let len = read_u64(r)?;
     if len > cap {
-        return Err(DecodeError::Corrupt(format!("array length {len} exceeds bound {cap}")));
+        return Err(DecodeError::Corrupt(format!(
+            "array length {len} exceeds bound {cap}"
+        )));
     }
     let mut out = Vec::with_capacity(len as usize);
     for _ in 0..len {
@@ -176,7 +178,9 @@ pub fn read_fcoo(mut r: impl Read) -> Result<Fcoo, DecodeError> {
     for _ in 0..product_columns {
         let column = read_u32_vec(&mut r, nnz)?;
         if column.len() as u64 != nnz {
-            return Err(DecodeError::Corrupt("product index column length mismatch".into()));
+            return Err(DecodeError::Corrupt(
+                "product index column length mismatch".into(),
+            ));
         }
         product_indices.push(column);
     }
@@ -200,13 +204,17 @@ pub fn read_fcoo(mut r: impl Read) -> Result<Fcoo, DecodeError> {
     for _ in 0..coord_columns {
         let column = read_u32_vec(&mut r, nnz)?;
         if column.len() as u64 != segments {
-            return Err(DecodeError::Corrupt("segment coordinate length mismatch".into()));
+            return Err(DecodeError::Corrupt(
+                "segment coordinate length mismatch".into(),
+            ));
         }
         segment_coords.push(column);
     }
     let partition_first_segment = read_u32_vec(&mut r, partitions)?;
     if partition_first_segment.len() as u64 != partitions {
-        return Err(DecodeError::Corrupt("partition pointer length mismatch".into()));
+        return Err(DecodeError::Corrupt(
+            "partition pointer length mismatch".into(),
+        ));
     }
     Ok(Fcoo {
         op,
@@ -269,7 +277,10 @@ mod tests {
             assert_eq!(decoded.bf, original.bf);
             assert_eq!(decoded.sf, original.sf);
             assert_eq!(decoded.segment_coords, original.segment_coords);
-            assert_eq!(decoded.partition_first_segment, original.partition_first_segment);
+            assert_eq!(
+                decoded.partition_first_segment,
+                original.partition_first_segment
+            );
         }
     }
 

@@ -74,7 +74,11 @@ pub fn tune(
         for &block_size in block_sizes {
             let cfg = LaunchConfig::with_block_size(block_size);
             let time_us = run_once(device, &fcoo_dev, &factors, &cfg);
-            surface.push(TunePoint { block_size, threadlen, time_us });
+            surface.push(TunePoint {
+                block_size,
+                threadlen,
+                time_us,
+            });
         }
     }
     let best = surface
@@ -93,24 +97,24 @@ fn run_once(
 ) -> f64 {
     match fcoo.op {
         TensorOp::SpTtm { mode } => {
-            let u = DeviceMatrix::upload(device.memory(), &factors[mode]).unwrap();
-            let (_, stats) = kernels::spttm(device, fcoo, &u, cfg).unwrap();
+            let u = DeviceMatrix::upload(device.memory(), &factors[mode]).expect("factor upload");
+            let (_, stats) = kernels::spttm(device, fcoo, &u, cfg).expect("spttm launch");
             stats.time_us
         }
         TensorOp::SpMttkrp { .. } => {
             let uploaded: Vec<DeviceMatrix> = factors
                 .iter()
-                .map(|f| DeviceMatrix::upload(device.memory(), f).unwrap())
+                .map(|f| DeviceMatrix::upload(device.memory(), f).expect("factor upload"))
                 .collect();
             let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
-            let (_, stats) = kernels::spmttkrp(device, fcoo, &refs, cfg).unwrap();
+            let (_, stats) = kernels::spmttkrp(device, fcoo, &refs, cfg).expect("spmttkrp launch");
             stats.time_us
         }
         TensorOp::SpTtmc { .. } => {
             let pm = &fcoo.classification.product_modes;
-            let a = DeviceMatrix::upload(device.memory(), &factors[pm[0]]).unwrap();
-            let b = DeviceMatrix::upload(device.memory(), &factors[pm[1]]).unwrap();
-            let (_, stats) = kernels::spttmc(device, fcoo, &a, &b, cfg).unwrap();
+            let a = DeviceMatrix::upload(device.memory(), &factors[pm[0]]).expect("factor upload");
+            let b = DeviceMatrix::upload(device.memory(), &factors[pm[1]]).expect("factor upload");
+            let (_, stats) = kernels::spttmc(device, fcoo, &a, &b, cfg).expect("spttmc launch");
             stats.time_us
         }
     }
@@ -134,9 +138,16 @@ mod tests {
             Some(&[8, 32]),
         );
         assert_eq!(result.surface.len(), 4);
-        let min = result.surface.iter().map(|p| p.time_us).fold(f64::INFINITY, f64::min);
+        let min = result
+            .surface
+            .iter()
+            .map(|p| p.time_us)
+            .fold(f64::INFINITY, f64::min);
         assert_eq!(result.best.time_us, min);
-        assert!(result.surface.iter().all(|p| p.time_us.is_finite() && p.time_us > 0.0));
+        assert!(result
+            .surface
+            .iter()
+            .all(|p| p.time_us.is_finite() && p.time_us > 0.0));
     }
 
     #[test]
@@ -155,7 +166,10 @@ mod tests {
         let times: Vec<f64> = result.surface.iter().map(|p| p.time_us).collect();
         let min = times.iter().copied().fold(f64::INFINITY, f64::min);
         let max = times.iter().copied().fold(0.0, f64::max);
-        assert!(max > 1.05 * min, "tuning surface unexpectedly flat: {times:?}");
+        assert!(
+            max > 1.05 * min,
+            "tuning surface unexpectedly flat: {times:?}"
+        );
     }
 
     #[test]

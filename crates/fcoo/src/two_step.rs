@@ -47,10 +47,20 @@ pub fn spmttkrp_two_step_unified(
     let product_modes: Vec<usize> = (0..3).filter(|&m| m != mode).collect();
     let (first_product, second_product) = (product_modes[0], product_modes[1]);
     let r = host_factors[first_product].cols();
-    assert_eq!(host_factors[second_product].cols(), r, "factor rank mismatch");
+    assert_eq!(
+        host_factors[second_product].cols(),
+        r,
+        "factor rank mismatch"
+    );
 
     // Step 1: Y = X ×(second_product) C with the unified SpTTM.
-    let fcoo = Fcoo::from_coo(tensor, TensorOp::SpTtm { mode: second_product }, threadlen);
+    let fcoo = Fcoo::from_coo(
+        tensor,
+        TensorOp::SpTtm {
+            mode: second_product,
+        },
+        threadlen,
+    );
     let step1_dev = FcooDevice::upload(device.memory(), &fcoo)?;
     let c = DeviceMatrix::upload(device.memory(), host_factors[second_product])?;
     let (intermediate, step1_stats) = kernels::spttm(device, &step1_dev, &c, cfg)?;
@@ -60,8 +70,14 @@ pub fn spmttkrp_two_step_unified(
     // equal rows are contiguous segments.
     let nfibs = intermediate.nfibs();
     let index_modes: Vec<usize> = (0..3).filter(|&m| m != second_product).collect();
-    let out_pos = index_modes.iter().position(|&m| m == mode).unwrap();
-    let b_pos = index_modes.iter().position(|&m| m == first_product).unwrap();
+    let out_pos = index_modes
+        .iter()
+        .position(|&m| m == mode)
+        .expect("output mode is an index mode");
+    let b_pos = index_modes
+        .iter()
+        .position(|&m| m == first_product)
+        .expect("first product mode is an index mode of the intermediate");
     let mut order: Vec<usize> = (0..nfibs).collect();
     order.sort_by_key(|&fib| {
         let coord = intermediate.fiber_coord(fib);
@@ -102,17 +118,26 @@ pub fn spmttkrp_two_step_unified(
                 break;
             }
             ctx.begin_warp();
-            // Metadata streams once; the bIdy > 0 siblings hit L2.
-            let span = (warp * threadlen).min(nfibs - warp_first_thread * threadlen);
+            // Metadata streams once; the bIdy > 0 siblings hit L2. The
+            // out-row stream is one element wider on each side: the segment
+            // scan compares against the previous partition's last row and
+            // peeks the next partition's first row.
+            let warp_fib_start = warp_first_thread * threadlen;
+            let span = (warp * threadlen).min(nfibs - warp_fib_start);
+            let rows_first = warp_fib_start.saturating_sub(1);
+            let rows_last = (warp_fib_start + span).min(nfibs - 1);
             if ctx.block_y() == 0 {
-                ctx.read_global_range(out_rows_dev.addr(warp_first_thread * threadlen), span * 4);
-                ctx.read_global_range(b_rows_dev.addr(warp_first_thread * threadlen), span * 4);
+                ctx.read_global_range(
+                    out_rows_dev.addr(rows_first),
+                    (rows_last - rows_first + 1) * 4,
+                );
+                ctx.read_global_range(b_rows_dev.addr(warp_fib_start), span * 4);
             } else {
                 ctx.read_global_range_l2(
-                    out_rows_dev.addr(warp_first_thread * threadlen),
-                    span * 4,
+                    out_rows_dev.addr(rows_first),
+                    (rows_last - rows_first + 1) * 4,
                 );
-                ctx.read_global_range_l2(b_rows_dev.addr(warp_first_thread * threadlen), span * 4);
+                ctx.read_global_range_l2(b_rows_dev.addr(warp_fib_start), span * 4);
             }
             for i in 0..threadlen {
                 y_addrs.clear();
@@ -143,8 +168,8 @@ pub fn spmttkrp_two_step_unified(
                 }
                 let pend = ((thread + 1) * threadlen).min(nfibs);
                 let mut sum = 0.0f32;
-                let mut began_inside = pstart == 0
-                    || out_rows_dev.get(pstart) != out_rows_dev.get(pstart - 1);
+                let mut began_inside =
+                    pstart == 0 || out_rows_dev.get(pstart) != out_rows_dev.get(pstart - 1);
                 let mut current_row = out_rows_dev.get(pstart) as usize;
                 for fib in pstart..pend {
                     let row = out_rows_dev.get(fib) as usize;
@@ -266,17 +291,10 @@ mod tests {
             .collect();
         let factor_refs: Vec<&DeviceMatrix> = factors.iter().collect();
         let (_, one_shot) =
-            kernels::spmttkrp(&device, &on_device, &factor_refs, &LaunchConfig::default())
+            kernels::spmttkrp(&device, &on_device, &factor_refs, &LaunchConfig::default()).unwrap();
+        let outcome =
+            spmttkrp_two_step_unified(&device, &tensor, 0, &refs, 16, &LaunchConfig::default())
                 .unwrap();
-        let outcome = spmttkrp_two_step_unified(
-            &device,
-            &tensor,
-            0,
-            &refs,
-            16,
-            &LaunchConfig::default(),
-        )
-        .unwrap();
         assert!(
             outcome.stats.time_us > one_shot.time_us,
             "two-step {:.1}µs must exceed one-shot {:.1}µs",
@@ -293,15 +311,9 @@ mod tests {
         let hosts = factors_for(&tensor, 4, 7);
         let refs: Vec<&DenseMatrix> = hosts.iter().collect();
         let device = GpuDevice::titan_x();
-        let outcome = spmttkrp_two_step_unified(
-            &device,
-            &tensor,
-            1,
-            &refs,
-            8,
-            &LaunchConfig::default(),
-        )
-        .unwrap();
+        let outcome =
+            spmttkrp_two_step_unified(&device, &tensor, 1, &refs, 8, &LaunchConfig::default())
+                .unwrap();
         let reference = ops::spmttkrp(&tensor, 1, &refs);
         assert!(outcome.result.max_abs_diff(&reference) < 1e-3);
     }

@@ -157,8 +157,7 @@ impl DeviceConfig {
     /// the whole device (the size of one scheduling wave).
     pub fn concurrent_blocks(&self, block_threads: usize) -> usize {
         let block_threads = block_threads.max(1);
-        let per_sm =
-            (self.max_threads_per_sm / block_threads).clamp(1, self.max_blocks_per_sm);
+        let per_sm = (self.max_threads_per_sm / block_threads).clamp(1, self.max_blocks_per_sm);
         self.num_sms * per_sm
     }
 
@@ -219,7 +218,10 @@ mod tests {
     #[test]
     fn scaled_memory_applies_factor() {
         let d = DeviceConfig::titan_x_scaled_memory(0.01);
-        assert_eq!(d.memory_capacity, (12.0 * (1u64 << 30) as f64 * 0.01) as usize);
+        assert_eq!(
+            d.memory_capacity,
+            (12.0 * (1u64 << 30) as f64 * 0.01) as usize
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub fn segmented_scan_device(
     assert!(values.len() >= n, "value buffer too short");
     assert!(out.len() >= n, "output buffer too short");
     assert!(head_flags.len() * 8 >= n, "flag buffer too short");
-    assert_eq!(block_size % WARP, 0, "block size must be a whole number of warps");
+    assert_eq!(
+        block_size % WARP,
+        0,
+        "block size must be a whole number of warps"
+    );
     let blocks = n.div_ceil(block_size).max(1);
     let memory = device.memory();
     // Per-block outgoing carry (sum of the trailing open segment) and a flag
@@ -85,8 +89,7 @@ pub fn segmented_scan_device(
             let addrs: Vec<u64> = (0..lanes).map(|l| values.addr(warp_base + l)).collect();
             ctx.read_global(&addrs);
             ctx.read_global_range(head_flags.addr(warp_base / 8), lanes / 8 + 1);
-            let mut register: Vec<f32> =
-                (0..lanes).map(|l| values.get(warp_base + l)).collect();
+            let mut register: Vec<f32> = (0..lanes).map(|l| values.get(warp_base + l)).collect();
             // `head_dist[l]`: lanes since the most recent head at or before l.
             let mut head_since: Vec<usize> = (0..lanes)
                 .map(|l| {
@@ -150,7 +153,9 @@ pub fn segmented_scan_device(
                 }
                 // A fully open warp extends the incoming carry.
             }
-            incoming = if warp_all_open[w] { incoming + warp_last_sum[w] } else {
+            incoming = if warp_all_open[w] {
+                incoming + warp_last_sum[w]
+            } else {
                 warp_last_sum[w]
             };
         }
@@ -321,7 +326,9 @@ mod tests {
             let v = memory.alloc_zeroed::<f32>(n).unwrap();
             let f = memory.alloc_zeroed::<u8>(n.div_ceil(8)).unwrap();
             let out = memory.alloc_zeroed::<f32>(n).unwrap();
-            segmented_scan_device(&device, &v, &f, n, &out, 128).stats.time_us
+            segmented_scan_device(&device, &v, &f, n, &out, 128)
+                .stats
+                .time_us
         };
         assert!(run(200_000) > run(2_000));
     }

@@ -13,19 +13,27 @@ use crate::cache::ReadOnlyCache;
 use crate::coalesce::transactions;
 use crate::config::DeviceConfig;
 use crate::memory::{DeviceBuffer, DeviceMemory};
+use crate::record::{self, AccessKind, AccessLog, BlockRecord, LaunchRecord};
 use crate::stats::{BlockStats, KernelStats};
+use parking_lot::Mutex;
 
 /// A simulated GPU: configuration plus global memory.
 pub struct GpuDevice {
     config: DeviceConfig,
     memory: DeviceMemory,
+    /// `Some` while the device is in sanitizer recording mode.
+    recording: Mutex<Option<AccessLog>>,
 }
 
 impl GpuDevice {
     /// Creates a device from a configuration.
     pub fn new(config: DeviceConfig) -> Self {
         let memory = DeviceMemory::new(config.memory_capacity);
-        GpuDevice { config, memory }
+        GpuDevice {
+            config,
+            memory,
+            recording: Mutex::new(None),
+        }
     }
 
     /// The paper's evaluation device.
@@ -41,6 +49,32 @@ impl GpuDevice {
     /// Global memory handle (allocate buffers through this).
     pub fn memory(&self) -> &DeviceMemory {
         &self.memory
+    }
+
+    /// Puts the device into sanitizer recording mode: every subsequent launch
+    /// captures per-block narrated and functional memory events (plus an
+    /// allocation snapshot) into an [`AccessLog`] until
+    /// [`GpuDevice::stop_recording`] is called. Idempotent while recording.
+    pub fn start_recording(&self) {
+        let mut guard = self.recording.lock();
+        if guard.is_none() {
+            *guard = Some(AccessLog::default());
+            record::recording_device_added();
+        }
+    }
+
+    /// Leaves recording mode and returns everything captured since
+    /// [`GpuDevice::start_recording`].
+    ///
+    /// # Panics
+    /// If the device was not recording.
+    pub fn stop_recording(&self) -> AccessLog {
+        let mut guard = self.recording.lock();
+        let log = guard
+            .take()
+            .expect("stop_recording called on a device that was not recording");
+        record::recording_device_removed();
+        log
     }
 
     /// Launches a kernel over a `grid.0 × grid.1` grid of one-dimensional
@@ -97,7 +131,10 @@ impl GpuDevice {
         );
         let (gx, gy) = grid;
         let total_blocks = gx * gy;
-        let mut per_block: Vec<BlockStats> = vec![BlockStats::default(); total_blocks];
+        let recording = self.recording.lock().is_some();
+        let mut per_block: Vec<(BlockStats, Option<BlockRecord>)> = (0..total_blocks)
+            .map(|_| (BlockStats::default(), None))
+            .collect();
         let config = &self.config;
         cpu_par::par_chunks_mut(&mut per_block, 8, |chunk_index, chunk| {
             for (offset, slot) in chunk.iter_mut().enumerate() {
@@ -105,17 +142,49 @@ impl GpuDevice {
                 // x-major linearization: bIdx varies fastest.
                 let block_x = block_linear % gx.max(1);
                 let block_y = block_linear / gx.max(1);
+                if recording {
+                    record::begin_block(block_linear);
+                }
                 let mut ctx = BlockCtx::new(config, block_x, block_y, block_threads);
                 kernel(&mut ctx);
-                *slot = ctx.finish();
+                slot.0 = ctx.finish();
+                if recording {
+                    slot.1 = record::end_block();
+                }
             }
         });
+        let stats: Vec<BlockStats> = per_block.iter().map(|(s, _)| s.clone()).collect();
+        if recording {
+            if let Some(log) = self.recording.lock().as_mut() {
+                log.launches.push(LaunchRecord {
+                    grid,
+                    block_threads,
+                    blocks: per_block
+                        .into_iter()
+                        .enumerate()
+                        .map(|(block, (_, rec))| {
+                            rec.unwrap_or(BlockRecord {
+                                block,
+                                events: Vec::new(),
+                            })
+                        })
+                        .collect(),
+                    allocations: self.memory.live_allocations(),
+                });
+            }
+        }
         let mut concurrent = config.concurrent_blocks(block_threads);
         if let Some(per_sm) = config.shared_mem_per_sm.checked_div(shared_bytes) {
             concurrent = concurrent.min(per_sm.max(1) * config.num_sms);
         }
-        KernelStats::from_blocks_with_concurrency(&per_block, concurrent, config)
+        KernelStats::from_blocks_with_concurrency(&stats, concurrent, config)
     }
+}
+
+/// Clamps a narrated range length to the recorded event's field width.
+#[inline]
+fn range_len(bytes: usize) -> u32 {
+    u32::try_from(bytes).unwrap_or(u32::MAX)
 }
 
 /// Execution context handed to a kernel closure, one per thread block.
@@ -195,6 +264,9 @@ impl<'a> BlockCtx<'a> {
     /// Kernels iterate their block's warps and call this once per warp so the
     /// context can track the slowest warp (intra-block imbalance).
     pub fn begin_warp(&mut self) {
+        if record::recording_active() {
+            record::on_begin_warp();
+        }
         self.close_warp();
         self.warp_open = true;
     }
@@ -224,12 +296,18 @@ impl<'a> BlockCtx<'a> {
     /// Charges a warp-wide global-memory read with the given lane addresses.
     #[inline]
     pub fn read_global(&mut self, addrs: &[u64]) {
+        if record::recording_active() {
+            record::on_access_batch(AccessKind::NarratedRead, addrs, 1);
+        }
         self.global_access(addrs);
     }
 
     /// Charges a warp-wide global-memory write with the given lane addresses.
     #[inline]
     pub fn write_global(&mut self, addrs: &[u64]) {
+        if record::recording_active() {
+            record::on_access_batch(AccessKind::NarratedWrite, addrs, 1);
+        }
         self.global_access(addrs);
     }
 
@@ -240,6 +318,9 @@ impl<'a> BlockCtx<'a> {
     pub fn write_global_shared(&mut self, addrs: &[u64], sharers: u64) {
         if addrs.is_empty() {
             return;
+        }
+        if record::recording_active() {
+            record::on_access_batch(AccessKind::NarratedWrite, addrs, 1);
         }
         let t = transactions(addrs, self.config.transaction_bytes) as u64;
         self.stats.transactions += t;
@@ -267,6 +348,24 @@ impl<'a> BlockCtx<'a> {
     /// cost is the region's aligned sector count rather than a naive
     /// per-iteration stride analysis.
     pub fn read_global_range(&mut self, start_addr: u64, bytes: usize) {
+        if record::recording_active() {
+            record::on_access(AccessKind::NarratedRead, start_addr, range_len(bytes));
+        }
+        self.stream_range(start_addr, bytes);
+    }
+
+    /// Charges a streaming write of a contiguous region (same model as
+    /// [`BlockCtx::read_global_range`]).
+    pub fn write_global_range(&mut self, start_addr: u64, bytes: usize) {
+        if record::recording_active() {
+            record::on_access(AccessKind::NarratedWrite, start_addr, range_len(bytes));
+        }
+        self.stream_range(start_addr, bytes);
+    }
+
+    /// Cost of streaming a contiguous region through DRAM (shared by the
+    /// range read/write narration methods).
+    fn stream_range(&mut self, start_addr: u64, bytes: usize) {
         if bytes == 0 {
             return;
         }
@@ -279,12 +378,6 @@ impl<'a> BlockCtx<'a> {
         self.warp_cycles += t * self.config.mem_issue_cycles;
     }
 
-    /// Charges a streaming write of a contiguous region (same model as
-    /// [`BlockCtx::read_global_range`]).
-    pub fn write_global_range(&mut self, start_addr: u64, bytes: usize) {
-        self.read_global_range(start_addr, bytes);
-    }
-
     /// Charges a streaming read of a contiguous region that is known to be
     /// resident in the device-wide L2 because a co-scheduled block just
     /// streamed the same region (e.g. the column blocks `bIdy > 0` of the
@@ -294,6 +387,9 @@ impl<'a> BlockCtx<'a> {
     pub fn read_global_range_l2(&mut self, start_addr: u64, bytes: usize) {
         if bytes == 0 {
             return;
+        }
+        if record::recording_active() {
+            record::on_access(AccessKind::NarratedRead, start_addr, range_len(bytes));
         }
         let shift = self.config.transaction_bytes.trailing_zeros();
         let first = start_addr >> shift;
@@ -311,6 +407,9 @@ impl<'a> BlockCtx<'a> {
     pub fn read_global_ws(&mut self, addrs: &[u64], ws_bytes: usize) {
         if addrs.is_empty() {
             return;
+        }
+        if record::recording_active() {
+            record::on_access_batch(AccessKind::NarratedRead, addrs, 1);
         }
         let t = transactions(addrs, self.config.transaction_bytes) as u64;
         self.stats.transactions += t;
@@ -333,6 +432,9 @@ impl<'a> BlockCtx<'a> {
     /// `ws_bytes` total size: read-only cache misses whose working set fits
     /// the device L2 are served on chip (L2 latency, no DRAM fill).
     pub fn read_readonly_ws(&mut self, addrs: &[u64], ws_bytes: usize) {
+        if record::recording_active() {
+            record::on_access_batch(AccessKind::NarratedRead, addrs, 1);
+        }
         let line = self.rocache.line_bytes() as u64;
         let mut seen_lines = [u64::MAX; 32];
         let mut seen = 0usize;
@@ -372,6 +474,10 @@ impl<'a> BlockCtx<'a> {
         if lanes.is_empty() {
             return;
         }
+        let addrs: Vec<u64> = lanes.iter().map(|&(i, _)| buffer.addr(i)).collect();
+        if record::recording_active() {
+            record::on_access_batch(AccessKind::NarratedAtomic, &addrs, 4);
+        }
         let mut max_multiplicity = 0u64;
         let mut seen: Vec<(usize, u64)> = Vec::with_capacity(lanes.len());
         for &(index, value) in lanes {
@@ -389,7 +495,6 @@ impl<'a> BlockCtx<'a> {
         self.stats.atomic_conflict_cycles += conflict;
         self.warp_cycles += conflict;
         // The write traffic itself.
-        let addrs: Vec<u64> = lanes.iter().map(|&(i, _)| buffer.addr(i)).collect();
         self.global_access(&addrs);
     }
 
@@ -411,6 +516,9 @@ impl<'a> BlockCtx<'a> {
     /// Charges one `__syncthreads()` barrier.
     #[inline]
     pub fn syncthreads(&mut self) {
+        if record::recording_active() {
+            record::on_syncthreads();
+        }
         self.warp_cycles += self.config.syncthreads_cycles;
     }
 
@@ -418,6 +526,9 @@ impl<'a> BlockCtx<'a> {
     /// domino used for kernel fusion, §IV-D).
     #[inline]
     pub fn adjacent_sync(&mut self) {
+        if record::recording_active() {
+            record::on_adjacent_sync();
+        }
         self.warp_cycles += self.config.adjacent_sync_cycles;
     }
 
@@ -662,6 +773,85 @@ mod tests {
         assert_eq!(a.dram_bytes, b.dram_bytes);
         assert_eq!(a.transactions, b.transactions);
         assert_eq!(a.rocache_hit_rate.to_bits(), b.rocache_hit_rate.to_bits());
+    }
+
+    #[test]
+    fn recording_captures_narrated_and_functional_events() {
+        use crate::record::AccessKind;
+        let device = GpuDevice::titan_x();
+        let buffer = device.memory().alloc_zeroed::<f32>(256).unwrap();
+        device.start_recording();
+        device.launch((2, 1), 32, |ctx| {
+            ctx.begin_warp();
+            let base = ctx.block_x() * 32;
+            let addrs: Vec<u64> = (0..32).map(|lane| buffer.addr(base + lane)).collect();
+            ctx.read_global(&addrs);
+            let value = buffer.get(base);
+            ctx.syncthreads();
+            // SAFETY: each block writes a distinct element.
+            unsafe { buffer.write(base, value + 1.0) };
+            ctx.write_global(&[buffer.addr(base)]);
+        });
+        let log = device.stop_recording();
+        assert_eq!(log.launches.len(), 1);
+        let launch = &log.launches[0];
+        assert_eq!(launch.grid, (2, 1));
+        assert_eq!(launch.block_threads, 32);
+        assert_eq!(launch.blocks.len(), 2);
+        assert!(launch.allocations.contains(&(buffer.addr(0), 256 * 4)));
+        for (block, record) in launch.blocks.iter().enumerate() {
+            assert_eq!(record.block, block);
+            // 32 narrated reads + 1 functional read + 1 functional write
+            // + 1 narrated write.
+            assert_eq!(record.events.len(), 35);
+            let functional_write = record
+                .events
+                .iter()
+                .find(|e| e.kind == AccessKind::FunctionalWrite)
+                .expect("functional write recorded");
+            assert_eq!(functional_write.addr, buffer.addr(block * 32));
+            assert_eq!(
+                functional_write.epoch, 1,
+                "write happened after syncthreads"
+            );
+            let functional_read = record
+                .events
+                .iter()
+                .find(|e| e.kind == AccessKind::FunctionalRead)
+                .expect("functional read recorded");
+            assert_eq!(functional_read.epoch, 0, "read happened before syncthreads");
+        }
+        // After stop_recording, launches are no longer captured and the
+        // functional hooks go quiet (no recorder on any thread).
+        device.launch((1, 1), 32, |ctx| {
+            ctx.begin_warp();
+            let _ = buffer.get(0);
+            ctx.read_global(&[buffer.addr(0)]);
+        });
+        assert_eq!(log.event_count(), 70);
+    }
+
+    #[test]
+    fn recording_spans_multiple_launches() {
+        let device = GpuDevice::titan_x();
+        let buffer = device.memory().alloc_zeroed::<f32>(32).unwrap();
+        device.start_recording();
+        for _ in 0..3 {
+            device.launch((1, 1), 32, |ctx| {
+                ctx.begin_warp();
+                ctx.read_global(&[buffer.addr(0)]);
+            });
+        }
+        let log = device.stop_recording();
+        assert_eq!(log.launches.len(), 3);
+        assert_eq!(log.event_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not recording")]
+    fn stop_recording_without_start_panics() {
+        let device = GpuDevice::titan_x();
+        let _ = device.stop_recording();
     }
 
     #[test]

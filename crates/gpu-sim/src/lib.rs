@@ -32,12 +32,15 @@
 //! assert!(stats.time_us > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod coalesce;
 pub mod config;
 pub mod device_scan;
 pub mod exec;
 pub mod memory;
+pub mod record;
 pub mod scan;
 pub mod stats;
 pub mod streams;
@@ -46,5 +49,6 @@ pub use config::DeviceConfig;
 pub use device_scan::{segmented_scan_device, DeviceScan};
 pub use exec::{BlockCtx, GpuDevice};
 pub use memory::{DeviceBuffer, DeviceMemory, OutOfMemory};
+pub use record::{AccessKind, AccessLog, BlockRecord, Event, LaunchRecord};
 pub use stats::{BlockStats, KernelStats};
 pub use streams::Timeline;

@@ -7,8 +7,10 @@
 //! (GPU memory consumption); capacity enforcement reproduces ParTI's
 //! out-of-memory failures on the large SpMTTKRP intermediates.
 
+use crate::record::{self, AccessKind};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -42,6 +44,9 @@ struct MemoryInner {
     next_base: AtomicUsize,
     /// Serializes the capacity check against concurrent allocations.
     alloc_lock: Mutex<()>,
+    /// Live allocations by base address (`base → bytes`), the shadow map the
+    /// sanitizer's out-of-bounds pass checks accesses against.
+    allocations: Mutex<BTreeMap<u64, usize>>,
 }
 
 /// Handle to a device's global memory.
@@ -60,6 +65,7 @@ impl DeviceMemory {
                 peak: AtomicUsize::new(0),
                 next_base: AtomicUsize::new(256),
                 alloc_lock: Mutex::new(()),
+                allocations: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -88,15 +94,43 @@ impl DeviceMemory {
             let _guard = self.inner.alloc_lock.lock();
             let live = self.inner.live.load(Ordering::Relaxed);
             if live + bytes > self.inner.capacity {
-                return Err(OutOfMemory { requested: bytes, live, capacity: self.inner.capacity });
+                return Err(OutOfMemory {
+                    requested: bytes,
+                    live,
+                    capacity: self.inner.capacity,
+                });
             }
             let new_live = live + bytes;
             self.inner.live.store(new_live, Ordering::Relaxed);
             self.inner.peak.fetch_max(new_live, Ordering::Relaxed);
         }
-        // 256-byte aligned virtual bases, like cudaMalloc.
-        let base = self.inner.next_base.fetch_add(bytes.div_ceil(256) * 256 + 256, Ordering::Relaxed);
-        Ok(DeviceBuffer { data, base: base as u64, memory: Arc::clone(&self.inner) })
+        // 256-byte aligned virtual bases, like cudaMalloc. The extra 256-byte
+        // gap between allocations guarantees that one-off overruns land in
+        // unmapped address space, where the sanitizer's shadow check sees
+        // them.
+        let base = self
+            .inner
+            .next_base
+            .fetch_add(bytes.div_ceil(256) * 256 + 256, Ordering::Relaxed);
+        if bytes > 0 {
+            self.inner.allocations.lock().insert(base as u64, bytes);
+        }
+        Ok(DeviceBuffer {
+            data,
+            base: base as u64,
+            memory: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Snapshot of the live allocations as `(base, bytes)` pairs, sorted by
+    /// base address (the sanitizer's shadow memory map).
+    pub fn live_allocations(&self) -> Vec<(u64, usize)> {
+        self.inner
+            .allocations
+            .lock()
+            .iter()
+            .map(|(&base, &bytes)| (base, bytes))
+            .collect()
     }
 
     /// Bytes currently allocated.
@@ -111,7 +145,9 @@ impl DeviceMemory {
 
     /// Resets the peak to the current live bytes (to measure one phase).
     pub fn reset_peak(&self) {
-        self.inner.peak.store(self.inner.live.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.inner
+            .peak
+            .store(self.inner.live.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Device capacity in bytes.
@@ -160,6 +196,8 @@ impl<T: DeviceValue> std::fmt::Debug for DeviceBuffer<T> {
 // SAFETY: element disjointness for plain writes is delegated to kernels,
 // exactly like real GPU global memory; concurrent reads are fine.
 unsafe impl<T: DeviceValue> Send for DeviceBuffer<T> {}
+// SAFETY: same contract as `Send` above — shared references only allow
+// reads and the explicitly-unsafe `write`, whose caller owns disjointness.
 unsafe impl<T: DeviceValue> Sync for DeviceBuffer<T> {}
 
 impl<T: DeviceValue> DeviceBuffer<T> {
@@ -174,15 +212,43 @@ impl<T: DeviceValue> DeviceBuffer<T> {
     }
 
     /// Virtual device address of element `index` (for the coalescing and
-    /// cache models).
+    /// cache models). The one-past-the-end index is allowed, as for raw
+    /// pointers, so range narration can express exclusive end addresses.
+    ///
+    /// # Panics
+    /// If `index` is beyond one past the end of the buffer, naming the index
+    /// and the buffer length.
     #[inline]
     pub fn addr(&self, index: usize) -> u64 {
+        assert!(
+            index <= self.data.len(),
+            "DeviceBuffer address out of bounds: index {index} exceeds length {} (base {:#x})",
+            self.data.len(),
+            self.base
+        );
         self.base + (index * std::mem::size_of::<T>()) as u64
     }
 
     /// Reads element `index`.
+    ///
+    /// # Panics
+    /// If `index` is out of bounds, naming the index and the buffer length
+    /// (a `cudaMemcheck`-style loud failure instead of undefined behaviour).
     #[inline]
     pub fn get(&self, index: usize) -> T {
+        assert!(
+            index < self.data.len(),
+            "DeviceBuffer read out of bounds: index {index} >= length {} (base {:#x})",
+            self.data.len(),
+            self.base
+        );
+        if record::recording_active() {
+            record::on_access(
+                AccessKind::FunctionalRead,
+                self.base + (index * std::mem::size_of::<T>()) as u64,
+                std::mem::size_of::<T>() as u32,
+            );
+        }
         // SAFETY: kernels never write an element that another thread reads
         // concurrently without atomics (CUDA global-memory contract).
         unsafe { *self.data[index].get() }
@@ -190,11 +256,29 @@ impl<T: DeviceValue> DeviceBuffer<T> {
 
     /// Writes element `index`.
     ///
+    /// # Panics
+    /// If `index` is out of bounds, naming the index and the buffer length.
+    ///
     /// # Safety
     /// No other thread may access this element concurrently.
     #[inline]
     pub unsafe fn write(&self, index: usize, value: T) {
-        *self.data[index].get() = value;
+        assert!(
+            index < self.data.len(),
+            "DeviceBuffer write out of bounds: index {index} >= length {} (base {:#x})",
+            self.data.len(),
+            self.base
+        );
+        if record::recording_active() {
+            record::on_access(
+                AccessKind::FunctionalWrite,
+                self.base + (index * std::mem::size_of::<T>()) as u64,
+                std::mem::size_of::<T>() as u32,
+            );
+        }
+        // SAFETY: `index` is bounds-checked above; exclusive access to this
+        // element is the caller's obligation, stated in this fn's contract.
+        unsafe { *self.data[index].get() = value };
     }
 
     /// Copies the buffer back to host memory.
@@ -211,8 +295,24 @@ impl<T: DeviceValue> DeviceBuffer<T> {
 impl DeviceBuffer<f32> {
     /// Atomically adds `value` to element `index` (CUDA `atomicAdd` on
     /// `float`), implemented as a compare-and-swap loop on the bit pattern.
+    ///
+    /// # Panics
+    /// If `index` is out of bounds, naming the index and the buffer length.
     #[inline]
     pub fn atomic_add_f32(&self, index: usize, value: f32) {
+        assert!(
+            index < self.data.len(),
+            "DeviceBuffer atomic out of bounds: index {index} >= length {} (base {:#x})",
+            self.data.len(),
+            self.base
+        );
+        if record::recording_active() {
+            record::on_access(
+                AccessKind::FunctionalAtomic,
+                self.base + (index * std::mem::size_of::<f32>()) as u64,
+                std::mem::size_of::<f32>() as u32,
+            );
+        }
         // SAFETY: UnsafeCell<f32> and AtomicU32 have identical size and
         // alignment; all concurrent accesses to accumulated elements go
         // through this method.
@@ -233,6 +333,9 @@ impl<T: DeviceValue> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
         let bytes = self.bytes();
         self.memory.live.fetch_sub(bytes, Ordering::Relaxed);
+        if bytes > 0 {
+            self.memory.allocations.lock().remove(&self.base);
+        }
     }
 }
 
@@ -281,6 +384,7 @@ mod tests {
     fn read_write_round_trip() {
         let memory = DeviceMemory::new(1 << 20);
         let buffer = memory.alloc_from_slice(&[1.0f32, 2.0, 3.0]).unwrap();
+        // SAFETY: single-threaded test, no concurrent access to element 1.
         unsafe { buffer.write(1, 9.5) };
         assert_eq!(buffer.to_vec(), vec![1.0, 9.5, 3.0]);
     }
@@ -304,6 +408,91 @@ mod tests {
         }
         assert_eq!(buffer.get(2), 8000.0);
         assert_eq!(buffer.get(0), 0.0);
+    }
+
+    #[test]
+    fn get_out_of_bounds_panics_loudly() {
+        let memory = DeviceMemory::new(1 << 20);
+        let buffer = memory.alloc_zeroed::<f32>(3).unwrap();
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| buffer.get(3))).unwrap_err();
+        let message = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(message.contains("read out of bounds"), "got: {message}");
+        assert!(message.contains("index 3"), "got: {message}");
+        assert!(message.contains("length 3"), "got: {message}");
+    }
+
+    #[test]
+    fn write_out_of_bounds_panics_loudly() {
+        let memory = DeviceMemory::new(1 << 20);
+        let buffer = memory.alloc_zeroed::<u32>(5).unwrap();
+        // SAFETY: index 17 is out of bounds, so the call panics before any
+        // write happens; no aliasing is possible.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            buffer.write(17, 1)
+        }))
+        .unwrap_err();
+        let message = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(message.contains("write out of bounds"), "got: {message}");
+        assert!(message.contains("index 17"), "got: {message}");
+        assert!(message.contains("length 5"), "got: {message}");
+    }
+
+    #[test]
+    fn atomic_add_out_of_bounds_panics_loudly() {
+        let memory = DeviceMemory::new(1 << 20);
+        let buffer = memory.alloc_zeroed::<f32>(2).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            buffer.atomic_add_f32(2, 1.0)
+        }))
+        .unwrap_err();
+        let message = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(message.contains("atomic out of bounds"), "got: {message}");
+        assert!(message.contains("index 2"), "got: {message}");
+        assert!(message.contains("length 2"), "got: {message}");
+    }
+
+    #[test]
+    fn addr_allows_one_past_end_but_not_beyond() {
+        let memory = DeviceMemory::new(1 << 20);
+        let buffer = memory.alloc_zeroed::<f32>(4).unwrap();
+        assert_eq!(buffer.addr(4), buffer.addr(0) + 16);
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| buffer.addr(5))).unwrap_err();
+        let message = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(message.contains("address out of bounds"), "got: {message}");
+        assert!(message.contains("index 5"), "got: {message}");
+    }
+
+    #[test]
+    fn live_allocations_tracks_alloc_and_drop() {
+        let memory = DeviceMemory::new(1 << 20);
+        assert!(memory.live_allocations().is_empty());
+        let a = memory.alloc_zeroed::<f32>(10).unwrap();
+        let b = memory.alloc_zeroed::<u8>(7).unwrap();
+        let map = memory.live_allocations();
+        assert_eq!(map, vec![(a.addr(0), 40), (b.addr(0), 7)]);
+        drop(a);
+        assert_eq!(memory.live_allocations(), vec![(b.addr(0), 7)]);
+        drop(b);
+        assert!(memory.live_allocations().is_empty());
+    }
+
+    #[test]
+    fn zero_length_buffers_do_not_enter_shadow_map() {
+        let memory = DeviceMemory::new(1 << 20);
+        let empty = memory.alloc_zeroed::<f32>(0).unwrap();
+        assert!(memory.live_allocations().is_empty());
+        drop(empty);
+        assert!(memory.live_allocations().is_empty());
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Memory-access recording for sanitizer passes (compute-sanitizer style).
+//!
+//! When a [`GpuDevice`](crate::GpuDevice) is put into recording mode
+//! ([`GpuDevice::start_recording`](crate::GpuDevice::start_recording)), every
+//! launch captures two parallel streams of evidence per thread block:
+//!
+//! * **narrated** events — what the kernel *claims* its memory behaviour is,
+//!   emitted by the [`BlockCtx`](crate::BlockCtx) narration methods
+//!   (`read_global`, `write_global_shared`, `read_global_range`, …);
+//! * **functional** events — what the kernel *actually* touched, hooked at
+//!   the [`DeviceBuffer`](crate::DeviceBuffer) `get`/`write`/`atomic_add_f32`
+//!   level.
+//!
+//! Each event carries enough ordering context (warp index, barrier epoch,
+//! adjacent-sync position) for a replay checker to decide whether two
+//! conflicting accesses are synchronized. The `sanitizer` crate consumes the
+//! resulting [`AccessLog`] to run race, out-of-bounds and narration-audit
+//! passes; this module only records.
+//!
+//! Recording is scoped to kernel execution: blocks run each on a single pool
+//! thread, so a thread-local recorder installed around the kernel closure
+//! attributes events to the right block without locking. Host-side accesses
+//! (uploads, `to_vec` downloads between launches) carry no recorder and are
+//! deliberately not captured — they model `cudaMemcpy`, not kernel traffic.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global count of devices currently in recording mode. The functional hooks
+/// in `DeviceBuffer` consult this first so that non-recording runs pay one
+/// relaxed atomic load per access and nothing else.
+static RECORDING_DEVICES: AtomicUsize = AtomicUsize::new(0);
+
+/// True if any device is currently recording (cheap global gate).
+#[inline]
+pub(crate) fn recording_active() -> bool {
+    RECORDING_DEVICES.load(Ordering::Relaxed) > 0
+}
+
+pub(crate) fn recording_device_added() {
+    RECORDING_DEVICES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn recording_device_removed() {
+    RECORDING_DEVICES.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// What a recorded memory event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read the kernel narrated to the cost model.
+    NarratedRead,
+    /// A write the kernel narrated to the cost model.
+    NarratedWrite,
+    /// An atomic the kernel narrated to the cost model.
+    NarratedAtomic,
+    /// A read the kernel actually performed (`DeviceBuffer::get`).
+    FunctionalRead,
+    /// A plain write the kernel actually performed (`DeviceBuffer::write`).
+    FunctionalWrite,
+    /// An atomic add the kernel actually performed
+    /// (`DeviceBuffer::atomic_add_f32`).
+    FunctionalAtomic,
+}
+
+impl AccessKind {
+    /// True for events hooked at the functional (`DeviceBuffer`) level.
+    pub fn is_functional(self) -> bool {
+        matches!(
+            self,
+            AccessKind::FunctionalRead | AccessKind::FunctionalWrite | AccessKind::FunctionalAtomic
+        )
+    }
+
+    /// True for events that modify memory (plain writes and atomics).
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            AccessKind::NarratedWrite
+                | AccessKind::NarratedAtomic
+                | AccessKind::FunctionalWrite
+                | AccessKind::FunctionalAtomic
+        )
+    }
+
+    /// True for atomic events.
+    pub fn is_atomic(self) -> bool {
+        matches!(
+            self,
+            AccessKind::NarratedAtomic | AccessKind::FunctionalAtomic
+        )
+    }
+}
+
+/// One recorded memory access with its ordering context.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// First byte of the accessed range (virtual device address).
+    pub addr: u64,
+    /// Length of the accessed range in bytes.
+    pub bytes: u32,
+    /// What the access was and which layer observed it.
+    pub kind: AccessKind,
+    /// Warp the access belongs to (warp-granular: lanes are not separated).
+    pub warp: u32,
+    /// Barrier epoch within the warp: the number of `syncthreads` calls the
+    /// warp had made when the event fired. Warps of one block executing SPMD
+    /// code hit the same barriers, so equal epochs mean "between the same
+    /// pair of barriers".
+    pub epoch: u32,
+    /// True once the block has performed its `adjacent_sync` wait: events
+    /// after it are ordered behind every event of linearly-earlier blocks
+    /// (StreamScan domino, paper §IV-D).
+    pub after_adjacent: bool,
+}
+
+/// All events of one thread block, in program order.
+#[derive(Debug, Clone, Default)]
+pub struct BlockRecord {
+    /// Linearized block index (x-major, matching launch order).
+    pub block: usize,
+    /// The block's recorded events.
+    pub events: Vec<Event>,
+}
+
+/// One recorded kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Grid shape of the launch.
+    pub grid: (usize, usize),
+    /// Threads per block.
+    pub block_threads: usize,
+    /// Per-block event logs, in linear block order.
+    pub blocks: Vec<BlockRecord>,
+    /// Live allocations `(base, bytes)` snapshotted when the launch
+    /// finished, for the shadow-memory (out-of-bounds) check.
+    pub allocations: Vec<(u64, usize)>,
+}
+
+/// Everything recorded between `start_recording` and `stop_recording`,
+/// possibly spanning several launches (e.g. the two-step method's two
+/// kernels).
+#[derive(Debug, Clone, Default)]
+pub struct AccessLog {
+    /// Recorded launches, in issue order.
+    pub launches: Vec<LaunchRecord>,
+}
+
+impl AccessLog {
+    /// Total events across all launches and blocks.
+    pub fn event_count(&self) -> usize {
+        self.launches
+            .iter()
+            .flat_map(|l| &l.blocks)
+            .map(|b| b.events.len())
+            .sum()
+    }
+}
+
+/// Per-thread recorder installed around one block's kernel closure.
+struct Recorder {
+    record: BlockRecord,
+    warp: u32,
+    epoch: u32,
+    warp_started: bool,
+    after_adjacent: bool,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Installs a fresh recorder for `block` on this thread.
+pub(crate) fn begin_block(block: usize) {
+    CURRENT.with(|current| {
+        *current.borrow_mut() = Some(Recorder {
+            record: BlockRecord {
+                block,
+                events: Vec::new(),
+            },
+            warp: 0,
+            epoch: 0,
+            warp_started: false,
+            after_adjacent: false,
+        });
+    });
+}
+
+/// Removes this thread's recorder and returns the block's events.
+pub(crate) fn end_block() -> Option<BlockRecord> {
+    CURRENT.with(|current| current.borrow_mut().take().map(|recorder| recorder.record))
+}
+
+#[inline]
+fn with_recorder(f: impl FnOnce(&mut Recorder)) {
+    CURRENT.with(|current| {
+        if let Some(recorder) = current.borrow_mut().as_mut() {
+            f(recorder);
+        }
+    });
+}
+
+/// Records one access. Called from narration methods and functional hooks;
+/// no-op unless a recorder is installed on this thread.
+#[inline]
+pub(crate) fn on_access(kind: AccessKind, addr: u64, bytes: u32) {
+    with_recorder(|recorder| {
+        recorder.record.events.push(Event {
+            addr,
+            bytes,
+            kind,
+            warp: recorder.warp,
+            epoch: recorder.epoch,
+            after_adjacent: recorder.after_adjacent,
+        });
+    });
+}
+
+/// Records a warp-wide batch of lane accesses of `bytes` each.
+#[inline]
+pub(crate) fn on_access_batch(kind: AccessKind, addrs: &[u64], bytes: u32) {
+    with_recorder(|recorder| {
+        for &addr in addrs {
+            recorder.record.events.push(Event {
+                addr,
+                bytes,
+                kind,
+                warp: recorder.warp,
+                epoch: recorder.epoch,
+                after_adjacent: recorder.after_adjacent,
+            });
+        }
+    });
+}
+
+/// Advances to the next warp (resets the barrier epoch — warps of a block
+/// run the same barrier sequence).
+pub(crate) fn on_begin_warp() {
+    with_recorder(|recorder| {
+        if recorder.warp_started {
+            recorder.warp += 1;
+        } else {
+            recorder.warp_started = true;
+        }
+        recorder.epoch = 0;
+    });
+}
+
+/// Advances the current warp's barrier epoch.
+pub(crate) fn on_syncthreads() {
+    with_recorder(|recorder| recorder.epoch += 1);
+}
+
+/// Marks that the block completed its adjacent-synchronization wait.
+pub(crate) fn on_adjacent_sync() {
+    with_recorder(|recorder| recorder.after_adjacent = true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_attributes_warp_epoch_and_adjacency() {
+        begin_block(3);
+        on_access(AccessKind::FunctionalRead, 0x100, 4);
+        on_begin_warp();
+        on_access(AccessKind::NarratedRead, 0x200, 4);
+        on_syncthreads();
+        on_access(AccessKind::FunctionalWrite, 0x300, 4);
+        on_begin_warp();
+        on_adjacent_sync();
+        on_access_batch(AccessKind::NarratedWrite, &[0x400, 0x404], 1);
+        let record = end_block().unwrap();
+        assert_eq!(record.block, 3);
+        assert_eq!(record.events.len(), 5);
+        assert_eq!((record.events[0].warp, record.events[0].epoch), (0, 0));
+        assert_eq!((record.events[1].warp, record.events[1].epoch), (0, 0));
+        assert_eq!((record.events[2].warp, record.events[2].epoch), (0, 1));
+        // Second begin_warp resets the epoch and bumps the warp.
+        assert_eq!((record.events[3].warp, record.events[3].epoch), (1, 0));
+        assert!(!record.events[2].after_adjacent);
+        assert!(record.events[3].after_adjacent);
+        // No recorder installed anymore: events are dropped silently.
+        on_access(AccessKind::FunctionalRead, 0x500, 4);
+        assert!(end_block().is_none());
+    }
+
+    #[test]
+    fn access_kind_classification() {
+        assert!(AccessKind::FunctionalWrite.is_write());
+        assert!(AccessKind::FunctionalAtomic.is_write());
+        assert!(AccessKind::NarratedAtomic.is_atomic());
+        assert!(!AccessKind::FunctionalRead.is_write());
+        assert!(AccessKind::FunctionalRead.is_functional());
+        assert!(!AccessKind::NarratedRead.is_functional());
+    }
+}

@@ -82,7 +82,10 @@ mod tests {
     fn scan_restarts_at_heads() {
         let values = [1.0, 2.0, 3.0, 4.0, 5.0];
         let heads = [true, false, true, false, false];
-        assert_eq!(segmented_scan_inclusive(&values, &heads), vec![1.0, 3.0, 3.0, 7.0, 12.0]);
+        assert_eq!(
+            segmented_scan_inclusive(&values, &heads),
+            vec![1.0, 3.0, 3.0, 7.0, 12.0]
+        );
     }
 
     #[test]
@@ -122,8 +125,7 @@ mod tests {
     fn scan_reduce_consistency() {
         // The last scan value of each segment equals the segment reduction.
         let values: Vec<f32> = (1..=12).map(|i| i as f32).collect();
-        let heads: Vec<bool> =
-            (0..12).map(|i| i % 5 == 0 || i % 3 == 0).collect();
+        let heads: Vec<bool> = (0..12).map(|i| i % 5 == 0 || i % 3 == 0).collect();
         let scan = segmented_scan_inclusive(&values, &heads);
         let reduce = segmented_reduce(&values, &heads);
         let mut seg_ends = Vec::new();

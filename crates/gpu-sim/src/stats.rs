@@ -86,11 +86,7 @@ impl KernelStats {
     /// Folds per-block stats into kernel-level stats with the wave model,
     /// using the occupancy implied by the block size alone.
     pub fn from_blocks(blocks: &[BlockStats], block_threads: usize, device: &DeviceConfig) -> Self {
-        Self::from_blocks_with_concurrency(
-            blocks,
-            device.concurrent_blocks(block_threads),
-            device,
-        )
+        Self::from_blocks_with_concurrency(blocks, device.concurrent_blocks(block_threads), device)
     }
 
     /// Folds per-block stats with an explicit number of concurrently
@@ -101,15 +97,20 @@ impl KernelStats {
         device: &DeviceConfig,
     ) -> Self {
         if blocks.is_empty() {
-            return KernelStats { time_us: device.launch_overhead_us, ..Default::default() };
+            return KernelStats {
+                time_us: device.launch_overhead_us,
+                ..Default::default()
+            };
         }
         let concurrent = concurrent.max(1);
         let mut time_us = device.launch_overhead_us;
         let mut waves = 0u64;
         for wave in blocks.chunks(concurrent) {
             waves += 1;
-            let compute =
-                wave.iter().map(|b| b.compute_time_us(device)).fold(0.0f64, f64::max);
+            let compute = wave
+                .iter()
+                .map(|b| b.compute_time_us(device))
+                .fold(0.0f64, f64::max);
             let bytes: u64 = wave.iter().map(|b| b.dram_bytes).sum();
             let memory = bytes as f64 / (device.mem_bandwidth_gbs * 1e3);
             time_us += compute.max(memory);
@@ -201,10 +202,12 @@ mod tests {
     fn more_waves_take_longer() {
         let device = DeviceConfig::titan_x();
         let concurrent = device.concurrent_blocks(128);
-        let one_wave: Vec<BlockStats> =
-            (0..concurrent).map(|_| block(100_000, 400_000, 0)).collect();
-        let two_waves: Vec<BlockStats> =
-            (0..concurrent * 2).map(|_| block(100_000, 400_000, 0)).collect();
+        let one_wave: Vec<BlockStats> = (0..concurrent)
+            .map(|_| block(100_000, 400_000, 0))
+            .collect();
+        let two_waves: Vec<BlockStats> = (0..concurrent * 2)
+            .map(|_| block(100_000, 400_000, 0))
+            .collect();
         let a = KernelStats::from_blocks(&one_wave, 128, &device);
         let b = KernelStats::from_blocks(&two_waves, 128, &device);
         assert_eq!(a.waves, 1);

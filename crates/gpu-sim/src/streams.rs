@@ -14,7 +14,9 @@ pub struct Timeline {
 impl Timeline {
     /// Creates a timeline with `streams` streams, all idle at time zero.
     pub fn new(streams: usize) -> Self {
-        Timeline { stream_time: vec![0.0; streams.max(1)] }
+        Timeline {
+            stream_time: vec![0.0; streams.max(1)],
+        }
     }
 
     /// Enqueues `duration_us` of work on `stream`; returns its finish time.

@@ -90,4 +90,76 @@ proptest! {
         let head_count = heads.iter().filter(|&&h| h).count();
         prop_assert_eq!(reduce.len(), head_count);
     }
+
+    /// Duplicate addresses never cost extra transactions: replaying any
+    /// subset of a warp's addresses on top of it leaves the count unchanged.
+    #[test]
+    fn duplicate_addresses_collapse(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..64),
+        picks in proptest::collection::vec(0usize..1_000_000, 0..64),
+    ) {
+        let base = transactions(&addrs, 32);
+        let mut with_dups = addrs.clone();
+        with_dups.extend(picks.iter().map(|&p| addrs[p % addrs.len()]));
+        prop_assert_eq!(transactions(&with_dups, 32), base);
+    }
+
+    /// A strided warp costs exactly the analytic sector count, and once the
+    /// stride reaches the segment size every lane pays its own transaction.
+    #[test]
+    fn strided_access_matches_closed_form(
+        start in 0u64..10_000,
+        stride in 1u64..512,
+        lanes in 1usize..33,
+        shift in 4u32..8,
+    ) {
+        let segment = 1u64 << shift;
+        let addrs: Vec<u64> = (0..lanes as u64).map(|lane| start + lane * stride).collect();
+        let got = transactions(&addrs, segment as usize);
+        let first = start >> shift;
+        let last = (start + (lanes as u64 - 1) * stride) >> shift;
+        if stride >= segment {
+            // Each lane lands in its own segment.
+            prop_assert_eq!(got, lanes);
+        } else {
+            // Lanes sweep a contiguous span, touching every sector in it.
+            prop_assert_eq!(got, (last - first + 1) as usize);
+        }
+    }
+
+    /// Shifting addresses off segment alignment costs at most one extra
+    /// transaction for a contiguous span, never fewer than aligned.
+    #[test]
+    fn unaligned_span_costs_at_most_one_extra(
+        lanes in 1usize..33,
+        offset in 1u64..32,
+    ) {
+        let aligned: Vec<u64> = (0..lanes as u64).map(|lane| 4096 + lane * 4).collect();
+        let shifted: Vec<u64> = aligned.iter().map(|&a| a + offset).collect();
+        let ta = transactions(&aligned, 32);
+        let ts = transactions(&shifted, 32);
+        prop_assert!(ts >= ta, "shift reduced transactions: {ts} < {ta}");
+        prop_assert!(ts <= ta + 1, "shift cost more than one extra: {ts} > {ta} + 1");
+    }
+
+    /// Transaction count is monotone in address spread: widening the gaps
+    /// between sorted lane addresses never lowers the count.
+    #[test]
+    fn transactions_monotone_in_spread(
+        gaps in proptest::collection::vec(0u64..256, 1..64),
+        scale in 2u64..8,
+    ) {
+        let tight: Vec<u64> = gaps
+            .iter()
+            .scan(0u64, |acc, &g| {
+                *acc += g;
+                Some(*acc)
+            })
+            .collect();
+        let wide: Vec<u64> = tight.iter().map(|&a| a * scale).collect();
+        prop_assert!(
+            transactions(&wide, 32) >= transactions(&tight, 32),
+            "scaling spread by {scale} lowered the transaction count"
+        );
+    }
 }

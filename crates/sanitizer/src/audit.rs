@@ -1,0 +1,179 @@
+//! Narration audit: does the kernel's cost-model story cover its real
+//! traffic?
+//!
+//! The simulator prices what kernels *narrate*; results come from what they
+//! *do*. A kernel that touches memory functionally without narrating it gets
+//! a silently optimistic timing — the bug class this pass exists for, and
+//! one a hardware sanitizer cannot even express.
+//!
+//! Coverage is checked at **32-byte sector granularity** per block and
+//! direction. Narrated batch events record one byte per lane address, but no
+//! element of any buffer spans a sector boundary (bases are 256-aligned and
+//! elements are 1 or 4 bytes), so a narrated lane address marks exactly the
+//! sector its element occupies:
+//!
+//! * every functional-read sector must be narrated as read (or atomic — an
+//!   atomic is a read-modify-write);
+//! * every functional-write and functional-atomic sector must be narrated
+//!   as written (or atomic).
+//!
+//! Over-narration — claiming more traffic than performed — is deliberately
+//! not flagged: streaming narrations legitimately cover flag bytes and
+//! coordinates the functional path reads through host-side lookup tables.
+
+use crate::{Finding, Pass, Report, Severity};
+use gpu_sim::record::AccessKind;
+use gpu_sim::AccessLog;
+use std::collections::HashSet;
+
+/// Sector size, matching the simulator's 32-byte memory transactions.
+const SECTOR_BYTES: u64 = 32;
+
+fn sectors(addr: u64, bytes: u32) -> std::ops::RangeInclusive<u64> {
+    let len = u64::from(bytes.max(1));
+    (addr / SECTOR_BYTES)..=((addr + len - 1) / SECTOR_BYTES)
+}
+
+/// Runs the narration audit over every launch of `log`.
+pub fn check(log: &AccessLog) -> Report {
+    let mut report = Report::default();
+    for (launch_index, launch) in log.launches.iter().enumerate() {
+        for block in &launch.blocks {
+            let mut narrated_read: HashSet<u64> = HashSet::new();
+            let mut narrated_write: HashSet<u64> = HashSet::new();
+            for event in &block.events {
+                match event.kind {
+                    AccessKind::NarratedRead => {
+                        narrated_read.extend(sectors(event.addr, event.bytes))
+                    }
+                    AccessKind::NarratedWrite => {
+                        narrated_write.extend(sectors(event.addr, event.bytes));
+                    }
+                    AccessKind::NarratedAtomic => {
+                        narrated_read.extend(sectors(event.addr, event.bytes));
+                        narrated_write.extend(sectors(event.addr, event.bytes));
+                    }
+                    _ => {}
+                }
+            }
+            let mut missing_read: Vec<u64> = Vec::new();
+            let mut missing_write: Vec<u64> = Vec::new();
+            for event in &block.events {
+                let (narrated, missing) = match event.kind {
+                    AccessKind::FunctionalRead => (&narrated_read, &mut missing_read),
+                    AccessKind::FunctionalWrite | AccessKind::FunctionalAtomic => {
+                        (&narrated_write, &mut missing_write)
+                    }
+                    _ => continue,
+                };
+                if sectors(event.addr, event.bytes).any(|s| !narrated.contains(&s)) {
+                    missing.push(event.addr);
+                }
+            }
+            for (direction, missing) in [("read", &mut missing_read), ("write", &mut missing_write)]
+            {
+                if missing.is_empty() {
+                    continue;
+                }
+                missing.sort_unstable();
+                missing.dedup();
+                report.findings.push(Finding {
+                    pass: Pass::NarrationAudit,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "{} functional {direction}(s) not narrated to the cost model, \
+                         first at {:#x}",
+                        missing.len(),
+                        missing[0]
+                    ),
+                    launch: Some(launch_index),
+                    block: Some(block.block),
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::record::{BlockRecord, Event, LaunchRecord};
+
+    fn event(kind: AccessKind, addr: u64, bytes: u32) -> Event {
+        Event {
+            addr,
+            bytes,
+            kind,
+            warp: 0,
+            epoch: 0,
+            after_adjacent: false,
+        }
+    }
+
+    fn log_with(events: Vec<Event>) -> AccessLog {
+        AccessLog {
+            launches: vec![LaunchRecord {
+                grid: (1, 1),
+                block_threads: 32,
+                blocks: vec![BlockRecord { block: 0, events }],
+                allocations: vec![(0, 1 << 20)],
+            }],
+        }
+    }
+
+    #[test]
+    fn narrated_lane_covers_functional_read_in_same_sector() {
+        let log = log_with(vec![
+            event(AccessKind::NarratedRead, 0x100, 1),
+            event(AccessKind::FunctionalRead, 0x104, 4),
+        ]);
+        assert!(check(&log).is_clean());
+    }
+
+    #[test]
+    fn unnarrated_read_is_flagged() {
+        let log = log_with(vec![event(AccessKind::FunctionalRead, 0x100, 4)]);
+        let report = check(&log);
+        assert_eq!(report.findings.len(), 1, "{report}");
+        assert!(report.findings[0].message.contains("read"));
+        assert!(report.findings[0].message.contains("0x100"));
+    }
+
+    #[test]
+    fn write_narration_does_not_cover_reads() {
+        let log = log_with(vec![
+            event(AccessKind::NarratedWrite, 0x100, 1),
+            event(AccessKind::FunctionalRead, 0x100, 4),
+        ]);
+        assert_eq!(check(&log).findings.len(), 1);
+    }
+
+    #[test]
+    fn narrated_atomic_covers_both_directions() {
+        let log = log_with(vec![
+            event(AccessKind::NarratedAtomic, 0x100, 4),
+            event(AccessKind::FunctionalAtomic, 0x100, 4),
+            event(AccessKind::FunctionalRead, 0x100, 4),
+        ]);
+        assert!(check(&log).is_clean());
+    }
+
+    #[test]
+    fn range_narration_covers_streamed_sectors() {
+        let log = log_with(vec![
+            event(AccessKind::NarratedRead, 0x100, 256),
+            event(AccessKind::FunctionalRead, 0x1fc, 4),
+            event(AccessKind::FunctionalRead, 0x200, 4), // one past the range
+        ]);
+        let report = check(&log);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("0x200"));
+    }
+
+    #[test]
+    fn over_narration_is_not_flagged() {
+        let log = log_with(vec![event(AccessKind::NarratedRead, 0x100, 4096)]);
+        assert!(check(&log).is_clean());
+    }
+}

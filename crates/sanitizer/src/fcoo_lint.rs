@@ -1,0 +1,320 @@
+//! Static invariant lint for preprocessed F-COO tensors (paper §IV-A).
+//!
+//! [`Fcoo`] exposes its flag vectors publicly so kernels and serializers can
+//! reach them; this lint is the single place that states what a *valid*
+//! instance looks like. [`check_fcoo`] validates, in dependency order so a
+//! corrupt tensor never panics the checker:
+//!
+//! 1. vector arities — one product-index column per product mode, one
+//!    segment-coordinate column per index mode, `nnz` entries each;
+//! 2. flag lengths — `bf` has one bit per non-zero, `sf` and
+//!    `partition_first_segment` one entry per partition
+//!    (`⌈nnz / threadlen⌉`);
+//! 3. the first non-zero starts a segment (`bf[0]` set);
+//! 4. segment-head count equals the segment-coordinate table length;
+//! 5. `sf[p]` mirrors `bf[p · threadlen]` — the start flag is exactly "my
+//!    partition's first non-zero is a segment head";
+//! 6. `partition_first_segment[p]` counts the heads before the partition
+//!    (so it is monotone and ends consistent with the total);
+//! 7. every stored coordinate is inside the tensor shape.
+
+use crate::{Finding, Pass, Report, Severity};
+use fcoo::Fcoo;
+
+fn error(report: &mut Report, message: String) {
+    report.findings.push(Finding {
+        pass: Pass::FcooLint,
+        severity: Severity::Error,
+        message,
+        launch: None,
+        block: None,
+    });
+}
+
+/// Validates the structural invariants of a preprocessed F-COO tensor.
+///
+/// Returns a clean report for every tensor produced by
+/// [`Fcoo::from_coo`]; any corruption of the flag vectors, partition
+/// pointers or coordinate tables yields error findings describing the
+/// violated invariant.
+pub fn check_fcoo(fcoo: &Fcoo) -> Report {
+    let mut report = Report::default();
+    let nnz = fcoo.values.len();
+
+    if fcoo.threadlen == 0 {
+        error(&mut report, "threadlen is zero".to_owned());
+        return report;
+    }
+    if nnz == 0 {
+        error(&mut report, "F-COO holds no non-zeros".to_owned());
+        return report;
+    }
+
+    // 1. Vector arities.
+    let product_modes = &fcoo.classification.product_modes;
+    let index_modes = &fcoo.classification.index_modes;
+    if fcoo.product_indices.len() != product_modes.len() {
+        error(
+            &mut report,
+            format!(
+                "{} product-index columns for {} product modes",
+                fcoo.product_indices.len(),
+                product_modes.len()
+            ),
+        );
+    }
+    for (slot, column) in fcoo.product_indices.iter().enumerate() {
+        if column.len() != nnz {
+            error(
+                &mut report,
+                format!(
+                    "product-index column {slot} has {} entries, nnz is {nnz}",
+                    column.len()
+                ),
+            );
+        }
+    }
+    if fcoo.segment_coords.len() != index_modes.len() {
+        error(
+            &mut report,
+            format!(
+                "{} segment-coordinate columns for {} index modes",
+                fcoo.segment_coords.len(),
+                index_modes.len()
+            ),
+        );
+    }
+
+    // 2. Flag lengths. bf-dependent checks need a correctly sized bf.
+    if fcoo.bf.len() != nnz {
+        error(
+            &mut report,
+            format!(
+                "bf holds {} flags, one per non-zero required (nnz {nnz})",
+                fcoo.bf.len()
+            ),
+        );
+        return report;
+    }
+    let partitions = nnz.div_ceil(fcoo.threadlen);
+    let sf_ok = fcoo.sf.len() == partitions;
+    if !sf_ok {
+        error(
+            &mut report,
+            format!(
+                "sf holds {} flags for {partitions} partitions (nnz {nnz}, threadlen {})",
+                fcoo.sf.len(),
+                fcoo.threadlen
+            ),
+        );
+    }
+    let pfs_ok = fcoo.partition_first_segment.len() == partitions;
+    if !pfs_ok {
+        error(
+            &mut report,
+            format!(
+                "partition_first_segment holds {} entries for {partitions} partitions",
+                fcoo.partition_first_segment.len()
+            ),
+        );
+    }
+
+    // 3. The first non-zero always begins a segment.
+    if !fcoo.bf.get(0) {
+        error(
+            &mut report,
+            "bf[0] is clear: the first non-zero must start a segment".to_owned(),
+        );
+    }
+
+    // 4. Segment-head count vs. the coordinate table.
+    let segments = fcoo.bf.count_ones();
+    for (slot, column) in fcoo.segment_coords.iter().enumerate() {
+        if column.len() != segments {
+            error(
+                &mut report,
+                format!(
+                    "segment-coordinate column {slot} has {} entries, bf marks {segments} heads",
+                    column.len()
+                ),
+            );
+        }
+    }
+
+    // 5 & 6. Start flags and partition pointers mirror bf.
+    if sf_ok && pfs_ok {
+        let mut heads_before = 0u32;
+        for p in 0..partitions {
+            let start = p * fcoo.threadlen;
+            if fcoo.sf.get(p) != fcoo.bf.get(start) {
+                error(
+                    &mut report,
+                    format!(
+                        "sf[{p}] is {} but bf[{start}] is {}: start flag must mirror the \
+                         partition's first bit flag",
+                        fcoo.sf.get(p),
+                        fcoo.bf.get(start)
+                    ),
+                );
+            }
+            if fcoo.partition_first_segment[p] != heads_before {
+                error(
+                    &mut report,
+                    format!(
+                        "partition_first_segment[{p}] is {}, but {heads_before} segment \
+                         heads precede the partition",
+                        fcoo.partition_first_segment[p]
+                    ),
+                );
+            }
+            let end = ((p + 1) * fcoo.threadlen).min(nnz);
+            heads_before += (start..end).filter(|&nz| fcoo.bf.get(nz)).count() as u32;
+        }
+        if heads_before as usize != segments {
+            error(
+                &mut report,
+                format!("bf marks {segments} heads but partition walk counted {heads_before}"),
+            );
+        }
+    }
+
+    // 7. Coordinates inside the shape.
+    let columns = [
+        ("segment coordinate", &fcoo.segment_coords, index_modes),
+        ("product index", &fcoo.product_indices, product_modes),
+    ];
+    for (what, table, modes) in columns {
+        for (slot, (column, &mode)) in table.iter().zip(modes).enumerate() {
+            let Some(&size) = fcoo.shape.get(mode) else {
+                error(
+                    &mut report,
+                    format!("{what} column {slot} maps to missing mode {mode}"),
+                );
+                continue;
+            };
+            if let Some(pos) = column.iter().position(|&c| c as usize >= size) {
+                error(
+                    &mut report,
+                    format!(
+                        "{what} column {slot} entry {pos} is {} — out of bounds for mode {mode} \
+                         (size {size})",
+                        column[pos]
+                    ),
+                );
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcoo::TensorOp;
+    use tensor_core::SparseTensorCoo;
+
+    fn sample_tensor() -> SparseTensorCoo {
+        let mut tensor = SparseTensorCoo::new(vec![4, 5, 6]);
+        for nz in 0..23u32 {
+            tensor.push(&[nz % 4, (nz * 7) % 5, (nz * 3) % 6], nz as f32 + 1.0);
+        }
+        tensor
+    }
+
+    #[test]
+    fn constructor_tensors_are_accepted() {
+        let tensor = sample_tensor();
+        for threadlen in [1, 2, 4, 8, 64] {
+            for op in [
+                TensorOp::SpTtm { mode: 2 },
+                TensorOp::SpMttkrp { mode: 0 },
+                TensorOp::SpTtmc { mode: 1 },
+            ] {
+                let fcoo = Fcoo::from_coo(&tensor, op, threadlen);
+                let report = check_fcoo(&fcoo);
+                assert!(report.is_clean(), "{op:?} threadlen {threadlen}: {report}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_start_flag_is_rejected() {
+        let mut fcoo = Fcoo::from_coo(&sample_tensor(), TensorOp::SpMttkrp { mode: 0 }, 4);
+        // Rebuild sf with partition 1's flag inverted.
+        let mut sf = fcoo::BitFlags::new(fcoo.sf.len());
+        for p in 0..fcoo.sf.len() {
+            if fcoo.sf.get(p) != (p == 1) {
+                sf.set(p);
+            }
+        }
+        fcoo.sf = sf;
+        let report = check_fcoo(&fcoo);
+        assert!(report.error_count() > 0);
+        assert!(
+            report.findings.iter().any(|f| f.message.contains("sf[1]")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn cleared_first_head_is_rejected() {
+        let mut fcoo = Fcoo::from_coo(&sample_tensor(), TensorOp::SpTtm { mode: 2 }, 4);
+        let mut bf = fcoo::BitFlags::new(fcoo.bf.len());
+        for nz in 1..fcoo.bf.len() {
+            if fcoo.bf.get(nz) {
+                bf.set(nz);
+            }
+        }
+        fcoo.bf = bf;
+        let report = check_fcoo(&fcoo);
+        assert!(
+            report.findings.iter().any(|f| f.message.contains("bf[0]")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn wrong_length_flags_are_rejected_without_panicking() {
+        let mut fcoo = Fcoo::from_coo(&sample_tensor(), TensorOp::SpMttkrp { mode: 1 }, 4);
+        fcoo.bf = fcoo::BitFlags::new(3);
+        let report = check_fcoo(&fcoo);
+        assert!(report.error_count() > 0);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("bf holds 3")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn stale_partition_pointer_is_rejected() {
+        let mut fcoo = Fcoo::from_coo(&sample_tensor(), TensorOp::SpMttkrp { mode: 2 }, 4);
+        assert!(fcoo.partition_first_segment.len() > 2);
+        fcoo.partition_first_segment[2] += 1;
+        let report = check_fcoo(&fcoo);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("partition_first_segment[2]")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn out_of_shape_coordinate_is_rejected() {
+        let mut fcoo = Fcoo::from_coo(&sample_tensor(), TensorOp::SpTtm { mode: 2 }, 4);
+        fcoo.product_indices[0][5] = 1000;
+        let report = check_fcoo(&fcoo);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("out of bounds")),
+            "{report}"
+        );
+    }
+}

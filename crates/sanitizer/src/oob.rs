@@ -1,0 +1,132 @@
+//! Shadow-memory out-of-bounds checking.
+//!
+//! Every recorded event — narrated or functional — must land entirely inside
+//! an allocation that was live when the launch finished. The device hands
+//! each launch a snapshot of its allocation map (`base → bytes`, bases
+//! 256-aligned with 256-byte guard gaps, like `cudaMalloc`), so a one-off
+//! overrun of any buffer falls into unmapped space and is caught here even
+//! when the functional layer's index assertions are bypassed via raw address
+//! arithmetic in narration calls.
+
+use crate::{Finding, Pass, Report, Severity};
+use gpu_sim::AccessLog;
+use std::collections::BTreeMap;
+
+/// Cap on findings reported per launch.
+const MAX_FINDINGS_PER_LAUNCH: usize = 16;
+
+/// Runs the out-of-bounds pass over every launch of `log`.
+pub fn check(log: &AccessLog) -> Report {
+    let mut report = Report::default();
+    for (launch_index, launch) in log.launches.iter().enumerate() {
+        let shadow: BTreeMap<u64, u64> = launch
+            .allocations
+            .iter()
+            .map(|&(base, bytes)| (base, bytes as u64))
+            .collect();
+        let mut found = 0usize;
+        'launch: for block in &launch.blocks {
+            for event in &block.events {
+                let len = u64::from(event.bytes.max(1));
+                let inside = shadow
+                    .range(..=event.addr)
+                    .next_back()
+                    .is_some_and(|(&base, &size)| event.addr + len <= base + size);
+                if inside {
+                    continue;
+                }
+                if found == MAX_FINDINGS_PER_LAUNCH {
+                    report.findings.push(Finding {
+                        pass: Pass::Oob,
+                        severity: Severity::Warning,
+                        message: "further out-of-bounds findings suppressed".to_owned(),
+                        launch: Some(launch_index),
+                        block: Some(block.block),
+                    });
+                    break 'launch;
+                }
+                found += 1;
+                report.findings.push(Finding {
+                    pass: Pass::Oob,
+                    severity: Severity::Error,
+                    message: format!(
+                        "{:?} of {} byte(s) at {:#x} outside every live allocation",
+                        event.kind, len, event.addr
+                    ),
+                    launch: Some(launch_index),
+                    block: Some(block.block),
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::record::{AccessKind, BlockRecord, Event, LaunchRecord};
+
+    fn log_with(allocations: Vec<(u64, usize)>, events: Vec<Event>) -> AccessLog {
+        AccessLog {
+            launches: vec![LaunchRecord {
+                grid: (1, 1),
+                block_threads: 32,
+                blocks: vec![BlockRecord { block: 0, events }],
+                allocations,
+            }],
+        }
+    }
+
+    fn read_at(addr: u64, bytes: u32) -> Event {
+        Event {
+            addr,
+            bytes,
+            kind: AccessKind::NarratedRead,
+            warp: 0,
+            epoch: 0,
+            after_adjacent: false,
+        }
+    }
+
+    #[test]
+    fn in_bounds_accesses_pass() {
+        let log = log_with(
+            vec![(256, 128), (1024, 64)],
+            vec![
+                read_at(256, 128),
+                read_at(383, 1),
+                read_at(1024, 4),
+                read_at(1087, 1),
+            ],
+        );
+        assert!(check(&log).is_clean());
+    }
+
+    #[test]
+    fn overrun_past_allocation_end_is_flagged() {
+        let log = log_with(vec![(256, 128)], vec![read_at(380, 8)]);
+        let report = check(&log);
+        assert_eq!(report.error_count(), 1, "{report}");
+        assert!(report.findings[0].message.contains("0x17c"));
+    }
+
+    #[test]
+    fn access_in_guard_gap_is_flagged() {
+        let log = log_with(vec![(256, 128), (1024, 64)], vec![read_at(500, 4)]);
+        assert_eq!(check(&log).error_count(), 1);
+    }
+
+    #[test]
+    fn access_below_first_allocation_is_flagged() {
+        let log = log_with(vec![(256, 128)], vec![read_at(0, 4)]);
+        assert_eq!(check(&log).error_count(), 1);
+    }
+
+    #[test]
+    fn findings_are_capped() {
+        let events: Vec<Event> = (0..40).map(|i| read_at(4096 + i * 8, 4)).collect();
+        let report = check(&log_with(vec![(256, 128)], events));
+        assert_eq!(report.findings.len(), MAX_FINDINGS_PER_LAUNCH + 1);
+    }
+}

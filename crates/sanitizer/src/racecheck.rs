@@ -1,0 +1,331 @@
+//! Race detection over recorded functional accesses.
+//!
+//! Only **functional** events participate: they are what the kernel really
+//! did to memory, at element granularity, so two events conflict exactly
+//! when they name the same address (buffers are disjoint and every access to
+//! a buffer has the element's size and alignment). Narrated events describe
+//! *modelled* traffic — e.g. `write_global_shared` covers boundary rows that
+//! are functionally accumulated with atomics — and would false-positive.
+//!
+//! Two conflicting accesses race unless the synchronization model orders
+//! them:
+//!
+//! * same block, same warp — program order (one warp executes in order);
+//! * same block, different warps — ordered iff their barrier epochs differ
+//!   (the kernels are SPMD, so epoch `n` in one warp and epoch `n` in
+//!   another lie between the same pair of `__syncthreads()`);
+//! * different blocks — unordered, except that events *after* a block's
+//!   `adjacent_sync` wait are ordered behind everything done by
+//!   linearly-earlier blocks (the StreamScan domino of paper §IV-D).
+//!
+//! Both-atomic conflicts are synchronized by the hardware. An atomic racing
+//! a plain read is reported as a warning (the read may observe a partial
+//! accumulation — often intended, never ordered).
+
+use crate::{Finding, Pass, Report, Severity};
+use gpu_sim::record::AccessKind;
+use gpu_sim::AccessLog;
+use std::collections::HashMap;
+
+/// Cap on findings reported per launch (races are usually systematic, so a
+/// handful of witnesses beats thousands of repeats).
+const MAX_FINDINGS_PER_LAUNCH: usize = 16;
+
+/// How a deduplicated access context touches its address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Touch {
+    Read,
+    Write,
+    Atomic,
+}
+
+/// One party to a potential conflict: where in the launch an access of a
+/// given kind to one address came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Ctx {
+    block: usize,
+    warp: u32,
+    epoch: u32,
+    after_adjacent: bool,
+    touch: Touch,
+}
+
+/// True when the synchronization model orders `a` and `b` (either way).
+fn ordered(a: &Ctx, b: &Ctx) -> bool {
+    if a.block == b.block {
+        if a.warp == b.warp {
+            return true;
+        }
+        a.epoch != b.epoch
+    } else if a.block < b.block {
+        b.after_adjacent
+    } else {
+        a.after_adjacent
+    }
+}
+
+fn describe(c: &Ctx) -> String {
+    let touch = match c.touch {
+        Touch::Read => "read",
+        Touch::Write => "write",
+        Touch::Atomic => "atomic",
+    };
+    let adj = if c.after_adjacent {
+        ", post-adjacent-sync"
+    } else {
+        ""
+    };
+    format!(
+        "{touch} by block {} warp {} epoch {}{adj}",
+        c.block, c.warp, c.epoch
+    )
+}
+
+/// Runs the race pass over every launch of `log`.
+pub fn check(log: &AccessLog) -> Report {
+    let mut report = Report::default();
+    for (launch_index, launch) in log.launches.iter().enumerate() {
+        let mut contexts: HashMap<u64, Vec<Ctx>> = HashMap::new();
+        for block in &launch.blocks {
+            for event in &block.events {
+                let touch = match event.kind {
+                    AccessKind::FunctionalRead => Touch::Read,
+                    AccessKind::FunctionalWrite => Touch::Write,
+                    AccessKind::FunctionalAtomic => Touch::Atomic,
+                    _ => continue,
+                };
+                let ctx = Ctx {
+                    block: block.block,
+                    warp: event.warp,
+                    epoch: event.epoch,
+                    after_adjacent: event.after_adjacent,
+                    touch,
+                };
+                let entry = contexts.entry(event.addr).or_default();
+                if !entry.contains(&ctx) {
+                    entry.push(ctx);
+                }
+            }
+        }
+        let mut addrs: Vec<&u64> = contexts.keys().collect();
+        addrs.sort_unstable();
+        let mut found = 0usize;
+        'launch: for &addr in &addrs {
+            let parties = &contexts[addr];
+            for (i, a) in parties.iter().enumerate() {
+                for b in &parties[i + 1..] {
+                    let severity = match (a.touch, b.touch) {
+                        (Touch::Read, Touch::Read) | (Touch::Atomic, Touch::Atomic) => continue,
+                        (Touch::Atomic, Touch::Read) | (Touch::Read, Touch::Atomic) => {
+                            Severity::Warning
+                        }
+                        _ => Severity::Error,
+                    };
+                    if ordered(a, b) {
+                        continue;
+                    }
+                    if found == MAX_FINDINGS_PER_LAUNCH {
+                        report.findings.push(Finding {
+                            pass: Pass::Racecheck,
+                            severity: Severity::Warning,
+                            message: "further race findings suppressed".to_owned(),
+                            launch: Some(launch_index),
+                            block: None,
+                        });
+                        break 'launch;
+                    }
+                    found += 1;
+                    report.findings.push(Finding {
+                        pass: Pass::Racecheck,
+                        severity,
+                        message: format!(
+                            "unordered conflict at {addr:#x}: {} vs {}",
+                            describe(a),
+                            describe(b)
+                        ),
+                        launch: Some(launch_index),
+                        block: None,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::record::{BlockRecord, Event, LaunchRecord};
+
+    fn event(kind: AccessKind, addr: u64, warp: u32, epoch: u32, adj: bool) -> Event {
+        Event {
+            addr,
+            bytes: 4,
+            kind,
+            warp,
+            epoch,
+            after_adjacent: adj,
+        }
+    }
+
+    fn launch(blocks: Vec<BlockRecord>) -> AccessLog {
+        AccessLog {
+            launches: vec![LaunchRecord {
+                grid: (blocks.len(), 1),
+                block_threads: 32,
+                blocks,
+                allocations: vec![(0x0, 1 << 20)],
+            }],
+        }
+    }
+
+    #[test]
+    fn cross_block_plain_writes_race() {
+        let log = launch(vec![
+            BlockRecord {
+                block: 0,
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, false)],
+            },
+            BlockRecord {
+                block: 1,
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, false)],
+            },
+        ]);
+        let report = check(&log);
+        assert_eq!(report.error_count(), 1, "{report}");
+        assert!(report.findings[0].message.contains("0x100"));
+    }
+
+    #[test]
+    fn atomics_do_not_race_each_other() {
+        let log = launch(vec![
+            BlockRecord {
+                block: 0,
+                events: vec![event(AccessKind::FunctionalAtomic, 0x100, 0, 0, false)],
+            },
+            BlockRecord {
+                block: 1,
+                events: vec![event(AccessKind::FunctionalAtomic, 0x100, 0, 0, false)],
+            },
+        ]);
+        assert!(check(&log).is_clean());
+    }
+
+    #[test]
+    fn atomic_vs_read_is_a_warning() {
+        let log = launch(vec![
+            BlockRecord {
+                block: 0,
+                events: vec![event(AccessKind::FunctionalAtomic, 0x100, 0, 0, false)],
+            },
+            BlockRecord {
+                block: 1,
+                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 0, false)],
+            },
+        ]);
+        let report = check(&log);
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn same_warp_accesses_are_program_ordered() {
+        let log = launch(vec![BlockRecord {
+            block: 0,
+            events: vec![
+                event(AccessKind::FunctionalWrite, 0x100, 0, 0, false),
+                event(AccessKind::FunctionalRead, 0x100, 0, 0, false),
+            ],
+        }]);
+        assert!(check(&log).is_clean());
+    }
+
+    #[test]
+    fn barrier_epochs_order_warps_within_a_block() {
+        // Warp 0 writes in epoch 0, warp 1 reads in epoch 1: a syncthreads
+        // separates them, no race. Equal epochs race.
+        let synced = launch(vec![BlockRecord {
+            block: 0,
+            events: vec![
+                event(AccessKind::FunctionalWrite, 0x100, 0, 0, false),
+                event(AccessKind::FunctionalRead, 0x100, 1, 1, false),
+            ],
+        }]);
+        assert!(check(&synced).is_clean());
+        let racy = launch(vec![BlockRecord {
+            block: 0,
+            events: vec![
+                event(AccessKind::FunctionalWrite, 0x100, 0, 0, false),
+                event(AccessKind::FunctionalRead, 0x100, 1, 0, false),
+            ],
+        }]);
+        assert_eq!(check(&racy).error_count(), 1);
+    }
+
+    #[test]
+    fn adjacent_sync_orders_later_blocks_after_earlier() {
+        // Block 1's post-adjacent read of what block 0 wrote is the fusion
+        // domino — ordered. Without the flag it races.
+        let fused = launch(vec![
+            BlockRecord {
+                block: 0,
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, false)],
+            },
+            BlockRecord {
+                block: 1,
+                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 0, true)],
+            },
+        ]);
+        assert!(check(&fused).is_clean());
+        // The domino only runs backwards: block 0 post-adjacent does not
+        // order it against block 1's write.
+        let wrong_way = launch(vec![
+            BlockRecord {
+                block: 0,
+                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 0, true)],
+            },
+            BlockRecord {
+                block: 1,
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, false)],
+            },
+        ]);
+        assert_eq!(check(&wrong_way).error_count(), 1);
+    }
+
+    #[test]
+    fn findings_are_capped_per_launch() {
+        let blocks: Vec<BlockRecord> = (0..40)
+            .map(|b| BlockRecord {
+                block: b,
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, false)],
+            })
+            .collect();
+        let report = check(&launch(blocks));
+        assert_eq!(report.findings.len(), MAX_FINDINGS_PER_LAUNCH + 1);
+        assert!(report
+            .findings
+            .last()
+            .expect("cap notice")
+            .message
+            .contains("suppressed"));
+    }
+
+    #[test]
+    fn narrated_events_never_race() {
+        // write_global_shared narration covers atomically-accumulated rows;
+        // only functional events may witness races.
+        let log = launch(vec![
+            BlockRecord {
+                block: 0,
+                events: vec![event(AccessKind::NarratedWrite, 0x100, 0, 0, false)],
+            },
+            BlockRecord {
+                block: 1,
+                events: vec![event(AccessKind::NarratedWrite, 0x100, 0, 0, false)],
+            },
+        ]);
+        assert!(check(&log).is_clean());
+    }
+}

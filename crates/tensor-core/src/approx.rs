@@ -16,9 +16,18 @@ pub fn assert_close(a: f64, b: f64, tol: f64) {
 /// Panics unless every pair in the two slices is [`close`].
 #[track_caller]
 pub fn assert_slices_close(a: &[f32], b: &[f32], tol: f64) {
-    assert_eq!(a.len(), b.len(), "slice length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "slice length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert!(close(*x as f64, *y as f64, tol), "slices differ at {i}: {x} vs {y} (tol {tol})");
+        assert!(
+            close(*x as f64, *y as f64, tol),
+            "slices differ at {i}: {x} vs {y} (tol {tol})"
+        );
     }
 }
 

@@ -36,10 +36,17 @@ impl SparseTensorCoo {
         assert!(!shape.is_empty(), "tensor must have at least one mode");
         for (mode, &size) in shape.iter().enumerate() {
             assert!(size > 0, "mode {mode} has zero size");
-            assert!(size <= u32::MAX as usize, "mode {mode} exceeds u32 index range");
+            assert!(
+                size <= u32::MAX as usize,
+                "mode {mode} exceeds u32 index range"
+            );
         }
         let order = shape.len();
-        SparseTensorCoo { shape, indices: vec![Vec::new(); order], values: Vec::new() }
+        SparseTensorCoo {
+            shape,
+            indices: vec![Vec::new(); order],
+            values: Vec::new(),
+        }
     }
 
     /// Builds a tensor from `(coordinate, value)` entries.
@@ -61,7 +68,10 @@ impl SparseTensorCoo {
     pub fn push(&mut self, coord: &[Idx], value: Val) {
         assert_eq!(coord.len(), self.order(), "coordinate arity mismatch");
         for (mode, (&index, &size)) in coord.iter().zip(&self.shape).enumerate() {
-            assert!((index as usize) < size, "index {index} out of bounds for mode {mode} (size {size})");
+            assert!(
+                (index as usize) < size,
+                "index {index} out of bounds for mode {mode} (size {size})"
+            );
             self.indices[mode].push(index);
         }
         self.values.push(value);
@@ -302,11 +312,9 @@ mod tests {
     #[test]
     fn sort_preserves_coordinate_value_pairing() {
         let mut t = sample();
-        let before: std::collections::BTreeMap<Vec<Idx>, Val> =
-            t.iter().collect();
+        let before: std::collections::BTreeMap<Vec<Idx>, Val> = t.iter().collect();
         t.sort_by_mode_order(&[1, 2, 0]);
-        let after: std::collections::BTreeMap<Vec<Idx>, Val> =
-            t.iter().collect();
+        let after: std::collections::BTreeMap<Vec<Idx>, Val> = t.iter().collect();
         assert_eq!(before, after);
     }
 

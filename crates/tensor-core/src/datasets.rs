@@ -42,8 +42,12 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// The four paper datasets in the order of Table IV's speedup figures.
-    pub const PAPER: [DatasetKind; 4] =
-        [DatasetKind::Nell1, DatasetKind::Delicious, DatasetKind::Nell2, DatasetKind::Brainq];
+    pub const PAPER: [DatasetKind; 4] = [
+        DatasetKind::Nell1,
+        DatasetKind::Delicious,
+        DatasetKind::Nell2,
+        DatasetKind::Brainq,
+    ];
 
     /// Dataset name as the paper prints it.
     pub fn name(self) -> &'static str {
@@ -141,8 +145,12 @@ impl DatasetInfo {
 pub fn generate(kind: DatasetKind, nnz_budget: usize, seed: u64) -> (SparseTensorCoo, DatasetInfo) {
     assert!(nnz_budget >= 16, "nnz budget too small to be meaningful");
     let shape = scaled_shape(kind, nnz_budget);
-    let density_target =
-        kind.paper_nnz() as f64 / kind.paper_shape().iter().map(|&s| s as f64).product::<f64>();
+    let density_target = kind.paper_nnz() as f64
+        / kind
+            .paper_shape()
+            .iter()
+            .map(|&s| s as f64)
+            .product::<f64>();
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_da7a);
     let tensor = if density_target > 0.01 {
         generate_bernoulli(&shape, density_target, &mut rng)
@@ -179,17 +187,31 @@ fn scaled_shape(kind: DatasetKind, nnz_budget: usize) -> Vec<usize> {
     let target_cells = nnz_budget as f64 / density;
     // Modes small enough to keep verbatim (preserves brainq's odd shape).
     let fixed: Vec<bool> = paper_shape.iter().map(|&s| s <= 128).collect();
-    let fixed_cells: f64 =
-        paper_shape.iter().zip(&fixed).filter(|(_, &f)| f).map(|(&s, _)| s as f64).product();
+    let fixed_cells: f64 = paper_shape
+        .iter()
+        .zip(&fixed)
+        .filter(|(_, &f)| f)
+        .map(|(&s, _)| s as f64)
+        .product();
     let free_count = fixed.iter().filter(|&&f| !f).count().max(1);
-    let free_paper: f64 =
-        paper_shape.iter().zip(&fixed).filter(|(_, &f)| !f).map(|(&s, _)| s as f64).product();
+    let free_paper: f64 = paper_shape
+        .iter()
+        .zip(&fixed)
+        .filter(|(_, &f)| !f)
+        .map(|(&s, _)| s as f64)
+        .product();
     // Shrink each free mode by the same ratio.
     let ratio = ((target_cells / fixed_cells) / free_paper).powf(1.0 / free_count as f64);
     paper_shape
         .iter()
         .zip(&fixed)
-        .map(|(&s, &f)| if f { s } else { ((s as f64 * ratio).round() as usize).max(8) })
+        .map(|(&s, &f)| {
+            if f {
+                s
+            } else {
+                ((s as f64 * ratio).round() as usize).max(8)
+            }
+        })
         .collect()
 }
 
@@ -289,7 +311,11 @@ mod tests {
         assert_eq!(tensor.shape()[0], 60);
         assert_eq!(tensor.shape()[2], 9);
         // Density class preserved: dense-ish.
-        assert!(info.density > 0.15, "brainq density {} too low", info.density);
+        assert!(
+            info.density > 0.15,
+            "brainq density {} too low",
+            info.density
+        );
         assert!(info.nnz > 10_000);
     }
 
@@ -302,8 +328,10 @@ mod tests {
 
     #[test]
     fn density_ordering_matches_paper() {
-        let infos: Vec<DatasetInfo> =
-            paper_datasets(15_000, 7).into_iter().map(|(_, info)| info).collect();
+        let infos: Vec<DatasetInfo> = paper_datasets(15_000, 7)
+            .into_iter()
+            .map(|(_, info)| info)
+            .collect();
         // Paper order: nell1, delicious, nell2, brainq — increasing density.
         for pair in infos.windows(2) {
             assert!(
@@ -345,7 +373,10 @@ mod tests {
         let sizes = uniform.group_sizes(&[0]);
         let max = *sizes.iter().max().unwrap() as f64;
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
-        assert!(max < 3.0 * mean, "uniform should be balanced: max {max} mean {mean}");
+        assert!(
+            max < 3.0 * mean,
+            "uniform should be balanced: max {max} mean {mean}"
+        );
     }
 
     #[test]

@@ -123,7 +123,11 @@ mod tests {
     fn round_trip_preserves_entries() {
         let tensor = SparseTensorCoo::from_entries(
             vec![3, 4, 5],
-            &[(vec![0, 0, 0], 1.5), (vec![2, 3, 4], -2.25), (vec![1, 2, 0], 0.5)],
+            &[
+                (vec![0, 0, 0], 1.5),
+                (vec![2, 3, 4], -2.25),
+                (vec![1, 2, 0], 0.5),
+            ],
         );
         let mut buffer = Vec::new();
         write_tns(&tensor, &mut buffer).unwrap();

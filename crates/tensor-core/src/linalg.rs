@@ -83,7 +83,11 @@ pub fn sym_eigen(a: &DenseMatrix) -> SymEigen {
         }
     }
     let values = (0..n).map(|i| m[i * n + i]).collect();
-    SymEigen { values, vectors: v, n }
+    SymEigen {
+        values,
+        vectors: v,
+        n,
+    }
 }
 
 /// Moore–Penrose pseudo-inverse of a symmetric positive semi-definite matrix.
@@ -224,7 +228,9 @@ mod tests {
         let n = eig.n;
         for p in 0..n {
             for q in 0..n {
-                let dot: f64 = (0..n).map(|k| eig.vectors[k * n + p] * eig.vectors[k * n + q]).sum();
+                let dot: f64 = (0..n)
+                    .map(|k| eig.vectors[k * n + p] * eig.vectors[k * n + q])
+                    .sum();
                 assert_close(dot, if p == q { 1.0 } else { 0.0 }, 1e-8);
             }
         }

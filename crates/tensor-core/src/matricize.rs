@@ -120,21 +120,30 @@ mod tests {
         let x1 = matricize(&figure1_tensor(), 0).unwrap();
         assert_eq!(x1.shape(), &[2, 4]);
         // Fig. 1: X(1) = [1 3 5 7; 2 4 6 8].
-        assert_eq!(dense_of(&x1), vec![vec![1.0, 3.0, 5.0, 7.0], vec![2.0, 4.0, 6.0, 8.0]]);
+        assert_eq!(
+            dense_of(&x1),
+            vec![vec![1.0, 3.0, 5.0, 7.0], vec![2.0, 4.0, 6.0, 8.0]]
+        );
     }
 
     #[test]
     fn figure1_mode2_unfolding() {
         let x2 = matricize(&figure1_tensor(), 1).unwrap();
         // Fig. 1: X(2) = [1 2 5 6; 3 4 7 8].
-        assert_eq!(dense_of(&x2), vec![vec![1.0, 2.0, 5.0, 6.0], vec![3.0, 4.0, 7.0, 8.0]]);
+        assert_eq!(
+            dense_of(&x2),
+            vec![vec![1.0, 2.0, 5.0, 6.0], vec![3.0, 4.0, 7.0, 8.0]]
+        );
     }
 
     #[test]
     fn figure1_mode3_unfolding() {
         let x3 = matricize(&figure1_tensor(), 2).unwrap();
         // Fig. 1: X(3) = [1 2 3 4; 5 6 7 8].
-        assert_eq!(dense_of(&x3), vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]]);
+        assert_eq!(
+            dense_of(&x3),
+            vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]]
+        );
     }
 
     #[test]
@@ -167,7 +176,10 @@ mod tests {
         // even index it, while F-COO never forms the product.
         let (tensor, _) = crate::datasets::generate(crate::DatasetKind::Nell1, 1_000, 32);
         let columns: u128 = tensor.shape()[1] as u128 * tensor.shape()[2] as u128;
-        assert!(columns > u32::MAX as u128, "scaled nell1 should still overflow");
+        assert!(
+            columns > u32::MAX as u128,
+            "scaled nell1 should still overflow"
+        );
         match matricize(&tensor, 0) {
             Err(MatricizeError::ColumnOverflow { columns: reported }) => {
                 assert_eq!(reported, columns);

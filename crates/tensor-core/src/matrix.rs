@@ -20,7 +20,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a generator `f(row, col)`.
@@ -174,9 +178,22 @@ impl DenseMatrix {
     /// # Panics
     /// If the shapes disagree.
     pub fn hadamard(&self, other: &DenseMatrix) -> DenseMatrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        DenseMatrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "hadamard shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Kronecker product `self ⊗ other` (paper Eq. 1).
@@ -211,7 +228,10 @@ impl DenseMatrix {
     /// # Panics
     /// If the column counts disagree.
     pub fn khatri_rao(&self, other: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(self.cols, other.cols, "khatri-rao requires equal column counts");
+        assert_eq!(
+            self.cols, other.cols,
+            "khatri-rao requires equal column counts"
+        );
         let mut out = DenseMatrix::zeros(self.rows * other.rows, self.cols);
         for i in 0..self.rows {
             for k in 0..other.rows {
@@ -259,7 +279,11 @@ impl DenseMatrix {
 
     /// Frobenius norm.
     pub fn frobenius(&self) -> f64 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Largest absolute entry-wise difference to `other`.
@@ -267,7 +291,11 @@ impl DenseMatrix {
     /// # Panics
     /// If the shapes disagree.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)

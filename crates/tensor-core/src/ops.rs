@@ -17,7 +17,11 @@ use std::collections::HashMap;
 /// If `u.rows()` does not match the size of `mode`.
 pub fn spttm(x: &SparseTensorCoo, mode: usize, u: &DenseMatrix) -> SemiSparseTensor {
     assert!(mode < x.order(), "mode out of range");
-    assert_eq!(u.rows(), x.shape()[mode], "matrix rows must match product-mode size");
+    assert_eq!(
+        u.rows(),
+        x.shape()[mode],
+        "matrix rows must match product-mode size"
+    );
     let r = u.cols();
     let index_modes: Vec<usize> = (0..x.order()).filter(|&m| m != mode).collect();
     // Map each index-mode coordinate tuple to a fiber slot.
@@ -179,9 +183,17 @@ pub fn spttmc_norder(
 ) -> DenseMatrix {
     assert!(mode < x.order(), "mode out of range");
     let product_modes: Vec<usize> = (0..x.order()).filter(|&m| m != mode).collect();
-    assert_eq!(product_factors.len(), product_modes.len(), "one factor per product mode");
+    assert_eq!(
+        product_factors.len(),
+        product_modes.len(),
+        "one factor per product mode"
+    );
     for (&m, factor) in product_modes.iter().zip(product_factors) {
-        assert_eq!(factor.rows(), x.shape()[m], "factor row mismatch on mode {m}");
+        assert_eq!(
+            factor.rows(),
+            x.shape()[m],
+            "factor row mismatch on mode {m}"
+        );
     }
     let columns: usize = product_factors.iter().map(|f| f.cols()).product();
     let rows = x.shape()[mode];
@@ -245,7 +257,9 @@ mod tests {
         // Dense check: for every (i, j) compute sum_k X(i,j,k)·U(k,:).
         let mut expected: HashMap<(Idx, Idx), Vec<Val>> = HashMap::new();
         for (coord, value) in x.iter() {
-            let entry = expected.entry((coord[0], coord[1])).or_insert_with(|| vec![0.0; 3]);
+            let entry = expected
+                .entry((coord[0], coord[1]))
+                .or_insert_with(|| vec![0.0; 3]);
             for (e, &m) in entry.iter_mut().zip(u.row(coord[2] as usize)) {
                 *e += value * m;
             }

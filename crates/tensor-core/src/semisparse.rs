@@ -49,12 +49,17 @@ impl SemiSparseTensor {
     /// # Panics
     /// If arities or bounds are violated.
     pub fn push_fiber(&mut self, index_coord: &[Idx], fiber: &[Val]) {
-        assert_eq!(index_coord.len(), self.coords.len(), "index coordinate arity mismatch");
+        assert_eq!(
+            index_coord.len(),
+            self.coords.len(),
+            "index coordinate arity mismatch"
+        );
         assert_eq!(fiber.len(), self.dense_len, "fiber length mismatch");
-        for (slot, (&index, size)) in
-            index_coord.iter().zip(self.index_mode_sizes()).enumerate()
-        {
-            assert!((index as usize) < size, "fiber coordinate {index} out of bounds in slot {slot}");
+        for (slot, (&index, size)) in index_coord.iter().zip(self.index_mode_sizes()).enumerate() {
+            assert!(
+                (index as usize) < size,
+                "fiber coordinate {index} out of bounds in slot {slot}"
+            );
             self.coords[slot].push(index);
         }
         self.values.extend_from_slice(fiber);
@@ -316,7 +321,11 @@ mod tests {
         // back to COO must reproduce the original tensor.
         let tensor = crate::SparseTensorCoo::from_entries(
             vec![3, 4, 5],
-            &[(vec![0, 1, 2], 1.5), (vec![2, 3, 4], -2.0), (vec![1, 0, 0], 3.0)],
+            &[
+                (vec![0, 1, 2], 1.5),
+                (vec![2, 3, 4], -2.0),
+                (vec![1, 0, 0], 3.0),
+            ],
         );
         let identity = crate::DenseMatrix::identity(5);
         let y = crate::ops::spttm(&tensor, 2, &identity);

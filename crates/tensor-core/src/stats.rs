@@ -54,8 +54,11 @@ pub fn summarize(sizes: &[usize]) -> DistributionSummary {
     let mean = total as f64 / count as f64;
     let pct = |p: f64| sorted[(((count - 1) as f64) * p).floor() as usize];
     // Gini from the sorted sizes: G = (2·Σ i·x_i)/(n·Σ x) − (n+1)/n.
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
     let gini = if total == 0 {
         0.0
     } else {
@@ -68,7 +71,7 @@ pub fn summarize(sizes: &[usize]) -> DistributionSummary {
         p50: pct(0.5),
         p90: pct(0.9),
         p99: pct(0.99),
-        max: *sorted.last().unwrap(),
+        max: *sorted.last().expect("summary requires at least one sample"),
         gini,
     }
 }

@@ -18,12 +18,17 @@ fn main() {
 
 fn run(args: &[String]) -> Result<String, String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
-    let parse_usize = |s: &String, what: &str| {
-        s.parse::<usize>().map_err(|_| format!("bad {what} `{s}`"))
+    let parse_usize =
+        |s: &String, what: &str| s.parse::<usize>().map_err(|_| format!("bad {what} `{s}`"));
+    let parse_rank = |s: &String| match parse_usize(s, "rank") {
+        Ok(0) => Err("rank must be at least 1".to_string()),
+        other => other,
     };
     match command {
         "info" => {
-            let [_, path] = args else { return Err("info needs <file.tns>".into()) };
+            let [_, path] = args else {
+                return Err("info needs <file.tns>".into());
+            };
             let tensor = cli::load(Path::new(path)).map_err(|e| e.to_string())?;
             Ok(cli::info(&tensor))
         }
@@ -42,7 +47,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let mode = parse_usize(mode, "mode")?
                 .checked_sub(1)
                 .ok_or("modes are 1-based")?;
-            let rank = parse_usize(rank, "rank")?;
+            let rank = parse_rank(rank)?;
             let result = match command {
                 "spttm" => cli::spttm(&tensor, mode, rank),
                 "mttkrp" => cli::mttkrp(&tensor, mode, rank),
@@ -55,7 +60,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 return Err("cp needs <file.tns> <rank> <iterations>".into());
             };
             let tensor = cli::load(Path::new(path)).map_err(|e| e.to_string())?;
-            let rank = parse_usize(rank, "rank")?;
+            let rank = parse_rank(rank)?;
             let iters = parse_usize(iters, "iterations")?;
             cli::cp(&tensor, rank, iters).map_err(|e| e.to_string())
         }
@@ -73,8 +78,19 @@ fn run(args: &[String]) -> Result<String, String> {
             let [_, file, rank] = args else {
                 return Err("run needs <file.fcoo> <rank>".into());
             };
-            let rank = parse_usize(rank, "rank")?;
+            let rank = parse_rank(rank)?;
             cli::run_cached(Path::new(file), rank).map_err(|e| e.to_string())
+        }
+        "sanitize" => {
+            let [_, file, op, mode, rank] = args else {
+                return Err("sanitize needs <file.tns> <op> <mode> <rank>".into());
+            };
+            let tensor = cli::load(Path::new(file)).map_err(|e| e.to_string())?;
+            let mode = parse_usize(mode, "mode")?
+                .checked_sub(1)
+                .ok_or("modes are 1-based")?;
+            let rank = parse_rank(rank)?;
+            cli::sanitize(&tensor, op, mode, rank).map_err(|e| e.to_string())
         }
         "help" | "--help" | "-h" => Ok(cli::USAGE.to_string()),
         other => Err(format!("unknown command `{other}`")),

@@ -42,9 +42,7 @@ pub fn info(tensor: &SparseTensorCoo) -> String {
     let _ = writeln!(out, "density:  {:.3e}", tensor.density());
     let _ = writeln!(out, "coo size: {} bytes", tensor.storage_bytes());
     for mode in 0..tensor.order() {
-        if let Some(summary) =
-            crate::tensor_core::stats::group_summary(tensor, &[mode])
-        {
+        if let Some(summary) = crate::tensor_core::stats::group_summary(tensor, &[mode]) {
             let _ = writeln!(out, "mode {} slices: {}", mode + 1, summary.render());
         }
     }
@@ -80,9 +78,8 @@ pub fn spttm(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<Strin
     let u_host = DenseMatrix::random(tensor.shape()[mode], rank, 1);
     let u = DeviceMatrix::upload(device.memory(), &u_host)
         .map_err(|e| err(format!("device out of memory: {e}")))?;
-    let (result, stats) =
-        crate::fcoo::spttm(&device, &on_device, &u, &LaunchConfig::default())
-            .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let (result, stats) = crate::fcoo::spttm(&device, &on_device, &u, &LaunchConfig::default())
+        .map_err(|e| err(format!("device out of memory: {e}")))?;
     let checksum: f64 = result.values().iter().map(|&v| v as f64).sum();
     Ok(format!(
         "SpTTM(mode-{}) rank {rank}: {:.1} µs simulated, {} fibers, \
@@ -131,7 +128,12 @@ pub fn mttkrp(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<Stri
 /// `tensortool cp <file> <rank> <iters>` — CP decomposition on the simulated
 /// device.
 pub fn cp(tensor: &SparseTensorCoo, rank: usize, iters: usize) -> Result<String, CliError> {
-    let opts = CpOptions { rank, max_iters: iters.max(1), tol: 1e-6, seed: 1 };
+    let opts = CpOptions {
+        rank,
+        max_iters: iters.max(1),
+        tol: 1e-6,
+        seed: 1,
+    };
     let mut engine =
         UnifiedGpuEngine::new(GpuDevice::titan_x(), tensor, 16, LaunchConfig::default())
             .map_err(|e| err(format!("device out of memory: {e}")))?;
@@ -253,7 +255,9 @@ pub fn run_cached(path: &Path, rank: usize) -> Result<String, CliError> {
 pub fn bench(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<String, CliError> {
     check_mode(tensor, mode)?;
     if tensor.order() != 3 {
-        return Err(err("bench requires a 3-order tensor (baselines are 3-order)"));
+        return Err(err(
+            "bench requires a 3-order tensor (baselines are 3-order)",
+        ));
     }
     let device = GpuDevice::titan_x();
     let hosts: Vec<DenseMatrix> = tensor
@@ -274,9 +278,8 @@ pub fn bench(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<Strin
         .collect::<Result<Vec<_>, _>>()
         .map_err(|e| err(format!("device out of memory: {e}")))?;
     let refs: Vec<&DeviceMatrix> = factors.iter().collect();
-    let (_, unified) =
-        crate::fcoo::spmttkrp(&device, &on_device, &refs, &LaunchConfig::default())
-            .map_err(|e| err(format!("device out of memory: {e}")))?;
+    let (_, unified) = crate::fcoo::spmttkrp(&device, &on_device, &refs, &LaunchConfig::default())
+        .map_err(|e| err(format!("device out of memory: {e}")))?;
     let _ = writeln!(out, "unified   (sim GPU): {:>10.1} µs", unified.time_us);
 
     match spmttkrp_two_step_gpu(&device, tensor, mode, &host_refs) {
@@ -293,6 +296,87 @@ pub fn bench(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<Strin
     let prepared = SortedCoo::for_spmttkrp(tensor, mode);
     let (_, omp_us) = spmttkrp_omp(&prepared, &host_refs);
     let _ = writeln!(out, "ParTI-OMP (CPU):     {omp_us:>10.1} µs");
+    Ok(out)
+}
+
+/// `tensortool sanitize <file.tns> <op> <mode> <rank>` — lint the F-COO
+/// preprocessing and replay the matching unified kernel under the sanitizer
+/// (racecheck, out-of-bounds, narration audit).
+pub fn sanitize(
+    tensor: &SparseTensorCoo,
+    op_name: &str,
+    mode: usize,
+    rank: usize,
+) -> Result<String, CliError> {
+    check_mode(tensor, mode)?;
+    let op = match op_name {
+        "spttm" => TensorOp::SpTtm { mode },
+        "mttkrp" => TensorOp::SpMttkrp { mode },
+        "ttmc" => TensorOp::SpTtmc { mode },
+        other => return Err(err(format!("unknown op `{other}` (spttm|mttkrp|ttmc)"))),
+    };
+    let fcoo = Fcoo::from_coo(tensor, op, 16);
+    let mut out = String::new();
+    let lint = sanitizer::check_fcoo(&fcoo);
+    let _ = write!(
+        out,
+        "F-COO lint ({} non-zeros, {} segments, {} partitions): {}",
+        fcoo.nnz(),
+        fcoo.segments(),
+        fcoo.partitions(),
+        lint
+    );
+
+    let device = GpuDevice::titan_x();
+    let on_device = FcooDevice::upload(device.memory(), &fcoo)
+        .map_err(|e| err(format!("device out of memory: {e}")))?;
+    device.start_recording();
+    let launch_result = match op {
+        TensorOp::SpTtm { .. } => {
+            let u_host = DenseMatrix::random(tensor.shape()[mode], rank, 1);
+            let u = DeviceMatrix::upload(device.memory(), &u_host)
+                .map_err(|e| err(format!("device out of memory: {e}")))?;
+            crate::fcoo::spttm(&device, &on_device, &u, &LaunchConfig::default()).map(|_| ())
+        }
+        TensorOp::SpMttkrp { .. } => {
+            let hosts: Vec<DenseMatrix> = tensor
+                .shape()
+                .iter()
+                .enumerate()
+                .map(|(m, &n)| DenseMatrix::random(n, rank, 1 + m as u64))
+                .collect();
+            let factors: Vec<DeviceMatrix> = hosts
+                .iter()
+                .map(|f| DeviceMatrix::upload(device.memory(), f))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| err(format!("device out of memory: {e}")))?;
+            let refs: Vec<&DeviceMatrix> = factors.iter().collect();
+            crate::fcoo::spmttkrp(&device, &on_device, &refs, &LaunchConfig::default()).map(|_| ())
+        }
+        TensorOp::SpTtmc { .. } => {
+            let pm = &fcoo.classification.product_modes;
+            let a_host = DenseMatrix::random(tensor.shape()[pm[0]], rank, 1);
+            let b_host = DenseMatrix::random(tensor.shape()[pm[1]], rank, 2);
+            let a = DeviceMatrix::upload(device.memory(), &a_host)
+                .map_err(|e| err(format!("device out of memory: {e}")))?;
+            let b = DeviceMatrix::upload(device.memory(), &b_host)
+                .map_err(|e| err(format!("device out of memory: {e}")))?;
+            crate::fcoo::spttmc(&device, &on_device, &a, &b, &LaunchConfig::default()).map(|_| ())
+        }
+    };
+    let log = device.stop_recording();
+    launch_result.map_err(|e| err(format!("device out of memory: {e}")))?;
+    let dynamic = sanitizer::analyze(&log);
+    let _ = write!(
+        out,
+        "{} replay ({} recorded events): {}",
+        op.label(),
+        log.event_count(),
+        dynamic
+    );
+    if !lint.is_clean() || dynamic.error_count() > 0 {
+        return Err(err(out));
+    }
     Ok(out)
 }
 
@@ -321,8 +405,11 @@ USAGE:
   tensortool bench <file.tns> <mode> <rank>
   tensortool preprocess <file.tns> <spttm|mttkrp|ttmc> <mode> <out.fcoo>
   tensortool run <file.fcoo> <rank>
+  tensortool sanitize <file.tns> <spttm|mttkrp|ttmc> <mode> <rank>
 
-Modes are 1-based, matching the paper's notation.
+Modes are 1-based, matching the paper's notation. `sanitize` lints the
+F-COO invariants and replays the kernel under the memory sanitizer
+(racecheck, out-of-bounds, narration audit); it exits non-zero on findings.
 ";
 
 #[cfg(test)]
@@ -414,5 +501,28 @@ mod tests {
     #[test]
     fn load_rejects_missing_file() {
         assert!(load(Path::new("/nonexistent/definitely_missing.tns")).is_err());
+    }
+
+    #[test]
+    fn sanitize_reports_clean_kernels() {
+        let tensor = sample();
+        let text = sanitize(&tensor, "mttkrp", 0, 8).unwrap();
+        assert!(text.contains("F-COO lint"), "{text}");
+        assert!(text.contains("no issues found"), "{text}");
+        assert!(text.contains("recorded events"), "{text}");
+    }
+
+    #[test]
+    fn sanitize_covers_every_op() {
+        let tensor = sample();
+        for op in ["spttm", "ttmc"] {
+            let text = sanitize(&tensor, op, 2, 4).unwrap();
+            assert!(text.contains("no issues found"), "{op}: {text}");
+        }
+    }
+
+    #[test]
+    fn sanitize_rejects_unknown_op() {
+        assert!(sanitize(&sample(), "zebra", 0, 8).is_err());
     }
 }

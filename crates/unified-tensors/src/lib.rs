@@ -60,12 +60,16 @@ pub use tensor_core;
 
 /// The commonly used types and functions in one import.
 pub mod prelude {
-    pub use baselines::{mttkrp_csf, spmttkrp_omp, spmttkrp_two_step_gpu, spttm_fiber_gpu,
-                        spttm_omp, Csf, SortedCoo};
-    pub use decomp::{cp_als, tucker_hooi, CpOptions, CpRun, ReferenceEngine, SplattEngine,
-                     TuckerOptions, UnifiedGpuEngine};
-    pub use fcoo::{spmttkrp, spttm, spttmc, DeviceMatrix, Fcoo, FcooDevice, LaunchConfig,
-                   TensorOp};
+    pub use baselines::{
+        mttkrp_csf, spmttkrp_omp, spmttkrp_two_step_gpu, spttm_fiber_gpu, spttm_omp, Csf, SortedCoo,
+    };
+    pub use decomp::{
+        cp_als, tucker_hooi, CpOptions, CpRun, ReferenceEngine, SplattEngine, TuckerOptions,
+        UnifiedGpuEngine,
+    };
+    pub use fcoo::{
+        spmttkrp, spttm, spttmc, DeviceMatrix, Fcoo, FcooDevice, LaunchConfig, TensorOp,
+    };
     pub use gpu_sim::{DeviceConfig, GpuDevice, KernelStats};
     pub use tensor_core::datasets::{self, DatasetInfo, DatasetKind};
     pub use tensor_core::{DenseMatrix, SemiSparseTensor, SparseTensorCoo};

@@ -36,7 +36,11 @@ fn unknown_command_fails_with_usage_on_stderr() {
 fn generate_info_mttkrp_pipeline() {
     let tns = temp_path("pipe.tns");
     let out = tensortool(&["generate", "nell2", "1500", tns.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = tensortool(&["info", tns.to_str().unwrap()]);
     assert!(out.status.success());
@@ -57,9 +61,11 @@ fn generate_info_mttkrp_pipeline() {
 fn preprocess_then_cached_run_pipeline() {
     let tns = temp_path("cache.tns");
     let fcoo = temp_path("cache.fcoo");
-    assert!(tensortool(&["generate", "brainq", "2000", tns.to_str().unwrap()])
-        .status
-        .success());
+    assert!(
+        tensortool(&["generate", "brainq", "2000", tns.to_str().unwrap()])
+            .status
+            .success()
+    );
     let out = tensortool(&[
         "preprocess",
         tns.to_str().unwrap(),
@@ -67,9 +73,17 @@ fn preprocess_then_cached_run_pipeline() {
         "3",
         fcoo.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = tensortool(&["run", fcoo.to_str().unwrap(), "16"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("SpTTM(mode-3)"));
     std::fs::remove_file(&tns).ok();
@@ -87,9 +101,11 @@ fn missing_file_reports_clean_error() {
 #[test]
 fn mode_zero_is_rejected_as_one_based() {
     let tns = temp_path("mode0.tns");
-    assert!(tensortool(&["generate", "nell2", "500", tns.to_str().unwrap()])
-        .status
-        .success());
+    assert!(
+        tensortool(&["generate", "nell2", "500", tns.to_str().unwrap()])
+            .status
+            .success()
+    );
     let out = tensortool(&["spttm", tns.to_str().unwrap(), "0", "4"]);
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);

@@ -15,7 +15,12 @@ fn main() {
     let (tensor, info) = datasets::generate(DatasetKind::Delicious, 30_000, 11);
     println!("tagging history: {}", info.table_row());
 
-    let opts = CpOptions { rank: 16, max_iters: 8, tol: 1e-6, seed: 5 };
+    let opts = CpOptions {
+        rank: 16,
+        max_iters: 8,
+        tol: 1e-6,
+        seed: 5,
+    };
     let mut engine =
         UnifiedGpuEngine::new(GpuDevice::titan_x(), &tensor, 8, LaunchConfig::default())
             .expect("tensor fits on the device");
@@ -35,7 +40,12 @@ fn main() {
 
     // Score every tag for (user, item) from the factors and rank them.
     let mut scores: Vec<(usize, f32)> = (0..num_tags)
-        .map(|tag| (tag, run.model.predict(&[user as u32, item as u32, tag as u32])))
+        .map(|tag| {
+            (
+                tag,
+                run.model.predict(&[user as u32, item as u32, tag as u32]),
+            )
+        })
         .collect();
     scores.sort_by(|a, b| b.1.total_cmp(&a.1));
 
@@ -67,5 +77,10 @@ fn busiest_index(tensor: &SparseTensorCoo, mode: usize) -> usize {
     for &index in tensor.mode_indices(mode) {
         counts[index as usize] += 1;
     }
-    counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap_or(0)
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }

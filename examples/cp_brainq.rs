@@ -11,7 +11,12 @@ fn main() {
     println!("dataset: {}", info.table_row());
     // Rank 8, like the paper (brainq's third mode has size 9, so larger
     // ranks would produce a deficient Gram matrix — §V-E).
-    let opts = CpOptions { rank: 8, max_iters: 10, tol: 1e-6, seed: 3 };
+    let opts = CpOptions {
+        rank: 8,
+        max_iters: 10,
+        tol: 1e-6,
+        seed: 3,
+    };
 
     println!("\n== SPLATT (CSF, CPU pool) ==");
     let mut splatt = SplattEngine::new(&tensor);

@@ -21,7 +21,10 @@ fn main() {
     let host_refs: Vec<&DenseMatrix> = factor_hosts.iter().collect();
 
     println!("SpMTTKRP (rank {rank}), time per mode:");
-    println!("{:<12} {:>12} {:>12} {:>12}", "", "mode-1", "mode-2", "mode-3");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "", "mode-1", "mode-2", "mode-3"
+    );
 
     // Unified (simulated GPU).
     let mut unified_times = Vec::new();
@@ -43,8 +46,8 @@ fn main() {
     // ParTI-GPU (two-step with intermediate + atomics).
     let mut parti_times = Vec::new();
     for mode in 0..3 {
-        let (_, stats, _) = spmttkrp_two_step_gpu(&device, &tensor, mode, &host_refs)
-            .expect("ParTI kernel");
+        let (_, stats, _) =
+            spmttkrp_two_step_gpu(&device, &tensor, mode, &host_refs).expect("ParTI kernel");
         parti_times.push(stats.time_us);
     }
     print_row("ParTI-GPU", &parti_times);
@@ -59,9 +62,11 @@ fn main() {
     print_row("SPLATT", &splatt_times);
 
     println!("\nmode-variation (max/min time across modes; 1.0 = perfectly mode-insensitive):");
-    for (name, times) in
-        [("unified", &unified_times), ("ParTI-GPU", &parti_times), ("SPLATT", &splatt_times)]
-    {
+    for (name, times) in [
+        ("unified", &unified_times),
+        ("ParTI-GPU", &parti_times),
+        ("SPLATT", &splatt_times),
+    ] {
         let max = times.iter().copied().fold(0.0f64, f64::max);
         let min = times.iter().copied().fold(f64::INFINITY, f64::min);
         println!("  {name:<10} {:.2}", max / min);

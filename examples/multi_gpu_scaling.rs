@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example multi_gpu_scaling`
 
-use unified_tensors::prelude::*;
 use unified_tensors::fcoo::{read_fcoo, spmttkrp_multi_gpu, write_fcoo};
+use unified_tensors::prelude::*;
 
 fn main() {
     let (tensor, info) = datasets::generate(DatasetKind::Nell2, 150_000, 21);
@@ -37,20 +37,16 @@ fn main() {
     let reference = unified_tensors::tensor_core::ops::spmttkrp(&tensor, 0, &refs);
 
     println!("SpMTTKRP(mode-1) rank {rank}, strong scaling:");
-    println!("{:>6} {:>12} {:>12} {:>10} {:>8}", "GPUs", "slowest", "reduce", "elapsed", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>8}",
+        "GPUs", "slowest", "reduce", "elapsed", "speedup"
+    );
     let mut single = 0.0f64;
     for device_count in [1usize, 2, 4] {
-        let devices: Vec<GpuDevice> =
-            (0..device_count).map(|_| GpuDevice::titan_x()).collect();
-        let (result, stats) = spmttkrp_multi_gpu(
-            &devices,
-            &tensor,
-            0,
-            &refs,
-            16,
-            &LaunchConfig::default(),
-        )
-        .expect("fits on each card");
+        let devices: Vec<GpuDevice> = (0..device_count).map(|_| GpuDevice::titan_x()).collect();
+        let (result, stats) =
+            spmttkrp_multi_gpu(&devices, &tensor, 0, &refs, 16, &LaunchConfig::default())
+                .expect("fits on each card");
         let diff = result.max_abs_diff(&reference);
         assert!(diff < 1e-2, "multi-GPU result diverged: {diff}");
         let slowest = stats.per_device_us.iter().copied().fold(0.0f64, f64::max);

@@ -31,7 +31,9 @@ fn main() {
         unified_tensors::fcoo::spttm(&device, &on_device, &u, &LaunchConfig::default())
             .expect("SpTTM");
     let reference = unified_tensors::tensor_core::ops::spttm(&tensor, 2, &u_host);
-    let diff = result.max_abs_diff(&reference).expect("fiber sets must match");
+    let diff = result
+        .max_abs_diff(&reference)
+        .expect("fiber sets must match");
     println!(
         "SpTTM(mode-3):    {:>9.1} µs simulated | {} fibers × {rank} | max |Δ| vs reference {diff:.2e}",
         stats.time_us,
@@ -69,5 +71,8 @@ fn main() {
         100.0 * stats.rocache_hit_rate,
         stats.atomics,
     );
-    println!("\nGPU memory in use: {:.1} MiB", device.memory().live_bytes() as f64 / (1 << 20) as f64);
+    println!(
+        "\nGPU memory in use: {:.1} MiB",
+        device.memory().live_bytes() as f64 / (1 << 20) as f64
+    );
 }

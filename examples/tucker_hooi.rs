@@ -31,8 +31,8 @@ fn main() {
                 let mut value = 0.0f32;
                 for (g, &cv) in core.iter().enumerate() {
                     let (p, q, r) = (g / 4, (g / 2) % 2, g % 2);
-                    value += cv * factors[0].get(i, p) * factors[1].get(j, q)
-                        * factors[2].get(k, r);
+                    value +=
+                        cv * factors[0].get(i, p) * factors[1].get(j, q) * factors[2].get(k, r);
                 }
                 value *= 1.0 + 0.02 * (rng.gen::<f32>() - 0.5);
                 if value.abs() > 1e-4 {
@@ -52,7 +52,11 @@ fn main() {
     let model = tucker_hooi(
         &device,
         &tensor,
-        &TuckerOptions { ranks: ranks.to_vec(), max_iters: 8, seed: 3 },
+        &TuckerOptions {
+            ranks: ranks.to_vec(),
+            max_iters: 8,
+            seed: 3,
+        },
     )
     .expect("fits on device");
 

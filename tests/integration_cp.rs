@@ -42,7 +42,12 @@ fn planted_low_rank(shape: [usize; 3], rank: usize, support: f64, seed: u64) -> 
 #[test]
 fn cp_engines_produce_matching_fits() {
     let (tensor, _) = datasets::generate(DatasetKind::Nell2, 4_000, 300);
-    let opts = CpOptions { rank: 4, max_iters: 5, tol: 1e-8, seed: 2 };
+    let opts = CpOptions {
+        rank: 4,
+        max_iters: 5,
+        tol: 1e-8,
+        seed: 2,
+    };
     let mut reference = ReferenceEngine::new(&tensor);
     let ref_run = cp_als(&tensor, &mut reference, &opts);
     let mut splatt = SplattEngine::new(&tensor);
@@ -50,8 +55,14 @@ fn cp_engines_produce_matching_fits() {
     let mut unified =
         UnifiedGpuEngine::new(GpuDevice::titan_x(), &tensor, 8, LaunchConfig::default()).unwrap();
     let unified_run = cp_als(&tensor, &mut unified, &opts);
-    assert!((ref_run.fit - splatt_run.fit).abs() < 1e-3, "splatt fit diverged");
-    assert!((ref_run.fit - unified_run.fit).abs() < 1e-3, "unified fit diverged");
+    assert!(
+        (ref_run.fit - splatt_run.fit).abs() < 1e-3,
+        "splatt fit diverged"
+    );
+    assert!(
+        (ref_run.fit - unified_run.fit).abs() < 1e-3,
+        "unified fit diverged"
+    );
     assert_eq!(ref_run.iterations, splatt_run.iterations);
 }
 
@@ -63,23 +74,41 @@ fn cp_on_gpu_recovers_planted_structure() {
     let run = cp_als(
         &tensor,
         &mut unified,
-        &CpOptions { rank: 3, max_iters: 40, tol: 1e-9, seed: 4 },
+        &CpOptions {
+            rank: 3,
+            max_iters: 40,
+            tol: 1e-9,
+            seed: 4,
+        },
     );
-    assert!(run.fit > 0.95, "fit {} too low for planted rank-3 data", run.fit);
+    assert!(
+        run.fit > 0.95,
+        "fit {} too low for planted rank-3 data",
+        run.fit
+    );
 }
 
 #[test]
 fn cp_brainq_rank8_converges_and_balances_modes() {
     // The Fig. 10 configuration: brainq, rank 8.
     let (tensor, _) = datasets::generate(DatasetKind::Brainq, 15_000, 302);
-    let opts = CpOptions { rank: 8, max_iters: 6, tol: 1e-7, seed: 6 };
+    let opts = CpOptions {
+        rank: 8,
+        max_iters: 6,
+        tol: 1e-7,
+        seed: 6,
+    };
     let mut unified =
         UnifiedGpuEngine::new(GpuDevice::titan_x(), &tensor, 16, LaunchConfig::default()).unwrap();
     let run = cp_als(&tensor, &mut unified, &opts);
     assert!(run.fit > 0.0 && run.fit <= 1.0);
     let max = run.mode_us.iter().copied().fold(0.0f64, f64::max);
     let min = run.mode_us.iter().copied().fold(f64::INFINITY, f64::min);
-    assert!(max / min < 3.0, "unified mode times should be balanced: {:?}", run.mode_us);
+    assert!(
+        max / min < 3.0,
+        "unified mode times should be balanced: {:?}",
+        run.mode_us
+    );
     // At paper scale MTTKRP dominates the run; at this reduced scale the
     // modeled kernel-launch overheads in `other` are comparable, so we only
     // require the MTTKRP side to be a substantial share.
@@ -93,12 +122,18 @@ fn tucker_hooi_runs_on_sparse_data() {
     let model = tucker_hooi(
         &device,
         &tensor,
-        &TuckerOptions { ranks: vec![3, 3, 3], max_iters: 4, seed: 8 },
+        &TuckerOptions {
+            ranks: vec![3, 3, 3],
+            max_iters: 4,
+            seed: 8,
+        },
     )
     .expect("fits on device");
     assert!(model.fit() > 0.8, "Tucker fit {} too low", model.fit());
-    for (factor, (&size, &rank)) in
-        model.factors.iter().zip(tensor.shape().iter().zip(&[3usize, 3, 3]))
+    for (factor, (&size, &rank)) in model
+        .factors
+        .iter()
+        .zip(tensor.shape().iter().zip(&[3usize, 3, 3]))
     {
         assert_eq!((factor.rows(), factor.cols()), (size, rank));
     }
@@ -114,10 +149,18 @@ fn cp_handles_rank_exceeding_smallest_mode() {
     let run = cp_als(
         &tensor,
         &mut engine,
-        &CpOptions { rank: 12, max_iters: 3, tol: 1e-7, seed: 9 },
+        &CpOptions {
+            rank: 12,
+            max_iters: 3,
+            tol: 1e-7,
+            seed: 9,
+        },
     );
     assert!(run.fit.is_finite());
     for factor in &run.model.factors {
-        assert!(factor.data().iter().all(|v| v.is_finite()), "factors must stay finite");
+        assert!(
+            factor.data().iter().all(|v| v.is_finite()),
+            "factors must stay finite"
+        );
     }
 }

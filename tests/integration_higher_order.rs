@@ -53,13 +53,9 @@ fn unified_spmttkrp_matches_reference_on_4_order() {
             .map(|f| DeviceMatrix::upload(device.memory(), f).expect("upload"))
             .collect();
         let refs: Vec<&DeviceMatrix> = factors.iter().collect();
-        let (result, stats) = unified_tensors::fcoo::spmttkrp(
-            &device,
-            &on_device,
-            &refs,
-            &LaunchConfig::default(),
-        )
-        .expect("kernel");
+        let (result, stats) =
+            unified_tensors::fcoo::spmttkrp(&device, &on_device, &refs, &LaunchConfig::default())
+                .expect("kernel");
         let reference = ops::spmttkrp(&tensor, mode, &host_refs);
         assert!(
             result.max_abs_diff(&reference) < 1e-3,
@@ -93,7 +89,12 @@ fn unified_spmttkrp_on_5_order() {
 #[test]
 fn cp_als_runs_on_4_order_tensors() {
     let tensor = generate_norder(&[15, 12, 10, 8], 3_000, 0.6, 503);
-    let opts = CpOptions { rank: 3, max_iters: 4, tol: 1e-7, seed: 5 };
+    let opts = CpOptions {
+        rank: 3,
+        max_iters: 4,
+        tol: 1e-7,
+        seed: 5,
+    };
     let mut reference = ReferenceEngine::new(&tensor);
     let ref_run = cp_als(&tensor, &mut reference, &opts);
     let mut unified =

@@ -28,13 +28,13 @@ fn unified_spttm_equals_product_then_device_scan() {
     let segments = fcoo.segments();
     for col in 0..rank {
         let products: Vec<f32> = (0..nnz)
-            .map(|nz| {
-                fcoo.values[nz]
-                    * u_host.get(fcoo.product_indices[0][nz] as usize, col)
-            })
+            .map(|nz| fcoo.values[nz] * u_host.get(fcoo.product_indices[0][nz] as usize, col))
             .collect();
         let values = device.memory().alloc_from_slice(&products).expect("alloc");
-        let flags = device.memory().alloc_from_slice(fcoo.bf.bytes()).expect("alloc");
+        let flags = device
+            .memory()
+            .alloc_from_slice(fcoo.bf.bytes())
+            .expect("alloc");
         let out = device.memory().alloc_zeroed::<f32>(nnz).expect("alloc");
         segmented_scan_device(&device, &values, &flags, nnz, &out, 128);
         // Segment totals: the scanned value just before each next head.
@@ -92,7 +92,10 @@ fn unified_mttkrp_equals_product_then_device_scan() {
             })
             .collect();
         let values = device.memory().alloc_from_slice(&products).expect("alloc");
-        let flags = device.memory().alloc_from_slice(fcoo.bf.bytes()).expect("alloc");
+        let flags = device
+            .memory()
+            .alloc_from_slice(fcoo.bf.bytes())
+            .expect("alloc");
         let out = device.memory().alloc_zeroed::<f32>(nnz).expect("alloc");
         segmented_scan_device(&device, &values, &flags, nnz, &out, 64);
         let mut seg = 0usize;

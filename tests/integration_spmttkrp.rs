@@ -22,8 +22,10 @@ fn unified_mttkrp(
 ) -> (DenseMatrix, KernelStats) {
     let fcoo = Fcoo::from_coo(tensor, TensorOp::SpMttkrp { mode }, threadlen);
     let on_device = FcooDevice::upload(device.memory(), &fcoo).expect("upload");
-    let factors: Vec<DeviceMatrix> =
-        hosts.iter().map(|f| DeviceMatrix::upload(device.memory(), f).expect("upload")).collect();
+    let factors: Vec<DeviceMatrix> = hosts
+        .iter()
+        .map(|f| DeviceMatrix::upload(device.memory(), f).expect("upload"))
+        .collect();
     let refs: Vec<&DeviceMatrix> = factors.iter().collect();
     unified_tensors::fcoo::spmttkrp(device, &on_device, &refs, &LaunchConfig::default())
         .expect("kernel")
@@ -32,13 +34,16 @@ fn unified_mttkrp(
 #[test]
 fn all_implementations_agree_across_datasets_and_modes() {
     let device = GpuDevice::titan_x();
-    for kind in [DatasetKind::Brainq, DatasetKind::Nell2, DatasetKind::Delicious] {
+    for kind in [
+        DatasetKind::Brainq,
+        DatasetKind::Nell2,
+        DatasetKind::Delicious,
+    ] {
         let (tensor, _) = datasets::generate(kind, 5_000, 200);
         let hosts = factor_hosts(&tensor, 8, 17);
         let host_refs: Vec<&DenseMatrix> = hosts.iter().collect();
         for mode in 0..3 {
-            let reference =
-                unified_tensors::tensor_core::ops::spmttkrp(&tensor, mode, &host_refs);
+            let reference = unified_tensors::tensor_core::ops::spmttkrp(&tensor, mode, &host_refs);
 
             let (unified, _) = unified_mttkrp(&device, &tensor, mode, &hosts, 8);
             assert!(
@@ -49,15 +54,24 @@ fn all_implementations_agree_across_datasets_and_modes() {
 
             let (parti, _, _) =
                 spmttkrp_two_step_gpu(&device, &tensor, mode, &host_refs).expect("kernel");
-            assert!(parti.max_abs_diff(&reference) < 1e-3, "{kind:?} mode {mode} parti-gpu");
+            assert!(
+                parti.max_abs_diff(&reference) < 1e-3,
+                "{kind:?} mode {mode} parti-gpu"
+            );
 
             let prepared = SortedCoo::for_spmttkrp(&tensor, mode);
             let (omp, _) = spmttkrp_omp(&prepared, &host_refs);
-            assert!(omp.max_abs_diff(&reference) < 1e-3, "{kind:?} mode {mode} parti-omp");
+            assert!(
+                omp.max_abs_diff(&reference) < 1e-3,
+                "{kind:?} mode {mode} parti-omp"
+            );
 
             let csf = Csf::build(&tensor, mode);
             let (splatt, _) = mttkrp_csf(&csf, &host_refs);
-            assert!(splatt.max_abs_diff(&reference) < 1e-3, "{kind:?} mode {mode} splatt");
+            assert!(
+                splatt.max_abs_diff(&reference) < 1e-3,
+                "{kind:?} mode {mode} splatt"
+            );
         }
     }
 }
@@ -92,16 +106,13 @@ fn unified_uses_far_less_gpu_memory_than_parti() {
     device.memory().reset_peak();
     let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 8);
     let on_device = FcooDevice::upload(device.memory(), &fcoo).expect("upload");
-    let factors: Vec<DeviceMatrix> =
-        hosts.iter().map(|f| DeviceMatrix::upload(device.memory(), f).expect("upload")).collect();
+    let factors: Vec<DeviceMatrix> = hosts
+        .iter()
+        .map(|f| DeviceMatrix::upload(device.memory(), f).expect("upload"))
+        .collect();
     let refs: Vec<&DeviceMatrix> = factors.iter().collect();
-    let _ = unified_tensors::fcoo::spmttkrp(
-        &device,
-        &on_device,
-        &refs,
-        &LaunchConfig::default(),
-    )
-    .expect("kernel");
+    let _ = unified_tensors::fcoo::spmttkrp(&device, &on_device, &refs, &LaunchConfig::default())
+        .expect("kernel");
     let unified_peak = device.memory().peak_bytes();
     drop((on_device, factors));
 
@@ -129,8 +140,7 @@ fn parti_ooms_where_unified_fits() {
     let hosts = factor_hosts(&tensor, 16, 31);
     let host_refs: Vec<&DenseMatrix> = hosts.iter().collect();
     // Only the product-mode factors (B, C) are needed by mode-1 MTTKRP.
-    let product_factor_bytes: usize =
-        hosts[1..].iter().map(|f| f.rows() * f.cols() * 4).sum();
+    let product_factor_bytes: usize = hosts[1..].iter().map(|f| f.rows() * f.cols() * 4).sum();
     let output_bytes = tensor.shape()[0] * 16 * 4;
     let probe = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 8);
     let mut config = DeviceConfig::titan_x();
@@ -152,13 +162,12 @@ fn parti_ooms_where_unified_fits() {
         .map(|f| DeviceMatrix::upload(device.memory(), f).expect("upload"))
         .collect();
     let refs: Vec<&DeviceMatrix> = factors.iter().collect();
-    let result = unified_tensors::fcoo::spmttkrp(
-        &device,
-        &on_device,
-        &refs,
-        &LaunchConfig::default(),
+    let result =
+        unified_tensors::fcoo::spmttkrp(&device, &on_device, &refs, &LaunchConfig::default());
+    assert!(
+        result.is_ok(),
+        "unified must complete in the same memory budget"
     );
-    assert!(result.is_ok(), "unified must complete in the same memory budget");
 }
 
 #[test]
@@ -187,7 +196,11 @@ fn rank_scaling_favours_unified_at_every_rank() {
             parti_times.push(stats.time_us);
         }
         for (i, (&u, &p)) in unified_times.iter().zip(&parti_times).enumerate() {
-            assert!(u < p, "{}: unified must win at rank index {i}: {u:.1} vs {p:.1}", info.name);
+            assert!(
+                u < p,
+                "{}: unified must win at rank index {i}: {u:.1} vs {p:.1}",
+                info.name
+            );
         }
         // The absolute slope over the rank sweep (what Fig. 8 plots) must be
         // steeper for ParTI.

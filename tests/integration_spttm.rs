@@ -15,7 +15,10 @@ fn unified_spttm(
     let fcoo = Fcoo::from_coo(tensor, TensorOp::SpTtm { mode }, threadlen);
     let on_device = FcooDevice::upload(device.memory(), &fcoo).expect("upload");
     let u = DeviceMatrix::upload(device.memory(), u_host).expect("upload");
-    let cfg = LaunchConfig { block_size, ..Default::default() };
+    let cfg = LaunchConfig {
+        block_size,
+        ..Default::default()
+    };
     unified_tensors::fcoo::spttm(device, &on_device, &u, &cfg).expect("kernel")
 }
 
@@ -70,7 +73,10 @@ fn unified_spttm_is_mode_insensitive_while_parti_is_not() {
         "unified spread {unified_spread:.2} should be below ParTI {parti_spread:.2} \
          (unified {unified_times:?}, parti {parti_times:?})"
     );
-    assert!(unified_spread < 3.0, "unified should be nearly flat: {unified_times:?}");
+    assert!(
+        unified_spread < 3.0,
+        "unified should be nearly flat: {unified_times:?}"
+    );
 }
 
 #[test]

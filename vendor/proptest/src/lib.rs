@@ -1,0 +1,412 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro, numeric-range / vec / tuple / bool / string
+//! strategies, `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, and
+//! [`ProptestConfig::with_cases`]. Cases are generated from a fixed seed per
+//! test (deterministic across runs); there is no shrinking — the failing
+//! input is printed instead via the case's `Debug` representation.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the input; the case is skipped.
+    Reject,
+    /// `prop_assert!`/`prop_assert_eq!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+            TestCaseError::Fail(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+/// Deterministic generator used to produce test cases (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator; test runners derive the seed from the test name
+    /// so distinct tests explore distinct streams.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Seed derived from a test's name via FNV-1a.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(hash)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator: the stand-in for proptest's `Strategy` trait.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_strategy_float_range!(f32, f64);
+
+/// String strategies: a `&str` used as a strategy is treated as a regex in
+/// real proptest. This stand-in supports the one shape the workspace uses —
+/// `.{lo,hi}` (arbitrary text with a length range) — and falls back to
+/// arbitrary text up to 64 chars for any other pattern.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repetition(self).unwrap_or((0, 64));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| {
+                // Bias toward characters that stress text parsers: ASCII
+                // (printable + controls) most of the time, occasional
+                // arbitrary unicode.
+                match rng.below(8) {
+                    0 => char::from(rng.below(32) as u8),          // control chars
+                    1..=5 => char::from(32 + rng.below(95) as u8), // printable
+                    6 => ['\n', '\t', '\r', ' ', '-', '.', 'e'][rng.below(7) as usize],
+                    _ => char::from_u32(rng.below(0x1_0000) as u32).unwrap_or('\u{fffd}'),
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_dot_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy generating `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let len = self.len.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing arbitrary booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; failures report the case
+/// rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Each function body runs once per generated case;
+/// `prop_assert!` failures report the offending inputs.
+#[macro_export]
+macro_rules! proptest {
+    { #![proptest_config($cfg:expr)] $($rest:tt)* } => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    { $($rest:tt)* } => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    { config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )* } => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            $(let $arg = $strategy;)*
+            let strategies = ($(&$arg,)*);
+            #[allow(unused_variables, unused_mut)]
+            let mut run_case = |rng: &mut $crate::TestRng| -> ::core::result::Result<(), $crate::TestCaseError> {
+                let ($($arg,)*) = strategies;
+                $(let $arg = $crate::Strategy::generate($arg, rng);)*
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)*),
+                    $(&$arg),*
+                );
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(
+                            format!("{message}\n  case inputs: {inputs}"),
+                        ))
+                    }
+                    other => other,
+                }
+            };
+            let mut ran = 0u32;
+            let mut attempts = 0u32;
+            while ran < config.cases && attempts < config.cases.saturating_mul(20).max(20) {
+                attempts += 1;
+                match run_case(&mut rng) {
+                    ::core::result::Result::Ok(()) => ran += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                        panic!("property failed after {} cases: {}", ran, message);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in -1.5f32..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0i64..100, 0i64..100)) {
+            prop_assume!(pair.0 != pair.1);
+            prop_assert_ne!(pair.0, pair.1);
+        }
+
+        #[test]
+        fn strings_have_bounded_length(s in ".{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        // No `#[test]` on the inner function: it is nested inside this test
+        // and called directly, and rustc cannot register inner items anyway.
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        let result = std::panic::catch_unwind(always_fails);
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("case inputs"), "message: {message}");
+    }
+}
