@@ -1,0 +1,44 @@
+//! Bench for the serving subsystem: cold-start (every plan built) vs warm
+//! (all plans cached in memory) replay of a seeded mixed workload, plus the
+//! scheduler's sensitivity to stream count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use unified_tensors::prelude::*;
+use unified_tensors::serve;
+
+fn bench(c: &mut Criterion) {
+    let workload = serve::synthetic(200, 2017);
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("cold_200req", |b| {
+        b.iter(|| {
+            let mut engine = ServeEngine::new(ServeConfig::default());
+            engine.run(&workload).makespan_us
+        })
+    });
+
+    let mut warm = ServeEngine::new(ServeConfig::default());
+    warm.run(&workload);
+    group.bench_function("warm_200req", |b| {
+        b.iter(|| warm.run(&workload).makespan_us)
+    });
+
+    for &streams in &[1usize, 2, 4] {
+        let mut engine = ServeEngine::new(ServeConfig {
+            streams_per_device: streams,
+            ..ServeConfig::default()
+        });
+        engine.run(&workload);
+        group.bench_with_input(BenchmarkId::new("warm_streams", streams), &(), |b, _| {
+            b.iter(|| engine.run(&workload).makespan_us)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

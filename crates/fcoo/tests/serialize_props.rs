@@ -1,0 +1,142 @@
+//! Property-based tests for the F-COO binary serialization: round-trips
+//! over arbitrary valid partitions must be lossless, and truncated or
+//! corrupted streams must fail with an error — never a panic.
+
+use fcoo::{read_fcoo, write_fcoo, Fcoo, TensorOp};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tensor_core::SparseTensorCoo;
+
+/// One raw random draw: an (unfolded) 4-axis coordinate and a value.
+type RawEntry = ((u32, u32, u32, u32), f32);
+
+/// Builds a small canonical sparse tensor from raw random draws: the shape
+/// comes from `dims` (first `order` entries), coordinates are folded into
+/// range, and duplicate cells are collapsed.
+fn tensor_from(order: usize, dims: &[usize], raw: &[RawEntry]) -> SparseTensorCoo {
+    let shape: Vec<usize> = dims[..order].to_vec();
+    let mut cells: BTreeMap<Vec<u32>, f32> = BTreeMap::new();
+    for &((a, b, c, d), value) in raw {
+        let coord = [a, b, c, d];
+        let idx: Vec<u32> = shape
+            .iter()
+            .enumerate()
+            .map(|(m, &dim)| coord[m] % dim as u32)
+            .collect();
+        cells.insert(idx, value);
+    }
+    let entries: Vec<(Vec<u32>, f32)> = cells.into_iter().collect();
+    SparseTensorCoo::from_entries(shape, &entries)
+}
+
+fn op_from(seed: u8, mode: usize) -> TensorOp {
+    match seed % 3 {
+        0 => TensorOp::SpTtm { mode },
+        1 => TensorOp::SpMttkrp { mode },
+        _ => TensorOp::SpTtmc { mode },
+    }
+}
+
+fn assert_fcoo_eq(a: &Fcoo, b: &Fcoo) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.op, b.op);
+    prop_assert_eq!(&a.shape, &b.shape);
+    prop_assert_eq!(a.threadlen, b.threadlen);
+    prop_assert_eq!(&a.product_indices, &b.product_indices);
+    prop_assert_eq!(a.bf.bytes(), b.bf.bytes());
+    prop_assert_eq!(a.sf.bytes(), b.sf.bytes());
+    prop_assert_eq!(&a.segment_coords, &b.segment_coords);
+    prop_assert_eq!(&a.partition_first_segment, &b.partition_first_segment);
+    prop_assert_eq!(a.values.len(), b.values.len());
+    for (x, y) in a.values.iter().zip(&b.values) {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "values must round-trip bit-exactly"
+        );
+    }
+    prop_assert_eq!(
+        format!("{:?}", a.classification),
+        format!("{:?}", b.classification)
+    );
+    Ok(())
+}
+
+const THREADLENS: [usize; 5] = [2, 4, 8, 16, 32];
+
+proptest! {
+    /// Serialization round-trips losslessly over arbitrary valid F-COO
+    /// partitions (any op, mode, threadlen, shape, sparsity pattern).
+    #[test]
+    fn round_trip_is_lossless(
+        order in 3usize..5,
+        dims in proptest::collection::vec(2usize..12, 4..5),
+        raw in proptest::collection::vec(
+            ((0u32..1_000_000, 0u32..1_000_000, 0u32..1_000_000, 0u32..1_000_000), -10.0f32..10.0),
+            1..120,
+        ),
+        op_seed in 0u8..3,
+        mode_pick in 0usize..4,
+        tl_pick in 0usize..5,
+    ) {
+        let tensor = tensor_from(order, &dims, &raw);
+        let op = op_from(op_seed, mode_pick % order);
+        let fcoo = Fcoo::from_coo(&tensor, op, THREADLENS[tl_pick]);
+        let mut bytes = Vec::new();
+        write_fcoo(&fcoo, &mut bytes).expect("in-memory write");
+        let decoded = match read_fcoo(bytes.as_slice()) {
+            Ok(decoded) => decoded,
+            Err(e) => return Err(TestCaseError::fail(format!("round trip failed: {e}"))),
+        };
+        assert_fcoo_eq(&fcoo, &decoded)?;
+    }
+
+    /// Every strict prefix of a valid stream fails to decode with an error —
+    /// truncation must never panic or succeed.
+    #[test]
+    fn truncated_streams_error_not_panic(
+        order in 3usize..5,
+        dims in proptest::collection::vec(2usize..10, 4..5),
+        raw in proptest::collection::vec(
+            ((0u32..1_000_000, 0u32..1_000_000, 0u32..1_000_000, 0u32..1_000_000), -10.0f32..10.0),
+            1..80,
+        ),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        let tensor = tensor_from(order, &dims, &raw);
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 8);
+        let mut bytes = Vec::new();
+        write_fcoo(&fcoo, &mut bytes).expect("in-memory write");
+        let cut = ((bytes.len() as f64 * cut_ratio) as usize).min(bytes.len() - 1);
+        let result = read_fcoo(&bytes[..cut]);
+        prop_assert!(result.is_err(), "prefix of {cut}/{} bytes decoded", bytes.len());
+    }
+
+    /// Flipping a byte in the magic/version header is rejected — never a
+    /// panic.
+    #[test]
+    fn corrupted_headers_are_rejected(
+        dims in proptest::collection::vec(2usize..10, 4..5),
+        raw in proptest::collection::vec(
+            ((0u32..1_000_000, 0u32..1_000_000, 0u32..1_000_000, 0u32..1_000_000), -10.0f32..10.0),
+            1..40,
+        ),
+        position in 0usize..8,
+        xor_pick in 0u8..255,
+    ) {
+        let xor = xor_pick + 1;
+        let tensor = tensor_from(3, &dims, &raw);
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpTtm { mode: 0 }, 4);
+        let mut bytes = Vec::new();
+        write_fcoo(&fcoo, &mut bytes).expect("in-memory write");
+        bytes[position] ^= xor;
+        let result = read_fcoo(bytes.as_slice());
+        prop_assert!(result.is_err(), "corrupt magic/version decoded");
+    }
+}
+
+#[test]
+fn empty_and_tiny_streams_error() {
+    assert!(read_fcoo(&[] as &[u8]).is_err());
+    assert!(read_fcoo(b"FCOO".as_slice()).is_err());
+    assert!(read_fcoo(b"ZZZZ\x01\x00\x00\x00".as_slice()).is_err());
+}

@@ -1,0 +1,56 @@
+//! `fcoo::tune` must be deterministic: the simulated device has no
+//! wall-clock noise, so the same tensor and seed must always produce the
+//! same winning `(BLOCK_SIZE, threadlen)` pair and the same surface. The
+//! serving plan cache relies on this — a cached plan must equal the plan a
+//! rebuild would produce.
+
+use fcoo::{tune, TensorOp};
+use gpu_sim::GpuDevice;
+use tensor_core::datasets::{self, DatasetKind};
+
+#[test]
+fn same_tensor_and_seed_give_the_same_best_pair() {
+    for kind in [
+        DatasetKind::Brainq,
+        DatasetKind::Nell2,
+        DatasetKind::Delicious,
+    ] {
+        let (tensor, _) = datasets::generate(kind, 1_500, 42);
+        for op in [TensorOp::SpTtm { mode: 1 }, TensorOp::SpMttkrp { mode: 0 }] {
+            let run = |_: usize| {
+                let device = GpuDevice::titan_x();
+                tune(&device, &tensor, op, 8, None, None)
+            };
+            let first = run(0);
+            let second = run(1);
+            assert_eq!(
+                first.best_pair(),
+                second.best_pair(),
+                "{kind:?}/{op:?}: tuner picked different winners across runs"
+            );
+            assert_eq!(first.surface.len(), second.surface.len());
+            for (a, b) in first.surface.iter().zip(&second.surface) {
+                assert_eq!((a.block_size, a.threadlen), (b.block_size, b.threadlen));
+                assert_eq!(
+                    a.time_us.to_bits(),
+                    b.time_us.to_bits(),
+                    "simulated timings must be bit-identical"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn regenerated_tensors_tune_identically() {
+    // Same dataset seed ⇒ same tensor ⇒ same tuning outcome, even through
+    // an independent generation.
+    let (a, _) = datasets::generate(DatasetKind::Nell1, 1_200, 7);
+    let (b, _) = datasets::generate(DatasetKind::Nell1, 1_200, 7);
+    let device_a = GpuDevice::titan_x();
+    let device_b = GpuDevice::titan_x();
+    let op = TensorOp::SpMttkrp { mode: 2 };
+    let ra = tune(&device_a, &a, op, 16, Some(&[64, 128, 256]), Some(&[8, 16]));
+    let rb = tune(&device_b, &b, op, 16, Some(&[64, 128, 256]), Some(&[8, 16]));
+    assert_eq!(ra.best_pair(), rb.best_pair());
+}

@@ -1,0 +1,1056 @@
+//! The serving engine: plan cache + memory pool + scheduler, end to end.
+//!
+//! [`ServeEngine::run`] replays a [`Workload`] against one or more simulated
+//! devices. Each request resolves its plan (memory → disk → build), is
+//! admitted against the device memory pool (queueing when the working set
+//! does not fit), executes the unified kernel functionally to produce the
+//! *same bits* as the one-shot API, and is placed on a stream of its
+//! affinity device. Same-plan same-factor requests are batched: later
+//! arrivals reuse the computed result and pay only the device→host copy.
+//! CP-ALS requests run the full ALS loop through the same per-mode SpMTTKRP
+//! plans, so a decomposition warms the cache for later single-op requests
+//! and vice versa.
+
+use crate::metrics::{LatencySummary, RequestMetrics};
+use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanSource};
+use crate::pool::{AdmitError, DevicePool, PoolStats};
+use crate::scheduler::Scheduler;
+use crate::workload::{Request, ServeOp, Workload};
+use decomp::cp::{cp_als, CpOptions, MttkrpEngine};
+use fcoo::{DeviceMatrix, Fcoo, FcooDevice, LaunchConfig, TensorOp};
+use gpu_sim::{DeviceConfig, GpuDevice, Timeline};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use tensor_core::datasets;
+use tensor_core::{DenseMatrix, SemiSparseTensor, SparseTensorCoo, Val};
+
+/// Serving-engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of simulated devices.
+    pub devices: usize,
+    /// Streams per device.
+    pub streams_per_device: usize,
+    /// Hardware model each device simulates.
+    pub device_config: DeviceConfig,
+    /// Host↔device transfer bandwidth in GB/s (PCIe 3.0 x16 ≈ 12).
+    pub pcie_gbs: f64,
+    /// Plan persistence directory (warm restarts) — `None` disables.
+    pub plan_dir: Option<PathBuf>,
+    /// Verify every unique computed result bit-exactly against the one-shot
+    /// API after the run.
+    pub verify: bool,
+    /// Batch same-plan same-factor requests by reusing computed results.
+    pub batching: bool,
+    /// Maximum batched results kept for reuse.
+    pub result_cache_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            devices: 1,
+            streams_per_device: 2,
+            device_config: DeviceConfig::titan_x(),
+            pcie_gbs: 12.0,
+            plan_dir: None,
+            verify: false,
+            batching: true,
+            result_cache_cap: 256,
+        }
+    }
+}
+
+/// A request's computed result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// SpTTM's semi-sparse tensor.
+    Semi(SemiSparseTensor),
+    /// SpMTTKRP / SpTTMc dense matrix.
+    Dense(DenseMatrix),
+    /// CP-ALS factor matrices and component weights.
+    Cp {
+        /// One column-normalized factor per mode.
+        factors: Vec<DenseMatrix>,
+        /// Component weights.
+        lambda: Vec<Val>,
+    },
+}
+
+impl JobOutput {
+    /// Bytes of the result payload (what a device→host copy moves).
+    pub fn bytes(&self) -> usize {
+        match self {
+            JobOutput::Semi(t) => t.values().len() * 4,
+            JobOutput::Dense(m) => m.data().len() * 4,
+            JobOutput::Cp { factors, lambda } => {
+                factors.iter().map(|f| f.data().len() * 4).sum::<usize>() + lambda.len() * 4
+            }
+        }
+    }
+
+    /// Sum of all elements (a cheap cross-run checksum).
+    pub fn checksum(&self) -> f64 {
+        match self {
+            JobOutput::Semi(t) => t.values().iter().map(|&v| v as f64).sum(),
+            JobOutput::Dense(m) => m.data().iter().map(|&v| v as f64).sum(),
+            JobOutput::Cp { factors, lambda } => {
+                factors
+                    .iter()
+                    .flat_map(|f| f.data())
+                    .map(|&v| v as f64)
+                    .sum::<f64>()
+                    + lambda.iter().map(|&v| v as f64).sum::<f64>()
+            }
+        }
+    }
+}
+
+/// A request the engine could not serve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// Index of the request in the trace.
+    pub index: usize,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+/// Everything a run produced.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-request metrics, in trace order (rejected requests excluded).
+    pub requests: Vec<RequestMetrics>,
+    /// Requests that could not be served (unknown tensor, impossible fit).
+    pub rejections: Vec<Rejection>,
+    /// Plan-cache counters for the run.
+    pub plan_stats: PlanCacheStats,
+    /// Per-device pool counters.
+    pub pool_stats: Vec<PoolStats>,
+    /// Per-device peak bytes over the run.
+    pub peak_bytes: Vec<usize>,
+    /// Device capacity in bytes (same for all devices).
+    pub capacity_bytes: usize,
+    /// `utilizations[d][s]`: busy fraction of stream `s` on device `d`.
+    pub utilizations: Vec<Vec<f64>>,
+    /// When the last job finished (simulated µs).
+    pub makespan_us: f64,
+    /// Requests served by reusing a batched result.
+    pub batched: usize,
+    /// Requests admission control made wait for memory.
+    pub deferred: usize,
+    /// Unique results checked bit-exactly against the one-shot API.
+    pub verified: usize,
+    /// Verification mismatches (must be zero).
+    pub verify_failures: usize,
+}
+
+impl ServeReport {
+    /// Fraction of plan lookups that skipped preprocessing.
+    pub fn hit_rate(&self) -> f64 {
+        self.plan_stats.hit_rate()
+    }
+
+    /// End-to-end latency distribution.
+    pub fn latency(&self) -> LatencySummary {
+        LatencySummary::from_requests(&self.requests)
+    }
+
+    /// Served requests per simulated second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        self.requests.len() as f64 / (self.makespan_us * 1e-6)
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let lat = self.latency();
+        let mut out = String::new();
+        out.push_str("serve summary\n");
+        out.push_str(&format!(
+            "  requests:       {} served ({} batched, {} deferred, {} rejected)\n",
+            self.requests.len(),
+            self.batched,
+            self.deferred,
+            self.rejections.len()
+        ));
+        out.push_str(&format!(
+            "  makespan:       {:.1} µs simulated, throughput {:.0} req/s\n",
+            self.makespan_us,
+            self.throughput_rps()
+        ));
+        out.push_str(&format!(
+            "  plan cache:     {} builds, {} disk hits, {} memory hits — hit rate {:.1}%\n",
+            self.plan_stats.builds,
+            self.plan_stats.disk_hits,
+            self.plan_stats.memory_hits,
+            self.hit_rate() * 100.0
+        ));
+        out.push_str(&format!(
+            "  preprocessing:  {:.1} ms host wall across builds\n",
+            self.plan_stats.build_ms
+        ));
+        out.push_str(&format!(
+            "  latency (µs):   p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}  mean {:.1}\n",
+            lat.p50_us, lat.p90_us, lat.p99_us, lat.max_us, lat.mean_us
+        ));
+        for (d, stats) in self.pool_stats.iter().enumerate() {
+            out.push_str(&format!(
+                "  device {d}:       peak {:.2} MB of {:.0} MB, {} uploads, {} format reuses, {} evictions\n",
+                self.peak_bytes[d] as f64 / (1024.0 * 1024.0),
+                self.capacity_bytes as f64 / (1024.0 * 1024.0),
+                stats.uploads,
+                stats.format_reuses,
+                stats.evictions
+            ));
+            for (s, u) in self.utilizations[d].iter().enumerate() {
+                out.push_str(&format!("    stream {s}:     busy {:.1}%\n", u * 100.0));
+            }
+        }
+        if self.verified > 0 || self.verify_failures > 0 {
+            out.push_str(&format!(
+                "  verification:   {} unique results checked bit-exact vs one-shot API, {} mismatches\n",
+                self.verified, self.verify_failures
+            ));
+        }
+        out
+    }
+}
+
+struct Registered {
+    tensor: SparseTensorCoo,
+    fingerprint: u64,
+}
+
+struct CachedResult {
+    output: JobOutput,
+}
+
+/// Inputs and output of one executed CP-ALS job, kept for verification.
+struct CpExecution {
+    tensor_id: String,
+    rank: usize,
+    iterations: usize,
+    factor_seed: u64,
+    threadlens: Vec<usize>,
+    block_size: usize,
+    output: JobOutput,
+}
+
+/// The multi-tenant serving engine.
+pub struct ServeEngine {
+    config: ServeConfig,
+    devices: Vec<GpuDevice>,
+    pools: Vec<DevicePool>,
+    /// Dedicated device for plan builds: the tuner's trial kernels allocate
+    /// factors and outputs of their own, and running them against a serving
+    /// device would collide with pool-resident formats under pressure.
+    scratch: GpuDevice,
+    plans: PlanCache,
+    tensors: BTreeMap<String, Registered>,
+    results: BTreeMap<(PlanKey, u64), CachedResult>,
+    cp_executions: Vec<CpExecution>,
+}
+
+/// Deterministic per-mode factor seed derivation, shared with the one-shot
+/// reference so served and reference runs see identical factor matrices.
+pub fn factor_seed_for_mode(factor_seed: u64, mode: usize) -> u64 {
+    factor_seed
+        .wrapping_add((mode as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(1)
+}
+
+fn product_modes(order: usize, mode: usize) -> Vec<usize> {
+    (0..order).filter(|&m| m != mode).collect()
+}
+
+/// Merges per-mode plan sources into one label for the request: any build
+/// dominates, then any disk hit, then pure memory.
+fn worst_source(sources: &[PlanSource]) -> PlanSource {
+    if sources.contains(&PlanSource::Built) {
+        PlanSource::Built
+    } else if sources.contains(&PlanSource::Disk) {
+        PlanSource::Disk
+    } else {
+        PlanSource::Memory
+    }
+}
+
+impl ServeEngine {
+    /// Creates an engine with `config.devices` fresh simulated devices.
+    pub fn new(config: ServeConfig) -> Self {
+        let devices: Vec<GpuDevice> = (0..config.devices.max(1))
+            .map(|_| GpuDevice::new(config.device_config.clone()))
+            .collect();
+        let pools = devices
+            .iter()
+            .map(|d| DevicePool::new(d.memory().clone()))
+            .collect();
+        let plans = PlanCache::new(config.plan_dir.clone());
+        let scratch = GpuDevice::new(config.device_config.clone());
+        ServeEngine {
+            config,
+            devices,
+            pools,
+            scratch,
+            plans,
+            tensors: BTreeMap::new(),
+            results: BTreeMap::new(),
+            cp_executions: Vec::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// One of the simulated devices (for recording/sanitizing runs).
+    pub fn device(&self, index: usize) -> &GpuDevice {
+        &self.devices[index]
+    }
+
+    /// Registers a tensor under `id`; re-registering replaces it.
+    pub fn register_tensor(&mut self, id: &str, tensor: SparseTensorCoo) {
+        let fingerprint = crate::fingerprint::tensor_fingerprint(&tensor);
+        self.tensors.insert(
+            id.to_string(),
+            Registered {
+                tensor,
+                fingerprint,
+            },
+        );
+    }
+
+    /// Microseconds a host↔device copy of `bytes` takes at the configured
+    /// PCIe bandwidth (1 GB/s = 10³ bytes/µs).
+    fn transfer_us(&self, bytes: usize) -> f64 {
+        bytes as f64 / (self.config.pcie_gbs * 1e3)
+    }
+
+    /// Runs a workload: registers its tensors, then serves its requests in
+    /// arrival order.
+    pub fn run(&mut self, workload: &Workload) -> ServeReport {
+        for spec in &workload.tensors {
+            let (tensor, _) = datasets::generate(spec.kind, spec.nnz, spec.seed);
+            self.register_tensor(&spec.id, tensor);
+        }
+        let mut scheduler = Scheduler::new(self.config.devices, self.config.streams_per_device);
+        let mut requests = Vec::new();
+        let mut rejections = Vec::new();
+        let mut batched = 0usize;
+        let mut deferred_count = 0usize;
+        for (index, request) in workload.requests.iter().enumerate() {
+            let served = match request.op {
+                ServeOp::Tensor(op) => self.serve_tensor_op(index, request, op, &mut scheduler),
+                ServeOp::CpAls { iterations } => {
+                    self.serve_cp(index, request, iterations, &mut scheduler)
+                }
+            };
+            match served {
+                Ok(metrics) => {
+                    if metrics.batched {
+                        batched += 1;
+                    }
+                    if metrics.deferred {
+                        deferred_count += 1;
+                    }
+                    requests.push(metrics);
+                }
+                Err(reason) => rejections.push(Rejection { index, reason }),
+            }
+        }
+        let (verified, verify_failures) = if self.config.verify {
+            self.verify_results()
+        } else {
+            (0, 0)
+        };
+        ServeReport {
+            requests,
+            rejections,
+            plan_stats: self.plans.stats(),
+            pool_stats: self.pools.iter().map(DevicePool::stats).collect(),
+            peak_bytes: self
+                .devices
+                .iter()
+                .map(|d| d.memory().peak_bytes())
+                .collect(),
+            capacity_bytes: self.config.device_config.memory_capacity,
+            utilizations: scheduler.utilizations(),
+            makespan_us: scheduler.makespan_us(),
+            batched,
+            deferred: deferred_count,
+            verified,
+            verify_failures,
+        }
+    }
+
+    fn registered(&self, tensor_id: &str) -> Result<&Registered, String> {
+        self.tensors
+            .get(tensor_id)
+            .ok_or_else(|| format!("unknown tensor `{tensor_id}`"))
+    }
+
+    /// Admits `key` with a defer-and-retry loop: queued jobs advance their
+    /// ready time to the earliest in-flight release instead of failing.
+    #[allow(clippy::too_many_arguments)]
+    fn admit_queued(
+        &mut self,
+        device_index: usize,
+        key: PlanKey,
+        fcoo: &Fcoo,
+        format_bytes: usize,
+        transient_bytes: usize,
+        ready: &mut f64,
+        was_deferred: &mut bool,
+    ) -> Result<crate::pool::Admitted, String> {
+        loop {
+            match self.pools[device_index].admit(key, fcoo, format_bytes, transient_bytes) {
+                Ok(admitted) => return Ok(admitted),
+                Err(AdmitError::Defer { until_us }) => {
+                    *was_deferred = true;
+                    *ready = until_us.max(*ready);
+                    self.pools[device_index].retire(*ready);
+                }
+                Err(too_large @ AdmitError::TooLarge { .. }) => {
+                    return Err(too_large.to_string());
+                }
+            }
+        }
+    }
+
+    fn serve_tensor_op(
+        &mut self,
+        index: usize,
+        request: &Request,
+        op: TensorOp,
+        scheduler: &mut Scheduler,
+    ) -> Result<RequestMetrics, String> {
+        let registered = self
+            .tensors
+            .get(&request.tensor_id)
+            .ok_or_else(|| format!("unknown tensor `{}`", request.tensor_id))?;
+        if op.mode() >= registered.tensor.order() {
+            return Err(format!(
+                "mode {} out of range for order-{} tensor `{}`",
+                op.mode(),
+                registered.tensor.order(),
+                request.tensor_id
+            ));
+        }
+        let key = PlanKey::new(registered.fingerprint, op, request.rank);
+        let device_index = (key.digest() % self.devices.len() as u64) as usize;
+        // Resolve the plan (host-side preprocessing; builds happen off the
+        // device timeline, like the paper's host-side sort).
+        let (plan, plan_source) = self
+            .plans
+            .get_or_build(key, &registered.tensor, &self.scratch);
+        let now = request.arrival_us;
+        self.pools[device_index].retire(now);
+
+        // Batching: a same-plan same-factor result is still cached — serve
+        // this request from it, paying only the device→host copy.
+        if self.config.batching {
+            if let Some(cached) = self.results.get(&(key, request.factor_seed)) {
+                let d2h_us = self.transfer_us(cached.output.bytes());
+                let placement = scheduler.place_on_device(device_index, now, d2h_us);
+                return Ok(RequestMetrics {
+                    index,
+                    tensor_id: request.tensor_id.clone(),
+                    op: request.op,
+                    rank: request.rank,
+                    device: placement.device,
+                    stream: placement.stream,
+                    arrival_us: now,
+                    start_us: placement.start_us,
+                    finish_us: placement.finish_us,
+                    exec_us: d2h_us,
+                    plan_source,
+                    batched: true,
+                    deferred: false,
+                    checksum: cached.output.checksum(),
+                });
+            }
+        }
+
+        let transient_bytes = transient_bytes_for(&plan.fcoo, request.rank);
+        let mut ready = now;
+        let mut was_deferred = false;
+        let admitted = self.admit_queued(
+            device_index,
+            key,
+            &plan.fcoo,
+            plan.format_bytes(),
+            transient_bytes,
+            &mut ready,
+            &mut was_deferred,
+        )?;
+
+        let (output, kernel_us, factor_bytes) = self.execute(
+            device_index,
+            &admitted.format,
+            &request.tensor_id,
+            op,
+            request.rank,
+            plan.block_size,
+            request.factor_seed,
+        )?;
+        let h2d_bytes = factor_bytes
+            + if admitted.uploaded {
+                plan.format_bytes()
+            } else {
+                0
+            };
+        let d2h_us = self.transfer_us(output.bytes());
+        let exec_us = self.transfer_us(h2d_bytes) + kernel_us + d2h_us;
+        let placement = scheduler.place_on_device(device_index, ready, exec_us);
+        self.pools[device_index].reserve(key, transient_bytes, placement.finish_us);
+        let checksum = output.checksum();
+        if self.config.batching {
+            self.results
+                .insert((key, request.factor_seed), CachedResult { output });
+            while self.results.len() > self.config.result_cache_cap.max(1) {
+                self.results.pop_first();
+            }
+        }
+        Ok(RequestMetrics {
+            index,
+            tensor_id: request.tensor_id.clone(),
+            op: request.op,
+            rank: request.rank,
+            device: placement.device,
+            stream: placement.stream,
+            arrival_us: now,
+            start_us: placement.start_us,
+            finish_us: placement.finish_us,
+            exec_us,
+            plan_source,
+            batched: false,
+            deferred: was_deferred,
+            checksum,
+        })
+    }
+
+    /// Serves a CP-ALS request: one SpMTTKRP plan per mode through the plan
+    /// cache, all formats admitted to the pool, the ALS loop run on the
+    /// affinity device with a two-stream timeline (§V-E overlap).
+    fn serve_cp(
+        &mut self,
+        index: usize,
+        request: &Request,
+        iterations: usize,
+        scheduler: &mut Scheduler,
+    ) -> Result<RequestMetrics, String> {
+        if iterations == 0 {
+            return Err("cp requests need at least one iteration".to_string());
+        }
+        let registered = self
+            .tensors
+            .get(&request.tensor_id)
+            .ok_or_else(|| format!("unknown tensor `{}`", request.tensor_id))?;
+        let order = registered.tensor.order();
+        let fingerprint = registered.fingerprint;
+        let rank = request.rank;
+        let keys: Vec<PlanKey> = (0..order)
+            .map(|mode| PlanKey::new(fingerprint, TensorOp::SpMttkrp { mode }, rank))
+            .collect();
+        let device_index = (keys[0].digest() % self.devices.len() as u64) as usize;
+        let mut plans = Vec::with_capacity(order);
+        let mut sources = Vec::with_capacity(order);
+        for &key in &keys {
+            let registered = self
+                .tensors
+                .get(&request.tensor_id)
+                .ok_or_else(|| format!("unknown tensor `{}`", request.tensor_id))?;
+            let (plan, source) = self
+                .plans
+                .get_or_build(key, &registered.tensor, &self.scratch);
+            plans.push(plan);
+            sources.push(source);
+        }
+        let now = request.arrival_us;
+        self.pools[device_index].retire(now);
+        // All per-mode factors and the largest MTTKRP output live on device
+        // for the whole decomposition.
+        let shape = self.registered(&request.tensor_id)?.tensor.shape().to_vec();
+        let transient_bytes = 2 * shape.iter().map(|&s| s * rank * 4).sum::<usize>() + 1024 * order;
+        let mut ready = now;
+        let mut was_deferred = false;
+        let mut uploaded_bytes = 0usize;
+        let mut formats = Vec::with_capacity(order);
+        for (i, plan) in plans.iter().enumerate() {
+            // The transient budget rides on the first mode's admission; the
+            // remaining modes only need their formats resident.
+            let transient = if i == 0 { transient_bytes } else { 0 };
+            let admitted = self.admit_queued(
+                device_index,
+                keys[i],
+                &plan.fcoo,
+                plan.format_bytes(),
+                transient,
+                &mut ready,
+                &mut was_deferred,
+            )?;
+            if admitted.uploaded {
+                uploaded_bytes += plan.format_bytes();
+            }
+            formats.push(admitted.format);
+        }
+        let block_size = plans[0].block_size;
+        let tensor = &self.tensors[&request.tensor_id].tensor;
+        let format_refs: Vec<&FcooDevice> = formats.iter().map(Arc::as_ref).collect();
+        let opts = CpOptions {
+            rank,
+            max_iters: iterations,
+            tol: 1e-5,
+            seed: request.factor_seed,
+        };
+        let (output, gpu_us) = run_planned_cp(
+            &self.devices[device_index],
+            &format_refs,
+            block_size,
+            tensor,
+            &opts,
+        );
+        // Transfers: formats uploaded this admission, the initial factors
+        // up, the final factors down.
+        let factor_bytes: usize = shape.iter().map(|&s| s * rank * 4).sum();
+        let exec_us = self.transfer_us(uploaded_bytes + factor_bytes)
+            + gpu_us
+            + self.transfer_us(output.bytes());
+        let placement = scheduler.place_on_device(device_index, ready, exec_us);
+        for (i, &key) in keys.iter().enumerate() {
+            let transient = if i == 0 { transient_bytes } else { 0 };
+            self.pools[device_index].reserve(key, transient, placement.finish_us);
+        }
+        let checksum = output.checksum();
+        self.cp_executions.push(CpExecution {
+            tensor_id: request.tensor_id.clone(),
+            rank,
+            iterations,
+            factor_seed: request.factor_seed,
+            threadlens: plans.iter().map(|p| p.fcoo.threadlen).collect(),
+            block_size,
+            output,
+        });
+        Ok(RequestMetrics {
+            index,
+            tensor_id: request.tensor_id.clone(),
+            op: request.op,
+            rank,
+            device: placement.device,
+            stream: placement.stream,
+            arrival_us: now,
+            start_us: placement.start_us,
+            finish_us: placement.finish_us,
+            exec_us,
+            plan_source: worst_source(&sources),
+            batched: false,
+            deferred: was_deferred,
+            checksum,
+        })
+    }
+
+    /// Runs the kernel functionally on `device_index` and returns the
+    /// output, the simulated kernel time, and the factor upload bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &self,
+        device_index: usize,
+        format: &Arc<FcooDevice>,
+        tensor_id: &str,
+        op: TensorOp,
+        rank: usize,
+        block_size: usize,
+        factor_seed: u64,
+    ) -> Result<(JobOutput, f64, usize), String> {
+        let device = &self.devices[device_index];
+        let memory = device.memory();
+        let registered = self.registered(tensor_id)?;
+        let shape = registered.tensor.shape();
+        let cfg = LaunchConfig::with_block_size(block_size);
+        let oom = |e: gpu_sim::OutOfMemory| format!("transient allocation failed: {e}");
+        match op {
+            TensorOp::SpTtm { mode } => {
+                let host =
+                    DenseMatrix::random(shape[mode], rank, factor_seed_for_mode(factor_seed, mode));
+                let u = DeviceMatrix::upload(memory, &host).map_err(oom)?;
+                let factor_bytes = host.data().len() * 4;
+                let (result, stats) = fcoo::spttm(device, format, &u, &cfg).map_err(oom)?;
+                Ok((JobOutput::Semi(result), stats.time_us, factor_bytes))
+            }
+            TensorOp::SpMttkrp { mode: _ } => {
+                let hosts: Vec<DenseMatrix> = (0..shape.len())
+                    .map(|m| {
+                        DenseMatrix::random(shape[m], rank, factor_seed_for_mode(factor_seed, m))
+                    })
+                    .collect();
+                let mut factor_bytes = 0;
+                let mut uploaded = Vec::new();
+                for host in &hosts {
+                    factor_bytes += host.data().len() * 4;
+                    uploaded.push(DeviceMatrix::upload(memory, host).map_err(oom)?);
+                }
+                let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+                let (result, stats) = fcoo::spmttkrp(device, format, &refs, &cfg).map_err(oom)?;
+                Ok((JobOutput::Dense(result), stats.time_us, factor_bytes))
+            }
+            TensorOp::SpTtmc { mode } => {
+                let modes = product_modes(shape.len(), mode);
+                let hosts: Vec<DenseMatrix> = modes
+                    .iter()
+                    .map(|&m| {
+                        DenseMatrix::random(shape[m], rank, factor_seed_for_mode(factor_seed, m))
+                    })
+                    .collect();
+                let mut factor_bytes = 0;
+                let mut uploaded = Vec::new();
+                for host in &hosts {
+                    factor_bytes += host.data().len() * 4;
+                    uploaded.push(DeviceMatrix::upload(memory, host).map_err(oom)?);
+                }
+                let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+                let (result, stats) =
+                    fcoo::spttmc_norder(device, format, &refs, &cfg).map_err(oom)?;
+                Ok((JobOutput::Dense(result), stats.time_us, factor_bytes))
+            }
+        }
+    }
+
+    /// Re-runs every cached unique result (single ops and CP-ALS jobs)
+    /// through the one-shot API on a fresh device and compares bit-exactly.
+    /// Returns `(checked, mismatches)`.
+    fn verify_results(&self) -> (usize, usize) {
+        let mut checked = 0;
+        let mut failures = 0;
+        for ((key, factor_seed), cached) in &self.results {
+            let Some((_, registered)) = self
+                .tensors
+                .iter()
+                .find(|(_, r)| r.fingerprint == key.fingerprint)
+            else {
+                continue;
+            };
+            let Some(plan) = self.plans.peek(*key) else {
+                continue;
+            };
+            let reference = one_shot_reference(
+                &self.config.device_config,
+                &registered.tensor,
+                key.op(),
+                key.rank as usize,
+                *factor_seed,
+                plan.fcoo.threadlen,
+                plan.block_size,
+            );
+            checked += 1;
+            match reference {
+                Some(reference) if reference == cached.output => {}
+                _ => failures += 1,
+            }
+        }
+        for exec in &self.cp_executions {
+            let Some(registered) = self.tensors.get(&exec.tensor_id) else {
+                continue;
+            };
+            let reference = one_shot_cp_reference(
+                &self.config.device_config,
+                &registered.tensor,
+                exec.rank,
+                exec.iterations,
+                exec.factor_seed,
+                &exec.threadlens,
+                exec.block_size,
+            );
+            checked += 1;
+            match reference {
+                Some(reference) if reference == exec.output => {}
+                _ => failures += 1,
+            }
+        }
+        (checked, failures)
+    }
+}
+
+/// Device bytes a request holds beyond its cached format: uploaded factor
+/// matrices plus the kernel's output buffer.
+fn transient_bytes_for(fcoo: &Fcoo, rank: usize) -> usize {
+    let mode = fcoo.op.mode();
+    let shape = &fcoo.shape;
+    let factor_bytes: usize = match fcoo.op {
+        TensorOp::SpTtm { .. } => shape[mode] * rank * 4,
+        TensorOp::SpMttkrp { .. } => shape.iter().map(|&s| s * rank * 4).sum(),
+        TensorOp::SpTtmc { .. } => product_modes(shape.len(), mode)
+            .iter()
+            .map(|&m| shape[m] * rank * 4)
+            .sum(),
+    };
+    let output_bytes = match fcoo.op {
+        TensorOp::SpTtm { .. } => fcoo.segments() * rank * 4,
+        TensorOp::SpMttkrp { .. } => shape[mode] * rank * 4,
+        TensorOp::SpTtmc { .. } => shape[mode] * rank.pow((shape.len() - 1) as u32) * 4,
+    };
+    // Per-buffer allocator slack (virtual base alignment).
+    factor_bytes + output_bytes + 1024
+}
+
+/// CP-ALS MTTKRP engine over pre-admitted per-mode formats: one unified
+/// kernel per mode per iteration, dense updates on a second stream (§V-E).
+struct PlannedCpEngine<'a> {
+    device: &'a GpuDevice,
+    formats: &'a [&'a FcooDevice],
+    cfg: LaunchConfig,
+    timeline: Timeline,
+    last_mttkrp_finish: f64,
+}
+
+impl MttkrpEngine for PlannedCpEngine<'_> {
+    fn mttkrp(&mut self, mode: usize, factors: &[DenseMatrix]) -> (DenseMatrix, f64) {
+        let uploaded: Vec<DeviceMatrix> = factors
+            .iter()
+            .map(|f| {
+                DeviceMatrix::upload(self.device.memory(), f)
+                    .expect("admission control sized the device for CP factors")
+            })
+            .collect();
+        let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+        let (result, stats) = fcoo::spmttkrp(self.device, self.formats[mode], &refs, &self.cfg)
+            .expect("admission control sized the device for the CP output");
+        self.last_mttkrp_finish = self.timeline.push(0, stats.time_us);
+        (result, stats.time_us)
+    }
+
+    fn dense_update_us(&mut self, rows: usize, rank: usize) -> Option<f64> {
+        // Same CUBLAS-style model as `decomp::engines::UnifiedGpuEngine`:
+        // Gram products overlap the MTTKRP on stream 1; the solve waits.
+        let config = self.device.config();
+        let peak_flops_per_us = config.total_cores() as f64 * 2.0 * config.clock_ghz * 1e3;
+        let effective = 0.1 * peak_flops_per_us;
+        let gram_flops = 2.0 * rows as f64 * (rank * rank) as f64;
+        let gram_us = gram_flops / effective + 2.0 * config.launch_overhead_us;
+        let solve_us = (rank * rank * rank) as f64 / effective + config.launch_overhead_us;
+        self.timeline.push(1, gram_us);
+        self.timeline
+            .push_after(1, self.last_mttkrp_finish, solve_us);
+        Some(gram_us + solve_us)
+    }
+
+    fn overlapped_elapsed_us(&self) -> Option<f64> {
+        Some(self.timeline.elapsed_us())
+    }
+
+    fn name(&self) -> &'static str {
+        "serve-planned"
+    }
+}
+
+/// Runs CP-ALS over pre-resolved per-mode formats; returns the factor model
+/// and the two-stream GPU makespan in microseconds.
+fn run_planned_cp(
+    device: &GpuDevice,
+    formats: &[&FcooDevice],
+    block_size: usize,
+    tensor: &SparseTensorCoo,
+    opts: &CpOptions,
+) -> (JobOutput, f64) {
+    let mut engine = PlannedCpEngine {
+        device,
+        formats,
+        cfg: LaunchConfig::with_block_size(block_size),
+        timeline: Timeline::new(2),
+        last_mttkrp_finish: 0.0,
+    };
+    let run = cp_als(tensor, &mut engine, opts);
+    let gpu_us = run.overlapped_total_us.unwrap_or_else(|| run.total_us());
+    (
+        JobOutput::Cp {
+            factors: run.model.factors,
+            lambda: run.model.lambda,
+        },
+        gpu_us,
+    )
+}
+
+/// Computes the request's result through the one-shot API: fresh device,
+/// F-COO rebuilt from the raw tensor (independently of any cached plan),
+/// identical launch shape and factor seeds. The serving path must match
+/// this bit for bit.
+pub fn one_shot_reference(
+    device_config: &DeviceConfig,
+    tensor: &SparseTensorCoo,
+    op: TensorOp,
+    rank: usize,
+    factor_seed: u64,
+    threadlen: usize,
+    block_size: usize,
+) -> Option<JobOutput> {
+    let device = GpuDevice::new(device_config.clone());
+    let fcoo = Fcoo::from_coo(tensor, op, threadlen);
+    let format = FcooDevice::upload(device.memory(), &fcoo).ok()?;
+    let cfg = LaunchConfig::with_block_size(block_size);
+    let shape = tensor.shape();
+    match op {
+        TensorOp::SpTtm { mode } => {
+            let host =
+                DenseMatrix::random(shape[mode], rank, factor_seed_for_mode(factor_seed, mode));
+            let u = DeviceMatrix::upload(device.memory(), &host).ok()?;
+            let (result, _) = fcoo::spttm(&device, &format, &u, &cfg).ok()?;
+            Some(JobOutput::Semi(result))
+        }
+        TensorOp::SpMttkrp { mode: _ } => {
+            let hosts: Vec<DenseMatrix> = (0..shape.len())
+                .map(|m| DenseMatrix::random(shape[m], rank, factor_seed_for_mode(factor_seed, m)))
+                .collect();
+            let uploaded: Vec<DeviceMatrix> = hosts
+                .iter()
+                .map(|h| DeviceMatrix::upload(device.memory(), h))
+                .collect::<Result<_, _>>()
+                .ok()?;
+            let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+            let (result, _) = fcoo::spmttkrp(&device, &format, &refs, &cfg).ok()?;
+            Some(JobOutput::Dense(result))
+        }
+        TensorOp::SpTtmc { mode } => {
+            let hosts: Vec<DenseMatrix> = product_modes(shape.len(), mode)
+                .iter()
+                .map(|&m| DenseMatrix::random(shape[m], rank, factor_seed_for_mode(factor_seed, m)))
+                .collect();
+            let uploaded: Vec<DeviceMatrix> = hosts
+                .iter()
+                .map(|h| DeviceMatrix::upload(device.memory(), h))
+                .collect::<Result<_, _>>()
+                .ok()?;
+            let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+            let (result, _) = fcoo::spttmc_norder(&device, &format, &refs, &cfg).ok()?;
+            Some(JobOutput::Dense(result))
+        }
+    }
+}
+
+/// CP-ALS through the one-shot API: fresh device, per-mode F-COO rebuilt
+/// from the raw tensor with the same threadlens and block size the serving
+/// plans used, identical ALS options. Must match the served job bit for bit.
+pub fn one_shot_cp_reference(
+    device_config: &DeviceConfig,
+    tensor: &SparseTensorCoo,
+    rank: usize,
+    iterations: usize,
+    factor_seed: u64,
+    threadlens: &[usize],
+    block_size: usize,
+) -> Option<JobOutput> {
+    let device = GpuDevice::new(device_config.clone());
+    let fcoos: Vec<Fcoo> = (0..tensor.order())
+        .map(|mode| Fcoo::from_coo(tensor, TensorOp::SpMttkrp { mode }, threadlens[mode]))
+        .collect();
+    let formats: Vec<FcooDevice> = fcoos
+        .iter()
+        .map(|f| FcooDevice::upload(device.memory(), f))
+        .collect::<Result<_, _>>()
+        .ok()?;
+    let format_refs: Vec<&FcooDevice> = formats.iter().collect();
+    let opts = CpOptions {
+        rank,
+        max_iters: iterations,
+        tol: 1e-5,
+        seed: factor_seed,
+    };
+    let (output, _) = run_planned_cp(&device, &format_refs, block_size, tensor, &opts);
+    Some(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    #[test]
+    fn small_workload_end_to_end() {
+        let w = workload::synthetic(40, 11);
+        let mut engine = ServeEngine::new(ServeConfig {
+            verify: true,
+            ..ServeConfig::default()
+        });
+        let report = engine.run(&w);
+        assert_eq!(report.requests.len() + report.rejections.len(), 40);
+        assert!(report.rejections.is_empty(), "{:?}", report.rejections);
+        assert_eq!(report.plan_stats.builds, 8, "4 tensors × 2 ops");
+        assert!(report.hit_rate() > 0.5);
+        assert!(report.verified > 0);
+        assert_eq!(report.verify_failures, 0);
+        assert!(report.makespan_us > 0.0);
+        let rendered = report.render();
+        assert!(rendered.contains("hit rate"), "{rendered}");
+        assert!(rendered.contains("p99"), "{rendered}");
+    }
+
+    #[test]
+    fn batching_reuses_results() {
+        let mut w = workload::synthetic(1, 3);
+        let first = w.requests[0].clone();
+        for i in 1..6 {
+            let mut r = first.clone();
+            r.arrival_us += i as f64 * 10.0;
+            w.requests.push(r);
+        }
+        let mut engine = ServeEngine::new(ServeConfig::default());
+        let report = engine.run(&w);
+        assert_eq!(report.batched, 5, "identical requests batch");
+        let full = &report.requests[0];
+        let reused = &report.requests[1];
+        assert!(reused.exec_us < full.exec_us);
+        assert_eq!(full.checksum, reused.checksum);
+    }
+
+    #[test]
+    fn second_run_hits_memory_plans() {
+        let w = workload::synthetic(20, 5);
+        let mut engine = ServeEngine::new(ServeConfig::default());
+        let first = engine.run(&w);
+        assert!(first.plan_stats.builds > 0);
+        let second = engine.run(&w);
+        // Same engine: no new builds, pure memory hits.
+        assert_eq!(second.plan_stats.builds, first.plan_stats.builds);
+        assert!(second.plan_stats.memory_hits > first.plan_stats.memory_hits);
+    }
+
+    #[test]
+    fn unknown_tensors_are_rejected_not_panicked() {
+        let w = Workload::parse("request ghost mttkrp 0 8 0.0 1\n").unwrap();
+        let mut engine = ServeEngine::new(ServeConfig::default());
+        let report = engine.run(&w);
+        assert!(report.requests.is_empty());
+        assert_eq!(report.rejections.len(), 1);
+        assert!(report.rejections[0].reason.contains("unknown tensor"));
+        let bad_mode =
+            Workload::parse("tensor t nell2 600 3\nrequest t mttkrp 7 8 0.0 1\n").unwrap();
+        let report = engine.run(&bad_mode);
+        assert_eq!(report.rejections.len(), 1);
+        assert!(report.rejections[0].reason.contains("out of range"));
+    }
+
+    #[test]
+    fn cp_requests_run_and_verify() {
+        let text = "tensor t nell2 900 3\n\
+                    request t cp 3 4 0.0 21\n\
+                    request t mttkrp 0 4 500.0 22\n";
+        let w = Workload::parse(text).unwrap();
+        let mut engine = ServeEngine::new(ServeConfig {
+            verify: true,
+            ..ServeConfig::default()
+        });
+        let report = engine.run(&w);
+        assert!(report.rejections.is_empty(), "{:?}", report.rejections);
+        assert_eq!(report.requests.len(), 2);
+        // The CP job warmed the mode-0 SpMTTKRP plan for the later request.
+        assert_eq!(report.requests[1].plan_source, PlanSource::Memory);
+        assert!(report.verified >= 2);
+        assert_eq!(report.verify_failures, 0);
+        // CP requests are never batched; zero iterations are rejected.
+        let zero = Workload::parse("tensor t nell2 900 3\nrequest t cp 0 4 0.0 1\n").unwrap();
+        let report = engine.run(&zero);
+        assert_eq!(report.rejections.len(), 1);
+    }
+}

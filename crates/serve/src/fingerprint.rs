@@ -1,0 +1,99 @@
+//! Content fingerprints for registered tensors.
+//!
+//! The plan cache is keyed by *what the tensor is*, not what a client named
+//! it: two tenants registering bit-identical tensors share one plan. The
+//! fingerprint is a 64-bit FNV-1a hash over the shape, every coordinate
+//! column and the raw value bits, so it is deterministic across runs and
+//! platforms (no pointer or `HashMap`-order dependence).
+
+use tensor_core::SparseTensorCoo;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over little-endian words.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Folds a byte slice into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one 64-bit word (little-endian) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Computes the content fingerprint of a sparse tensor.
+///
+/// Covers order, shape, all coordinate columns and the bit patterns of the
+/// values, in storage order. Tensors that differ only in non-zero order hash
+/// differently — registration is expected to hand over canonically sorted
+/// tensors (the dataset generators and `.tns` loader both do).
+pub fn tensor_fingerprint(tensor: &SparseTensorCoo) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write_u64(tensor.order() as u64);
+    for &s in tensor.shape() {
+        h.write_u64(s as u64);
+    }
+    h.write_u64(tensor.nnz() as u64);
+    for mode in 0..tensor.order() {
+        for &i in tensor.mode_indices(mode) {
+            h.write(&i.to_le_bytes());
+        }
+    }
+    for &v in tensor.values() {
+        h.write(&v.to_bits().to_le_bytes());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_core::datasets::{self, DatasetKind};
+
+    #[test]
+    fn identical_tensors_share_a_fingerprint() {
+        let (a, _) = datasets::generate(DatasetKind::Nell2, 1000, 7);
+        let (b, _) = datasets::generate(DatasetKind::Nell2, 1000, 7);
+        assert_eq!(tensor_fingerprint(&a), tensor_fingerprint(&b));
+    }
+
+    #[test]
+    fn different_seeds_and_kinds_differ() {
+        let (a, _) = datasets::generate(DatasetKind::Nell2, 1000, 7);
+        let (b, _) = datasets::generate(DatasetKind::Nell2, 1000, 8);
+        let (c, _) = datasets::generate(DatasetKind::Brainq, 1000, 7);
+        assert_ne!(tensor_fingerprint(&a), tensor_fingerprint(&b));
+        assert_ne!(tensor_fingerprint(&a), tensor_fingerprint(&c));
+    }
+
+    #[test]
+    fn value_bits_matter() {
+        let mut t = SparseTensorCoo::from_entries(
+            vec![4, 4, 4],
+            &[(vec![0, 1, 2], 1.0), (vec![1, 2, 3], 2.0)],
+        );
+        let before = tensor_fingerprint(&t);
+        t.values_mut()[0] = 1.0 + f32::EPSILON;
+        assert_ne!(before, tensor_fingerprint(&t));
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-request latency records and summary statistics.
+
+use crate::plan::PlanSource;
+use crate::workload::ServeOp;
+
+/// Timing and provenance of one served request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMetrics {
+    /// Index of the request in the trace.
+    pub index: usize,
+    /// Registered tensor the request operated on.
+    pub tensor_id: String,
+    /// The operation, including its mode (or CP-ALS iteration budget).
+    pub op: ServeOp,
+    /// Factor rank.
+    pub rank: usize,
+    /// Device the job ran on.
+    pub device: usize,
+    /// Stream within the device.
+    pub stream: usize,
+    /// When the request arrived (simulated µs).
+    pub arrival_us: f64,
+    /// When its kernel started (simulated µs).
+    pub start_us: f64,
+    /// When its result was ready on the host (simulated µs).
+    pub finish_us: f64,
+    /// Pure execution span: transfers plus kernel (simulated µs).
+    pub exec_us: f64,
+    /// How the plan lookup was satisfied.
+    pub plan_source: PlanSource,
+    /// True when the request reused a batched same-plan result.
+    pub batched: bool,
+    /// True when admission control made the job wait for memory.
+    pub deferred: bool,
+    /// Checksum of the result (sum of elements), for cheap cross-checks.
+    pub checksum: f64,
+}
+
+impl RequestMetrics {
+    /// Time spent waiting before execution started.
+    pub fn queue_us(&self) -> f64 {
+        self.start_us - self.arrival_us
+    }
+
+    /// End-to-end latency from arrival to host-visible result.
+    pub fn total_us(&self) -> f64 {
+        self.finish_us - self.arrival_us
+    }
+}
+
+/// Latency distribution over a set of requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Median end-to-end latency (µs).
+    pub p50_us: f64,
+    /// 90th percentile (µs).
+    pub p90_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+    /// Worst request (µs).
+    pub max_us: f64,
+    /// Mean (µs).
+    pub mean_us: f64,
+}
+
+/// Nearest-rank percentile of `sorted` (ascending); `q` in `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl LatencySummary {
+    /// Summarizes the end-to-end latency of `requests`.
+    pub fn from_requests(requests: &[RequestMetrics]) -> LatencySummary {
+        let mut totals: Vec<f64> = requests.iter().map(RequestMetrics::total_us).collect();
+        totals.sort_by(f64::total_cmp);
+        if totals.is_empty() {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            p50_us: percentile(&totals, 0.50),
+            p90_us: percentile(&totals, 0.90),
+            p99_us: percentile(&totals, 0.99),
+            max_us: totals[totals.len() - 1],
+            mean_us: totals.iter().sum::<f64>() / totals.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&data, 0.50), 50.0);
+        assert_eq!(percentile(&data, 0.99), 99.0);
+        assert_eq!(percentile(&data, 1.0), 100.0);
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn summary_from_requests() {
+        let make = |arrival: f64, finish: f64| RequestMetrics {
+            index: 0,
+            tensor_id: "t".into(),
+            op: ServeOp::Tensor(fcoo::TensorOp::SpTtm { mode: 0 }),
+            rank: 8,
+            device: 0,
+            stream: 0,
+            arrival_us: arrival,
+            start_us: arrival,
+            finish_us: finish,
+            exec_us: finish - arrival,
+            plan_source: PlanSource::Memory,
+            batched: false,
+            deferred: false,
+            checksum: 0.0,
+        };
+        let reqs: Vec<_> = (0..10).map(|i| make(0.0, (i + 1) as f64 * 10.0)).collect();
+        let s = LatencySummary::from_requests(&reqs);
+        assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.max_us, 100.0);
+        assert!((s.mean_us - 55.0).abs() < 1e-12);
+        assert_eq!(reqs[0].queue_us(), 0.0);
+        assert_eq!(reqs[0].total_us(), 10.0);
+    }
+}

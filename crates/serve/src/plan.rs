@@ -1,0 +1,393 @@
+//! Execution plans and the plan cache.
+//!
+//! A *plan* is everything the paper's §IV-A preprocessing produces for one
+//! (tensor, operation, rank) combination: the sorted F-COO instance plus the
+//! tuned `(BLOCK_SIZE, threadlen)` pair of Table V. Building one costs a full
+//! sort of the non-zeros and a tuning sweep; serving amortizes that cost the
+//! same way CP-ALS amortizes it across iterations — build once, reuse for
+//! every subsequent request.
+//!
+//! The cache persists plans through [`fcoo::write_fcoo`] under a small
+//! versioned header carrying the tuned block size, so a restarted server
+//! warms itself from disk instead of re-preprocessing ("warm restart").
+
+use crate::fingerprint::Fnv1a;
+use fcoo::{Fcoo, TensorOp, TuneResult};
+use gpu_sim::GpuDevice;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use tensor_core::SparseTensorCoo;
+
+/// Magic bytes of a persisted plan file (header before the F-COO stream).
+const PLAN_MAGIC: &[u8; 4] = b"SPLN";
+const PLAN_VERSION: u32 = 1;
+
+/// The default `(BLOCK_SIZE)` grid a serving plan build sweeps — a subset of
+/// the paper's Fig. 5 grid, chosen to keep tail latency of cold requests
+/// bounded while still adapting to the sparsity pattern.
+pub const SERVE_BLOCK_SIZES: [usize; 3] = [64, 128, 256];
+
+/// The default `threadlen` grid for serving plan builds.
+pub const SERVE_THREADLENS: [usize; 3] = [8, 16, 32];
+
+/// Identity of a plan: tensor content, operation (with mode) and rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlanKey {
+    /// Content fingerprint of the registered tensor.
+    pub fingerprint: u64,
+    /// Operation code: 0 = SpTTM, 1 = SpMTTKRP, 2 = SpTTMc.
+    pub op_code: u8,
+    /// Operating mode (0-based).
+    pub mode: u8,
+    /// Factor-matrix rank the plan was tuned for.
+    pub rank: u32,
+}
+
+impl PlanKey {
+    /// Builds the key for `op` at `rank` over a tensor with `fingerprint`.
+    pub fn new(fingerprint: u64, op: TensorOp, rank: usize) -> Self {
+        let (op_code, mode) = match op {
+            TensorOp::SpTtm { mode } => (0, mode),
+            TensorOp::SpMttkrp { mode } => (1, mode),
+            TensorOp::SpTtmc { mode } => (2, mode),
+        };
+        PlanKey {
+            fingerprint,
+            op_code,
+            mode: mode as u8,
+            rank: rank as u32,
+        }
+    }
+
+    /// The operation this key describes.
+    pub fn op(&self) -> TensorOp {
+        let mode = self.mode as usize;
+        match self.op_code {
+            0 => TensorOp::SpTtm { mode },
+            1 => TensorOp::SpMttkrp { mode },
+            _ => TensorOp::SpTtmc { mode },
+        }
+    }
+
+    /// Stable file name for the persisted form of this plan.
+    pub fn file_name(&self) -> String {
+        format!(
+            "plan-{:016x}-op{}m{}-r{}.fcoo",
+            self.fingerprint, self.op_code, self.mode, self.rank
+        )
+    }
+
+    /// A deterministic 64-bit digest of the key (used for device affinity).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        h.write_u64(self.fingerprint);
+        h.write_u64(self.op_code as u64);
+        h.write_u64(self.mode as u64);
+        h.write_u64(self.rank as u64);
+        h.finish()
+    }
+}
+
+/// A reusable execution plan: preprocessed format plus tuned launch shape.
+#[derive(Debug)]
+pub struct Plan {
+    /// The key this plan answers.
+    pub key: PlanKey,
+    /// The preprocessed F-COO instance (threadlen already tuned).
+    pub fcoo: Arc<Fcoo>,
+    /// Tuned threads-per-block.
+    pub block_size: usize,
+}
+
+impl Plan {
+    /// Tuned non-zeros per thread.
+    pub fn threadlen(&self) -> usize {
+        self.fcoo.threadlen
+    }
+
+    /// Estimated device bytes of the uploaded format.
+    pub fn format_bytes(&self) -> usize {
+        // Upload byte count matches the storage breakdown to within flag
+        // word rounding; pad so admission never under-estimates.
+        self.fcoo.storage().total_bytes() + 64
+    }
+}
+
+/// How a plan lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Found in memory — free.
+    Memory,
+    /// Reloaded from the persistence directory (warm restart).
+    Disk,
+    /// Built from scratch: sort + tuning sweep.
+    Built,
+}
+
+/// Lookup counters for the cache-hit report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from memory.
+    pub memory_hits: u64,
+    /// Lookups answered by decoding a persisted plan.
+    pub disk_hits: u64,
+    /// Lookups that paid the full preprocessing cost.
+    pub builds: u64,
+    /// Wall-clock milliseconds spent building plans (sort + tuning).
+    pub build_ms: f64,
+}
+
+impl PlanCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.builds
+    }
+
+    /// Fraction of lookups that skipped preprocessing (memory or disk).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        (self.memory_hits + self.disk_hits) as f64 / lookups as f64
+    }
+}
+
+/// In-memory plan cache with optional disk persistence.
+pub struct PlanCache {
+    plans: BTreeMap<PlanKey, Arc<Plan>>,
+    dir: Option<PathBuf>,
+    block_sizes: Vec<usize>,
+    threadlens: Vec<usize>,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// Creates a cache. When `dir` is given, built plans are persisted there
+    /// and lookups fall back to it before preprocessing (the directory is
+    /// created on first write).
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        PlanCache {
+            plans: BTreeMap::new(),
+            dir,
+            block_sizes: SERVE_BLOCK_SIZES.to_vec(),
+            threadlens: SERVE_THREADLENS.to_vec(),
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Overrides the tuning grids used for plan builds.
+    pub fn with_grids(mut self, block_sizes: &[usize], threadlens: &[usize]) -> Self {
+        self.block_sizes = block_sizes.to_vec();
+        self.threadlens = threadlens.to_vec();
+        self
+    }
+
+    /// Number of plans resident in memory.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Lookup counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// The in-memory plan for `key`, if any, without touching counters or
+    /// falling back to disk.
+    pub fn peek(&self, key: PlanKey) -> Option<Arc<Plan>> {
+        self.plans.get(&key).map(Arc::clone)
+    }
+
+    /// Returns the plan for `key`, preprocessing `tensor` on `device` only
+    /// when neither memory nor disk has it.
+    pub fn get_or_build(
+        &mut self,
+        key: PlanKey,
+        tensor: &SparseTensorCoo,
+        device: &GpuDevice,
+    ) -> (Arc<Plan>, PlanSource) {
+        if let Some(plan) = self.plans.get(&key) {
+            self.stats.memory_hits += 1;
+            return (Arc::clone(plan), PlanSource::Memory);
+        }
+        if let Some(plan) = self.load(key) {
+            self.stats.disk_hits += 1;
+            let plan = Arc::new(plan);
+            self.plans.insert(key, Arc::clone(&plan));
+            return (plan, PlanSource::Disk);
+        }
+        let started = std::time::Instant::now();
+        let tuned = self.tune(key, tensor, device);
+        let (block_size, threadlen) = tuned.best_pair();
+        let fcoo = Fcoo::from_coo(tensor, key.op(), threadlen);
+        let plan = Arc::new(Plan {
+            key,
+            fcoo: Arc::new(fcoo),
+            block_size,
+        });
+        self.stats.builds += 1;
+        self.stats.build_ms += started.elapsed().as_secs_f64() * 1e3;
+        self.persist(&plan);
+        self.plans.insert(key, Arc::clone(&plan));
+        (plan, PlanSource::Built)
+    }
+
+    fn tune(&self, key: PlanKey, tensor: &SparseTensorCoo, device: &GpuDevice) -> TuneResult {
+        fcoo::tune(
+            device,
+            tensor,
+            key.op(),
+            key.rank as usize,
+            Some(&self.block_sizes),
+            Some(&self.threadlens),
+        )
+    }
+
+    /// Writes `plan` into the persistence directory; I/O failures are
+    /// swallowed (persistence is an optimization, not a correctness need).
+    fn persist(&self, plan: &Plan) {
+        let Some(dir) = &self.dir else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = dir.join(plan.key.file_name());
+        let Ok(file) = std::fs::File::create(&path) else {
+            return;
+        };
+        let mut w = std::io::BufWriter::new(file);
+        let header_ok = w
+            .write_all(PLAN_MAGIC)
+            .and_then(|_| w.write_all(&PLAN_VERSION.to_le_bytes()))
+            .and_then(|_| w.write_all(&(plan.block_size as u32).to_le_bytes()))
+            .and_then(|_| w.write_all(&plan.key.rank.to_le_bytes()));
+        if header_ok.is_err() || fcoo::write_fcoo(&plan.fcoo, &mut w).is_err() {
+            drop(w);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    /// Attempts to reload a persisted plan; any corruption or mismatch
+    /// (including truncation — `read_fcoo` rejects it with an error, never a
+    /// panic) silently falls back to a rebuild.
+    fn load(&self, key: PlanKey) -> Option<Plan> {
+        let dir = self.dir.as_ref()?;
+        let file = std::fs::File::open(dir.join(key.file_name())).ok()?;
+        let mut r = std::io::BufReader::new(file);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).ok()?;
+        if &magic != PLAN_MAGIC {
+            return None;
+        }
+        let mut word = [0u8; 4];
+        r.read_exact(&mut word).ok()?;
+        if u32::from_le_bytes(word) != PLAN_VERSION {
+            return None;
+        }
+        r.read_exact(&mut word).ok()?;
+        let block_size = u32::from_le_bytes(word) as usize;
+        r.read_exact(&mut word).ok()?;
+        let rank = u32::from_le_bytes(word);
+        let fcoo = fcoo::read_fcoo(&mut r).ok()?;
+        if rank != key.rank || fcoo.op != key.op() {
+            return None;
+        }
+        Some(Plan {
+            key,
+            fcoo: Arc::new(fcoo),
+            block_size,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor_core::datasets::{self, DatasetKind};
+
+    fn sample() -> SparseTensorCoo {
+        datasets::generate(DatasetKind::Nell2, 1500, 11).0
+    }
+
+    fn key_for(tensor: &SparseTensorCoo) -> PlanKey {
+        PlanKey::new(
+            crate::fingerprint::tensor_fingerprint(tensor),
+            TensorOp::SpMttkrp { mode: 0 },
+            8,
+        )
+    }
+
+    #[test]
+    fn second_lookup_hits_memory() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let key = key_for(&tensor);
+        let mut cache = PlanCache::new(None).with_grids(&[64], &[8]);
+        let (_, first) = cache.get_or_build(key, &tensor, &device);
+        assert_eq!(first, PlanSource::Built);
+        let (plan, second) = cache.get_or_build(key, &tensor, &device);
+        assert_eq!(second, PlanSource::Memory);
+        assert_eq!(plan.threadlen(), 8);
+        assert_eq!(plan.block_size, 64);
+        assert_eq!(cache.stats().memory_hits, 1);
+        assert_eq!(cache.stats().builds, 1);
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plans_survive_a_restart_via_disk() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let key = key_for(&tensor);
+        let dir = std::env::temp_dir().join(format!("serve_plan_test_{:x}", key.fingerprint));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cold = PlanCache::new(Some(dir.clone())).with_grids(&[64, 128], &[8, 16]);
+        let (built, source) = cold.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        // A fresh cache (server restart) finds the persisted plan.
+        let mut warm = PlanCache::new(Some(dir.clone())).with_grids(&[64, 128], &[8, 16]);
+        let (loaded, source) = warm.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Disk);
+        assert_eq!(loaded.block_size, built.block_size);
+        assert_eq!(loaded.threadlen(), built.threadlen());
+        assert_eq!(loaded.fcoo.values, built.fcoo.values);
+        assert_eq!(warm.stats().disk_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_plan_files_fall_back_to_rebuild() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let key = key_for(&tensor);
+        let dir = std::env::temp_dir().join("serve_plan_test_corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Truncated garbage under the expected name must not panic.
+        std::fs::write(dir.join(key.file_name()), b"SPLN\x01\x00\x00\x00garbage").unwrap();
+        let mut cache = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[8]);
+        let (_, source) = cache.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn key_round_trips_op() {
+        for op in [
+            TensorOp::SpTtm { mode: 2 },
+            TensorOp::SpMttkrp { mode: 0 },
+            TensorOp::SpTtmc { mode: 1 },
+        ] {
+            let key = PlanKey::new(42, op, 16);
+            assert_eq!(key.op(), op);
+            assert_eq!(key.rank, 16);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Device memory pool: cached device-resident formats with LRU eviction and
+//! admission control.
+//!
+//! The one-shot API uploads a fresh F-COO for every call and lets allocation
+//! failures surface as [`OutOfMemory`]. A server cannot do either: uploads
+//! are the dominant cost of a warm request, and an OOM kills a tenant's job.
+//! The pool therefore (a) keeps uploaded formats resident and evicts them
+//! LRU-style under pressure, and (b) *admits* jobs against a byte budget —
+//! a job whose working set does not fit next to the in-flight reservations
+//! is told to wait (queue) instead of failing, mirroring the pressure-aware
+//! device-memory management of out-of-memory MTTKRP systems
+//! (arXiv:2201.12523).
+
+use crate::plan::PlanKey;
+use fcoo::{Fcoo, FcooDevice};
+use gpu_sim::memory::DeviceMemory;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Why a job could not be admitted right now.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitError {
+    /// Working set exceeds what is free next to in-flight jobs; retry once
+    /// reservations up to `until_us` have retired.
+    Defer {
+        /// Simulated time at which the earliest in-flight reservation ends.
+        until_us: f64,
+    },
+    /// The job can never fit: its working set exceeds device capacity even
+    /// with an empty cache.
+    TooLarge {
+        /// Bytes the job needs resident at once.
+        working_set: usize,
+        /// Device capacity in bytes.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Defer { until_us } => {
+                write!(f, "queued until in-flight work retires at {until_us:.1} µs")
+            }
+            AdmitError::TooLarge {
+                working_set,
+                capacity,
+            } => write!(
+                f,
+                "working set {working_set} B exceeds device capacity {capacity} B"
+            ),
+        }
+    }
+}
+
+/// A successfully admitted format.
+#[derive(Debug)]
+pub struct Admitted {
+    /// The device-resident format (cached or freshly uploaded).
+    pub format: Arc<FcooDevice>,
+    /// True when this admission paid the host→device transfer.
+    pub uploaded: bool,
+}
+
+/// Pool activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Formats uploaded (admission misses).
+    pub uploads: u64,
+    /// Admissions served by an already-resident format.
+    pub format_reuses: u64,
+    /// Cached formats evicted under memory pressure.
+    pub evictions: u64,
+}
+
+struct CachedFormat {
+    format: Arc<FcooDevice>,
+    last_used: u64,
+    /// In-flight jobs currently using this format (eviction barrier).
+    pins: usize,
+}
+
+struct Reservation {
+    finish_us: f64,
+    bytes: usize,
+    key: PlanKey,
+}
+
+/// Pooled view of one device's global memory.
+pub struct DevicePool {
+    memory: DeviceMemory,
+    cached: BTreeMap<PlanKey, CachedFormat>,
+    reservations: Vec<Reservation>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+impl DevicePool {
+    /// Creates a pool over `memory`.
+    pub fn new(memory: DeviceMemory) -> Self {
+        DevicePool {
+            memory,
+            cached: BTreeMap::new(),
+            reservations: Vec::new(),
+            tick: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Bytes currently reserved by in-flight jobs (transient working sets).
+    pub fn reserved_bytes(&self) -> usize {
+        self.reservations.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Number of cached device-resident formats.
+    pub fn cached_formats(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// The pool's device memory handle.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// Releases reservations whose jobs finish at or before `now_us` and
+    /// unpins their formats.
+    pub fn retire(&mut self, now_us: f64) {
+        let mut kept = Vec::with_capacity(self.reservations.len());
+        for r in self.reservations.drain(..) {
+            if r.finish_us <= now_us {
+                if let Some(slot) = self.cached.get_mut(&r.key) {
+                    slot.pins = slot.pins.saturating_sub(1);
+                }
+            } else {
+                kept.push(r);
+            }
+        }
+        self.reservations = kept;
+    }
+
+    /// True when `key`'s format is resident (bumps its LRU recency).
+    pub fn touch_resident(&mut self, key: PlanKey) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.cached.get_mut(&key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Admits a job that needs `key`'s format (uploading `fcoo` if absent,
+    /// budgeted at `format_bytes`) plus `transient_bytes` of factors/output.
+    ///
+    /// Evicts least-recently-used unpinned formats as needed. Returns
+    /// [`AdmitError::Defer`] when the job must wait for in-flight
+    /// reservations, [`AdmitError::TooLarge`] when it can never fit.
+    pub fn admit(
+        &mut self,
+        key: PlanKey,
+        fcoo: &Fcoo,
+        format_bytes: usize,
+        transient_bytes: usize,
+    ) -> Result<Admitted, AdmitError> {
+        let capacity = self.memory.capacity();
+        if format_bytes + transient_bytes > capacity {
+            return Err(AdmitError::TooLarge {
+                working_set: format_bytes + transient_bytes,
+                capacity,
+            });
+        }
+        let resident = self.cached.contains_key(&key);
+        let need = transient_bytes + if resident { 0 } else { format_bytes };
+        self.make_room(key, need)?;
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.cached.get_mut(&key) {
+            slot.last_used = tick;
+            self.stats.format_reuses += 1;
+            return Ok(Admitted {
+                format: Arc::clone(&slot.format),
+                uploaded: false,
+            });
+        }
+        let format = match FcooDevice::upload(&self.memory, fcoo) {
+            Ok(f) => f,
+            Err(_) => {
+                // The byte estimate was low; shed the whole cache and retry
+                // once before reporting pressure.
+                self.evict_all_unpinned();
+                match FcooDevice::upload(&self.memory, fcoo) {
+                    Ok(f) => f,
+                    Err(oom) => {
+                        return Err(match self.earliest_release() {
+                            Some(until_us) => AdmitError::Defer { until_us },
+                            None => AdmitError::TooLarge {
+                                working_set: oom.requested + transient_bytes,
+                                capacity,
+                            },
+                        })
+                    }
+                }
+            }
+        };
+        let format = Arc::new(format);
+        self.stats.uploads += 1;
+        self.cached.insert(
+            key,
+            CachedFormat {
+                format: Arc::clone(&format),
+                last_used: tick,
+                pins: 0,
+            },
+        );
+        Ok(Admitted {
+            format,
+            uploaded: true,
+        })
+    }
+
+    /// Records that an admitted job holds `transient_bytes` until
+    /// `finish_us` and pins its format against eviction for that span.
+    pub fn reserve(&mut self, key: PlanKey, transient_bytes: usize, finish_us: f64) {
+        if let Some(slot) = self.cached.get_mut(&key) {
+            slot.pins += 1;
+        }
+        self.reservations.push(Reservation {
+            finish_us,
+            bytes: transient_bytes,
+            key,
+        });
+    }
+
+    /// Earliest time an in-flight reservation retires, if any.
+    pub fn earliest_release(&self) -> Option<f64> {
+        self.reservations
+            .iter()
+            .map(|r| r.finish_us)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Evicts LRU unpinned formats until `need` bytes fit beside the live
+    /// allocations and in-flight reservations.
+    fn make_room(&mut self, requesting: PlanKey, need: usize) -> Result<(), AdmitError> {
+        loop {
+            let used = self.memory.live_bytes() + self.reserved_bytes();
+            if used + need <= self.memory.capacity() {
+                return Ok(());
+            }
+            let victim = self
+                .cached
+                .iter()
+                .filter(|(k, slot)| **k != requesting && slot.pins == 0)
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.cached.remove(&k);
+                    self.stats.evictions += 1;
+                }
+                None => {
+                    return Err(match self.earliest_release() {
+                        Some(until_us) => AdmitError::Defer { until_us },
+                        None => AdmitError::TooLarge {
+                            working_set: need,
+                            capacity: self.memory.capacity(),
+                        },
+                    })
+                }
+            }
+        }
+    }
+
+    fn evict_all_unpinned(&mut self) {
+        let victims: Vec<PlanKey> = self
+            .cached
+            .iter()
+            .filter(|(_, slot)| slot.pins == 0)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in victims {
+            self.cached.remove(&k);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Drops every unpinned cached format (used by tests and shutdown).
+    pub fn clear(&mut self) {
+        self.evict_all_unpinned();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcoo::TensorOp;
+    use gpu_sim::GpuDevice;
+    use tensor_core::datasets::{self, DatasetKind};
+
+    fn fcoo_for(seed: u64) -> (PlanKey, Fcoo) {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 1200, seed);
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 16);
+        let key = PlanKey::new(
+            crate::fingerprint::tensor_fingerprint(&tensor),
+            TensorOp::SpMttkrp { mode: 0 },
+            8,
+        );
+        (key, fcoo)
+    }
+
+    fn bytes_of(fcoo: &Fcoo) -> usize {
+        fcoo.storage().total_bytes() + 64
+    }
+
+    #[test]
+    fn admission_caches_and_reuses_formats() {
+        let device = GpuDevice::titan_x();
+        let mut pool = DevicePool::new(device.memory().clone());
+        let (key, fcoo) = fcoo_for(3);
+        let fb = bytes_of(&fcoo);
+        let first = pool.admit(key, &fcoo, fb, 1024).unwrap();
+        assert!(first.uploaded);
+        let second = pool.admit(key, &fcoo, fb, 1024).unwrap();
+        assert!(!second.uploaded);
+        assert_eq!(pool.stats().uploads, 1);
+        assert_eq!(pool.stats().format_reuses, 1);
+        assert_eq!(pool.cached_formats(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let (key_a, fcoo_a) = fcoo_for(1);
+        let (key_b, fcoo_b) = fcoo_for(2);
+        let fa = bytes_of(&fcoo_a);
+        let fb = bytes_of(&fcoo_b);
+        // Capacity fits one format plus transients, not two.
+        let memory = DeviceMemory::new(fa.max(fb) + 4096);
+        let mut pool = DevicePool::new(memory);
+        pool.admit(key_a, &fcoo_a, fa, 512).unwrap();
+        let admitted = pool.admit(key_b, &fcoo_b, fb, 512).unwrap();
+        assert!(admitted.uploaded);
+        assert_eq!(pool.stats().evictions, 1, "A was evicted for B");
+        assert_eq!(pool.cached_formats(), 1);
+        assert!(pool.touch_resident(key_b));
+        assert!(!pool.touch_resident(key_a));
+        // Memory never exceeded capacity.
+        assert!(pool.memory().peak_bytes() <= pool.memory().capacity());
+    }
+
+    #[test]
+    fn pinned_formats_defer_instead_of_evicting() {
+        let (key_a, fcoo_a) = fcoo_for(1);
+        let (key_b, fcoo_b) = fcoo_for(2);
+        let fa = bytes_of(&fcoo_a);
+        let fb = bytes_of(&fcoo_b);
+        let memory = DeviceMemory::new(fa.max(fb) + 4096);
+        let mut pool = DevicePool::new(memory);
+        pool.admit(key_a, &fcoo_a, fa, 512).unwrap();
+        pool.reserve(key_a, 512, 100.0);
+        // A is pinned by an in-flight job: B must wait, not OOM.
+        let err = pool.admit(key_b, &fcoo_b, fb, 512).unwrap_err();
+        assert_eq!(err, AdmitError::Defer { until_us: 100.0 });
+        // Once the in-flight job retires, B is admitted.
+        pool.retire(100.0);
+        assert!(pool.admit(key_b, &fcoo_b, fb, 512).is_ok());
+        assert!(pool.memory().peak_bytes() <= pool.memory().capacity());
+    }
+
+    #[test]
+    fn impossible_jobs_are_rejected_not_oomed() {
+        let (key, fcoo) = fcoo_for(1);
+        let memory = DeviceMemory::new(1 << 16);
+        let mut pool = DevicePool::new(memory);
+        let err = pool.admit(key, &fcoo, 1 << 20, 1 << 20).unwrap_err();
+        assert!(matches!(err, AdmitError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn retire_frees_reservations() {
+        let device = GpuDevice::titan_x();
+        let mut pool = DevicePool::new(device.memory().clone());
+        let (key, fcoo) = fcoo_for(5);
+        let fb = bytes_of(&fcoo);
+        pool.admit(key, &fcoo, fb, 2048).unwrap();
+        pool.reserve(key, 2048, 50.0);
+        pool.reserve(key, 2048, 80.0);
+        assert_eq!(pool.reserved_bytes(), 4096);
+        assert_eq!(pool.earliest_release(), Some(50.0));
+        pool.retire(60.0);
+        assert_eq!(pool.reserved_bytes(), 2048);
+        pool.retire(90.0);
+        assert_eq!(pool.reserved_bytes(), 0);
+        assert_eq!(pool.earliest_release(), None);
+    }
+}

@@ -1,0 +1,360 @@
+//! Workload files: declarative tensor registrations plus request traces.
+//!
+//! A workload is a plain-text file the CLI and benches replay against the
+//! serving engine. Two line kinds (blank lines and `#` comments ignored):
+//!
+//! ```text
+//! tensor  <id> <kind> <nnz> <seed>
+//! request <tensor-id> <spttm|mttkrp|ttmc> <mode> <rank> <arrival_us> <factor-seed>
+//! request <tensor-id> cp <iterations> <rank> <arrival_us> <factor-seed>
+//! ```
+//!
+//! Modes are 0-based (the library convention; only the `tensortool` argv
+//! surface is 1-based). A `cp` request runs a full CP-ALS decomposition
+//! through the serving engine — its third field is the iteration budget
+//! rather than a mode. [`synthetic`] generates the acceptance workload: the
+//! paper's four datasets crossed with {SpTTM, SpMTTKRP}, Poisson-ish
+//! arrivals from a seeded splitmix64 stream — fully deterministic for a
+//! given `(requests, seed)` pair.
+
+use fcoo::TensorOp;
+use tensor_core::datasets::DatasetKind;
+
+/// What a request asks the engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOp {
+    /// A single unified-kernel operation (SpTTM / SpMTTKRP / SpTTMc).
+    Tensor(TensorOp),
+    /// A full CP-ALS decomposition (one SpMTTKRP plan per mode).
+    CpAls {
+        /// Maximum ALS iterations.
+        iterations: usize,
+    },
+}
+
+impl ServeOp {
+    /// Short display label, e.g. `SpMTTKRP(mode-2)` or `CP-ALS(5 iters)`.
+    pub fn label(&self) -> String {
+        match self {
+            ServeOp::Tensor(op) => op.label(),
+            ServeOp::CpAls { iterations } => format!("CP-ALS({iterations} iters)"),
+        }
+    }
+}
+
+/// One `tensor` registration line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorSpec {
+    /// Client-facing identifier requests refer to.
+    pub id: String,
+    /// Synthetic dataset family to generate.
+    pub kind: DatasetKind,
+    /// Non-zero budget passed to the generator.
+    pub nnz: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// One `request` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Which registered tensor to operate on.
+    pub tensor_id: String,
+    /// What to run: one unified-kernel operation or a CP-ALS decomposition.
+    pub op: ServeOp,
+    /// Factor-matrix rank.
+    pub rank: usize,
+    /// Simulated arrival time in microseconds.
+    pub arrival_us: f64,
+    /// Seed for the dense factor matrices this request supplies.
+    pub factor_seed: u64,
+}
+
+/// A parsed workload: registrations plus a request trace sorted by arrival.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Workload {
+    /// Tensors to register before serving.
+    pub tensors: Vec<TensorSpec>,
+    /// Requests in arrival order.
+    pub requests: Vec<Request>,
+}
+
+/// Workload parse failure, with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError {
+    /// 1-based line number of the bad line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workload line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+fn parse_kind(name: &str) -> Option<DatasetKind> {
+    Some(match name {
+        "brainq" => DatasetKind::Brainq,
+        "nell2" => DatasetKind::Nell2,
+        "delicious" => DatasetKind::Delicious,
+        "nell1" => DatasetKind::Nell1,
+        "uniform" => DatasetKind::Uniform,
+        _ => return None,
+    })
+}
+
+fn op_fields(op: ServeOp) -> (&'static str, usize) {
+    match op {
+        ServeOp::Tensor(TensorOp::SpTtm { mode }) => ("spttm", mode),
+        ServeOp::Tensor(TensorOp::SpMttkrp { mode }) => ("mttkrp", mode),
+        ServeOp::Tensor(TensorOp::SpTtmc { mode }) => ("ttmc", mode),
+        ServeOp::CpAls { iterations } => ("cp", iterations),
+    }
+}
+
+impl Workload {
+    /// Parses a workload from its text form.
+    pub fn parse(text: &str) -> Result<Workload, WorkloadError> {
+        let mut workload = Workload::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let err = |message: String| WorkloadError { line, message };
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.split_whitespace().collect();
+            match fields[0] {
+                "tensor" => {
+                    if fields.len() != 5 {
+                        return Err(err(format!(
+                            "expected `tensor <id> <kind> <nnz> <seed>`, got {} fields",
+                            fields.len()
+                        )));
+                    }
+                    let kind = parse_kind(fields[2]).ok_or_else(|| {
+                        err(format!(
+                            "unknown dataset kind `{}` (brainq|nell2|delicious|nell1|uniform)",
+                            fields[2]
+                        ))
+                    })?;
+                    let nnz = fields[3]
+                        .parse()
+                        .map_err(|_| err(format!("bad nnz `{}`", fields[3])))?;
+                    let seed = fields[4]
+                        .parse()
+                        .map_err(|_| err(format!("bad seed `{}`", fields[4])))?;
+                    workload.tensors.push(TensorSpec {
+                        id: fields[1].to_string(),
+                        kind,
+                        nnz,
+                        seed,
+                    });
+                }
+                "request" => {
+                    if fields.len() != 7 {
+                        return Err(err(format!(
+                            "expected `request <tensor-id> <op> <mode> <rank> \
+                             <arrival_us> <factor-seed>`, got {} fields",
+                            fields.len()
+                        )));
+                    }
+                    let mode: usize = fields[3]
+                        .parse()
+                        .map_err(|_| err(format!("bad mode `{}`", fields[3])))?;
+                    let op = match fields[2] {
+                        "spttm" => ServeOp::Tensor(TensorOp::SpTtm { mode }),
+                        "mttkrp" => ServeOp::Tensor(TensorOp::SpMttkrp { mode }),
+                        "ttmc" => ServeOp::Tensor(TensorOp::SpTtmc { mode }),
+                        "cp" => ServeOp::CpAls { iterations: mode },
+                        other => {
+                            return Err(err(format!("unknown op `{other}` (spttm|mttkrp|ttmc|cp)")))
+                        }
+                    };
+                    let rank = fields[4]
+                        .parse()
+                        .map_err(|_| err(format!("bad rank `{}`", fields[4])))?;
+                    let arrival_us: f64 = fields[5]
+                        .parse()
+                        .map_err(|_| err(format!("bad arrival `{}`", fields[5])))?;
+                    if !arrival_us.is_finite() || arrival_us < 0.0 {
+                        return Err(err(format!("bad arrival `{}`", fields[5])));
+                    }
+                    let factor_seed = fields[6]
+                        .parse()
+                        .map_err(|_| err(format!("bad factor seed `{}`", fields[6])))?;
+                    workload.requests.push(Request {
+                        tensor_id: fields[1].to_string(),
+                        op,
+                        rank,
+                        arrival_us,
+                        factor_seed,
+                    });
+                }
+                other => return Err(err(format!("unknown directive `{other}` (tensor|request)"))),
+            }
+        }
+        workload
+            .requests
+            .sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us));
+        Ok(workload)
+    }
+
+    /// Renders the workload back to its text form (parse ∘ render = id).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# serve workload\n");
+        for t in &self.tensors {
+            out.push_str(&format!(
+                "tensor {} {} {} {}\n",
+                t.id,
+                t.kind.name(),
+                t.nnz,
+                t.seed
+            ));
+        }
+        for r in &self.requests {
+            let (name, third) = op_fields(r.op);
+            out.push_str(&format!(
+                "request {} {} {} {} {:.3} {}\n",
+                r.tensor_id, name, third, r.rank, r.arrival_us, r.factor_seed
+            ));
+        }
+        out
+    }
+}
+
+/// Deterministic splitmix64 step (the workspace's standard offline PRNG).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in `[0, 1)` from one splitmix64 draw.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generates the acceptance-test workload: the paper's four datasets each
+/// registered once, every (tensor × {SpTTM, SpMTTKRP}) pair exercised, rank
+/// 8, arrivals ~40 µs apart (exponential gaps), factor seeds drawn from a
+/// small pool so same-plan same-factors requests exist for batching. Fully
+/// deterministic in `(requests, seed)`.
+pub fn synthetic(requests: usize, seed: u64) -> Workload {
+    let mut state = seed ^ 0x5e1e_c7a9_0f8e_d00d;
+    let kinds = [
+        (DatasetKind::Brainq, 1200usize),
+        (DatasetKind::Nell2, 1500),
+        (DatasetKind::Delicious, 1500),
+        (DatasetKind::Nell1, 1800),
+    ];
+    let tensors: Vec<TensorSpec> = kinds
+        .iter()
+        .map(|&(kind, nnz)| TensorSpec {
+            id: kind.name().to_string(),
+            kind,
+            nnz,
+            seed: splitmix64(&mut state),
+        })
+        .collect();
+    // 8 plans: each tensor with one SpTTM mode and one SpMTTKRP mode.
+    let mut plans = Vec::new();
+    for spec in &tensors {
+        let m = (splitmix64(&mut state) % 3) as usize;
+        plans.push((
+            spec.id.clone(),
+            ServeOp::Tensor(TensorOp::SpTtm { mode: m }),
+        ));
+        let m = (splitmix64(&mut state) % 3) as usize;
+        plans.push((
+            spec.id.clone(),
+            ServeOp::Tensor(TensorOp::SpMttkrp { mode: m }),
+        ));
+    }
+    let factor_pool: Vec<u64> = (0..6).map(|_| splitmix64(&mut state)).collect();
+    let mut arrival = 0.0f64;
+    let reqs = (0..requests)
+        .map(|_| {
+            let (ref id, op) = plans[(splitmix64(&mut state) % plans.len() as u64) as usize];
+            let factor_seed = factor_pool[(splitmix64(&mut state) % 6) as usize];
+            arrival += -(1.0 - unit(&mut state)).ln() * 40.0;
+            Request {
+                tensor_id: id.clone(),
+                op,
+                rank: 8,
+                arrival_us: arrival,
+                factor_seed,
+            }
+        })
+        .collect();
+    Workload {
+        tensors,
+        requests: reqs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trip() {
+        let w = synthetic(20, 42);
+        let text = w.render();
+        let reparsed = Workload::parse(&text).unwrap();
+        assert_eq!(reparsed.tensors, w.tensors);
+        assert_eq!(reparsed.requests.len(), w.requests.len());
+        for (a, b) in reparsed.requests.iter().zip(&w.requests) {
+            assert_eq!(a.tensor_id, b.tensor_id);
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.factor_seed, b.factor_seed);
+            // Arrivals survive the 3-decimal text round trip to the µs.
+            assert!((a.arrival_us - b.arrival_us).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_batchable() {
+        let a = synthetic(100, 7);
+        let b = synthetic(100, 7);
+        assert_eq!(a, b);
+        let c = synthetic(100, 8);
+        assert_ne!(a, c);
+        // The factor-seed pool guarantees repeated (plan, factors) pairs.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut repeats = 0;
+        for r in &a.requests {
+            if !seen.insert((r.tensor_id.clone(), format!("{:?}", r.op), r.factor_seed)) {
+                repeats += 1;
+            }
+        }
+        assert!(repeats > 0, "no batchable repeats in 100 requests");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_comments_skipped() {
+        let text = "# comment\n\nrequest t mttkrp 0 8 50.0 1\ntensor t nell2 500 3\nrequest t spttm 1 8 10.0 2\n";
+        let w = Workload::parse(text).unwrap();
+        assert_eq!(w.tensors.len(), 1);
+        assert_eq!(w.requests.len(), 2);
+        assert!(w.requests[0].arrival_us <= w.requests[1].arrival_us);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = Workload::parse("tensor t nell2 500 3\nbogus line here\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown directive"));
+        let err = Workload::parse("tensor t fancy 500 3\n").unwrap_err();
+        assert!(err.to_string().contains("unknown dataset kind"));
+        let err = Workload::parse("request t spttm 0 8 -4.0 1\n").unwrap_err();
+        assert!(err.to_string().contains("bad arrival"));
+    }
+}

@@ -92,6 +92,27 @@ fn run(args: &[String]) -> Result<String, String> {
             let rank = parse_rank(rank)?;
             cli::sanitize(&tensor, op, mode, rank).map_err(|e| e.to_string())
         }
+        "workload" => {
+            let [_, requests, seed, out] = args else {
+                return Err("workload needs <requests> <seed> <out.txt>".into());
+            };
+            let requests = parse_usize(requests, "request count")?;
+            let seed = seed
+                .parse::<u64>()
+                .map_err(|_| format!("bad seed `{seed}`"))?;
+            cli::workload_gen(requests, seed, Path::new(out)).map_err(|e| e.to_string())
+        }
+        "serve" => {
+            let mut rest: Vec<&String> = args[1..].iter().collect();
+            let verify = rest.iter().any(|a| a.as_str() == "--verify");
+            rest.retain(|a| a.as_str() != "--verify");
+            let (spec, plan_dir) = match rest.as_slice() {
+                [spec] => (spec, None),
+                [spec, dir] => (spec, Some(Path::new(dir.as_str()))),
+                _ => return Err("serve needs <workload.txt|synthetic:N:SEED> [plan-dir]".into()),
+            };
+            cli::serve(spec, plan_dir, verify).map_err(|e| e.to_string())
+        }
         "help" | "--help" | "-h" => Ok(cli::USAGE.to_string()),
         other => Err(format!("unknown command `{other}`")),
     }

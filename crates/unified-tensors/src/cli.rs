@@ -380,6 +380,63 @@ pub fn sanitize(
     Ok(out)
 }
 
+/// `tensortool workload <requests> <seed> <out.txt>` — write a seeded
+/// synthetic serving workload (4 paper datasets × {SpTTM, SpMTTKRP}).
+pub fn workload_gen(requests: usize, seed: u64, path: &Path) -> Result<String, CliError> {
+    let workload = crate::serve::synthetic(requests, seed);
+    std::fs::write(path, workload.render())
+        .map_err(|e| err(format!("cannot write {}: {e}", path.display())))?;
+    Ok(format!(
+        "wrote {} — {} tensors, {} requests (seed {seed})\n",
+        path.display(),
+        workload.tensors.len(),
+        workload.requests.len(),
+    ))
+}
+
+/// `tensortool serve <workload.txt|synthetic:N:SEED> [plan-dir] [--verify]`
+/// — replay a request workload through the serving engine and report
+/// latency, throughput, cache-hit rate and per-stream utilization.
+pub fn serve(spec: &str, plan_dir: Option<&Path>, verify: bool) -> Result<String, CliError> {
+    let workload = if let Some(rest) = spec.strip_prefix("synthetic:") {
+        let (n, seed) = rest
+            .split_once(':')
+            .ok_or_else(|| err("synthetic spec is synthetic:<requests>:<seed>"))?;
+        let n = n
+            .parse::<usize>()
+            .map_err(|_| err(format!("bad request count `{n}`")))?;
+        let seed = seed
+            .parse::<u64>()
+            .map_err(|_| err(format!("bad seed `{seed}`")))?;
+        crate::serve::synthetic(n, seed)
+    } else {
+        let text =
+            std::fs::read_to_string(spec).map_err(|e| err(format!("cannot open {spec}: {e}")))?;
+        crate::serve::Workload::parse(&text).map_err(|e| err(format!("{spec}: {e}")))?
+    };
+    if let Some(dir) = plan_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| err(format!("cannot create {}: {e}", dir.display())))?;
+    }
+    let config = crate::serve::ServeConfig {
+        plan_dir: plan_dir.map(Path::to_path_buf),
+        verify,
+        ..crate::serve::ServeConfig::default()
+    };
+    let mut engine = crate::serve::ServeEngine::new(config);
+    let report = engine.run(&workload);
+    let mut out = format!(
+        "workload: {} tensors, {} requests\n",
+        workload.tensors.len(),
+        workload.requests.len()
+    );
+    out.push_str(&report.render());
+    if report.verify_failures > 0 {
+        return Err(err(out));
+    }
+    Ok(out)
+}
+
 fn check_mode(tensor: &SparseTensorCoo, mode: usize) -> Result<(), CliError> {
     if mode >= tensor.order() {
         return Err(err(format!(
@@ -406,10 +463,16 @@ USAGE:
   tensortool preprocess <file.tns> <spttm|mttkrp|ttmc> <mode> <out.fcoo>
   tensortool run <file.fcoo> <rank>
   tensortool sanitize <file.tns> <spttm|mttkrp|ttmc> <mode> <rank>
+  tensortool workload <requests> <seed> <out.txt>
+  tensortool serve <workload.txt|synthetic:N:SEED> [plan-dir] [--verify]
 
 Modes are 1-based, matching the paper's notation. `sanitize` lints the
 F-COO invariants and replays the kernel under the memory sanitizer
 (racecheck, out-of-bounds, narration audit); it exits non-zero on findings.
+`serve` replays a request workload (see docs/SERVING.md for the file
+format) through the multi-tenant engine — plan cache, device memory pool,
+multi-stream scheduler — and prints latency/throughput/cache-hit stats;
+with a plan-dir, tuned plans persist across invocations for warm restarts.
 ";
 
 #[cfg(test)]
@@ -524,5 +587,35 @@ mod tests {
     #[test]
     fn sanitize_rejects_unknown_op() {
         assert!(sanitize(&sample(), "zebra", 0, 8).is_err());
+    }
+
+    #[test]
+    fn workload_then_serve_round_trips() {
+        let path = std::env::temp_dir().join("tensortool_test_workload.txt");
+        let message = workload_gen(30, 7, &path).unwrap();
+        assert!(message.contains("30 requests"), "{message}");
+        let text = serve(path.to_str().unwrap(), None, false).unwrap();
+        assert!(text.contains("hit rate"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_plan_dir_warm_restarts() {
+        let dir = std::env::temp_dir().join("tensortool_test_plans");
+        std::fs::remove_dir_all(&dir).ok();
+        let first = serve("synthetic:20:5", Some(&dir), false).unwrap();
+        assert!(first.contains("builds"), "{first}");
+        // A fresh engine finds every plan on disk: no rebuilds.
+        let second = serve("synthetic:20:5", Some(&dir), false).unwrap();
+        assert!(second.contains("0 builds"), "{second}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_specs() {
+        assert!(serve("synthetic:zebra:5", None, false).is_err());
+        assert!(serve("synthetic:20", None, false).is_err());
+        assert!(serve("/nonexistent/workload.txt", None, false).is_err());
     }
 }

@@ -11,6 +11,7 @@
 //! | contribution | [`fcoo`] | F-COO format, unified SpTTM/SpMTTKRP/SpTTMc kernels, tuner |
 //! | algorithms | [`decomp`] | CP-ALS (unified GPU / SPLATT / reference engines), Tucker-HOOI |
 //! | baselines | [`baselines`] | ParTI-GPU, ParTI-OMP, SPLATT-CSF |
+//! | serving | [`serve`] | multi-tenant request engine: plan cache, memory pool, multi-stream scheduler |
 //! | substrates | [`tensor_core`], [`gpu_sim`], [`cpu_par`] | tensors & dense LA, simulated GPU, CPU pool |
 //!
 //! ## Quickstart
@@ -56,6 +57,7 @@ pub use cpu_par;
 pub use decomp;
 pub use fcoo;
 pub use gpu_sim;
+pub use serve;
 pub use tensor_core;
 
 /// The commonly used types and functions in one import.
@@ -71,6 +73,7 @@ pub mod prelude {
         spmttkrp, spttm, spttmc, DeviceMatrix, Fcoo, FcooDevice, LaunchConfig, TensorOp,
     };
     pub use gpu_sim::{DeviceConfig, GpuDevice, KernelStats};
+    pub use serve::{ServeConfig, ServeEngine, ServeReport, Workload};
     pub use tensor_core::datasets::{self, DatasetInfo, DatasetKind};
     pub use tensor_core::{DenseMatrix, SemiSparseTensor, SparseTensorCoo};
 }

@@ -1,0 +1,149 @@
+//! Acceptance tests for the serving subsystem: a 1k-request mixed workload
+//! (4 synthetic datasets × {SpTTM, SpMTTKRP}, fixed seed) must finish with a
+//! ≥ 90% plan-cache hit rate after warm-up, pooled device memory bounded by
+//! the simulated Titan X capacity (jobs queue instead of failing), reported
+//! p50/p99 latency and per-stream utilization, and every result bit-exact
+//! against the one-shot API.
+
+use unified_tensors::prelude::*;
+use unified_tensors::serve;
+
+#[test]
+fn thousand_request_mixed_workload_meets_the_bar() {
+    let workload = serve::synthetic(1_000, 2017);
+    let mut engine = ServeEngine::new(ServeConfig {
+        verify: true,
+        ..ServeConfig::default()
+    });
+    let report = engine.run(&workload);
+
+    assert_eq!(
+        report.requests.len() + report.rejections.len(),
+        1_000,
+        "every request is accounted for"
+    );
+    assert!(
+        report.rejections.is_empty(),
+        "memory pressure must queue, not reject: {:?}",
+        report.rejections
+    );
+    assert!(
+        report.hit_rate() >= 0.90,
+        "plan-cache hit rate {:.3} below 0.90",
+        report.hit_rate()
+    );
+    for (device, &peak) in report.peak_bytes.iter().enumerate() {
+        assert!(
+            peak <= report.capacity_bytes,
+            "device {device} peak {peak} exceeded capacity {}",
+            report.capacity_bytes
+        );
+    }
+    assert!(report.verified > 0, "verify mode checked nothing");
+    assert_eq!(
+        report.verify_failures, 0,
+        "served results drifted from the one-shot API"
+    );
+
+    let latency = report.latency();
+    assert!(latency.p50_us > 0.0 && latency.p50_us <= latency.p99_us);
+    assert!(latency.p99_us <= latency.max_us);
+    assert!(report.makespan_us > 0.0);
+    assert_eq!(report.utilizations.len(), 1);
+    assert_eq!(report.utilizations[0].len(), 2);
+    assert!(
+        report.utilizations[0].iter().any(|&u| u > 0.0),
+        "no stream did any work"
+    );
+    let rendered = report.render();
+    for needle in ["hit rate", "p50", "p99", "busy", "peak"] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle} in:\n{rendered}"
+        );
+    }
+}
+
+#[test]
+fn schedules_are_deterministic_under_a_fixed_seed() {
+    let workload = serve::synthetic(300, 77);
+    let run = |_: usize| {
+        let mut engine = ServeEngine::new(ServeConfig::default());
+        engine.run(&workload)
+    };
+    let first = run(0);
+    let second = run(1);
+    assert_eq!(
+        first.requests, second.requests,
+        "same seed must reproduce placements and latencies exactly"
+    );
+    assert_eq!(first.makespan_us, second.makespan_us);
+    assert_eq!(first.utilizations, second.utilizations);
+}
+
+#[test]
+fn multi_device_runs_spread_plans_across_devices() {
+    let workload = serve::synthetic(200, 5);
+    let mut engine = ServeEngine::new(ServeConfig {
+        devices: 2,
+        ..ServeConfig::default()
+    });
+    let report = engine.run(&workload);
+    assert!(report.rejections.is_empty());
+    assert_eq!(report.utilizations.len(), 2);
+    let used: std::collections::BTreeSet<usize> =
+        report.requests.iter().map(|r| r.device).collect();
+    assert_eq!(
+        used.len(),
+        2,
+        "plan affinity should use both devices: {used:?}"
+    );
+    // Affinity is per plan: every request of one plan stays on one device,
+    // so batched results never need cross-device copies.
+    let mut by_plan: std::collections::BTreeMap<(String, String), usize> =
+        std::collections::BTreeMap::new();
+    for r in &report.requests {
+        let slot = by_plan
+            .entry((r.tensor_id.clone(), r.op.label()))
+            .or_insert(r.device);
+        assert_eq!(*slot, r.device, "plan moved between devices");
+    }
+}
+
+#[test]
+fn serving_is_bit_exact_with_the_one_shot_api() {
+    // Direct spot-check through the exported reference helper, independent
+    // of the engine's built-in verify pass.
+    let workload = serve::synthetic(50, 11);
+    let mut engine = ServeEngine::new(ServeConfig {
+        verify: true,
+        ..ServeConfig::default()
+    });
+    let report = engine.run(&workload);
+    assert!(report.verified > 0);
+    assert_eq!(report.verify_failures, 0);
+    // Checksums of batched requests equal their full-execution twin.
+    for r in report.requests.iter().filter(|r| r.batched) {
+        let twin = report
+            .requests
+            .iter()
+            .find(|t| {
+                !t.batched
+                    && t.tensor_id == r.tensor_id
+                    && t.op == r.op
+                    && t.rank == r.rank
+                    && t.checksum == r.checksum
+            })
+            .or_else(|| {
+                report
+                    .requests
+                    .iter()
+                    .find(|t| !t.batched && t.checksum == r.checksum)
+            });
+        assert!(
+            twin.is_some(),
+            "batched request {:?} has no source result",
+            r.index
+        );
+    }
+}
