@@ -46,6 +46,16 @@ impl BitFlags {
         }
     }
 
+    /// Wraps pre-packed bytes as a flag array of `len` flags, without
+    /// masking the padding bits of the final byte. [`BitFlags::new`] + `set`
+    /// can never produce a stray padding bit, so this is how tests and
+    /// corruption tooling construct the adversarial inputs the sanitizer's
+    /// padded-partition lint must reject.
+    pub fn from_bytes(bytes: Vec<u8>, len: usize) -> Self {
+        assert_eq!(bytes.len(), len.div_ceil(8), "byte count must match len");
+        BitFlags { bits: bytes, len }
+    }
+
     /// Number of flags.
     pub fn len(&self) -> usize {
         self.len

@@ -56,5 +56,5 @@ pub use kernels::{spmttkrp, spttm, spttmc, spttmc_norder, LaunchConfig};
 pub use modes::{ModeClassification, TensorOp};
 pub use multi::{spmttkrp_multi_gpu, MultiGpuStats};
 pub use serialize::{read_fcoo, write_fcoo, DecodeError};
-pub use tune::{tune, TunePoint, TuneResult, BLOCK_SIZES, THREADLENS};
+pub use tune::{tune, tune_with_filter, TunePoint, TuneResult, BLOCK_SIZES, THREADLENS};
 pub use two_step::{spmttkrp_two_step_unified, TwoStepOutcome};

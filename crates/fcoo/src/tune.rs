@@ -36,6 +36,9 @@ pub struct TuneResult {
     pub surface: Vec<TunePoint>,
     /// The fastest configuration.
     pub best: TunePoint,
+    /// `(block_size, threadlen)` pairs the keep-filter removed before any
+    /// launch was simulated (empty for unfiltered [`tune`]).
+    pub pruned: Vec<(usize, usize)>,
 }
 
 impl TuneResult {
@@ -57,6 +60,28 @@ pub fn tune(
     block_sizes: Option<&[usize]>,
     threadlens: Option<&[usize]>,
 ) -> TuneResult {
+    tune_with_filter(device, tensor, op, rank, block_sizes, threadlens, |_, _| {
+        true
+    })
+}
+
+/// [`tune`], but consulting `keep(&fcoo, block_size)` before each trial
+/// launch. Pairs the filter rejects are recorded in
+/// [`TuneResult::pruned`] and never simulated — the hook the static
+/// analyzer uses to drop refuted or provably-dominated configurations from
+/// the sweep (same winner, strictly fewer launches).
+///
+/// The preprocessed [`Fcoo`] is handed to the filter so it can reason about
+/// the real partition count of each threadlen, not just the header.
+pub fn tune_with_filter(
+    device: &GpuDevice,
+    tensor: &SparseTensorCoo,
+    op: TensorOp,
+    rank: usize,
+    block_sizes: Option<&[usize]>,
+    threadlens: Option<&[usize]>,
+    keep: impl Fn(&Fcoo, usize) -> bool,
+) -> TuneResult {
     let block_sizes = block_sizes.unwrap_or(&BLOCK_SIZES);
     let threadlens = threadlens.unwrap_or(&THREADLENS);
     let factors: Vec<DenseMatrix> = tensor
@@ -66,12 +91,27 @@ pub fn tune(
         .map(|(m, &size)| DenseMatrix::random(size, rank, 1000 + m as u64))
         .collect();
     let mut surface = Vec::with_capacity(block_sizes.len() * threadlens.len());
+    let mut pruned = Vec::new();
     for &threadlen in threadlens {
         // F-COO preprocessing depends on threadlen but not on block size.
         let fcoo = Fcoo::from_coo(tensor, op, threadlen);
+        let kept: Vec<usize> = block_sizes
+            .iter()
+            .copied()
+            .filter(|&block_size| {
+                let keep_it = keep(&fcoo, block_size);
+                if !keep_it {
+                    pruned.push((block_size, threadlen));
+                }
+                keep_it
+            })
+            .collect();
+        if kept.is_empty() {
+            continue;
+        }
         let fcoo_dev = FcooDevice::upload(device.memory(), &fcoo)
             .expect("tuning tensor must fit on the device");
-        for &block_size in block_sizes {
+        for block_size in kept {
             let cfg = LaunchConfig::with_block_size(block_size);
             let time_us = run_once(device, &fcoo_dev, &factors, &cfg);
             surface.push(TunePoint {
@@ -84,9 +124,13 @@ pub fn tune(
     let best = surface
         .iter()
         .min_by(|a, b| a.time_us.total_cmp(&b.time_us))
-        .expect("tuning grids must be non-empty")
+        .expect("the filter must keep at least one tuning configuration")
         .clone();
-    TuneResult { surface, best }
+    TuneResult {
+        surface,
+        best,
+        pruned,
+    }
 }
 
 fn run_once(

@@ -44,6 +44,7 @@ pub mod record;
 pub mod scan;
 pub mod stats;
 pub mod streams;
+pub mod symbolic;
 
 pub use config::DeviceConfig;
 pub use device_scan::{segmented_scan_device, DeviceScan};
@@ -52,3 +53,4 @@ pub use memory::{DeviceBuffer, DeviceMemory, OutOfMemory};
 pub use record::{AccessKind, AccessLog, BlockRecord, Event, LaunchRecord};
 pub use stats::{BlockStats, KernelStats};
 pub use streams::Timeline;
+pub use symbolic::{AffineLaneAccess, RangeAccess};

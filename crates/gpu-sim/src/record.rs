@@ -103,15 +103,18 @@ pub struct Event {
     pub kind: AccessKind,
     /// Warp the access belongs to (warp-granular: lanes are not separated).
     pub warp: u32,
-    /// Barrier epoch within the warp: the number of `syncthreads` calls the
-    /// warp had made when the event fired. Warps of one block executing SPMD
-    /// code hit the same barriers, so equal epochs mean "between the same
-    /// pair of barriers".
+    /// Sync epoch within the warp: the number of sync events (`syncthreads`
+    /// barriers *and* `adjacent_sync` waits) the warp had passed when the
+    /// event fired. Warps of one block executing SPMD code hit the same sync
+    /// sequence, so equal epochs mean "between the same pair of syncs" and
+    /// differing epochs mean an intervening sync separates the accesses.
     pub epoch: u32,
-    /// True once the block has performed its `adjacent_sync` wait: events
-    /// after it are ordered behind every event of linearly-earlier blocks
-    /// (StreamScan domino, paper §IV-D).
-    pub after_adjacent: bool,
+    /// How many `adjacent_sync` waits the block had completed when the event
+    /// fired. Block-scoped (never reset per warp): events of block `b` at
+    /// adjacent epoch `k` are ordered behind events of a linearly-earlier
+    /// block at adjacent epoch `j` exactly when `k > j` — each wait rides one
+    /// round of the StreamScan domino (paper §IV-D).
+    pub adjacent_epoch: u32,
 }
 
 /// All events of one thread block, in program order.
@@ -163,7 +166,7 @@ struct Recorder {
     warp: u32,
     epoch: u32,
     warp_started: bool,
-    after_adjacent: bool,
+    adjacent_epoch: u32,
 }
 
 thread_local! {
@@ -181,7 +184,7 @@ pub(crate) fn begin_block(block: usize) {
             warp: 0,
             epoch: 0,
             warp_started: false,
-            after_adjacent: false,
+            adjacent_epoch: 0,
         });
     });
 }
@@ -211,7 +214,7 @@ pub(crate) fn on_access(kind: AccessKind, addr: u64, bytes: u32) {
             kind,
             warp: recorder.warp,
             epoch: recorder.epoch,
-            after_adjacent: recorder.after_adjacent,
+            adjacent_epoch: recorder.adjacent_epoch,
         });
     });
 }
@@ -227,14 +230,14 @@ pub(crate) fn on_access_batch(kind: AccessKind, addrs: &[u64], bytes: u32) {
                 kind,
                 warp: recorder.warp,
                 epoch: recorder.epoch,
-                after_adjacent: recorder.after_adjacent,
+                adjacent_epoch: recorder.adjacent_epoch,
             });
         }
     });
 }
 
-/// Advances to the next warp (resets the barrier epoch — warps of a block
-/// run the same barrier sequence).
+/// Advances to the next warp (resets the sync epoch — warps of a block run
+/// the same sync sequence; the adjacent epoch is block-scoped and persists).
 pub(crate) fn on_begin_warp() {
     with_recorder(|recorder| {
         if recorder.warp_started {
@@ -246,14 +249,19 @@ pub(crate) fn on_begin_warp() {
     });
 }
 
-/// Advances the current warp's barrier epoch.
+/// Advances the current warp's sync epoch (a `syncthreads` barrier).
 pub(crate) fn on_syncthreads() {
     with_recorder(|recorder| recorder.epoch += 1);
 }
 
-/// Marks that the block completed its adjacent-synchronization wait.
+/// Records a completed adjacent-synchronization wait: it both advances the
+/// warp's sync epoch (it is an intervening sync event for intra-block
+/// ordering) and the block's adjacent epoch (one domino round).
 pub(crate) fn on_adjacent_sync() {
-    with_recorder(|recorder| recorder.after_adjacent = true);
+    with_recorder(|recorder| {
+        recorder.epoch += 1;
+        recorder.adjacent_epoch += 1;
+    });
 }
 
 #[cfg(test)]
@@ -277,10 +285,12 @@ mod tests {
         assert_eq!((record.events[0].warp, record.events[0].epoch), (0, 0));
         assert_eq!((record.events[1].warp, record.events[1].epoch), (0, 0));
         assert_eq!((record.events[2].warp, record.events[2].epoch), (0, 1));
-        // Second begin_warp resets the epoch and bumps the warp.
-        assert_eq!((record.events[3].warp, record.events[3].epoch), (1, 0));
-        assert!(!record.events[2].after_adjacent);
-        assert!(record.events[3].after_adjacent);
+        // Second begin_warp resets the sync epoch and bumps the warp; the
+        // adjacent_sync then counts as one sync event and one domino round.
+        assert_eq!((record.events[3].warp, record.events[3].epoch), (1, 1));
+        assert_eq!(record.events[2].adjacent_epoch, 0);
+        assert_eq!(record.events[3].adjacent_epoch, 1);
+        assert_eq!(record.events[4].adjacent_epoch, 1);
         // No recorder installed anymore: events are dropped silently.
         on_access(AccessKind::FunctionalRead, 0x500, 4);
         assert!(end_block().is_none());

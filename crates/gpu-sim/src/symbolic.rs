@@ -1,0 +1,223 @@
+//! Symbolic warp-access expressions for static coalescing analysis.
+//!
+//! The dynamic side of the simulator ([`crate::coalesce`]) counts the
+//! transactions of one *concrete* warp access. This module answers the same
+//! question **before any launch exists**: a kernel's address expressions are
+//! abstracted into two shapes — a contiguous byte range ([`RangeAccess`],
+//! what the F-COO streaming reads produce) and a per-lane affine expression
+//! ([`AffineLaneAccess`], `addr(lane) = base + lane · stride`, what strided
+//! gathers produce) — whose transaction counts are evaluated over a
+//! *symbolic* base address.
+//!
+//! Only the base is symbolic: every buffer in the simulator is allocated
+//! element-aligned, so the base ranges over the element-aligned offsets
+//! within one transaction segment. That set is tiny (≤ 8 offsets for 4-byte
+//! elements and 32-byte sectors), which lets the worst case be computed
+//! *exactly* by enumeration — each enumerated case is scored with the very
+//! same [`crate::coalesce::transactions`] the timing model uses, so a static
+//! "proved coalesced" can never disagree with a dynamic replay.
+
+use crate::coalesce::transactions;
+
+/// A contiguous warp-wide read of `bytes` starting at a symbolic
+/// (element-aligned) base — the shape of the F-COO value/index/flag streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeAccess {
+    /// Length of the range in bytes.
+    pub bytes: usize,
+    /// Alignment guarantee of the symbolic base, in bytes (element size).
+    pub align_bytes: usize,
+}
+
+impl RangeAccess {
+    /// A range of `bytes` whose base is aligned to `align_bytes`.
+    pub fn new(bytes: usize, align_bytes: usize) -> Self {
+        assert!(align_bytes > 0, "alignment must be positive");
+        RangeAccess { bytes, align_bytes }
+    }
+
+    /// Minimum transactions any base admits: the aligned cover of the range.
+    pub fn ideal_transactions(&self, segment_bytes: usize) -> usize {
+        self.bytes.div_ceil(segment_bytes)
+    }
+
+    /// Exact worst case over all aligned bases: the range starts as late as
+    /// possible within its first segment.
+    pub fn max_transactions(&self, segment_bytes: usize) -> usize {
+        if self.bytes == 0 {
+            return 0;
+        }
+        let worst_offset = segment_bytes - self.align_bytes.min(segment_bytes);
+        (worst_offset + self.bytes - 1) / segment_bytes + 1
+    }
+
+    /// True when even the worst-case base costs at most one extra transaction
+    /// over the aligned ideal — the classic definition of a coalesced stream.
+    pub fn is_coalesced(&self, segment_bytes: usize) -> bool {
+        self.max_transactions(segment_bytes) <= self.ideal_transactions(segment_bytes) + 1
+    }
+}
+
+/// A warp gather whose lane addresses are affine in the lane index:
+/// `addr(lane) = base + lane · stride_bytes`, with `base` symbolic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffineLaneAccess {
+    /// Per-lane address stride in bytes.
+    pub stride_bytes: u64,
+    /// Bytes each lane reads.
+    pub elem_bytes: u32,
+    /// Number of participating lanes (≤ warp width).
+    pub lanes: u32,
+}
+
+impl AffineLaneAccess {
+    /// The contiguous pattern: lane strides equal the element size.
+    pub fn contiguous(elem_bytes: u32, lanes: u32) -> Self {
+        AffineLaneAccess {
+            stride_bytes: elem_bytes as u64,
+            elem_bytes,
+            lanes,
+        }
+    }
+
+    /// An arbitrary affine stride.
+    pub fn strided(stride_bytes: u64, elem_bytes: u32, lanes: u32) -> Self {
+        AffineLaneAccess {
+            stride_bytes,
+            elem_bytes,
+            lanes,
+        }
+    }
+
+    /// The concrete lane addresses for a given base assignment.
+    pub fn addrs(&self, base: u64) -> Vec<u64> {
+        (0..self.lanes as u64)
+            .map(|lane| base + lane * self.stride_bytes)
+            .collect()
+    }
+
+    /// Transactions for one concrete base — scored by the dynamic model's
+    /// own [`transactions`] so static and dynamic counts cannot diverge.
+    pub fn transactions_at(&self, base: u64, segment_bytes: usize) -> usize {
+        transactions(&self.addrs(base), segment_bytes)
+    }
+
+    /// Minimum transactions for this many lanes of useful bytes.
+    pub fn ideal_transactions(&self, segment_bytes: usize) -> usize {
+        let useful = self.lanes as usize * self.elem_bytes as usize;
+        useful.div_ceil(segment_bytes).max(usize::from(useful > 0))
+    }
+
+    /// Exact worst case over every element-aligned base, by enumerating the
+    /// base's offset within one transaction segment.
+    pub fn max_transactions(&self, segment_bytes: usize) -> usize {
+        self.base_offsets(segment_bytes)
+            .map(|offset| self.transactions_at(offset, segment_bytes))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A base offset (within one segment) that attains
+    /// [`AffineLaneAccess::max_transactions`] — the concrete half of a
+    /// refutation counterexample.
+    pub fn worst_base_offset(&self, segment_bytes: usize) -> u64 {
+        self.base_offsets(segment_bytes)
+            .max_by_key(|&offset| self.transactions_at(offset, segment_bytes))
+            .unwrap_or(0)
+    }
+
+    /// Worst-case efficiency: ideal over worst-case transactions, in (0, 1].
+    pub fn worst_case_efficiency(&self, segment_bytes: usize) -> f64 {
+        let max = self.max_transactions(segment_bytes);
+        if max == 0 {
+            return 1.0;
+        }
+        self.ideal_transactions(segment_bytes) as f64 / max as f64
+    }
+
+    /// True when even the worst-case base costs at most one transaction over
+    /// the ideal.
+    pub fn is_coalesced(&self, segment_bytes: usize) -> bool {
+        self.max_transactions(segment_bytes) <= self.ideal_transactions(segment_bytes) + 1
+    }
+
+    fn base_offsets(&self, segment_bytes: usize) -> impl Iterator<Item = u64> + '_ {
+        let step = (self.elem_bytes as usize).max(1);
+        (0..segment_bytes.max(1)).step_by(step).map(|o| o as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_warp_read_is_coalesced_worst_case() {
+        // 32 f32 lanes: aligned base → 4 transactions, worst base → 5.
+        let access = AffineLaneAccess::contiguous(4, 32);
+        assert_eq!(access.ideal_transactions(32), 4);
+        assert_eq!(access.transactions_at(0, 32), 4);
+        assert_eq!(access.max_transactions(32), 5);
+        assert!(access.is_coalesced(32));
+    }
+
+    #[test]
+    fn wide_stride_is_refuted_for_every_base() {
+        // 128-byte stride: every lane lands in its own segment regardless of
+        // alignment, matching coalesce::strided_lanes_do_not_coalesce.
+        let access = AffineLaneAccess::strided(128, 4, 32);
+        assert_eq!(access.max_transactions(32), 32);
+        assert!(!access.is_coalesced(32));
+        assert!(access.worst_case_efficiency(32) <= 0.125);
+    }
+
+    #[test]
+    fn worst_base_offset_attains_the_maximum() {
+        for stride in [4u64, 8, 12, 16, 40, 64] {
+            let access = AffineLaneAccess::strided(stride, 4, 32);
+            let offset = access.worst_base_offset(32);
+            assert_eq!(
+                access.transactions_at(offset, 32),
+                access.max_transactions(32),
+                "stride {stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_counts_agree_with_dynamic_transactions() {
+        // The symbolic worst case must dominate every concrete base the
+        // dynamic model could ever see (bases are element-aligned).
+        for stride in [4u64, 8, 24, 32, 48] {
+            let access = AffineLaneAccess::strided(stride, 4, 32);
+            let worst = access.max_transactions(32);
+            for base in (0..256u64).step_by(4) {
+                let dynamic = transactions(&access.addrs(0x1000 + base), 32);
+                assert!(dynamic <= worst, "stride {stride} base {base}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_stream_is_always_coalesced() {
+        for bytes in [1usize, 4, 31, 32, 100, 4096] {
+            let range = RangeAccess::new(bytes, 4);
+            assert!(range.is_coalesced(32), "{bytes} bytes");
+            assert!(range.max_transactions(32) <= range.ideal_transactions(32) + 1);
+        }
+        // An aligned range has no slack at all.
+        let aligned = RangeAccess::new(128, 32);
+        assert_eq!(aligned.max_transactions(32), 4);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(RangeAccess::new(0, 4).max_transactions(32), 0);
+        let none = AffineLaneAccess::contiguous(4, 0);
+        assert_eq!(none.max_transactions(32), 0);
+        assert!((none.worst_case_efficiency(32) - 1.0).abs() < 1e-12);
+        let one = AffineLaneAccess::strided(4096, 4, 1);
+        assert_eq!(one.max_transactions(32), 1);
+        assert!(one.is_coalesced(32));
+    }
+}

@@ -107,7 +107,7 @@ mod tests {
             kind,
             warp: 0,
             epoch: 0,
-            after_adjacent: false,
+            adjacent_epoch: 0,
         }
     }
 

@@ -16,7 +16,14 @@
 //!    partition's first non-zero is a segment head";
 //! 6. `partition_first_segment[p]` counts the heads before the partition
 //!    (so it is monotone and ends consistent with the total);
-//! 7. every stored coordinate is inside the tensor shape.
+//! 7. every stored coordinate is inside the tensor shape;
+//! 8. the packed padding bits past the last real flag are clear. When
+//!    `nnz % threadlen != 0` the final partition is padded — the kernels'
+//!    segment walk clamps to `nnz`, but the start-flag of a *subsequent*
+//!    launch config or a `count_ones`-based consumer would observe ghost
+//!    segment heads if stray bits sat beyond `nnz` (in `bf`) or beyond the
+//!    partition count (in `sf`). Flag construction via `set` cannot produce
+//!    them; serialization or hand-built flags can.
 
 use crate::{Finding, Pass, Report, Severity};
 use fcoo::Fcoo;
@@ -205,7 +212,34 @@ pub fn check_fcoo(fcoo: &Fcoo) -> Report {
         }
     }
 
+    // 8. Padding bits of the final (padded) partition's packed flags.
+    padding_clear(&mut report, "bf", fcoo.bf.bytes(), nnz);
+    padding_clear(&mut report, "sf", fcoo.sf.bytes(), partitions);
+
     report
+}
+
+/// Checks that the packed bits beyond flag `len` in the final byte of
+/// `bytes` are clear: a stray bit there is a ghost segment head inside the
+/// padded tail of the final partition.
+fn padding_clear(report: &mut Report, what: &str, bytes: &[u8], len: usize) {
+    if len.is_multiple_of(8) {
+        return;
+    }
+    let Some(&last) = bytes.last() else {
+        return;
+    };
+    let stray = last & (!0u8 << (len % 8));
+    if stray != 0 {
+        error(
+            report,
+            format!(
+                "{what} has set padding bits ({stray:#04x}) beyond its last flag (index {}): \
+                 ghost segment heads in the padded final partition",
+                len - 1
+            ),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +336,62 @@ mod tests {
                 .any(|f| f.message.contains("partition_first_segment[2]")),
             "{report}"
         );
+    }
+
+    #[test]
+    fn padding_bit_in_final_bf_byte_is_rejected() {
+        // 23 nnz, threadlen 4: the final partition holds 3 live non-zeros,
+        // and bf's last byte has one padding bit (bit 23). Setting it is
+        // invisible to every indexed get() but corrupts count_ones-style
+        // consumers — exactly the boundary the lint must cover.
+        let mut fcoo = Fcoo::from_coo(&sample_tensor(), TensorOp::SpMttkrp { mode: 0 }, 4);
+        assert_eq!(fcoo.nnz() % fcoo.threadlen, 3);
+        let mut bytes = fcoo.bf.bytes().to_vec();
+        *bytes.last_mut().expect("bf bytes") |= 1 << (fcoo.nnz() % 8);
+        fcoo.bf = fcoo::BitFlags::from_bytes(bytes, fcoo.nnz());
+        let report = check_fcoo(&fcoo);
+        assert!(report.error_count() > 0, "{report}");
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("bf has set padding bits")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn padding_bit_in_final_sf_byte_is_rejected() {
+        // 23 nnz, threadlen 4 → 6 partitions, so sf's last byte has two
+        // padding bits. Set the topmost one.
+        let mut fcoo = Fcoo::from_coo(&sample_tensor(), TensorOp::SpTtm { mode: 2 }, 4);
+        let partitions = fcoo.partitions();
+        assert_eq!(partitions, 6);
+        let mut bytes = fcoo.sf.bytes().to_vec();
+        *bytes.last_mut().expect("sf bytes") |= 1 << 7;
+        fcoo.sf = fcoo::BitFlags::from_bytes(bytes, partitions);
+        let report = check_fcoo(&fcoo);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("sf has set padding bits")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn byte_aligned_flags_have_no_padding_to_check() {
+        // 24 nnz, threadlen 3 → bf len 24 and sf len 8, both byte-aligned:
+        // the padding check must not fire on the (non-existent) tail.
+        let mut tensor = SparseTensorCoo::new(vec![4, 5, 6]);
+        for nz in 0..24u32 {
+            tensor.push(&[nz % 4, (nz * 7) % 5, (nz * 3) % 6], nz as f32 + 1.0);
+        }
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 1 }, 3);
+        assert_eq!(fcoo.nnz() % 8, 0);
+        assert_eq!(fcoo.partitions() % 8, 0);
+        assert!(check_fcoo(&fcoo).is_clean());
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub enum Pass {
     NarrationAudit,
     /// F-COO structural invariant violation ([`fcoo_lint`]).
     FcooLint,
+    /// Statically refuted or unprovable launch property (emitted by the
+    /// `analyzer` crate's symbolic interpreter; shares this report type so
+    /// static and dynamic findings merge into one stream).
+    Symbolic,
 }
 
 impl std::fmt::Display for Pass {
@@ -70,6 +74,7 @@ impl std::fmt::Display for Pass {
             Pass::Oob => "oob",
             Pass::NarrationAudit => "narration-audit",
             Pass::FcooLint => "fcoo-lint",
+            Pass::Symbolic => "symbolic",
         })
     }
 }

@@ -85,7 +85,7 @@ mod tests {
             kind: AccessKind::NarratedRead,
             warp: 0,
             epoch: 0,
-            after_adjacent: false,
+            adjacent_epoch: 0,
         }
     }
 

@@ -11,12 +11,20 @@
 //! them:
 //!
 //! * same block, same warp — program order (one warp executes in order);
-//! * same block, different warps — ordered iff their barrier epochs differ
-//!   (the kernels are SPMD, so epoch `n` in one warp and epoch `n` in
-//!   another lie between the same pair of `__syncthreads()`);
-//! * different blocks — unordered, except that events *after* a block's
-//!   `adjacent_sync` wait are ordered behind everything done by
-//!   linearly-earlier blocks (the StreamScan domino of paper §IV-D).
+//! * same block, different warps — ordered iff their sync epochs differ.
+//!   The epoch counts **every** sync event the warp passed — `syncthreads`
+//!   barriers *and* `adjacent_sync` waits — so on fused kernels an
+//!   adjacent-sync between two accesses is recognized as an intervening
+//!   sync instead of false-positing a race. The kernels are SPMD, so epoch
+//!   `n` in one warp and epoch `n` in another lie between the same pair of
+//!   sync events; equal epochs mean no intervening sync.
+//! * different blocks — unordered, except the StreamScan domino (paper
+//!   §IV-D): an event of block `b` at adjacent epoch `k` is ordered behind
+//!   an event of a linearly-earlier block at adjacent epoch `j` exactly
+//!   when `k > j`. Each completed wait rides one domino round, so a later
+//!   block is only ordered behind what earlier blocks did *before* the
+//!   signal its wait observed — work an earlier block does after signalling
+//!   still races with the later block's post-wait accesses.
 //!
 //! Both-atomic conflicts are synchronized by the hardware. An atomic racing
 //! a plain read is reported as a warning (the read may observe a partial
@@ -46,7 +54,7 @@ struct Ctx {
     block: usize,
     warp: u32,
     epoch: u32,
-    after_adjacent: bool,
+    adjacent_epoch: u32,
     touch: Touch,
 }
 
@@ -58,9 +66,9 @@ fn ordered(a: &Ctx, b: &Ctx) -> bool {
         }
         a.epoch != b.epoch
     } else if a.block < b.block {
-        b.after_adjacent
+        b.adjacent_epoch > a.adjacent_epoch
     } else {
-        a.after_adjacent
+        a.adjacent_epoch > b.adjacent_epoch
     }
 }
 
@@ -70,10 +78,10 @@ fn describe(c: &Ctx) -> String {
         Touch::Write => "write",
         Touch::Atomic => "atomic",
     };
-    let adj = if c.after_adjacent {
-        ", post-adjacent-sync"
+    let adj = if c.adjacent_epoch > 0 {
+        format!(", adjacent round {}", c.adjacent_epoch)
     } else {
-        ""
+        String::new()
     };
     format!(
         "{touch} by block {} warp {} epoch {}{adj}",
@@ -98,7 +106,7 @@ pub fn check(log: &AccessLog) -> Report {
                     block: block.block,
                     warp: event.warp,
                     epoch: event.epoch,
-                    after_adjacent: event.after_adjacent,
+                    adjacent_epoch: event.adjacent_epoch,
                     touch,
                 };
                 let entry = contexts.entry(event.addr).or_default();
@@ -158,14 +166,14 @@ mod tests {
     use super::*;
     use gpu_sim::record::{BlockRecord, Event, LaunchRecord};
 
-    fn event(kind: AccessKind, addr: u64, warp: u32, epoch: u32, adj: bool) -> Event {
+    fn event(kind: AccessKind, addr: u64, warp: u32, epoch: u32, adj: u32) -> Event {
         Event {
             addr,
             bytes: 4,
             kind,
             warp,
             epoch,
-            after_adjacent: adj,
+            adjacent_epoch: adj,
         }
     }
 
@@ -185,11 +193,11 @@ mod tests {
         let log = launch(vec![
             BlockRecord {
                 block: 0,
-                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, 0)],
             },
             BlockRecord {
                 block: 1,
-                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, 0)],
             },
         ]);
         let report = check(&log);
@@ -202,11 +210,11 @@ mod tests {
         let log = launch(vec![
             BlockRecord {
                 block: 0,
-                events: vec![event(AccessKind::FunctionalAtomic, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::FunctionalAtomic, 0x100, 0, 0, 0)],
             },
             BlockRecord {
                 block: 1,
-                events: vec![event(AccessKind::FunctionalAtomic, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::FunctionalAtomic, 0x100, 0, 0, 0)],
             },
         ]);
         assert!(check(&log).is_clean());
@@ -217,11 +225,11 @@ mod tests {
         let log = launch(vec![
             BlockRecord {
                 block: 0,
-                events: vec![event(AccessKind::FunctionalAtomic, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::FunctionalAtomic, 0x100, 0, 0, 0)],
             },
             BlockRecord {
                 block: 1,
-                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 0, 0)],
             },
         ]);
         let report = check(&log);
@@ -235,8 +243,8 @@ mod tests {
         let log = launch(vec![BlockRecord {
             block: 0,
             events: vec![
-                event(AccessKind::FunctionalWrite, 0x100, 0, 0, false),
-                event(AccessKind::FunctionalRead, 0x100, 0, 0, false),
+                event(AccessKind::FunctionalWrite, 0x100, 0, 0, 0),
+                event(AccessKind::FunctionalRead, 0x100, 0, 0, 0),
             ],
         }]);
         assert!(check(&log).is_clean());
@@ -249,16 +257,16 @@ mod tests {
         let synced = launch(vec![BlockRecord {
             block: 0,
             events: vec![
-                event(AccessKind::FunctionalWrite, 0x100, 0, 0, false),
-                event(AccessKind::FunctionalRead, 0x100, 1, 1, false),
+                event(AccessKind::FunctionalWrite, 0x100, 0, 0, 0),
+                event(AccessKind::FunctionalRead, 0x100, 1, 1, 0),
             ],
         }]);
         assert!(check(&synced).is_clean());
         let racy = launch(vec![BlockRecord {
             block: 0,
             events: vec![
-                event(AccessKind::FunctionalWrite, 0x100, 0, 0, false),
-                event(AccessKind::FunctionalRead, 0x100, 1, 0, false),
+                event(AccessKind::FunctionalWrite, 0x100, 0, 0, 0),
+                event(AccessKind::FunctionalRead, 0x100, 1, 0, 0),
             ],
         }]);
         assert_eq!(check(&racy).error_count(), 1);
@@ -266,32 +274,77 @@ mod tests {
 
     #[test]
     fn adjacent_sync_orders_later_blocks_after_earlier() {
-        // Block 1's post-adjacent read of what block 0 wrote is the fusion
-        // domino — ordered. Without the flag it races.
+        // Block 1's post-wait read of what block 0 wrote before signalling is
+        // the fusion domino — ordered. Without the wait it races.
         let fused = launch(vec![
             BlockRecord {
                 block: 0,
-                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, 0)],
             },
             BlockRecord {
                 block: 1,
-                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 0, true)],
+                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 1, 1)],
             },
         ]);
         assert!(check(&fused).is_clean());
-        // The domino only runs backwards: block 0 post-adjacent does not
-        // order it against block 1's write.
+        // The domino only runs backwards: block 0 post-wait does not order it
+        // against block 1's write.
         let wrong_way = launch(vec![
             BlockRecord {
                 block: 0,
-                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 0, true)],
+                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 1, 1)],
             },
             BlockRecord {
                 block: 1,
-                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, 0)],
             },
         ]);
         assert_eq!(check(&wrong_way).error_count(), 1);
+    }
+
+    #[test]
+    fn adjacent_sync_is_an_intervening_sync_within_a_block() {
+        // Fused kernel: warp 0 writes before the block's adjacent wait, warp
+        // 1 reads after it. The wait bumps the sync epoch, so this is
+        // recognized as synchronized instead of a false-positive race.
+        let log = launch(vec![BlockRecord {
+            block: 0,
+            events: vec![
+                event(AccessKind::FunctionalWrite, 0x100, 0, 0, 0),
+                event(AccessKind::FunctionalRead, 0x100, 1, 1, 1),
+            ],
+        }]);
+        assert!(check(&log).is_clean());
+    }
+
+    #[test]
+    fn domino_orders_only_rounds_that_waited_later() {
+        // Multi-round fusion: block 1's round-2 wait observed a signal that
+        // came after block 0's round-1 write — ordered.
+        let chained = launch(vec![
+            BlockRecord {
+                block: 0,
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 1, 1)],
+            },
+            BlockRecord {
+                block: 1,
+                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 2, 2)],
+            },
+        ]);
+        assert!(check(&chained).is_clean());
+        // But work block 0 does after its round-2 signal is concurrent with
+        // block 1's round-1 (and same-round) accesses: still a race.
+        let racy = launch(vec![
+            BlockRecord {
+                block: 0,
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 2, 2)],
+            },
+            BlockRecord {
+                block: 1,
+                events: vec![event(AccessKind::FunctionalRead, 0x100, 0, 1, 1)],
+            },
+        ]);
+        assert_eq!(check(&racy).error_count(), 1);
     }
 
     #[test]
@@ -299,7 +352,7 @@ mod tests {
         let blocks: Vec<BlockRecord> = (0..40)
             .map(|b| BlockRecord {
                 block: b,
-                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::FunctionalWrite, 0x100, 0, 0, 0)],
             })
             .collect();
         let report = check(&launch(blocks));
@@ -319,11 +372,11 @@ mod tests {
         let log = launch(vec![
             BlockRecord {
                 block: 0,
-                events: vec![event(AccessKind::NarratedWrite, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::NarratedWrite, 0x100, 0, 0, 0)],
             },
             BlockRecord {
                 block: 1,
-                events: vec![event(AccessKind::NarratedWrite, 0x100, 0, 0, false)],
+                events: vec![event(AccessKind::NarratedWrite, 0x100, 0, 0, 0)],
             },
         ]);
         assert!(check(&log).is_clean());

@@ -10,6 +10,14 @@
 //! The cache persists plans through [`fcoo::write_fcoo`] under a small
 //! versioned header carrying the tuned block size, so a restarted server
 //! warms itself from disk instead of re-preprocessing ("warm restart").
+//!
+//! Two static-analyzer hooks guard the cache. Plan builds tune with
+//! [`analyzer::tune_pruned`], which drops provably-dominated grid points
+//! before any trial launch (same winner, fewer launches). Disk loads pass
+//! the decoded plan through [`analyzer::plan_report`]: a persisted plan
+//! whose tuned configuration is *refuted* — launch shape outside the device
+//! limits, inconsistent segment flags — is rejected and rebuilt instead of
+//! replayed into a panic or a wrong answer.
 
 use crate::fingerprint::Fnv1a;
 use fcoo::{Fcoo, TensorOp, TuneResult};
@@ -137,6 +145,9 @@ pub struct PlanCacheStats {
     pub builds: u64,
     /// Wall-clock milliseconds spent building plans (sort + tuning).
     pub build_ms: f64,
+    /// Persisted plans refused at load time because the static analyzer
+    /// refuted their tuned configuration (each such lookup rebuilds).
+    pub refuted_loads: u64,
 }
 
 impl PlanCacheStats {
@@ -218,7 +229,7 @@ impl PlanCache {
             self.stats.memory_hits += 1;
             return (Arc::clone(plan), PlanSource::Memory);
         }
-        if let Some(plan) = self.load(key) {
+        if let Some(plan) = self.load(key, device) {
             self.stats.disk_hits += 1;
             let plan = Arc::new(plan);
             self.plans.insert(key, Arc::clone(&plan));
@@ -241,7 +252,7 @@ impl PlanCache {
     }
 
     fn tune(&self, key: PlanKey, tensor: &SparseTensorCoo, device: &GpuDevice) -> TuneResult {
-        fcoo::tune(
+        analyzer::tune_pruned(
             device,
             tensor,
             key.op(),
@@ -276,8 +287,12 @@ impl PlanCache {
 
     /// Attempts to reload a persisted plan; any corruption or mismatch
     /// (including truncation — `read_fcoo` rejects it with an error, never a
-    /// panic) silently falls back to a rebuild.
-    fn load(&self, key: PlanKey) -> Option<Plan> {
+    /// panic) silently falls back to a rebuild. A plan that decodes but whose
+    /// tuned configuration the static analyzer refutes against `device` is
+    /// likewise refused (counted in [`PlanCacheStats::refuted_loads`]): a
+    /// header promising block size 2048 would otherwise decode fine here and
+    /// panic inside the launch asserts later.
+    fn load(&mut self, key: PlanKey, device: &GpuDevice) -> Option<Plan> {
         let dir = self.dir.as_ref()?;
         let file = std::fs::File::open(dir.join(key.file_name())).ok()?;
         let mut r = std::io::BufReader::new(file);
@@ -297,6 +312,10 @@ impl PlanCache {
         let rank = u32::from_le_bytes(word);
         let fcoo = fcoo::read_fcoo(&mut r).ok()?;
         if rank != key.rank || fcoo.op != key.op() {
+            return None;
+        }
+        if !analyzer::plan_safe(device.config(), &fcoo, block_size) {
+            self.stats.refuted_loads += 1;
             return None;
         }
         Some(Plan {
@@ -375,6 +394,32 @@ mod tests {
         let mut cache = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[8]);
         let (_, source) = cache.get_or_build(key, &tensor, &device);
         assert_eq!(source, PlanSource::Built);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refuted_persisted_plans_are_rebuilt() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let key = key_for(&tensor);
+        let dir = std::env::temp_dir().join("serve_plan_test_refuted");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cold = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[8]);
+        let (_, source) = cold.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        // Patch the persisted header's block size to 2048 — the bytes decode
+        // fine, but the configuration exceeds the device thread limit. The
+        // analyzer gate must refuse it instead of letting the launch assert.
+        let path = dir.join(key.file_name());
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&2048u32.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let mut warm = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[8]);
+        let (plan, source) = warm.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        assert_eq!(plan.block_size, 64);
+        assert_eq!(warm.stats().refuted_loads, 1);
+        assert_eq!(warm.stats().disk_hits, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

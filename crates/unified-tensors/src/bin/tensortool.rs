@@ -39,7 +39,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let nnz = parse_usize(nnz, "nnz")?;
             cli::generate(kind, nnz, Path::new(out)).map_err(|e| e.to_string())
         }
-        "spttm" | "mttkrp" | "bench" => {
+        "spttm" | "mttkrp" | "bench" | "analyze" => {
             let [_, path, mode, rank] = args else {
                 return Err(format!("{command} needs <file.tns> <mode> <rank>"));
             };
@@ -51,6 +51,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let result = match command {
                 "spttm" => cli::spttm(&tensor, mode, rank),
                 "mttkrp" => cli::mttkrp(&tensor, mode, rank),
+                "analyze" => cli::analyze(&tensor, mode, rank),
                 _ => cli::bench(&tensor, mode, rank),
             };
             result.map_err(|e| e.to_string())

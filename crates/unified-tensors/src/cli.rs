@@ -380,6 +380,43 @@ pub fn sanitize(
     Ok(out)
 }
 
+/// `tensortool analyze <file.tns> <mode> <rank>` — symbolic verdict matrix:
+/// prove or refute launch properties of every kernel across the full tuning
+/// grid without running a single launch, then cross-check that every refuted
+/// configuration is pruned before the tuner or plan cache would accept it.
+pub fn analyze(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<String, CliError> {
+    check_mode(tensor, mode)?;
+    let device = GpuDevice::titan_x();
+    let config = device.config();
+    let analyses = crate::analyzer::analyze_all(
+        config,
+        tensor,
+        mode,
+        rank,
+        &crate::fcoo::BLOCK_SIZES,
+        &crate::fcoo::THREADLENS,
+    );
+    let mut out = String::new();
+    let mut violations = Vec::new();
+    for analysis in &analyses {
+        out.push_str(&analysis.render());
+        out.push('\n');
+        violations.extend(crate::analyzer::gate_violations(config, tensor, analysis));
+    }
+    if violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "gate: every refuted configuration is pruned before launch"
+        );
+        Ok(out)
+    } else {
+        for violation in &violations {
+            let _ = writeln!(out, "gate violation: {violation}");
+        }
+        Err(err(out))
+    }
+}
+
 /// `tensortool workload <requests> <seed> <out.txt>` — write a seeded
 /// synthetic serving workload (4 paper datasets × {SpTTM, SpMTTKRP}).
 pub fn workload_gen(requests: usize, seed: u64, path: &Path) -> Result<String, CliError> {
@@ -463,13 +500,17 @@ USAGE:
   tensortool preprocess <file.tns> <spttm|mttkrp|ttmc> <mode> <out.fcoo>
   tensortool run <file.fcoo> <rank>
   tensortool sanitize <file.tns> <spttm|mttkrp|ttmc> <mode> <rank>
+  tensortool analyze <file.tns> <mode> <rank>
   tensortool workload <requests> <seed> <out.txt>
   tensortool serve <workload.txt|synthetic:N:SEED> [plan-dir] [--verify]
 
 Modes are 1-based, matching the paper's notation. `sanitize` lints the
 F-COO invariants and replays the kernel under the memory sanitizer
 (racecheck, out-of-bounds, narration audit); it exits non-zero on findings.
-`serve` replays a request workload (see docs/SERVING.md for the file
+`analyze` runs the symbolic analyzer instead: a proved/refuted/unknown
+verdict matrix per kernel over the whole tuning grid, with no launches, and
+exits non-zero if any refuted configuration would still reach the tuner or
+plan cache. `serve` replays a request workload (see docs/SERVING.md for the file
 format) through the multi-tenant engine — plan cache, device memory pool,
 multi-stream scheduler — and prints latency/throughput/cache-hit stats;
 with a plan-dir, tuned plans persist across invocations for warm restarts.
@@ -587,6 +628,27 @@ mod tests {
     #[test]
     fn sanitize_rejects_unknown_op() {
         assert!(sanitize(&sample(), "zebra", 0, 8).is_err());
+    }
+
+    #[test]
+    fn analyze_prints_the_verdict_matrix_for_every_kernel() {
+        let tensor = sample();
+        let text = analyze(&tensor, 0, 8).unwrap();
+        for label in ["SpTTM", "SpMTTKRP", "SpTTMc", "two-step"] {
+            assert!(text.contains(label), "missing {label} in {text}");
+        }
+        // Every unified kernel has dominated (refuted) grid points on this
+        // tensor, and the gate confirms the tuner prunes all of them.
+        assert!(text.contains("refuted"), "{text}");
+        assert!(
+            text.contains("gate: every refuted configuration is pruned"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn analyze_checks_mode_bounds() {
+        assert!(analyze(&sample(), 9, 8).is_err());
     }
 
     #[test]

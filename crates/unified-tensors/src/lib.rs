@@ -12,6 +12,7 @@
 //! | algorithms | [`decomp`] | CP-ALS (unified GPU / SPLATT / reference engines), Tucker-HOOI |
 //! | baselines | [`baselines`] | ParTI-GPU, ParTI-OMP, SPLATT-CSF |
 //! | serving | [`serve`] | multi-tenant request engine: plan cache, memory pool, multi-stream scheduler |
+//! | static analysis | [`analyzer`] | symbolic per-warp analyzer: proves/refutes launch properties across the tuning grid without running a launch |
 //! | substrates | [`tensor_core`], [`gpu_sim`], [`cpu_par`] | tensors & dense LA, simulated GPU, CPU pool |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@
 
 pub mod cli;
 
+pub use analyzer;
 pub use baselines;
 pub use cpu_par;
 pub use decomp;
