@@ -12,6 +12,7 @@
 use crate::cache::ReadOnlyCache;
 use crate::coalesce::transactions;
 use crate::config::DeviceConfig;
+use crate::faults;
 use crate::memory::{DeviceBuffer, DeviceMemory};
 use crate::record::{self, AccessKind, AccessLog, BlockRecord, LaunchRecord};
 use crate::stats::{BlockStats, KernelStats};
@@ -131,6 +132,18 @@ impl GpuDevice {
         );
         let (gx, gy) = grid;
         let total_blocks = gx * gy;
+        // Fault-injection hook: advance the launch counter, arm this
+        // launch's faults, and honour an injected launch failure — the
+        // kernel never runs, so output buffers keep their pre-launch
+        // contents and only the launch overhead is charged (the failure is
+        // latched for the host to observe, like CUDA's async error state).
+        if faults::faults_active() && self.memory.fault_launch_begin() {
+            let mut concurrent = self.config.concurrent_blocks(block_threads);
+            if let Some(per_sm) = self.config.shared_mem_per_sm.checked_div(shared_bytes) {
+                concurrent = concurrent.min(per_sm.max(1) * self.config.num_sms);
+            }
+            return KernelStats::from_blocks_with_concurrency(&[], concurrent, &self.config);
+        }
         let recording = self.recording.lock().is_some();
         let mut per_block: Vec<(BlockStats, Option<BlockRecord>)> = (0..total_blocks)
             .map(|_| (BlockStats::default(), None))

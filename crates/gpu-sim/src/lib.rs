@@ -39,6 +39,7 @@ pub mod coalesce;
 pub mod config;
 pub mod device_scan;
 pub mod exec;
+pub mod faults;
 pub mod memory;
 pub mod record;
 pub mod scan;
@@ -49,6 +50,7 @@ pub mod symbolic;
 pub use config::DeviceConfig;
 pub use device_scan::{segmented_scan_device, DeviceScan};
 pub use exec::{BlockCtx, GpuDevice};
+pub use faults::{FaultConfig, FaultEvent};
 pub use memory::{DeviceBuffer, DeviceMemory, OutOfMemory};
 pub use record::{AccessKind, AccessLog, BlockRecord, Event, LaunchRecord};
 pub use stats::{BlockStats, KernelStats};

@@ -7,6 +7,7 @@
 //! (GPU memory consumption); capacity enforcement reproduces ParTI's
 //! out-of-memory failures on the large SpMTTKRP intermediates.
 
+use crate::faults::{self, FaultCell};
 use crate::record::{self, AccessKind};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
@@ -47,6 +48,19 @@ struct MemoryInner {
     /// Live allocations by base address (`base → bytes`), the shadow map the
     /// sanitizer's out-of-bounds pass checks accesses against.
     allocations: Mutex<BTreeMap<u64, usize>>,
+    /// Fault-injection slot (state plus lock-free fast flags); see
+    /// [`crate::faults`].
+    faults: FaultCell,
+}
+
+impl Drop for MemoryInner {
+    fn drop(&mut self) {
+        // A memory destroyed with an injector still installed must release
+        // its claim on the global fault gate.
+        if self.faults.state.get_mut().is_some() {
+            faults::device_uninstalled();
+        }
+    }
 }
 
 /// Handle to a device's global memory.
@@ -66,6 +80,7 @@ impl DeviceMemory {
                 next_base: AtomicUsize::new(256),
                 alloc_lock: Mutex::new(()),
                 allocations: Mutex::new(BTreeMap::new()),
+                faults: FaultCell::new(),
             }),
         }
     }
@@ -90,6 +105,17 @@ impl DeviceMemory {
     ) -> Result<DeviceBuffer<T>, OutOfMemory> {
         let data: Vec<UnsafeCell<T>> = data.into_iter().map(UnsafeCell::new).collect();
         let bytes = data.len() * std::mem::size_of::<T>();
+        // Fault-injection hook: a spurious allocation failure is reported as
+        // a normal OutOfMemory (callers need no special handling) while the
+        // injector latches an AllocFailure event so the host can tell it from
+        // genuine capacity exhaustion.
+        if faults::faults_active() && self.fault_alloc(bytes) {
+            return Err(OutOfMemory {
+                requested: bytes,
+                live: self.inner.live.load(Ordering::Relaxed),
+                capacity: self.inner.capacity,
+            });
+        }
         {
             let _guard = self.inner.alloc_lock.lock();
             let live = self.inner.live.load(Ordering::Relaxed);
@@ -114,6 +140,11 @@ impl DeviceMemory {
             .fetch_add(bytes.div_ceil(256) * 256 + 256, Ordering::Relaxed);
         if bytes > 0 {
             self.inner.allocations.lock().insert(base as u64, bytes);
+        }
+        // Fault-injection hook: value (`f32`) regions are eligible bit-flip
+        // targets; index/metadata words are modeled as parity-protected.
+        if faults::faults_active() && T::FLIPPABLE {
+            self.fault_register_region(base as u64, bytes);
         }
         Ok(DeviceBuffer {
             data,
@@ -154,22 +185,46 @@ impl DeviceMemory {
     pub fn capacity(&self) -> usize {
         self.inner.capacity
     }
+
+    /// The fault-injection slot shared by this memory's buffers (see
+    /// [`crate::faults`] for the methods implemented on top of it).
+    pub(crate) fn fault_cell(&self) -> &FaultCell {
+        &self.inner.faults
+    }
 }
 
 /// Types storable in device buffers.
 pub trait DeviceValue: Copy + Send + Sync + 'static {
     /// The zero pattern used by [`DeviceMemory::alloc_zeroed`].
     const ZERO: Self;
+    /// Whether buffers of this type are eligible ECC bit-flip targets under
+    /// fault injection (value words; index/metadata words are modeled as
+    /// parity-protected).
+    const FLIPPABLE: bool;
+    /// XORs a fault mask into the value's bit pattern (ECC-style corruption).
+    fn xor_bits(self, mask: u32) -> Self;
 }
 
 impl DeviceValue for f32 {
     const ZERO: Self = 0.0;
+    const FLIPPABLE: bool = true;
+    fn xor_bits(self, mask: u32) -> Self {
+        f32::from_bits(self.to_bits() ^ mask)
+    }
 }
 impl DeviceValue for u32 {
     const ZERO: Self = 0;
+    const FLIPPABLE: bool = false;
+    fn xor_bits(self, mask: u32) -> Self {
+        self ^ mask
+    }
 }
 impl DeviceValue for u8 {
     const ZERO: Self = 0;
+    const FLIPPABLE: bool = false;
+    fn xor_bits(self, mask: u32) -> Self {
+        self ^ (mask as u8)
+    }
 }
 
 /// A typed buffer in simulated device memory.
@@ -251,7 +306,15 @@ impl<T: DeviceValue> DeviceBuffer<T> {
         }
         // SAFETY: kernels never write an element that another thread reads
         // concurrently without atomics (CUDA global-memory contract).
-        unsafe { *self.data[index].get() }
+        let value = unsafe { *self.data[index].get() };
+        // Fault-injection hook: armed uncorrectable flips corrupt the read
+        // until the memory is scrubbed. Gated on the same zero-cost global
+        // check as recording, then a per-memory armed-flip count.
+        if faults::faults_active() && self.memory.faults.flips_armed.load(Ordering::Relaxed) > 0 {
+            let addr = self.base + (index * std::mem::size_of::<T>()) as u64;
+            return faults::corrupt_value(&self.memory.faults, addr, value);
+        }
+        value
     }
 
     /// Writes element `index`.
@@ -313,6 +376,19 @@ impl DeviceBuffer<f32> {
                 std::mem::size_of::<f32>() as u32,
             );
         }
+        // Fault-injection hook (after the record event fires: the hardware
+        // acknowledged the transaction, then lost the write). Gated on the
+        // zero-cost global check, then this launch's armed flag.
+        if faults::faults_active()
+            && self.memory.faults.atomics_armed.load(Ordering::Relaxed)
+            && faults::drop_atomic(
+                &self.memory.faults,
+                self.base + (index * std::mem::size_of::<f32>()) as u64,
+                value.to_bits(),
+            )
+        {
+            return;
+        }
         // SAFETY: UnsafeCell<f32> and AtomicU32 have identical size and
         // alignment; all concurrent accesses to accumulated elements go
         // through this method.
@@ -335,6 +411,10 @@ impl<T: DeviceValue> Drop for DeviceBuffer<T> {
         self.memory.live.fetch_sub(bytes, Ordering::Relaxed);
         if bytes > 0 {
             self.memory.allocations.lock().remove(&self.base);
+        }
+        // Fault-injection hook: flips aimed at freed memory are disarmed.
+        if faults::faults_active() && T::FLIPPABLE {
+            faults::forget_region(&self.memory.faults, self.base, bytes);
         }
     }
 }

@@ -99,6 +99,26 @@ impl Timeline {
         Some(*time)
     }
 
+    /// Fault-injection hook: models a hung kernel by advancing `stream` by
+    /// `stall_us` of *dead* time. The stall counts toward the makespan (the
+    /// stream is blocked) but not toward busy time, exactly like a
+    /// dependency wait. Returns the stream's new finish time.
+    ///
+    /// # Panics
+    /// If `stream` is out of range, naming the stream and the stream count.
+    pub fn stall(&mut self, stream: usize, stall_us: f64) -> f64 {
+        match self.stream_time.get_mut(stream) {
+            Some(time) => {
+                *time += stall_us.max(0.0);
+                *time
+            }
+            None => panic!(
+                "stream {stream} out of range: timeline has {} streams",
+                self.stream_time.len()
+            ),
+        }
+    }
+
     /// Device-wide synchronization: all streams advance to the latest time.
     /// The idle gap this introduces does not count as busy time.
     pub fn sync_all(&mut self) -> f64 {

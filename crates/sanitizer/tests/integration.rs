@@ -4,7 +4,7 @@
 //! not).
 
 use fcoo::{DeviceMatrix, Fcoo, FcooDevice, LaunchConfig, TensorOp};
-use gpu_sim::GpuDevice;
+use gpu_sim::{FaultConfig, FaultEvent, GpuDevice};
 use sanitizer::{Pass, Severity};
 use tensor_core::{DenseMatrix, SparseTensorCoo};
 
@@ -183,6 +183,77 @@ fn two_step_method_is_sanitizer_clean() {
         .expect("two-step");
     let report = sanitizer::analyze(&device.stop_recording());
     assert!(report.is_clean(), "{report}");
+}
+
+/// The serving layer's retry contract, checked at the sanitizer level: under
+/// injected corrupting faults (failed launches, dropped atomics), each
+/// attempt's recording is discarded whenever the post-attempt scrub reports a
+/// corrupting event, and the first surviving attempt both analyzes clean and
+/// reproduces the fault-free result bit for bit.
+#[test]
+fn faulted_attempts_are_discarded_and_the_retry_replays_clean() {
+    let tensor = sample_tensor();
+    let cfg = LaunchConfig::default();
+    let build = |device: &GpuDevice| {
+        let mats = factors(device, &tensor, 8);
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 4);
+        let dev_fcoo = FcooDevice::upload(device.memory(), &fcoo).expect("upload");
+        (mats, dev_fcoo)
+    };
+
+    let reference = {
+        let device = GpuDevice::titan_x();
+        let (mats, dev_fcoo) = build(&device);
+        let mat_refs: Vec<&DeviceMatrix> = mats.iter().collect();
+        fcoo::spmttkrp(&device, &dev_fcoo, &mat_refs, &cfg)
+            .expect("reference")
+            .0
+    };
+
+    let device = GpuDevice::titan_x();
+    // Upload inputs before installing the injector so the schedule only hits
+    // the attempts themselves, never the one-time setup.
+    let (mats, dev_fcoo) = build(&device);
+    let mat_refs: Vec<&DeviceMatrix> = mats.iter().collect();
+    let faults = FaultConfig {
+        launch_failure_rate: 0.6,
+        dropped_atomic_rate: 0.6,
+        ..FaultConfig::quiet(40)
+    };
+    device.memory().install_faults(faults);
+
+    let mut corrupted_attempts = 0;
+    let mut survivor = None;
+    for _attempt in 0..16 {
+        device.start_recording();
+        let (result, _) = fcoo::spmttkrp(&device, &dev_fcoo, &mat_refs, &cfg).expect("spmttkrp");
+        let log = device.stop_recording();
+        // Integrity barrier: any corrupting event voids the attempt — its
+        // result *and* its recording are discarded together.
+        let events = device.memory().scrub_faults();
+        if events.iter().any(FaultEvent::is_corrupting) {
+            corrupted_attempts += 1;
+            continue;
+        }
+        survivor = Some((result, log));
+        break;
+    }
+    device.memory().clear_faults();
+
+    assert!(
+        corrupted_attempts >= 1,
+        "fault schedule never corrupted an attempt; pick another seed"
+    );
+    let (result, log) = survivor.expect("retry budget exhausted without a clean attempt");
+    let report = sanitizer::analyze(&log);
+    assert!(report.is_clean(), "surviving attempt's log:\n{report}");
+    assert_eq!(reference.data().len(), result.data().len());
+    let bit_exact = reference
+        .data()
+        .iter()
+        .zip(result.data())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bit_exact, "retried result diverged from the fault-free run");
 }
 
 #[test]

@@ -11,14 +11,14 @@
 //! plans, so a decomposition warms the cache for later single-op requests
 //! and vice versa.
 
-use crate::metrics::{LatencySummary, RequestMetrics};
+use crate::metrics::{ExecTier, LatencySummary, RequestMetrics};
 use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanSource};
-use crate::pool::{AdmitError, DevicePool, PoolStats};
+use crate::pool::{AdmitError, DevicePool, PoolStats, ReservationId};
 use crate::scheduler::Scheduler;
 use crate::workload::{Request, ServeOp, Workload};
 use decomp::cp::{cp_als, CpOptions, MttkrpEngine};
 use fcoo::{DeviceMatrix, Fcoo, FcooDevice, LaunchConfig, TensorOp};
-use gpu_sim::{DeviceConfig, GpuDevice, Timeline};
+use gpu_sim::{DeviceConfig, FaultConfig, FaultEvent, GpuDevice, Timeline};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -45,6 +45,14 @@ pub struct ServeConfig {
     pub batching: bool,
     /// Maximum batched results kept for reuse.
     pub result_cache_cap: usize,
+    /// Deterministic fault injection installed on every serving device
+    /// (re-seeded per device via [`FaultConfig::for_device`]). `None`
+    /// disables injection entirely: the hot path is then bit-exact with the
+    /// engine's pre-fault behaviour, reports included. The plan-build
+    /// scratch device never has an injector — preprocessing is host-side.
+    pub fault_injection: Option<FaultConfig>,
+    /// Recovery policy applied when `fault_injection` is active.
+    pub fault_tolerance: FaultTolerance,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +66,110 @@ impl Default for ServeConfig {
             verify: false,
             batching: true,
             result_cache_cap: 256,
+            fault_injection: None,
+            fault_tolerance: FaultTolerance::default(),
+        }
+    }
+}
+
+/// Fault-recovery policy: retry budget, backoff shape, watchdog, sampled
+/// redundancy, and the quarantine / plan-invalidation thresholds.
+#[derive(Debug, Clone)]
+pub struct FaultTolerance {
+    /// Discarded attempts tolerated per ladder tier before the request
+    /// degrades to the next tier (unified → two-step → cpu).
+    pub max_retries: usize,
+    /// First retry backoff in µs; doubles per attempt up to the cap.
+    pub backoff_base_us: f64,
+    /// Ceiling of the exponential backoff (µs).
+    pub backoff_cap_us: f64,
+    /// Seed of the deterministic backoff jitter and redundancy sampling —
+    /// same workload + same seeds ⇒ identical retry schedule.
+    pub retry_seed: u64,
+    /// A stream stall at least this long is cancelled by the watchdog: the
+    /// request is charged this much dead time and the attempt is retried.
+    /// Shorter stalls just add their dead time to the request's latency.
+    pub watchdog_timeout_us: f64,
+    /// Fraction of requests whose accepted result is re-executed on the
+    /// same tier and compared bit-exactly (silent-corruption sampling).
+    /// Zero disables redundancy.
+    pub redundancy_rate: f64,
+    /// Corrupting faults attributed to one device before it is quarantined
+    /// and its work redistributed (only while another device stays healthy).
+    pub quarantine_threshold: u64,
+    /// Corrupting faults attributed to one plan before the plan cache entry
+    /// is invalidated (memory and disk) and rebuilt from scratch.
+    pub plan_fault_threshold: u64,
+}
+
+impl Default for FaultTolerance {
+    fn default() -> Self {
+        FaultTolerance {
+            max_retries: 4,
+            backoff_base_us: 50.0,
+            backoff_cap_us: 800.0,
+            retry_seed: 0x0BAD_F417,
+            watchdog_timeout_us: 2_000.0,
+            redundancy_rate: 0.0,
+            quarantine_threshold: 25,
+            plan_fault_threshold: 12,
+        }
+    }
+}
+
+/// Fault and recovery tallies accumulated over an engine's lifetime (like
+/// the plan and pool counters, these are not reset between runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Corrected single-bit ECC events (data unaffected).
+    pub ecc_single: u64,
+    /// Uncorrectable double-bit ECC events.
+    pub ecc_double: u64,
+    /// Kernel launches dropped by injection.
+    pub launch_failures: u64,
+    /// Injected allocation failures.
+    pub alloc_failures: u64,
+    /// Stream stalls observed.
+    pub stalls: u64,
+    /// Lost atomic transactions.
+    pub dropped_atomics: u64,
+    /// Attempts discarded and retried.
+    pub retries: u64,
+    /// Stalls long enough for the watchdog to cancel the attempt.
+    pub watchdog_cancellations: u64,
+    /// Requests degraded to the two-step kernel.
+    pub two_step_fallbacks: u64,
+    /// Requests degraded to the sequential host reference.
+    pub cpu_fallbacks: u64,
+    /// Devices quarantined during the engine's lifetime.
+    pub devices_quarantined: u64,
+    /// Plans invalidated because their faults crossed the threshold.
+    pub plans_invalidated: u64,
+    /// Accepted results re-executed redundantly for integrity sampling.
+    pub redundant_checks: u64,
+    /// Redundant re-executions that disagreed (each forces a retry).
+    pub redundant_mismatches: u64,
+}
+
+impl FaultStats {
+    /// Total injected fault events observed.
+    pub fn injected(&self) -> u64 {
+        self.ecc_single
+            + self.ecc_double
+            + self.launch_failures
+            + self.alloc_failures
+            + self.stalls
+            + self.dropped_atomics
+    }
+
+    fn record(&mut self, event: &FaultEvent) {
+        match event {
+            FaultEvent::EccSingle { .. } => self.ecc_single += 1,
+            FaultEvent::EccDouble { .. } => self.ecc_double += 1,
+            FaultEvent::LaunchFailure { .. } => self.launch_failures += 1,
+            FaultEvent::AllocFailure { .. } => self.alloc_failures += 1,
+            FaultEvent::StreamStall { .. } => self.stalls += 1,
+            FaultEvent::DroppedAtomic { .. } => self.dropped_atomics += 1,
         }
     }
 }
@@ -90,19 +202,42 @@ impl JobOutput {
         }
     }
 
-    /// Sum of all elements (a cheap cross-run checksum).
-    pub fn checksum(&self) -> f64 {
+    /// Order-independent checksum of the result bits.
+    ///
+    /// Each element's canonical `f64` bit pattern is passed through the
+    /// splitmix64 finalizer (a bijection on `u64`) and the mixed words are
+    /// combined with a wrapping sum. The sum commutes, so any permutation
+    /// of the same elements checksums identically; and because the mix is a
+    /// bijection, changing *any single bit* of any element — a mantissa bit
+    /// included — changes that element's mixed word and therefore the sum.
+    /// A float sum has neither property: it is order-sensitive and absorbs
+    /// small flips into rounding.
+    pub fn checksum(&self) -> u64 {
+        fn mixed(value: f32) -> u64 {
+            // Canonicalize so that -0.0 and 0.0 checksum identically; NaN
+            // payloads collapse to one canonical NaN.
+            let v = value as f64;
+            let bits = if v == 0.0 {
+                0
+            } else if v.is_nan() {
+                f64::NAN.to_bits()
+            } else {
+                v.to_bits()
+            };
+            // splitmix64 finalizer (the workspace's standard offline mix).
+            let mut z = bits.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let fold = |acc: u64, &v: &f32| acc.wrapping_add(mixed(v));
         match self {
-            JobOutput::Semi(t) => t.values().iter().map(|&v| v as f64).sum(),
-            JobOutput::Dense(m) => m.data().iter().map(|&v| v as f64).sum(),
-            JobOutput::Cp { factors, lambda } => {
-                factors
-                    .iter()
-                    .flat_map(|f| f.data())
-                    .map(|&v| v as f64)
-                    .sum::<f64>()
-                    + lambda.iter().map(|&v| v as f64).sum::<f64>()
-            }
+            JobOutput::Semi(t) => t.values().iter().fold(0, fold),
+            JobOutput::Dense(m) => m.data().iter().fold(0, fold),
+            JobOutput::Cp { factors, lambda } => factors
+                .iter()
+                .flat_map(|f| f.data())
+                .fold(lambda.iter().fold(0, fold), fold),
         }
     }
 }
@@ -143,6 +278,8 @@ pub struct ServeReport {
     pub verified: usize,
     /// Verification mismatches (must be zero).
     pub verify_failures: usize,
+    /// Fault and recovery tallies (all zero when injection is disabled).
+    pub fault_stats: FaultStats,
 }
 
 impl ServeReport {
@@ -209,6 +346,34 @@ impl ServeReport {
                 out.push_str(&format!("    stream {s}:     busy {:.1}%\n", u * 100.0));
             }
         }
+        if self.fault_stats.injected() > 0 {
+            let f = &self.fault_stats;
+            out.push_str(&format!(
+                "  faults:         {} injected — {} ecc-single, {} ecc-double, {} launch, {} alloc, {} stall, {} dropped-atomic\n",
+                f.injected(),
+                f.ecc_single,
+                f.ecc_double,
+                f.launch_failures,
+                f.alloc_failures,
+                f.stalls,
+                f.dropped_atomics
+            ));
+            out.push_str(&format!(
+                "  recovery:       {} retries, {} watchdog cancels, {} two-step + {} cpu fallbacks, {} quarantined, {} plans invalidated\n",
+                f.retries,
+                f.watchdog_cancellations,
+                f.two_step_fallbacks,
+                f.cpu_fallbacks,
+                f.devices_quarantined,
+                f.plans_invalidated
+            ));
+            if f.redundant_checks > 0 {
+                out.push_str(&format!(
+                    "  redundancy:     {} sampled re-executions, {} mismatches\n",
+                    f.redundant_checks, f.redundant_mismatches
+                ));
+            }
+        }
         if self.verified > 0 || self.verify_failures > 0 {
             out.push_str(&format!(
                 "  verification:   {} unique results checked bit-exact vs one-shot API, {} mismatches\n",
@@ -226,6 +391,9 @@ struct Registered {
 
 struct CachedResult {
     output: JobOutput,
+    /// Ladder tier that computed the output (verification re-runs the same
+    /// tier — cross-tier results are numerically close, not bit-exact).
+    tier: ExecTier,
 }
 
 /// Inputs and output of one executed CP-ALS job, kept for verification.
@@ -236,7 +404,19 @@ struct CpExecution {
     factor_seed: u64,
     threadlens: Vec<usize>,
     block_size: usize,
+    tier: ExecTier,
     output: JobOutput,
+}
+
+/// What the integrity barrier concluded about one attempt.
+struct AttemptDamage {
+    /// The attempt's output must be discarded.
+    corrupted: bool,
+    /// An injected allocation failure occurred (an `Err` from the attempt
+    /// is then retryable rather than a genuine rejection).
+    injected_alloc: bool,
+    /// Stall dead time charged to the request (watchdog-capped).
+    dead_us: f64,
 }
 
 /// The multi-tenant serving engine.
@@ -252,6 +432,13 @@ pub struct ServeEngine {
     tensors: BTreeMap<String, Registered>,
     results: BTreeMap<(PlanKey, u64), CachedResult>,
     cp_executions: Vec<CpExecution>,
+    fault_stats: FaultStats,
+    /// Corrupting faults attributed to each device (quarantine evidence).
+    device_fault_counts: Vec<u64>,
+    /// Devices removed from the affinity rotation after repeated faults.
+    quarantined: Vec<bool>,
+    /// Corrupting faults correlated with one plan (invalidation evidence).
+    plan_fault_counts: BTreeMap<PlanKey, u64>,
 }
 
 /// Deterministic per-mode factor seed derivation, shared with the one-shot
@@ -264,6 +451,54 @@ pub fn factor_seed_for_mode(factor_seed: u64, mode: usize) -> u64 {
 
 fn product_modes(order: usize, mode: usize) -> Vec<usize> {
     (0..order).filter(|&m| m != mode).collect()
+}
+
+/// splitmix64 finalizer: the deterministic hash behind backoff jitter and
+/// redundancy sampling (same workload + same seeds ⇒ same draws).
+fn mix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Analytic host-execution model for the CPU fallback tier: `2·nnz·R·(N−1)`
+/// flops at 2 GFLOP/s. An analytic model (not the wall clock) keeps reports
+/// deterministic across runs and machines.
+fn cpu_reference_us(nnz: usize, rank: usize, order: usize) -> f64 {
+    2.0 * nnz as f64 * rank as f64 * order.saturating_sub(1) as f64 / 2000.0
+}
+
+/// The sequential host result for `op` with the engine's factor-seed
+/// convention — the ladder's last rung, and its verification reference.
+fn host_reference_output(
+    tensor: &SparseTensorCoo,
+    op: TensorOp,
+    rank: usize,
+    factor_seed: u64,
+) -> JobOutput {
+    let shape = tensor.shape();
+    match op {
+        TensorOp::SpTtm { mode } => {
+            let u = DenseMatrix::random(shape[mode], rank, factor_seed_for_mode(factor_seed, mode));
+            JobOutput::Semi(tensor_core::ops::spttm(tensor, mode, &u))
+        }
+        TensorOp::SpMttkrp { mode } => {
+            let hosts: Vec<DenseMatrix> = (0..shape.len())
+                .map(|m| DenseMatrix::random(shape[m], rank, factor_seed_for_mode(factor_seed, m)))
+                .collect();
+            let refs: Vec<&DenseMatrix> = hosts.iter().collect();
+            JobOutput::Dense(tensor_core::ops::spmttkrp(tensor, mode, &refs))
+        }
+        TensorOp::SpTtmc { mode } => {
+            let hosts: Vec<DenseMatrix> = product_modes(shape.len(), mode)
+                .iter()
+                .map(|&m| DenseMatrix::random(shape[m], rank, factor_seed_for_mode(factor_seed, m)))
+                .collect();
+            let refs: Vec<&DenseMatrix> = hosts.iter().collect();
+            JobOutput::Dense(tensor_core::ops::spttmc_norder(tensor, mode, &refs))
+        }
+    }
 }
 
 /// Merges per-mode plan sources into one label for the request: any build
@@ -290,6 +525,12 @@ impl ServeEngine {
             .collect();
         let plans = PlanCache::new(config.plan_dir.clone());
         let scratch = GpuDevice::new(config.device_config.clone());
+        if let Some(fault) = &config.fault_injection {
+            for (i, device) in devices.iter().enumerate() {
+                device.memory().install_faults(fault.for_device(i));
+            }
+        }
+        let device_count = devices.len();
         ServeEngine {
             config,
             devices,
@@ -299,6 +540,10 @@ impl ServeEngine {
             tensors: BTreeMap::new(),
             results: BTreeMap::new(),
             cp_executions: Vec::new(),
+            fault_stats: FaultStats::default(),
+            device_fault_counts: vec![0; device_count],
+            quarantined: vec![false; device_count],
+            plan_fault_counts: BTreeMap::new(),
         }
     }
 
@@ -310,6 +555,17 @@ impl ServeEngine {
     /// One of the simulated devices (for recording/sanitizing runs).
     pub fn device(&self, index: usize) -> &GpuDevice {
         &self.devices[index]
+    }
+
+    /// One of the device memory pools (for leak assertions in tests and the
+    /// chaos harness).
+    pub fn pool(&self, index: usize) -> &DevicePool {
+        &self.pools[index]
+    }
+
+    /// Fault and recovery tallies accumulated so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Registers a tensor under `id`; re-registering replaces it.
@@ -362,6 +618,12 @@ impl ServeEngine {
                 Err(reason) => rejections.push(Rejection { index, reason }),
             }
         }
+        // End of run: every in-flight reservation has a finish time by now,
+        // so retiring at +∞ returns pool bytes-in-use to zero — the leak
+        // check the chaos harness asserts on.
+        for pool in &mut self.pools {
+            pool.retire(f64::INFINITY);
+        }
         let (verified, verify_failures) = if self.config.verify {
             self.verify_results()
         } else {
@@ -384,6 +646,7 @@ impl ServeEngine {
             deferred: deferred_count,
             verified,
             verify_failures,
+            fault_stats: self.fault_stats,
         }
     }
 
@@ -415,10 +678,161 @@ impl ServeEngine {
                     self.pools[device_index].retire(*ready);
                 }
                 Err(too_large @ AdmitError::TooLarge { .. }) => {
+                    // `TooLarge` can be a lie under injection: the pool's
+                    // format upload hit an *injected* allocation failure.
+                    // The latched event distinguishes the two — retry the
+                    // injected case, reject the genuine one.
+                    if self.config.fault_injection.is_some() {
+                        let events = self.devices[device_index].memory().scrub_faults();
+                        let injected_alloc = events
+                            .iter()
+                            .any(|e| matches!(e, FaultEvent::AllocFailure { .. }));
+                        for event in &events {
+                            self.fault_stats.record(event);
+                        }
+                        if injected_alloc {
+                            self.fault_stats.retries += 1;
+                            continue;
+                        }
+                    }
                     return Err(too_large.to_string());
                 }
             }
         }
+    }
+
+    /// The device a plan digest maps to, skipping quarantined devices while
+    /// at least one healthy device remains.
+    fn affinity_device(&self, digest: u64) -> usize {
+        let preferred = (digest % self.devices.len() as u64) as usize;
+        if !self.quarantined[preferred] {
+            return preferred;
+        }
+        let healthy: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| !self.quarantined[d])
+            .collect();
+        if healthy.is_empty() {
+            preferred
+        } else {
+            healthy[(digest % healthy.len() as u64) as usize]
+        }
+    }
+
+    /// Capped exponential backoff with deterministic jitter for retry
+    /// `attempt` of request `index`.
+    fn backoff_us(&self, index: usize, attempt: u32) -> f64 {
+        let ft = &self.config.fault_tolerance;
+        let capped = (ft.backoff_base_us * f64::powi(2.0, attempt.min(16) as i32))
+            .min(ft.backoff_cap_us.max(ft.backoff_base_us));
+        let h = mix64(ft.retry_seed ^ (index as u64) ^ ((attempt as u64) << 32));
+        // Jitter in [0.5, 1.0): half the schedule is deterministic floor.
+        capped * (0.5 + 0.5 * (h >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    /// Whether this accepted attempt is sampled for redundant re-execution.
+    fn redundancy_draw(&self, index: usize, attempt: u32) -> bool {
+        let ft = &self.config.fault_tolerance;
+        if ft.redundancy_rate <= 0.0 {
+            return false;
+        }
+        let h = mix64(
+            ft.retry_seed
+                .rotate_left(17)
+                .wrapping_add(index as u64)
+                .wrapping_add((attempt as u64) << 40),
+        );
+        (h >> 11) as f64 / ((1u64 << 53) as f64) < ft.redundancy_rate
+    }
+
+    /// The per-attempt integrity barrier: scrubs the device (forcing full
+    /// detection and repairing latent flips), tallies every event, charges
+    /// stall dead time (watchdog-capped), and attributes corrupting events
+    /// to the device and plan for the quarantine/invalidation policy.
+    fn absorb_events(
+        &mut self,
+        device_index: usize,
+        key: Option<PlanKey>,
+        events: &[FaultEvent],
+    ) -> AttemptDamage {
+        let watchdog = self.config.fault_tolerance.watchdog_timeout_us;
+        let mut damage = AttemptDamage {
+            corrupted: false,
+            injected_alloc: false,
+            dead_us: 0.0,
+        };
+        for event in events {
+            self.fault_stats.record(event);
+            let mut corrupting = event.is_corrupting();
+            match event {
+                FaultEvent::StreamStall { stall_us, .. } => {
+                    if *stall_us >= watchdog {
+                        // The watchdog cancels the hung stream: the request
+                        // pays the timeout, not the full stall, and the
+                        // attempt is discarded (its kernel never finished).
+                        self.fault_stats.watchdog_cancellations += 1;
+                        damage.dead_us += watchdog;
+                        corrupting = true;
+                    } else {
+                        damage.dead_us += stall_us;
+                    }
+                }
+                FaultEvent::AllocFailure { .. } => damage.injected_alloc = true,
+                _ => {}
+            }
+            if corrupting {
+                damage.corrupted = true;
+                self.device_fault_counts[device_index] += 1;
+                if let Some(key) = key {
+                    *self.plan_fault_counts.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        damage
+    }
+
+    /// Applies the quarantine and plan-invalidation thresholds after an
+    /// attempt's events have been attributed.
+    fn apply_fault_policy(&mut self, device_index: usize, key: Option<PlanKey>) {
+        let ft = &self.config.fault_tolerance;
+        let quarantine_at = ft.quarantine_threshold;
+        let plan_at = ft.plan_fault_threshold;
+        if !self.quarantined[device_index]
+            && self.device_fault_counts[device_index] >= quarantine_at
+            && self.quarantined.iter().filter(|&&q| !q).count() > 1
+        {
+            self.quarantined[device_index] = true;
+            self.fault_stats.devices_quarantined += 1;
+        }
+        if let Some(key) = key {
+            if self.plan_fault_counts.get(&key).copied().unwrap_or(0) >= plan_at {
+                self.plan_fault_counts.insert(key, 0);
+                if self.plans.invalidate(key) {
+                    self.fault_stats.plans_invalidated += 1;
+                }
+            }
+        }
+    }
+
+    /// Scrubs `device_index` after an attempt and runs the fault policy.
+    /// Returns the attempt's damage; no-op defaults when injection is off.
+    fn integrity_barrier(
+        &mut self,
+        device_index: usize,
+        key: Option<PlanKey>,
+        faults_seen: &mut u32,
+    ) -> AttemptDamage {
+        if self.config.fault_injection.is_none() {
+            return AttemptDamage {
+                corrupted: false,
+                injected_alloc: false,
+                dead_us: 0.0,
+            };
+        }
+        let events = self.devices[device_index].memory().scrub_faults();
+        *faults_seen += events.len() as u32;
+        let damage = self.absorb_events(device_index, key, &events);
+        self.apply_fault_policy(device_index, key);
+        damage
     }
 
     fn serve_tensor_op(
@@ -440,10 +854,12 @@ impl ServeEngine {
                 request.tensor_id
             ));
         }
+        let order = registered.tensor.order();
         let key = PlanKey::new(registered.fingerprint, op, request.rank);
-        let device_index = (key.digest() % self.devices.len() as u64) as usize;
+        let device_index = self.affinity_device(key.digest());
         // Resolve the plan (host-side preprocessing; builds happen off the
         // device timeline, like the paper's host-side sort).
+        let registered = &self.tensors[&request.tensor_id];
         let (plan, plan_source) = self
             .plans
             .get_or_build(key, &registered.tensor, &self.scratch);
@@ -471,6 +887,10 @@ impl ServeEngine {
                     batched: true,
                     deferred: false,
                     checksum: cached.output.checksum(),
+                    retries: 0,
+                    tier: cached.tier,
+                    faults_seen: 0,
+                    recovery_us: 0.0,
                 });
             }
         }
@@ -487,30 +907,146 @@ impl ServeEngine {
             &mut ready,
             &mut was_deferred,
         )?;
+        // A pending reservation pins the working set while attempts run; it
+        // is committed on success and released on genuine failure, so the
+        // error path never leaks pool bytes.
+        let pending = self.pools[device_index].reserve_pending(key, transient_bytes);
 
-        let (output, kernel_us, factor_bytes) = self.execute(
-            device_index,
-            &admitted.format,
-            &request.tensor_id,
-            op,
-            request.rank,
-            plan.block_size,
-            request.factor_seed,
-        )?;
+        let threadlen = plan.fcoo.threadlen;
+        let block_size = plan.block_size;
+        let mut tier = ExecTier::Unified;
+        let mut tier_attempts = 0usize;
+        let mut retries = 0u32;
+        let mut faults_seen = 0u32;
+        let mut recovery_us = 0.0f64;
+        let mut attempt_index = 0u32;
+        let (output, kernel_us, factor_bytes) = loop {
+            let attempt = self.execute_tier(
+                device_index,
+                tier,
+                &admitted.format,
+                &request.tensor_id,
+                op,
+                request.rank,
+                block_size,
+                threadlen,
+                request.factor_seed,
+            );
+            let damage = if tier == ExecTier::Cpu {
+                // The host tier never touches the faulted device, so it
+                // terminates the loop unconditionally.
+                AttemptDamage {
+                    corrupted: false,
+                    injected_alloc: false,
+                    dead_us: 0.0,
+                }
+            } else {
+                self.integrity_barrier(device_index, Some(key), &mut faults_seen)
+            };
+            recovery_us += damage.dead_us;
+            match attempt {
+                Ok(out) if !damage.corrupted => {
+                    let accept = if tier != ExecTier::Cpu
+                        && self.config.fault_injection.is_some()
+                        && self.redundancy_draw(index, attempt_index)
+                    {
+                        self.fault_stats.redundant_checks += 1;
+                        let redo = self.execute_tier(
+                            device_index,
+                            tier,
+                            &admitted.format,
+                            &request.tensor_id,
+                            op,
+                            request.rank,
+                            block_size,
+                            threadlen,
+                            request.factor_seed,
+                        );
+                        let redo_damage =
+                            self.integrity_barrier(device_index, Some(key), &mut faults_seen);
+                        recovery_us += redo_damage.dead_us;
+                        match redo {
+                            Ok((redo_out, redo_us, _)) => {
+                                // The sampled re-execution rides on the same
+                                // stream: its kernel time is recovery cost.
+                                recovery_us += redo_us;
+                                if redo_damage.corrupted {
+                                    false // inconclusive: the check itself faulted
+                                } else if redo_out == out.0 {
+                                    true
+                                } else {
+                                    self.fault_stats.redundant_mismatches += 1;
+                                    false
+                                }
+                            }
+                            Err(_) => false,
+                        }
+                    } else {
+                        true
+                    };
+                    if accept {
+                        break out;
+                    }
+                }
+                Err(reason) if !damage.injected_alloc && !damage.corrupted => {
+                    if tier == ExecTier::Unified {
+                        // A genuine failure (not injected): reject, exactly
+                        // like the fault-free engine would.
+                        self.pools[device_index].release(pending);
+                        return Err(reason);
+                    }
+                    // A degraded tier that cannot run at all (e.g. the
+                    // two-step intermediate does not fit) falls to the host.
+                    self.fault_stats.cpu_fallbacks += 1;
+                    tier = ExecTier::Cpu;
+                    tier_attempts = 0;
+                    continue;
+                }
+                _ => {}
+            }
+            // Discard the attempt and retry after a deterministic backoff.
+            retries += 1;
+            self.fault_stats.retries += 1;
+            tier_attempts += 1;
+            recovery_us += self.backoff_us(index, attempt_index);
+            attempt_index += 1;
+            if tier_attempts > self.config.fault_tolerance.max_retries {
+                tier = match tier {
+                    ExecTier::Unified if matches!(op, TensorOp::SpMttkrp { .. }) && order == 3 => {
+                        self.fault_stats.two_step_fallbacks += 1;
+                        ExecTier::TwoStep
+                    }
+                    _ => {
+                        self.fault_stats.cpu_fallbacks += 1;
+                        ExecTier::Cpu
+                    }
+                };
+                tier_attempts = 0;
+            }
+        };
         let h2d_bytes = factor_bytes
             + if admitted.uploaded {
                 plan.format_bytes()
             } else {
                 0
             };
-        let d2h_us = self.transfer_us(output.bytes());
+        // The host tier computes off-device: nothing crosses the bus for it.
+        let d2h_us = if tier == ExecTier::Cpu {
+            0.0
+        } else {
+            self.transfer_us(output.bytes())
+        };
         let exec_us = self.transfer_us(h2d_bytes) + kernel_us + d2h_us;
-        let placement = scheduler.place_on_device(device_index, ready, exec_us);
-        self.pools[device_index].reserve(key, transient_bytes, placement.finish_us);
+        let placement = if recovery_us > 0.0 {
+            scheduler.place_on_device_delayed(device_index, ready, recovery_us, exec_us)
+        } else {
+            scheduler.place_on_device(device_index, ready, exec_us)
+        };
+        self.pools[device_index].commit(pending, placement.finish_us);
         let checksum = output.checksum();
         if self.config.batching {
             self.results
-                .insert((key, request.factor_seed), CachedResult { output });
+                .insert((key, request.factor_seed), CachedResult { output, tier });
             while self.results.len() > self.config.result_cache_cap.max(1) {
                 self.results.pop_first();
             }
@@ -530,6 +1066,10 @@ impl ServeEngine {
             batched: false,
             deferred: was_deferred,
             checksum,
+            retries,
+            tier,
+            faults_seen,
+            recovery_us,
         })
     }
 
@@ -556,7 +1096,7 @@ impl ServeEngine {
         let keys: Vec<PlanKey> = (0..order)
             .map(|mode| PlanKey::new(fingerprint, TensorOp::SpMttkrp { mode }, rank))
             .collect();
-        let device_index = (keys[0].digest() % self.devices.len() as u64) as usize;
+        let device_index = self.affinity_device(keys[0].digest());
         let mut plans = Vec::with_capacity(order);
         let mut sources = Vec::with_capacity(order);
         for &key in &keys {
@@ -599,7 +1139,7 @@ impl ServeEngine {
             formats.push(admitted.format);
         }
         let block_size = plans[0].block_size;
-        let tensor = &self.tensors[&request.tensor_id].tensor;
+        let tensor = self.tensors[&request.tensor_id].tensor.clone();
         let format_refs: Vec<&FcooDevice> = formats.iter().map(Arc::as_ref).collect();
         let opts = CpOptions {
             rank,
@@ -607,23 +1147,81 @@ impl ServeEngine {
             tol: 1e-5,
             seed: request.factor_seed,
         };
-        let (output, gpu_us) = run_planned_cp(
-            &self.devices[device_index],
-            &format_refs,
-            block_size,
-            tensor,
-            &opts,
-        );
+        // Pending reservations pin the per-mode formats across attempts;
+        // they are committed once the accepted attempt is placed.
+        let pendings: Vec<ReservationId> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &key)| {
+                let transient = if i == 0 { transient_bytes } else { 0 };
+                self.pools[device_index].reserve_pending(key, transient)
+            })
+            .collect();
+        let mut tier = ExecTier::Unified;
+        let mut tier_attempts = 0usize;
+        let mut retries = 0u32;
+        let mut faults_seen = 0u32;
+        let mut recovery_us = 0.0f64;
+        let mut attempt_index = 0u32;
+        let (output, gpu_us) = loop {
+            let ran = match tier {
+                ExecTier::Cpu => run_host_cp(&tensor, &opts),
+                _ => run_planned_cp(
+                    &self.devices[device_index],
+                    &format_refs,
+                    block_size,
+                    &tensor,
+                    &opts,
+                ),
+            };
+            let damage = if tier == ExecTier::Cpu {
+                AttemptDamage {
+                    corrupted: false,
+                    injected_alloc: false,
+                    dead_us: 0.0,
+                }
+            } else {
+                self.integrity_barrier(device_index, Some(keys[0]), &mut faults_seen)
+            };
+            recovery_us += damage.dead_us;
+            if !damage.corrupted {
+                break ran;
+            }
+            // A corrupted iteration taints the whole decomposition: discard
+            // and retry the full ALS loop after a deterministic backoff.
+            retries += 1;
+            self.fault_stats.retries += 1;
+            tier_attempts += 1;
+            recovery_us += self.backoff_us(index, attempt_index);
+            attempt_index += 1;
+            if tier_attempts > self.config.fault_tolerance.max_retries {
+                // CP-ALS has no two-step rung: degrade straight to the host.
+                self.fault_stats.cpu_fallbacks += 1;
+                tier = ExecTier::Cpu;
+                tier_attempts = 0;
+            }
+        };
         // Transfers: formats uploaded this admission, the initial factors
-        // up, the final factors down.
+        // up, the final factors down (the host tier moves no factors).
         let factor_bytes: usize = shape.iter().map(|&s| s * rank * 4).sum();
-        let exec_us = self.transfer_us(uploaded_bytes + factor_bytes)
-            + gpu_us
-            + self.transfer_us(output.bytes());
-        let placement = scheduler.place_on_device(device_index, ready, exec_us);
-        for (i, &key) in keys.iter().enumerate() {
-            let transient = if i == 0 { transient_bytes } else { 0 };
-            self.pools[device_index].reserve(key, transient, placement.finish_us);
+        let h2d_bytes = if tier == ExecTier::Cpu {
+            uploaded_bytes
+        } else {
+            uploaded_bytes + factor_bytes
+        };
+        let d2h_us = if tier == ExecTier::Cpu {
+            0.0
+        } else {
+            self.transfer_us(output.bytes())
+        };
+        let exec_us = self.transfer_us(h2d_bytes) + gpu_us + d2h_us;
+        let placement = if recovery_us > 0.0 {
+            scheduler.place_on_device_delayed(device_index, ready, recovery_us, exec_us)
+        } else {
+            scheduler.place_on_device(device_index, ready, exec_us)
+        };
+        for &pending in &pendings {
+            self.pools[device_index].commit(pending, placement.finish_us);
         }
         let checksum = output.checksum();
         self.cp_executions.push(CpExecution {
@@ -633,6 +1231,7 @@ impl ServeEngine {
             factor_seed: request.factor_seed,
             threadlens: plans.iter().map(|p| p.fcoo.threadlen).collect(),
             block_size,
+            tier,
             output,
         });
         Ok(RequestMetrics {
@@ -650,6 +1249,10 @@ impl ServeEngine {
             batched: false,
             deferred: was_deferred,
             checksum,
+            retries,
+            tier,
+            faults_seen,
+            recovery_us,
         })
     }
 
@@ -719,6 +1322,105 @@ impl ServeEngine {
         }
     }
 
+    /// Runs one attempt on the requested degradation-ladder tier. Returns
+    /// the output, the simulated kernel time, and the factor upload bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_tier(
+        &self,
+        device_index: usize,
+        tier: ExecTier,
+        format: &Arc<FcooDevice>,
+        tensor_id: &str,
+        op: TensorOp,
+        rank: usize,
+        block_size: usize,
+        threadlen: usize,
+        factor_seed: u64,
+    ) -> Result<(JobOutput, f64, usize), String> {
+        match tier {
+            ExecTier::Unified => self.execute(
+                device_index,
+                format,
+                tensor_id,
+                op,
+                rank,
+                block_size,
+                factor_seed,
+            ),
+            ExecTier::TwoStep => self.execute_two_step(
+                device_index,
+                tensor_id,
+                op,
+                rank,
+                block_size,
+                threadlen,
+                factor_seed,
+            ),
+            ExecTier::Cpu => self.execute_cpu(tensor_id, op, rank, factor_seed),
+        }
+    }
+
+    /// The two-step fallback (Fig. 3a): SpTTM then a second unified launch,
+    /// on the same (faulted) device — still covered by the integrity barrier.
+    /// SpMTTKRP on 3-order tensors only.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_two_step(
+        &self,
+        device_index: usize,
+        tensor_id: &str,
+        op: TensorOp,
+        rank: usize,
+        block_size: usize,
+        threadlen: usize,
+        factor_seed: u64,
+    ) -> Result<(JobOutput, f64, usize), String> {
+        let TensorOp::SpMttkrp { mode } = op else {
+            return Err("two-step fallback only covers SpMTTKRP".to_string());
+        };
+        let registered = self.registered(tensor_id)?;
+        let tensor = &registered.tensor;
+        if tensor.order() != 3 {
+            return Err("two-step fallback is 3-order only".to_string());
+        }
+        let shape = tensor.shape();
+        let hosts: Vec<DenseMatrix> = (0..3)
+            .map(|m| DenseMatrix::random(shape[m], rank, factor_seed_for_mode(factor_seed, m)))
+            .collect();
+        let refs: Vec<&DenseMatrix> = hosts.iter().collect();
+        let factor_bytes: usize = hosts.iter().map(|h| h.data().len() * 4).sum();
+        let cfg = LaunchConfig::with_block_size(block_size);
+        let outcome = fcoo::spmttkrp_two_step_unified(
+            &self.devices[device_index],
+            tensor,
+            mode,
+            &refs,
+            threadlen,
+            &cfg,
+        )
+        .map_err(|e| format!("two-step allocation failed: {e}"))?;
+        Ok((
+            JobOutput::Dense(outcome.result),
+            outcome.stats.time_us,
+            factor_bytes,
+        ))
+    }
+
+    /// The last rung: sequential host reference with analytic timing. Never
+    /// touches a device, so it cannot fault — the ladder always terminates.
+    fn execute_cpu(
+        &self,
+        tensor_id: &str,
+        op: TensorOp,
+        rank: usize,
+        factor_seed: u64,
+    ) -> Result<(JobOutput, f64, usize), String> {
+        let registered = self.registered(tensor_id)?;
+        let tensor = &registered.tensor;
+        let output = host_reference_output(tensor, op, rank, factor_seed);
+        let kernel_us = cpu_reference_us(tensor.nnz(), rank, tensor.order());
+        Ok((output, kernel_us, 0))
+    }
+
     /// Re-runs every cached unique result (single ops and CP-ALS jobs)
     /// through the one-shot API on a fresh device and compares bit-exactly.
     /// Returns `(checked, mismatches)`.
@@ -736,7 +1438,7 @@ impl ServeEngine {
             let Some(plan) = self.plans.peek(*key) else {
                 continue;
             };
-            let reference = one_shot_reference(
+            let reference = one_shot_tier_reference(
                 &self.config.device_config,
                 &registered.tensor,
                 key.op(),
@@ -744,6 +1446,7 @@ impl ServeEngine {
                 *factor_seed,
                 plan.fcoo.threadlen,
                 plan.block_size,
+                cached.tier,
             );
             checked += 1;
             match reference {
@@ -755,15 +1458,26 @@ impl ServeEngine {
             let Some(registered) = self.tensors.get(&exec.tensor_id) else {
                 continue;
             };
-            let reference = one_shot_cp_reference(
-                &self.config.device_config,
-                &registered.tensor,
-                exec.rank,
-                exec.iterations,
-                exec.factor_seed,
-                &exec.threadlens,
-                exec.block_size,
-            );
+            let reference = match exec.tier {
+                ExecTier::Cpu => {
+                    let opts = CpOptions {
+                        rank: exec.rank,
+                        max_iters: exec.iterations,
+                        tol: 1e-5,
+                        seed: exec.factor_seed,
+                    };
+                    Some(run_host_cp(&registered.tensor, &opts).0)
+                }
+                _ => one_shot_cp_reference(
+                    &self.config.device_config,
+                    &registered.tensor,
+                    exec.rank,
+                    exec.iterations,
+                    exec.factor_seed,
+                    &exec.threadlens,
+                    exec.block_size,
+                ),
+            };
             checked += 1;
             match reference {
                 Some(reference) if reference == exec.output => {}
@@ -808,18 +1522,33 @@ struct PlannedCpEngine<'a> {
 
 impl MttkrpEngine for PlannedCpEngine<'_> {
     fn mttkrp(&mut self, mode: usize, factors: &[DenseMatrix]) -> (DenseMatrix, f64) {
-        let uploaded: Vec<DeviceMatrix> = factors
-            .iter()
-            .map(|f| {
-                DeviceMatrix::upload(self.device.memory(), f)
-                    .expect("admission control sized the device for CP factors")
-            })
-            .collect();
-        let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
-        let (result, stats) = fcoo::spmttkrp(self.device, self.formats[mode], &refs, &self.cfg)
-            .expect("admission control sized the device for the CP output");
-        self.last_mttkrp_finish = self.timeline.push(0, stats.time_us);
-        (result, stats.time_us)
+        // Admission control sized the device for CP factors, so an
+        // `OutOfMemory` here is an *injected* allocation failure. Bounded
+        // retries keep the ALS loop alive; the serving engine's integrity
+        // barrier still discards the decomposition if anything corrupted it.
+        let mut last_err = None;
+        for _ in 0..8 {
+            let uploaded: Result<Vec<DeviceMatrix>, _> = factors
+                .iter()
+                .map(|f| DeviceMatrix::upload(self.device.memory(), f))
+                .collect();
+            let uploaded = match uploaded {
+                Ok(u) => u,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+            match fcoo::spmttkrp(self.device, self.formats[mode], &refs, &self.cfg) {
+                Ok((result, stats)) => {
+                    self.last_mttkrp_finish = self.timeline.push(0, stats.time_us);
+                    return (result, stats.time_us);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        panic!("admission control sized the device for CP work: {last_err:?}");
     }
 
     fn dense_update_us(&mut self, rows: usize, rank: usize) -> Option<f64> {
@@ -871,6 +1600,103 @@ fn run_planned_cp(
         },
         gpu_us,
     )
+}
+
+/// Sequential host MTTKRP engine with the analytic timing model — the CP
+/// ladder's last rung. It never touches a device (so it cannot fault) and
+/// never reads the wall clock (so reports stay deterministic).
+struct HostCpEngine<'a> {
+    tensor: &'a SparseTensorCoo,
+    elapsed_us: f64,
+}
+
+impl MttkrpEngine for HostCpEngine<'_> {
+    fn mttkrp(&mut self, mode: usize, factors: &[DenseMatrix]) -> (DenseMatrix, f64) {
+        let refs: Vec<&DenseMatrix> = factors.iter().collect();
+        let result = tensor_core::ops::spmttkrp(self.tensor, mode, &refs);
+        let us = cpu_reference_us(self.tensor.nnz(), result.cols(), self.tensor.order());
+        self.elapsed_us += us;
+        (result, us)
+    }
+
+    fn dense_update_us(&mut self, rows: usize, rank: usize) -> Option<f64> {
+        // Gram products + solve at the same analytic 2 GFLOP/s host rate.
+        let flops = 2.0 * rows as f64 * (rank * rank) as f64 + (rank * rank * rank) as f64;
+        let us = flops / 2000.0;
+        self.elapsed_us += us;
+        Some(us)
+    }
+
+    fn overlapped_elapsed_us(&self) -> Option<f64> {
+        Some(self.elapsed_us)
+    }
+
+    fn name(&self) -> &'static str {
+        "serve-host"
+    }
+}
+
+/// Runs CP-ALS entirely on the host; returns the factor model and the
+/// analytic host makespan in microseconds.
+fn run_host_cp(tensor: &SparseTensorCoo, opts: &CpOptions) -> (JobOutput, f64) {
+    let mut engine = HostCpEngine {
+        tensor,
+        elapsed_us: 0.0,
+    };
+    let run = cp_als(tensor, &mut engine, opts);
+    let host_us = run.overlapped_total_us.unwrap_or_else(|| run.total_us());
+    (
+        JobOutput::Cp {
+            factors: run.model.factors,
+            lambda: run.model.lambda,
+        },
+        host_us,
+    )
+}
+
+/// Computes the request's result the same way the given ladder tier would,
+/// on fresh fault-free resources: the verification reference for a served
+/// result. Tiers are *not* bit-exact with each other, so each result must be
+/// checked against a clean re-execution of its own tier.
+#[allow(clippy::too_many_arguments)]
+pub fn one_shot_tier_reference(
+    device_config: &DeviceConfig,
+    tensor: &SparseTensorCoo,
+    op: TensorOp,
+    rank: usize,
+    factor_seed: u64,
+    threadlen: usize,
+    block_size: usize,
+    tier: ExecTier,
+) -> Option<JobOutput> {
+    match tier {
+        ExecTier::Unified => one_shot_reference(
+            device_config,
+            tensor,
+            op,
+            rank,
+            factor_seed,
+            threadlen,
+            block_size,
+        ),
+        ExecTier::TwoStep => {
+            let TensorOp::SpMttkrp { mode } = op else {
+                return None;
+            };
+            let device = GpuDevice::new(device_config.clone());
+            let shape = tensor.shape();
+            let hosts: Vec<DenseMatrix> = (0..shape.len())
+                .map(|m| DenseMatrix::random(shape[m], rank, factor_seed_for_mode(factor_seed, m)))
+                .collect();
+            let refs: Vec<&DenseMatrix> = hosts.iter().collect();
+            let cfg = LaunchConfig::with_block_size(block_size);
+            let outcome =
+                fcoo::spmttkrp_two_step_unified(&device, tensor, mode, &refs, threadlen, &cfg)
+                    .ok()?;
+            Some(JobOutput::Dense(outcome.result))
+        }
+        ExecTier::Cpu => Some(host_reference_output(tensor, op, rank, factor_seed)),
+    }
 }
 
 /// Computes the request's result through the one-shot API: fresh device,

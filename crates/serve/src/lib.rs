@@ -21,6 +21,15 @@
 //! Every served result is bit-exact with the one-shot API (the integration
 //! tests and the engine's `verify` mode check this), so serving is purely a
 //! performance reframing — never a numerical one.
+//!
+//! With deterministic fault injection enabled (the `fault_injection` field
+//! of [`engine::ServeConfig`]), the engine additionally recovers from ECC
+//! errors, launch/allocation failures, stream stalls and dropped atomics:
+//! every attempt passes an integrity barrier (a full memory scrub), corrupted
+//! attempts are retried with capped exponential backoff, repeatedly failing
+//! requests degrade down a verified ladder (unified → two-step → host), and
+//! repeat offenders trigger device quarantine or plan invalidation. See
+//! `docs/FAULTS.md` for the full fault model.
 
 #![warn(missing_docs)]
 
@@ -33,12 +42,12 @@ pub mod scheduler;
 pub mod workload;
 
 pub use engine::{
-    one_shot_cp_reference, one_shot_reference, JobOutput, Rejection, ServeConfig, ServeEngine,
-    ServeReport,
+    one_shot_cp_reference, one_shot_reference, one_shot_tier_reference, FaultStats, FaultTolerance,
+    JobOutput, Rejection, ServeConfig, ServeEngine, ServeReport,
 };
 pub use fingerprint::tensor_fingerprint;
-pub use metrics::{LatencySummary, RequestMetrics};
+pub use metrics::{ExecTier, LatencySummary, RequestMetrics};
 pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanSource};
-pub use pool::{AdmitError, DevicePool, PoolStats};
+pub use pool::{AdmitError, DevicePool, PoolStats, ReservationId};
 pub use scheduler::{Placement, Scheduler};
 pub use workload::{synthetic, Request, ServeOp, TensorSpec, Workload, WorkloadError};

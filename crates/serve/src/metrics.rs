@@ -3,6 +3,34 @@
 use crate::plan::PlanSource;
 use crate::workload::ServeOp;
 
+/// Which rung of the graceful-degradation ladder produced a result.
+///
+/// Under fault injection the engine retries a tier a bounded number of
+/// times, then falls one rung: the unified one-shot kernel, the two-step
+/// method (Fig. 3a: SpTTM + segmented reduction, SpMTTKRP-only), and
+/// finally the sequential host reference. Each tier is verified bit-exactly
+/// against a clean re-execution of the *same* tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExecTier {
+    /// The paper's unified one-shot kernel on the simulated device.
+    Unified,
+    /// Two-step fallback (materialized intermediate, two launches).
+    TwoStep,
+    /// Sequential `tensor_core::ops` reference on the host (last resort).
+    Cpu,
+}
+
+impl ExecTier {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecTier::Unified => "unified",
+            ExecTier::TwoStep => "two-step",
+            ExecTier::Cpu => "cpu",
+        }
+    }
+}
+
 /// Timing and provenance of one served request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestMetrics {
@@ -32,8 +60,18 @@ pub struct RequestMetrics {
     pub batched: bool,
     /// True when admission control made the job wait for memory.
     pub deferred: bool,
-    /// Checksum of the result (sum of elements), for cheap cross-checks.
-    pub checksum: f64,
+    /// Order-independent checksum of the result bits (see
+    /// [`crate::engine::JobOutput::checksum`]), for cheap cross-checks.
+    pub checksum: u64,
+    /// Attempts discarded before the accepted one (fault recovery).
+    pub retries: u32,
+    /// Degradation-ladder tier that produced the accepted result.
+    pub tier: ExecTier,
+    /// Injected fault events observed while serving this request.
+    pub faults_seen: u32,
+    /// Dead time spent on failed attempts, stalls, backoff waits and
+    /// redundant re-executions (µs); zero for a fault-free request.
+    pub recovery_us: f64,
 }
 
 impl RequestMetrics {
@@ -121,7 +159,11 @@ mod tests {
             plan_source: PlanSource::Memory,
             batched: false,
             deferred: false,
-            checksum: 0.0,
+            checksum: 0,
+            retries: 0,
+            tier: ExecTier::Unified,
+            faults_seen: 0,
+            recovery_us: 0.0,
         };
         let reqs: Vec<_> = (0..10).map(|i| make(0.0, (i + 1) as f64 * 10.0)).collect();
         let s = LatencySummary::from_requests(&reqs);

@@ -217,6 +217,19 @@ impl PlanCache {
         self.plans.get(&key).map(Arc::clone)
     }
 
+    /// Drops `key` from memory *and* disk, so the next lookup pays a full
+    /// rebuild instead of replaying a possibly-suspect plan. Used by the
+    /// fault-tolerant serving path when a plan's tuned configuration
+    /// correlates with corrupting faults. Returns true when an in-memory
+    /// plan was actually dropped.
+    pub fn invalidate(&mut self, key: PlanKey) -> bool {
+        let removed = self.plans.remove(&key).is_some();
+        if let Some(dir) = &self.dir {
+            std::fs::remove_file(dir.join(key.file_name())).ok();
+        }
+        removed
+    }
+
     /// Returns the plan for `key`, preprocessing `tensor` on `device` only
     /// when neither memory nor disk has it.
     pub fn get_or_build(
@@ -420,6 +433,31 @@ mod tests {
         assert_eq!(plan.block_size, 64);
         assert_eq!(warm.stats().refuted_loads, 1);
         assert_eq!(warm.stats().disk_hits, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalidate_forces_a_rebuild_from_scratch() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let key = key_for(&tensor);
+        let dir = std::env::temp_dir().join("serve_plan_test_invalidate");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cache = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[8]);
+        let (_, source) = cache.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        assert!(dir.join(key.file_name()).exists());
+        // Invalidation removes the memory copy and the persisted file, so
+        // the next lookup cannot hit either.
+        assert!(cache.invalidate(key));
+        assert!(!dir.join(key.file_name()).exists());
+        assert!(cache.peek(key).is_none());
+        let (_, source) = cache.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        assert_eq!(cache.stats().builds, 2);
+        // Invalidating an absent key reports false and stays harmless.
+        cache.invalidate(key);
+        assert!(!cache.invalidate(key));
         std::fs::remove_dir_all(&dir).ok();
     }
 

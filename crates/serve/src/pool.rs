@@ -81,10 +81,18 @@ struct CachedFormat {
 }
 
 struct Reservation {
+    id: u64,
     finish_us: f64,
     bytes: usize,
     key: PlanKey,
 }
+
+/// Handle to a pending (not yet committed) reservation. A job holds one
+/// while it executes; [`DevicePool::commit`] turns it into a timed
+/// reservation on success and [`DevicePool::release`] cancels it on failure,
+/// so an aborted job never leaks bytes or format pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReservationId(u64);
 
 /// Pooled view of one device's global memory.
 pub struct DevicePool {
@@ -92,6 +100,7 @@ pub struct DevicePool {
     cached: BTreeMap<PlanKey, CachedFormat>,
     reservations: Vec<Reservation>,
     tick: u64,
+    next_reservation: u64,
     stats: PoolStats,
 }
 
@@ -103,6 +112,7 @@ impl DevicePool {
             cached: BTreeMap::new(),
             reservations: Vec::new(),
             tick: 0,
+            next_reservation: 0,
             stats: PoolStats::default(),
         }
     }
@@ -228,21 +238,57 @@ impl DevicePool {
     /// Records that an admitted job holds `transient_bytes` until
     /// `finish_us` and pins its format against eviction for that span.
     pub fn reserve(&mut self, key: PlanKey, transient_bytes: usize, finish_us: f64) {
+        let id = self.reserve_pending(key, transient_bytes);
+        self.commit(id, finish_us);
+    }
+
+    /// Opens a reservation for a job about to execute: `transient_bytes` are
+    /// held and `key`'s format is pinned immediately, but no finish time is
+    /// known yet. Must be paired with [`DevicePool::commit`] (job succeeded)
+    /// or [`DevicePool::release`] (job failed) — a failed job that skips
+    /// `release` would leak its bytes forever.
+    pub fn reserve_pending(&mut self, key: PlanKey, transient_bytes: usize) -> ReservationId {
         if let Some(slot) = self.cached.get_mut(&key) {
             slot.pins += 1;
         }
+        self.next_reservation += 1;
+        let id = self.next_reservation;
         self.reservations.push(Reservation {
-            finish_us,
+            id,
+            finish_us: f64::INFINITY,
             bytes: transient_bytes,
             key,
         });
+        ReservationId(id)
     }
 
-    /// Earliest time an in-flight reservation retires, if any.
+    /// Gives a pending reservation its finish time; it now retires through
+    /// [`DevicePool::retire`] like any other. No-op for unknown ids.
+    pub fn commit(&mut self, id: ReservationId, finish_us: f64) {
+        if let Some(r) = self.reservations.iter_mut().find(|r| r.id == id.0) {
+            r.finish_us = finish_us;
+        }
+    }
+
+    /// Cancels a reservation: its bytes are freed and its format unpinned
+    /// immediately (the error path of a failed job). No-op for ids already
+    /// retired or released, so it can never double-unpin.
+    pub fn release(&mut self, id: ReservationId) {
+        if let Some(pos) = self.reservations.iter().position(|r| r.id == id.0) {
+            let r = self.reservations.remove(pos);
+            if let Some(slot) = self.cached.get_mut(&r.key) {
+                slot.pins = slot.pins.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Earliest time an in-flight reservation retires, if any. Pending
+    /// (uncommitted) reservations have no finish time and are excluded.
     pub fn earliest_release(&self) -> Option<f64> {
         self.reservations
             .iter()
             .map(|r| r.finish_us)
+            .filter(|f| f.is_finite())
             .min_by(f64::total_cmp)
     }
 
@@ -380,6 +426,49 @@ mod tests {
         let mut pool = DevicePool::new(memory);
         let err = pool.admit(key, &fcoo, 1 << 20, 1 << 20).unwrap_err();
         assert!(matches!(err, AdmitError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn failed_jobs_release_their_reservations() {
+        // Regression: a job that fails after acquiring device memory must
+        // leave pool bytes-in-use and format pins exactly as it found them.
+        let device = GpuDevice::titan_x();
+        let mut pool = DevicePool::new(device.memory().clone());
+        let (key, fcoo) = fcoo_for(6);
+        let fb = bytes_of(&fcoo);
+        pool.admit(key, &fcoo, fb, 2048).unwrap();
+        let before = pool.reserved_bytes();
+        let id = pool.reserve_pending(key, 2048);
+        assert_eq!(pool.reserved_bytes(), before + 2048);
+        // Pending reservations have no finish time and never self-retire.
+        assert_eq!(pool.earliest_release(), None);
+        pool.retire(f64::MAX);
+        assert_eq!(pool.reserved_bytes(), before + 2048);
+        // The job fails: release must restore bytes-in-use exactly.
+        pool.release(id);
+        assert_eq!(pool.reserved_bytes(), before);
+        // The format is unpinned again: releasing twice must not underflow
+        // another job's pin.
+        let other = pool.reserve_pending(key, 512);
+        pool.release(id);
+        assert_eq!(pool.reserved_bytes(), 512);
+        pool.release(other);
+        assert_eq!(pool.reserved_bytes(), 0);
+    }
+
+    #[test]
+    fn committed_reservations_retire_like_direct_ones() {
+        let device = GpuDevice::titan_x();
+        let mut pool = DevicePool::new(device.memory().clone());
+        let (key, fcoo) = fcoo_for(7);
+        let fb = bytes_of(&fcoo);
+        pool.admit(key, &fcoo, fb, 1024).unwrap();
+        let id = pool.reserve_pending(key, 1024);
+        pool.commit(id, 75.0);
+        assert_eq!(pool.earliest_release(), Some(75.0));
+        pool.retire(75.0);
+        assert_eq!(pool.reserved_bytes(), 0);
+        assert_eq!(pool.earliest_release(), None);
     }
 
     #[test]

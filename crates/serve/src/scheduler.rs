@@ -87,6 +87,46 @@ impl Scheduler {
         self.place_on(device, stream, avail, ready_us, duration_us)
     }
 
+    /// Places a job on a specific device whose service includes `dead_us`
+    /// of blocked-but-idle stream time (failed attempts, injected stalls,
+    /// retry backoff) before `duration_us` of real work. The dead span
+    /// counts toward the makespan — the stream is occupied — but not toward
+    /// busy time, exactly like a dependency wait, so utilization numbers
+    /// stay honest under fault injection.
+    pub fn place_on_device_delayed(
+        &mut self,
+        device: usize,
+        ready_us: f64,
+        dead_us: f64,
+        duration_us: f64,
+    ) -> Placement {
+        let device = device.min(self.timelines.len() - 1);
+        let timeline = &mut self.timelines[device];
+        let mut stream = 0;
+        let mut avail = f64::INFINITY;
+        for s in 0..timeline.streams() {
+            let t = timeline.stream_elapsed_us(s);
+            if t < avail {
+                avail = t;
+                stream = s;
+            }
+        }
+        let start_us = avail.max(ready_us);
+        // Advance to the start without busy credit, burn the dead time,
+        // then enqueue the real work.
+        timeline.try_push_after(stream, ready_us, 0.0);
+        timeline.stall(stream, dead_us);
+        let finish_us = timeline
+            .try_push(stream, duration_us)
+            .unwrap_or(start_us + dead_us + duration_us);
+        Placement {
+            device,
+            stream,
+            start_us,
+            finish_us,
+        }
+    }
+
     fn place_on(
         &mut self,
         device: usize,
@@ -169,6 +209,25 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn delayed_placement_charges_dead_time_to_makespan_not_busy() {
+        let mut sched = Scheduler::new(1, 1);
+        let p = sched.place_on_device_delayed(0, 10.0, 40.0, 50.0);
+        assert_eq!(p.start_us, 10.0);
+        assert_eq!(p.finish_us, 100.0);
+        assert_eq!(sched.makespan_us(), 100.0);
+        // Only the 50 µs of real work counts as busy.
+        let u = sched.utilizations();
+        assert!((u[0][0] - 0.5).abs() < 1e-12, "{:?}", u);
+        // Zero dead time degenerates to the plain placement.
+        let mut a = Scheduler::new(1, 2);
+        let mut b = Scheduler::new(1, 2);
+        let pa = a.place_on_device(0, 5.0, 30.0);
+        let pb = b.place_on_device_delayed(0, 5.0, 0.0, 30.0);
+        assert_eq!(pa, pb);
+        assert_eq!(a.utilizations(), b.utilizations());
     }
 
     #[test]

@@ -114,6 +114,15 @@ fn run(args: &[String]) -> Result<String, String> {
             };
             cli::serve(spec, plan_dir, verify).map_err(|e| e.to_string())
         }
+        "chaos" => {
+            let [_, spec, schedule, seed] = args else {
+                return Err("chaos needs <workload.txt|synthetic:N:SEED> <schedule> <seed>".into());
+            };
+            let seed = seed
+                .parse::<u64>()
+                .map_err(|_| format!("bad seed `{seed}`"))?;
+            cli::chaos(spec, schedule, seed).map_err(|e| e.to_string())
+        }
         "help" | "--help" | "-h" => Ok(cli::USAGE.to_string()),
         other => Err(format!("unknown command `{other}`")),
     }

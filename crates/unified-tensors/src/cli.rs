@@ -431,11 +431,10 @@ pub fn workload_gen(requests: usize, seed: u64, path: &Path) -> Result<String, C
     ))
 }
 
-/// `tensortool serve <workload.txt|synthetic:N:SEED> [plan-dir] [--verify]`
-/// — replay a request workload through the serving engine and report
-/// latency, throughput, cache-hit rate and per-stream utilization.
-pub fn serve(spec: &str, plan_dir: Option<&Path>, verify: bool) -> Result<String, CliError> {
-    let workload = if let Some(rest) = spec.strip_prefix("synthetic:") {
+/// Resolves a workload argument: a path to a workload file or an inline
+/// `synthetic:<requests>:<seed>` spec.
+fn parse_workload_spec(spec: &str) -> Result<crate::serve::Workload, CliError> {
+    if let Some(rest) = spec.strip_prefix("synthetic:") {
         let (n, seed) = rest
             .split_once(':')
             .ok_or_else(|| err("synthetic spec is synthetic:<requests>:<seed>"))?;
@@ -445,12 +444,19 @@ pub fn serve(spec: &str, plan_dir: Option<&Path>, verify: bool) -> Result<String
         let seed = seed
             .parse::<u64>()
             .map_err(|_| err(format!("bad seed `{seed}`")))?;
-        crate::serve::synthetic(n, seed)
+        Ok(crate::serve::synthetic(n, seed))
     } else {
         let text =
             std::fs::read_to_string(spec).map_err(|e| err(format!("cannot open {spec}: {e}")))?;
-        crate::serve::Workload::parse(&text).map_err(|e| err(format!("{spec}: {e}")))?
-    };
+        crate::serve::Workload::parse(&text).map_err(|e| err(format!("{spec}: {e}")))
+    }
+}
+
+/// `tensortool serve <workload.txt|synthetic:N:SEED> [plan-dir] [--verify]`
+/// — replay a request workload through the serving engine and report
+/// latency, throughput, cache-hit rate and per-stream utilization.
+pub fn serve(spec: &str, plan_dir: Option<&Path>, verify: bool) -> Result<String, CliError> {
+    let workload = parse_workload_spec(spec)?;
     if let Some(dir) = plan_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| err(format!("cannot create {}: {e}", dir.display())))?;
@@ -472,6 +478,112 @@ pub fn serve(spec: &str, plan_dir: Option<&Path>, verify: bool) -> Result<String
         return Err(err(out));
     }
     Ok(out)
+}
+
+/// Parses a chaos fault schedule: `quiet`, `chaos:<rate>` (all five fault
+/// kinds at one rate), or a comma-separated per-kind list — `ecc:<r>`,
+/// `launch:<r>`, `alloc:<r>`, `stall:<r>`, `atomic:<r>`.
+fn parse_schedule(schedule: &str, seed: u64) -> Result<crate::gpu_sim::FaultConfig, CliError> {
+    use crate::gpu_sim::FaultConfig;
+    if schedule == "quiet" {
+        return Ok(FaultConfig::quiet(seed));
+    }
+    if let Some(rate) = schedule.strip_prefix("chaos:") {
+        let rate: f64 = rate
+            .parse()
+            .map_err(|_| err(format!("bad fault rate `{rate}`")))?;
+        return Ok(FaultConfig::chaos(seed, rate));
+    }
+    let mut config = FaultConfig::quiet(seed);
+    config.detection_latency = 2;
+    config.stall_us = 5_000.0;
+    for part in schedule.split(',') {
+        let (kind, rate) = part
+            .split_once(':')
+            .ok_or_else(|| err(format!("bad schedule part `{part}` (want kind:rate)")))?;
+        let rate: f64 = rate
+            .parse()
+            .map_err(|_| err(format!("bad fault rate `{rate}`")))?;
+        match kind {
+            "ecc" => {
+                config.ecc_single_rate = rate;
+                config.ecc_double_rate = rate;
+            }
+            "launch" => config.launch_failure_rate = rate,
+            "alloc" => config.alloc_failure_rate = rate,
+            "stall" => config.stall_rate = rate,
+            "atomic" => config.dropped_atomic_rate = rate,
+            other => return Err(err(format!("unknown fault kind `{other}`"))),
+        }
+    }
+    Ok(config)
+}
+
+/// `tensortool chaos <workload.txt|synthetic:N:SEED> <schedule> <seed>` —
+/// replay a workload with deterministic fault injection installed on every
+/// serving device and assert the recovery guarantees: zero wrong results,
+/// zero lost requests, and pool bytes-in-use back at zero. Exits non-zero
+/// on any violation.
+pub fn chaos(spec: &str, schedule: &str, seed: u64) -> Result<String, CliError> {
+    let workload = parse_workload_spec(spec)?;
+    let fault = parse_schedule(schedule, seed)?;
+    let config = crate::serve::ServeConfig {
+        devices: 2,
+        verify: true,
+        fault_injection: Some(fault),
+        ..crate::serve::ServeConfig::default()
+    };
+    let devices = config.devices;
+    let mut engine = crate::serve::ServeEngine::new(config);
+    let report = engine.run(&workload);
+    let mut out = format!(
+        "chaos: {} requests under schedule `{schedule}` (seed {seed})\n",
+        workload.requests.len()
+    );
+    out.push_str(&report.render());
+    let mut violations = Vec::new();
+    if report.requests.len() + report.rejections.len() != workload.requests.len() {
+        violations.push(format!(
+            "lost requests: {} served + {} rejected != {} submitted",
+            report.requests.len(),
+            report.rejections.len(),
+            workload.requests.len()
+        ));
+    }
+    if !report.rejections.is_empty() {
+        violations.push(format!(
+            "{} requests rejected under faults: {}",
+            report.rejections.len(),
+            report.rejections[0].reason
+        ));
+    }
+    if report.verify_failures > 0 {
+        violations.push(format!(
+            "{} of {} verified results mismatched their clean re-execution",
+            report.verify_failures, report.verified
+        ));
+    }
+    for d in 0..devices {
+        let leaked = engine.pool(d).reserved_bytes();
+        if leaked > 0 {
+            violations.push(format!("device {d} leaked {leaked} B of pool reservations"));
+        }
+    }
+    if violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "chaos verdict: {} faults injected, {} retries — zero wrong results, \
+             zero lost requests, zero leaked bytes",
+            report.fault_stats.injected(),
+            report.fault_stats.retries
+        );
+        Ok(out)
+    } else {
+        for violation in &violations {
+            let _ = writeln!(out, "chaos violation: {violation}");
+        }
+        Err(err(out))
+    }
 }
 
 fn check_mode(tensor: &SparseTensorCoo, mode: usize) -> Result<(), CliError> {
@@ -503,6 +615,7 @@ USAGE:
   tensortool analyze <file.tns> <mode> <rank>
   tensortool workload <requests> <seed> <out.txt>
   tensortool serve <workload.txt|synthetic:N:SEED> [plan-dir] [--verify]
+  tensortool chaos <workload.txt|synthetic:N:SEED> <schedule> <seed>
 
 Modes are 1-based, matching the paper's notation. `sanitize` lints the
 F-COO invariants and replays the kernel under the memory sanitizer
@@ -514,6 +627,11 @@ plan cache. `serve` replays a request workload (see docs/SERVING.md for the file
 format) through the multi-tenant engine — plan cache, device memory pool,
 multi-stream scheduler — and prints latency/throughput/cache-hit stats;
 with a plan-dir, tuned plans persist across invocations for warm restarts.
+`chaos` replays a workload with deterministic fault injection (schedules:
+`quiet`, `chaos:<rate>`, or per-kind `ecc:<r>,launch:<r>,alloc:<r>,stall:<r>,
+atomic:<r>`) and exits non-zero unless the engine recovers every request
+with zero wrong results, zero lost requests, and zero leaked pool bytes —
+see docs/FAULTS.md for the fault model and recovery ladder.
 ";
 
 #[cfg(test)]
@@ -679,5 +797,33 @@ mod tests {
         assert!(serve("synthetic:zebra:5", None, false).is_err());
         assert!(serve("synthetic:20", None, false).is_err());
         assert!(serve("/nonexistent/workload.txt", None, false).is_err());
+    }
+
+    #[test]
+    fn chaos_recovers_a_faulted_workload() {
+        let text = chaos("synthetic:60:2017", "chaos:0.02", 7).unwrap();
+        assert!(text.contains("faults:"), "{text}");
+        assert!(text.contains("chaos verdict:"), "{text}");
+        assert!(text.contains("zero wrong results"), "{text}");
+    }
+
+    #[test]
+    fn chaos_quiet_schedule_injects_nothing() {
+        let text = chaos("synthetic:20:3", "quiet", 1).unwrap();
+        assert!(text.contains("chaos verdict: 0 faults injected"), "{text}");
+        assert!(!text.contains("faults:"), "{text}");
+    }
+
+    #[test]
+    fn chaos_accepts_per_kind_schedules() {
+        let text = chaos("synthetic:30:5", "ecc:0.05,alloc:0.03", 2).unwrap();
+        assert!(text.contains("chaos verdict:"), "{text}");
+    }
+
+    #[test]
+    fn chaos_rejects_bad_schedules() {
+        assert!(chaos("synthetic:5:1", "chaos:zebra", 1).is_err());
+        assert!(chaos("synthetic:5:1", "meteor:0.1", 1).is_err());
+        assert!(chaos("synthetic:5:1", "ecc", 1).is_err());
     }
 }
