@@ -16,6 +16,7 @@ use crate::faults;
 use crate::memory::{DeviceBuffer, DeviceMemory};
 use crate::record::{self, AccessKind, AccessLog, BlockRecord, LaunchRecord};
 use crate::stats::{BlockStats, KernelStats};
+use crate::trace::{self, BlockTrace, LaunchTrace, MemoryEvent, MemoryEventKind, TraceLog};
 use parking_lot::Mutex;
 
 /// A simulated GPU: configuration plus global memory.
@@ -24,6 +25,8 @@ pub struct GpuDevice {
     memory: DeviceMemory,
     /// `Some` while the device is in sanitizer recording mode.
     recording: Mutex<Option<AccessLog>>,
+    /// `Some` while the device is in profiler tracing mode.
+    tracing: Mutex<Option<TraceLog>>,
 }
 
 impl GpuDevice {
@@ -34,6 +37,7 @@ impl GpuDevice {
             config,
             memory,
             recording: Mutex::new(None),
+            tracing: Mutex::new(None),
         }
     }
 
@@ -76,6 +80,43 @@ impl GpuDevice {
             .expect("stop_recording called on a device that was not recording");
         record::recording_device_removed();
         log
+    }
+
+    /// Puts the device into profiler tracing mode: every subsequent launch
+    /// captures a [`LaunchTrace`] (per-block memory events plus wave spans on
+    /// the simulated timeline) until [`GpuDevice::stop_tracing`] is called.
+    /// Idempotent while tracing. Tracing only observes — results and
+    /// simulated timings are bit-exact with an untraced run.
+    pub fn start_tracing(&self) {
+        let mut guard = self.tracing.lock();
+        if guard.is_none() {
+            *guard = Some(TraceLog::default());
+            trace::tracing_device_added();
+        }
+    }
+
+    /// Leaves tracing mode and returns everything captured since
+    /// [`GpuDevice::start_tracing`].
+    ///
+    /// # Panics
+    /// If the device was not tracing.
+    pub fn stop_tracing(&self) -> TraceLog {
+        let mut guard = self.tracing.lock();
+        let log = guard
+            .take()
+            .expect("stop_tracing called on a device that was not tracing");
+        trace::tracing_device_removed();
+        log
+    }
+
+    /// Takes the launches traced so far while staying in tracing mode.
+    /// Returns an empty vector when the device is not tracing (callers can
+    /// drain unconditionally).
+    pub fn drain_trace(&self) -> Vec<LaunchTrace> {
+        match self.tracing.lock().as_mut() {
+            Some(log) => std::mem::take(&mut log.launches),
+            None => Vec::new(),
+        }
     }
 
     /// Launches a kernel over a `grid.0 × grid.1` grid of one-dimensional
@@ -142,11 +183,21 @@ impl GpuDevice {
             if let Some(per_sm) = self.config.shared_mem_per_sm.checked_div(shared_bytes) {
                 concurrent = concurrent.min(per_sm.max(1) * self.config.num_sms);
             }
+            if let Some(log) = self.tracing.lock().as_mut() {
+                log.launches.push(LaunchTrace::dropped(
+                    grid,
+                    block_threads,
+                    concurrent,
+                    &self.config,
+                ));
+            }
             return KernelStats::from_blocks_with_concurrency(&[], concurrent, &self.config);
         }
         let recording = self.recording.lock().is_some();
-        let mut per_block: Vec<(BlockStats, Option<BlockRecord>)> = (0..total_blocks)
-            .map(|_| (BlockStats::default(), None))
+        let tracing = self.tracing.lock().is_some();
+        let mut per_block: Vec<(BlockStats, Option<BlockRecord>, Option<BlockTrace>)> = (0
+            ..total_blocks)
+            .map(|_| (BlockStats::default(), None, None))
             .collect();
         let config = &self.config;
         cpu_par::par_chunks_mut(&mut per_block, 8, |chunk_index, chunk| {
@@ -158,25 +209,31 @@ impl GpuDevice {
                 if recording {
                     record::begin_block(block_linear);
                 }
+                if tracing {
+                    trace::begin_block(block_linear);
+                }
                 let mut ctx = BlockCtx::new(config, block_x, block_y, block_threads);
                 kernel(&mut ctx);
                 slot.0 = ctx.finish();
                 if recording {
                     slot.1 = record::end_block();
                 }
+                if tracing {
+                    slot.2 = trace::end_block();
+                }
             }
         });
-        let stats: Vec<BlockStats> = per_block.iter().map(|(s, _)| s.clone()).collect();
+        let stats: Vec<BlockStats> = per_block.iter().map(|(s, _, _)| s.clone()).collect();
         if recording {
             if let Some(log) = self.recording.lock().as_mut() {
                 log.launches.push(LaunchRecord {
                     grid,
                     block_threads,
                     blocks: per_block
-                        .into_iter()
+                        .iter()
                         .enumerate()
-                        .map(|(block, (_, rec))| {
-                            rec.unwrap_or(BlockRecord {
+                        .map(|(block, (_, rec, _))| {
+                            rec.clone().unwrap_or(BlockRecord {
                                 block,
                                 events: Vec::new(),
                             })
@@ -190,6 +247,28 @@ impl GpuDevice {
         if let Some(per_sm) = config.shared_mem_per_sm.checked_div(shared_bytes) {
             concurrent = concurrent.min(per_sm.max(1) * config.num_sms);
         }
+        if tracing {
+            if let Some(log) = self.tracing.lock().as_mut() {
+                let blocks = per_block
+                    .into_iter()
+                    .enumerate()
+                    .map(|(block, (_, _, tr))| {
+                        tr.unwrap_or(BlockTrace {
+                            block,
+                            ..BlockTrace::default()
+                        })
+                    })
+                    .collect();
+                log.launches.push(LaunchTrace::assemble(
+                    grid,
+                    block_threads,
+                    concurrent,
+                    &stats,
+                    blocks,
+                    config,
+                ));
+            }
+        }
         KernelStats::from_blocks_with_concurrency(&stats, concurrent, config)
     }
 }
@@ -198,6 +277,23 @@ impl GpuDevice {
 #[inline]
 fn range_len(bytes: usize) -> u32 {
     u32::try_from(bytes).unwrap_or(u32::MAX)
+}
+
+/// Minimum transactions a warp-wide batch of 4-byte lane accesses could need
+/// if perfectly coalesced (the profiler's coalescing baseline).
+#[inline]
+fn ideal_lane_transactions(lanes: usize, transaction_bytes: usize) -> u64 {
+    ((lanes * 4) as u64).div_ceil(transaction_bytes.max(1) as u64)
+}
+
+/// Counter snapshot taken before a narrated operation so the trace hook can
+/// attribute the operation's exact deltas without re-deriving the cost model.
+#[derive(Clone, Copy)]
+struct TraceBefore {
+    transactions: u64,
+    dram_bytes: u64,
+    rocache_hits: u64,
+    rocache_misses: u64,
 }
 
 /// Execution context handed to a kernel closure, one per thread block.
@@ -280,6 +376,9 @@ impl<'a> BlockCtx<'a> {
         if record::recording_active() {
             record::on_begin_warp();
         }
+        if trace::tracing_active() {
+            trace::on_begin_warp();
+        }
         self.close_warp();
         self.warp_open = true;
     }
@@ -312,7 +411,14 @@ impl<'a> BlockCtx<'a> {
         if record::recording_active() {
             record::on_access_batch(AccessKind::NarratedRead, addrs, 1);
         }
+        let before = self.trace_before();
         self.global_access(addrs);
+        if let Some(before) = before {
+            if !addrs.is_empty() {
+                let ideal = ideal_lane_transactions(addrs.len(), self.config.transaction_bytes);
+                self.trace_memory(MemoryEventKind::GlobalRead, Some(ideal), before, 0, 0);
+            }
+        }
     }
 
     /// Charges a warp-wide global-memory write with the given lane addresses.
@@ -321,7 +427,14 @@ impl<'a> BlockCtx<'a> {
         if record::recording_active() {
             record::on_access_batch(AccessKind::NarratedWrite, addrs, 1);
         }
+        let before = self.trace_before();
         self.global_access(addrs);
+        if let Some(before) = before {
+            if !addrs.is_empty() {
+                let ideal = ideal_lane_transactions(addrs.len(), self.config.transaction_bytes);
+                self.trace_memory(MemoryEventKind::GlobalWrite, Some(ideal), before, 0, 0);
+            }
+        }
     }
 
     /// Charges a warp-wide write whose cache lines are co-written by
@@ -335,11 +448,16 @@ impl<'a> BlockCtx<'a> {
         if record::recording_active() {
             record::on_access_batch(AccessKind::NarratedWrite, addrs, 1);
         }
+        let before = self.trace_before();
         let t = transactions(addrs, self.config.transaction_bytes) as u64;
         self.stats.transactions += t;
         self.stats.dram_bytes +=
             (t * self.config.transaction_bytes as u64 / sharers.max(1)).max(t * 4);
         self.warp_cycles += t * self.config.mem_issue_cycles;
+        if let Some(before) = before {
+            let ideal = ideal_lane_transactions(addrs.len(), self.config.transaction_bytes);
+            self.trace_memory(MemoryEventKind::GlobalWrite, Some(ideal), before, 0, 0);
+        }
     }
 
     fn global_access(&mut self, addrs: &[u64]) {
@@ -364,7 +482,13 @@ impl<'a> BlockCtx<'a> {
         if record::recording_active() {
             record::on_access(AccessKind::NarratedRead, start_addr, range_len(bytes));
         }
+        let before = self.trace_before();
         self.stream_range(start_addr, bytes);
+        if let Some(before) = before {
+            if bytes > 0 {
+                self.trace_memory(MemoryEventKind::StreamRead, None, before, 0, 0);
+            }
+        }
     }
 
     /// Charges a streaming write of a contiguous region (same model as
@@ -373,7 +497,13 @@ impl<'a> BlockCtx<'a> {
         if record::recording_active() {
             record::on_access(AccessKind::NarratedWrite, start_addr, range_len(bytes));
         }
+        let before = self.trace_before();
         self.stream_range(start_addr, bytes);
+        if let Some(before) = before {
+            if bytes > 0 {
+                self.trace_memory(MemoryEventKind::StreamWrite, None, before, 0, 0);
+            }
+        }
     }
 
     /// Cost of streaming a contiguous region through DRAM (shared by the
@@ -404,12 +534,16 @@ impl<'a> BlockCtx<'a> {
         if record::recording_active() {
             record::on_access(AccessKind::NarratedRead, start_addr, range_len(bytes));
         }
+        let before = self.trace_before();
         let shift = self.config.transaction_bytes.trailing_zeros();
         let first = start_addr >> shift;
         let last = (start_addr + bytes as u64 - 1) >> shift;
         let t = last - first + 1;
         self.stats.transactions += t;
         self.warp_cycles += t * self.config.mem_issue_cycles;
+        if let Some(before) = before {
+            self.trace_memory(MemoryEventKind::StreamRead, None, before, 0, 0);
+        }
     }
 
     /// Charges a warp-wide read of a *reused* working set of `ws_bytes`
@@ -424,6 +558,7 @@ impl<'a> BlockCtx<'a> {
         if record::recording_active() {
             record::on_access_batch(AccessKind::NarratedRead, addrs, 1);
         }
+        let before = self.trace_before();
         let t = transactions(addrs, self.config.transaction_bytes) as u64;
         self.stats.transactions += t;
         self.warp_cycles += t * self.config.mem_issue_cycles;
@@ -431,6 +566,10 @@ impl<'a> BlockCtx<'a> {
             self.warp_cycles += self.config.l2_latency_cycles;
         } else {
             self.stats.dram_bytes += t * self.config.transaction_bytes as u64;
+        }
+        if let Some(before) = before {
+            let ideal = ideal_lane_transactions(addrs.len(), self.config.transaction_bytes);
+            self.trace_memory(MemoryEventKind::GlobalRead, Some(ideal), before, 0, 0);
         }
     }
 
@@ -448,6 +587,7 @@ impl<'a> BlockCtx<'a> {
         if record::recording_active() {
             record::on_access_batch(AccessKind::NarratedRead, addrs, 1);
         }
+        let before = self.trace_before();
         let line = self.rocache.line_bytes() as u64;
         let mut seen_lines = [u64::MAX; 32];
         let mut seen = 0usize;
@@ -475,6 +615,11 @@ impl<'a> BlockCtx<'a> {
                 }
             }
         }
+        if let Some(before) = before {
+            if !addrs.is_empty() {
+                self.trace_memory(MemoryEventKind::CacheRead, None, before, 0, 0);
+            }
+        }
     }
 
     /// Performs and charges a warp's worth of `atomicAdd(float*)`: each
@@ -491,6 +636,7 @@ impl<'a> BlockCtx<'a> {
         if record::recording_active() {
             record::on_access_batch(AccessKind::NarratedAtomic, &addrs, 4);
         }
+        let before = self.trace_before();
         let mut max_multiplicity = 0u64;
         let mut seen: Vec<(usize, u64)> = Vec::with_capacity(lanes.len());
         for &(index, value) in lanes {
@@ -509,6 +655,16 @@ impl<'a> BlockCtx<'a> {
         self.warp_cycles += conflict;
         // The write traffic itself.
         self.global_access(&addrs);
+        if let Some(before) = before {
+            let ideal = ideal_lane_transactions(addrs.len(), self.config.transaction_bytes);
+            self.trace_memory(
+                MemoryEventKind::Atomic,
+                Some(ideal),
+                before,
+                lanes.len() as u64,
+                max_multiplicity,
+            );
+        }
     }
 
     /// Charges `ops` shared-memory accesses.
@@ -557,6 +713,49 @@ impl<'a> BlockCtx<'a> {
     /// Read-only cache hit rate observed so far in this block.
     pub fn rocache_hit_rate(&self) -> f64 {
         self.rocache.hit_rate()
+    }
+
+    /// Snapshot of the trace-relevant counters, taken only when tracing is
+    /// active (`None` otherwise, so the disabled path stays a single branch).
+    #[inline]
+    fn trace_before(&self) -> Option<TraceBefore> {
+        if trace::tracing_active() {
+            Some(TraceBefore {
+                transactions: self.stats.transactions,
+                dram_bytes: self.stats.dram_bytes,
+                rocache_hits: self.stats.rocache_hits,
+                rocache_misses: self.stats.rocache_misses,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Emits one trace event carrying the counter deltas since `before`.
+    /// `ideal` is the perfectly-coalesced transaction baseline (`None` means
+    /// the access is coalesced by construction, so ideal equals actual).
+    fn trace_memory(
+        &self,
+        kind: MemoryEventKind,
+        ideal: Option<u64>,
+        before: TraceBefore,
+        atomic_lanes: u64,
+        atomic_multiplicity: u64,
+    ) {
+        let transactions = self.stats.transactions - before.transactions;
+        trace::on_memory(MemoryEvent {
+            warp: 0,
+            kind,
+            transactions,
+            // Broadcast-style accesses can beat the payload baseline (one
+            // sector serves every lane), so clamp: efficiency is at most 1.
+            ideal_transactions: ideal.unwrap_or(transactions).min(transactions),
+            dram_bytes: self.stats.dram_bytes - before.dram_bytes,
+            cache_hits: self.stats.rocache_hits - before.rocache_hits,
+            cache_misses: self.stats.rocache_misses - before.rocache_misses,
+            atomic_lanes,
+            atomic_multiplicity,
+        });
     }
 }
 

@@ -46,6 +46,7 @@ pub mod scan;
 pub mod stats;
 pub mod streams;
 pub mod symbolic;
+pub mod trace;
 
 pub use config::DeviceConfig;
 pub use device_scan::{segmented_scan_device, DeviceScan};
@@ -56,3 +57,7 @@ pub use record::{AccessKind, AccessLog, BlockRecord, Event, LaunchRecord};
 pub use stats::{BlockStats, KernelStats};
 pub use streams::Timeline;
 pub use symbolic::{AffineLaneAccess, RangeAccess};
+pub use trace::{
+    BlockTrace, ChromeEvent, ChromeTrace, KernelCounters, LaunchTrace, MemoryEvent,
+    MemoryEventKind, Phase, TraceLog, WaveTrace,
+};

@@ -1,0 +1,115 @@
+//! Property tests for the tracing layer: launch traces reproduce the timing
+//! model's wave fold bit-for-bit, wave timestamps tile the launch window,
+//! and the captured event stream is identical run over run even though
+//! blocks execute on a multi-threaded host pool.
+
+use gpu_sim::{GpuDevice, LaunchTrace};
+use proptest::prelude::*;
+
+/// Runs one synthetic traced launch: `grid_x` blocks of `warps` warps, each
+/// warp reading a strided span and spinning `compute` cycles.
+fn traced_launch(
+    grid_x: usize,
+    warps: usize,
+    stride: u64,
+    compute: u64,
+) -> (Vec<LaunchTrace>, f64) {
+    let device = GpuDevice::titan_x();
+    let len = 1usize << 16;
+    let data = device
+        .memory()
+        .alloc_from_slice(&vec![0.0f32; len])
+        .expect("allocation");
+    device.start_tracing();
+    let stats = device.launch((grid_x, 1), warps * 32, |ctx| {
+        for w in 0..ctx.warps_per_block() {
+            ctx.begin_warp();
+            let base = (ctx.block_x() * ctx.warps_per_block() + w) as u64 * 32;
+            let addrs: Vec<u64> = (0..32u64)
+                .map(|lane| data.addr(((base + lane * stride) % len as u64) as usize))
+                .collect();
+            ctx.read_global(&addrs);
+            ctx.compute(compute);
+        }
+    });
+    (device.stop_tracing().launches, stats.time_us)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The trace's wave timeline reproduces `KernelStats` exactly: the first
+    /// wave starts at the launch overhead, consecutive waves abut with no
+    /// gap or overlap, and the last wave ends at `time_us` — all compared on
+    /// `f64` bit patterns, not within a tolerance.
+    #[test]
+    fn wave_timestamps_tile_the_launch_exactly(
+        grid_x in 1usize..200,
+        warps in 1usize..9,
+        stride in 1u64..40,
+        compute in 0u64..2_000,
+    ) {
+        let (launches, time_us) = traced_launch(grid_x, warps, stride, compute);
+        prop_assert_eq!(launches.len(), 1);
+        let launch = &launches[0];
+        prop_assert_eq!(launch.time_us.to_bits(), time_us.to_bits());
+        prop_assert!(!launch.waves.is_empty());
+        let overhead = GpuDevice::titan_x().config().launch_overhead_us;
+        let mut cursor = overhead;
+        let mut blocks_seen = 0;
+        for wave in &launch.waves {
+            prop_assert_eq!(wave.start_us.to_bits(), cursor.to_bits(),
+                "wave does not abut its predecessor");
+            prop_assert!(wave.dur_us >= 0.0);
+            prop_assert_eq!(
+                wave.dur_us.to_bits(),
+                wave.compute_us.max(wave.memory_us).to_bits()
+            );
+            prop_assert_eq!(wave.first_block, blocks_seen);
+            blocks_seen += wave.blocks;
+            cursor += wave.dur_us;
+        }
+        prop_assert_eq!(cursor.to_bits(), time_us.to_bits(),
+            "waves do not tile the launch window");
+        prop_assert_eq!(blocks_seen, grid_x);
+        prop_assert_eq!(launch.blocks.len(), grid_x);
+    }
+
+    /// Counters are conserved: active warps never exceed launched warps, and
+    /// in this kernel (every warp begins) they are equal; per-event ideal
+    /// transaction counts never exceed the issued count.
+    #[test]
+    fn counters_are_conserved(
+        grid_x in 1usize..100,
+        warps in 1usize..9,
+        stride in 1u64..64,
+    ) {
+        let (launches, _) = traced_launch(grid_x, warps, stride, 10);
+        let c = launches[0].counters();
+        prop_assert_eq!(c.launched_warps, (grid_x * warps) as u64);
+        prop_assert_eq!(c.active_warps, c.launched_warps);
+        prop_assert!(c.ideal_transactions <= c.transactions);
+        prop_assert!(c.occupancy() <= 1.0);
+        for block in &launches[0].blocks {
+            for event in &block.events {
+                prop_assert!(event.ideal_transactions <= event.transactions);
+            }
+        }
+    }
+
+    /// The same launch traced twice yields an identical event stream, even
+    /// though blocks are executed by a multi-threaded host pool whose
+    /// interleaving differs between runs: collection is per-block and
+    /// assembly is in block order, so host scheduling cannot leak in.
+    #[test]
+    fn event_stream_is_interleaving_independent(
+        grid_x in 1usize..150,
+        warps in 1usize..9,
+        stride in 1u64..40,
+        compute in 0u64..500,
+    ) {
+        let (a, _) = traced_launch(grid_x, warps, stride, compute);
+        let (b, _) = traced_launch(grid_x, warps, stride, compute);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

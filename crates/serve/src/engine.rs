@@ -14,6 +14,7 @@
 use crate::metrics::{ExecTier, LatencySummary, RequestMetrics};
 use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanSource};
 use crate::pool::{AdmitError, DevicePool, PoolStats, ReservationId};
+use crate::profile::{RequestProfile, ServeProfile};
 use crate::scheduler::Scheduler;
 use crate::workload::{Request, ServeOp, Workload};
 use decomp::cp::{cp_als, CpOptions, MttkrpEngine};
@@ -53,6 +54,13 @@ pub struct ServeConfig {
     pub fault_injection: Option<FaultConfig>,
     /// Recovery policy applied when `fault_injection` is active.
     pub fault_tolerance: FaultTolerance,
+    /// Profile the run: every serving device traces its launches
+    /// ([`gpu_sim::GpuDevice::start_tracing`]) and the report carries a
+    /// [`ServeProfile`] with per-request lifecycle spans, launch/wave traces
+    /// and the per-kernel counter rows. Tracing only observes — results,
+    /// simulated timings and the rest of the report are bit-exact with an
+    /// unprofiled run.
+    pub profile: bool,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +76,7 @@ impl Default for ServeConfig {
             result_cache_cap: 256,
             fault_injection: None,
             fault_tolerance: FaultTolerance::default(),
+            profile: false,
         }
     }
 }
@@ -280,6 +289,9 @@ pub struct ServeReport {
     pub verify_failures: usize,
     /// Fault and recovery tallies (all zero when injection is disabled).
     pub fault_stats: FaultStats,
+    /// Per-request profiles and counter rows (present exactly when
+    /// [`ServeConfig::profile`] was set).
+    pub profile: Option<ServeProfile>,
 }
 
 impl ServeReport {
@@ -439,6 +451,9 @@ pub struct ServeEngine {
     quarantined: Vec<bool>,
     /// Corrupting faults correlated with one plan (invalidation evidence).
     plan_fault_counts: BTreeMap<PlanKey, u64>,
+    /// Per-request profiles of the current run (only filled when
+    /// [`ServeConfig::profile`] is set).
+    profiled: Vec<RequestProfile>,
 }
 
 /// Deterministic per-mode factor seed derivation, shared with the one-shot
@@ -530,6 +545,13 @@ impl ServeEngine {
                 device.memory().install_faults(fault.for_device(i));
             }
         }
+        if config.profile {
+            // Serving devices only: the plan-build scratch device and the
+            // verification references run off the profiled timeline.
+            for device in &devices {
+                device.start_tracing();
+            }
+        }
         let device_count = devices.len();
         ServeEngine {
             config,
@@ -544,6 +566,7 @@ impl ServeEngine {
             device_fault_counts: vec![0; device_count],
             quarantined: vec![false; device_count],
             plan_fault_counts: BTreeMap::new(),
+            profiled: Vec::new(),
         }
     }
 
@@ -594,6 +617,7 @@ impl ServeEngine {
             self.register_tensor(&spec.id, tensor);
         }
         let mut scheduler = Scheduler::new(self.config.devices, self.config.streams_per_device);
+        self.profiled.clear();
         let mut requests = Vec::new();
         let mut rejections = Vec::new();
         let mut batched = 0usize;
@@ -629,6 +653,16 @@ impl ServeEngine {
         } else {
             (0, 0)
         };
+        let profile = if self.config.profile {
+            let profiled = std::mem::take(&mut self.profiled);
+            Some(ServeProfile::assemble(
+                self.config.device_config.clone(),
+                profiled,
+                |id| self.tensors.get(id).map(|r| &r.tensor),
+            ))
+        } else {
+            None
+        };
         ServeReport {
             requests,
             rejections,
@@ -647,6 +681,7 @@ impl ServeEngine {
             verified,
             verify_failures,
             fault_stats: self.fault_stats,
+            profile,
         }
     }
 
@@ -872,6 +907,34 @@ impl ServeEngine {
             if let Some(cached) = self.results.get(&(key, request.factor_seed)) {
                 let d2h_us = self.transfer_us(cached.output.bytes());
                 let placement = scheduler.place_on_device(device_index, now, d2h_us);
+                let cached_tier = cached.tier;
+                if self.config.profile {
+                    self.profiled.push(RequestProfile {
+                        index,
+                        tensor_id: request.tensor_id.clone(),
+                        op: request.op,
+                        rank: request.rank,
+                        device: placement.device,
+                        stream: placement.stream,
+                        arrival_us: now,
+                        start_us: placement.start_us,
+                        finish_us: placement.finish_us,
+                        recovery_us: 0.0,
+                        h2d_us: 0.0,
+                        kernel_us: 0.0,
+                        d2h_us,
+                        plan_source,
+                        block_size: plan.block_size,
+                        threadlen: plan.fcoo.threadlen,
+                        batched: true,
+                        deferred: false,
+                        retries: 0,
+                        tier: cached_tier,
+                        faults_seen: 0,
+                        launches: Vec::new(),
+                    });
+                }
+                let cached = &self.results[&(key, request.factor_seed)];
                 return Ok(RequestMetrics {
                     index,
                     tensor_id: request.tensor_id.clone(),
@@ -920,7 +983,7 @@ impl ServeEngine {
         let mut faults_seen = 0u32;
         let mut recovery_us = 0.0f64;
         let mut attempt_index = 0u32;
-        let (output, kernel_us, factor_bytes) = loop {
+        let ((output, kernel_us, factor_bytes), accepted_launches) = loop {
             let attempt = self.execute_tier(
                 device_index,
                 tier,
@@ -932,6 +995,14 @@ impl ServeEngine {
                 threadlen,
                 request.factor_seed,
             );
+            // Drain immediately so each attempt's launch traces stay
+            // attributable: accepted-attempt traces go to the profile,
+            // discarded-attempt and redundancy-check traces are dropped.
+            let attempt_launches = if self.config.profile {
+                self.devices[device_index].drain_trace()
+            } else {
+                Vec::new()
+            };
             let damage = if tier == ExecTier::Cpu {
                 // The host tier never touches the faulted device, so it
                 // terminates the loop unconditionally.
@@ -962,6 +1033,9 @@ impl ServeEngine {
                             threadlen,
                             request.factor_seed,
                         );
+                        if self.config.profile {
+                            self.devices[device_index].drain_trace();
+                        }
                         let redo_damage =
                             self.integrity_barrier(device_index, Some(key), &mut faults_seen);
                         recovery_us += redo_damage.dead_us;
@@ -985,7 +1059,7 @@ impl ServeEngine {
                         true
                     };
                     if accept {
-                        break out;
+                        break (out, attempt_launches);
                     }
                 }
                 Err(reason) if !damage.injected_alloc && !damage.corrupted => {
@@ -1036,7 +1110,8 @@ impl ServeEngine {
         } else {
             self.transfer_us(output.bytes())
         };
-        let exec_us = self.transfer_us(h2d_bytes) + kernel_us + d2h_us;
+        let h2d_us = self.transfer_us(h2d_bytes);
+        let exec_us = h2d_us + kernel_us + d2h_us;
         let placement = if recovery_us > 0.0 {
             scheduler.place_on_device_delayed(device_index, ready, recovery_us, exec_us)
         } else {
@@ -1044,6 +1119,32 @@ impl ServeEngine {
         };
         self.pools[device_index].commit(pending, placement.finish_us);
         let checksum = output.checksum();
+        if self.config.profile {
+            self.profiled.push(RequestProfile {
+                index,
+                tensor_id: request.tensor_id.clone(),
+                op: request.op,
+                rank: request.rank,
+                device: placement.device,
+                stream: placement.stream,
+                arrival_us: now,
+                start_us: placement.start_us,
+                finish_us: placement.finish_us,
+                recovery_us,
+                h2d_us,
+                kernel_us,
+                d2h_us,
+                plan_source,
+                block_size,
+                threadlen,
+                batched: false,
+                deferred: was_deferred,
+                retries,
+                tier,
+                faults_seen,
+                launches: accepted_launches,
+            });
+        }
         if self.config.batching {
             self.results
                 .insert((key, request.factor_seed), CachedResult { output, tier });
@@ -1163,7 +1264,7 @@ impl ServeEngine {
         let mut faults_seen = 0u32;
         let mut recovery_us = 0.0f64;
         let mut attempt_index = 0u32;
-        let (output, gpu_us) = loop {
+        let ((output, gpu_us), accepted_launches) = loop {
             let ran = match tier {
                 ExecTier::Cpu => run_host_cp(&tensor, &opts),
                 _ => run_planned_cp(
@@ -1173,6 +1274,11 @@ impl ServeEngine {
                     &tensor,
                     &opts,
                 ),
+            };
+            let attempt_launches = if self.config.profile {
+                self.devices[device_index].drain_trace()
+            } else {
+                Vec::new()
             };
             let damage = if tier == ExecTier::Cpu {
                 AttemptDamage {
@@ -1185,7 +1291,7 @@ impl ServeEngine {
             };
             recovery_us += damage.dead_us;
             if !damage.corrupted {
-                break ran;
+                break (ran, attempt_launches);
             }
             // A corrupted iteration taints the whole decomposition: discard
             // and retry the full ALS loop after a deterministic backoff.
@@ -1214,7 +1320,8 @@ impl ServeEngine {
         } else {
             self.transfer_us(output.bytes())
         };
-        let exec_us = self.transfer_us(h2d_bytes) + gpu_us + d2h_us;
+        let h2d_us = self.transfer_us(h2d_bytes);
+        let exec_us = h2d_us + gpu_us + d2h_us;
         let placement = if recovery_us > 0.0 {
             scheduler.place_on_device_delayed(device_index, ready, recovery_us, exec_us)
         } else {
@@ -1224,6 +1331,32 @@ impl ServeEngine {
             self.pools[device_index].commit(pending, placement.finish_us);
         }
         let checksum = output.checksum();
+        if self.config.profile {
+            self.profiled.push(RequestProfile {
+                index,
+                tensor_id: request.tensor_id.clone(),
+                op: request.op,
+                rank,
+                device: placement.device,
+                stream: placement.stream,
+                arrival_us: now,
+                start_us: placement.start_us,
+                finish_us: placement.finish_us,
+                recovery_us,
+                h2d_us,
+                kernel_us: gpu_us,
+                d2h_us,
+                plan_source: worst_source(&sources),
+                block_size,
+                threadlen: plans[0].fcoo.threadlen,
+                batched: false,
+                deferred: was_deferred,
+                retries,
+                tier,
+                faults_seen,
+                launches: accepted_launches,
+            });
+        }
         self.cp_executions.push(CpExecution {
             tensor_id: request.tensor_id.clone(),
             rank,
@@ -1855,6 +1988,43 @@ mod tests {
         let report = engine.run(&bad_mode);
         assert_eq!(report.rejections.len(), 1);
         assert!(report.rejections[0].reason.contains("out of range"));
+    }
+
+    #[test]
+    fn profiling_observes_without_perturbing() {
+        let w = workload::synthetic(30, 13);
+        let plain = ServeEngine::new(ServeConfig::default()).run(&w);
+        let profiled = ServeEngine::new(ServeConfig {
+            profile: true,
+            ..ServeConfig::default()
+        })
+        .run(&w);
+        assert_eq!(plain.requests, profiled.requests);
+        assert_eq!(plain.makespan_us.to_bits(), profiled.makespan_us.to_bits());
+        assert!(plain.profile.is_none());
+        let profile = profiled.profile.expect("profile requested");
+        assert_eq!(profile.requests.len(), profiled.requests.len());
+        assert!(profile.event_count() > 0);
+        assert!(!profile.kernels.is_empty());
+        for (m, p) in profiled.requests.iter().zip(&profile.requests) {
+            assert_eq!(m.index, p.index);
+            assert_eq!(m.start_us.to_bits(), p.start_us.to_bits());
+            assert_eq!(m.finish_us.to_bits(), p.finish_us.to_bits());
+            assert!((p.h2d_us + p.kernel_us + p.d2h_us - m.exec_us).abs() < 1e-9);
+            assert_eq!(m.batched, p.batched);
+            if !p.batched && p.tier != ExecTier::Cpu {
+                assert!(
+                    !p.launches.is_empty(),
+                    "request {} traced no launches",
+                    m.index
+                );
+            }
+        }
+        let report = profile.counter_report();
+        assert!(report.contains("kernel counters"), "{report}");
+        let trace = profile.chrome_trace();
+        assert!(trace.validate().is_empty(), "{:?}", trace.validate());
+        assert!(trace.to_json().contains("\"traceEvents\""));
     }
 
     #[test]

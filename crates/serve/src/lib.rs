@@ -38,6 +38,7 @@ pub mod fingerprint;
 pub mod metrics;
 pub mod plan;
 pub mod pool;
+pub mod profile;
 pub mod scheduler;
 pub mod workload;
 
@@ -49,5 +50,6 @@ pub use fingerprint::tensor_fingerprint;
 pub use metrics::{ExecTier, LatencySummary, RequestMetrics};
 pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanSource};
 pub use pool::{AdmitError, DevicePool, PoolStats, ReservationId};
+pub use profile::{KernelProfile, KernelStatics, RequestProfile, ServeProfile};
 pub use scheduler::{Placement, Scheduler};
 pub use workload::{synthetic, Request, ServeOp, TensorSpec, Workload, WorkloadError};

@@ -1,0 +1,74 @@
+//! Property tests for the serving profiler's exported traces: for random
+//! workloads (with and without fault injection), the Chrome trace validates
+//! — per-track timestamps are monotone non-decreasing and every begin has a
+//! matching end — the request lifecycle invariants hold, and a re-run of
+//! the same workload serializes to the very same bytes regardless of how
+//! the host thread pool interleaved block execution.
+
+use proptest::prelude::*;
+use serve::{ServeConfig, ServeEngine, ServeReport};
+
+fn profiled_run(requests: usize, seed: u64, faulted: bool) -> ServeReport {
+    let mut config = ServeConfig {
+        profile: true,
+        ..ServeConfig::default()
+    };
+    if faulted {
+        config.fault_injection = Some(gpu_sim::FaultConfig::chaos(seed, 0.02));
+    }
+    ServeEngine::new(config).run(&serve::synthetic(requests, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every profiled run exports a valid trace: monotone per-track
+    /// timestamps, balanced begin/end pairs, and lifecycle spans that nest
+    /// (arrival ≤ start ≤ start + recovery + exec = finish).
+    #[test]
+    fn profiled_traces_validate(
+        requests in 1usize..8,
+        seed in 0u64..1_000,
+        faulted in proptest::bool::ANY,
+    ) {
+        let report = profiled_run(requests, seed, faulted);
+        let profile = report.profile.as_ref().expect("profiling was on");
+        let trace = profile.chrome_trace();
+        let violations = trace.validate();
+        prop_assert!(violations.is_empty(), "invalid trace: {:?}", violations);
+        let begins = trace.events().iter().filter(|e| e.ph == gpu_sim::Phase::Begin).count();
+        let ends = trace.events().iter().filter(|e| e.ph == gpu_sim::Phase::End).count();
+        prop_assert_eq!(begins, ends);
+        prop_assert_eq!(begins, profile.requests.len());
+        for r in &profile.requests {
+            prop_assert!(r.arrival_us <= r.start_us);
+            let exec = r.h2d_us + r.kernel_us + r.d2h_us;
+            let rebuilt = r.start_us + r.recovery_us + exec;
+            prop_assert!(
+                (rebuilt - r.finish_us).abs() <= 1e-9 * r.finish_us.abs().max(1.0),
+                "lifecycle spans do not tile: start {} + recovery {} + exec {} != finish {}",
+                r.start_us, r.recovery_us, exec, r.finish_us
+            );
+            if !r.batched {
+                prop_assert!(r.kernel_us >= 0.0);
+            }
+        }
+    }
+
+    /// Same workload, same seed — byte-identical trace JSON and counter
+    /// report, across host-pool interleavings.
+    #[test]
+    fn same_seed_runs_serialize_identically(
+        requests in 1usize..8,
+        seed in 0u64..1_000,
+        faulted in proptest::bool::ANY,
+    ) {
+        let a = profiled_run(requests, seed, faulted);
+        let b = profiled_run(requests, seed, faulted);
+        let pa = a.profile.as_ref().unwrap();
+        let pb = b.profile.as_ref().unwrap();
+        prop_assert_eq!(pa.chrome_trace().to_json(), pb.chrome_trace().to_json());
+        prop_assert_eq!(pa.counter_report(), pb.counter_report());
+        prop_assert_eq!(pa.event_count(), pb.event_count());
+    }
+}

@@ -77,6 +77,65 @@ fn memory_pressure_queues_and_evicts_without_failing() {
     assert_eq!(report.verify_failures, 0, "queueing changed results");
     // Deferred jobs paid queue time.
     assert!(report.requests.iter().any(|r| r.queue_us() > 0.0));
+    // Queueing is not recovery: without fault injection the recovery
+    // accounting must stay at its clean-path zero even for deferred jobs.
+    for r in &report.requests {
+        assert_eq!(
+            r.recovery_us, 0.0,
+            "request {} leaked recovery time",
+            r.index
+        );
+        assert_eq!(r.retries, 0, "request {} leaked retries", r.index);
+        assert_eq!(r.faults_seen, 0, "request {} saw phantom faults", r.index);
+    }
+}
+
+#[test]
+fn clean_path_latency_accounting_is_exact() {
+    // No fault injection: every recovery/fault field must be exactly its
+    // clean-path zero (not merely small), the ladder must never degrade,
+    // and the lifecycle timestamps must tile without slack:
+    // finish = start + recovery (= 0) + exec, bit for bit.
+    let workload = serve::synthetic(50, 17);
+    let mut engine = ServeEngine::new(ServeConfig::default());
+    let report = engine.run(&workload);
+    assert!(report.rejections.is_empty());
+    assert!(!report.requests.is_empty());
+    assert_eq!(report.fault_stats.injected(), 0);
+    assert_eq!(report.fault_stats.retries, 0);
+    for r in &report.requests {
+        let label = format!("request {} ({:?})", r.index, r.op);
+        assert_eq!(
+            r.recovery_us.to_bits(),
+            0.0f64.to_bits(),
+            "{label}: recovery_us"
+        );
+        assert_eq!(r.retries, 0, "{label}: retries");
+        assert_eq!(r.faults_seen, 0, "{label}: faults_seen");
+        assert_eq!(
+            r.tier,
+            serve::ExecTier::Unified,
+            "{label}: degraded without faults"
+        );
+        assert!(r.queue_us() >= 0.0, "{label}: negative queue time");
+        assert!(r.exec_us > 0.0, "{label}: free execution");
+        assert_eq!(
+            r.finish_us.to_bits(),
+            (r.start_us + r.exec_us).to_bits(),
+            "{label}: finish != start + exec on the clean path \
+             (queue {} exec {} recovery {})",
+            r.queue_us(),
+            r.exec_us,
+            r.recovery_us
+        );
+    }
+    // First request on an idle stream starts the moment it arrives.
+    let first = &report.requests[0];
+    assert_eq!(
+        first.queue_us(),
+        0.0,
+        "first request queued on an idle engine"
+    );
 }
 
 #[test]

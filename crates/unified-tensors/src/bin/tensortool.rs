@@ -114,6 +114,24 @@ fn run(args: &[String]) -> Result<String, String> {
             };
             cli::serve(spec, plan_dir, verify).map_err(|e| e.to_string())
         }
+        "profile" => {
+            let (spec, trace_path) = match &args[1..] {
+                [spec] => (spec, None),
+                [spec, path] => (spec, Some(Path::new(path.as_str()))),
+                _ => {
+                    return Err("profile needs <workload.txt|synthetic:N:SEED> [trace.json]".into())
+                }
+            };
+            cli::profile(spec, trace_path).map_err(|e| e.to_string())
+        }
+        "golden" => {
+            let bless = match &args[1..] {
+                [] => false,
+                [flag] if flag.as_str() == "--bless" => true,
+                _ => return Err("golden takes only an optional --bless".into()),
+            };
+            cli::golden(bless).map_err(|e| e.to_string())
+        }
         "chaos" => {
             let [_, spec, schedule, seed] = args else {
                 return Err("chaos needs <workload.txt|synthetic:N:SEED> <schedule> <seed>".into());

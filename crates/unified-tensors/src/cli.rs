@@ -480,6 +480,68 @@ pub fn serve(spec: &str, plan_dir: Option<&Path>, verify: bool) -> Result<String
     Ok(out)
 }
 
+/// `tensortool profile <workload.txt|synthetic:N:SEED> [trace.json]` —
+/// replay a workload with the tracing layer on every serving device, write
+/// a Chrome-trace/Perfetto JSON document, and print the per-kernel counter
+/// report (achieved vs. peak bandwidth, coalescing efficiency, cache hit
+/// rate, atomic serialization, occupancy) with the symbolic analyzer's
+/// verdicts side-by-side. Tracing only observes: the served results and
+/// every latency are bit-identical to an unprofiled run.
+pub fn profile(spec: &str, trace_path: Option<&Path>) -> Result<String, CliError> {
+    let workload = parse_workload_spec(spec)?;
+    let config = crate::serve::ServeConfig {
+        profile: true,
+        ..crate::serve::ServeConfig::default()
+    };
+    let mut engine = crate::serve::ServeEngine::new(config);
+    let report = engine.run(&workload);
+    let profile = report
+        .profile
+        .as_ref()
+        .expect("profiling was enabled on the engine");
+    let trace = profile.chrome_trace();
+    let violations = trace.validate();
+    if !violations.is_empty() {
+        return Err(err(format!(
+            "trace failed validation ({} violations): {}",
+            violations.len(),
+            violations[0]
+        )));
+    }
+    let default_path = Path::new("trace.json");
+    let path = trace_path.unwrap_or(default_path);
+    std::fs::write(path, trace.to_json())
+        .map_err(|e| err(format!("cannot write {}: {e}", path.display())))?;
+    let mut out = format!(
+        "workload: {} tensors, {} requests\n",
+        workload.tensors.len(),
+        workload.requests.len()
+    );
+    out.push_str(&profile.counter_report());
+    let _ = writeln!(
+        out,
+        "trace: {} spans over {} memory events -> {} (load in Perfetto / chrome://tracing)",
+        trace.events().len(),
+        profile.event_count(),
+        path.display()
+    );
+    out.push_str(&report.render());
+    Ok(out)
+}
+
+/// `tensortool golden [--bless]` — run the golden-counter regression suite:
+/// all four kernels over the four synthetic FROSTT stand-ins at tuned
+/// configurations, traced, with raw counters compared byte-for-byte against
+/// the blessed snapshot. `--bless` re-snapshots after an intentional
+/// cost-model change.
+pub fn golden(bless: bool) -> Result<String, CliError> {
+    if bless {
+        crate::golden::bless().map_err(err)
+    } else {
+        crate::golden::check().map_err(err)
+    }
+}
+
 /// Parses a chaos fault schedule: `quiet`, `chaos:<rate>` (all five fault
 /// kinds at one rate), or a comma-separated per-kind list — `ecc:<r>`,
 /// `launch:<r>`, `alloc:<r>`, `stall:<r>`, `atomic:<r>`.
@@ -616,6 +678,8 @@ USAGE:
   tensortool workload <requests> <seed> <out.txt>
   tensortool serve <workload.txt|synthetic:N:SEED> [plan-dir] [--verify]
   tensortool chaos <workload.txt|synthetic:N:SEED> <schedule> <seed>
+  tensortool profile <workload.txt|synthetic:N:SEED> [trace.json]
+  tensortool golden [--bless]
 
 Modes are 1-based, matching the paper's notation. `sanitize` lints the
 F-COO invariants and replays the kernel under the memory sanitizer
@@ -632,6 +696,13 @@ with a plan-dir, tuned plans persist across invocations for warm restarts.
 atomic:<r>`) and exits non-zero unless the engine recovers every request
 with zero wrong results, zero lost requests, and zero leaked pool bytes —
 see docs/FAULTS.md for the fault model and recovery ladder.
+`profile` replays a workload with the tracing layer enabled, writes a
+Chrome-trace/Perfetto JSON timeline (request lifecycle spans, per-stream
+occupancy, per-launch wave spans) and prints the per-kernel counter report
+with the symbolic analyzer's verdicts side-by-side — see docs/PROFILING.md.
+`golden` runs the golden-counter regression suite against the blessed
+snapshot in crates/unified-tensors/golden/ (`--bless` re-snapshots after an
+intentional cost-model change).
 ";
 
 #[cfg(test)]

@@ -1,0 +1,318 @@
+//! Golden-counter regression suite for the simulated cost model.
+//!
+//! The profiler (gpu-sim's `trace` module) exposes every quantity the timing
+//! model folds into a simulated duration: transactions, ideal transactions,
+//! DRAM bytes, cache hits/misses, atomic lanes and multiplicities, waves and
+//! warp occupancy. This module runs all four kernels — unified SpTTM,
+//! SpMTTKRP and SpTTMc plus the two-step SpMTTKRP baseline — over the four
+//! synthetic FROSTT stand-ins at their tuned configurations, traced, and
+//! renders the raw counters (with the bit pattern of the simulated duration)
+//! into a deterministic text document.
+//!
+//! That document is snapshotted at `golden/counters.txt` next to this
+//! crate's manifest. [`check`] re-renders and compares byte-for-byte, so any
+//! drift in a cost-model constant, a narration call, or the wave fold fails
+//! the suite; `tensortool golden --bless` (or [`bless`]) re-snapshots after
+//! an intentional model change.
+
+use crate::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Tuning grid used by the suite (the serving grid: small enough to keep the
+/// suite fast, wide enough that tuned configs differ across datasets).
+const BLOCK_SIZES: [usize; 3] = [64, 128, 256];
+/// Threadlen half of the tuning grid.
+const THREADLENS: [usize; 3] = [8, 16, 32];
+/// Non-zeros per synthetic stand-in.
+const NNZ: usize = 1_500;
+/// Dataset generator seed.
+const SEED: u64 = 42;
+/// Factor rank.
+const RANK: usize = 8;
+/// Product/output mode (0-based).
+const MODE: usize = 0;
+
+/// The four FROSTT stand-ins of the paper's evaluation (Table IV).
+const DATASETS: [(DatasetKind, &str); 4] = [
+    (DatasetKind::Brainq, "brainq"),
+    (DatasetKind::Nell2, "nell2"),
+    (DatasetKind::Delicious, "delicious"),
+    (DatasetKind::Nell1, "nell1"),
+];
+
+/// One traced kernel execution of the suite.
+struct GoldenRun {
+    kernel: &'static str,
+    block_size: usize,
+    threadlen: usize,
+    counters: gpu_sim::KernelCounters,
+}
+
+fn factors(tensor: &SparseTensorCoo) -> Vec<DenseMatrix> {
+    tensor
+        .shape()
+        .iter()
+        .enumerate()
+        .map(|(m, &n)| DenseMatrix::random(n, RANK, 1 + m as u64))
+        .collect()
+}
+
+/// Tunes (untraced), then runs one unified kernel traced on `device` and
+/// returns the drained counters.
+fn run_unified(
+    config: &DeviceConfig,
+    tensor: &SparseTensorCoo,
+    op: TensorOp,
+    kernel: &'static str,
+) -> GoldenRun {
+    // A fresh device per row keeps rows independent: cache state warmed by
+    // one row's tuning or execution never leaks into another's counters.
+    let device = &GpuDevice::new(config.clone());
+    let tuned = analyzer::tune_pruned(
+        device,
+        tensor,
+        op,
+        RANK,
+        Some(&BLOCK_SIZES),
+        Some(&THREADLENS),
+    );
+    let (block_size, threadlen) = tuned.best_pair();
+    let cfg = LaunchConfig {
+        block_size,
+        ..LaunchConfig::default()
+    };
+    let fcoo = Fcoo::from_coo(tensor, op, threadlen);
+    let on_device = FcooDevice::upload(device.memory(), &fcoo).expect("golden upload");
+    let hosts = factors(tensor);
+    let uploaded: Vec<DeviceMatrix> = hosts
+        .iter()
+        .map(|f| DeviceMatrix::upload(device.memory(), f).expect("golden factor upload"))
+        .collect();
+    device.start_tracing();
+    match op {
+        TensorOp::SpTtm { mode } => {
+            spttm(device, &on_device, &uploaded[mode], &cfg).expect("golden spttm");
+        }
+        TensorOp::SpMttkrp { .. } => {
+            let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+            spmttkrp(device, &on_device, &refs, &cfg).expect("golden spmttkrp");
+        }
+        TensorOp::SpTtmc { .. } => {
+            let product: Vec<&DeviceMatrix> = on_device
+                .classification
+                .product_modes
+                .iter()
+                .map(|&m| &uploaded[m])
+                .collect();
+            crate::fcoo::spttmc_norder(device, &on_device, &product, &cfg).expect("golden spttmc");
+        }
+    }
+    let counters = device.stop_tracing().counters();
+    GoldenRun {
+        kernel,
+        block_size,
+        threadlen,
+        counters,
+    }
+}
+
+/// Runs the unified SpMTTKRP with segmented scan disabled (COO-style
+/// accumulation: one atomic per non-zero), traced. The tuned configurations
+/// all enable segmented scan, so this row is what pins the atomic-contention
+/// half of the cost model.
+fn run_atomic_mttkrp(config: &DeviceConfig, tensor: &SparseTensorCoo) -> GoldenRun {
+    let device = &GpuDevice::new(config.clone());
+    let (block_size, threadlen) = (128, 8);
+    let cfg = LaunchConfig {
+        block_size,
+        use_segscan: false,
+        use_fusion: false,
+        ..LaunchConfig::default()
+    };
+    let op = TensorOp::SpMttkrp { mode: MODE };
+    let fcoo = Fcoo::from_coo(tensor, op, threadlen);
+    let on_device = FcooDevice::upload(device.memory(), &fcoo).expect("golden upload");
+    let hosts = factors(tensor);
+    let uploaded: Vec<DeviceMatrix> = hosts
+        .iter()
+        .map(|f| DeviceMatrix::upload(device.memory(), f).expect("golden factor upload"))
+        .collect();
+    let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+    device.start_tracing();
+    spmttkrp(device, &on_device, &refs, &cfg).expect("golden atomic mttkrp");
+    let counters = device.stop_tracing().counters();
+    GoldenRun {
+        kernel: "mttkrp-atomic",
+        block_size,
+        threadlen,
+        counters,
+    }
+}
+
+/// Runs the two-step SpMTTKRP baseline traced, reusing the unified
+/// SpMTTKRP's tuned configuration (exactly what the serving engine's
+/// degradation ladder does).
+fn run_two_step(config: &DeviceConfig, tensor: &SparseTensorCoo) -> GoldenRun {
+    let device = &GpuDevice::new(config.clone());
+    let tuned = analyzer::tune_pruned(
+        device,
+        tensor,
+        TensorOp::SpMttkrp { mode: MODE },
+        RANK,
+        Some(&BLOCK_SIZES),
+        Some(&THREADLENS),
+    );
+    let (block_size, threadlen) = tuned.best_pair();
+    let cfg = LaunchConfig {
+        block_size,
+        ..LaunchConfig::default()
+    };
+    let hosts = factors(tensor);
+    let refs: Vec<&DenseMatrix> = hosts.iter().collect();
+    device.start_tracing();
+    crate::fcoo::spmttkrp_two_step_unified(device, tensor, MODE, &refs, threadlen, &cfg)
+        .expect("golden two-step");
+    let counters = device.stop_tracing().counters();
+    GoldenRun {
+        kernel: "two-step-mttkrp",
+        block_size,
+        threadlen,
+        counters,
+    }
+}
+
+/// Renders the golden document for one device model. Every field is an
+/// integer counter except the simulated duration, which is written both
+/// human-readably and as its exact `f64` bit pattern — a one-ULP drift in
+/// the wave fold flips the hex column even when `{:.3}` rounds identically.
+pub fn render_with(config: &DeviceConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "golden counters: {} kernels x {} datasets (nnz {NNZ}, seed {SEED}, rank {RANK}, mode {})",
+        5,
+        DATASETS.len(),
+        MODE + 1
+    );
+    let _ = writeln!(out, "device: {}", config.name);
+    let _ = writeln!(
+        out,
+        "columns: launches blocks waves launched-warps active-warps transactions \
+         ideal dram-bytes ro-hits ro-misses atomic-lanes atomic-calls mult-sum \
+         time-us time-bits"
+    );
+    for (kind, name) in DATASETS {
+        let (tensor, _) = datasets::generate(kind, NNZ, 2017);
+        let mut runs = vec![
+            run_unified(config, &tensor, TensorOp::SpTtm { mode: MODE }, "spttm"),
+            run_unified(config, &tensor, TensorOp::SpMttkrp { mode: MODE }, "mttkrp"),
+            run_unified(config, &tensor, TensorOp::SpTtmc { mode: MODE }, "ttmc"),
+            run_atomic_mttkrp(config, &tensor),
+        ];
+        if tensor.order() == 3 {
+            runs.push(run_two_step(config, &tensor));
+        }
+        for run in runs {
+            let c = &run.counters;
+            let _ = writeln!(
+                out,
+                "{name} {} B{} T{}: {} {} {} {} {} {} {} {} {} {} {} {} {} {:.3} {:016x}",
+                run.kernel,
+                run.block_size,
+                run.threadlen,
+                c.launches,
+                c.blocks,
+                c.waves,
+                c.launched_warps,
+                c.active_warps,
+                c.transactions,
+                c.ideal_transactions,
+                c.dram_bytes,
+                c.cache_hits,
+                c.cache_misses,
+                c.atomics,
+                c.atomic_calls,
+                c.atomic_multiplicity_sum,
+                c.time_us,
+                c.time_us.to_bits()
+            );
+        }
+    }
+    out
+}
+
+/// Renders the golden document on the reference device (the paper's
+/// Titan X).
+pub fn render() -> String {
+    render_with(&DeviceConfig::titan_x())
+}
+
+/// Where the blessed snapshot lives (inside this crate, so the suite works
+/// from any working directory).
+pub fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join("counters.txt")
+}
+
+/// Re-renders the suite and compares it byte-for-byte against the blessed
+/// snapshot. `Err` carries a human-readable diff of the first divergence.
+pub fn check() -> Result<String, String> {
+    let path = snapshot_path();
+    let blessed = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "no blessed snapshot at {} ({e}); run `tensortool golden --bless`",
+            path.display()
+        )
+    })?;
+    let current = render();
+    if current == blessed {
+        return Ok(format!(
+            "golden counters match {} ({} rows)",
+            path.display(),
+            current.lines().count().saturating_sub(3)
+        ));
+    }
+    let mut message = format!(
+        "golden counter drift against {} — if the cost-model change is \
+         intentional, re-bless with `tensortool golden --bless`\n",
+        path.display()
+    );
+    let mut diverged = 0;
+    for (i, (want, got)) in blessed.lines().zip(current.lines()).enumerate() {
+        if want != got && diverged < 5 {
+            let _ = writeln!(
+                message,
+                "line {}:\n  blessed: {want}\n  current: {got}",
+                i + 1
+            );
+            diverged += 1;
+        }
+    }
+    if blessed.lines().count() != current.lines().count() {
+        let _ = writeln!(
+            message,
+            "line count changed: blessed {} vs current {}",
+            blessed.lines().count(),
+            current.lines().count()
+        );
+    }
+    Err(message)
+}
+
+/// Renders and writes the snapshot, creating `golden/` if needed.
+pub fn bless() -> Result<String, String> {
+    let path = snapshot_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let current = render();
+    std::fs::write(&path, &current).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(format!(
+        "blessed {} ({} rows)",
+        path.display(),
+        current.lines().count().saturating_sub(3)
+    ))
+}

@@ -52,6 +52,7 @@
 //! ```
 
 pub mod cli;
+pub mod golden;
 
 pub use analyzer;
 pub use baselines;

@@ -1,0 +1,75 @@
+//! Golden-counter regression suite (see `unified_tensors::golden`).
+//!
+//! The blessed snapshot at `crates/unified-tensors/golden/counters.txt`
+//! pins every dynamic counter of the traced cost model — transactions,
+//! DRAM bytes, cache hits/misses, atomic lanes/multiplicities, waves,
+//! occupancy and the exact bit pattern of each simulated duration — for all
+//! five kernel variants over the four synthetic FROSTT stand-ins. Any drift
+//! fails here; `tensortool golden --bless` re-snapshots after an
+//! intentional model change.
+
+use unified_tensors::golden;
+use unified_tensors::prelude::DeviceConfig;
+
+#[test]
+fn golden_snapshot_matches_blessed_counters() {
+    if let Err(drift) = golden::check() {
+        panic!("{drift}");
+    }
+}
+
+#[test]
+fn two_renders_are_byte_identical() {
+    assert_eq!(golden::render(), golden::render());
+}
+
+#[test]
+fn flipping_any_cost_model_constant_fails_the_suite() {
+    let baseline = golden::render();
+    // Every constant the timing/memory model folds into the counters. The
+    // perturbations are large (×4 and up) on purpose: waves cost
+    // `max(compute_us, memory_us)`, so a small nudge to a compute-side
+    // constant can hide under a memory-bound wave — a regression suite that
+    // only catches large drifts in those constants would still catch a
+    // *removed* term, which is the failure mode that matters.
+    type Perturbation = (&'static str, fn(&mut DeviceConfig));
+    let perturbations: Vec<Perturbation> = vec![
+        ("mem_bandwidth_gbs", |c| c.mem_bandwidth_gbs /= 4.0),
+        ("launch_overhead_us", |c| c.launch_overhead_us *= 4.0),
+        ("clock_ghz", |c| c.clock_ghz /= 8.0),
+        ("transaction_bytes", |c| c.transaction_bytes = 128),
+        ("mem_issue_cycles", |c| c.mem_issue_cycles *= 8),
+        ("rocache_miss_cycles", |c| c.rocache_miss_cycles *= 8),
+        ("atomic_cycles", |c| c.atomic_cycles *= 8),
+        ("shuffle_cycles", |c| c.shuffle_cycles *= 64),
+        ("syncthreads_cycles", |c| c.syncthreads_cycles *= 64),
+        ("adjacent_sync_cycles", |c| c.adjacent_sync_cycles *= 64),
+        ("readonly_cache_bytes", |c| c.readonly_cache_bytes /= 8),
+        ("readonly_line_bytes", |c| c.readonly_line_bytes = 128),
+        ("readonly_ways", |c| c.readonly_ways = 1),
+        ("l2_bytes", |c| c.l2_bytes /= 64),
+        ("l2_latency_cycles", |c| c.l2_latency_cycles *= 64),
+        ("max_threads_per_sm", |c| c.max_threads_per_sm /= 8),
+        ("num_sms", |c| c.num_sms = 1),
+    ];
+    for (name, perturb) in perturbations {
+        let mut config = DeviceConfig::titan_x();
+        perturb(&mut config);
+        let perturbed = golden::render_with(&config);
+        // Compare rows only: the device-name header line is excluded so the
+        // check is about counters, not labels.
+        let rows = |doc: &str| {
+            doc.lines()
+                .skip(3)
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_ne!(
+            rows(&perturbed),
+            rows(&baseline),
+            "perturbing `{name}` left every golden counter unchanged — the \
+             constant is dead or the trace no longer observes it"
+        );
+    }
+}
