@@ -8,6 +8,10 @@
 use std::time::Instant;
 
 /// Runs `f` and returns its result plus the elapsed wall-clock microseconds.
+// This module is the sanctioned home of host wall-clock reads (see
+// clippy.toml `disallowed-methods`): CPU baselines are *measured*, not
+// simulated, so nondeterministic timing is the point here.
+#[allow(clippy::disallowed_methods)]
 pub fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let result = f();

@@ -1,0 +1,82 @@
+//! Property automata over real engine protocol logs.
+//!
+//! The model in [`crate::model`] is an abstraction; this module ties it
+//! back to the code. The same safety properties the checker proves on the
+//! model are phrased here as automata over [`serve::ProtocolEvent`]
+//! streams and run against a *real* engine's log (recorded via
+//! [`serve::engine::ServeEngine::enable_protocol_log`]). A divergence
+//! means the abstraction drifted from the implementation — the replay test
+//! in `tests/check.rs` runs a chaos workload through the real engine and
+//! demands a clean replay.
+
+use serve::{ExecTier, ProtocolEvent};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Replays `events` through the property automata and returns every
+/// violation found (empty = clean).
+///
+/// Checked invariants:
+/// * **Reservation balance** — every `ReservePending` is closed by exactly
+///   one `Commit` or `Release` for the same request; nothing closes a
+///   reservation that was never opened; nothing stays open at end of log.
+/// * **Scrub before readback** — after a device-tier attempt starts on a
+///   device, no output is read back from that device until a scrub barrier
+///   ran there.
+/// * **Deferral progress** — every deferred request is eventually admitted
+///   or rejected.
+pub fn replay(events: &[ProtocolEvent]) -> Vec<String> {
+    let mut violations = Vec::new();
+    // Open reservations per request.
+    let mut open: BTreeMap<u64, u64> = BTreeMap::new();
+    // Devices with an attempt since their last scrub.
+    let mut dirty: BTreeSet<usize> = BTreeSet::new();
+    // Requests deferred and not yet resolved.
+    let mut waiting: BTreeSet<u64> = BTreeSet::new();
+    for event in events {
+        match *event {
+            ProtocolEvent::ReservePending { request, .. } => {
+                *open.entry(request).or_insert(0) += 1;
+            }
+            ProtocolEvent::Commit { request, .. } | ProtocolEvent::Release { request, .. } => {
+                match open.get_mut(&request) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => violations.push(format!(
+                        "request {request} closed a reservation it never opened: {event}"
+                    )),
+                }
+            }
+            ProtocolEvent::AttemptStart { device, tier, .. } if tier != ExecTier::Cpu => {
+                dirty.insert(device);
+            }
+            ProtocolEvent::Scrub { device, .. } => {
+                dirty.remove(&device);
+            }
+            ProtocolEvent::Accept { request, device } if dirty.contains(&device) => {
+                violations.push(format!(
+                    "request {request} read back from device {device} with an \
+                     unscrubbed attempt outstanding"
+                ));
+            }
+            ProtocolEvent::AdmitDefer { request, .. } => {
+                waiting.insert(request);
+            }
+            ProtocolEvent::AdmitOk { request, .. } | ProtocolEvent::AdmitReject { request, .. } => {
+                waiting.remove(&request);
+            }
+            _ => {}
+        }
+    }
+    for (request, n) in open {
+        if n > 0 {
+            violations.push(format!(
+                "request {request} leaked {n} open reservation(s) at end of log"
+            ));
+        }
+    }
+    for request in waiting {
+        violations.push(format!(
+            "request {request} was deferred and never admitted or rejected"
+        ));
+    }
+    violations
+}

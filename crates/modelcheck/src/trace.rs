@@ -1,0 +1,36 @@
+//! Counterexample pretty-printer.
+//!
+//! A refuted property comes with the exact schedule that exhibits it. The
+//! printer narrates that schedule step by step using the same
+//! [`serve::ProtocolEvent`] rendering the engine's own protocol log uses,
+//! so a counterexample reads like a real trace with the interleaving made
+//! explicit — which request the host advanced at every point, and what the
+//! serving substrate did in response.
+
+use crate::explore::Counterexample;
+
+fn render_schedule(out: &mut String, schedule: &[crate::Step]) {
+    for (i, step) in schedule.iter().enumerate() {
+        out.push_str(&format!("  {:>3}. {}\n", i + 1, step.label));
+        for event in &step.events {
+            out.push_str(&format!("         {event}\n"));
+        }
+    }
+}
+
+/// Renders a counterexample as a narrated schedule (two schedules for a
+/// determinism refutation: both reach terminal states, with different
+/// observable reports).
+pub fn render_counterexample(ce: &Counterexample) -> String {
+    let mut out = format!(
+        "counterexample for {} — {}\n",
+        ce.property.label(),
+        ce.detail
+    );
+    render_schedule(&mut out, &ce.schedule);
+    if let Some(alt) = &ce.alt_schedule {
+        out.push_str("  --- versus the interleaving ---\n");
+        render_schedule(&mut out, alt);
+    }
+    out
+}

@@ -1,0 +1,227 @@
+//! The checker's own acceptance suite: the faithful protocol proves all
+//! four properties on every standard scenario (with the reduced and full
+//! explorations agreeing), every seeded mutation is refuted with a
+//! concrete counterexample schedule, and the property automata replay
+//! cleanly over a real chaos-mode engine log.
+
+use modelcheck::scenario::{self, Mutation};
+use modelcheck::{check, explore, trace, Property};
+
+/// The issue's acceptance scenario — 4 requests × 2 devices × 1 injected
+/// fault — is explored exhaustively and all four properties are proved,
+/// with nontrivial coverage counts reported.
+#[test]
+fn acceptance_scenario_proves_all_properties() {
+    let report = check(&scenario::acceptance(), Mutation::None);
+    assert!(report.all_proved(), "{}", report.render());
+    assert!(report.reduction_consistent, "{}", report.render());
+    assert!(
+        report.full.states > 100,
+        "suspiciously few states: {}",
+        report.full.states
+    );
+    assert!(
+        report.full.interleavings > 100,
+        "suspiciously few interleavings: {}",
+        report.full.interleavings
+    );
+    assert!(report.full.transitions > report.full.states as u64);
+    let rendered = report.render();
+    for p in Property::ALL {
+        assert!(rendered.contains(p.label()), "{rendered}");
+    }
+    assert!(rendered.contains("PROVED"), "{rendered}");
+}
+
+/// Every standard scenario proves everything under the faithful protocol.
+#[test]
+fn standard_scenarios_all_prove() {
+    for sc in scenario::standard() {
+        let report = check(&sc, Mutation::None);
+        assert!(
+            report.all_proved(),
+            "scenario `{}` refuted something:\n{}",
+            sc.name,
+            report.render()
+        );
+        assert!(
+            report.reduction_consistent,
+            "reduction diverged on `{}`:\n{}",
+            sc.name,
+            report.render()
+        );
+    }
+}
+
+/// The mutation self-test: each seeded protocol bug is refuted on its
+/// witness scenario with a concrete, narrated counterexample — while the
+/// faithful protocol proves the same property on the same scenario.
+#[test]
+fn seeded_mutations_are_refuted_with_counterexamples() {
+    let suite = scenario::mutation_suite();
+    assert!(suite.len() >= 3);
+    for (mutation, sc, property) in suite {
+        let base = explore::explore(&sc, Mutation::None, false);
+        assert!(
+            !base.refutes(property),
+            "faithful protocol already refutes {} on `{}`",
+            property.label(),
+            sc.name
+        );
+        let mutated = explore::explore(&sc, mutation, false);
+        let ce = mutated.counterexample(property).unwrap_or_else(|| {
+            panic!(
+                "mutation {} escaped on `{}`: {} not refuted",
+                mutation.label(),
+                sc.name,
+                property.label()
+            )
+        });
+        assert!(
+            !ce.schedule.is_empty(),
+            "counterexample for {} has no schedule",
+            property.label()
+        );
+        let narrated = trace::render_counterexample(ce);
+        // The narrated schedule names concrete steps and engine events.
+        assert!(narrated.contains("(r"), "{narrated}");
+        assert!(narrated.contains("request"), "{narrated}");
+    }
+}
+
+/// A determinism refutation carries *two* schedules: both complete, with
+/// observably different reports.
+#[test]
+fn determinism_counterexample_shows_both_interleavings() {
+    let result = explore::explore(&scenario::quarantine(), Mutation::LateQuarantine, false);
+    let ce = result
+        .counterexample(Property::Determinism)
+        .expect("late quarantine must make the admission race observable");
+    assert!(
+        ce.alt_schedule.is_some(),
+        "determinism counterexample needs a second witness schedule"
+    );
+    let narrated = trace::render_counterexample(ce);
+    assert!(narrated.contains("versus the interleaving"), "{narrated}");
+}
+
+/// The ample-set reduction must agree with full exploration on verdicts
+/// *and* terminal fingerprints for every scenario × mutation pair, and
+/// must actually prune work somewhere.
+#[test]
+fn reduction_agrees_with_full_exploration_everywhere() {
+    let mutations = [
+        Mutation::None,
+        Mutation::DropRelease,
+        Mutation::SkipScrub,
+        Mutation::LateQuarantine,
+        Mutation::StuckDefer,
+    ];
+    let mut pruned_somewhere = false;
+    for sc in scenario::standard() {
+        for mutation in mutations {
+            let report = check(&sc, mutation);
+            assert!(
+                report.reduction_consistent,
+                "reduction diverged on `{}` under {}:\n{}",
+                sc.name,
+                mutation.label(),
+                report.render()
+            );
+            if report.reduced.transitions < report.full.transitions {
+                pruned_somewhere = true;
+            }
+        }
+    }
+    assert!(
+        pruned_somewhere,
+        "ample-set reduction never pruned a single transition"
+    );
+}
+
+/// Dropping the doomed request's `release` leaks bytes on the terminal
+/// path *and* deadlocks a same-device follower — both surfaced.
+#[test]
+fn drop_release_leaks_and_deadlocks() {
+    let leak = explore::explore(&scenario::doomed(), Mutation::DropRelease, false);
+    let ce = leak
+        .counterexample(Property::LeakFreedom)
+        .expect("leaked reservation not caught");
+    assert!(ce.detail.contains("never returns to zero"), "{}", ce.detail);
+    let dead = explore::explore(&scenario::doomed_follower(), Mutation::DropRelease, false);
+    let ce = dead
+        .counterexample(Property::AdmissionLiveness)
+        .expect("admission deadlock not caught");
+    assert!(ce.detail.contains("deadlock"), "{}", ce.detail);
+}
+
+/// The stuck-defer mutation livelocks: the checker pins the exact action
+/// that repeats forever.
+#[test]
+fn stuck_defer_is_a_livelock_not_a_deadlock() {
+    let result = explore::explore(&scenario::pressure(), Mutation::StuckDefer, false);
+    let ce = result
+        .counterexample(Property::AdmissionLiveness)
+        .expect("stuck defer not caught");
+    assert!(ce.detail.contains("livelock"), "{}", ce.detail);
+}
+
+/// Model-to-code tie: a real engine run under chaos fault injection,
+/// replayed through the same property automata, is clean.
+#[test]
+fn real_engine_log_replays_cleanly() {
+    let workload = serve::workload::synthetic(60, 2017);
+    let config = serve::ServeConfig {
+        devices: 2,
+        verify: true,
+        fault_injection: Some(gpu_sim::FaultConfig::chaos(2024, 0.02)),
+        ..serve::ServeConfig::default()
+    };
+    let mut engine = serve::ServeEngine::new(config);
+    engine.enable_protocol_log();
+    let report = engine.run(&workload);
+    assert!(report.fault_stats.injected() > 0, "chaos injected nothing");
+    let log = engine.take_protocol_log();
+    assert!(!log.is_empty(), "protocol log is empty");
+    let violations = modelcheck::replay::replay(&log);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+/// The replay automata themselves catch tampered logs: deleting a commit
+/// (leak) or a scrub (taint) from a real log must be flagged.
+#[test]
+fn replay_flags_tampered_logs() {
+    let workload = serve::workload::synthetic(40, 7);
+    let config = serve::ServeConfig {
+        devices: 2,
+        verify: true,
+        fault_injection: Some(gpu_sim::FaultConfig::chaos(11, 0.05)),
+        ..serve::ServeConfig::default()
+    };
+    let mut engine = serve::ServeEngine::new(config);
+    engine.enable_protocol_log();
+    engine.run(&workload);
+    let log = engine.take_protocol_log();
+
+    let commit_at = log
+        .iter()
+        .position(|e| matches!(e, serve::ProtocolEvent::Commit { .. }))
+        .expect("log has a commit");
+    let mut dropped_commit = log.clone();
+    dropped_commit.remove(commit_at);
+    assert!(
+        !modelcheck::replay::replay(&dropped_commit).is_empty(),
+        "dropped commit not flagged"
+    );
+
+    let scrub_at = log
+        .iter()
+        .position(|e| matches!(e, serve::ProtocolEvent::Scrub { .. }))
+        .expect("log has a scrub");
+    let mut dropped_scrub = log.clone();
+    dropped_scrub.remove(scrub_at);
+    assert!(
+        !modelcheck::replay::replay(&dropped_scrub).is_empty(),
+        "dropped scrub not flagged"
+    );
+}

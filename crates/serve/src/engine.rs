@@ -11,6 +11,7 @@
 //! plans, so a decomposition warms the cache for later single-op requests
 //! and vice versa.
 
+use crate::events::ProtocolEvent;
 use crate::metrics::{ExecTier, LatencySummary, RequestMetrics};
 use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanSource};
 use crate::pool::{AdmitError, DevicePool, PoolStats, ReservationId};
@@ -338,7 +339,7 @@ impl ServeReport {
             self.hit_rate() * 100.0
         ));
         out.push_str(&format!(
-            "  preprocessing:  {:.1} ms host wall across builds\n",
+            "  preprocessing:  {:.1} ms modeled host cost across builds\n",
             self.plan_stats.build_ms
         ));
         out.push_str(&format!(
@@ -454,6 +455,11 @@ pub struct ServeEngine {
     /// Per-request profiles of the current run (only filled when
     /// [`ServeConfig::profile`] is set).
     profiled: Vec<RequestProfile>,
+    /// Host-visible protocol transitions (only recorded after
+    /// [`ServeEngine::enable_protocol_log`]); the `modelcheck` crate replays
+    /// its property automata over this log.
+    protocol: Vec<ProtocolEvent>,
+    protocol_enabled: bool,
 }
 
 /// Deterministic per-mode factor seed derivation, shared with the one-shot
@@ -567,6 +573,26 @@ impl ServeEngine {
             quarantined: vec![false; device_count],
             plan_fault_counts: BTreeMap::new(),
             profiled: Vec::new(),
+            protocol: Vec::new(),
+            protocol_enabled: false,
+        }
+    }
+
+    /// Starts recording every [`ProtocolEvent`] the engine performs.
+    /// Recording is off by default: the serve path allocates nothing for
+    /// events unless a checker asks for them.
+    pub fn enable_protocol_log(&mut self) {
+        self.protocol_enabled = true;
+    }
+
+    /// Drains the protocol log recorded so far.
+    pub fn take_protocol_log(&mut self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut self.protocol)
+    }
+
+    fn log_event(&mut self, event: ProtocolEvent) {
+        if self.protocol_enabled {
+            self.protocol.push(event);
         }
     }
 
@@ -696,6 +722,7 @@ impl ServeEngine {
     #[allow(clippy::too_many_arguments)]
     fn admit_queued(
         &mut self,
+        index: usize,
         device_index: usize,
         key: PlanKey,
         fcoo: &Fcoo,
@@ -706,8 +733,20 @@ impl ServeEngine {
     ) -> Result<crate::pool::Admitted, String> {
         loop {
             match self.pools[device_index].admit(key, fcoo, format_bytes, transient_bytes) {
-                Ok(admitted) => return Ok(admitted),
+                Ok(admitted) => {
+                    self.log_event(ProtocolEvent::AdmitOk {
+                        request: index as u64,
+                        device: device_index,
+                        uploaded: admitted.uploaded,
+                    });
+                    return Ok(admitted);
+                }
                 Err(AdmitError::Defer { until_us }) => {
+                    self.log_event(ProtocolEvent::AdmitDefer {
+                        request: index as u64,
+                        device: device_index,
+                        until_us,
+                    });
                     *was_deferred = true;
                     *ready = until_us.max(*ready);
                     self.pools[device_index].retire(*ready);
@@ -730,6 +769,15 @@ impl ServeEngine {
                             continue;
                         }
                     }
+                    let working_set = match too_large {
+                        AdmitError::TooLarge { working_set, .. } => working_set,
+                        AdmitError::Defer { .. } => 0,
+                    };
+                    self.log_event(ProtocolEvent::AdmitReject {
+                        request: index as u64,
+                        device: device_index,
+                        working_set,
+                    });
                     return Err(too_large.to_string());
                 }
             }
@@ -837,12 +885,18 @@ impl ServeEngine {
         {
             self.quarantined[device_index] = true;
             self.fault_stats.devices_quarantined += 1;
+            self.log_event(ProtocolEvent::Quarantine {
+                device: device_index,
+            });
         }
         if let Some(key) = key {
             if self.plan_fault_counts.get(&key).copied().unwrap_or(0) >= plan_at {
                 self.plan_fault_counts.insert(key, 0);
                 if self.plans.invalidate(key) {
                     self.fault_stats.plans_invalidated += 1;
+                    self.log_event(ProtocolEvent::PlanInvalidate {
+                        device: device_index,
+                    });
                 }
             }
         }
@@ -852,6 +906,7 @@ impl ServeEngine {
     /// Returns the attempt's damage; no-op defaults when injection is off.
     fn integrity_barrier(
         &mut self,
+        index: usize,
         device_index: usize,
         key: Option<PlanKey>,
         faults_seen: &mut u32,
@@ -866,6 +921,12 @@ impl ServeEngine {
         let events = self.devices[device_index].memory().scrub_faults();
         *faults_seen += events.len() as u32;
         let damage = self.absorb_events(device_index, key, &events);
+        self.log_event(ProtocolEvent::Scrub {
+            request: index as u64,
+            device: device_index,
+            faults: events.len(),
+            corrupted: damage.corrupted,
+        });
         self.apply_fault_policy(device_index, key);
         damage
     }
@@ -908,6 +969,17 @@ impl ServeEngine {
                 let d2h_us = self.transfer_us(cached.output.bytes());
                 let placement = scheduler.place_on_device(device_index, now, d2h_us);
                 let cached_tier = cached.tier;
+                self.log_event(ProtocolEvent::Place {
+                    request: index as u64,
+                    device: placement.device,
+                    stream: placement.stream,
+                    start_us: placement.start_us,
+                    finish_us: placement.finish_us,
+                });
+                self.log_event(ProtocolEvent::Accept {
+                    request: index as u64,
+                    device: placement.device,
+                });
                 if self.config.profile {
                     self.profiled.push(RequestProfile {
                         index,
@@ -962,6 +1034,7 @@ impl ServeEngine {
         let mut ready = now;
         let mut was_deferred = false;
         let admitted = self.admit_queued(
+            index,
             device_index,
             key,
             &plan.fcoo,
@@ -974,6 +1047,11 @@ impl ServeEngine {
         // is committed on success and released on genuine failure, so the
         // error path never leaks pool bytes.
         let pending = self.pools[device_index].reserve_pending(key, transient_bytes);
+        self.log_event(ProtocolEvent::ReservePending {
+            request: index as u64,
+            device: device_index,
+            bytes: transient_bytes,
+        });
 
         let threadlen = plan.fcoo.threadlen;
         let block_size = plan.block_size;
@@ -984,6 +1062,12 @@ impl ServeEngine {
         let mut recovery_us = 0.0f64;
         let mut attempt_index = 0u32;
         let ((output, kernel_us, factor_bytes), accepted_launches) = loop {
+            self.log_event(ProtocolEvent::AttemptStart {
+                request: index as u64,
+                device: device_index,
+                attempt: attempt_index,
+                tier,
+            });
             let attempt = self.execute_tier(
                 device_index,
                 tier,
@@ -1012,7 +1096,7 @@ impl ServeEngine {
                     dead_us: 0.0,
                 }
             } else {
-                self.integrity_barrier(device_index, Some(key), &mut faults_seen)
+                self.integrity_barrier(index, device_index, Some(key), &mut faults_seen)
             };
             recovery_us += damage.dead_us;
             match attempt {
@@ -1036,8 +1120,12 @@ impl ServeEngine {
                         if self.config.profile {
                             self.devices[device_index].drain_trace();
                         }
-                        let redo_damage =
-                            self.integrity_barrier(device_index, Some(key), &mut faults_seen);
+                        let redo_damage = self.integrity_barrier(
+                            index,
+                            device_index,
+                            Some(key),
+                            &mut faults_seen,
+                        );
                         recovery_us += redo_damage.dead_us;
                         match redo {
                             Ok((redo_out, redo_us, _)) => {
@@ -1067,11 +1155,20 @@ impl ServeEngine {
                         // A genuine failure (not injected): reject, exactly
                         // like the fault-free engine would.
                         self.pools[device_index].release(pending);
+                        self.log_event(ProtocolEvent::Release {
+                            request: index as u64,
+                            device: device_index,
+                        });
                         return Err(reason);
                     }
                     // A degraded tier that cannot run at all (e.g. the
                     // two-step intermediate does not fit) falls to the host.
                     self.fault_stats.cpu_fallbacks += 1;
+                    self.log_event(ProtocolEvent::Degrade {
+                        request: index as u64,
+                        from: tier,
+                        to: ExecTier::Cpu,
+                    });
                     tier = ExecTier::Cpu;
                     tier_attempts = 0;
                     continue;
@@ -1082,10 +1179,15 @@ impl ServeEngine {
             retries += 1;
             self.fault_stats.retries += 1;
             tier_attempts += 1;
-            recovery_us += self.backoff_us(index, attempt_index);
+            let backoff = self.backoff_us(index, attempt_index);
+            recovery_us += backoff;
+            self.log_event(ProtocolEvent::Backoff {
+                request: index as u64,
+                backoff_us: backoff,
+            });
             attempt_index += 1;
             if tier_attempts > self.config.fault_tolerance.max_retries {
-                tier = match tier {
+                let next = match tier {
                     ExecTier::Unified if matches!(op, TensorOp::SpMttkrp { .. }) && order == 3 => {
                         self.fault_stats.two_step_fallbacks += 1;
                         ExecTier::TwoStep
@@ -1095,6 +1197,12 @@ impl ServeEngine {
                         ExecTier::Cpu
                     }
                 };
+                self.log_event(ProtocolEvent::Degrade {
+                    request: index as u64,
+                    from: tier,
+                    to: next,
+                });
+                tier = next;
                 tier_attempts = 0;
             }
         };
@@ -1117,8 +1225,24 @@ impl ServeEngine {
         } else {
             scheduler.place_on_device(device_index, ready, exec_us)
         };
+        self.log_event(ProtocolEvent::Place {
+            request: index as u64,
+            device: placement.device,
+            stream: placement.stream,
+            start_us: placement.start_us,
+            finish_us: placement.finish_us,
+        });
         self.pools[device_index].commit(pending, placement.finish_us);
+        self.log_event(ProtocolEvent::Commit {
+            request: index as u64,
+            device: device_index,
+            finish_us: placement.finish_us,
+        });
         let checksum = output.checksum();
+        self.log_event(ProtocolEvent::Accept {
+            request: index as u64,
+            device: device_index,
+        });
         if self.config.profile {
             self.profiled.push(RequestProfile {
                 index,
@@ -1226,6 +1350,7 @@ impl ServeEngine {
             // remaining modes only need their formats resident.
             let transient = if i == 0 { transient_bytes } else { 0 };
             let admitted = self.admit_queued(
+                index,
                 device_index,
                 keys[i],
                 &plan.fcoo,
@@ -1258,6 +1383,13 @@ impl ServeEngine {
                 self.pools[device_index].reserve_pending(key, transient)
             })
             .collect();
+        for (i, _) in keys.iter().enumerate() {
+            self.log_event(ProtocolEvent::ReservePending {
+                request: index as u64,
+                device: device_index,
+                bytes: if i == 0 { transient_bytes } else { 0 },
+            });
+        }
         let mut tier = ExecTier::Unified;
         let mut tier_attempts = 0usize;
         let mut retries = 0u32;
@@ -1265,6 +1397,12 @@ impl ServeEngine {
         let mut recovery_us = 0.0f64;
         let mut attempt_index = 0u32;
         let ((output, gpu_us), accepted_launches) = loop {
+            self.log_event(ProtocolEvent::AttemptStart {
+                request: index as u64,
+                device: device_index,
+                attempt: attempt_index,
+                tier,
+            });
             let ran = match tier {
                 ExecTier::Cpu => run_host_cp(&tensor, &opts),
                 _ => run_planned_cp(
@@ -1287,7 +1425,7 @@ impl ServeEngine {
                     dead_us: 0.0,
                 }
             } else {
-                self.integrity_barrier(device_index, Some(keys[0]), &mut faults_seen)
+                self.integrity_barrier(index, device_index, Some(keys[0]), &mut faults_seen)
             };
             recovery_us += damage.dead_us;
             if !damage.corrupted {
@@ -1298,11 +1436,21 @@ impl ServeEngine {
             retries += 1;
             self.fault_stats.retries += 1;
             tier_attempts += 1;
-            recovery_us += self.backoff_us(index, attempt_index);
+            let backoff = self.backoff_us(index, attempt_index);
+            recovery_us += backoff;
+            self.log_event(ProtocolEvent::Backoff {
+                request: index as u64,
+                backoff_us: backoff,
+            });
             attempt_index += 1;
             if tier_attempts > self.config.fault_tolerance.max_retries {
                 // CP-ALS has no two-step rung: degrade straight to the host.
                 self.fault_stats.cpu_fallbacks += 1;
+                self.log_event(ProtocolEvent::Degrade {
+                    request: index as u64,
+                    from: tier,
+                    to: ExecTier::Cpu,
+                });
                 tier = ExecTier::Cpu;
                 tier_attempts = 0;
             }
@@ -1327,10 +1475,26 @@ impl ServeEngine {
         } else {
             scheduler.place_on_device(device_index, ready, exec_us)
         };
+        self.log_event(ProtocolEvent::Place {
+            request: index as u64,
+            device: placement.device,
+            stream: placement.stream,
+            start_us: placement.start_us,
+            finish_us: placement.finish_us,
+        });
         for &pending in &pendings {
             self.pools[device_index].commit(pending, placement.finish_us);
+            self.log_event(ProtocolEvent::Commit {
+                request: index as u64,
+                device: device_index,
+                finish_us: placement.finish_us,
+            });
         }
         let checksum = output.checksum();
+        self.log_event(ProtocolEvent::Accept {
+            request: index as u64,
+            device: device_index,
+        });
         if self.config.profile {
             self.profiled.push(RequestProfile {
                 index,

@@ -34,7 +34,9 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod events;
 pub mod fingerprint;
+pub mod ledger;
 pub mod metrics;
 pub mod plan;
 pub mod pool;
@@ -46,7 +48,9 @@ pub use engine::{
     one_shot_cp_reference, one_shot_reference, one_shot_tier_reference, FaultStats, FaultTolerance,
     JobOutput, Rejection, ServeConfig, ServeEngine, ServeReport,
 };
+pub use events::ProtocolEvent;
 pub use fingerprint::tensor_fingerprint;
+pub use ledger::PoolLedger;
 pub use metrics::{ExecTier, LatencySummary, RequestMetrics};
 pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanSource};
 pub use pool::{AdmitError, DevicePool, PoolStats, ReservationId};

@@ -143,7 +143,11 @@ pub struct PlanCacheStats {
     pub disk_hits: u64,
     /// Lookups that paid the full preprocessing cost.
     pub builds: u64,
-    /// Wall-clock milliseconds spent building plans (sort + tuning).
+    /// Modeled milliseconds spent building plans: an `O(n log n)` sort of
+    /// the nonzeros plus the simulated time of every tuning trial. Derived
+    /// from the analytic cost model rather than a wall-clock measurement so
+    /// the same workload always reports bit-identical numbers (host timing
+    /// lives only in `baselines::timing` and the `decomp` benchmarks).
     pub build_ms: f64,
     /// Persisted plans refused at load time because the static analyzer
     /// refuted their tuned configuration (each such lookup rebuilds).
@@ -248,7 +252,6 @@ impl PlanCache {
             self.plans.insert(key, Arc::clone(&plan));
             return (plan, PlanSource::Disk);
         }
-        let started = std::time::Instant::now();
         let tuned = self.tune(key, tensor, device);
         let (block_size, threadlen) = tuned.best_pair();
         let fcoo = Fcoo::from_coo(tensor, key.op(), threadlen);
@@ -258,10 +261,26 @@ impl PlanCache {
             block_size,
         });
         self.stats.builds += 1;
-        self.stats.build_ms += started.elapsed().as_secs_f64() * 1e3;
+        self.stats.build_ms += Self::modeled_build_ms(tensor.nnz(), &tuned);
         self.persist(&plan);
         self.plans.insert(key, Arc::clone(&plan));
         (plan, PlanSource::Built)
+    }
+
+    /// Deterministic analytic model of the host cost of one plan build: an
+    /// `O(n log n)` comparison sort of the nonzeros plus the simulated time
+    /// of every tuning trial the sweep measured. Replaces a wall-clock
+    /// `Instant::now()` measurement (banned repo-wide via clippy
+    /// `disallowed-methods`) so `PlanCacheStats::build_ms` — and therefore
+    /// the serve report — is bit-identical across runs and hosts.
+    fn modeled_build_ms(nnz: usize, tuned: &TuneResult) -> f64 {
+        // ~12 ns per comparison is a conventional host sort throughput; the
+        // exact constant only scales the report, determinism is the point.
+        const SORT_NS_PER_CMP: f64 = 12.0;
+        let n = nnz.max(2) as f64;
+        let sort_ms = n * n.log2() * SORT_NS_PER_CMP * 1e-6;
+        let sweep_ms = tuned.surface.iter().map(|p| p.time_us).sum::<f64>() * 1e-3;
+        sort_ms + sweep_ms
     }
 
     fn tune(&self, key: PlanKey, tensor: &SparseTensorCoo, device: &GpuDevice) -> TuneResult {

@@ -10,48 +10,23 @@
 //! is told to wait (queue) instead of failing, mirroring the pressure-aware
 //! device-memory management of out-of-memory MTTKRP systems
 //! (arXiv:2201.12523).
+//!
+//! All accounting — residency budgets, the reservation lifecycle, LRU
+//! victim selection, the admit/defer/reject decision — lives in the pure
+//! [`PoolLedger`]; this type adds only the actual device uploads and the
+//! `Arc<FcooDevice>` handles. The `modelcheck` crate explores the ledger
+//! directly, so the protocol it proves is the one running here.
+//!
+//! [`OutOfMemory`]: gpu_sim::memory::OutOfMemory
 
+use crate::ledger::PoolLedger;
 use crate::plan::PlanKey;
 use fcoo::{Fcoo, FcooDevice};
 use gpu_sim::memory::DeviceMemory;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Why a job could not be admitted right now.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AdmitError {
-    /// Working set exceeds what is free next to in-flight jobs; retry once
-    /// reservations up to `until_us` have retired.
-    Defer {
-        /// Simulated time at which the earliest in-flight reservation ends.
-        until_us: f64,
-    },
-    /// The job can never fit: its working set exceeds device capacity even
-    /// with an empty cache.
-    TooLarge {
-        /// Bytes the job needs resident at once.
-        working_set: usize,
-        /// Device capacity in bytes.
-        capacity: usize,
-    },
-}
-
-impl std::fmt::Display for AdmitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AdmitError::Defer { until_us } => {
-                write!(f, "queued until in-flight work retires at {until_us:.1} µs")
-            }
-            AdmitError::TooLarge {
-                working_set,
-                capacity,
-            } => write!(
-                f,
-                "working set {working_set} B exceeds device capacity {capacity} B"
-            ),
-        }
-    }
-}
+pub use crate::ledger::{AdmitError, PoolStats, ReservationId};
 
 /// A successfully admitted format.
 #[derive(Debug)]
@@ -62,74 +37,37 @@ pub struct Admitted {
     pub uploaded: bool,
 }
 
-/// Pool activity counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PoolStats {
-    /// Formats uploaded (admission misses).
-    pub uploads: u64,
-    /// Admissions served by an already-resident format.
-    pub format_reuses: u64,
-    /// Cached formats evicted under memory pressure.
-    pub evictions: u64,
-}
-
-struct CachedFormat {
-    format: Arc<FcooDevice>,
-    last_used: u64,
-    /// In-flight jobs currently using this format (eviction barrier).
-    pins: usize,
-}
-
-struct Reservation {
-    id: u64,
-    finish_us: f64,
-    bytes: usize,
-    key: PlanKey,
-}
-
-/// Handle to a pending (not yet committed) reservation. A job holds one
-/// while it executes; [`DevicePool::commit`] turns it into a timed
-/// reservation on success and [`DevicePool::release`] cancels it on failure,
-/// so an aborted job never leaks bytes or format pins.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ReservationId(u64);
-
 /// Pooled view of one device's global memory.
 pub struct DevicePool {
     memory: DeviceMemory,
-    cached: BTreeMap<PlanKey, CachedFormat>,
-    reservations: Vec<Reservation>,
-    tick: u64,
-    next_reservation: u64,
-    stats: PoolStats,
+    formats: BTreeMap<PlanKey, Arc<FcooDevice>>,
+    ledger: PoolLedger,
 }
 
 impl DevicePool {
     /// Creates a pool over `memory`.
     pub fn new(memory: DeviceMemory) -> Self {
+        let ledger = PoolLedger::new(memory.capacity());
         DevicePool {
             memory,
-            cached: BTreeMap::new(),
-            reservations: Vec::new(),
-            tick: 0,
-            next_reservation: 0,
-            stats: PoolStats::default(),
+            formats: BTreeMap::new(),
+            ledger,
         }
     }
 
     /// Activity counters.
     pub fn stats(&self) -> PoolStats {
-        self.stats
+        self.ledger.stats()
     }
 
     /// Bytes currently reserved by in-flight jobs (transient working sets).
     pub fn reserved_bytes(&self) -> usize {
-        self.reservations.iter().map(|r| r.bytes).sum()
+        self.ledger.reserved_bytes()
     }
 
     /// Number of cached device-resident formats.
     pub fn cached_formats(&self) -> usize {
-        self.cached.len()
+        self.ledger.cached_formats()
     }
 
     /// The pool's device memory handle.
@@ -137,33 +75,20 @@ impl DevicePool {
         &self.memory
     }
 
+    /// The pure accounting core (for inspection and state digests).
+    pub fn ledger(&self) -> &PoolLedger {
+        &self.ledger
+    }
+
     /// Releases reservations whose jobs finish at or before `now_us` and
     /// unpins their formats.
     pub fn retire(&mut self, now_us: f64) {
-        let mut kept = Vec::with_capacity(self.reservations.len());
-        for r in self.reservations.drain(..) {
-            if r.finish_us <= now_us {
-                if let Some(slot) = self.cached.get_mut(&r.key) {
-                    slot.pins = slot.pins.saturating_sub(1);
-                }
-            } else {
-                kept.push(r);
-            }
-        }
-        self.reservations = kept;
+        self.ledger.retire(now_us);
     }
 
     /// True when `key`'s format is resident (bumps its LRU recency).
     pub fn touch_resident(&mut self, key: PlanKey) -> bool {
-        self.tick += 1;
-        let tick = self.tick;
-        match self.cached.get_mut(&key) {
-            Some(slot) => {
-                slot.last_used = tick;
-                true
-            }
-            None => false,
-        }
+        self.ledger.touch_resident(key)
     }
 
     /// Admits a job that needs `key`'s format (uploading `fcoo` if absent,
@@ -186,16 +111,23 @@ impl DevicePool {
                 capacity,
             });
         }
-        let resident = self.cached.contains_key(&key);
+        let resident = self.ledger.is_resident(key);
         let need = transient_bytes + if resident { 0 } else { format_bytes };
-        self.make_room(key, need)?;
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(slot) = self.cached.get_mut(&key) {
-            slot.last_used = tick;
-            self.stats.format_reuses += 1;
+        let victims = self
+            .ledger
+            .plan_admission(key, need, self.memory.live_bytes())?;
+        for k in victims {
+            self.formats.remove(&k);
+        }
+        if resident {
+            self.ledger.record_hit(key);
+            let format = self
+                .formats
+                .get(&key)
+                .map(Arc::clone)
+                .expect("resident ledger slot always has a format handle");
             return Ok(Admitted {
-                format: Arc::clone(&slot.format),
+                format,
                 uploaded: false,
             });
         }
@@ -204,31 +136,22 @@ impl DevicePool {
             Err(_) => {
                 // The byte estimate was low; shed the whole cache and retry
                 // once before reporting pressure.
-                self.evict_all_unpinned();
+                for k in self.ledger.evict_all_unpinned() {
+                    self.formats.remove(&k);
+                }
                 match FcooDevice::upload(&self.memory, fcoo) {
                     Ok(f) => f,
                     Err(oom) => {
-                        return Err(match self.earliest_release() {
-                            Some(until_us) => AdmitError::Defer { until_us },
-                            None => AdmitError::TooLarge {
-                                working_set: oom.requested + transient_bytes,
-                                capacity,
-                            },
-                        })
+                        return Err(self
+                            .ledger
+                            .defer_or_too_large(oom.requested + transient_bytes))
                     }
                 }
             }
         };
         let format = Arc::new(format);
-        self.stats.uploads += 1;
-        self.cached.insert(
-            key,
-            CachedFormat {
-                format: Arc::clone(&format),
-                last_used: tick,
-                pins: 0,
-            },
-        );
+        self.ledger.record_upload(key, format_bytes);
+        self.formats.insert(key, Arc::clone(&format));
         Ok(Admitted {
             format,
             uploaded: true,
@@ -238,8 +161,8 @@ impl DevicePool {
     /// Records that an admitted job holds `transient_bytes` until
     /// `finish_us` and pins its format against eviction for that span.
     pub fn reserve(&mut self, key: PlanKey, transient_bytes: usize, finish_us: f64) {
-        let id = self.reserve_pending(key, transient_bytes);
-        self.commit(id, finish_us);
+        let id = self.ledger.reserve_pending(key, transient_bytes);
+        self.ledger.commit(id, finish_us);
     }
 
     /// Opens a reservation for a job about to execute: `transient_bytes` are
@@ -248,98 +171,33 @@ impl DevicePool {
     /// or [`DevicePool::release`] (job failed) — a failed job that skips
     /// `release` would leak its bytes forever.
     pub fn reserve_pending(&mut self, key: PlanKey, transient_bytes: usize) -> ReservationId {
-        if let Some(slot) = self.cached.get_mut(&key) {
-            slot.pins += 1;
-        }
-        self.next_reservation += 1;
-        let id = self.next_reservation;
-        self.reservations.push(Reservation {
-            id,
-            finish_us: f64::INFINITY,
-            bytes: transient_bytes,
-            key,
-        });
-        ReservationId(id)
+        self.ledger.reserve_pending(key, transient_bytes)
     }
 
     /// Gives a pending reservation its finish time; it now retires through
     /// [`DevicePool::retire`] like any other. No-op for unknown ids.
     pub fn commit(&mut self, id: ReservationId, finish_us: f64) {
-        if let Some(r) = self.reservations.iter_mut().find(|r| r.id == id.0) {
-            r.finish_us = finish_us;
-        }
+        self.ledger.commit(id, finish_us);
     }
 
     /// Cancels a reservation: its bytes are freed and its format unpinned
     /// immediately (the error path of a failed job). No-op for ids already
     /// retired or released, so it can never double-unpin.
     pub fn release(&mut self, id: ReservationId) {
-        if let Some(pos) = self.reservations.iter().position(|r| r.id == id.0) {
-            let r = self.reservations.remove(pos);
-            if let Some(slot) = self.cached.get_mut(&r.key) {
-                slot.pins = slot.pins.saturating_sub(1);
-            }
-        }
+        self.ledger.release(id);
     }
 
     /// Earliest time an in-flight reservation retires, if any. Pending
     /// (uncommitted) reservations have no finish time and are excluded.
     pub fn earliest_release(&self) -> Option<f64> {
-        self.reservations
-            .iter()
-            .map(|r| r.finish_us)
-            .filter(|f| f.is_finite())
-            .min_by(f64::total_cmp)
-    }
-
-    /// Evicts LRU unpinned formats until `need` bytes fit beside the live
-    /// allocations and in-flight reservations.
-    fn make_room(&mut self, requesting: PlanKey, need: usize) -> Result<(), AdmitError> {
-        loop {
-            let used = self.memory.live_bytes() + self.reserved_bytes();
-            if used + need <= self.memory.capacity() {
-                return Ok(());
-            }
-            let victim = self
-                .cached
-                .iter()
-                .filter(|(k, slot)| **k != requesting && slot.pins == 0)
-                .min_by_key(|(_, slot)| slot.last_used)
-                .map(|(k, _)| *k);
-            match victim {
-                Some(k) => {
-                    self.cached.remove(&k);
-                    self.stats.evictions += 1;
-                }
-                None => {
-                    return Err(match self.earliest_release() {
-                        Some(until_us) => AdmitError::Defer { until_us },
-                        None => AdmitError::TooLarge {
-                            working_set: need,
-                            capacity: self.memory.capacity(),
-                        },
-                    })
-                }
-            }
-        }
-    }
-
-    fn evict_all_unpinned(&mut self) {
-        let victims: Vec<PlanKey> = self
-            .cached
-            .iter()
-            .filter(|(_, slot)| slot.pins == 0)
-            .map(|(k, _)| *k)
-            .collect();
-        for k in victims {
-            self.cached.remove(&k);
-            self.stats.evictions += 1;
-        }
+        self.ledger.earliest_release()
     }
 
     /// Drops every unpinned cached format (used by tests and shutdown).
     pub fn clear(&mut self) {
-        self.evict_all_unpinned();
+        for k in self.ledger.evict_all_unpinned() {
+            self.formats.remove(&k);
+        }
     }
 }
 
@@ -487,5 +345,27 @@ mod tests {
         pool.retire(90.0);
         assert_eq!(pool.reserved_bytes(), 0);
         assert_eq!(pool.earliest_release(), None);
+    }
+
+    #[test]
+    fn ledger_mirrors_pool_accounting() {
+        // The pool's public counters must be views of its ledger, and the
+        // ledger digest must move exactly when the accounting state moves.
+        let device = GpuDevice::titan_x();
+        let mut pool = DevicePool::new(device.memory().clone());
+        let (key, fcoo) = fcoo_for(9);
+        let fb = bytes_of(&fcoo);
+        pool.admit(key, &fcoo, fb, 1024).unwrap();
+        let d0 = pool.ledger().digest(0);
+        assert_eq!(pool.ledger().digest(0), d0, "digest is a pure function");
+        let id = pool.reserve_pending(key, 1024);
+        assert_ne!(pool.ledger().digest(0), d0, "reservation moves the digest");
+        assert_eq!(pool.ledger().pending_reservations(), 1);
+        assert_eq!(pool.ledger().total_pins(), 1);
+        pool.commit(id, 10.0);
+        pool.retire(10.0);
+        assert_eq!(pool.ledger().pending_reservations(), 0);
+        assert_eq!(pool.ledger().total_pins(), 0);
+        assert_eq!(pool.ledger().reserved_bytes(), pool.reserved_bytes());
     }
 }

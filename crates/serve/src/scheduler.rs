@@ -22,6 +22,11 @@ pub struct Placement {
 }
 
 /// Deterministic least-loaded placement over one timeline per device.
+///
+/// `Clone` so the `modelcheck` crate can branch scheduler state at every
+/// explored interleaving; [`Scheduler::digest`] gives the matching
+/// state-hash for interleaving dedup.
+#[derive(Clone)]
 pub struct Scheduler {
     timelines: Vec<Timeline>,
 }
@@ -145,6 +150,21 @@ impl Scheduler {
             start_us,
             finish_us,
         }
+    }
+
+    /// A 64-bit digest of the full scheduler state (every stream's elapsed
+    /// and busy time, bit-exact), seeded by `seed`. Equal schedules always
+    /// digest equally, so the model checker can dedup interleavings that
+    /// converged to the same timeline.
+    pub fn digest(&self, seed: u64) -> u64 {
+        let mut h = crate::ledger::splitmix(seed ^ 0x5349_4d53_4348_4544);
+        for timeline in &self.timelines {
+            for s in 0..timeline.streams() {
+                h = crate::ledger::splitmix(h ^ timeline.stream_elapsed_us(s).to_bits());
+                h = crate::ledger::splitmix(h ^ timeline.stream_busy_us(s).to_bits());
+            }
+        }
+        h
     }
 
     /// When the last job across all devices finishes (the makespan).

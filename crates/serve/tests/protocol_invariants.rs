@@ -1,0 +1,156 @@
+//! Property tests for the serving layer's accounting protocols — the same
+//! invariants the `modelcheck` crate proves by exhaustion on small
+//! scenarios, here sampled across large random instances.
+//!
+//! * [`PoolLedger`]: arbitrary valid `reserve_pending` / `commit` /
+//!   `release` / retire / evict sequences conserve bytes exactly against an
+//!   independent shadow model, and `earliest_release` is always the true
+//!   minimum over committed reservations.
+//! * [`Scheduler`]: `place_on_device_delayed` charges its dead time to the
+//!   makespan but never to busy credit, and per-stream utilization stays
+//!   within [0, 1] under randomized delayed placements.
+
+use fcoo::TensorOp;
+use proptest::prelude::*;
+use serve::{PlanKey, PoolLedger, Scheduler};
+
+fn key_for(i: u64) -> PlanKey {
+    PlanKey::new(0xF0C0_0000 + i, TensorOp::SpMttkrp { mode: 0 }, 8)
+}
+
+/// Shadow of one live reservation: bytes held and the committed finish
+/// time, if any.
+#[derive(Clone, Copy)]
+struct Shadow {
+    id: serve::ReservationId,
+    bytes: usize,
+    finish: Option<f64>,
+}
+
+fn check_against_shadow(ledger: &PoolLedger, shadow: &[Shadow]) -> Result<(), TestCaseError> {
+    let expect_bytes: usize = shadow.iter().map(|s| s.bytes).sum();
+    prop_assert_eq!(
+        ledger.reserved_bytes(),
+        expect_bytes,
+        "reserved bytes diverged from the shadow model"
+    );
+    let expect_pending = shadow.iter().filter(|s| s.finish.is_none()).count();
+    prop_assert_eq!(ledger.pending_reservations(), expect_pending);
+    let expect_earliest = shadow
+        .iter()
+        .filter_map(|s| s.finish)
+        .min_by(f64::total_cmp);
+    prop_assert_eq!(
+        ledger.earliest_release(),
+        expect_earliest,
+        "earliest_release is not the min over committed reservations"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte conservation: after every operation of a random valid protocol
+    /// sequence, the ledger's reserved bytes equal the shadow model's sum,
+    /// `earliest_release` equals the true minimum committed finish time,
+    /// and draining every reservation returns the ledger to exactly zero
+    /// bytes and zero pins.
+    #[test]
+    fn ledger_conserves_bytes_exactly(
+        ops in proptest::collection::vec((0u8..6, 0u64..1_000_000, 0u64..1_000_000), 1..120),
+        capacity in 4096usize..(1 << 20),
+    ) {
+        let mut ledger = PoolLedger::new(capacity);
+        let mut shadow: Vec<Shadow> = Vec::new();
+        for (op, a, b) in ops {
+            match op {
+                0 | 1 => {
+                    // Open a pending reservation (twice as likely: the other
+                    // ops need live reservations to act on).
+                    let bytes = (b % 4096) as usize;
+                    let id = ledger.reserve_pending(key_for(a % 4), bytes);
+                    shadow.push(Shadow { id, bytes, finish: None });
+                }
+                2 => {
+                    // Commit a random live reservation.
+                    if !shadow.is_empty() {
+                        let idx = (a as usize) % shadow.len();
+                        let finish = (b % 1000) as f64 + 1.0;
+                        ledger.commit(shadow[idx].id, finish);
+                        shadow[idx].finish = Some(finish);
+                    }
+                }
+                3 => {
+                    // Release a random live reservation (failure path).
+                    if !shadow.is_empty() {
+                        let idx = (a as usize) % shadow.len();
+                        let gone = shadow.remove(idx);
+                        ledger.release(gone.id);
+                    }
+                }
+                4 => {
+                    // Retire everything finished by a random now.
+                    let now = (b % 1200) as f64;
+                    ledger.retire(now);
+                    shadow.retain(|s| !matches!(s.finish, Some(f) if f <= now));
+                }
+                _ => {
+                    // Cache a format and shed unpinned ones: residency must
+                    // never perturb reservation accounting.
+                    ledger.record_upload(key_for(a % 4), (b % 8192) as usize);
+                    if a % 3 == 0 {
+                        ledger.evict_all_unpinned();
+                    }
+                }
+            }
+            check_against_shadow(&ledger, &shadow)?;
+            prop_assert!(ledger.total_pins() <= shadow.len());
+        }
+        // Drain: release every live reservation, then nothing may linger.
+        for s in shadow.drain(..) {
+            ledger.release(s.id);
+        }
+        ledger.retire(f64::MAX);
+        prop_assert_eq!(ledger.reserved_bytes(), 0);
+        prop_assert_eq!(ledger.pending_reservations(), 0);
+        prop_assert_eq!(ledger.total_pins(), 0);
+        prop_assert_eq!(ledger.earliest_release(), None);
+    }
+
+    /// Delayed placement accounting: the dead span always lands in the
+    /// makespan (`finish = start + dead + duration`, bit-exact), busy
+    /// credit accrues only for real work, and no stream's utilization ever
+    /// exceeds 1.
+    #[test]
+    fn delayed_placements_charge_makespan_not_busy(
+        jobs in proptest::collection::vec(
+            (0.0f64..500.0, 0.0f64..200.0, 1.0f64..100.0), 1..40),
+        streams in 1usize..4,
+    ) {
+        let mut sched = Scheduler::new(1, streams);
+        let mut total_work = 0.0f64;
+        for (ready, dead, dur) in jobs {
+            let p = sched.place_on_device_delayed(0, ready, dead, dur);
+            prop_assert!(
+                (p.finish_us - (p.start_us + dead + dur)).abs() <= 1e-9 * p.finish_us.max(1.0),
+                "dead time must be charged to the span: start {} dead {} dur {} finish {}",
+                p.start_us, dead, dur, p.finish_us
+            );
+            total_work += dur;
+        }
+        let makespan = sched.makespan_us();
+        let utils = &sched.utilizations()[0];
+        let mut total_busy = 0.0f64;
+        for &u in utils {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&u), "utilization {u} out of range");
+            total_busy += u * makespan;
+        }
+        // Busy credit is exactly the real work: none of the dead time leaked
+        // into utilization.
+        prop_assert!(
+            (total_busy - total_work).abs() <= 1e-6 * total_work.max(1.0),
+            "busy {total_busy} != submitted work {total_work}"
+        );
+    }
+}

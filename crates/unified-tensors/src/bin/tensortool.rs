@@ -141,6 +141,12 @@ fn run(args: &[String]) -> Result<String, String> {
                 .map_err(|_| format!("bad seed `{seed}`"))?;
             cli::chaos(spec, schedule, seed).map_err(|e| e.to_string())
         }
+        "modelcheck" => {
+            let [_] = args else {
+                return Err("modelcheck takes no arguments".into());
+            };
+            cli::modelcheck().map_err(|e| e.to_string())
+        }
         "help" | "--help" | "-h" => Ok(cli::USAGE.to_string()),
         other => Err(format!("unknown command `{other}`")),
     }

@@ -60,6 +60,7 @@ pub use cpu_par;
 pub use decomp;
 pub use fcoo;
 pub use gpu_sim;
+pub use modelcheck;
 pub use serve;
 pub use tensor_core;
 
