@@ -95,22 +95,7 @@ pub fn spttm(
     let r = u.cols();
     let segments = fcoo.segments();
     let out = device.memory().alloc_zeroed::<f32>(segments * r)?;
-    let k_indices = &fcoo.product_indices[0];
-    let factor_ws = u.rows() * u.cols() * 4;
-    let stats = run_unified(
-        device,
-        fcoo,
-        cfg,
-        r,
-        &out,
-        r,
-        factor_ws,
-        |seg| seg,
-        None,
-        2,
-        |nz, col| fcoo.values.get(nz) * u.get(k_indices.get(nz) as usize, col),
-        |nz, col, addrs| addrs.push(u.addr(k_indices.get(nz) as usize, col)),
-    );
+    let stats = spttm_into(device, fcoo, u, cfg, &out);
     let mut result = SemiSparseTensor::new(fcoo.shape.clone(), mode, r);
     let values = out.to_vec();
     for seg in 0..segments {
@@ -122,6 +107,58 @@ pub fn spttm(
         result.push_fiber(&coord, &values[seg * r..(seg + 1) * r]);
     }
     Ok((result, stats))
+}
+
+/// [`spttm`] into a caller-provided `segments × R` output buffer.
+///
+/// The buffer is accumulated into, not cleared: an all-zero buffer
+/// reproduces [`spttm`] exactly, while a buffer whose first row carries a
+/// running partial sum extends that sum — the out-of-core path's
+/// chunk-boundary seeding (`crates/ooc`). Returns the kernel statistics;
+/// the caller assembles the semi-sparse result from the buffer and the
+/// format's `segment_coords_host`.
+///
+/// # Panics
+/// If the format/op/factor shapes are inconsistent or `out` is not exactly
+/// `segments × R` elements.
+pub fn spttm_into(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    u: &DeviceMatrix,
+    cfg: &LaunchConfig,
+    out: &DeviceBuffer<f32>,
+) -> KernelStats {
+    let mode = match fcoo.op {
+        TensorOp::SpTtm { mode } => mode,
+        other => panic!("F-COO was preprocessed for {other:?}, not SpTTM"),
+    };
+    assert_eq!(
+        u.rows(),
+        fcoo.shape[mode],
+        "matrix rows must match product-mode size"
+    );
+    let r = u.cols();
+    assert_eq!(
+        out.len(),
+        fcoo.segments() * r,
+        "output buffer size mismatch"
+    );
+    let k_indices = &fcoo.product_indices[0];
+    let factor_ws = u.rows() * u.cols() * 4;
+    run_unified(
+        device,
+        fcoo,
+        cfg,
+        r,
+        out,
+        r,
+        factor_ws,
+        |seg| seg,
+        None,
+        2,
+        |nz, col| fcoo.values.get(nz) * u.get(k_indices.get(nz) as usize, col),
+        |nz, col, addrs| addrs.push(u.addr(k_indices.get(nz) as usize, col)),
+    )
 }
 
 /// Sparse MTTKRP `M = X₍ₙ₎ (⊙ factors)` with the unified one-shot kernel.
@@ -156,18 +193,55 @@ pub fn spmttkrp(
     }
     let rows = fcoo.shape[mode];
     let out = device.memory().alloc_zeroed::<f32>(rows * r)?;
+    let stats = spmttkrp_into(device, fcoo, factors, cfg, &out);
+    Ok((DenseMatrix::from_vec(rows, r, out.to_vec()), stats))
+}
+
+/// [`spmttkrp`] into a caller-provided `shape[mode] × R` output buffer.
+///
+/// Accumulates into `out` without clearing it (see [`spttm_into`] for the
+/// out-of-core seeding contract). Returns the kernel statistics.
+///
+/// # Panics
+/// If the format/op/factor shapes are inconsistent or `out` is not exactly
+/// `shape[mode] × R` elements.
+pub fn spmttkrp_into(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    factors: &[&DeviceMatrix],
+    cfg: &LaunchConfig,
+    out: &DeviceBuffer<f32>,
+) -> KernelStats {
+    let mode = match fcoo.op {
+        TensorOp::SpMttkrp { mode } => mode,
+        other => panic!("F-COO was preprocessed for {other:?}, not SpMTTKRP"),
+    };
+    let order = fcoo.shape.len();
+    assert_eq!(factors.len(), order, "one factor per mode required");
+    let product_modes = &fcoo.classification.product_modes;
+    let r = factors[product_modes[0]].cols();
+    for &m in product_modes {
+        assert_eq!(
+            factors[m].rows(),
+            fcoo.shape[m],
+            "factor {m} row count mismatch"
+        );
+        assert_eq!(factors[m].cols(), r, "factor {m} column count mismatch");
+    }
+    let rows = fcoo.shape[mode];
+    assert_eq!(out.len(), rows * r, "output buffer size mismatch");
     let slice_of_seg = &fcoo.segment_coords_host[0];
     let product_factors: Vec<&DeviceMatrix> = product_modes.iter().map(|&m| factors[m]).collect();
     let factor_ws: usize = product_factors
         .iter()
         .map(|f| f.rows() * f.cols() * 4)
         .sum();
-    let stats = run_unified(
+    run_unified(
         device,
         fcoo,
         cfg,
         r,
-        &out,
+        out,
         r,
         factor_ws,
         |seg| slice_of_seg[seg] as usize,
@@ -185,8 +259,7 @@ pub fn spmttkrp(
                 addrs.push(factor.addr(indices.get(nz) as usize, col));
             }
         },
-    );
-    Ok((DenseMatrix::from_vec(rows, r, out.to_vec()), stats))
+    )
 }
 
 /// Sparse TTM-chain on 3-order tensors (paper Eq. 4): the matricized
@@ -247,25 +320,65 @@ pub fn spttmc_norder(
         );
     }
     let columns: usize = product_factors.iter().map(|f| f.cols()).product();
+    let rows = fcoo.shape[mode];
+    let out = device.memory().alloc_zeroed::<f32>(rows * columns)?;
+    let stats = spttmc_norder_into(device, fcoo, product_factors, cfg, &out);
+    Ok((DenseMatrix::from_vec(rows, columns, out.to_vec()), stats))
+}
+
+/// [`spttmc_norder`] into a caller-provided `shape[mode] × Π R_p` output
+/// buffer.
+///
+/// Accumulates into `out` without clearing it (see [`spttm_into`] for the
+/// out-of-core seeding contract). Returns the kernel statistics.
+///
+/// # Panics
+/// If the format/op/factor shapes are inconsistent or `out` is not exactly
+/// `shape[mode] × Π R_p` elements.
+pub fn spttmc_norder_into(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    product_factors: &[&DeviceMatrix],
+    cfg: &LaunchConfig,
+    out: &DeviceBuffer<f32>,
+) -> KernelStats {
+    let mode = match fcoo.op {
+        TensorOp::SpTtmc { mode } => mode,
+        other => panic!("F-COO was preprocessed for {other:?}, not SpTTMc"),
+    };
+    let product_modes = &fcoo.classification.product_modes;
+    assert_eq!(
+        product_factors.len(),
+        product_modes.len(),
+        "one factor per product mode required"
+    );
+    for (&m, factor) in product_modes.iter().zip(product_factors) {
+        assert_eq!(
+            factor.rows(),
+            fcoo.shape[m],
+            "factor row mismatch on mode {m}"
+        );
+    }
+    let columns: usize = product_factors.iter().map(|f| f.cols()).product();
     // Mixed-radix strides over the Kronecker column: last factor fastest.
     let mut strides = vec![1usize; product_factors.len()];
     for p in (0..product_factors.len().saturating_sub(1)).rev() {
         strides[p] = strides[p + 1] * product_factors[p + 1].cols();
     }
     let rows = fcoo.shape[mode];
-    let out = device.memory().alloc_zeroed::<f32>(rows * columns)?;
+    assert_eq!(out.len(), rows * columns, "output buffer size mismatch");
     let slice_of_seg = &fcoo.segment_coords_host[0];
     let factor_ws: usize = product_factors
         .iter()
         .map(|f| f.rows() * f.cols() * 4)
         .sum();
     let digit = |col: usize, p: usize| (col / strides[p]) % product_factors[p].cols();
-    let stats = run_unified(
+    run_unified(
         device,
         fcoo,
         cfg,
         columns,
-        &out,
+        out,
         columns,
         factor_ws,
         |seg| slice_of_seg[seg] as usize,
@@ -291,8 +404,7 @@ pub fn spttmc_norder(
                 addrs.push(factor.addr(indices.get(nz) as usize, digit(col, p)));
             }
         },
-    );
-    Ok((DenseMatrix::from_vec(rows, columns, out.to_vec()), stats))
+    )
 }
 
 /// The shared unified kernel skeleton.

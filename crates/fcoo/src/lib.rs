@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod device;
 pub mod format;
 pub mod kernels;
@@ -50,9 +51,13 @@ pub mod serialize;
 pub mod tune;
 pub mod two_step;
 
+pub use chunk::{extract, split, ChunkDescriptor, ChunkPlan};
 pub use device::{DeviceMatrix, FcooDevice};
 pub use format::{table2_coo_bytes, table2_fcoo_bytes, BitFlags, Fcoo, StorageBreakdown};
-pub use kernels::{spmttkrp, spttm, spttmc, spttmc_norder, LaunchConfig};
+pub use kernels::{
+    spmttkrp, spmttkrp_into, spttm, spttm_into, spttmc, spttmc_norder, spttmc_norder_into,
+    LaunchConfig,
+};
 pub use modes::{ModeClassification, TensorOp};
 pub use multi::{spmttkrp_multi_gpu, MultiGpuStats};
 pub use serialize::{read_fcoo, write_fcoo, DecodeError};

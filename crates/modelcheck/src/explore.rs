@@ -328,6 +328,16 @@ fn action_footprint(
             f
         }
         Action::BeginExec(_) => req_bit(r) | lock_bit(dev(r)) | taint_bit(dev(r)),
+        Action::Chunk(_) => {
+            // Reserve/commit/release on the pool, fault + scrub on the
+            // taint flag, all under the held execution lock.
+            let d = dev(r);
+            let mut f = req_bit(r) | lock_bit(d) | taint_bit(d) | pool_bit(d);
+            if can_fault {
+                f |= BIT_POLICY;
+            }
+            f
+        }
         Action::Barrier(_) => {
             let d = dev(r);
             let mut f = req_bit(r) | lock_bit(d) | taint_bit(d);
@@ -410,7 +420,10 @@ fn select_ample(
     mutation: Mutation,
     actions: &[Action],
 ) -> Vec<Action> {
-    let can_fault = sc.requests.iter().any(|r| !r.fault_attempts.is_empty());
+    let can_fault = sc
+        .requests
+        .iter()
+        .any(|r| !r.fault_attempts.is_empty() || !r.chunk_fault_chunks.is_empty());
     let late_quarantine = mutation == Mutation::LateQuarantine;
     for &action in actions {
         let r = action.request();

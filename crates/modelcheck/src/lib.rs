@@ -18,11 +18,16 @@
 //!   readback) ever follows an injected fault without an intervening
 //!   scrub barrier.
 //!
-//! The mutation self-test ([`scenario::mutation_suite`]) seeds four known
+//! Out-of-core requests stream their format in chunks, each holding a
+//! chunk-granular pending reservation from upload to its D2H commit — the
+//! same properties cover that reserve/commit/release cycle across fault
+//! interleavings.
+//!
+//! The mutation self-test ([`scenario::mutation_suite`]) seeds five known
 //! protocol bugs — a dropped `release`, a skipped scrub, a lazily applied
-//! quarantine, a deferred admission that never retires — and demands each
-//! is refuted while the faithful protocol proves everything on the same
-//! scenario. [`replay`] closes the model–code gap by running the property
+//! quarantine, a deferred admission that never retires, a faulted chunk
+//! that skips its chunk-granular release — and demands each is refuted
+//! while the faithful protocol proves everything on the same scenario. [`replay`] closes the model–code gap by running the property
 //! automata over a real engine's [`serve::ProtocolEvent`] log.
 
 pub mod explore;

@@ -13,6 +13,12 @@
 //!                 Done ◀──Accept── Committed ◀──Commit── Placed ◀──┘
 //! ```
 //!
+//! An out-of-core request loops on `Chunk` between `BeginExec` and
+//! `Barrier`: each chunk takes its own pending reservation, runs a
+//! per-attempt integrity barrier, and either commits at its D2H end or
+//! releases and retries on a fault — the engine's chunk-granular
+//! accounting, modeled step for step.
+//!
 //! The protocol rules mirror the engine's sequential dispatch: admission is
 //! FIFO (one ticket, head-of-line), a request may only admit once its
 //! target device has no *pending* (uncommitted) reservation, a device's
@@ -83,6 +89,10 @@ pub struct ReqState {
     /// True once the request no longer gates later placements (placed or
     /// rejected).
     pub place_done: bool,
+    /// Streamed chunks completed so far (chunked requests only).
+    pub chunks_done: u32,
+    /// Attempts burned on the current chunk (resets when it commits).
+    pub chunk_attempt: u32,
 }
 
 /// Per-device control state.
@@ -122,6 +132,9 @@ pub enum Action {
     Admit(usize),
     /// Request `r` starts a kernel attempt (takes the device lock).
     BeginExec(usize),
+    /// Request `r` streams its next chunk: reserve → run → scrub →
+    /// commit (or release + backoff on a faulted attempt).
+    Chunk(usize),
     /// Request `r` runs the integrity barrier (scrub + fault policy).
     Barrier(usize),
     /// Request `r` is placed on a stream.
@@ -138,6 +151,7 @@ impl Action {
         match *self {
             Action::Admit(r)
             | Action::BeginExec(r)
+            | Action::Chunk(r)
             | Action::Barrier(r)
             | Action::Place(r)
             | Action::Commit(r)
@@ -150,6 +164,7 @@ impl Action {
         let (name, r) = match *self {
             Action::Admit(r) => ("admit", r),
             Action::BeginExec(r) => ("exec", r),
+            Action::Chunk(r) => ("chunk", r),
             Action::Barrier(r) => ("barrier", r),
             Action::Place(r) => ("place", r),
             Action::Commit(r) => ("commit", r),
@@ -221,6 +236,8 @@ impl ModelState {
                     recovery_us: 0.0,
                     placement: None,
                     place_done: false,
+                    chunks_done: 0,
+                    chunk_attempt: 0,
                 })
                 .collect(),
         }
@@ -273,7 +290,15 @@ impl ModelState {
                         }
                     }
                 }
-                Phase::Running => out.push(Action::Barrier(r)),
+                Phase::Running => {
+                    // A chunked request streams every chunk (holding the
+                    // execution lock) before its final integrity barrier.
+                    if req.chunks_done < sc.requests[r].chunks {
+                        out.push(Action::Chunk(r));
+                    } else {
+                        out.push(Action::Barrier(r));
+                    }
+                }
                 Phase::Barriered => {
                     // Sequential dispatch: placement in arrival order.
                     if self.reqs[..r].iter().all(|p| p.place_done) {
@@ -379,6 +404,92 @@ impl ModelState {
                     s.devs[d].tainted = true;
                 }
                 s.reqs[r].phase = Phase::Running;
+            }
+            Action::Chunk(r) => {
+                let d = s.reqs[r].device.unwrap_or(0);
+                // Chunk-granular pending reservation: the streamed slice's
+                // bytes are held only while this chunk is in flight.
+                let id = s.pools[d].reserve_pending(key_for(spec.key_id), spec.chunk_bytes);
+                events.push(ProtocolEvent::ReservePending {
+                    request: r as u64,
+                    device: d,
+                    bytes: spec.chunk_bytes,
+                });
+                if s.reqs[r].tier != ExecTier::Cpu && s.devs[d].tainted {
+                    violation = Some(Violation {
+                        property: Property::ScrubBeforeReuse,
+                        detail: format!(
+                            "request {r} launches chunk {} on device {d} while its \
+                             memory is still poisoned by an unscrubbed fault",
+                            s.reqs[r].chunks_done
+                        ),
+                    });
+                }
+                events.push(ProtocolEvent::AttemptStart {
+                    request: r as u64,
+                    device: d,
+                    attempt: s.reqs[r].attempt,
+                    tier: s.reqs[r].tier,
+                });
+                // Chunk fault injection: first attempt of a scheduled
+                // chunk, device tiers only.
+                if s.reqs[r].tier != ExecTier::Cpu
+                    && s.reqs[r].chunk_attempt == 0
+                    && spec.chunk_fault_chunks.contains(&s.reqs[r].chunks_done)
+                {
+                    s.devs[d].tainted = true;
+                }
+                // Per-attempt integrity barrier, exactly as in the engine's
+                // inner chunk loop.
+                let corrupted = if mutation == Mutation::SkipScrub {
+                    false
+                } else {
+                    let saw = s.devs[d].tainted;
+                    s.devs[d].tainted = false;
+                    saw
+                };
+                events.push(ProtocolEvent::Scrub {
+                    request: r as u64,
+                    device: d,
+                    faults: usize::from(corrupted),
+                    corrupted,
+                });
+                if corrupted {
+                    s.devs[d].fault_count += 1;
+                    // The faulted chunk's bytes must come back before the
+                    // retry; DropChunkRelease leaks them instead.
+                    if mutation != Mutation::DropChunkRelease {
+                        s.pools[d].release(id);
+                        events.push(ProtocolEvent::Release {
+                            request: r as u64,
+                            device: d,
+                        });
+                    }
+                    let req = &mut s.reqs[r];
+                    let pause = backoff_us(req.chunk_attempt);
+                    req.recovery_us += pause;
+                    req.retries += 1;
+                    req.chunk_attempt += 1;
+                    req.attempt += 1;
+                    events.push(ProtocolEvent::Backoff {
+                        request: r as u64,
+                        backoff_us: pause,
+                    });
+                } else {
+                    // Chunk-granular commit: this chunk's bytes release at
+                    // its D2H end whether or not a later chunk faults.
+                    let finish = s.reqs[r].ready_us;
+                    s.pools[d].commit(id, finish);
+                    events.push(ProtocolEvent::Commit {
+                        request: r as u64,
+                        device: d,
+                        finish_us: finish,
+                    });
+                    let req = &mut s.reqs[r];
+                    req.chunks_done += 1;
+                    req.chunk_attempt = 0;
+                    req.attempt += 1;
+                }
             }
             Action::Barrier(r) => {
                 let d = s.reqs[r].device.unwrap_or(0);
@@ -551,6 +662,8 @@ impl ModelState {
             h = splitmix(h ^ u64::from(rq.retries));
             h = splitmix(h ^ rq.recovery_us.to_bits());
             h = splitmix(h ^ u64::from(rq.place_done));
+            h = splitmix(h ^ u64::from(rq.chunks_done));
+            h = splitmix(h ^ u64::from(rq.chunk_attempt));
             if let Some(p) = rq.placement {
                 h = splitmix(h ^ p.stream as u64);
                 h = splitmix(h ^ p.start_us.to_bits());

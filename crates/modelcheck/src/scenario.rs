@@ -31,6 +31,16 @@ pub struct ReqSpec {
     /// True when every clean device-tier attempt fails *genuinely* (not a
     /// fault): the engine must release the reservation and reject.
     pub doomed: bool,
+    /// Number of streamed chunks when the format exceeds device memory
+    /// (`0` = in-core). A chunked request takes one *pending* reservation
+    /// per chunk and must commit it at the chunk's D2H end — or release it
+    /// on a faulted attempt before retrying.
+    pub chunks: u32,
+    /// Bytes one streamed chunk reserves while in flight.
+    pub chunk_bytes: usize,
+    /// Zero-based chunk indices whose *first* attempt is hit by an
+    /// injected corrupting fault (the retry runs clean).
+    pub chunk_fault_chunks: Vec<u32>,
 }
 
 impl ReqSpec {
@@ -44,7 +54,20 @@ impl ReqSpec {
             exec_us: 50.0,
             fault_attempts: Vec::new(),
             doomed: false,
+            chunks: 0,
+            chunk_bytes: 0,
+            chunk_fault_chunks: Vec::new(),
         }
+    }
+
+    /// Marks the request as out-of-core: `chunks` streamed chunks of
+    /// `chunk_bytes` each, with nothing cached whole (the format never
+    /// fits, so `format_bytes` drops to zero).
+    fn chunked(mut self, chunks: u32, chunk_bytes: usize) -> Self {
+        self.format_bytes = 0;
+        self.chunks = chunks;
+        self.chunk_bytes = chunk_bytes;
+        self
     }
 }
 
@@ -87,6 +110,10 @@ pub enum Mutation {
     /// A deferred admission retries without retiring finished
     /// reservations, so the retry can never make progress.
     StuckDefer,
+    /// A faulted chunk attempt skips the chunk-granular `release` before
+    /// retrying, leaking one pending reservation per chunk fault — and
+    /// deadlocking any later request admitting on the device.
+    DropChunkRelease,
 }
 
 impl Mutation {
@@ -98,6 +125,7 @@ impl Mutation {
             Mutation::SkipScrub => "skip-scrub",
             Mutation::LateQuarantine => "late-quarantine",
             Mutation::StuckDefer => "stuck-defer",
+            Mutation::DropChunkRelease => "drop-chunk-release",
         }
     }
 }
@@ -204,6 +232,36 @@ pub fn quarantine() -> Scenario {
     s
 }
 
+/// Out-of-core streaming: request 0's format exceeds device memory and
+/// streams in 3 chunks with chunk-granular pending reservations; the
+/// middle chunk's first attempt faults and must release its reservation
+/// before the retry. Request 1 runs on the other device, free to
+/// interleave anywhere in the chunk pipeline.
+pub fn ooc() -> Scenario {
+    let mut r0 = ReqSpec::new(0.0, 0, 0).chunked(3, 200);
+    r0.transient_bytes = 300;
+    r0.chunk_fault_chunks = vec![1];
+    base(
+        "ooc",
+        "a 3-chunk streamed request faults mid-pipeline; chunk bytes must cycle",
+        vec![r0, ReqSpec::new(5.0, 1, 1)],
+    )
+}
+
+/// Like [`ooc`], but the follower targets the *same* device — if a faulted
+/// chunk leaks its pending reservation, the follower's admission gate
+/// (no pending bytes on the device) can never open.
+pub fn ooc_follower() -> Scenario {
+    let mut r0 = ReqSpec::new(0.0, 0, 0).chunked(3, 200);
+    r0.transient_bytes = 300;
+    r0.chunk_fault_chunks = vec![1];
+    base(
+        "ooc-follower",
+        "a request queues behind a chunk-streamed one on the same device",
+        vec![r0, ReqSpec::new(5.0, 0, 1)],
+    )
+}
+
 /// Every scenario the unmutated protocol must prove.
 pub fn standard() -> Vec<Scenario> {
     vec![
@@ -213,6 +271,8 @@ pub fn standard() -> Vec<Scenario> {
         doomed(),
         doomed_follower(),
         quarantine(),
+        ooc(),
+        ooc_follower(),
     ]
 }
 
@@ -244,6 +304,21 @@ pub fn mutation_suite() -> Vec<(Mutation, Scenario, crate::Property)> {
             Mutation::StuckDefer,
             pressure(),
             crate::Property::AdmissionLiveness,
+        ),
+        (
+            Mutation::DropChunkRelease,
+            ooc(),
+            crate::Property::LeakFreedom,
+        ),
+        (
+            Mutation::DropChunkRelease,
+            ooc_follower(),
+            crate::Property::AdmissionLiveness,
+        ),
+        (
+            Mutation::SkipScrub,
+            ooc(),
+            crate::Property::ScrubBeforeReuse,
         ),
     ]
 }

@@ -116,6 +116,7 @@ fn reduction_agrees_with_full_exploration_everywhere() {
         Mutation::SkipScrub,
         Mutation::LateQuarantine,
         Mutation::StuckDefer,
+        Mutation::DropChunkRelease,
     ];
     let mut pruned_somewhere = false;
     for sc in scenario::standard() {
@@ -155,6 +156,41 @@ fn drop_release_leaks_and_deadlocks() {
     assert!(ce.detail.contains("deadlock"), "{}", ce.detail);
 }
 
+/// Dropping a faulted chunk's `release` leaks its pending reservation on
+/// the terminal path *and* deadlocks a same-device follower — both caught,
+/// with the counterexample pinned to a concrete chunk step. The faithful
+/// protocol proves leak-freedom on the same scenarios (chunk bytes cycle
+/// reserve → commit/release on every interleaving).
+#[test]
+fn drop_chunk_release_leaks_and_deadlocks() {
+    let leak = explore::explore(&scenario::ooc(), Mutation::DropChunkRelease, false);
+    let ce = leak
+        .counterexample(Property::LeakFreedom)
+        .expect("leaked chunk reservation not caught");
+    assert!(ce.detail.contains("never returns to zero"), "{}", ce.detail);
+    assert!(
+        ce.schedule.iter().any(|s| s.label.starts_with("chunk(")),
+        "counterexample never streams a chunk: {:?}",
+        ce.schedule.iter().map(|s| &s.label).collect::<Vec<_>>()
+    );
+    let dead = explore::explore(&scenario::ooc_follower(), Mutation::DropChunkRelease, false);
+    let ce = dead
+        .counterexample(Property::AdmissionLiveness)
+        .expect("admission deadlock behind leaked chunk not caught");
+    assert!(ce.detail.contains("deadlock"), "{}", ce.detail);
+}
+
+/// A skipped scrub in the chunk loop lets a mid-pipeline fault's taint
+/// survive into the next chunk's kernel launch.
+#[test]
+fn skip_scrub_poisons_the_next_chunk() {
+    let result = explore::explore(&scenario::ooc(), Mutation::SkipScrub, false);
+    let ce = result
+        .counterexample(Property::ScrubBeforeReuse)
+        .expect("tainted chunk launch not caught");
+    assert!(ce.detail.contains("chunk"), "{}", ce.detail);
+}
+
 /// The stuck-defer mutation livelocks: the checker pins the exact action
 /// that repeats forever.
 #[test]
@@ -183,6 +219,58 @@ fn real_engine_log_replays_cleanly() {
     assert!(report.fault_stats.injected() > 0, "chaos injected nothing");
     let log = engine.take_protocol_log();
     assert!(!log.is_empty(), "protocol log is empty");
+    let violations = modelcheck::replay::replay(&log);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+/// Chunk-granular tie: a real engine forced out-of-core (capacity below
+/// the format) under chaos faults emits per-chunk `ReservePending`/`Commit`
+/// cycles — and the same reservation-balance, scrub and deferral automata
+/// replay that log cleanly.
+#[test]
+fn chunked_engine_log_replays_cleanly() {
+    use fcoo::TensorOp;
+    use tensor_core::datasets::{self, DatasetKind};
+    let workload = serve::Workload::parse(
+        "tensor big nell2 3000 7\n\
+         request big mttkrp 0 8 0.0 11\n\
+         request big mttkrp 0 8 5.0 12\n",
+    )
+    .expect("valid workload");
+    let (tensor, _) = datasets::generate(DatasetKind::Nell2, 3000, 7);
+    let transients: usize =
+        tensor.shape().iter().map(|&s| s * 8 * 4).sum::<usize>() + tensor.shape()[0] * 8 * 4 + 1024;
+    let min_format = serve::plan::SERVE_THREADLENS
+        .iter()
+        .map(|&tl| {
+            fcoo::Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, tl)
+                .storage()
+                .total_bytes()
+                + 64
+        })
+        .min()
+        .expect("non-empty grid");
+    let mut device_config = gpu_sim::DeviceConfig::titan_x();
+    device_config.memory_capacity = transients + min_format / 2;
+    let mut engine = serve::ServeEngine::new(serve::ServeConfig {
+        device_config,
+        verify: true,
+        fault_injection: Some(gpu_sim::FaultConfig::chaos(2024, 0.05)),
+        ..serve::ServeConfig::default()
+    });
+    engine.enable_protocol_log();
+    let report = engine.run(&workload);
+    assert!(report.rejections.is_empty(), "{:?}", report.rejections);
+    assert_eq!(report.verify_failures, 0);
+    let log = engine.take_protocol_log();
+    let reserves = log
+        .iter()
+        .filter(|e| matches!(e, serve::ProtocolEvent::ReservePending { .. }))
+        .count();
+    assert!(
+        reserves > report.requests.len() + 1,
+        "expected chunk-granular reservations, saw only {reserves}"
+    );
     let violations = modelcheck::replay::replay(&log);
     assert!(violations.is_empty(), "{violations:?}");
 }

@@ -1,0 +1,336 @@
+//! Deterministic 3-stage chunk-pipeline timing.
+//!
+//! An out-of-core job streams chunks through three device streams: H2D
+//! copies on one, kernels on a second, D2H/accumulation on a third. The
+//! classic software-pipeline recurrence applies — each stage is serial
+//! with itself (one copy engine per direction, one compute queue) and a
+//! chunk's stage cannot start before its previous stage finished:
+//!
+//! ```text
+//! h2d_start[k]    = max(pipeline start, h2d_end[k−1])
+//! kernel_start[k] = max(h2d_end[k],    kernel_end[k−1])
+//! d2h_start[k]    = max(kernel_end[k], d2h_end[k−1])
+//! ```
+//!
+//! With ≥3 chunks the steady state keeps all three streams busy: H2D of
+//! chunk `k+1` overlaps the kernel of chunk `k` and the D2H of chunk
+//! `k−1`. The makespan is the last chunk's D2H end; **overlap efficiency**
+//! is total kernel time over the makespan (1.0 = transfers fully hidden).
+
+/// Per-chunk stage durations in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTimes {
+    /// Host→device copy of the chunk-local format.
+    pub h2d_us: f64,
+    /// Unified-kernel execution over the chunk.
+    pub kernel_us: f64,
+    /// Device→host copy of the chunk's finished output rows.
+    pub d2h_us: f64,
+}
+
+impl StageTimes {
+    /// Serial cost of the chunk (no overlap).
+    pub fn serial_us(&self) -> f64 {
+        self.h2d_us + self.kernel_us + self.d2h_us
+    }
+}
+
+/// One chunk's placed intervals on the three pipeline streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkSchedule {
+    /// Chunk ordinal in stream order.
+    pub index: usize,
+    /// H2D interval `[start, end)` in µs.
+    pub h2d: (f64, f64),
+    /// Kernel interval `[start, end)` in µs.
+    pub kernel: (f64, f64),
+    /// D2H interval `[start, end)` in µs.
+    pub d2h: (f64, f64),
+}
+
+/// The fully resolved pipeline schedule of one chunked job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineTiming {
+    /// When the pipeline started (µs).
+    pub start_us: f64,
+    /// Per-chunk placed intervals, in stream order.
+    pub chunks: Vec<ChunkSchedule>,
+}
+
+impl PipelineTiming {
+    /// When the last chunk's D2H finishes (equals `start_us` for an empty
+    /// pipeline).
+    pub fn finish_us(&self) -> f64 {
+        self.chunks.last().map_or(self.start_us, |c| c.d2h.1)
+    }
+
+    /// Pipeline duration: last D2H end minus start.
+    pub fn makespan_us(&self) -> f64 {
+        self.finish_us() - self.start_us
+    }
+
+    /// Sum of per-chunk `h2d + kernel + d2h` — what a non-overlapped
+    /// execution would cost.
+    pub fn serial_us(&self) -> f64 {
+        self.chunks
+            .iter()
+            .map(|c| (c.h2d.1 - c.h2d.0) + (c.kernel.1 - c.kernel.0) + (c.d2h.1 - c.d2h.0))
+            .sum()
+    }
+
+    /// Total kernel time over the makespan: 1.0 means every transfer was
+    /// hidden behind compute.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let makespan = self.makespan_us();
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        let kernel: f64 = self.chunks.iter().map(|c| c.kernel.1 - c.kernel.0).sum();
+        kernel / makespan
+    }
+}
+
+/// Incremental form of [`schedule_on`]: feed chunks one at a time as their
+/// stage durations become known.
+///
+/// The serve engine needs this because a chunk's kernel time is only known
+/// after the chunk has executed, yet its pool reservation must be committed
+/// (with the chunk's D2H end as release time) before the next chunk's
+/// reservation opens — chunk-granular accounting, not job-granular.
+///
+/// `resources` maps the three pipeline stages (H2D, kernel, D2H) onto
+/// resource ids — real device streams. Stages sharing an id serialize with
+/// each other: on a two-stream device `[0, 1, 0]` puts both copy directions
+/// on stream 0 under the kernels on stream 1, and on a single-stream device
+/// `[0, 0, 0]` degenerates to fully serial execution.
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    start_us: f64,
+    resources: [usize; 3],
+    free: Vec<(usize, f64)>,
+    chunks: Vec<ChunkSchedule>,
+}
+
+impl PipelineBuilder {
+    /// A pipeline starting at `start_us` whose stages run on `resources`.
+    pub fn new(start_us: f64, resources: [usize; 3]) -> Self {
+        let mut free = Vec::new();
+        for r in resources {
+            if !free.iter().any(|&(id, _)| id == r) {
+                free.push((r, start_us));
+            }
+        }
+        PipelineBuilder {
+            start_us,
+            resources,
+            free,
+            chunks: Vec::new(),
+        }
+    }
+
+    fn free_us(&self, resource: usize) -> f64 {
+        self.free
+            .iter()
+            .find(|&&(id, _)| id == resource)
+            .map_or(self.start_us, |&(_, t)| t)
+    }
+
+    fn advance(&mut self, resource: usize, to_us: f64) {
+        if let Some(entry) = self.free.iter_mut().find(|(id, _)| *id == resource) {
+            entry.1 = to_us;
+        }
+    }
+
+    /// When pipeline stage `stage` (0 = H2D, 1 = kernel, 2 = D2H) can next
+    /// start, given everything pushed so far.
+    pub fn stage_free_us(&self, stage: usize) -> f64 {
+        self.free_us(self.resources[stage])
+    }
+
+    /// Blocks stage `stage`'s resource for `dead_us` of idle-but-occupied
+    /// time (failed chunk attempts, retry backoff). Subsequent chunks on
+    /// that resource start later; nothing is recorded as work.
+    pub fn stall_stage(&mut self, stage: usize, dead_us: f64) {
+        let resource = self.resources[stage];
+        let free = self.free_us(resource);
+        self.advance(resource, free + dead_us.max(0.0));
+    }
+
+    /// Appends one chunk and returns its placed intervals.
+    pub fn push(&mut self, stage: StageTimes) -> ChunkSchedule {
+        let index = self.chunks.len();
+        let h2d_start = self.free_us(self.resources[0]);
+        let h2d_end = h2d_start + stage.h2d_us;
+        self.advance(self.resources[0], h2d_end);
+        let kernel_start = self.free_us(self.resources[1]).max(h2d_end);
+        let kernel_end = kernel_start + stage.kernel_us;
+        self.advance(self.resources[1], kernel_end);
+        let d2h_start = self.free_us(self.resources[2]).max(kernel_end);
+        let d2h_end = d2h_start + stage.d2h_us;
+        self.advance(self.resources[2], d2h_end);
+        let chunk = ChunkSchedule {
+            index,
+            h2d: (h2d_start, h2d_end),
+            kernel: (kernel_start, kernel_end),
+            d2h: (d2h_start, d2h_end),
+        };
+        self.chunks.push(chunk);
+        chunk
+    }
+
+    /// The resolved schedule of everything pushed so far.
+    pub fn finish(self) -> PipelineTiming {
+        PipelineTiming {
+            start_us: self.start_us,
+            chunks: self.chunks,
+        }
+    }
+}
+
+/// Resolves the pipeline recurrence for `stages` with the three pipeline
+/// stages mapped onto `resources` (see [`PipelineBuilder`]).
+pub fn schedule_on(start_us: f64, stages: &[StageTimes], resources: [usize; 3]) -> PipelineTiming {
+    let mut builder = PipelineBuilder::new(start_us, resources);
+    for stage in stages {
+        builder.push(*stage);
+    }
+    builder.finish()
+}
+
+/// Resolves the pipeline recurrence for `stages`, starting at `start_us`,
+/// with each stage on its own dedicated stream.
+pub fn schedule(start_us: f64, stages: &[StageTimes]) -> PipelineTiming {
+    schedule_on(start_us, stages, [0, 1, 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, h2d: f64, kernel: f64, d2h: f64) -> Vec<StageTimes> {
+        vec![
+            StageTimes {
+                h2d_us: h2d,
+                kernel_us: kernel,
+                d2h_us: d2h,
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn single_chunk_is_serial() {
+        let t = schedule(100.0, &uniform(1, 10.0, 20.0, 5.0));
+        assert_eq!(t.makespan_us(), 35.0);
+        assert_eq!(t.serial_us(), 35.0);
+        assert_eq!(t.finish_us(), 135.0);
+    }
+
+    #[test]
+    fn four_chunk_pipeline_beats_serial() {
+        let t = schedule(0.0, &uniform(4, 10.0, 20.0, 5.0));
+        // Kernel-bound steady state: 10 (fill) + 4·20 + 5 (drain) = 95.
+        assert_eq!(t.makespan_us(), 95.0);
+        assert_eq!(t.serial_us(), 140.0);
+        assert!(t.makespan_us() < t.serial_us());
+        assert!((t.overlap_efficiency() - 80.0 / 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stages_never_overlap_within_a_stream_or_chunk() {
+        let stages = vec![
+            StageTimes {
+                h2d_us: 8.0,
+                kernel_us: 3.0,
+                d2h_us: 12.0,
+            },
+            StageTimes {
+                h2d_us: 2.0,
+                kernel_us: 30.0,
+                d2h_us: 1.0,
+            },
+            StageTimes {
+                h2d_us: 20.0,
+                kernel_us: 1.0,
+                d2h_us: 9.0,
+            },
+        ];
+        let t = schedule(50.0, &stages);
+        for c in &t.chunks {
+            assert!(c.h2d.1 <= c.kernel.0 + 1e-12);
+            assert!(c.kernel.1 <= c.d2h.0 + 1e-12);
+        }
+        for pair in t.chunks.windows(2) {
+            assert!(pair[0].h2d.1 <= pair[1].h2d.0 + 1e-12);
+            assert!(pair[0].kernel.1 <= pair[1].kernel.0 + 1e-12);
+            assert!(pair[0].d2h.1 <= pair[1].d2h.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn transfer_bound_pipeline_hides_kernels_instead() {
+        let t = schedule(0.0, &uniform(5, 40.0, 4.0, 2.0));
+        // H2D-bound: 5·40 + 4 + 2 = 206.
+        assert_eq!(t.makespan_us(), 206.0);
+        assert!(t.overlap_efficiency() < 0.2);
+    }
+
+    #[test]
+    fn empty_pipeline_is_a_point() {
+        let t = schedule(7.0, &[]);
+        assert_eq!(t.makespan_us(), 0.0);
+        assert_eq!(t.finish_us(), 7.0);
+        assert_eq!(t.overlap_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn distinct_resources_match_dedicated_schedule() {
+        let stages = uniform(4, 10.0, 20.0, 5.0);
+        assert_eq!(schedule_on(3.0, &stages, [0, 1, 2]), schedule(3.0, &stages));
+        // Resource ids are opaque labels: any distinct triple is equivalent.
+        let relabeled = schedule_on(3.0, &stages, [7, 2, 5]);
+        assert_eq!(relabeled.chunks, schedule(3.0, &stages).chunks);
+    }
+
+    #[test]
+    fn two_stream_mapping_still_overlaps_h2d_with_compute() {
+        let stages = uniform(3, 10.0, 20.0, 5.0);
+        // Two real streams, H2D alone on 0, kernel + D2H sharing 1: the
+        // next chunk's upload hides behind the current kernel.
+        let t = schedule_on(0.0, &stages, [0, 1, 1]);
+        assert_eq!(t.makespan_us(), 85.0);
+        assert!(t.makespan_us() < t.serial_us());
+        for pair in t.chunks.windows(2) {
+            assert!(pair[0].kernel.1 <= pair[1].kernel.0 + 1e-12);
+            assert!(pair[0].d2h.1 <= pair[1].kernel.0 + 1e-12);
+        }
+        // Sharing the copy stream chains d2h(k) before h2d(k+1): with
+        // uniform stages that issue order erases the overlap entirely.
+        let chained = schedule_on(0.0, &stages, [0, 1, 0]);
+        assert_eq!(chained.makespan_us(), chained.serial_us());
+        // One shared resource for everything degenerates to serial.
+        let serial = schedule_on(0.0, &stages, [0, 0, 0]);
+        assert_eq!(serial.makespan_us(), serial.serial_us());
+    }
+
+    #[test]
+    fn builder_stall_delays_subsequent_kernels_only() {
+        let mut b = PipelineBuilder::new(0.0, [0, 1, 2]);
+        b.push(StageTimes {
+            h2d_us: 10.0,
+            kernel_us: 20.0,
+            d2h_us: 5.0,
+        });
+        // A faulted chunk burned 100 µs on the kernel stream.
+        b.stall_stage(1, 100.0);
+        assert_eq!(b.stage_free_us(1), 130.0);
+        let c = b.push(StageTimes {
+            h2d_us: 10.0,
+            kernel_us: 20.0,
+            d2h_us: 5.0,
+        });
+        // H2D still overlapped the stall; the kernel waited it out.
+        assert_eq!(c.h2d, (10.0, 20.0));
+        assert_eq!(c.kernel, (130.0, 150.0));
+    }
+}

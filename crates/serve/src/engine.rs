@@ -13,7 +13,7 @@
 
 use crate::events::ProtocolEvent;
 use crate::metrics::{ExecTier, LatencySummary, RequestMetrics};
-use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanSource};
+use crate::plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanSource};
 use crate::pool::{AdmitError, DevicePool, PoolStats, ReservationId};
 use crate::profile::{RequestProfile, ServeProfile};
 use crate::scheduler::Scheduler;
@@ -62,6 +62,17 @@ pub struct ServeConfig {
     /// simulated timings and the rest of the report are bit-exact with an
     /// unprofiled run.
     pub profile: bool,
+    /// Serve requests whose working set genuinely exceeds the device pool
+    /// by streaming partition-aligned chunks through the out-of-core
+    /// pipeline (`crates/ooc`) instead of rejecting them. The accumulated
+    /// result is bit-exact with the in-core kernel; requests that fit keep
+    /// taking the in-core path unchanged.
+    pub ooc: bool,
+    /// Device-byte budget for one out-of-core chunk. `None` derives a
+    /// budget from the pool headroom left after the request's transient
+    /// working set (a quarter of it, so pipelined chunks plus allocator
+    /// slack stay resident together).
+    pub ooc_chunk_budget: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +89,8 @@ impl Default for ServeConfig {
             fault_injection: None,
             fault_tolerance: FaultTolerance::default(),
             profile: false,
+            ooc: true,
+            ooc_chunk_budget: None,
         }
     }
 }
@@ -534,6 +547,14 @@ fn worst_source(sources: &[PlanSource]) -> PlanSource {
     }
 }
 
+/// What the admission loop resolved to: an admitted working set, or a
+/// genuine (non-injected) `TooLarge` the caller routes — rejection on the
+/// legacy paths, the out-of-core fallback on the tensor-op path.
+enum AdmitOutcome {
+    Admitted(crate::pool::Admitted),
+    TooLarge { working_set: usize, message: String },
+}
+
 impl ServeEngine {
     /// Creates an engine with `config.devices` fresh simulated devices.
     pub fn new(config: ServeConfig) -> Self {
@@ -545,7 +566,15 @@ impl ServeEngine {
             .map(|d| DevicePool::new(d.memory().clone()))
             .collect();
         let plans = PlanCache::new(config.plan_dir.clone());
-        let scratch = GpuDevice::new(config.device_config.clone());
+        // The plan-build scratch device models timing only, never results;
+        // give it unbounded memory so tuning an out-of-core plan can hold a
+        // format the serving pools cannot (simulated addresses don't feed
+        // the timing model, so tuned winners are unchanged for plans that
+        // also fit the real capacity).
+        let scratch = GpuDevice::new(DeviceConfig {
+            memory_capacity: usize::MAX / 2,
+            ..config.device_config.clone()
+        });
         if let Some(fault) = &config.fault_injection {
             for (i, device) in devices.iter().enumerate() {
                 device.memory().install_faults(fault.for_device(i));
@@ -719,8 +748,10 @@ impl ServeEngine {
 
     /// Admits `key` with a defer-and-retry loop: queued jobs advance their
     /// ready time to the earliest in-flight release instead of failing.
+    /// A *genuine* `TooLarge` is returned as data, not an event — the
+    /// caller decides between rejecting and the out-of-core fallback.
     #[allow(clippy::too_many_arguments)]
-    fn admit_queued(
+    fn try_admit_queued(
         &mut self,
         index: usize,
         device_index: usize,
@@ -730,7 +761,7 @@ impl ServeEngine {
         transient_bytes: usize,
         ready: &mut f64,
         was_deferred: &mut bool,
-    ) -> Result<crate::pool::Admitted, String> {
+    ) -> AdmitOutcome {
         loop {
             match self.pools[device_index].admit(key, fcoo, format_bytes, transient_bytes) {
                 Ok(admitted) => {
@@ -739,7 +770,7 @@ impl ServeEngine {
                         device: device_index,
                         uploaded: admitted.uploaded,
                     });
-                    return Ok(admitted);
+                    return AdmitOutcome::Admitted(admitted);
                 }
                 Err(AdmitError::Defer { until_us }) => {
                     self.log_event(ProtocolEvent::AdmitDefer {
@@ -755,7 +786,7 @@ impl ServeEngine {
                     // `TooLarge` can be a lie under injection: the pool's
                     // format upload hit an *injected* allocation failure.
                     // The latched event distinguishes the two — retry the
-                    // injected case, reject the genuine one.
+                    // injected case, surface the genuine one.
                     if self.config.fault_injection.is_some() {
                         let events = self.devices[device_index].memory().scrub_faults();
                         let injected_alloc = events
@@ -773,13 +804,51 @@ impl ServeEngine {
                         AdmitError::TooLarge { working_set, .. } => working_set,
                         AdmitError::Defer { .. } => 0,
                     };
-                    self.log_event(ProtocolEvent::AdmitReject {
-                        request: index as u64,
-                        device: device_index,
+                    return AdmitOutcome::TooLarge {
                         working_set,
-                    });
-                    return Err(too_large.to_string());
+                        message: too_large.to_string(),
+                    };
                 }
+            }
+        }
+    }
+
+    /// [`Self::try_admit_queued`] with the pre-out-of-core behaviour: a
+    /// genuine `TooLarge` rejects the request (used by paths with no
+    /// chunked fallback, e.g. CP-ALS).
+    #[allow(clippy::too_many_arguments)]
+    fn admit_queued(
+        &mut self,
+        index: usize,
+        device_index: usize,
+        key: PlanKey,
+        fcoo: &Fcoo,
+        format_bytes: usize,
+        transient_bytes: usize,
+        ready: &mut f64,
+        was_deferred: &mut bool,
+    ) -> Result<crate::pool::Admitted, String> {
+        match self.try_admit_queued(
+            index,
+            device_index,
+            key,
+            fcoo,
+            format_bytes,
+            transient_bytes,
+            ready,
+            was_deferred,
+        ) {
+            AdmitOutcome::Admitted(admitted) => Ok(admitted),
+            AdmitOutcome::TooLarge {
+                working_set,
+                message,
+            } => {
+                self.log_event(ProtocolEvent::AdmitReject {
+                    request: index as u64,
+                    device: device_index,
+                    working_set,
+                });
+                Err(message)
             }
         }
     }
@@ -1004,6 +1073,8 @@ impl ServeEngine {
                         tier: cached_tier,
                         faults_seen: 0,
                         launches: Vec::new(),
+                        chunks: Vec::new(),
+                        chunk_streams: [0, 0, 0],
                     });
                 }
                 let cached = &self.results[&(key, request.factor_seed)];
@@ -1026,6 +1097,7 @@ impl ServeEngine {
                     tier: cached.tier,
                     faults_seen: 0,
                     recovery_us: 0.0,
+                    chunks: 0,
                 });
             }
         }
@@ -1033,7 +1105,7 @@ impl ServeEngine {
         let transient_bytes = transient_bytes_for(&plan.fcoo, request.rank);
         let mut ready = now;
         let mut was_deferred = false;
-        let admitted = self.admit_queued(
+        let admitted = match self.try_admit_queued(
             index,
             device_index,
             key,
@@ -1042,7 +1114,37 @@ impl ServeEngine {
             transient_bytes,
             &mut ready,
             &mut was_deferred,
-        )?;
+        ) {
+            AdmitOutcome::Admitted(admitted) => admitted,
+            AdmitOutcome::TooLarge {
+                working_set,
+                message,
+            } => {
+                // The format genuinely does not fit the pool. Stream it in
+                // chunks instead of rejecting, unless out-of-core is off.
+                if self.config.ooc {
+                    return self.serve_tensor_op_chunked(
+                        index,
+                        request,
+                        op,
+                        scheduler,
+                        key,
+                        &plan,
+                        plan_source,
+                        device_index,
+                        transient_bytes,
+                        ready,
+                        was_deferred,
+                    );
+                }
+                self.log_event(ProtocolEvent::AdmitReject {
+                    request: index as u64,
+                    device: device_index,
+                    working_set,
+                });
+                return Err(message);
+            }
+        };
         // A pending reservation pins the working set while attempts run; it
         // is committed on success and released on genuine failure, so the
         // error path never leaks pool bytes.
@@ -1267,6 +1369,8 @@ impl ServeEngine {
                 tier,
                 faults_seen,
                 launches: accepted_launches,
+                chunks: Vec::new(),
+                chunk_streams: [0, 0, 0],
             });
         }
         if self.config.batching {
@@ -1295,6 +1399,586 @@ impl ServeEngine {
             tier,
             faults_seen,
             recovery_us,
+            chunks: 0,
+        })
+    }
+
+    /// Serves a tensor-op request whose working set genuinely exceeds the
+    /// device pool: split the plan's format into partition-aligned chunks
+    /// sized to a byte budget, stream them through the 3-stage out-of-core
+    /// pipeline (H2D / kernel / D2H on real device streams), and accumulate
+    /// the per-chunk outputs into a result **bit-exact** with the in-core
+    /// path.
+    ///
+    /// Pool accounting is chunk-granular: the job's transient working set
+    /// (factors + output buffer) holds one pending reservation for the whole
+    /// pipeline, while each chunk's format bytes take their own reservation
+    /// committed at that chunk's D2H end — a fault that kills one chunk
+    /// retries (or degrades to the host tier) without re-streaming or
+    /// leaking any other chunk's bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_tensor_op_chunked(
+        &mut self,
+        index: usize,
+        request: &Request,
+        op: TensorOp,
+        scheduler: &mut Scheduler,
+        key: PlanKey,
+        plan: &Plan,
+        plan_source: PlanSource,
+        device_index: usize,
+        transient_bytes: usize,
+        mut ready: f64,
+        mut was_deferred: bool,
+    ) -> Result<RequestMetrics, String> {
+        let now = request.arrival_us;
+        let capacity = self.config.device_config.memory_capacity;
+        let headroom = capacity.saturating_sub(transient_bytes);
+        if headroom == 0 {
+            self.log_event(ProtocolEvent::AdmitReject {
+                request: index as u64,
+                device: device_index,
+                working_set: transient_bytes,
+            });
+            return Err(format!(
+                "transient working set of {transient_bytes} B leaves no out-of-core headroom on a {capacity} B device"
+            ));
+        }
+        let budget = self
+            .config
+            .ooc_chunk_budget
+            .unwrap_or(headroom / 4)
+            .clamp(1, headroom);
+        let chunk_plan = self.plans.chunk_plan(key, &plan.fcoo, budget);
+        // Chunks reuse the in-core defer/evict machinery: wait out pinned
+        // reservations, evict other plans' cached formats, and reject only
+        // if even one chunk plus the transients cannot fit.
+        let need = transient_bytes + chunk_plan.max_chunk_bytes() + 64;
+        loop {
+            match self.pools[device_index].make_room(key, need) {
+                Ok(()) => break,
+                Err(AdmitError::Defer { until_us }) => {
+                    self.log_event(ProtocolEvent::AdmitDefer {
+                        request: index as u64,
+                        device: device_index,
+                        until_us,
+                    });
+                    was_deferred = true;
+                    ready = until_us.max(ready);
+                    self.pools[device_index].retire(ready);
+                }
+                Err(too_large @ AdmitError::TooLarge { .. }) => {
+                    let working_set = match too_large {
+                        AdmitError::TooLarge { working_set, .. } => working_set,
+                        AdmitError::Defer { .. } => 0,
+                    };
+                    self.log_event(ProtocolEvent::AdmitReject {
+                        request: index as u64,
+                        device: device_index,
+                        working_set,
+                    });
+                    return Err(too_large.to_string());
+                }
+            }
+        }
+        self.log_event(ProtocolEvent::AdmitOk {
+            request: index as u64,
+            device: device_index,
+            uploaded: true,
+        });
+        let job_pending = self.pools[device_index].reserve_pending(key, transient_bytes);
+        self.log_event(ProtocolEvent::ReservePending {
+            request: index as u64,
+            device: device_index,
+            bytes: transient_bytes,
+        });
+
+        // Host factors follow the in-core kernel conventions exactly (same
+        // shapes, same seeds), so every factor bit matches the one-shot
+        // reference.
+        let shape = &plan.fcoo.shape;
+        let rank = request.rank;
+        let hosts: Vec<DenseMatrix> = match op {
+            TensorOp::SpTtm { mode } => vec![DenseMatrix::random(
+                shape[mode],
+                rank,
+                factor_seed_for_mode(request.factor_seed, mode),
+            )],
+            TensorOp::SpMttkrp { .. } => (0..shape.len())
+                .map(|m| {
+                    DenseMatrix::random(
+                        shape[m],
+                        rank,
+                        factor_seed_for_mode(request.factor_seed, m),
+                    )
+                })
+                .collect(),
+            TensorOp::SpTtmc { mode } => product_modes(shape.len(), mode)
+                .iter()
+                .map(|&m| {
+                    DenseMatrix::random(
+                        shape[m],
+                        rank,
+                        factor_seed_for_mode(request.factor_seed, m),
+                    )
+                })
+                .collect(),
+        };
+        let factor_bytes: usize = hosts.iter().map(|h| h.data().len() * 4).sum();
+        let max_retries = self.config.fault_tolerance.max_retries;
+        let mut faults_seen = 0u32;
+        let mut retries = 0u32;
+        let mut recovery_us = 0.0f64;
+        // Dead time not yet charged to a stream stall (the host-tier escape
+        // hatch charges it through the delayed placement instead).
+        let mut unstalled_dead = 0.0f64;
+        let mut attempt_index = 0u32;
+
+        // Upload the factors once; they persist across every chunk.
+        // Injected allocation failures and corruption retry like an
+        // in-core attempt; exhausting the budget degrades to the host.
+        let mut upload_attempts = 0usize;
+        let uploaded: Vec<DeviceMatrix> = loop {
+            let result: Result<Vec<DeviceMatrix>, _> = hosts
+                .iter()
+                .map(|h| DeviceMatrix::upload(self.devices[device_index].memory(), h))
+                .collect();
+            let damage = self.integrity_barrier(index, device_index, Some(key), &mut faults_seen);
+            recovery_us += damage.dead_us;
+            unstalled_dead += damage.dead_us;
+            match result {
+                Ok(u) if !damage.corrupted => break u,
+                Ok(_) => {}
+                Err(e) => {
+                    if !damage.injected_alloc && !damage.corrupted {
+                        self.pools[device_index].release(job_pending);
+                        self.log_event(ProtocolEvent::Release {
+                            request: index as u64,
+                            device: device_index,
+                        });
+                        return Err(format!("transient allocation failed: {e}"));
+                    }
+                }
+            }
+            retries += 1;
+            self.fault_stats.retries += 1;
+            upload_attempts += 1;
+            let backoff = self.backoff_us(index, attempt_index);
+            recovery_us += backoff;
+            unstalled_dead += backoff;
+            self.log_event(ProtocolEvent::Backoff {
+                request: index as u64,
+                backoff_us: backoff,
+            });
+            attempt_index += 1;
+            if upload_attempts > max_retries {
+                return self.finish_chunked_cpu(
+                    index,
+                    request,
+                    op,
+                    scheduler,
+                    key,
+                    plan,
+                    plan_source,
+                    device_index,
+                    job_pending,
+                    ready,
+                    was_deferred,
+                    unstalled_dead,
+                    recovery_us,
+                    retries,
+                    faults_seen,
+                );
+            }
+        };
+
+        let cfg = LaunchConfig::with_block_size(plan.block_size);
+        let cols = ooc::output_cols(&plan.fcoo, &hosts);
+        let mut acc = ooc::Accumulator::for_op(&plan.fcoo, cols);
+        let streams = scheduler.streams(device_index).max(1);
+        // Stage→stream mapping: with two streams H2D keeps its own stream
+        // and kernel + D2H share one — the next chunk's upload still hides
+        // behind the current kernel. (Sharing the *copy* stream instead
+        // chains D2H before the next H2D and serializes the pipeline.)
+        let resources: [usize; 3] = match streams {
+            1 => [0, 0, 0],
+            2 => [0, 1, 1],
+            _ => [0, 1, 2],
+        };
+        let pipeline_ready = resources.iter().fold(ready, |t, &s| {
+            t.max(scheduler.stream_available_us(device_index, s))
+        });
+        let mut builder = ooc::PipelineBuilder::new(pipeline_ready, resources);
+        let mut chunk_schedules: Vec<ooc::ChunkSchedule> = Vec::with_capacity(chunk_plan.len());
+        let mut launches_all = Vec::new();
+        let mut h2d_us_total = 0.0f64;
+        let mut kernel_us_total = 0.0f64;
+        let mut d2h_us_total = 0.0f64;
+        let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+        let mut degraded = false;
+        'chunks: for desc in chunk_plan.chunks.iter() {
+            let chunk = fcoo::extract(&plan.fcoo, desc);
+            let chunk_bytes = chunk.storage().total_bytes() + 64;
+            let chunk_pending = self.pools[device_index].reserve_pending(key, chunk_bytes);
+            self.log_event(ProtocolEvent::ReservePending {
+                request: index as u64,
+                device: device_index,
+                bytes: chunk_bytes,
+            });
+            let seed = acc.seed_image(desc, &chunk);
+            let mut chunk_attempts = 0usize;
+            let mut chunk_dead = 0.0f64;
+            let (out, stats, attempt_launches) = loop {
+                self.log_event(ProtocolEvent::AttemptStart {
+                    request: index as u64,
+                    device: device_index,
+                    attempt: attempt_index,
+                    tier: ExecTier::Unified,
+                });
+                let attempt =
+                    ooc::run_chunk(&self.devices[device_index], &chunk, &refs, &cfg, &seed);
+                let attempt_launches = if self.config.profile {
+                    self.devices[device_index].drain_trace()
+                } else {
+                    Vec::new()
+                };
+                let damage =
+                    self.integrity_barrier(index, device_index, Some(key), &mut faults_seen);
+                recovery_us += damage.dead_us;
+                chunk_dead += damage.dead_us;
+                match attempt {
+                    Ok((out, stats)) if !damage.corrupted => break (out, stats, attempt_launches),
+                    Err(e) if !damage.injected_alloc && !damage.corrupted => {
+                        // Genuine OOM: the chunk itself does not fit beside
+                        // the transients — release everything and reject.
+                        self.pools[device_index].release(chunk_pending);
+                        self.log_event(ProtocolEvent::Release {
+                            request: index as u64,
+                            device: device_index,
+                        });
+                        self.pools[device_index].release(job_pending);
+                        self.log_event(ProtocolEvent::Release {
+                            request: index as u64,
+                            device: device_index,
+                        });
+                        return Err(format!("chunk {} allocation failed: {e}", desc.index));
+                    }
+                    _ => {}
+                }
+                retries += 1;
+                self.fault_stats.retries += 1;
+                chunk_attempts += 1;
+                let backoff = self.backoff_us(index, attempt_index);
+                recovery_us += backoff;
+                chunk_dead += backoff;
+                self.log_event(ProtocolEvent::Backoff {
+                    request: index as u64,
+                    backoff_us: backoff,
+                });
+                attempt_index += 1;
+                if chunk_attempts > max_retries {
+                    // This chunk cannot be streamed: release its own
+                    // reservation (completed chunks stay committed) and
+                    // degrade the whole request to the host tier.
+                    self.pools[device_index].release(chunk_pending);
+                    self.log_event(ProtocolEvent::Release {
+                        request: index as u64,
+                        device: device_index,
+                    });
+                    unstalled_dead += chunk_dead;
+                    degraded = true;
+                    break 'chunks;
+                }
+            };
+            acc.absorb(desc, &chunk, &out);
+            launches_all.extend(attempt_launches);
+            // Dead time from failed attempts and short stalls occupies the
+            // kernel stage — and its real stream — before the chunk's work.
+            if chunk_dead > 0.0 {
+                scheduler.stall_stream(
+                    device_index,
+                    resources[1],
+                    builder.stage_free_us(1),
+                    chunk_dead,
+                );
+                builder.stall_stage(1, chunk_dead);
+            }
+            let h2d_us =
+                self.transfer_us(chunk_bytes + if desc.index == 0 { factor_bytes } else { 0 });
+            let d2h_us = self.transfer_us(acc.d2h_bytes(desc));
+            let span = builder.push(ooc::StageTimes {
+                h2d_us,
+                kernel_us: stats.time_us,
+                d2h_us,
+            });
+            scheduler.occupy_stream(device_index, resources[0], span.h2d.0, h2d_us);
+            scheduler.occupy_stream(device_index, resources[1], span.kernel.0, stats.time_us);
+            scheduler.occupy_stream(device_index, resources[2], span.d2h.0, d2h_us);
+            h2d_us_total += h2d_us;
+            kernel_us_total += stats.time_us;
+            d2h_us_total += d2h_us;
+            // Chunk-granular commit: this chunk's format bytes release at
+            // its D2H end whether or not a later chunk faults.
+            self.pools[device_index].commit(chunk_pending, span.d2h.1);
+            self.log_event(ProtocolEvent::Commit {
+                request: index as u64,
+                device: device_index,
+                finish_us: span.d2h.1,
+            });
+            chunk_schedules.push(span);
+        }
+        drop(refs);
+        drop(uploaded);
+        if degraded {
+            return self.finish_chunked_cpu(
+                index,
+                request,
+                op,
+                scheduler,
+                key,
+                plan,
+                plan_source,
+                device_index,
+                job_pending,
+                ready,
+                was_deferred,
+                unstalled_dead,
+                recovery_us,
+                retries,
+                faults_seen,
+            );
+        }
+        let timing = builder.finish();
+        let start_us = pipeline_ready;
+        let finish_us = timing.finish_us();
+        let exec_us = timing.makespan_us();
+        self.log_event(ProtocolEvent::Place {
+            request: index as u64,
+            device: device_index,
+            stream: resources[1],
+            start_us,
+            finish_us,
+        });
+        self.pools[device_index].commit(job_pending, finish_us);
+        self.log_event(ProtocolEvent::Commit {
+            request: index as u64,
+            device: device_index,
+            finish_us,
+        });
+        let rows = acc.rows();
+        let output = match op {
+            TensorOp::SpTtm { mode } => {
+                // Assemble the semi-sparse result exactly like the in-core
+                // SpTTM wrapper: one fiber per segment, values from the
+                // accumulated buffer.
+                let mut result = SemiSparseTensor::new(plan.fcoo.shape.clone(), mode, cols);
+                let values = acc.values();
+                for seg in 0..rows {
+                    let coord: Vec<u32> = plan
+                        .fcoo
+                        .segment_coords
+                        .iter()
+                        .map(|column| column[seg])
+                        .collect();
+                    result.push_fiber(&coord, &values[seg * cols..(seg + 1) * cols]);
+                }
+                JobOutput::Semi(result)
+            }
+            _ => JobOutput::Dense(DenseMatrix::from_vec(rows, cols, acc.into_values())),
+        };
+        let checksum = output.checksum();
+        self.log_event(ProtocolEvent::Accept {
+            request: index as u64,
+            device: device_index,
+        });
+        if self.config.profile {
+            self.profiled.push(RequestProfile {
+                index,
+                tensor_id: request.tensor_id.clone(),
+                op: request.op,
+                rank,
+                device: device_index,
+                stream: resources[1],
+                arrival_us: now,
+                start_us,
+                finish_us,
+                recovery_us,
+                h2d_us: h2d_us_total,
+                kernel_us: kernel_us_total,
+                d2h_us: d2h_us_total,
+                plan_source,
+                block_size: plan.block_size,
+                threadlen: plan.fcoo.threadlen,
+                batched: false,
+                deferred: was_deferred,
+                retries,
+                tier: ExecTier::Unified,
+                faults_seen,
+                launches: launches_all,
+                chunks: chunk_schedules.clone(),
+                chunk_streams: resources,
+            });
+        }
+        if self.config.batching {
+            self.results.insert(
+                (key, request.factor_seed),
+                CachedResult {
+                    output,
+                    tier: ExecTier::Unified,
+                },
+            );
+            while self.results.len() > self.config.result_cache_cap.max(1) {
+                self.results.pop_first();
+            }
+        }
+        Ok(RequestMetrics {
+            index,
+            tensor_id: request.tensor_id.clone(),
+            op: request.op,
+            rank,
+            device: device_index,
+            stream: resources[1],
+            arrival_us: now,
+            start_us,
+            finish_us,
+            exec_us,
+            plan_source,
+            batched: false,
+            deferred: was_deferred,
+            checksum,
+            retries,
+            tier: ExecTier::Unified,
+            faults_seen,
+            recovery_us,
+            chunks: chunk_plan.len(),
+        })
+    }
+
+    /// The out-of-core path's escape hatch: a chunk (or the factor upload)
+    /// exhausted its retry budget, so the whole request falls to the host
+    /// tier. Completed chunks' reservations are already committed; the
+    /// job-level reservation commits at the host result's finish time, so
+    /// the pool still drains to zero.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_chunked_cpu(
+        &mut self,
+        index: usize,
+        request: &Request,
+        op: TensorOp,
+        scheduler: &mut Scheduler,
+        key: PlanKey,
+        plan: &Plan,
+        plan_source: PlanSource,
+        device_index: usize,
+        job_pending: ReservationId,
+        ready: f64,
+        was_deferred: bool,
+        dead_us: f64,
+        recovery_us: f64,
+        retries: u32,
+        faults_seen: u32,
+    ) -> Result<RequestMetrics, String> {
+        self.fault_stats.cpu_fallbacks += 1;
+        self.log_event(ProtocolEvent::Degrade {
+            request: index as u64,
+            from: ExecTier::Unified,
+            to: ExecTier::Cpu,
+        });
+        let (output, kernel_us, _) =
+            match self.execute_cpu(&request.tensor_id, op, request.rank, request.factor_seed) {
+                Ok(out) => out,
+                Err(reason) => {
+                    self.pools[device_index].release(job_pending);
+                    self.log_event(ProtocolEvent::Release {
+                        request: index as u64,
+                        device: device_index,
+                    });
+                    return Err(reason);
+                }
+            };
+        let placement = if dead_us > 0.0 {
+            scheduler.place_on_device_delayed(device_index, ready, dead_us, kernel_us)
+        } else {
+            scheduler.place_on_device(device_index, ready, kernel_us)
+        };
+        self.log_event(ProtocolEvent::Place {
+            request: index as u64,
+            device: placement.device,
+            stream: placement.stream,
+            start_us: placement.start_us,
+            finish_us: placement.finish_us,
+        });
+        self.pools[device_index].commit(job_pending, placement.finish_us);
+        self.log_event(ProtocolEvent::Commit {
+            request: index as u64,
+            device: device_index,
+            finish_us: placement.finish_us,
+        });
+        let checksum = output.checksum();
+        self.log_event(ProtocolEvent::Accept {
+            request: index as u64,
+            device: device_index,
+        });
+        if self.config.profile {
+            self.profiled.push(RequestProfile {
+                index,
+                tensor_id: request.tensor_id.clone(),
+                op: request.op,
+                rank: request.rank,
+                device: placement.device,
+                stream: placement.stream,
+                arrival_us: request.arrival_us,
+                start_us: placement.start_us,
+                finish_us: placement.finish_us,
+                recovery_us,
+                h2d_us: 0.0,
+                kernel_us,
+                d2h_us: 0.0,
+                plan_source,
+                block_size: plan.block_size,
+                threadlen: plan.fcoo.threadlen,
+                batched: false,
+                deferred: was_deferred,
+                retries,
+                tier: ExecTier::Cpu,
+                faults_seen,
+                launches: Vec::new(),
+                chunks: Vec::new(),
+                chunk_streams: [0, 0, 0],
+            });
+        }
+        if self.config.batching {
+            self.results.insert(
+                (key, request.factor_seed),
+                CachedResult {
+                    output,
+                    tier: ExecTier::Cpu,
+                },
+            );
+            while self.results.len() > self.config.result_cache_cap.max(1) {
+                self.results.pop_first();
+            }
+        }
+        Ok(RequestMetrics {
+            index,
+            tensor_id: request.tensor_id.clone(),
+            op: request.op,
+            rank: request.rank,
+            device: placement.device,
+            stream: placement.stream,
+            arrival_us: request.arrival_us,
+            start_us: placement.start_us,
+            finish_us: placement.finish_us,
+            exec_us: kernel_us,
+            plan_source,
+            batched: false,
+            deferred: was_deferred,
+            checksum,
+            retries,
+            tier: ExecTier::Cpu,
+            faults_seen,
+            recovery_us,
+            chunks: 0,
         })
     }
 
@@ -1519,6 +2203,8 @@ impl ServeEngine {
                 tier,
                 faults_seen,
                 launches: accepted_launches,
+                chunks: Vec::new(),
+                chunk_streams: [0, 0, 0],
             });
         }
         self.cp_executions.push(CpExecution {
@@ -1550,6 +2236,7 @@ impl ServeEngine {
             tier,
             faults_seen,
             recovery_us,
+            chunks: 0,
         })
     }
 
@@ -1724,6 +2411,13 @@ impl ServeEngine {
     fn verify_results(&self) -> (usize, usize) {
         let mut checked = 0;
         let mut failures = 0;
+        // References re-run on an unconstrained fresh device: capacity gates
+        // only allocation success, never result bits, and an out-of-core
+        // request's format deliberately exceeds the serving capacity.
+        let reference_config = DeviceConfig {
+            memory_capacity: usize::MAX / 2,
+            ..self.config.device_config.clone()
+        };
         for ((key, factor_seed), cached) in &self.results {
             let Some((_, registered)) = self
                 .tensors
@@ -1736,7 +2430,7 @@ impl ServeEngine {
                 continue;
             };
             let reference = one_shot_tier_reference(
-                &self.config.device_config,
+                &reference_config,
                 &registered.tensor,
                 key.op(),
                 key.rank as usize,
@@ -1766,7 +2460,7 @@ impl ServeEngine {
                     Some(run_host_cp(&registered.tensor, &opts).0)
                 }
                 _ => one_shot_cp_reference(
-                    &self.config.device_config,
+                    &reference_config,
                     &registered.tensor,
                     exec.rank,
                     exec.iterations,

@@ -72,6 +72,10 @@ pub struct RequestMetrics {
     /// Dead time spent on failed attempts, stalls, backoff waits and
     /// redundant re-executions (µs); zero for a fault-free request.
     pub recovery_us: f64,
+    /// Out-of-core chunks the request streamed through (zero = served
+    /// in-core). For chunked requests `exec_us` is the pipeline makespan,
+    /// which per-chunk retry stalls extend.
+    pub chunks: usize,
 }
 
 impl RequestMetrics {
@@ -164,6 +168,7 @@ mod tests {
             tier: ExecTier::Unified,
             faults_seen: 0,
             recovery_us: 0.0,
+            chunks: 0,
         };
         let reqs: Vec<_> = (0..10).map(|i| make(0.0, (i + 1) as f64 * 10.0)).collect();
         let s = LatencySummary::from_requests(&reqs);

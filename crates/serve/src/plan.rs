@@ -20,7 +20,7 @@
 //! replayed into a panic or a wrong answer.
 
 use crate::fingerprint::Fnv1a;
-use fcoo::{Fcoo, TensorOp, TuneResult};
+use fcoo::{ChunkPlan, Fcoo, TensorOp, TuneResult};
 use gpu_sim::GpuDevice;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -152,6 +152,11 @@ pub struct PlanCacheStats {
     /// Persisted plans refused at load time because the static analyzer
     /// refuted their tuned configuration (each such lookup rebuilds).
     pub refuted_loads: u64,
+    /// Out-of-core chunk plans split from scratch (one per new
+    /// `(plan, budget)` pair the engine asked for).
+    pub chunk_builds: u64,
+    /// Out-of-core chunk-plan lookups answered from memory.
+    pub chunk_hits: u64,
 }
 
 impl PlanCacheStats {
@@ -173,6 +178,7 @@ impl PlanCacheStats {
 /// In-memory plan cache with optional disk persistence.
 pub struct PlanCache {
     plans: BTreeMap<PlanKey, Arc<Plan>>,
+    chunk_plans: BTreeMap<(PlanKey, usize), Arc<ChunkPlan>>,
     dir: Option<PathBuf>,
     block_sizes: Vec<usize>,
     threadlens: Vec<usize>,
@@ -186,6 +192,7 @@ impl PlanCache {
     pub fn new(dir: Option<PathBuf>) -> Self {
         PlanCache {
             plans: BTreeMap::new(),
+            chunk_plans: BTreeMap::new(),
             dir,
             block_sizes: SERVE_BLOCK_SIZES.to_vec(),
             threadlens: SERVE_THREADLENS.to_vec(),
@@ -228,10 +235,29 @@ impl PlanCache {
     /// plan was actually dropped.
     pub fn invalidate(&mut self, key: PlanKey) -> bool {
         let removed = self.plans.remove(&key).is_some();
+        self.chunk_plans.retain(|(k, _), _| *k != key);
         if let Some(dir) = &self.dir {
             std::fs::remove_file(dir.join(key.file_name())).ok();
         }
         removed
+    }
+
+    /// The out-of-core chunked variant of `key`'s plan under a per-chunk
+    /// device budget of `budget_bytes`. Cached in memory keyed on
+    /// `(plan, budget)` — the same plan served under two pool pressures
+    /// learns both variants — and dropped with [`PlanCache::invalidate`].
+    /// Not persisted: a split is cheap next to the preprocessing sort, and
+    /// budgets shift with pool pressure.
+    pub fn chunk_plan(&mut self, key: PlanKey, fcoo: &Fcoo, budget_bytes: usize) -> Arc<ChunkPlan> {
+        if let Some(plan) = self.chunk_plans.get(&(key, budget_bytes)) {
+            self.stats.chunk_hits += 1;
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(fcoo::split(fcoo, budget_bytes));
+        self.stats.chunk_builds += 1;
+        self.chunk_plans
+            .insert((key, budget_bytes), Arc::clone(&plan));
+        plan
     }
 
     /// Returns the plan for `key`, preprocessing `tensor` on `device` only
@@ -478,6 +504,26 @@ mod tests {
         cache.invalidate(key);
         assert!(!cache.invalidate(key));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunk_plans_cache_per_budget_and_die_with_invalidation() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let key = key_for(&tensor);
+        let mut cache = PlanCache::new(None).with_grids(&[64], &[8]);
+        let (plan, _) = cache.get_or_build(key, &tensor, &device);
+        let small = cache.chunk_plan(key, &plan.fcoo, 2048);
+        let again = cache.chunk_plan(key, &plan.fcoo, 2048);
+        assert_eq!(small.chunks, again.chunks);
+        let large = cache.chunk_plan(key, &plan.fcoo, 1 << 20);
+        assert!(large.len() <= small.len());
+        assert_eq!(cache.stats().chunk_builds, 2);
+        assert_eq!(cache.stats().chunk_hits, 1);
+        // Invalidation drops every budget variant of the plan.
+        cache.invalidate(key);
+        cache.chunk_plan(key, &plan.fcoo, 2048);
+        assert_eq!(cache.stats().chunk_builds, 3);
     }
 
     #[test]

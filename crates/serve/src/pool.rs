@@ -158,6 +158,28 @@ impl DevicePool {
         })
     }
 
+    /// Frees pool space for a job that needs `need` bytes of headroom next
+    /// to the live allocations, evicting LRU unpinned formats as required —
+    /// but uploads nothing. The out-of-core path uses this: its chunk
+    /// uploads are short-lived and never enter the format cache, so
+    /// admission reduces to carving out headroom. Same error contract as
+    /// [`DevicePool::admit`].
+    pub fn make_room(&mut self, requesting: PlanKey, need: usize) -> Result<(), AdmitError> {
+        if need > self.memory.capacity() {
+            return Err(AdmitError::TooLarge {
+                working_set: need,
+                capacity: self.memory.capacity(),
+            });
+        }
+        let victims = self
+            .ledger
+            .plan_admission(requesting, need, self.memory.live_bytes())?;
+        for k in victims {
+            self.formats.remove(&k);
+        }
+        Ok(())
+    }
+
     /// Records that an admitted job holds `transient_bytes` until
     /// `finish_us` and pins its format against eviction for that span.
     pub fn reserve(&mut self, key: PlanKey, transient_bytes: usize, finish_us: f64) {

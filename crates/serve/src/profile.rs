@@ -81,6 +81,14 @@ pub struct RequestProfile {
     /// Launch traces of the accepted attempt, in issue order (empty for
     /// batched and host-tier requests).
     pub launches: Vec<LaunchTrace>,
+    /// Placed pipeline intervals of an out-of-core request's chunks, in
+    /// stream order with absolute simulated timestamps (empty for in-core
+    /// requests). For these, `h2d_us`/`kernel_us`/`d2h_us` are per-stage
+    /// totals, not a sequential layout.
+    pub chunks: Vec<ooc::ChunkSchedule>,
+    /// Device streams the three out-of-core pipeline stages ran on
+    /// (H2D, kernel, D2H); meaningful only when `chunks` is non-empty.
+    pub chunk_streams: [usize; 3],
 }
 
 impl RequestProfile {
@@ -344,75 +352,117 @@ impl ServeProfile {
                     vec![],
                 );
             }
-            let mut cursor = request.start_us;
-            if request.recovery_us > 0.0 {
-                trace.complete(
-                    "recovery",
-                    "recovery",
-                    cursor,
-                    request.recovery_us,
-                    0,
-                    tid,
-                    vec![("retries".to_string(), request.retries.to_string())],
-                );
-                cursor += request.recovery_us;
-            }
-            let exec_us = request.h2d_us + request.kernel_us + request.d2h_us;
-            let exec_label = if request.batched {
-                "exec (batched reuse)"
-            } else {
-                "exec"
-            };
-            trace.complete(
-                exec_label,
-                "exec",
-                cursor,
-                exec_us,
-                0,
-                tid,
-                vec![("tier".to_string(), request.tier.label().to_string())],
-            );
-            if request.h2d_us > 0.0 {
-                trace.complete("h2d", "transfer", cursor, request.h2d_us, 0, tid, vec![]);
-            }
-            if request.kernel_us > 0.0 {
-                trace.complete(
-                    "kernel",
-                    "kernel",
-                    cursor + request.h2d_us,
-                    request.kernel_us,
-                    0,
-                    tid,
-                    vec![],
-                );
-            }
-            if request.d2h_us > 0.0 {
-                trace.complete(
-                    "d2h",
-                    "transfer",
-                    cursor + request.h2d_us + request.kernel_us,
-                    request.d2h_us,
-                    0,
-                    tid,
-                    vec![],
-                );
-            }
-            trace.end("request", request.finish_us, 0, tid);
-
-            // Stream occupancy on the device track (includes recovery dead
-            // time, exactly like the scheduler's timeline).
             let pid = 1 + request.device as u64;
-            let stream = request.stream as u64;
-            trace.complete(
-                &name,
-                "stream",
-                request.start_us,
-                request.finish_us - request.start_us,
-                pid,
-                stream,
-                vec![("tier".to_string(), request.tier.label().to_string())],
-            );
-            self.launch_spans(&mut trace, request, pid, stream);
+            if request.chunks.is_empty() {
+                let mut cursor = request.start_us;
+                if request.recovery_us > 0.0 {
+                    trace.complete(
+                        "recovery",
+                        "recovery",
+                        cursor,
+                        request.recovery_us,
+                        0,
+                        tid,
+                        vec![("retries".to_string(), request.retries.to_string())],
+                    );
+                    cursor += request.recovery_us;
+                }
+                let exec_us = request.h2d_us + request.kernel_us + request.d2h_us;
+                let exec_label = if request.batched {
+                    "exec (batched reuse)"
+                } else {
+                    "exec"
+                };
+                trace.complete(
+                    exec_label,
+                    "exec",
+                    cursor,
+                    exec_us,
+                    0,
+                    tid,
+                    vec![("tier".to_string(), request.tier.label().to_string())],
+                );
+                if request.h2d_us > 0.0 {
+                    trace.complete("h2d", "transfer", cursor, request.h2d_us, 0, tid, vec![]);
+                }
+                if request.kernel_us > 0.0 {
+                    trace.complete(
+                        "kernel",
+                        "kernel",
+                        cursor + request.h2d_us,
+                        request.kernel_us,
+                        0,
+                        tid,
+                        vec![],
+                    );
+                }
+                if request.d2h_us > 0.0 {
+                    trace.complete(
+                        "d2h",
+                        "transfer",
+                        cursor + request.h2d_us + request.kernel_us,
+                        request.d2h_us,
+                        0,
+                        tid,
+                        vec![],
+                    );
+                }
+                trace.end("request", request.finish_us, 0, tid);
+
+                // Stream occupancy on the device track (includes recovery
+                // dead time, exactly like the scheduler's timeline).
+                let stream = request.stream as u64;
+                trace.complete(
+                    &name,
+                    "stream",
+                    request.start_us,
+                    request.finish_us - request.start_us,
+                    pid,
+                    stream,
+                    vec![("tier".to_string(), request.tier.label().to_string())],
+                );
+                self.launch_spans(&mut trace, request, pid, stream);
+            } else {
+                // Out-of-core: each chunk's stages already carry absolute
+                // placed intervals from the pipeline schedule, so their
+                // overlap (H2D of chunk k+1 under the kernel of chunk k) is
+                // visible directly — both on the request track and on the
+                // per-stream device tracks.
+                let exec_start = request.chunks[0].h2d.0;
+                trace.complete(
+                    format!("exec (ooc, {} chunks)", request.chunks.len()),
+                    "exec",
+                    exec_start,
+                    request.finish_us - exec_start,
+                    0,
+                    tid,
+                    vec![("tier".to_string(), request.tier.label().to_string())],
+                );
+                for chunk in &request.chunks {
+                    let stages = [
+                        ("h2d", "transfer", chunk.h2d, request.chunk_streams[0]),
+                        ("kernel", "kernel", chunk.kernel, request.chunk_streams[1]),
+                        ("d2h", "transfer", chunk.d2h, request.chunk_streams[2]),
+                    ];
+                    for (stage, cat, (start, end), stream) in stages {
+                        if end <= start {
+                            continue;
+                        }
+                        let label = format!("chunk{} {stage}", chunk.index);
+                        trace.complete(&label, cat, start, end - start, 0, tid, vec![]);
+                        trace.complete(
+                            format!("r{} {label}", request.index),
+                            "stream",
+                            start,
+                            end - start,
+                            pid,
+                            stream as u64,
+                            vec![],
+                        );
+                    }
+                }
+                trace.end("request", request.finish_us, 0, tid);
+            }
         }
         trace
     }

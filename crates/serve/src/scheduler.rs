@@ -132,6 +132,47 @@ impl Scheduler {
         }
     }
 
+    /// When `stream` on `device` can next start work (its last enqueued
+    /// operation's finish time; zero when idle, `INFINITY` out of range).
+    pub fn stream_available_us(&self, device: usize, stream: usize) -> f64 {
+        match self.timelines.get(device) {
+            Some(t) if stream < t.streams() => t.stream_elapsed_us(stream),
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Occupies `stream` on `device` with `duration_us` of work starting no
+    /// earlier than `start_us`, returning the finish time.
+    ///
+    /// The out-of-core path resolves a whole chunk pipeline's intervals up
+    /// front ([`ooc::PipelineBuilder`]) and then stamps each span onto the
+    /// real streams with this — unlike [`Scheduler::place_on_device`] the
+    /// caller, not the scheduler, picks the stream.
+    pub fn occupy_stream(
+        &mut self,
+        device: usize,
+        stream: usize,
+        start_us: f64,
+        duration_us: f64,
+    ) -> f64 {
+        match self.timelines.get_mut(device) {
+            Some(t) => t
+                .try_push_after(stream, start_us, duration_us)
+                .unwrap_or(start_us + duration_us),
+            None => start_us + duration_us,
+        }
+    }
+
+    /// Blocks `stream` on `device` for `dead_us` of idle-but-occupied time
+    /// starting no earlier than `ready_us` (chunk retries and backoff):
+    /// counts toward the makespan but not toward busy time.
+    pub fn stall_stream(&mut self, device: usize, stream: usize, ready_us: f64, dead_us: f64) {
+        if let Some(t) = self.timelines.get_mut(device) {
+            t.try_push_after(stream, ready_us, 0.0);
+            t.stall(stream, dead_us.max(0.0));
+        }
+    }
+
     fn place_on(
         &mut self,
         device: usize,
@@ -248,6 +289,25 @@ mod tests {
         let pb = b.place_on_device_delayed(0, 5.0, 0.0, 30.0);
         assert_eq!(pa, pb);
         assert_eq!(a.utilizations(), b.utilizations());
+    }
+
+    #[test]
+    fn explicit_stream_occupation_and_stalls() {
+        let mut sched = Scheduler::new(1, 3);
+        assert_eq!(sched.stream_available_us(0, 1), 0.0);
+        assert_eq!(sched.stream_available_us(0, 9), f64::INFINITY);
+        // Stamp an overlapped pair of spans on distinct streams.
+        let f0 = sched.occupy_stream(0, 0, 10.0, 20.0);
+        let f1 = sched.occupy_stream(0, 1, 15.0, 20.0);
+        assert_eq!((f0, f1), (30.0, 35.0));
+        assert_eq!(sched.stream_available_us(0, 0), 30.0);
+        // A stall occupies without busy credit.
+        sched.stall_stream(0, 2, 0.0, 35.0);
+        assert_eq!(sched.stream_available_us(0, 2), 35.0);
+        assert_eq!(sched.makespan_us(), 35.0);
+        let u = sched.utilizations();
+        assert_eq!(u[0][2], 0.0);
+        assert!(u[0][0] > 0.0);
     }
 
     #[test]

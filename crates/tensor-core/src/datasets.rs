@@ -85,6 +85,10 @@ impl DatasetKind {
     /// Skew exponent for coordinate sampling (0 = uniform). Larger values
     /// concentrate non-zeros in a power-law head, increasing fiber-length
     /// variance.
+    pub fn skew_exponent(self) -> f64 {
+        self.skew()
+    }
+
     fn skew(self) -> f64 {
         match self {
             DatasetKind::Brainq => 0.0,
@@ -180,7 +184,7 @@ pub fn paper_datasets(nnz_budget: usize, seed: u64) -> Vec<(SparseTensorCoo, Dat
 /// Computes the scaled shape: keeps exact mode sizes that are already tiny
 /// (brainq's 60 and 9), scales the rest so the cell count supports
 /// `nnz_budget` at the paper's density.
-fn scaled_shape(kind: DatasetKind, nnz_budget: usize) -> Vec<usize> {
+pub(crate) fn scaled_shape(kind: DatasetKind, nnz_budget: usize) -> Vec<usize> {
     let paper_shape = kind.paper_shape();
     let paper_cells: f64 = paper_shape.iter().map(|&s| s as f64).product();
     let density = kind.paper_nnz() as f64 / paper_cells;

@@ -1,0 +1,394 @@
+//! Streaming paper-scale synthetic tensor generator.
+//!
+//! [`datasets::generate`](crate::datasets::generate) materialises the whole
+//! tensor in host memory, which caps it at a few million non-zeros. The
+//! out-of-core path (`crates/ooc`) exists precisely because FROSTT-scale
+//! tensors (11M–144M nnz, Table IV) do **not** fit — so their generator must
+//! not either. This module produces the same FROSTT-shaped power-law
+//! tensors *block by block*:
+//!
+//! * Non-zero mass is assigned to mode-0 slices through the closed-form
+//!   power-law CDF `F(x) = x^(1/(1+skew))` with cumulative rounding — O(1)
+//!   generator state, no per-slice table, exact total count.
+//! * Within a slice, trailing coordinates are sampled (mode 1 by stratified
+//!   inverse-CDF quantiles, deeper modes independently), then sorted and
+//!   deduplicated in a slice-local buffer.
+//! * Finished entries are emitted as [`StreamBlock`]s of at most
+//!   `block_nnz` entries. Peak host memory is `O(block_nnz + largest
+//!   slice)` — independent of the total non-zero count, so a 10M+ nnz
+//!   stream runs in a few megabytes of buffer.
+//!
+//! Blocks arrive in canonical sorted order (ascending mode 0, then the
+//! trailing modes), so concatenating them reproduces exactly what
+//! [`TensorStream::materialize`] returns. Generation is deterministic per
+//! seed: the same spec always yields the same block sequence.
+
+use crate::datasets::DatasetKind;
+use crate::{Idx, SparseTensorCoo, Val};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Full description of a streamed synthetic tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpec {
+    /// Mode sizes (order ≥ 2).
+    pub shape: Vec<usize>,
+    /// Target non-zero count. The stream emits at most this many entries
+    /// and normally reaches it exactly; very dense slices may fall a few
+    /// entries short after deduplication.
+    pub nnz: usize,
+    /// Power-law skew exponent (0 = uniform coordinates).
+    pub skew: f64,
+    /// Generation seed.
+    pub seed: u64,
+    /// Maximum entries per emitted [`StreamBlock`].
+    pub block_nnz: usize,
+}
+
+/// One contiguous run of generated non-zeros, in canonical sorted order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBlock {
+    /// Tensor order (coordinates per entry).
+    pub order: usize,
+    /// Flattened coordinates, row-major: entry `t` occupies
+    /// `coords[t*order .. (t+1)*order]`.
+    pub coords: Vec<Idx>,
+    /// One value per entry.
+    pub values: Vec<Val>,
+}
+
+impl StreamBlock {
+    /// Entries in this block.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Coordinate tuple of entry `t`.
+    pub fn coord(&self, t: usize) -> &[Idx] {
+        &self.coords[t * self.order..(t + 1) * self.order]
+    }
+}
+
+/// Iterator of [`StreamBlock`]s for a [`StreamSpec`].
+#[derive(Debug)]
+pub struct TensorStream {
+    spec: StreamSpec,
+    rng: SmallRng,
+    /// Per-mode rotation offsets decorrelating the power-law heads.
+    offsets: Vec<u64>,
+    /// Next mode-0 slice to generate.
+    next_slice: usize,
+    /// Σ slice masses consumed so far (cumulative-rounding state).
+    cum_mass: f64,
+    /// Entries allocated to slices so far.
+    allocated: usize,
+    /// Entries actually emitted (can trail `allocated` after dedup loss).
+    emitted: usize,
+    /// Carry buffer between blocks (flattened coords + values).
+    buf_coords: Vec<Idx>,
+    buf_values: Vec<Val>,
+    /// Largest buffer population observed, in entries (memory telemetry).
+    peak_buffered: usize,
+}
+
+impl TensorStream {
+    /// Builds a stream for an explicit spec.
+    ///
+    /// # Panics
+    /// If the shape has fewer than two modes, or counts are degenerate.
+    pub fn new(spec: StreamSpec) -> Self {
+        assert!(spec.shape.len() >= 2, "stream needs at least two modes");
+        assert!(spec.shape.iter().all(|&s| s > 0), "empty mode");
+        assert!(spec.nnz > 0, "need a positive non-zero target");
+        assert!(spec.block_nnz > 0, "need a positive block size");
+        let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x57ea_11b1_0c4e_ed00);
+        let offsets = (0..spec.shape.len()).map(|_| rng.gen()).collect();
+        TensorStream {
+            spec,
+            rng,
+            offsets,
+            next_slice: 0,
+            cum_mass: 0.0,
+            allocated: 0,
+            emitted: 0,
+            buf_coords: Vec::new(),
+            buf_values: Vec::new(),
+            peak_buffered: 0,
+        }
+    }
+
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+
+    /// Entries emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Largest number of entries ever resident in the carry buffer — the
+    /// stream's peak host-memory footprint in entries.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Drains the whole stream into a materialised tensor (tests and
+    /// small-scale convenience; defeats the purpose at paper scale).
+    pub fn materialize(mut self) -> SparseTensorCoo {
+        let mut tensor = SparseTensorCoo::new(self.spec.shape.clone());
+        let order = self.spec.shape.len();
+        let mut coord = vec![0 as Idx; order];
+        for block in &mut self {
+            for t in 0..block.nnz() {
+                coord.copy_from_slice(block.coord(t));
+                tensor.push(&coord, block.values[t]);
+            }
+        }
+        tensor
+    }
+
+    /// Number of entries the cumulative-rounding allocator gives slice `i`.
+    fn slice_count(&mut self, i: usize) -> usize {
+        let n0 = self.spec.shape[0];
+        let remaining = self.spec.nnz - self.allocated;
+        let count = if i + 1 == n0 {
+            remaining
+        } else {
+            // Rotate which physical slice carries the power-law head.
+            let rank = ((i as u64).wrapping_add(self.offsets[0]) % n0 as u64) as f64;
+            let alpha = 1.0 / (1.0 + self.spec.skew);
+            let mass = ((rank + 1.0) / n0 as f64).powf(alpha) - (rank / n0 as f64).powf(alpha);
+            self.cum_mass += mass;
+            let target = (self.cum_mass * self.spec.nnz as f64).floor() as usize;
+            target.saturating_sub(self.allocated).min(remaining)
+        };
+        // A slice cannot hold more distinct entries than it has cells.
+        let cells: usize = self.spec.shape[1..]
+            .iter()
+            .try_fold(1usize, |a, &s| a.checked_mul(s))
+            .unwrap_or(usize::MAX);
+        let count = count.min(cells);
+        self.allocated += count;
+        count
+    }
+
+    /// Generates slice `i`'s entries (sorted by trailing coordinates,
+    /// deduplicated) and appends them to the carry buffer.
+    fn generate_slice(&mut self, i: usize, count: usize) {
+        if count == 0 {
+            return;
+        }
+        let order = self.spec.shape.len();
+        let pow = 1.0 + self.spec.skew;
+        let mut tails: Vec<Vec<Idx>> = Vec::with_capacity(count);
+        // Dedup can lose entries; top up a few rounds, then accept the
+        // shortfall (only near-full slices ever hit the cap).
+        for round in 0..4 {
+            if tails.len() >= count {
+                break;
+            }
+            let need = count - tails.len();
+            let batch = if round == 0 {
+                need
+            } else {
+                need.saturating_mul(2)
+            };
+            for t in 0..batch {
+                let mut tail = Vec::with_capacity(order - 1);
+                for (m, &n) in self.spec.shape.iter().enumerate().skip(1) {
+                    let u: f64 = if m == 1 && round == 0 {
+                        // Stratified quantiles spread mode-1 fibers evenly
+                        // across the power-law CDF within the slice.
+                        (t as f64 + self.rng.gen::<f64>()) / batch as f64
+                    } else {
+                        self.rng.gen()
+                    };
+                    let raw = (u.powf(pow) * n as f64) as u64;
+                    let rotated = raw.wrapping_add(self.offsets[m]) % n as u64;
+                    tail.push(rotated.min(n as u64 - 1) as Idx);
+                }
+                tails.push(tail);
+            }
+            tails.sort_unstable();
+            tails.dedup();
+        }
+        tails.truncate(count);
+        tails.sort_unstable();
+        for tail in &tails {
+            self.buf_coords.push(i as Idx);
+            self.buf_coords.extend_from_slice(tail);
+            self.buf_values.push(0.1 + 0.9 * self.rng.gen::<Val>());
+        }
+        self.emitted += tails.len();
+    }
+}
+
+impl Iterator for TensorStream {
+    type Item = StreamBlock;
+
+    fn next(&mut self) -> Option<StreamBlock> {
+        let order = self.spec.shape.len();
+        while self.buf_values.len() < self.spec.block_nnz && self.next_slice < self.spec.shape[0] {
+            let i = self.next_slice;
+            self.next_slice += 1;
+            let count = self.slice_count(i);
+            self.generate_slice(i, count);
+            self.peak_buffered = self.peak_buffered.max(self.buf_values.len());
+        }
+        if self.buf_values.is_empty() {
+            return None;
+        }
+        let take = self.buf_values.len().min(self.spec.block_nnz);
+        let rest_values = self.buf_values.split_off(take);
+        let rest_coords = self.buf_coords.split_off(take * order);
+        let block = StreamBlock {
+            order,
+            coords: std::mem::replace(&mut self.buf_coords, rest_coords),
+            values: std::mem::replace(&mut self.buf_values, rest_values),
+        };
+        Some(block)
+    }
+}
+
+/// Default block size: 64K entries ≈ 1 MiB of coordinates+values for an
+/// order-3 tensor.
+pub const DEFAULT_BLOCK_NNZ: usize = 64 * 1024;
+
+/// Streams a synthetic tensor imitating `kind` at `nnz_budget` non-zeros,
+/// with the same scaled shape and skew class as
+/// [`datasets::generate`](crate::datasets::generate).
+pub fn stream(kind: DatasetKind, nnz_budget: usize, seed: u64) -> TensorStream {
+    assert!(nnz_budget >= 16, "nnz budget too small to be meaningful");
+    TensorStream::new(StreamSpec {
+        shape: crate::datasets::scaled_shape(kind, nnz_budget),
+        nnz: nnz_budget,
+        skew: kind.skew_exponent(),
+        seed,
+        block_nnz: DEFAULT_BLOCK_NNZ,
+    })
+}
+
+/// Streams `kind` at its full Table IV scale — the paper's actual non-zero
+/// count over the paper's actual mode sizes (11M–144M entries). Host memory
+/// stays bounded by the block size plus the head slice.
+pub fn stream_paper_scale(kind: DatasetKind, seed: u64) -> TensorStream {
+    TensorStream::new(StreamSpec {
+        shape: kind.paper_shape().to_vec(),
+        nnz: kind.paper_nnz(),
+        skew: kind.skew_exponent(),
+        seed,
+        block_nnz: DEFAULT_BLOCK_NNZ,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(nnz: usize, block: usize, skew: f64, seed: u64) -> StreamSpec {
+        StreamSpec {
+            shape: vec![40, 50, 30],
+            nnz,
+            skew,
+            seed,
+            block_nnz: block,
+        }
+    }
+
+    #[test]
+    fn blocks_respect_the_cap_and_cover_the_budget() {
+        let stream = TensorStream::new(small_spec(5_000, 256, 1.2, 3));
+        let mut total = 0usize;
+        for block in stream {
+            assert!(block.nnz() <= 256);
+            assert!(block.nnz() > 0);
+            total += block.nnz();
+        }
+        assert!(total >= 4_500, "got {total}");
+        assert!(total <= 5_000);
+    }
+
+    #[test]
+    fn concatenated_blocks_are_canonically_sorted_and_distinct() {
+        let tensor = TensorStream::new(small_spec(4_000, 333, 2.0, 7)).materialize();
+        assert!(tensor.is_sorted_by(&[0, 1, 2]));
+        let mut copy = tensor.clone();
+        copy.coalesce();
+        assert_eq!(copy.nnz(), tensor.nnz(), "duplicates survived");
+        assert!(tensor.values().iter().all(|&v| (0.1..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let a: Vec<StreamBlock> = TensorStream::new(small_spec(3_000, 100, 1.5, 11)).collect();
+        let b: Vec<StreamBlock> = TensorStream::new(small_spec(3_000, 100, 1.5, 11)).collect();
+        assert_eq!(a, b);
+        let c: Vec<StreamBlock> = TensorStream::new(small_spec(3_000, 100, 1.5, 12)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skew_concentrates_mass_in_a_head_slice() {
+        let tensor = TensorStream::new(StreamSpec {
+            shape: vec![200, 300, 300],
+            nnz: 20_000,
+            skew: 2.5,
+            seed: 5,
+            block_nnz: 4_096,
+        })
+        .materialize();
+        let sizes = tensor.group_sizes(&[0]);
+        let max = sizes.iter().copied().max().unwrap_or(0) as f64;
+        let mean = tensor.nnz() as f64 / sizes.len() as f64;
+        assert!(max > 4.0 * mean, "expected skew, max {max} mean {mean:.1}");
+    }
+
+    #[test]
+    fn frostt_kind_stream_matches_generate_shape() {
+        let s = stream(DatasetKind::Nell2, 10_000, 9);
+        let (t, _) = crate::datasets::generate(DatasetKind::Nell2, 10_000, 9);
+        assert_eq!(s.spec().shape, t.shape());
+    }
+
+    #[test]
+    fn buffering_stays_bounded_relative_to_total() {
+        let mut s = TensorStream::new(StreamSpec {
+            shape: vec![500, 400, 400],
+            nnz: 200_000,
+            skew: 1.2,
+            seed: 21,
+            block_nnz: 2_048,
+        });
+        let mut total = 0usize;
+        for block in &mut s {
+            total += block.nnz();
+        }
+        assert!(total >= 180_000, "got {total}");
+        // Peak buffer ≪ total: the stream never holds the tensor.
+        assert!(
+            s.peak_buffered() < total / 10,
+            "peak {} vs total {total}",
+            s.peak_buffered()
+        );
+    }
+
+    /// Paper-scale smoke: 10M non-zeros streamed with bounded memory.
+    /// Ignored in the default test run (seconds of work); `tensortool
+    /// oocbench` exercises the same path in release in CI.
+    #[test]
+    #[ignore = "paper-scale; run explicitly or via tensortool oocbench"]
+    fn ten_million_nnz_stream_with_bounded_buffer() {
+        let mut s = stream(DatasetKind::Nell2, 10_000_000, 1);
+        let mut total = 0usize;
+        for block in &mut s {
+            total += block.nnz();
+        }
+        assert!(total >= 9_500_000, "got {total}");
+        assert!(
+            s.peak_buffered() < 4 * DEFAULT_BLOCK_NNZ + total / 50,
+            "peak {} not bounded",
+            s.peak_buffered()
+        );
+    }
+}

@@ -141,6 +141,15 @@ fn run(args: &[String]) -> Result<String, String> {
                 .map_err(|_| format!("bad seed `{seed}`"))?;
             cli::chaos(spec, schedule, seed).map_err(|e| e.to_string())
         }
+        "oocbench" => {
+            let (out, nnz) = match &args[1..] {
+                [] => (None, 20_000),
+                [path] => (Some(Path::new(path.as_str())), 20_000),
+                [path, nnz] => (Some(Path::new(path.as_str())), parse_usize(nnz, "nnz")?),
+                _ => return Err("oocbench takes [out.json] [nnz]".into()),
+            };
+            cli::oocbench(out, nnz).map_err(|e| e.to_string())
+        }
         "modelcheck" => {
             let [_] = args else {
                 return Err("modelcheck takes no arguments".into());

@@ -648,6 +648,163 @@ pub fn chaos(spec: &str, schedule: &str, seed: u64) -> Result<String, CliError> 
     }
 }
 
+/// `tensortool oocbench [out.json] [nnz]` — measure the out-of-core chunked
+/// pipeline against the in-core path and write the `BENCH_out_of_core.json`
+/// trajectory point: chunked vs in-core throughput (nnz/s), mean chunk
+/// count, and overlap efficiency (`kernel_us / makespan_us` of each chunk
+/// pipeline) at three device-memory budgets that all reject the full
+/// format. Every run verifies bit-exactly against the one-shot reference;
+/// the command exits non-zero on any rejection or verification mismatch.
+///
+/// The emitted JSON is deterministic (simulated time, seeded datasets), so
+/// successive trajectory points diff cleanly in version control.
+pub fn oocbench(out_path: Option<&Path>, nnz: usize) -> Result<String, CliError> {
+    use crate::serve::{ServeConfig, ServeEngine, Workload};
+    if nnz == 0 {
+        return Err(err("nnz must be positive"));
+    }
+    let rank = 8usize;
+    let request_count = 4usize;
+    let mut workload_text = format!("tensor big nell2 {nnz} 7\n");
+    for i in 0..request_count {
+        let _ = writeln!(
+            workload_text,
+            "request big mttkrp 0 {rank} {}.0 {}",
+            i * 5,
+            11 + i as u64
+        );
+    }
+    let workload =
+        Workload::parse(&workload_text).map_err(|e| err(format!("generated workload: {e}")))?;
+    let (tensor, _) = datasets::generate(DatasetKind::Nell2, nnz, 7);
+    let factor_bytes: usize = tensor.shape().iter().map(|&s| s * rank * 4).sum();
+    let transient_bytes = factor_bytes + tensor.shape()[0] * rank * 4 + 1024;
+    let min_format_bytes = crate::serve::plan::SERVE_THREADLENS
+        .iter()
+        .map(|&tl| {
+            Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, tl)
+                .storage()
+                .total_bytes()
+                + 64
+        })
+        .min()
+        .expect("non-empty threadlen grid");
+    let total_nnz = (nnz * request_count) as f64;
+
+    let run_at = |capacity: Option<usize>| -> Result<_, CliError> {
+        let mut device_config = DeviceConfig::titan_x();
+        if let Some(capacity) = capacity {
+            device_config.memory_capacity = capacity;
+        }
+        let mut engine = ServeEngine::new(ServeConfig {
+            device_config,
+            profile: true,
+            verify: true,
+            ..ServeConfig::default()
+        });
+        let report = engine.run(&workload);
+        if !report.rejections.is_empty() {
+            return Err(err(format!(
+                "oocbench rejected {} requests: {}",
+                report.rejections.len(),
+                report.rejections[0].reason
+            )));
+        }
+        if report.verify_failures > 0 {
+            return Err(err(format!(
+                "oocbench: {} of {} results mismatched the one-shot reference",
+                report.verify_failures, report.verified
+            )));
+        }
+        let leaked = engine.pool(0).reserved_bytes();
+        if leaked > 0 {
+            return Err(err(format!("oocbench leaked {leaked} B of reservations")));
+        }
+        Ok(report)
+    };
+
+    let in_core = run_at(None)?;
+    let in_core_nnz_s = total_nnz / (in_core.makespan_us * 1e-6);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "oocbench: {nnz} nnz x {request_count} mttkrp requests (rank {rank})"
+    );
+    let _ = writeln!(
+        out,
+        "  in-core    : makespan {:>10.1} us, {:>12.0} nnz/s",
+        in_core.makespan_us, in_core_nnz_s
+    );
+    let mut budget_rows = String::new();
+    for (label, divisor) in [("1/2", 2usize), ("1/4", 4), ("1/8", 8)] {
+        let capacity = transient_bytes + min_format_bytes / divisor;
+        let report = run_at(Some(capacity))?;
+        let chunked: Vec<_> = report.requests.iter().filter(|r| r.chunks > 0).collect();
+        if chunked.is_empty() {
+            return Err(err(format!(
+                "budget {label}: no request went out-of-core (capacity {capacity} B)"
+            )));
+        }
+        let mean_chunks =
+            chunked.iter().map(|r| r.chunks as f64).sum::<f64>() / chunked.len() as f64;
+        let profile = report.profile.as_ref().expect("profiling enabled");
+        let pipelines: Vec<_> = profile
+            .requests
+            .iter()
+            .filter(|r| !r.chunks.is_empty())
+            .collect();
+        let overlap = pipelines
+            .iter()
+            .map(|r| r.kernel_us / (r.finish_us - r.start_us))
+            .sum::<f64>()
+            / pipelines.len().max(1) as f64;
+        let nnz_s = total_nnz / (report.makespan_us * 1e-6);
+        let _ = writeln!(
+            out,
+            "  budget {label}: makespan {:>10.1} us, {:>12.0} nnz/s, \
+             {:.1} chunks/request, overlap {:.3}, {:.2}x in-core",
+            report.makespan_us,
+            nnz_s,
+            mean_chunks,
+            overlap,
+            nnz_s / in_core_nnz_s
+        );
+        if !budget_rows.is_empty() {
+            budget_rows.push_str(",\n");
+        }
+        let _ = write!(
+            budget_rows,
+            "    {{\"budget\": \"{label}\", \"capacity_bytes\": {capacity}, \
+             \"makespan_us\": {:.3}, \"nnz_per_s\": {:.1}, \
+             \"mean_chunks_per_request\": {:.3}, \"overlap_efficiency\": {:.4}, \
+             \"throughput_vs_in_core\": {:.4}, \"verified\": {}, \
+             \"verify_failures\": 0}}",
+            report.makespan_us,
+            nnz_s,
+            mean_chunks,
+            overlap,
+            nnz_s / in_core_nnz_s,
+            report.verified
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"out_of_core\",\n  \"dataset\": \"nell2\",\n  \
+         \"nnz\": {nnz},\n  \"requests\": {request_count},\n  \"rank\": {rank},\n  \
+         \"transient_bytes\": {transient_bytes},\n  \
+         \"min_format_bytes\": {min_format_bytes},\n  \
+         \"in_core\": {{\"makespan_us\": {:.3}, \"nnz_per_s\": {:.1}}},\n  \
+         \"budgets\": [\n{budget_rows}\n  ]\n}}\n",
+        in_core.makespan_us, in_core_nnz_s
+    );
+    let default_path = Path::new("BENCH_out_of_core.json");
+    let path = out_path.unwrap_or(default_path);
+    std::fs::write(path, &json)
+        .map_err(|e| err(format!("cannot write {}: {e}", path.display())))?;
+    let _ = writeln!(out, "wrote {}", path.display());
+    Ok(out)
+}
+
 /// `modelcheck` subcommand: runs the serve-layer model checker over every
 /// standard scenario (the faithful protocol must prove determinism,
 /// leak-freedom, admission liveness and scrub-before-reuse across all host
@@ -760,6 +917,7 @@ USAGE:
   tensortool chaos <workload.txt|synthetic:N:SEED> <schedule> <seed>
   tensortool profile <workload.txt|synthetic:N:SEED> [trace.json]
   tensortool golden [--bless]
+  tensortool oocbench [out.json] [nnz]
   tensortool modelcheck
 
 Modes are 1-based, matching the paper's notation. `sanitize` lints the
@@ -784,6 +942,11 @@ with the symbolic analyzer's verdicts side-by-side — see docs/PROFILING.md.
 `golden` runs the golden-counter regression suite against the blessed
 snapshot in crates/unified-tensors/golden/ (`--bless` re-snapshots after an
 intentional cost-model change).
+`oocbench` measures the out-of-core chunked pipeline (docs/OOC.md) against
+the in-core path at three device-memory budgets too small for the full
+F-COO format, verifies every result bit-exactly, and writes the
+`BENCH_out_of_core.json` perf-trajectory point (throughput, chunk counts,
+overlap efficiency); it exits non-zero on any rejection or mismatch.
 ";
 
 #[cfg(test)]
@@ -817,6 +980,24 @@ mod tests {
     fn generate_rejects_unknown_kind() {
         let path = std::env::temp_dir().join("tensortool_test_bad.tns");
         assert!(generate("zebra", 100, &path).is_err());
+    }
+
+    #[test]
+    fn oocbench_emits_trajectory_point() {
+        let path = std::env::temp_dir().join("tensortool_test_ooc.json");
+        let text = oocbench(Some(&path), 6_000).unwrap();
+        assert!(text.contains("in-core"));
+        assert!(text.contains("budget 1/8"));
+        assert!(text.contains("overlap"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bench\": \"out_of_core\""));
+        assert!(json.contains("\"budgets\": ["));
+        assert!(json.contains("\"overlap_efficiency\""));
+        assert!(json.contains("\"verify_failures\": 0"));
+        // Deterministic: a second run writes byte-identical JSON.
+        oocbench(Some(&path), 6_000).unwrap();
+        assert_eq!(json, std::fs::read_to_string(&path).unwrap());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -150,6 +150,41 @@ fn run_atomic_mttkrp(config: &DeviceConfig, tensor: &SparseTensorCoo) -> GoldenR
     }
 }
 
+/// Runs the unified SpMTTKRP through the out-of-core chunked executor,
+/// traced: the format is split at `total_bytes / divisor` and streamed
+/// chunk by chunk, so these rows pin the *aggregate* counters of a whole
+/// chunk pipeline — launch count grows with the chunk count while the
+/// arithmetic totals (transactions, DRAM traffic, atomics) must track the
+/// in-core row, and any drift in the boundary-segment carry shows up in
+/// the duration bit pattern.
+fn run_chunked_mttkrp(
+    config: &DeviceConfig,
+    tensor: &SparseTensorCoo,
+    divisor: usize,
+    kernel: &'static str,
+) -> GoldenRun {
+    let device = &GpuDevice::new(config.clone());
+    let (block_size, threadlen) = (128, 8);
+    let cfg = LaunchConfig {
+        block_size,
+        ..LaunchConfig::default()
+    };
+    let op = TensorOp::SpMttkrp { mode: MODE };
+    let fcoo = Fcoo::from_coo(tensor, op, threadlen);
+    let budget = (fcoo.storage().total_bytes() / divisor).max(1);
+    let plan = crate::fcoo::chunk::split(&fcoo, budget);
+    let hosts = factors(tensor);
+    device.start_tracing();
+    crate::ooc::run_chunked(device, &fcoo, &plan, &hosts, &cfg).expect("golden chunked mttkrp");
+    let counters = device.stop_tracing().counters();
+    GoldenRun {
+        kernel,
+        block_size,
+        threadlen,
+        counters,
+    }
+}
+
 /// Runs the two-step SpMTTKRP baseline traced, reusing the unified
 /// SpMTTKRP's tuned configuration (exactly what the serving engine's
 /// degradation ladder does).
@@ -190,7 +225,7 @@ pub fn render_with(config: &DeviceConfig) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "golden counters: {} kernels x {} datasets (nnz {NNZ}, seed {SEED}, rank {RANK}, mode {})",
+        "golden counters: {} kernels x {} datasets + chunked pipeline (nnz {NNZ}, seed {SEED}, rank {RANK}, mode {})",
         5,
         DATASETS.len(),
         MODE + 1
@@ -212,6 +247,13 @@ pub fn render_with(config: &DeviceConfig) -> String {
         ];
         if tensor.order() == 3 {
             runs.push(run_two_step(config, &tensor));
+        }
+        // The out-of-core pipeline on one dataset, at three chunk depths:
+        // the same non-zeros streamed through 2, 4 and 8 format splits.
+        if kind == DatasetKind::Nell2 {
+            runs.push(run_chunked_mttkrp(config, &tensor, 2, "mttkrp-chunked/2"));
+            runs.push(run_chunked_mttkrp(config, &tensor, 4, "mttkrp-chunked/4"));
+            runs.push(run_chunked_mttkrp(config, &tensor, 8, "mttkrp-chunked/8"));
         }
         for run in runs {
             let c = &run.counters;

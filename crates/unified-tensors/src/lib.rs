@@ -61,6 +61,7 @@ pub use decomp;
 pub use fcoo;
 pub use gpu_sim;
 pub use modelcheck;
+pub use ooc;
 pub use serve;
 pub use tensor_core;
 

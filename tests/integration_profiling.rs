@@ -153,6 +153,80 @@ fn profiling_a_served_workload_keeps_the_exact_makespan() {
     assert!(profiled.profile.is_some());
 }
 
+/// Out-of-core requests stay observation-only too: profiling a chunked
+/// workload changes neither the results nor the schedule, and the exported
+/// Perfetto trace shows the pipeline's stage overlap — some chunk's H2D
+/// runs while the previous chunk's kernel is still in flight.
+#[test]
+fn profiling_a_chunked_workload_is_bit_exact_and_shows_overlap() {
+    let workload = Workload::parse(
+        "tensor big nell2 3000 7\n\
+         request big mttkrp 0 8 0.0 11\n\
+         request big mttkrp 0 8 5.0 12\n",
+    )
+    .expect("valid workload");
+    // Capacity below the smallest tunable format forces chunked streaming.
+    let (big, _) = datasets::generate(DatasetKind::Nell2, 3000, 7);
+    let transients: usize =
+        big.shape().iter().map(|&s| s * 8 * 4).sum::<usize>() + big.shape()[0] * 8 * 4 + 1024;
+    let min_format = unified_tensors::serve::plan::SERVE_THREADLENS
+        .iter()
+        .map(|&tl| {
+            Fcoo::from_coo(&big, TensorOp::SpMttkrp { mode: 0 }, tl)
+                .storage()
+                .total_bytes()
+                + 64
+        })
+        .min()
+        .expect("non-empty grid");
+    let mut device_config = DeviceConfig::titan_x();
+    device_config.memory_capacity = transients + min_format / 2;
+    let run = |profile: bool| {
+        let mut engine = ServeEngine::new(ServeConfig {
+            device_config: device_config.clone(),
+            profile,
+            ooc_chunk_budget: Some(min_format / 8),
+            ..ServeConfig::default()
+        });
+        engine.run(&workload)
+    };
+    let plain = run(false);
+    let profiled = run(true);
+    assert!(plain.rejections.is_empty(), "{:?}", plain.rejections);
+    assert_eq!(
+        plain.makespan_us.to_bits(),
+        profiled.makespan_us.to_bits(),
+        "profiling changed the chunked makespan"
+    );
+    for (p, q) in plain.requests.iter().zip(&profiled.requests) {
+        assert!(p.chunks >= 4, "request {} did not stream deeply", p.index);
+        assert_eq!(p.chunks, q.chunks);
+        assert_eq!(p.checksum, q.checksum, "profiling changed chunked bits");
+        assert_eq!(p.start_us.to_bits(), q.start_us.to_bits());
+        assert_eq!(p.finish_us.to_bits(), q.finish_us.to_bits());
+    }
+
+    let profile = profiled.profile.expect("profiling enabled");
+    let mut overlapped = false;
+    for request in &profile.requests {
+        for pair in request.chunks.windows(2) {
+            // Genuine cross-stage concurrency: the next chunk's upload and
+            // this chunk's kernel occupy overlapping wall-clock intervals.
+            let (h2d, kernel) = (pair[1].h2d, pair[0].kernel);
+            if h2d.0 < kernel.1 && kernel.0 < h2d.1 {
+                overlapped = true;
+            }
+        }
+    }
+    assert!(overlapped, "no chunk pipeline overlap in the profile");
+    let trace = profile.chrome_trace();
+    assert!(trace.validate().is_empty(), "{:?}", trace.validate());
+    let json = trace.to_json();
+    assert!(json.contains("exec (ooc"), "no out-of-core exec span");
+    assert!(json.contains("chunk0 h2d"), "no per-chunk transfer spans");
+    assert!(json.contains("chunk1 kernel"), "no per-chunk kernel spans");
+}
+
 #[test]
 fn two_profiled_runs_emit_byte_identical_traces() {
     let workload = unified_tensors::serve::synthetic(60, 2017);
