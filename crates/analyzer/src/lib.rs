@@ -18,16 +18,27 @@
 //! * [`Verdict::Refuted`] — a concrete [`Counterexample`] (block, warp,
 //!   lane assignment, worst-case addresses) witnesses the violation and
 //!   reproduces under the dynamic sanitizer's replay.
-//! * [`Verdict::Unknown`] — the property depends on tensor *values* (e.g.
-//!   factor-row gather targets); the verdict degrades to the dynamic
-//!   sanitizer, which checks the recorded trace instead.
+//! * [`Verdict::Unknown`] — the property depends on tensor *values* in a
+//!   way the static model cannot bracket; the verdict degrades to the
+//!   dynamic sanitizer, which checks the recorded trace instead.
 //!
-//! Verdicts feed three consumers: [`tune_filter`] prunes refuted and
+//! The [`cost`] module extends the boolean verdicts with *certified counter
+//! envelopes*: `[lo, hi]` bounds on every raw counter the golden suite pins,
+//! derived from F-COO headers alone. That decides properties that used to be
+//! `Unknown` — factor-row gather traffic is now bracketed by
+//! [`cost::gather_bounds`] — and powers [`tune_certified`], which eliminates
+//! grid configurations whose certified lower bound exceeds another's upper
+//! bound without simulating a single launch.
+//!
+//! Verdicts feed the consumers: [`tune_filter`] prunes refuted and
 //! strictly-dominated configs from [`fcoo::tune_with_filter`] sweeps (same
-//! winner, strictly fewer simulated launches), [`plan_report`] lets the
-//! serving plan cache refuse persisted plans whose configuration is refuted
-//! at load time, and `tensortool analyze` prints the full verdict matrix.
+//! winner, strictly fewer simulated launches), [`tune_certified`] layers
+//! envelope dominance on top (zero-launch winners when one config dominates
+//! the grid), [`plan_report`] lets the serving plan cache refuse persisted
+//! plans whose configuration is refuted at load time, and `tensortool
+//! analyze` / `tensortool certify` print the verdict and envelope matrices.
 
+pub mod cost;
 pub mod model;
 
 use fcoo::{Fcoo, TensorOp, TuneResult};
@@ -543,12 +554,19 @@ fn coalescing_verdict(
         stream.ideal_transactions(seg)
     );
     if kernel != KernelKind::TwoStep {
+        // Factor-row gathers target index-dependent rows, but the read-only
+        // cache path and the 256-byte buffer alignment bound the traffic per
+        // call between `n_factors` and `live · n_factors` transactions
+        // regardless of the gathered values — the cost interpreter certifies
+        // the launch-wide envelope from the header alone.
+        let bounds = cost::gather_bounds(config, fcoo, rank, geometry.block_size);
         return PropertyVerdict {
             property: Property::Coalescing,
-            verdict: Verdict::Unknown,
+            verdict: Verdict::Proved,
             detail: format!(
-                "{stream_detail}; factor-row gathers target index-dependent rows — \
-                 unknown statically, degraded to the dynamic sanitizer"
+                "{stream_detail}; factor-row gathers certified within {} transactions \
+                 over {} calls (worst call {} ≤ {}× its ideal, any base, any indices)",
+                bounds.transactions, bounds.calls, bounds.worst_call, bounds.bound_factor
             ),
             counterexample: None,
         };
@@ -668,9 +686,20 @@ pub fn tune_filter(
     }
 }
 
+/// The [`KernelKind`] whose verdicts apply to a tuned operation.
+fn kernel_of(op: TensorOp) -> KernelKind {
+    match op {
+        TensorOp::SpTtm { .. } => KernelKind::SpTtm,
+        TensorOp::SpMttkrp { .. } => KernelKind::SpMttkrp,
+        TensorOp::SpTtmc { .. } => KernelKind::SpTtmc,
+    }
+}
+
 /// [`fcoo::tune`] with the analyzer's static pruning: same winner, strictly
 /// fewer simulated launches whenever the grid contains dominated points
-/// (recorded in [`TuneResult::pruned`]).
+/// (recorded in [`TuneResult::pruned`]). Launched pairs whose verdict
+/// matrix still contains an `Unknown` — i.e. the grid point degraded to the
+/// dynamic sanitizer — are reported in [`TuneResult::unknown`].
 pub fn tune_pruned(
     device: &GpuDevice,
     tensor: &SparseTensorCoo,
@@ -681,7 +710,213 @@ pub fn tune_pruned(
 ) -> TuneResult {
     let grid = block_sizes.unwrap_or(&fcoo::BLOCK_SIZES);
     let keep = tune_filter(device.config(), grid);
-    fcoo::tune_with_filter(device, tensor, op, rank, block_sizes, threadlens, keep)
+    let mut result =
+        fcoo::tune_with_filter(device, tensor, op, rank, block_sizes, threadlens, keep);
+    // Annotate residual uncertainty host-side, after the sweep, so the
+    // launch sequence (and thus every traced golden counter) is untouched.
+    let config = device.config();
+    let kernel = kernel_of(op);
+    let mut seen_threadlen = Vec::new();
+    for point in &result.surface {
+        if seen_threadlen.contains(&point.threadlen) {
+            continue;
+        }
+        seen_threadlen.push(point.threadlen);
+        let fcoo = Fcoo::from_coo(tensor, op, point.threadlen);
+        let flags = sanitizer::check_fcoo(&fcoo);
+        for p in result
+            .surface
+            .iter()
+            .filter(|p| p.threadlen == fcoo.threadlen)
+        {
+            let verdict = analyze_point(config, kernel, &fcoo, &flags, p.block_size, rank, grid);
+            if verdict.overall() == Verdict::Unknown {
+                result.unknown.push((p.block_size, p.threadlen));
+            }
+        }
+    }
+    result
+}
+
+/// One grid survivor's certified time envelope, as produced by
+/// [`tune_certified`].
+#[derive(Debug, Clone)]
+pub struct CertifiedPoint {
+    /// Threads per block.
+    pub block_size: usize,
+    /// Non-zeros per thread.
+    pub threadlen: usize,
+    /// Certified bounds on the launch's `KernelStats::time_us` (the
+    /// quantity the tuner minimizes).
+    pub time_us: cost::TimeBounds,
+}
+
+/// A tuning winner proven without a single trial launch: every other grid
+/// configuration was structurally pruned or envelope-dominated.
+#[derive(Debug, Clone)]
+pub struct CertifiedWinner {
+    /// Threads per block of the winning configuration.
+    pub block_size: usize,
+    /// Non-zeros per thread of the winning configuration.
+    pub threadlen: usize,
+    /// The winner's certified time envelope.
+    pub time_us: cost::TimeBounds,
+}
+
+/// Outcome of [`tune_certified`]: the certified envelopes, which grid
+/// points were ruled out statically, and either a zero-launch
+/// [`CertifiedWinner`] or the launched sweep over the surviving points.
+#[derive(Debug, Clone)]
+pub struct CertifiedTune {
+    /// Certified time envelope of every structurally-surviving grid point,
+    /// sweep order (threadlen-major).
+    pub envelopes: Vec<CertifiedPoint>,
+    /// Pairs removed by the structural filter (refuted launch shape or
+    /// provable warp dominance) — never certified, never launched.
+    pub pruned: Vec<(usize, usize)>,
+    /// Pairs eliminated by envelope dominance — their certified lower bound
+    /// exceeds another survivor's upper bound, so they cannot win. Zero
+    /// launches spent.
+    pub eliminated: Vec<(usize, usize)>,
+    /// Present exactly when one configuration dominates the whole grid: the
+    /// sweep is skipped entirely ([`CertifiedTune::tuned`] is `None`).
+    pub winner: Option<CertifiedWinner>,
+    /// The launched sweep over the surviving pairs, when more than one
+    /// survived (its [`TuneResult::pruned`] records both structurally- and
+    /// dominance-removed pairs; [`TuneResult::unknown`] the launched ones
+    /// whose envelope overlap forced a trial).
+    pub tuned: Option<TuneResult>,
+    /// Total grid points considered.
+    pub grid_points: usize,
+    /// Trial launches actually simulated.
+    pub launches: usize,
+}
+
+impl CertifiedTune {
+    /// The winning `(BLOCK_SIZE, threadlen)` pair, certified or launched.
+    pub fn best_pair(&self) -> (usize, usize) {
+        match (&self.winner, &self.tuned) {
+            (Some(w), _) => (w.block_size, w.threadlen),
+            (None, Some(t)) => t.best_pair(),
+            (None, None) => unreachable!("tune_certified always resolves a winner"),
+        }
+    }
+
+    /// Trial launches avoided versus an exhaustive sweep of the grid.
+    pub fn launches_avoided(&self) -> usize {
+        self.grid_points - self.launches
+    }
+}
+
+/// [`tune_pruned`] with certified dominance elimination: after the
+/// structural filter, every surviving grid point gets a certified
+/// `KernelStats::time_us` envelope from [`cost::certify`], and any point
+/// whose *lower* bound exceeds another survivor's *upper* bound is
+/// eliminated without a trial launch. Elimination is winner-preserving: the
+/// true cost of an eliminated point is ≥ its `lo`, which strictly exceeds
+/// the dominating point's `hi` ≥ that point's true cost. When a single
+/// survivor remains the sweep is skipped and the tuner returns a
+/// [`CertifiedWinner`] with **zero** launches.
+pub fn tune_certified(
+    device: &GpuDevice,
+    tensor: &SparseTensorCoo,
+    op: TensorOp,
+    rank: usize,
+    block_sizes: Option<&[usize]>,
+    threadlens: Option<&[usize]>,
+) -> CertifiedTune {
+    let config = device.config();
+    let grid_b = block_sizes.unwrap_or(&fcoo::BLOCK_SIZES);
+    let grid_t = threadlens.unwrap_or(&fcoo::THREADLENS);
+    let keep = tune_filter(config, grid_b);
+    let mut pruned = Vec::new();
+    let mut envelopes = Vec::new();
+    for &threadlen in grid_t {
+        let fcoo = Fcoo::from_coo(tensor, op, threadlen);
+        for &block_size in grid_b {
+            if !keep(&fcoo, block_size) {
+                pruned.push((block_size, threadlen));
+                continue;
+            }
+            let cfg = fcoo::LaunchConfig::with_block_size(block_size);
+            let envelope = cost::certify(config, &fcoo, rank, &cfg);
+            envelopes.push(CertifiedPoint {
+                block_size,
+                threadlen,
+                time_us: envelope.stats_time_us(),
+            });
+        }
+    }
+    // A survivor is eliminated iff some other survivor's upper bound sits
+    // strictly below its lower bound. Comparing against the grid-wide
+    // minimum upper bound implements exactly that: the minimizing point can
+    // never eliminate itself (lo ≤ hi).
+    let min_hi = envelopes
+        .iter()
+        .map(|p| p.time_us.hi)
+        .fold(f64::INFINITY, f64::min);
+    let eliminated: Vec<(usize, usize)> = envelopes
+        .iter()
+        .filter(|p| p.time_us.lo > min_hi)
+        .map(|p| (p.block_size, p.threadlen))
+        .collect();
+    let survivors: Vec<(usize, usize)> = envelopes
+        .iter()
+        .filter(|p| p.time_us.lo <= min_hi)
+        .map(|p| (p.block_size, p.threadlen))
+        .collect();
+    let grid_points = grid_b.len() * grid_t.len();
+    assert!(
+        !survivors.is_empty(),
+        "certified elimination must keep at least one configuration"
+    );
+    if let [(block_size, threadlen)] = survivors[..] {
+        let time_us = envelopes
+            .iter()
+            .find(|p| (p.block_size, p.threadlen) == (block_size, threadlen))
+            .expect("survivor was certified")
+            .time_us;
+        return CertifiedTune {
+            envelopes,
+            pruned,
+            eliminated,
+            winner: Some(CertifiedWinner {
+                block_size,
+                threadlen,
+                time_us,
+            }),
+            tuned: None,
+            grid_points,
+            launches: 0,
+        };
+    }
+    let keep_launch = move |fcoo: &Fcoo, block_size: usize| {
+        keep(fcoo, block_size) && survivors.contains(&(block_size, fcoo.threadlen))
+    };
+    let mut tuned = fcoo::tune_with_filter(
+        device,
+        tensor,
+        op,
+        rank,
+        block_sizes,
+        threadlens,
+        keep_launch,
+    );
+    tuned.unknown = tuned
+        .surface
+        .iter()
+        .map(|p| (p.block_size, p.threadlen))
+        .collect();
+    let launches = tuned.surface.len();
+    CertifiedTune {
+        envelopes,
+        pruned,
+        eliminated,
+        winner: None,
+        tuned: Some(tuned),
+        grid_points,
+        launches,
+    }
 }
 
 /// Load-time gate for persisted serving plans: re-checks the *correctness*
@@ -802,7 +1037,7 @@ mod tests {
     }
 
     #[test]
-    fn unified_kernels_prove_structure_and_defer_gathers() {
+    fn unified_kernels_prove_structure_and_certify_gathers() {
         let config = DeviceConfig::titan_x();
         let analysis = analyze_tensor(
             &config,
@@ -826,7 +1061,19 @@ mod tests {
             assert_eq!(by(Property::BarrierConvergence), Verdict::Proved);
             assert_eq!(by(Property::SegmentFlags), Verdict::Proved);
             assert_eq!(by(Property::AtomicConfinement), Verdict::Proved);
-            assert_eq!(by(Property::Coalescing), Verdict::Unknown);
+            // Previously Unknown: the cost interpreter now certifies the
+            // factor-gather traffic envelope from the header alone.
+            assert_eq!(by(Property::Coalescing), Verdict::Proved);
+            let gather = c
+                .properties
+                .iter()
+                .find(|p| p.property == Property::Coalescing)
+                .expect("coalescing decided");
+            assert!(
+                gather.detail.contains("certified within"),
+                "{}",
+                gather.detail
+            );
         }
         // The grid contains dominated points on this tensor, and each
         // refutation carries its concrete dead-warp witness.
@@ -903,6 +1150,84 @@ mod tests {
                 gate_violations(&config, &tensor, &analysis),
                 Vec::<String>::new()
             );
+        }
+    }
+
+    #[test]
+    fn certified_tuning_preserves_the_exhaustive_winner() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let op = TensorOp::SpMttkrp { mode: 0 };
+        let exhaustive = fcoo::tune(&device, &tensor, op, 8, None, None);
+        let certified = tune_certified(&device, &tensor, op, 8, None, None);
+        assert_eq!(certified.best_pair(), exhaustive.best_pair());
+        assert_eq!(certified.grid_points, 36);
+        assert_eq!(
+            certified.launches + certified.launches_avoided(),
+            certified.grid_points
+        );
+        // Structural pruning alone removes dominated points on this tensor,
+        // so the certified sweep must launch strictly less than the grid.
+        assert!(certified.launches < certified.grid_points);
+        // Every pair is accounted for exactly once.
+        let mut all: Vec<(usize, usize)> = certified
+            .envelopes
+            .iter()
+            .filter(|p| !certified.eliminated.contains(&(p.block_size, p.threadlen)))
+            .map(|p| (p.block_size, p.threadlen))
+            .chain(certified.pruned.iter().copied())
+            .chain(certified.eliminated.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), certified.grid_points);
+    }
+
+    #[test]
+    fn single_survivor_grid_returns_a_zero_launch_certified_winner() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let op = TensorOp::SpMttkrp { mode: 0 };
+        // One grid point trivially dominates itself: the certifier must
+        // resolve it without simulating anything.
+        let certified = tune_certified(&device, &tensor, op, 8, Some(&[128]), Some(&[8]));
+        let winner = certified.winner.as_ref().expect("zero-launch winner");
+        assert_eq!((winner.block_size, winner.threadlen), (128, 8));
+        assert_eq!(certified.launches, 0);
+        assert!(certified.tuned.is_none());
+        assert_eq!(certified.best_pair(), (128, 8));
+        // The certificate agrees with what a real launch would cost.
+        let launched = fcoo::tune(&device, &tensor, op, 8, Some(&[128]), Some(&[8]));
+        assert!(
+            winner.time_us.contains(launched.best.time_us),
+            "certified [{}, {}] vs launched {}",
+            winner.time_us.lo,
+            winner.time_us.hi,
+            launched.best.time_us
+        );
+    }
+
+    #[test]
+    fn pruned_tuning_reports_residual_unknowns() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let result = tune_pruned(
+            &device,
+            &tensor,
+            TensorOp::SpMttkrp { mode: 0 },
+            8,
+            None,
+            None,
+        );
+        // Every unknown pair was actually launched, never pruned.
+        let launched: Vec<(usize, usize)> = result
+            .surface
+            .iter()
+            .map(|p| (p.block_size, p.threadlen))
+            .collect();
+        for pair in &result.unknown {
+            assert!(launched.contains(pair), "{pair:?} not launched");
+            assert!(!result.pruned.contains(pair), "{pair:?} also pruned");
         }
     }
 

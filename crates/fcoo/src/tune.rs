@@ -39,6 +39,12 @@ pub struct TuneResult {
     /// `(block_size, threadlen)` pairs the keep-filter removed before any
     /// launch was simulated (empty for unfiltered [`tune`]).
     pub pruned: Vec<(usize, usize)>,
+    /// `(block_size, threadlen)` pairs that were launched because a static
+    /// verdict stayed `Unknown` — i.e. the analyzer degraded to the dynamic
+    /// sanitizer for them. The sweep itself never fills this; callers with a
+    /// static model (see `analyzer::tune_pruned`) annotate it so the grid's
+    /// residual uncertainty is visible next to the prune count.
+    pub unknown: Vec<(usize, usize)>,
 }
 
 impl TuneResult {
@@ -130,6 +136,7 @@ pub fn tune_with_filter(
         surface,
         best,
         pruned,
+        unknown: Vec::new(),
     }
 }
 

@@ -11,16 +11,22 @@
 //! makespan and overlap efficiency the serve layer and `tensortool
 //! oocbench` report.
 //!
-//! The crate deliberately depends only on `fcoo`/`gpu-sim`/`tensor-core`:
-//! the serve engine composes these pieces with its own admission,
-//! reservation and fault machinery (`crates/serve`), and the bench CLI
-//! drives them standalone.
+//! The execution path deliberately depends only on
+//! `fcoo`/`gpu-sim`/`tensor-core`: the serve engine composes these pieces
+//! with its own admission, reservation and fault machinery
+//! (`crates/serve`), and the bench CLI drives them standalone. On top of
+//! it, [`bound`] pulls in the analyzer's cost interpreter to certify a
+//! whole-pipeline counter envelope for any chunk plan before it runs —
+//! the bound `tensortool oocbench` checks every streamed execution
+//! against.
 
 #![warn(missing_docs)]
 
+pub mod bound;
 pub mod executor;
 pub mod pipeline;
 
+pub use bound::{check_run, pipeline_envelope};
 pub use executor::{output_cols, run_chunk, run_chunked, Accumulator, ChunkReport, ChunkedRun};
 pub use fcoo::chunk::{extract, split, ChunkDescriptor, ChunkPlan};
 pub use pipeline::{

@@ -24,8 +24,14 @@
 //!    segment heads if stray bits sat beyond `nnz` (in `bf`) or beyond the
 //!    partition count (in `sf`). Flag construction via `set` cannot produce
 //!    them; serialization or hand-built flags can.
+//!
+//! [`check_chunk_plan`] extends the lint to out-of-core chunk plans: every
+//! chunk boundary must be partition-aligned, its carry flags must mirror
+//! the parent format's start flags, and the per-chunk segment windows must
+//! chain exactly through `partition_first_segment`.
 
 use crate::{Finding, Pass, Report, Severity};
+use fcoo::chunk::ChunkPlan;
 use fcoo::Fcoo;
 
 fn error(report: &mut Report, message: String) {
@@ -219,6 +225,212 @@ pub fn check_fcoo(fcoo: &Fcoo) -> Report {
     report
 }
 
+/// Validates a chunk plan against the F-COO tensor it partitions: the
+/// out-of-core executor's carry-row seeding is only correct when every
+/// chunk boundary is consistent with the parent format's flags.
+///
+/// Checked invariants, in dependency order:
+///
+/// 1. chunks are indexed in order and chain without gaps — each chunk
+///    starts at the partition/non-zero where its predecessor ended, the
+///    first starts at zero, and the last covers the remaining partitions
+///    and non-zeros;
+/// 2. every chunk begins on a partition boundary
+///    (`nnz_start == partition_start · threadlen`);
+/// 3. each boundary's carry flag mirrors the parent's start flag: a chunk
+///    may declare no incoming carry exactly when it starts at a partition
+///    whose `sf` flag is set (its first non-zero opens a fresh segment);
+///    otherwise its first rows continue the previous chunk's last output
+///    row and `carry_in` must say so. The first chunk never carries in,
+///    the last never carries out, and adjacent chunks must agree
+///    (`carry_out == carry_in` across the boundary);
+/// 4. segment windows chain: `seg_base` equals the parent's
+///    `partition_first_segment` at the boundary minus the carried segment,
+///    each successor starts `segments − carry_out` past its predecessor,
+///    and the last window ends at the parent's total segment count.
+pub fn check_chunk_plan(fcoo: &Fcoo, plan: &ChunkPlan) -> Report {
+    let mut report = Report::default();
+    let partitions = fcoo.partitions();
+    let nnz = fcoo.nnz();
+
+    if plan.chunks.is_empty() {
+        error(&mut report, "chunk plan holds no chunks".to_owned());
+        return report;
+    }
+
+    // 1 & 2. Ordering, chaining and partition alignment. Any violation
+    // here makes the flag lookups below meaningless, so bail out early.
+    let mut chained = true;
+    for (i, chunk) in plan.chunks.iter().enumerate() {
+        if chunk.index != i {
+            error(
+                &mut report,
+                format!("chunk {i} carries index {}", chunk.index),
+            );
+            chained = false;
+        }
+        if chunk.nnz_start != chunk.partition_start * fcoo.threadlen {
+            error(
+                &mut report,
+                format!(
+                    "chunk {i} starts at non-zero {} but partition {} begins at \
+                     non-zero {}: chunk boundaries must be partition-aligned",
+                    chunk.nnz_start,
+                    chunk.partition_start,
+                    chunk.partition_start * fcoo.threadlen
+                ),
+            );
+            chained = false;
+        }
+    }
+    let first = &plan.chunks[0];
+    if first.partition_start != 0 || first.nnz_start != 0 {
+        error(
+            &mut report,
+            format!(
+                "first chunk starts at partition {} / non-zero {}, not the origin",
+                first.partition_start, first.nnz_start
+            ),
+        );
+        chained = false;
+    }
+    for pair in plan.chunks.windows(2) {
+        let (prev, next) = (&pair[0], &pair[1]);
+        if next.partition_start != prev.partition_start + prev.partitions
+            || next.nnz_start != prev.nnz_start + prev.nnz
+        {
+            error(
+                &mut report,
+                format!(
+                    "chunk {} starts at partition {} / non-zero {}, but chunk {} \
+                     ends at partition {} / non-zero {}: chunks must chain without \
+                     gaps or overlap",
+                    next.index,
+                    next.partition_start,
+                    next.nnz_start,
+                    prev.index,
+                    prev.partition_start + prev.partitions,
+                    prev.nnz_start + prev.nnz
+                ),
+            );
+            chained = false;
+        }
+    }
+    let last = plan.chunks.last().expect("plan is non-empty");
+    if last.partition_start + last.partitions != partitions || last.nnz_start + last.nnz != nnz {
+        error(
+            &mut report,
+            format!(
+                "last chunk ends at partition {} / non-zero {}, but the format \
+                 holds {partitions} partitions / {nnz} non-zeros",
+                last.partition_start + last.partitions,
+                last.nnz_start + last.nnz
+            ),
+        );
+        chained = false;
+    }
+    if !chained {
+        return report;
+    }
+
+    // 3. Carry flags vs. the parent's start flags at each boundary.
+    if first.carry_in {
+        error(
+            &mut report,
+            "first chunk declares an incoming carry row".to_owned(),
+        );
+    }
+    if last.carry_out {
+        error(
+            &mut report,
+            "last chunk declares an outgoing carry row".to_owned(),
+        );
+    }
+    for pair in plan.chunks.windows(2) {
+        let (prev, next) = (&pair[0], &pair[1]);
+        if prev.carry_out != next.carry_in {
+            error(
+                &mut report,
+                format!(
+                    "chunk {} carries out {} but chunk {} carries in {}: the carry \
+                     row must be consistent across the boundary",
+                    prev.index, prev.carry_out, next.index, next.carry_in
+                ),
+            );
+        }
+    }
+    for chunk in &plan.chunks {
+        if chunk.partition_start >= fcoo.sf.len() {
+            continue; // length mismatches are check_fcoo's findings
+        }
+        let starts_fresh = fcoo.sf.get(chunk.partition_start);
+        if chunk.carry_in == starts_fresh {
+            error(
+                &mut report,
+                format!(
+                    "chunk {} boundary at partition {} has sf {} but declares \
+                     carry_in {}: a chunk continues the previous output row exactly \
+                     when its first partition does not start a segment",
+                    chunk.index, chunk.partition_start, starts_fresh, chunk.carry_in
+                ),
+            );
+        }
+    }
+
+    // 4. Segment windows chain through the parent's partition pointers.
+    for chunk in &plan.chunks {
+        let Some(&heads_before) = fcoo.partition_first_segment.get(chunk.partition_start) else {
+            continue;
+        };
+        let expected = (heads_before as usize).saturating_sub(usize::from(chunk.carry_in));
+        if chunk.seg_base != expected {
+            error(
+                &mut report,
+                format!(
+                    "chunk {} window starts at segment {}, but {} segment heads \
+                     precede partition {} and the carry claims {}: expected {expected}",
+                    chunk.index,
+                    chunk.seg_base,
+                    heads_before,
+                    chunk.partition_start,
+                    usize::from(chunk.carry_in)
+                ),
+            );
+        }
+    }
+    for pair in plan.chunks.windows(2) {
+        let (prev, next) = (&pair[0], &pair[1]);
+        let expected = prev.seg_base + prev.segments - usize::from(prev.carry_out);
+        if next.seg_base != expected {
+            error(
+                &mut report,
+                format!(
+                    "chunk {} window starts at segment {}, but chunk {}'s window \
+                     ({} segments from {}, carry_out {}) ends at {expected}",
+                    next.index,
+                    next.seg_base,
+                    prev.index,
+                    prev.segments,
+                    prev.seg_base,
+                    prev.carry_out
+                ),
+            );
+        }
+    }
+    if last.seg_base + last.segments != fcoo.segments() {
+        error(
+            &mut report,
+            format!(
+                "last chunk's window ends at segment {}, but the format holds {}",
+                last.seg_base + last.segments,
+                fcoo.segments()
+            ),
+        );
+    }
+
+    report
+}
+
 /// Checks that the packed bits beyond flag `len` in the final byte of
 /// `bytes` are clear: a stray bit there is a ghost segment head inside the
 /// padded tail of the final partition.
@@ -392,6 +604,103 @@ mod tests {
         assert_eq!(fcoo.nnz() % 8, 0);
         assert_eq!(fcoo.partitions() % 8, 0);
         assert!(check_fcoo(&fcoo).is_clean());
+    }
+
+    #[test]
+    fn split_chunk_plans_are_accepted() {
+        let tensor = sample_tensor();
+        for threadlen in [1, 2, 4] {
+            let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, threadlen);
+            for divisor in [1, 2, 3, 5] {
+                let budget = (fcoo.storage().total_bytes() / divisor).max(1);
+                let plan = fcoo::chunk::split(&fcoo, budget);
+                let report = check_chunk_plan(&fcoo, &plan);
+                assert!(
+                    report.is_clean(),
+                    "threadlen {threadlen} divisor {divisor}: {report}"
+                );
+            }
+        }
+    }
+
+    fn multi_chunk_plan() -> (Fcoo, fcoo::chunk::ChunkPlan) {
+        let fcoo = Fcoo::from_coo(&sample_tensor(), TensorOp::SpMttkrp { mode: 0 }, 4);
+        let plan = fcoo::chunk::split(&fcoo, (fcoo.storage().total_bytes() / 3).max(1));
+        assert!(plan.len() >= 2, "need a multi-chunk plan");
+        (fcoo, plan)
+    }
+
+    #[test]
+    fn inconsistent_boundary_carry_is_rejected() {
+        let (fcoo, mut plan) = multi_chunk_plan();
+        plan.chunks[1].carry_in = !plan.chunks[1].carry_in;
+        let report = check_chunk_plan(&fcoo, &plan);
+        assert!(report.error_count() > 0);
+        assert!(
+            report.findings.iter().any(|f| f.message.contains("carry")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn unaligned_chunk_boundary_is_rejected() {
+        let (fcoo, mut plan) = multi_chunk_plan();
+        plan.chunks[1].partition_start += 1;
+        let report = check_chunk_plan(&fcoo, &plan);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("partition-aligned")
+                    || f.message.contains("chain without")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn corrupted_segment_window_is_rejected() {
+        let (fcoo, mut plan) = multi_chunk_plan();
+        plan.chunks[1].seg_base += 1;
+        let report = check_chunk_plan(&fcoo, &plan);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("window starts at segment")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn trailing_carry_out_is_rejected() {
+        let (fcoo, mut plan) = multi_chunk_plan();
+        let last = plan.chunks.len() - 1;
+        plan.chunks[last].carry_out = true;
+        let report = check_chunk_plan(&fcoo, &plan);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("outgoing carry")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn empty_chunk_plan_is_rejected() {
+        let fcoo = Fcoo::from_coo(&sample_tensor(), TensorOp::SpTtm { mode: 2 }, 4);
+        let plan = fcoo::chunk::ChunkPlan {
+            budget_bytes: 0,
+            chunks: Vec::new(),
+        };
+        let report = check_chunk_plan(&fcoo, &plan);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("no chunks")),
+            "{report}"
+        );
     }
 
     #[test]

@@ -11,17 +11,23 @@
 //! versioned header carrying the tuned block size, so a restarted server
 //! warms itself from disk instead of re-preprocessing ("warm restart").
 //!
-//! Two static-analyzer hooks guard the cache. Plan builds tune with
+//! Three static-analyzer hooks guard the cache. Plan builds tune with
 //! [`analyzer::tune_pruned`], which drops provably-dominated grid points
 //! before any trial launch (same winner, fewer launches). Disk loads pass
 //! the decoded plan through [`analyzer::plan_report`]: a persisted plan
 //! whose tuned configuration is *refuted* — launch shape outside the device
 //! limits, inconsistent segment flags — is rejected and rebuilt instead of
-//! replayed into a panic or a wrong answer.
+//! replayed into a panic or a wrong answer. And every built plan carries a
+//! [`PlanCertificate`] — the certified `time_us` envelope the cost
+//! interpreter derives for the tuned configuration — persisted in the
+//! header and re-derived from the decoded format at load time: a plan whose
+//! stored certificate no longer matches its own bytes (bit-rot, a tampered
+//! header pointing at a different-but-valid configuration, or a cost-model
+//! upgrade since the file was written) is refused and rebuilt.
 
 use crate::fingerprint::Fnv1a;
-use fcoo::{ChunkPlan, Fcoo, TensorOp, TuneResult};
-use gpu_sim::GpuDevice;
+use fcoo::{ChunkPlan, Fcoo, LaunchConfig, TensorOp, TuneResult};
+use gpu_sim::{DeviceConfig, GpuDevice};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::path::PathBuf;
@@ -30,7 +36,9 @@ use tensor_core::SparseTensorCoo;
 
 /// Magic bytes of a persisted plan file (header before the F-COO stream).
 const PLAN_MAGIC: &[u8; 4] = b"SPLN";
-const PLAN_VERSION: u32 = 1;
+/// Version 2 appended the [`PlanCertificate`] to the header; version-1
+/// files (no certificate) are refused and rebuilt.
+const PLAN_VERSION: u32 = 2;
 
 /// The default `(BLOCK_SIZE)` grid a serving plan build sweeps — a subset of
 /// the paper's Fig. 5 grid, chosen to keep tail latency of cold requests
@@ -98,6 +106,50 @@ impl PlanKey {
     }
 }
 
+/// The certified cost envelope persisted alongside a tuned configuration:
+/// the analyzer's `[lo, hi]` bounds on the plan's `KernelStats::time_us`,
+/// derived from the F-COO headers alone ([`analyzer::cost::certify`]).
+///
+/// The certificate is a pure function of `(format headers, block_size,
+/// rank, device)`, so a load-time re-derivation over the decoded bytes must
+/// reproduce it bit for bit. A mismatch means the file no longer describes
+/// the configuration it was certified for — corrupted payload, a tampered
+/// header pointing at a *different but individually valid* configuration,
+/// or a cost model newer than the file — and the plan is rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCertificate {
+    /// Certified lower bound on the tuned launch's `time_us`.
+    pub time_lo_us: f64,
+    /// Certified upper bound on the tuned launch's `time_us`.
+    pub time_hi_us: f64,
+}
+
+impl PlanCertificate {
+    /// Derives the certificate for `fcoo` at `block_size`/`rank` on the
+    /// device model `config`. Host-side header arithmetic only.
+    pub fn derive(
+        config: &DeviceConfig,
+        fcoo: &Fcoo,
+        rank: usize,
+        block_size: usize,
+    ) -> PlanCertificate {
+        let cfg = LaunchConfig::with_block_size(block_size);
+        let bounds = analyzer::cost::certify(config, fcoo, rank, &cfg).stats_time_us();
+        PlanCertificate {
+            time_lo_us: bounds.lo,
+            time_hi_us: bounds.hi,
+        }
+    }
+
+    /// Bit-exact equality — the load-time validation predicate. (`f64`
+    /// comparison by bit pattern: the re-derivation runs the same exact
+    /// integer fold, so even `-0.0` vs `0.0` drift counts as a mismatch.)
+    pub fn matches(&self, other: &PlanCertificate) -> bool {
+        self.time_lo_us.to_bits() == other.time_lo_us.to_bits()
+            && self.time_hi_us.to_bits() == other.time_hi_us.to_bits()
+    }
+}
+
 /// A reusable execution plan: preprocessed format plus tuned launch shape.
 #[derive(Debug)]
 pub struct Plan {
@@ -107,6 +159,8 @@ pub struct Plan {
     pub fcoo: Arc<Fcoo>,
     /// Tuned threads-per-block.
     pub block_size: usize,
+    /// The certified cost envelope of the tuned configuration.
+    pub certificate: PlanCertificate,
 }
 
 impl Plan {
@@ -152,6 +206,10 @@ pub struct PlanCacheStats {
     /// Persisted plans refused at load time because the static analyzer
     /// refuted their tuned configuration (each such lookup rebuilds).
     pub refuted_loads: u64,
+    /// Persisted plans refused at load time because the stored cost
+    /// certificate did not match the one re-derived from the decoded bytes
+    /// (each such lookup rebuilds).
+    pub certificate_mismatches: u64,
     /// Out-of-core chunk plans split from scratch (one per new
     /// `(plan, budget)` pair the engine asked for).
     pub chunk_builds: u64,
@@ -281,10 +339,13 @@ impl PlanCache {
         let tuned = self.tune(key, tensor, device);
         let (block_size, threadlen) = tuned.best_pair();
         let fcoo = Fcoo::from_coo(tensor, key.op(), threadlen);
+        let certificate =
+            PlanCertificate::derive(device.config(), &fcoo, key.rank as usize, block_size);
         let plan = Arc::new(Plan {
             key,
             fcoo: Arc::new(fcoo),
             block_size,
+            certificate,
         });
         self.stats.builds += 1;
         self.stats.build_ms += Self::modeled_build_ms(tensor.nnz(), &tuned);
@@ -336,7 +397,9 @@ impl PlanCache {
             .write_all(PLAN_MAGIC)
             .and_then(|_| w.write_all(&PLAN_VERSION.to_le_bytes()))
             .and_then(|_| w.write_all(&(plan.block_size as u32).to_le_bytes()))
-            .and_then(|_| w.write_all(&plan.key.rank.to_le_bytes()));
+            .and_then(|_| w.write_all(&plan.key.rank.to_le_bytes()))
+            .and_then(|_| w.write_all(&plan.certificate.time_lo_us.to_le_bytes()))
+            .and_then(|_| w.write_all(&plan.certificate.time_hi_us.to_le_bytes()));
         if header_ok.is_err() || fcoo::write_fcoo(&plan.fcoo, &mut w).is_err() {
             drop(w);
             std::fs::remove_file(&path).ok();
@@ -349,7 +412,11 @@ impl PlanCache {
     /// tuned configuration the static analyzer refutes against `device` is
     /// likewise refused (counted in [`PlanCacheStats::refuted_loads`]): a
     /// header promising block size 2048 would otherwise decode fine here and
-    /// panic inside the launch asserts later.
+    /// panic inside the launch asserts later. Finally the stored
+    /// [`PlanCertificate`] is validated against a re-derivation over the
+    /// decoded bytes — the certificate gate catches tampering the boolean
+    /// gate cannot, e.g. a header rewritten to a *different but valid* block
+    /// size (counted in [`PlanCacheStats::certificate_mismatches`]).
     fn load(&mut self, key: PlanKey, device: &GpuDevice) -> Option<Plan> {
         let dir = self.dir.as_ref()?;
         let file = std::fs::File::open(dir.join(key.file_name())).ok()?;
@@ -368,6 +435,15 @@ impl PlanCache {
         let block_size = u32::from_le_bytes(word) as usize;
         r.read_exact(&mut word).ok()?;
         let rank = u32::from_le_bytes(word);
+        let mut wide = [0u8; 8];
+        r.read_exact(&mut wide).ok()?;
+        let time_lo_us = f64::from_le_bytes(wide);
+        r.read_exact(&mut wide).ok()?;
+        let time_hi_us = f64::from_le_bytes(wide);
+        let stored = PlanCertificate {
+            time_lo_us,
+            time_hi_us,
+        };
         let fcoo = fcoo::read_fcoo(&mut r).ok()?;
         if rank != key.rank || fcoo.op != key.op() {
             return None;
@@ -376,10 +452,16 @@ impl PlanCache {
             self.stats.refuted_loads += 1;
             return None;
         }
+        let derived = PlanCertificate::derive(device.config(), &fcoo, rank as usize, block_size);
+        if !stored.matches(&derived) {
+            self.stats.certificate_mismatches += 1;
+            return None;
+        }
         Some(Plan {
             key,
             fcoo: Arc::new(fcoo),
             block_size,
+            certificate: derived,
         })
     }
 }
@@ -478,6 +560,53 @@ mod tests {
         assert_eq!(plan.block_size, 64);
         assert_eq!(warm.stats().refuted_loads, 1);
         assert_eq!(warm.stats().disk_hits, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_but_valid_block_size_fails_the_certificate_gate() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let key = key_for(&tensor);
+        let dir = std::env::temp_dir().join("serve_plan_test_certificate");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cold = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[8]);
+        let (built, source) = cold.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        assert_eq!(built.block_size, 64);
+        // Rewrite the header's block size to 128 — individually a perfectly
+        // valid configuration, so the boolean plan gate accepts it. Only the
+        // certificate (derived for block 64) exposes the swap.
+        let path = dir.join(key.file_name());
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&128u32.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let mut warm = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[8]);
+        let (plan, source) = warm.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        assert_eq!(plan.block_size, 64);
+        assert_eq!(warm.stats().certificate_mismatches, 1);
+        assert_eq!(warm.stats().refuted_loads, 0);
+        assert_eq!(warm.stats().disk_hits, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persisted_certificates_round_trip_and_validate() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let key = key_for(&tensor);
+        let dir = std::env::temp_dir().join("serve_plan_test_cert_roundtrip");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cold = PlanCache::new(Some(dir.clone())).with_grids(&[64, 128], &[8, 16]);
+        let (built, _) = cold.get_or_build(key, &tensor, &device);
+        let mut warm = PlanCache::new(Some(dir.clone())).with_grids(&[64, 128], &[8, 16]);
+        let (loaded, source) = warm.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Disk);
+        assert!(loaded.certificate.matches(&built.certificate));
+        assert!(loaded.certificate.time_lo_us <= loaded.certificate.time_hi_us);
+        assert!(loaded.certificate.time_lo_us > 0.0);
+        assert_eq!(warm.stats().certificate_mismatches, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -39,9 +39,13 @@ fn run(args: &[String]) -> Result<String, String> {
             let nnz = parse_usize(nnz, "nnz")?;
             cli::generate(kind, nnz, Path::new(out)).map_err(|e| e.to_string())
         }
-        "spttm" | "mttkrp" | "bench" | "analyze" => {
-            let [_, path, mode, rank] = args else {
-                return Err(format!("{command} needs <file.tns> <mode> <rank>"));
+        "spttm" | "mttkrp" | "bench" | "analyze" | "certify" => {
+            let (path, mode, rank, out) = match args {
+                [_, path, mode, rank] => (path, mode, rank, None),
+                [_, path, mode, rank, out] if command == "certify" => {
+                    (path, mode, rank, Some(Path::new(out.as_str())))
+                }
+                _ => return Err(format!("{command} needs <file.tns> <mode> <rank>")),
             };
             let tensor = cli::load(Path::new(path)).map_err(|e| e.to_string())?;
             let mode = parse_usize(mode, "mode")?
@@ -52,6 +56,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 "spttm" => cli::spttm(&tensor, mode, rank),
                 "mttkrp" => cli::mttkrp(&tensor, mode, rank),
                 "analyze" => cli::analyze(&tensor, mode, rank),
+                "certify" => cli::certify(&tensor, mode, rank, out),
                 _ => cli::bench(&tensor, mode, rank),
             };
             result.map_err(|e| e.to_string())

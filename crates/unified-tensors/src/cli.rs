@@ -403,10 +403,14 @@ pub fn analyze(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<Str
         out.push('\n');
         violations.extend(crate::analyzer::gate_violations(config, tensor, analysis));
     }
+    // Residual uncertainty next to the prune count: grid points no static
+    // property could decide fall through to the dynamic sanitizer.
+    let unknown: usize = analyses.iter().map(|a| a.tally().2).sum();
     if violations.is_empty() {
         let _ = writeln!(
             out,
-            "gate: every refuted configuration is pruned before launch"
+            "gate: every refuted configuration is pruned before launch \
+             ({unknown} grid points stay unknown -> dynamic sanitizer)"
         );
         Ok(out)
     } else {
@@ -415,6 +419,188 @@ pub fn analyze(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<Str
         }
         Err(err(out))
     }
+}
+
+/// `tensortool certify <file.tns> <mode> <rank> [out.json]` — certified
+/// cost-bound tuning: derive a provable `[lo, hi]` envelope on
+/// `KernelStats::time_us` for every grid configuration of the unified
+/// SpTTM and SpMTTKRP kernels from the F-COO headers alone, eliminate
+/// every configuration whose certified lower bound exceeds another's upper
+/// bound with **zero** trial launches, and print the envelope matrix plus
+/// the launches-avoided count. Two gates then cross-check the certificates
+/// against reality — every exhaustively measured trial time must lie
+/// within its envelope, and the certified winner must match the winner of
+/// the full launched sweep — and the command exits non-zero if either
+/// fails. With an output path, writes the deterministic
+/// `BENCH_certify.json` trajectory point (trial launches avoided per
+/// grid).
+pub fn certify(
+    tensor: &SparseTensorCoo,
+    mode: usize,
+    rank: usize,
+    out_path: Option<&Path>,
+) -> Result<String, CliError> {
+    check_mode(tensor, mode)?;
+    let mut out = String::new();
+    let mut violations: Vec<String> = Vec::new();
+    let mut grid_rows = String::new();
+    for (label, op) in [
+        ("SpTTM", TensorOp::SpTtm { mode }),
+        ("SpMTTKRP", TensorOp::SpMttkrp { mode }),
+    ] {
+        let certified =
+            crate::analyzer::tune_certified(&GpuDevice::titan_x(), tensor, op, rank, None, None);
+        let _ = writeln!(
+            out,
+            "{label} (mode {}, rank {}): {} grid points — {} pruned, {} dominated, \
+             {} launched, {} trial launches avoided",
+            mode + 1,
+            rank,
+            certified.grid_points,
+            certified.pruned.len(),
+            certified.eliminated.len(),
+            certified.launches,
+            certified.launches_avoided(),
+        );
+        let _ = write!(out, "  T\\B ");
+        for b in &crate::fcoo::BLOCK_SIZES {
+            let _ = write!(out, "{b:>16}");
+        }
+        let _ = writeln!(out);
+        for &t in &crate::fcoo::THREADLENS {
+            let _ = write!(out, "{t:>5} ");
+            for &b in &crate::fcoo::BLOCK_SIZES {
+                let cell = if certified.pruned.contains(&(b, t)) {
+                    "pruned".to_string()
+                } else if certified.eliminated.contains(&(b, t)) {
+                    "dominated".to_string()
+                } else if let Some(p) = certified
+                    .envelopes
+                    .iter()
+                    .find(|p| (p.block_size, p.threadlen) == (b, t))
+                {
+                    format!("{:.1}..{:.1}", p.time_us.lo, p.time_us.hi)
+                } else {
+                    "-".to_string()
+                };
+                let _ = write!(out, "{cell:>16}");
+            }
+            let _ = writeln!(out);
+        }
+        let min_hi = certified
+            .envelopes
+            .iter()
+            .map(|p| p.time_us.hi)
+            .fold(f64::INFINITY, f64::min);
+        for p in &certified.envelopes {
+            if certified.eliminated.contains(&(p.block_size, p.threadlen)) {
+                let _ = writeln!(
+                    out,
+                    "  dominated ({}, T={}): certified lower bound {:.1} µs exceeds the \
+                     grid's best-case upper bound {:.1} µs — cannot win, never launched",
+                    p.block_size, p.threadlen, p.time_us.lo, min_hi
+                );
+            }
+        }
+        let (wb, wt) = certified.best_pair();
+        let winner_bounds = certified
+            .envelopes
+            .iter()
+            .find(|p| (p.block_size, p.threadlen) == (wb, wt))
+            .expect("the winner survived certification")
+            .time_us;
+        match (&certified.winner, &certified.tuned) {
+            (Some(_), _) => {
+                let _ = writeln!(
+                    out,
+                    "  winner: B={wb} T={wt} — certified with zero launches, \
+                     time in [{:.1}, {:.1}] µs",
+                    winner_bounds.lo, winner_bounds.hi
+                );
+            }
+            (None, Some(tuned)) => {
+                let _ = writeln!(
+                    out,
+                    "  winner: B={wb} T={wt} — {:.1} µs measured; envelopes overlapped \
+                     on {} configurations, so those were launched",
+                    tuned.best.time_us,
+                    tuned.unknown.len()
+                );
+            }
+            (None, None) => unreachable!("tune_certified always resolves a winner"),
+        }
+        // Cross-check against an exhaustive launched sweep on a fresh
+        // device: the certificates must contain every measured time, and
+        // skipping launches must not have changed the winner.
+        let exhaustive = crate::fcoo::tune(&GpuDevice::titan_x(), tensor, op, rank, None, None);
+        if exhaustive.best_pair() != (wb, wt) {
+            let (eb, et) = exhaustive.best_pair();
+            violations.push(format!(
+                "{label}: certified winner B={wb} T={wt} disagrees with the \
+                 exhaustive sweep's B={eb} T={et}"
+            ));
+        }
+        for point in &exhaustive.surface {
+            if let Some(p) = certified
+                .envelopes
+                .iter()
+                .find(|p| (p.block_size, p.threadlen) == (point.block_size, point.threadlen))
+            {
+                if !p.time_us.contains(point.time_us) {
+                    violations.push(format!(
+                        "{label} B={} T={}: measured {:.3} µs outside the certified \
+                         envelope [{:.3}, {:.3}]",
+                        point.block_size,
+                        point.threadlen,
+                        point.time_us,
+                        p.time_us.lo,
+                        p.time_us.hi
+                    ));
+                }
+            }
+        }
+        if !grid_rows.is_empty() {
+            grid_rows.push_str(",\n");
+        }
+        let _ = write!(
+            grid_rows,
+            "    {{\"kernel\": \"{label}\", \"grid_points\": {}, \"pruned\": {}, \
+             \"dominated\": {}, \"launches\": {}, \"launches_avoided\": {}, \
+             \"zero_launch_winner\": {}, \"winner\": {{\"block_size\": {wb}, \
+             \"threadlen\": {wt}, \"time_lo_us\": {:.6}, \"time_hi_us\": {:.6}}}}}",
+            certified.grid_points,
+            certified.pruned.len(),
+            certified.eliminated.len(),
+            certified.launches,
+            certified.launches_avoided(),
+            certified.winner.is_some(),
+            winner_bounds.lo,
+            winner_bounds.hi,
+        );
+    }
+    if !violations.is_empty() {
+        for violation in &violations {
+            let _ = writeln!(out, "certify violation: {violation}");
+        }
+        return Err(err(out));
+    }
+    let _ = writeln!(
+        out,
+        "gate: every measured trial lies within its certified envelope and \
+         the certified winner matches the launched sweep"
+    );
+    if let Some(path) = out_path {
+        let json = format!(
+            "{{\n  \"bench\": \"certify\",\n  \"mode\": {},\n  \"rank\": {rank},\n  \
+             \"nnz\": {},\n  \"grids\": [\n{grid_rows}\n  ]\n}}\n",
+            mode + 1,
+            tensor.nnz(),
+        );
+        std::fs::write(path, &json)
+            .map_err(|e| err(format!("cannot write {}: {e}", path.display())))?;
+        let _ = writeln!(out, "wrote {}", path.display());
+    }
+    Ok(out)
 }
 
 /// `tensortool workload <requests> <seed> <out.txt>` — write a seeded
@@ -788,6 +974,45 @@ pub fn oocbench(out_path: Option<&Path>, nnz: usize) -> Result<String, CliError>
             report.verified
         );
     }
+    // Certified whole-pipeline bound: replay one chunked pipeline
+    // standalone and check it against the envelope the analyzer derives
+    // from the parent format's headers before anything runs. Purely a
+    // verification step — the emitted JSON is unchanged.
+    {
+        let device = GpuDevice::titan_x();
+        let cfg = LaunchConfig::with_block_size(128);
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 8);
+        let factors: Vec<DenseMatrix> = tensor
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(m, &n)| DenseMatrix::random(n, rank, 1 + m as u64))
+            .collect();
+        let plan = crate::ooc::split(&fcoo, (fcoo.storage().total_bytes() / 2).max(1));
+        let lint = sanitizer::check_chunk_plan(&fcoo, &plan);
+        if !lint.is_clean() {
+            return Err(err(format!("oocbench chunk-plan lint: {lint}")));
+        }
+        let envelope = crate::ooc::pipeline_envelope(device.config(), &fcoo, &plan, rank, &cfg);
+        let run = crate::ooc::run_chunked(&device, &fcoo, &plan, &factors, &cfg)
+            .map_err(|e| err(format!("oocbench chunked replay: {e}")))?;
+        let bound_violations = crate::ooc::check_run(&envelope, &run);
+        if let Some(violation) = bound_violations.first() {
+            return Err(err(format!(
+                "oocbench certified-bound violation: {violation}"
+            )));
+        }
+        let bounds = envelope.stats_time_us();
+        let _ = writeln!(
+            out,
+            "  certified  : {} chunk launches, accumulated kernel time {:.1} us \
+             within the header-derived bound [{:.1}, {:.1}] us",
+            plan.len(),
+            run.stats.time_us,
+            bounds.lo,
+            bounds.hi
+        );
+    }
     let json = format!(
         "{{\n  \"bench\": \"out_of_core\",\n  \"dataset\": \"nell2\",\n  \
          \"nnz\": {nnz},\n  \"requests\": {request_count},\n  \"rank\": {rank},\n  \
@@ -912,6 +1137,7 @@ USAGE:
   tensortool run <file.fcoo> <rank>
   tensortool sanitize <file.tns> <spttm|mttkrp|ttmc> <mode> <rank>
   tensortool analyze <file.tns> <mode> <rank>
+  tensortool certify <file.tns> <mode> <rank> [out.json]
   tensortool workload <requests> <seed> <out.txt>
   tensortool serve <workload.txt|synthetic:N:SEED> [plan-dir] [--verify]
   tensortool chaos <workload.txt|synthetic:N:SEED> <schedule> <seed>
@@ -926,7 +1152,14 @@ F-COO invariants and replays the kernel under the memory sanitizer
 `analyze` runs the symbolic analyzer instead: a proved/refuted/unknown
 verdict matrix per kernel over the whole tuning grid, with no launches, and
 exits non-zero if any refuted configuration would still reach the tuner or
-plan cache. `serve` replays a request workload (see docs/SERVING.md for the file
+plan cache. `certify` goes further (docs/ANALYZER.md): it derives a provable
+[lo, hi] envelope on every configuration's simulated kernel time from the
+F-COO headers alone, eliminates envelope-dominated configurations with zero
+trial launches, prints the envelope matrix and launches-avoided count, and
+exits non-zero if any exhaustively measured time escapes its envelope or
+the certified winner disagrees with the launched sweep; with an out.json it
+writes the BENCH_certify.json trajectory point.
+`serve` replays a request workload (see docs/SERVING.md for the file
 format) through the multi-tenant engine — plan cache, device memory pool,
 multi-stream scheduler — and prints latency/throughput/cache-hit stats;
 with a plan-dir, tuned plans persist across invocations for warm restarts.
@@ -1100,6 +1333,43 @@ mod tests {
     #[test]
     fn analyze_checks_mode_bounds() {
         assert!(analyze(&sample(), 9, 8).is_err());
+    }
+
+    #[test]
+    fn analyze_reports_residual_unknowns_in_the_gate_summary() {
+        let text = analyze(&sample(), 0, 8).unwrap();
+        assert!(
+            text.contains("grid points stay unknown -> dynamic sanitizer"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn certify_prints_envelopes_and_passes_both_gates() {
+        let path = std::env::temp_dir().join("tensortool_test_certify.json");
+        let text = certify(&sample(), 0, 8, Some(&path)).unwrap();
+        for needle in [
+            "SpTTM",
+            "SpMTTKRP",
+            "trial launches avoided",
+            "winner: B=",
+            "gate: every measured trial lies within its certified envelope",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bench\": \"certify\""), "{json}");
+        assert!(json.contains("\"launches_avoided\""), "{json}");
+        assert!(json.contains("\"zero_launch_winner\""), "{json}");
+        // Deterministic: a second run writes byte-identical JSON.
+        certify(&sample(), 0, 8, Some(&path)).unwrap();
+        assert_eq!(json, std::fs::read_to_string(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn certify_checks_mode_bounds() {
+        assert!(certify(&sample(), 9, 8, None).is_err());
     }
 
     #[test]

@@ -41,12 +41,14 @@ const DATASETS: [(DatasetKind, &str); 4] = [
     (DatasetKind::Nell1, "nell1"),
 ];
 
-/// One traced kernel execution of the suite.
+/// One traced kernel execution of the suite, paired with the certified
+/// counter envelope the analyzer derives from the format headers alone.
 struct GoldenRun {
     kernel: &'static str,
     block_size: usize,
     threadlen: usize,
     counters: gpu_sim::KernelCounters,
+    envelope: analyzer::cost::CounterEnvelope,
 }
 
 fn factors(tensor: &SparseTensorCoo) -> Vec<DenseMatrix> {
@@ -83,6 +85,9 @@ fn run_unified(
         ..LaunchConfig::default()
     };
     let fcoo = Fcoo::from_coo(tensor, op, threadlen);
+    // Host-side, header-only: touches nothing on the device, so the traced
+    // counters below stay byte-identical to the pre-certifier suite.
+    let envelope = analyzer::cost::certify(config, &fcoo, RANK, &cfg);
     let on_device = FcooDevice::upload(device.memory(), &fcoo).expect("golden upload");
     let hosts = factors(tensor);
     let uploaded: Vec<DeviceMatrix> = hosts
@@ -114,6 +119,7 @@ fn run_unified(
         block_size,
         threadlen,
         counters,
+        envelope,
     }
 }
 
@@ -132,6 +138,7 @@ fn run_atomic_mttkrp(config: &DeviceConfig, tensor: &SparseTensorCoo) -> GoldenR
     };
     let op = TensorOp::SpMttkrp { mode: MODE };
     let fcoo = Fcoo::from_coo(tensor, op, threadlen);
+    let envelope = analyzer::cost::certify(config, &fcoo, RANK, &cfg);
     let on_device = FcooDevice::upload(device.memory(), &fcoo).expect("golden upload");
     let hosts = factors(tensor);
     let uploaded: Vec<DeviceMatrix> = hosts
@@ -147,6 +154,7 @@ fn run_atomic_mttkrp(config: &DeviceConfig, tensor: &SparseTensorCoo) -> GoldenR
         block_size,
         threadlen,
         counters,
+        envelope,
     }
 }
 
@@ -173,6 +181,7 @@ fn run_chunked_mttkrp(
     let fcoo = Fcoo::from_coo(tensor, op, threadlen);
     let budget = (fcoo.storage().total_bytes() / divisor).max(1);
     let plan = crate::fcoo::chunk::split(&fcoo, budget);
+    let envelope = analyzer::cost::certify_chunked(config, &fcoo, &plan, RANK, &cfg);
     let hosts = factors(tensor);
     device.start_tracing();
     crate::ooc::run_chunked(device, &fcoo, &plan, &hosts, &cfg).expect("golden chunked mttkrp");
@@ -182,6 +191,7 @@ fn run_chunked_mttkrp(
         block_size,
         threadlen,
         counters,
+        envelope,
     }
 }
 
@@ -203,6 +213,8 @@ fn run_two_step(config: &DeviceConfig, tensor: &SparseTensorCoo) -> GoldenRun {
         block_size,
         ..LaunchConfig::default()
     };
+    let envelope = analyzer::cost::certify_two_step(config, tensor, MODE, RANK, threadlen, &cfg)
+        .expect("two-step runs only on 3-order tensors");
     let hosts = factors(tensor);
     let refs: Vec<&DenseMatrix> = hosts.iter().collect();
     device.start_tracing();
@@ -214,7 +226,35 @@ fn run_two_step(config: &DeviceConfig, tensor: &SparseTensorCoo) -> GoldenRun {
         block_size,
         threadlen,
         counters,
+        envelope,
     }
+}
+
+/// Runs every row of the suite (in snapshot order) and returns the traced
+/// counters paired with their certified envelopes.
+fn collect_runs(config: &DeviceConfig) -> Vec<(&'static str, GoldenRun)> {
+    let mut all = Vec::new();
+    for (kind, name) in DATASETS {
+        let (tensor, _) = datasets::generate(kind, NNZ, 2017);
+        let mut runs = vec![
+            run_unified(config, &tensor, TensorOp::SpTtm { mode: MODE }, "spttm"),
+            run_unified(config, &tensor, TensorOp::SpMttkrp { mode: MODE }, "mttkrp"),
+            run_unified(config, &tensor, TensorOp::SpTtmc { mode: MODE }, "ttmc"),
+            run_atomic_mttkrp(config, &tensor),
+        ];
+        if tensor.order() == 3 {
+            runs.push(run_two_step(config, &tensor));
+        }
+        // The out-of-core pipeline on one dataset, at three chunk depths:
+        // the same non-zeros streamed through 2, 4 and 8 format splits.
+        if kind == DatasetKind::Nell2 {
+            runs.push(run_chunked_mttkrp(config, &tensor, 2, "mttkrp-chunked/2"));
+            runs.push(run_chunked_mttkrp(config, &tensor, 4, "mttkrp-chunked/4"));
+            runs.push(run_chunked_mttkrp(config, &tensor, 8, "mttkrp-chunked/8"));
+        }
+        all.extend(runs.into_iter().map(|run| (name, run)));
+    }
+    all
 }
 
 /// Renders the golden document for one device model. Every field is an
@@ -237,51 +277,66 @@ pub fn render_with(config: &DeviceConfig) -> String {
          ideal dram-bytes ro-hits ro-misses atomic-lanes atomic-calls mult-sum \
          time-us time-bits"
     );
-    for (kind, name) in DATASETS {
-        let (tensor, _) = datasets::generate(kind, NNZ, 2017);
-        let mut runs = vec![
-            run_unified(config, &tensor, TensorOp::SpTtm { mode: MODE }, "spttm"),
-            run_unified(config, &tensor, TensorOp::SpMttkrp { mode: MODE }, "mttkrp"),
-            run_unified(config, &tensor, TensorOp::SpTtmc { mode: MODE }, "ttmc"),
-            run_atomic_mttkrp(config, &tensor),
-        ];
-        if tensor.order() == 3 {
-            runs.push(run_two_step(config, &tensor));
-        }
-        // The out-of-core pipeline on one dataset, at three chunk depths:
-        // the same non-zeros streamed through 2, 4 and 8 format splits.
-        if kind == DatasetKind::Nell2 {
-            runs.push(run_chunked_mttkrp(config, &tensor, 2, "mttkrp-chunked/2"));
-            runs.push(run_chunked_mttkrp(config, &tensor, 4, "mttkrp-chunked/4"));
-            runs.push(run_chunked_mttkrp(config, &tensor, 8, "mttkrp-chunked/8"));
-        }
-        for run in runs {
-            let c = &run.counters;
-            let _ = writeln!(
-                out,
-                "{name} {} B{} T{}: {} {} {} {} {} {} {} {} {} {} {} {} {} {:.3} {:016x}",
-                run.kernel,
-                run.block_size,
-                run.threadlen,
-                c.launches,
-                c.blocks,
-                c.waves,
-                c.launched_warps,
-                c.active_warps,
-                c.transactions,
-                c.ideal_transactions,
-                c.dram_bytes,
-                c.cache_hits,
-                c.cache_misses,
-                c.atomics,
-                c.atomic_calls,
-                c.atomic_multiplicity_sum,
-                c.time_us,
-                c.time_us.to_bits()
-            );
-        }
+    for (name, run) in collect_runs(config) {
+        let c = &run.counters;
+        let _ = writeln!(
+            out,
+            "{name} {} B{} T{}: {} {} {} {} {} {} {} {} {} {} {} {} {} {:.3} {:016x}",
+            run.kernel,
+            run.block_size,
+            run.threadlen,
+            c.launches,
+            c.blocks,
+            c.waves,
+            c.launched_warps,
+            c.active_warps,
+            c.transactions,
+            c.ideal_transactions,
+            c.dram_bytes,
+            c.cache_hits,
+            c.cache_misses,
+            c.atomics,
+            c.atomic_calls,
+            c.atomic_multiplicity_sum,
+            c.time_us,
+            c.time_us.to_bits()
+        );
     }
     out
+}
+
+/// Cross-checks every measured golden row against its certified envelope
+/// (`lo ≤ measured ≤ hi`, field-wise). A violation is a soundness bug in
+/// either the cost model or the kernels, so it fails loudly with one line
+/// per violated bound; `Ok` summarizes how many rows were certified.
+pub fn certify_check() -> Result<String, String> {
+    certify_check_with(&DeviceConfig::titan_x())
+}
+
+/// [`certify_check`] against an arbitrary device model.
+pub fn certify_check_with(config: &DeviceConfig) -> Result<String, String> {
+    let runs = collect_runs(config);
+    let mut failures = Vec::new();
+    for (name, run) in &runs {
+        for violation in run.envelope.violations(&run.counters) {
+            failures.push(format!(
+                "{name} {} B{} T{}: {violation}",
+                run.kernel, run.block_size, run.threadlen
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "all {} golden rows lie within their certified envelopes",
+            runs.len()
+        ))
+    } else {
+        Err(format!(
+            "certified envelope violations (soundness bug in the cost model \
+             or the kernels):\n{}",
+            failures.join("\n")
+        ))
+    }
 }
 
 /// Renders the golden document on the reference device (the paper's

@@ -24,6 +24,18 @@ fn two_renders_are_byte_identical() {
 }
 
 #[test]
+fn every_golden_row_lies_within_its_certified_envelope() {
+    // The analyzer's cost interpreter re-derives a [lo, hi] envelope for
+    // every counter of every row from the F-COO headers alone; a measured
+    // value outside its envelope is a soundness bug in either the model or
+    // the kernels.
+    match golden::certify_check() {
+        Ok(summary) => assert!(summary.contains("golden rows"), "{summary}"),
+        Err(violations) => panic!("{violations}"),
+    }
+}
+
+#[test]
 fn flipping_any_cost_model_constant_fails_the_suite() {
     let baseline = golden::render();
     // Every constant the timing/memory model folds into the counters. The
