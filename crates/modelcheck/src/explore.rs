@@ -190,7 +190,9 @@ fn dfs(ctx: &mut Ctx<'_>, state: &ModelState, path: &mut Vec<Step>) -> u128 {
                 .filter(|(_, r)| {
                     !matches!(
                         r.phase,
-                        crate::model::Phase::Done | crate::model::Phase::Rejected
+                        crate::model::Phase::Done
+                            | crate::model::Phase::Rejected
+                            | crate::model::Phase::Shed
                     )
                 })
                 .map(|(i, r)| format!("request {i} stuck in {:?}", r.phase))
@@ -328,6 +330,11 @@ fn action_footprint(
             f
         }
         Action::BeginExec(_) => req_bit(r) | lock_bit(dev(r)) | taint_bit(dev(r)),
+        Action::Shed(_) => {
+            // Releases the pending reservation and unblocks later
+            // placements (the shed request stops gating arrival order).
+            req_bit(r) | pool_bit(dev(r)) | BIT_PLACE_ORDER
+        }
         Action::Chunk(_) => {
             // Reserve/commit/release on the pool, fault + scrub on the
             // taint flag, all under the held execution lock.
@@ -381,7 +388,7 @@ fn future_footprint(
         0
     };
     match req.phase {
-        Phase::Done | Phase::Rejected => 0,
+        Phase::Done | Phase::Rejected | Phase::Shed => 0,
         Phase::Committed => req_bit(r) | taint_bit(d) | policy,
         Phase::Placed => req_bit(r) | pool_bit(d) | taint_bit(d) | policy,
         Phase::Barriered => {

@@ -23,10 +23,17 @@
 //! same properties cover that reserve/commit/release cycle across fault
 //! interleavings.
 //!
-//! The mutation self-test ([`scenario::mutation_suite`]) seeds five known
+//! Deadlined requests whose certified execution-time floor provably
+//! misses the deadline are *shed*: the model releases their pending
+//! reservation and retires them unrun, and the same four properties cover
+//! the shed path (a leaked shed reservation refutes leak-freedom and
+//! deadlocks same-device admission).
+//!
+//! The mutation self-test ([`scenario::mutation_suite`]) seeds six known
 //! protocol bugs — a dropped `release`, a skipped scrub, a lazily applied
 //! quarantine, a deferred admission that never retires, a faulted chunk
-//! that skips its chunk-granular release — and demands each is refuted
+//! that skips its chunk-granular release, a shed request that skips its
+//! release — and demands each is refuted
 //! while the faithful protocol proves everything on the same scenario. [`replay`] closes the model–code gap by running the property
 //! automata over a real engine's [`serve::ProtocolEvent`] log.
 

@@ -7,11 +7,17 @@
 //!
 //! ```text
 //! Idle ──Admit──▶ Admitted ──BeginExec──▶ Running ──Barrier──▶ Barriered
-//!   │  (defer loops on Idle)    ▲     (retry / degrade)│           │
-//!   └──▶ Rejected ◀── genuine failure ◀────────────────┘         Place
-//!                                                                  │
+//!   │  (defer loops on Idle)  │ ▲     (retry / degrade)│           │
+//!   │                        Shed (deadline provably   │         Place
+//!   │                         │    unreachable)        │           │
+//!   └──▶ Rejected ◀── genuine failure ◀────────────────┘           │
 //!                 Done ◀──Accept── Committed ◀──Commit── Placed ◀──┘
 //! ```
+//!
+//! A deadlined request whose certified execution-time floor already
+//! exceeds its deadline is *shed* right after admission: its pending
+//! reservation is released and it reaches the terminal `Shed` phase
+//! without ever taking the execution lock.
 //!
 //! An out-of-core request loops on `Chunk` between `BeginExec` and
 //! `Barrier`: each chunk takes its own pending reservation, runs a
@@ -58,6 +64,9 @@ pub enum Phase {
     Done,
     /// Rejected (too large, or genuine failure) — terminal.
     Rejected,
+    /// Shed: the certified completion-time lower bound provably missed the
+    /// deadline, so the request never executed — terminal.
+    Shed,
 }
 
 /// Per-request control state.
@@ -132,6 +141,9 @@ pub enum Action {
     Admit(usize),
     /// Request `r` starts a kernel attempt (takes the device lock).
     BeginExec(usize),
+    /// Request `r` is shed: its certified execution-time floor provably
+    /// misses its deadline, so its reservation is released unrun.
+    Shed(usize),
     /// Request `r` streams its next chunk: reserve → run → scrub →
     /// commit (or release + backoff on a faulted attempt).
     Chunk(usize),
@@ -151,6 +163,7 @@ impl Action {
         match *self {
             Action::Admit(r)
             | Action::BeginExec(r)
+            | Action::Shed(r)
             | Action::Chunk(r)
             | Action::Barrier(r)
             | Action::Place(r)
@@ -164,6 +177,7 @@ impl Action {
         let (name, r) = match *self {
             Action::Admit(r) => ("admit", r),
             Action::BeginExec(r) => ("exec", r),
+            Action::Shed(r) => ("shed", r),
             Action::Chunk(r) => ("chunk", r),
             Action::Barrier(r) => ("barrier", r),
             Action::Place(r) => ("place", r),
@@ -262,7 +276,7 @@ impl ModelState {
     pub fn terminal(&self) -> bool {
         self.reqs
             .iter()
-            .all(|r| matches!(r.phase, Phase::Done | Phase::Rejected))
+            .all(|r| matches!(r.phase, Phase::Done | Phase::Rejected | Phase::Shed))
     }
 
     /// The enabled actions: at most one per request, by protocol phase.
@@ -284,7 +298,16 @@ impl ModelState {
                     }
                 }
                 Phase::Admitted => {
-                    if let Some(d) = req.device {
+                    // The shed decision is static: a deadline below the
+                    // certified execution-time floor (here exec_us itself)
+                    // is provably unreachable, and the engine decides this
+                    // deterministically at admission — before the lock.
+                    let sheds = sc.requests[r]
+                        .deadline_us
+                        .is_some_and(|dl| dl < sc.requests[r].exec_us);
+                    if sheds {
+                        out.push(Action::Shed(r));
+                    } else if let Some(d) = req.device {
                         if self.devs[d].lock.is_none() {
                             out.push(Action::BeginExec(r));
                         }
@@ -307,7 +330,7 @@ impl ModelState {
                 }
                 Phase::Placed => out.push(Action::Commit(r)),
                 Phase::Committed => out.push(Action::Accept(r)),
-                Phase::Done | Phase::Rejected => {}
+                Phase::Done | Phase::Rejected | Phase::Shed => {}
             }
         }
         out
@@ -379,6 +402,28 @@ impl ModelState {
                         });
                     }
                 }
+            }
+            Action::Shed(r) => {
+                let d = s.reqs[r].device.unwrap_or(0);
+                // The shed request's bytes must come back before anything
+                // else admits on the device; DropShedRelease leaks them.
+                if mutation != Mutation::DropShedRelease {
+                    if let Some(id) = s.reqs[r].reservation.take() {
+                        s.pools[d].release(id);
+                        events.push(ProtocolEvent::Release {
+                            request: r as u64,
+                            device: d,
+                        });
+                    }
+                }
+                events.push(ProtocolEvent::Shed {
+                    request: r as u64,
+                    device: d,
+                    estimate_us: s.reqs[r].ready_us + spec.exec_us,
+                    deadline_us: spec.arrival_us + spec.deadline_us.unwrap_or(0.0),
+                });
+                s.reqs[r].phase = Phase::Shed;
+                s.reqs[r].place_done = true;
             }
             Action::BeginExec(r) => {
                 let d = s.reqs[r].device.unwrap_or(0);
@@ -682,6 +727,7 @@ impl ModelState {
         let mut h = splitmix(0x51ED_0B5E_7F1A_6E01);
         for rq in &self.reqs {
             h = splitmix(h ^ u64::from(rq.phase == Phase::Rejected));
+            h = splitmix(h ^ u64::from(rq.phase == Phase::Shed));
             h = splitmix(h ^ rq.device.map_or(u64::MAX, |d| d as u64));
             h = splitmix(h ^ u64::from(rq.deferred));
             h = splitmix(h ^ u64::from(rq.tier as u8));

@@ -63,6 +63,11 @@ pub fn replay(events: &[ProtocolEvent]) -> Vec<String> {
             ProtocolEvent::AdmitOk { request, .. } | ProtocolEvent::AdmitReject { request, .. } => {
                 waiting.remove(&request);
             }
+            ProtocolEvent::Shed { request, .. } => {
+                // A shed is a terminal resolution: a previously deferred
+                // request that is later shed made its progress.
+                waiting.remove(&request);
+            }
             _ => {}
         }
     }

@@ -41,6 +41,11 @@ pub struct ReqSpec {
     /// Zero-based chunk indices whose *first* attempt is hit by an
     /// injected corrupting fault (the retry runs clean).
     pub chunk_fault_chunks: Vec<u32>,
+    /// Relative deadline in microseconds, if the request carries one. A
+    /// deadline below `exec_us` (the certified execution-time floor) is
+    /// provably unreachable, so the engine sheds the request right after
+    /// admission: reservation released, never executed.
+    pub deadline_us: Option<f64>,
 }
 
 impl ReqSpec {
@@ -57,6 +62,7 @@ impl ReqSpec {
             chunks: 0,
             chunk_bytes: 0,
             chunk_fault_chunks: Vec::new(),
+            deadline_us: None,
         }
     }
 
@@ -114,6 +120,10 @@ pub enum Mutation {
     /// retrying, leaking one pending reservation per chunk fault — and
     /// deadlocking any later request admitting on the device.
     DropChunkRelease,
+    /// A shed request skips the `release` of its pending reservation,
+    /// leaking its working-set bytes — and deadlocking any later request
+    /// admitting on the device.
+    DropShedRelease,
 }
 
 impl Mutation {
@@ -126,6 +136,7 @@ impl Mutation {
             Mutation::LateQuarantine => "late-quarantine",
             Mutation::StuckDefer => "stuck-defer",
             Mutation::DropChunkRelease => "drop-chunk-release",
+            Mutation::DropShedRelease => "drop-shed-release",
         }
     }
 }
@@ -262,6 +273,32 @@ pub fn ooc_follower() -> Scenario {
     )
 }
 
+/// Overload shedding: request 1 carries a deadline its certified
+/// execution-time floor provably misses, so it is shed right after
+/// admission — its pending reservation must come back. The third request
+/// runs on the other device.
+pub fn overload() -> Scenario {
+    let mut r1 = ReqSpec::new(5.0, 0, 1);
+    r1.deadline_us = Some(10.0);
+    base(
+        "overload",
+        "request 1's deadline provably misses; it is shed, its bytes return",
+        vec![ReqSpec::new(0.0, 0, 0), r1, ReqSpec::new(10.0, 1, 2)],
+    )
+}
+
+/// Like [`overload`], but a later request targets the *same* device — if
+/// the shed request leaks its reservation, admission deadlocks.
+pub fn overload_follower() -> Scenario {
+    let mut r1 = ReqSpec::new(5.0, 0, 1);
+    r1.deadline_us = Some(10.0);
+    base(
+        "overload-follower",
+        "a request queues behind a shed one on the same device",
+        vec![ReqSpec::new(0.0, 0, 0), r1, ReqSpec::new(10.0, 0, 2)],
+    )
+}
+
 /// Every scenario the unmutated protocol must prove.
 pub fn standard() -> Vec<Scenario> {
     vec![
@@ -273,6 +310,8 @@ pub fn standard() -> Vec<Scenario> {
         quarantine(),
         ooc(),
         ooc_follower(),
+        overload(),
+        overload_follower(),
     ]
 }
 
@@ -319,6 +358,16 @@ pub fn mutation_suite() -> Vec<(Mutation, Scenario, crate::Property)> {
             Mutation::SkipScrub,
             ooc(),
             crate::Property::ScrubBeforeReuse,
+        ),
+        (
+            Mutation::DropShedRelease,
+            overload(),
+            crate::Property::LeakFreedom,
+        ),
+        (
+            Mutation::DropShedRelease,
+            overload_follower(),
+            crate::Property::AdmissionLiveness,
         ),
     ]
 }

@@ -117,6 +117,7 @@ fn reduction_agrees_with_full_exploration_everywhere() {
         Mutation::LateQuarantine,
         Mutation::StuckDefer,
         Mutation::DropChunkRelease,
+        Mutation::DropShedRelease,
     ];
     let mut pruned_somewhere = false;
     for sc in scenario::standard() {
@@ -177,6 +178,34 @@ fn drop_chunk_release_leaks_and_deadlocks() {
     let ce = dead
         .counterexample(Property::AdmissionLiveness)
         .expect("admission deadlock behind leaked chunk not caught");
+    assert!(ce.detail.contains("deadlock"), "{}", ce.detail);
+}
+
+/// Dropping the shed request's `release` leaks its pending reservation on
+/// the terminal path *and* deadlocks a same-device follower — both caught
+/// with the counterexample pinned to a concrete shed step. The faithful
+/// protocol proves everything on the same scenarios (a shed request's
+/// bytes cycle reserve → release on every interleaving).
+#[test]
+fn drop_shed_release_leaks_and_deadlocks() {
+    let leak = explore::explore(&scenario::overload(), Mutation::DropShedRelease, false);
+    let ce = leak
+        .counterexample(Property::LeakFreedom)
+        .expect("leaked shed reservation not caught");
+    assert!(ce.detail.contains("never returns to zero"), "{}", ce.detail);
+    assert!(
+        ce.schedule.iter().any(|s| s.label.starts_with("shed(")),
+        "counterexample never sheds: {:?}",
+        ce.schedule.iter().map(|s| &s.label).collect::<Vec<_>>()
+    );
+    let dead = explore::explore(
+        &scenario::overload_follower(),
+        Mutation::DropShedRelease,
+        false,
+    );
+    let ce = dead
+        .counterexample(Property::AdmissionLiveness)
+        .expect("admission deadlock behind leaked shed not caught");
     assert!(ce.detail.contains("deadlock"), "{}", ce.detail);
 }
 

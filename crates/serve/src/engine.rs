@@ -73,6 +73,15 @@ pub struct ServeConfig {
     /// working set (a quarter of it, so pipelined chunks plus allocator
     /// slack stay resident together).
     pub ooc_chunk_budget: Option<usize>,
+    /// Arrival-share threshold above which a plan is replicated to a second
+    /// device: once a single plan's measured share of all routed arrivals
+    /// exceeds this fraction (and [`ServeConfig::replication_min_requests`]
+    /// arrivals have been observed), requests for it balance across two
+    /// devices instead of pinning one.
+    pub replication_share: f64,
+    /// Minimum routed arrivals before the replication share is trusted —
+    /// guards against replicating off a handful of early requests.
+    pub replication_min_requests: u64,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +100,8 @@ impl Default for ServeConfig {
             profile: false,
             ooc: true,
             ooc_chunk_budget: None,
+            replication_share: 0.35,
+            replication_min_requests: 24,
         }
     }
 }
@@ -274,13 +285,58 @@ pub struct Rejection {
     pub reason: String,
 }
 
+/// A request shed by deadline-aware admission: its certified
+/// completion-time lower bound provably missed its deadline, so it was
+/// terminated before executing (reservations released).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedRecord {
+    /// Index of the request in the trace.
+    pub index: usize,
+    /// Device the request would have run on.
+    pub device: usize,
+    /// Certified completion-time lower bound (absolute simulated µs).
+    pub estimate_us: f64,
+    /// Absolute deadline the request could not meet (simulated µs).
+    pub deadline_us: f64,
+}
+
+/// Overload-policy tallies for one run (reset at the start of every
+/// [`ServeEngine::run`], so each report's conservation accounting —
+/// served + rejected + shed = submitted — is self-contained).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Requests that arrived carrying a deadline.
+    pub deadlined: u64,
+    /// Requests shed because their certified completion-time lower bound
+    /// provably missed their deadline.
+    pub shed: u64,
+    /// Plan affinities re-placed onto surviving devices by quarantines.
+    pub rebalanced: u64,
+    /// Hot plans replicated to a second device by the arrival-share policy.
+    pub replicated: u64,
+}
+
+impl OverloadStats {
+    /// True when any overload-policy action fired this run.
+    pub fn any(&self) -> bool {
+        self.deadlined > 0 || self.shed > 0 || self.rebalanced > 0 || self.replicated > 0
+    }
+}
+
 /// Everything a run produced.
 #[derive(Debug)]
 pub struct ServeReport {
-    /// Per-request metrics, in trace order (rejected requests excluded).
+    /// Per-request metrics, in trace order (rejected and shed requests
+    /// excluded).
     pub requests: Vec<RequestMetrics>,
     /// Requests that could not be served (unknown tensor, impossible fit).
     pub rejections: Vec<Rejection>,
+    /// Requests shed by deadline-aware admission, in trace order. Every
+    /// submitted request lands in exactly one of `requests`, `rejections`
+    /// or `sheds`.
+    pub sheds: Vec<ShedRecord>,
+    /// Overload-policy tallies for this run.
+    pub overload: OverloadStats,
     /// Plan-cache counters for the run.
     pub plan_stats: PlanCacheStats,
     /// Per-device pool counters.
@@ -400,6 +456,13 @@ impl ServeReport {
                 ));
             }
         }
+        if self.overload.any() {
+            let o = &self.overload;
+            out.push_str(&format!(
+                "  overload:       {} deadlined, {} shed, {} affinities rebalanced, {} plans replicated\n",
+                o.deadlined, o.shed, o.rebalanced, o.replicated
+            ));
+        }
         if self.verified > 0 || self.verify_failures > 0 {
             out.push_str(&format!(
                 "  verification:   {} unique results checked bit-exact vs one-shot API, {} mismatches\n",
@@ -465,6 +528,20 @@ pub struct ServeEngine {
     quarantined: Vec<bool>,
     /// Corrupting faults correlated with one plan (invalidation evidence).
     plan_fault_counts: BTreeMap<PlanKey, u64>,
+    /// Serving devices for each plan digest: primary first, then replicas.
+    /// Entries are seeded lazily with the legacy rule (`digest % devices`,
+    /// skipping quarantined devices) and rewritten eagerly when a
+    /// quarantine fires — so stale affinities never route new work at a
+    /// quarantined device — or when the replication policy adds a device.
+    plan_affinity: BTreeMap<u64, Vec<usize>>,
+    /// Routed arrivals per plan digest (replication evidence).
+    plan_arrivals: BTreeMap<u64, u64>,
+    /// Total routed arrivals (denominator of the replication share).
+    total_arrivals: u64,
+    /// Requests shed so far in the current run.
+    sheds: Vec<ShedRecord>,
+    /// Overload-policy tallies for the current run.
+    overload: OverloadStats,
     /// Per-request profiles of the current run (only filled when
     /// [`ServeConfig::profile`] is set).
     profiled: Vec<RequestProfile>,
@@ -601,6 +678,11 @@ impl ServeEngine {
             device_fault_counts: vec![0; device_count],
             quarantined: vec![false; device_count],
             plan_fault_counts: BTreeMap::new(),
+            plan_affinity: BTreeMap::new(),
+            plan_arrivals: BTreeMap::new(),
+            total_arrivals: 0,
+            sheds: Vec::new(),
+            overload: OverloadStats::default(),
             profiled: Vec::new(),
             protocol: Vec::new(),
             protocol_enabled: false,
@@ -673,11 +755,16 @@ impl ServeEngine {
         }
         let mut scheduler = Scheduler::new(self.config.devices, self.config.streams_per_device);
         self.profiled.clear();
+        self.sheds.clear();
+        self.overload = OverloadStats::default();
         let mut requests = Vec::new();
         let mut rejections = Vec::new();
         let mut batched = 0usize;
         let mut deferred_count = 0usize;
         for (index, request) in workload.requests.iter().enumerate() {
+            if request.deadline_us.is_some() {
+                self.overload.deadlined += 1;
+            }
             let served = match request.op {
                 ServeOp::Tensor(op) => self.serve_tensor_op(index, request, op, &mut scheduler),
                 ServeOp::CpAls { iterations } => {
@@ -685,7 +772,7 @@ impl ServeEngine {
                 }
             };
             match served {
-                Ok(metrics) => {
+                Ok(Some(metrics)) => {
                     if metrics.batched {
                         batched += 1;
                     }
@@ -694,6 +781,8 @@ impl ServeEngine {
                     }
                     requests.push(metrics);
                 }
+                // Shed: already recorded in `self.sheds` by the shed path.
+                Ok(None) => {}
                 Err(reason) => rejections.push(Rejection { index, reason }),
             }
         }
@@ -721,6 +810,8 @@ impl ServeEngine {
         ServeReport {
             requests,
             rejections,
+            sheds: std::mem::take(&mut self.sheds),
+            overload: self.overload,
             plan_stats: self.plans.stats(),
             pool_stats: self.pools.iter().map(DevicePool::stats).collect(),
             peak_bytes: self
@@ -853,9 +944,10 @@ impl ServeEngine {
         }
     }
 
-    /// The device a plan digest maps to, skipping quarantined devices while
-    /// at least one healthy device remains.
-    fn affinity_device(&self, digest: u64) -> usize {
+    /// The legacy static affinity rule a fresh plan digest seeds its
+    /// affinity entry with: `digest % devices`, re-hashed across the
+    /// healthy devices when the preferred one is quarantined.
+    fn affinity_seed(&self, digest: u64) -> usize {
         let preferred = (digest % self.devices.len() as u64) as usize;
         if !self.quarantined[preferred] {
             return preferred;
@@ -868,6 +960,122 @@ impl ServeEngine {
         } else {
             healthy[(digest % healthy.len() as u64) as usize]
         }
+    }
+
+    /// Routes a plan digest to a serving device: counts the arrival,
+    /// replicates the plan to a second device once its measured arrival
+    /// share crosses [`ServeConfig::replication_share`], and picks the
+    /// earliest-available candidate (ties broken by lowest device index —
+    /// with a single candidate this is bit-identical to the legacy static
+    /// rule).
+    fn route_device(&mut self, digest: u64, scheduler: &Scheduler) -> usize {
+        self.total_arrivals += 1;
+        let arrivals = {
+            let n = self.plan_arrivals.entry(digest).or_insert(0);
+            *n += 1;
+            *n
+        };
+        if !self.plan_affinity.contains_key(&digest) {
+            let seed = self.affinity_seed(digest);
+            self.plan_affinity.insert(digest, vec![seed]);
+        }
+        let healthy: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| !self.quarantined[d])
+            .collect();
+        let entry = &self.plan_affinity[&digest];
+        let share = arrivals as f64 / self.total_arrivals as f64;
+        if entry.len() == 1
+            && healthy.len() > 1
+            && self.total_arrivals >= self.config.replication_min_requests
+            && share > self.config.replication_share
+        {
+            // Hot plan: add the earliest-available healthy device that is
+            // not already serving it (ties → lowest index).
+            let primary = entry[0];
+            let replica = healthy
+                .iter()
+                .copied()
+                .filter(|&d| d != primary)
+                .min_by(|&a, &b| {
+                    scheduler
+                        .device_available_us(a)
+                        .total_cmp(&scheduler.device_available_us(b))
+                        .then(a.cmp(&b))
+                })
+                .expect("healthy.len() > 1 guarantees a replica candidate");
+            self.plan_affinity
+                .get_mut(&digest)
+                .expect("affinity entry exists: read above")
+                .push(replica);
+            self.overload.replicated += 1;
+            self.log_event(ProtocolEvent::Replicate { primary, replica });
+        }
+        let entry = &self.plan_affinity[&digest];
+        if entry.len() == 1 {
+            return entry[0];
+        }
+        entry
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                scheduler
+                    .device_available_us(a)
+                    .total_cmp(&scheduler.device_available_us(b))
+                    .then(a.cmp(&b))
+            })
+            .unwrap_or_else(|| self.affinity_seed(digest))
+    }
+
+    /// Re-places every plan affinity that still targets the quarantined
+    /// `device_index` onto the surviving devices (same re-hash rule the
+    /// lazy seeding uses, so routing stays deterministic), and drops the
+    /// quarantined pool's unpinned cached formats — its memory is dead
+    /// weight once no new work routes there.
+    fn rebalance_affinities(&mut self, device_index: usize) {
+        let healthy: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| !self.quarantined[d])
+            .collect();
+        if healthy.is_empty() {
+            return;
+        }
+        let mut moved = 0usize;
+        for (&digest, entry) in self.plan_affinity.iter_mut() {
+            if !entry.contains(&device_index) {
+                continue;
+            }
+            entry.retain(|&d| d != device_index);
+            if entry.is_empty() {
+                entry.push(healthy[(digest % healthy.len() as u64) as usize]);
+            }
+            moved += 1;
+        }
+        if moved > 0 {
+            self.overload.rebalanced += moved as u64;
+            self.log_event(ProtocolEvent::Rebalance {
+                device: device_index,
+                plans: moved,
+            });
+        }
+        self.pools[device_index].clear();
+    }
+
+    /// Records a shed: the request's certified completion-time lower bound
+    /// `estimate_us` provably misses its absolute deadline. The caller has
+    /// already released any pending reservations.
+    fn shed(&mut self, index: usize, device: usize, estimate_us: f64, deadline_us: f64) {
+        self.overload.shed += 1;
+        self.sheds.push(ShedRecord {
+            index,
+            device,
+            estimate_us,
+            deadline_us,
+        });
+        self.log_event(ProtocolEvent::Shed {
+            request: index as u64,
+            device,
+            estimate_us,
+            deadline_us,
+        });
     }
 
     /// Capped exponential backoff with deterministic jitter for retry
@@ -957,6 +1165,10 @@ impl ServeEngine {
             self.log_event(ProtocolEvent::Quarantine {
                 device: device_index,
             });
+            // Re-place the quarantined device's plan affinities immediately
+            // — queued work behind a stale entry would otherwise keep
+            // targeting the dead device until its own retry path noticed.
+            self.rebalance_affinities(device_index);
         }
         if let Some(key) = key {
             if self.plan_fault_counts.get(&key).copied().unwrap_or(0) >= plan_at {
@@ -1000,13 +1212,16 @@ impl ServeEngine {
         damage
     }
 
+    /// Serves one tensor-op request. `Ok(Some(metrics))` = completed,
+    /// `Ok(None)` = shed (recorded in `self.sheds`), `Err` = rejected —
+    /// exactly one terminal state per request.
     fn serve_tensor_op(
         &mut self,
         index: usize,
         request: &Request,
         op: TensorOp,
         scheduler: &mut Scheduler,
-    ) -> Result<RequestMetrics, String> {
+    ) -> Result<Option<RequestMetrics>, String> {
         let registered = self
             .tensors
             .get(&request.tensor_id)
@@ -1021,7 +1236,7 @@ impl ServeEngine {
         }
         let order = registered.tensor.order();
         let key = PlanKey::new(registered.fingerprint, op, request.rank);
-        let device_index = self.affinity_device(key.digest());
+        let device_index = self.route_device(key.digest(), scheduler);
         // Resolve the plan (host-side preprocessing; builds happen off the
         // device timeline, like the paper's host-side sort).
         let registered = &self.tensors[&request.tensor_id];
@@ -1036,6 +1251,16 @@ impl ServeEngine {
         if self.config.batching {
             if let Some(cached) = self.results.get(&(key, request.factor_seed)) {
                 let d2h_us = self.transfer_us(cached.output.bytes());
+                if let Some(rel) = request.deadline_us {
+                    // A batched reply pays only queueing plus the d2h copy;
+                    // even that lower bound can provably miss the deadline
+                    // under saturation.
+                    let estimate = now.max(scheduler.device_available_us(device_index)) + d2h_us;
+                    if estimate > now + rel {
+                        self.shed(index, device_index, estimate, now + rel);
+                        return Ok(None);
+                    }
+                }
                 let placement = scheduler.place_on_device(device_index, now, d2h_us);
                 let cached_tier = cached.tier;
                 self.log_event(ProtocolEvent::Place {
@@ -1078,7 +1303,7 @@ impl ServeEngine {
                     });
                 }
                 let cached = &self.results[&(key, request.factor_seed)];
-                return Ok(RequestMetrics {
+                return Ok(Some(RequestMetrics {
                     index,
                     tensor_id: request.tensor_id.clone(),
                     op: request.op,
@@ -1098,7 +1323,7 @@ impl ServeEngine {
                     faults_seen: 0,
                     recovery_us: 0.0,
                     chunks: 0,
-                });
+                }));
             }
         }
 
@@ -1146,14 +1371,35 @@ impl ServeEngine {
             }
         };
         // A pending reservation pins the working set while attempts run; it
-        // is committed on success and released on genuine failure, so the
-        // error path never leaks pool bytes.
+        // is committed on success and released on genuine failure or a
+        // deadline shed, so neither path leaks pool bytes.
         let pending = self.pools[device_index].reserve_pending(key, transient_bytes);
         self.log_event(ProtocolEvent::ReservePending {
             request: index as u64,
             device: device_index,
             bytes: transient_bytes,
         });
+
+        if let Some(rel) = request.deadline_us {
+            // Certified completion-time lower bound: earliest queue slot on
+            // the device, plus the factor upload the bus must move, plus
+            // the plan certificate's kernel-time floor. The real placement
+            // can only start later and run longer, so `estimate > deadline`
+            // proves the deadline is unreachable.
+            let queue_start = ready.max(scheduler.device_available_us(device_index));
+            let estimate = queue_start
+                + self.transfer_us(factor_bytes_for(&plan.fcoo, request.rank))
+                + plan.certificate.time_lo_us;
+            if estimate > now + rel {
+                self.pools[device_index].release(pending);
+                self.log_event(ProtocolEvent::Release {
+                    request: index as u64,
+                    device: device_index,
+                });
+                self.shed(index, device_index, estimate, now + rel);
+                return Ok(None);
+            }
+        }
 
         let threadlen = plan.fcoo.threadlen;
         let block_size = plan.block_size;
@@ -1380,7 +1626,7 @@ impl ServeEngine {
                 self.results.pop_first();
             }
         }
-        Ok(RequestMetrics {
+        Ok(Some(RequestMetrics {
             index,
             tensor_id: request.tensor_id.clone(),
             op: request.op,
@@ -1400,7 +1646,7 @@ impl ServeEngine {
             faults_seen,
             recovery_us,
             chunks: 0,
-        })
+        }))
     }
 
     /// Serves a tensor-op request whose working set genuinely exceeds the
@@ -1430,7 +1676,7 @@ impl ServeEngine {
         transient_bytes: usize,
         mut ready: f64,
         mut was_deferred: bool,
-    ) -> Result<RequestMetrics, String> {
+    ) -> Result<Option<RequestMetrics>, String> {
         let now = request.arrival_us;
         let capacity = self.config.device_config.memory_capacity;
         let headroom = capacity.saturating_sub(transient_bytes);
@@ -1492,6 +1738,27 @@ impl ServeEngine {
             device: device_index,
             bytes: transient_bytes,
         });
+
+        if let Some(rel) = request.deadline_us {
+            // The chunked pipeline still pays the factor upload and at
+            // least the certificate's whole-format kernel floor (the
+            // summed chunk envelope dominates it — see `analyzer::cost`'s
+            // out-of-core bounds), so the in-core estimator stays a sound
+            // lower bound here.
+            let queue_start = ready.max(scheduler.device_available_us(device_index));
+            let estimate = queue_start
+                + self.transfer_us(factor_bytes_for(&plan.fcoo, request.rank))
+                + plan.certificate.time_lo_us;
+            if estimate > now + rel {
+                self.pools[device_index].release(job_pending);
+                self.log_event(ProtocolEvent::Release {
+                    request: index as u64,
+                    device: device_index,
+                });
+                self.shed(index, device_index, estimate, now + rel);
+                return Ok(None);
+            }
+        }
 
         // Host factors follow the in-core kernel conventions exactly (same
         // shapes, same seeds), so every factor bit matches the one-shot
@@ -1831,7 +2098,7 @@ impl ServeEngine {
                 self.results.pop_first();
             }
         }
-        Ok(RequestMetrics {
+        Ok(Some(RequestMetrics {
             index,
             tensor_id: request.tensor_id.clone(),
             op: request.op,
@@ -1851,7 +2118,7 @@ impl ServeEngine {
             faults_seen,
             recovery_us,
             chunks: chunk_plan.len(),
-        })
+        }))
     }
 
     /// The out-of-core path's escape hatch: a chunk (or the factor upload)
@@ -1877,7 +2144,7 @@ impl ServeEngine {
         recovery_us: f64,
         retries: u32,
         faults_seen: u32,
-    ) -> Result<RequestMetrics, String> {
+    ) -> Result<Option<RequestMetrics>, String> {
         self.fault_stats.cpu_fallbacks += 1;
         self.log_event(ProtocolEvent::Degrade {
             request: index as u64,
@@ -1959,7 +2226,7 @@ impl ServeEngine {
                 self.results.pop_first();
             }
         }
-        Ok(RequestMetrics {
+        Ok(Some(RequestMetrics {
             index,
             tensor_id: request.tensor_id.clone(),
             op: request.op,
@@ -1979,7 +2246,7 @@ impl ServeEngine {
             faults_seen,
             recovery_us,
             chunks: 0,
-        })
+        }))
     }
 
     /// Serves a CP-ALS request: one SpMTTKRP plan per mode through the plan
@@ -1991,7 +2258,7 @@ impl ServeEngine {
         request: &Request,
         iterations: usize,
         scheduler: &mut Scheduler,
-    ) -> Result<RequestMetrics, String> {
+    ) -> Result<Option<RequestMetrics>, String> {
         if iterations == 0 {
             return Err("cp requests need at least one iteration".to_string());
         }
@@ -2005,7 +2272,7 @@ impl ServeEngine {
         let keys: Vec<PlanKey> = (0..order)
             .map(|mode| PlanKey::new(fingerprint, TensorOp::SpMttkrp { mode }, rank))
             .collect();
-        let device_index = self.affinity_device(keys[0].digest());
+        let device_index = self.route_device(keys[0].digest(), scheduler);
         let mut plans = Vec::with_capacity(order);
         let mut sources = Vec::with_capacity(order);
         for &key in &keys {
@@ -2073,6 +2340,26 @@ impl ServeEngine {
                 device: device_index,
                 bytes: if i == 0 { transient_bytes } else { 0 },
             });
+        }
+        if let Some(rel) = request.deadline_us {
+            // Lower bound for a decomposition: the queue slot, the initial
+            // factor upload, and one ALS sweep at each mode's certified
+            // kernel-time floor (at least one iteration always runs).
+            let factor_bytes: usize = shape.iter().map(|&s| s * rank * 4).sum();
+            let sweep_lo: f64 = plans.iter().map(|p| p.certificate.time_lo_us).sum();
+            let queue_start = ready.max(scheduler.device_available_us(device_index));
+            let estimate = queue_start + self.transfer_us(factor_bytes) + sweep_lo;
+            if estimate > now + rel {
+                for &pending in &pendings {
+                    self.pools[device_index].release(pending);
+                    self.log_event(ProtocolEvent::Release {
+                        request: index as u64,
+                        device: device_index,
+                    });
+                }
+                self.shed(index, device_index, estimate, now + rel);
+                return Ok(None);
+            }
         }
         let mut tier = ExecTier::Unified;
         let mut tier_attempts = 0usize;
@@ -2217,7 +2504,7 @@ impl ServeEngine {
             tier,
             output,
         });
-        Ok(RequestMetrics {
+        Ok(Some(RequestMetrics {
             index,
             tensor_id: request.tensor_id.clone(),
             op: request.op,
@@ -2237,7 +2524,7 @@ impl ServeEngine {
             faults_seen,
             recovery_us,
             chunks: 0,
-        })
+        }))
     }
 
     /// Runs the kernel functionally on `device_index` and returns the
@@ -2479,19 +2766,28 @@ impl ServeEngine {
     }
 }
 
-/// Device bytes a request holds beyond its cached format: uploaded factor
-/// matrices plus the kernel's output buffer.
-fn transient_bytes_for(fcoo: &Fcoo, rank: usize) -> usize {
+/// Bytes of the dense factor matrices a request must move host→device
+/// before its kernel can start — the transfer term of the certified
+/// completion-time lower bound the deadline shedder uses.
+fn factor_bytes_for(fcoo: &Fcoo, rank: usize) -> usize {
     let mode = fcoo.op.mode();
     let shape = &fcoo.shape;
-    let factor_bytes: usize = match fcoo.op {
+    match fcoo.op {
         TensorOp::SpTtm { .. } => shape[mode] * rank * 4,
         TensorOp::SpMttkrp { .. } => shape.iter().map(|&s| s * rank * 4).sum(),
         TensorOp::SpTtmc { .. } => product_modes(shape.len(), mode)
             .iter()
             .map(|&m| shape[m] * rank * 4)
             .sum(),
-    };
+    }
+}
+
+/// Device bytes a request holds beyond its cached format: uploaded factor
+/// matrices plus the kernel's output buffer.
+fn transient_bytes_for(fcoo: &Fcoo, rank: usize) -> usize {
+    let mode = fcoo.op.mode();
+    let shape = &fcoo.shape;
+    let factor_bytes: usize = factor_bytes_for(fcoo, rank);
     let output_bytes = match fcoo.op {
         TensorOp::SpTtm { .. } => fcoo.segments() * rank * 4,
         TensorOp::SpMttkrp { .. } => shape[mode] * rank * 4,

@@ -135,14 +135,45 @@ pub enum ProtocolEvent {
         /// Device the output lived on.
         device: usize,
     },
+    /// The request was shed: its certified completion-time lower bound
+    /// provably missed its deadline, so it never executed.
+    Shed {
+        /// Request id.
+        request: u64,
+        /// Device the request would have run on.
+        device: usize,
+        /// Certified completion-time lower bound (µs, absolute).
+        estimate_us: f64,
+        /// Absolute deadline the request could not meet (µs).
+        deadline_us: f64,
+    },
+    /// A quarantine re-placed the quarantined device's plan affinities
+    /// across the surviving devices.
+    Rebalance {
+        /// The quarantined device whose load was re-spread.
+        device: usize,
+        /// Plan affinities moved to survivors.
+        plans: usize,
+    },
+    /// A hot plan's arrival share crossed the replication threshold and it
+    /// gained a second serving device.
+    Replicate {
+        /// The plan's primary device.
+        primary: usize,
+        /// The replica device added.
+        replica: usize,
+    },
 }
 
 impl ProtocolEvent {
-    /// The request this event belongs to, if any ([`Quarantine`] and
-    /// [`PlanInvalidate`] are device-scoped).
+    /// The request this event belongs to, if any ([`Quarantine`],
+    /// [`PlanInvalidate`], [`Rebalance`] and [`Replicate`] are
+    /// device-scoped).
     ///
     /// [`Quarantine`]: ProtocolEvent::Quarantine
     /// [`PlanInvalidate`]: ProtocolEvent::PlanInvalidate
+    /// [`Rebalance`]: ProtocolEvent::Rebalance
+    /// [`Replicate`]: ProtocolEvent::Replicate
     pub fn request(&self) -> Option<u64> {
         match *self {
             ProtocolEvent::AdmitOk { request, .. }
@@ -156,8 +187,12 @@ impl ProtocolEvent {
             | ProtocolEvent::Backoff { request, .. }
             | ProtocolEvent::Degrade { request, .. }
             | ProtocolEvent::Place { request, .. }
-            | ProtocolEvent::Accept { request, .. } => Some(request),
-            ProtocolEvent::Quarantine { .. } | ProtocolEvent::PlanInvalidate { .. } => None,
+            | ProtocolEvent::Accept { request, .. }
+            | ProtocolEvent::Shed { request, .. } => Some(request),
+            ProtocolEvent::Quarantine { .. }
+            | ProtocolEvent::PlanInvalidate { .. }
+            | ProtocolEvent::Rebalance { .. }
+            | ProtocolEvent::Replicate { .. } => None,
         }
     }
 }
@@ -255,6 +290,24 @@ impl std::fmt::Display for ProtocolEvent {
             ProtocolEvent::Accept { request, device } => {
                 write!(f, "request {request} output read back from device {device}")
             }
+            ProtocolEvent::Shed {
+                request,
+                device,
+                estimate_us,
+                deadline_us,
+            } => write!(
+                f,
+                "request {request} shed on device {device}: certified finish ≥ {estimate_us:.1} µs misses deadline {deadline_us:.1} µs"
+            ),
+            ProtocolEvent::Rebalance { device, plans } => write!(
+                f,
+                "device {device} rebalanced: {plans} plan affinit{} moved to survivors",
+                if *plans == 1 { "y" } else { "ies" }
+            ),
+            ProtocolEvent::Replicate { primary, replica } => write!(
+                f,
+                "hot plan on device {primary} replicated to device {replica}"
+            ),
         }
     }
 }

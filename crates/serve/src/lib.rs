@@ -46,7 +46,7 @@ pub mod workload;
 
 pub use engine::{
     one_shot_cp_reference, one_shot_reference, one_shot_tier_reference, FaultStats, FaultTolerance,
-    JobOutput, Rejection, ServeConfig, ServeEngine, ServeReport,
+    JobOutput, OverloadStats, Rejection, ServeConfig, ServeEngine, ServeReport, ShedRecord,
 };
 pub use events::ProtocolEvent;
 pub use fingerprint::tensor_fingerprint;
@@ -56,4 +56,4 @@ pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanSource};
 pub use pool::{AdmitError, DevicePool, PoolStats, ReservationId};
 pub use profile::{KernelProfile, KernelStatics, RequestProfile, ServeProfile};
 pub use scheduler::{Placement, Scheduler};
-pub use workload::{synthetic, Request, ServeOp, TensorSpec, Workload, WorkloadError};
+pub use workload::{open_loop, synthetic, Request, ServeOp, TensorSpec, Workload, WorkloadError};

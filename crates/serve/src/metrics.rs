@@ -99,6 +99,8 @@ pub struct LatencySummary {
     pub p90_us: f64,
     /// 99th percentile (µs).
     pub p99_us: f64,
+    /// 99.9th percentile (µs).
+    pub p999_us: f64,
     /// Worst request (µs).
     pub max_us: f64,
     /// Mean (µs).
@@ -126,6 +128,7 @@ impl LatencySummary {
             p50_us: percentile(&totals, 0.50),
             p90_us: percentile(&totals, 0.90),
             p99_us: percentile(&totals, 0.99),
+            p999_us: percentile(&totals, 0.999),
             max_us: totals[totals.len() - 1],
             mean_us: totals.iter().sum::<f64>() / totals.len() as f64,
         }
@@ -173,6 +176,7 @@ mod tests {
         let reqs: Vec<_> = (0..10).map(|i| make(0.0, (i + 1) as f64 * 10.0)).collect();
         let s = LatencySummary::from_requests(&reqs);
         assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.p999_us, 100.0);
         assert_eq!(s.max_us, 100.0);
         assert!((s.mean_us - 55.0).abs() < 1e-12);
         assert_eq!(reqs[0].queue_us(), 0.0);

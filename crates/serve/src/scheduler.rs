@@ -141,6 +141,19 @@ impl Scheduler {
         }
     }
 
+    /// When `device` can next start work: the minimum over its streams of
+    /// their last enqueued finish times (zero when idle, `INFINITY` out of
+    /// range). The deadline-shedding estimator and replica selection both
+    /// read queue depth through this.
+    pub fn device_available_us(&self, device: usize) -> f64 {
+        match self.timelines.get(device) {
+            Some(t) if t.streams() > 0 => (0..t.streams())
+                .map(|s| t.stream_elapsed_us(s))
+                .fold(f64::INFINITY, f64::min),
+            _ => f64::INFINITY,
+        }
+    }
+
     /// Occupies `stream` on `device` with `duration_us` of work starting no
     /// earlier than `start_us`, returning the finish time.
     ///
@@ -296,6 +309,8 @@ mod tests {
         let mut sched = Scheduler::new(1, 3);
         assert_eq!(sched.stream_available_us(0, 1), 0.0);
         assert_eq!(sched.stream_available_us(0, 9), f64::INFINITY);
+        assert_eq!(sched.device_available_us(0), 0.0);
+        assert_eq!(sched.device_available_us(7), f64::INFINITY);
         // Stamp an overlapped pair of spans on distinct streams.
         let f0 = sched.occupy_stream(0, 0, 10.0, 20.0);
         let f1 = sched.occupy_stream(0, 1, 15.0, 20.0);
@@ -304,6 +319,8 @@ mod tests {
         // A stall occupies without busy credit.
         sched.stall_stream(0, 2, 0.0, 35.0);
         assert_eq!(sched.stream_available_us(0, 2), 35.0);
+        // Device availability is the min over streams: 30, 35, 35 → 30.
+        assert_eq!(sched.device_available_us(0), 30.0);
         assert_eq!(sched.makespan_us(), 35.0);
         let u = sched.utilizations();
         assert_eq!(u[0][2], 0.0);

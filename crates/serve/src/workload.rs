@@ -5,17 +5,23 @@
 //!
 //! ```text
 //! tensor  <id> <kind> <nnz> <seed>
-//! request <tensor-id> <spttm|mttkrp|ttmc> <mode> <rank> <arrival_us> <factor-seed>
-//! request <tensor-id> cp <iterations> <rank> <arrival_us> <factor-seed>
+//! request <tensor-id> <spttm|mttkrp|ttmc> <mode> <rank> <arrival_us> <factor-seed> [deadline_us]
+//! request <tensor-id> cp <iterations> <rank> <arrival_us> <factor-seed> [deadline_us]
 //! ```
 //!
 //! Modes are 0-based (the library convention; only the `tensortool` argv
 //! surface is 1-based). A `cp` request runs a full CP-ALS decomposition
 //! through the serving engine — its third field is the iteration budget
-//! rather than a mode. [`synthetic`] generates the acceptance workload: the
-//! paper's four datasets crossed with {SpTTM, SpMTTKRP}, Poisson-ish
-//! arrivals from a seeded splitmix64 stream — fully deterministic for a
-//! given `(requests, seed)` pair.
+//! rather than a mode. The optional eighth field is a relative deadline in
+//! µs: the engine sheds the request instead of serving it when its
+//! certified completion-time lower bound provably misses
+//! `arrival_us + deadline_us` (see `docs/SERVING.md`). [`synthetic`]
+//! generates the acceptance workload: the paper's four datasets crossed
+//! with {SpTTM, SpMTTKRP}, Poisson-ish arrivals from a seeded splitmix64
+//! stream — fully deterministic for a given `(requests, seed)` pair.
+//! [`open_loop`] generates the saturation workload: the same plan set
+//! driven at a fixed offered arrival rate regardless of completion times,
+//! with a skewed plan pick so a hot plan exists to exercise replication.
 
 use fcoo::TensorOp;
 use tensor_core::datasets::DatasetKind;
@@ -68,6 +74,10 @@ pub struct Request {
     pub arrival_us: f64,
     /// Seed for the dense factor matrices this request supplies.
     pub factor_seed: u64,
+    /// Optional relative deadline (µs after arrival). A request whose
+    /// certified completion-time lower bound provably exceeds
+    /// `arrival_us + deadline` is shed instead of served.
+    pub deadline_us: Option<f64>,
 }
 
 /// A parsed workload: registrations plus a request trace sorted by arrival.
@@ -156,10 +166,10 @@ impl Workload {
                     });
                 }
                 "request" => {
-                    if fields.len() != 7 {
+                    if fields.len() != 7 && fields.len() != 8 {
                         return Err(err(format!(
                             "expected `request <tensor-id> <op> <mode> <rank> \
-                             <arrival_us> <factor-seed>`, got {} fields",
+                             <arrival_us> <factor-seed> [deadline_us]`, got {} fields",
                             fields.len()
                         )));
                     }
@@ -187,12 +197,25 @@ impl Workload {
                     let factor_seed = fields[6]
                         .parse()
                         .map_err(|_| err(format!("bad factor seed `{}`", fields[6])))?;
+                    let deadline_us = match fields.get(7) {
+                        None => None,
+                        Some(raw) => {
+                            let d: f64 = raw
+                                .parse()
+                                .map_err(|_| err(format!("bad deadline `{raw}`")))?;
+                            if !d.is_finite() || d <= 0.0 {
+                                return Err(err(format!("bad deadline `{raw}`")));
+                            }
+                            Some(d)
+                        }
+                    };
                     workload.requests.push(Request {
                         tensor_id: fields[1].to_string(),
                         op,
                         rank,
                         arrival_us,
                         factor_seed,
+                        deadline_us,
                     });
                 }
                 other => return Err(err(format!("unknown directive `{other}` (tensor|request)"))),
@@ -219,9 +242,13 @@ impl Workload {
         for r in &self.requests {
             let (name, third) = op_fields(r.op);
             out.push_str(&format!(
-                "request {} {} {} {} {:.3} {}\n",
+                "request {} {} {} {} {:.3} {}",
                 r.tensor_id, name, third, r.rank, r.arrival_us, r.factor_seed
             ));
+            if let Some(d) = r.deadline_us {
+                out.push_str(&format!(" {d:.3}"));
+            }
+            out.push('\n');
         }
         out
     }
@@ -290,6 +317,74 @@ pub fn synthetic(requests: usize, seed: u64) -> Workload {
                 rank: 8,
                 arrival_us: arrival,
                 factor_seed,
+                deadline_us: None,
+            }
+        })
+        .collect();
+    Workload {
+        tensors,
+        requests: reqs,
+    }
+}
+
+/// Generates the open-loop saturation workload: the [`synthetic`] tensor
+/// and plan set driven at a fixed offered arrival rate (exponential
+/// inter-arrival gaps with mean `mean_gap_us`), independent of completion
+/// times — the open-loop discipline closed-loop generators cannot provide.
+/// Every request carries the relative deadline `deadline_us`. The plan
+/// pick is skewed: half the draws land on plan 0, so a hot plan exists for
+/// the engine's arrival-share replication to trigger on. Fully
+/// deterministic in `(requests, seed, mean_gap_us, deadline_us)`.
+pub fn open_loop(requests: usize, seed: u64, mean_gap_us: f64, deadline_us: f64) -> Workload {
+    let mut state = seed ^ 0x0be1_0ad5_a77e_d10d;
+    let kinds = [
+        (DatasetKind::Brainq, 1200usize),
+        (DatasetKind::Nell2, 1500),
+        (DatasetKind::Delicious, 1500),
+        (DatasetKind::Nell1, 1800),
+    ];
+    let tensors: Vec<TensorSpec> = kinds
+        .iter()
+        .map(|&(kind, nnz)| TensorSpec {
+            id: kind.name().to_string(),
+            kind,
+            nnz,
+            seed: splitmix64(&mut state),
+        })
+        .collect();
+    let mut plans = Vec::new();
+    for spec in &tensors {
+        let m = (splitmix64(&mut state) % 3) as usize;
+        plans.push((
+            spec.id.clone(),
+            ServeOp::Tensor(TensorOp::SpTtm { mode: m }),
+        ));
+        let m = (splitmix64(&mut state) % 3) as usize;
+        plans.push((
+            spec.id.clone(),
+            ServeOp::Tensor(TensorOp::SpMttkrp { mode: m }),
+        ));
+    }
+    let factor_pool: Vec<u64> = (0..6).map(|_| splitmix64(&mut state)).collect();
+    let mut arrival = 0.0f64;
+    let reqs = (0..requests)
+        .map(|_| {
+            // Skewed pick: every other draw collapses onto plan 0.
+            let draw = (splitmix64(&mut state) % (2 * plans.len() as u64)) as usize;
+            let (ref id, op) = plans[if draw < plans.len() {
+                0
+            } else {
+                draw - plans.len()
+            }];
+            let factor_seed = factor_pool[(splitmix64(&mut state) % 6) as usize];
+            arrival += -(1.0 - unit(&mut state)).ln() * mean_gap_us;
+            Request {
+                tensor_id: id.clone(),
+                op,
+                rank: 8,
+                arrival_us: arrival,
+                factor_seed,
+                deadline_us: Some(deadline_us),
             }
         })
         .collect();
@@ -356,5 +451,46 @@ mod tests {
         assert!(err.to_string().contains("unknown dataset kind"));
         let err = Workload::parse("request t spttm 0 8 -4.0 1\n").unwrap_err();
         assert!(err.to_string().contains("bad arrival"));
+        let err = Workload::parse("request t spttm 0 8 4.0 1 -10.0\n").unwrap_err();
+        assert!(err.to_string().contains("bad deadline"));
+        let err = Workload::parse("request t spttm 0 8 4.0 1 soon\n").unwrap_err();
+        assert!(err.to_string().contains("bad deadline"));
+    }
+
+    #[test]
+    fn deadlines_parse_and_round_trip() {
+        let text =
+            "tensor t nell2 500 3\nrequest t spttm 0 8 10.0 2\nrequest t mttkrp 1 8 20.0 3 750.5\n";
+        let w = Workload::parse(text).unwrap();
+        assert_eq!(w.requests[0].deadline_us, None);
+        assert_eq!(w.requests[1].deadline_us, Some(750.5));
+        let reparsed = Workload::parse(&w.render()).unwrap();
+        assert_eq!(reparsed.requests[0].deadline_us, None);
+        assert_eq!(reparsed.requests[1].deadline_us, Some(750.5));
+    }
+
+    #[test]
+    fn open_loop_is_deterministic_skewed_and_deadlined() {
+        let a = open_loop(200, 7, 25.0, 900.0);
+        let b = open_loop(200, 7, 25.0, 900.0);
+        assert_eq!(a, b);
+        assert_ne!(a, open_loop(200, 8, 25.0, 900.0));
+        assert!(a.requests.iter().all(|r| r.deadline_us == Some(900.0)));
+        // The skewed pick makes one plan's share far exceed the uniform 1/8.
+        let mut counts = std::collections::BTreeMap::new();
+        for r in &a.requests {
+            *counts
+                .entry((r.tensor_id.clone(), format!("{:?}", r.op)))
+                .or_insert(0usize) += 1;
+        }
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(
+            hottest as f64 > 0.4 * a.requests.len() as f64,
+            "hot plan share too small: {hottest}/200"
+        );
+        // Open loop: mean gap tracks the offered rate, not completions.
+        let span = a.requests.last().unwrap().arrival_us;
+        let mean_gap = span / a.requests.len() as f64;
+        assert!((10.0..60.0).contains(&mean_gap), "mean gap {mean_gap}");
     }
 }

@@ -9,6 +9,11 @@
 //! * [`Scheduler`]: `place_on_device_delayed` charges its dead time to the
 //!   makespan but never to busy credit, and per-stream utilization stays
 //!   within [0, 1] under randomized delayed placements.
+//! * [`serve::ServeEngine`]: request conservation — across arbitrary
+//!   open-loop load, deadlines, chaos fault rates and quarantine
+//!   thresholds, every submitted request reaches exactly one terminal
+//!   state (completed, shed, or rejected) and every device pool returns
+//!   to zero reserved bytes.
 
 use fcoo::TensorOp;
 use proptest::prelude::*;
@@ -152,5 +157,76 @@ proptest! {
             (total_busy - total_work).abs() <= 1e-6 * total_work.max(1.0),
             "busy {total_busy} != submitted work {total_work}"
         );
+    }
+}
+
+proptest! {
+    // Each case runs a real engine over a small workload; keep the count
+    // modest so the suite stays fast in debug builds.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Request conservation under overload, deadlines, faults and
+    /// quarantines: every request reaches exactly one terminal state —
+    /// completed, shed, or rejected — and every pool drains to zero
+    /// reserved bytes.
+    #[test]
+    fn every_request_reaches_exactly_one_terminal_state(
+        requests in 8usize..21,
+        seed in 0u64..10_000,
+        mean_gap_us in 5.0f64..300.0,
+        deadline_us in 100.0f64..20_000.0,
+        devices in 1usize..4,
+        fault_sel in 0u8..3,
+        quarantine_threshold in 1u64..6,
+    ) {
+        let fault = match fault_sel {
+            0 => None,
+            1 => Some(0.02f64),
+            _ => Some(0.08f64),
+        };
+        let workload = serve::open_loop(requests, seed, mean_gap_us, deadline_us);
+        let config = serve::ServeConfig {
+            devices,
+            fault_injection: fault.map(|rate| gpu_sim::FaultConfig::chaos(seed, rate)),
+            fault_tolerance: serve::FaultTolerance {
+                quarantine_threshold,
+                ..serve::FaultTolerance::default()
+            },
+            ..serve::ServeConfig::default()
+        };
+        let mut engine = serve::ServeEngine::new(config);
+        let report = engine.run(&workload);
+        // Exactly-once terminality: the three outcome sets partition the
+        // submitted indices.
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &report.requests {
+            prop_assert!(seen.insert(r.index), "request {} completed twice", r.index);
+        }
+        for r in &report.rejections {
+            prop_assert!(seen.insert(r.index), "request {} double-terminal", r.index);
+        }
+        for s in &report.sheds {
+            prop_assert!(seen.insert(s.index), "request {} double-terminal", s.index);
+        }
+        prop_assert_eq!(
+            seen.len(),
+            workload.requests.len(),
+            "{} served + {} rejected + {} shed != {} submitted",
+            report.requests.len(),
+            report.rejections.len(),
+            report.sheds.len(),
+            workload.requests.len()
+        );
+        prop_assert_eq!(report.overload.shed as usize, report.sheds.len());
+        prop_assert_eq!(report.overload.deadlined as usize, workload.requests.len());
+        // Leak freedom: every device pool is back at zero reserved bytes.
+        for d in 0..devices {
+            prop_assert_eq!(
+                engine.pool(d).reserved_bytes(),
+                0,
+                "device {} leaked reservations",
+                d
+            );
+        }
     }
 }

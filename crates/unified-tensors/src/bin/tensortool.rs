@@ -155,6 +155,14 @@ fn run(args: &[String]) -> Result<String, String> {
             };
             cli::oocbench(out, nnz).map_err(|e| e.to_string())
         }
+        "saturate" => {
+            let out = match &args[1..] {
+                [] => None,
+                [path] => Some(Path::new(path.as_str())),
+                _ => return Err("saturate takes only an optional [out.json]".into()),
+            };
+            cli::saturate(out).map_err(|e| e.to_string())
+        }
         "modelcheck" => {
             let [_] = args else {
                 return Err("modelcheck takes no arguments".into());

@@ -790,11 +790,14 @@ pub fn chaos(spec: &str, schedule: &str, seed: u64) -> Result<String, CliError> 
     );
     out.push_str(&report.render());
     let mut violations = Vec::new();
-    if report.requests.len() + report.rejections.len() != workload.requests.len() {
+    if report.requests.len() + report.rejections.len() + report.sheds.len()
+        != workload.requests.len()
+    {
         violations.push(format!(
-            "lost requests: {} served + {} rejected != {} submitted",
+            "lost requests: {} served + {} rejected + {} shed != {} submitted",
             report.requests.len(),
             report.rejections.len(),
+            report.sheds.len(),
             workload.requests.len()
         ));
     }
@@ -1030,6 +1033,203 @@ pub fn oocbench(out_path: Option<&Path>, nnz: usize) -> Result<String, CliError>
     Ok(out)
 }
 
+/// `tensortool saturate [out.json]` — open-loop saturation harness for the
+/// overload policy (docs/SERVING.md). A seeded Poisson-ish arrival process
+/// is swept across offered loads from half capacity to 4× capacity; every
+/// request carries a deadline, so past saturation the engine sheds the
+/// provably late tail instead of queueing without bound. Each sweep point
+/// reports accepted/shed/rejected counts, goodput and the p50/p99/p99.9
+/// latency of *accepted* requests, then a mid-run quarantine case (chaos
+/// fault injection with a low quarantine threshold) checks that survivors
+/// absorb a quarantined device's load with zero lost requests. The command
+/// exits non-zero if any request fails to reach exactly one terminal state,
+/// any pool byte leaks, overload never sheds, or the quarantine case loses
+/// a request. The emitted `BENCH_saturation.json` is deterministic
+/// (simulated time, seeded arrivals), so successive points diff cleanly.
+pub fn saturate(out_path: Option<&Path>) -> Result<String, CliError> {
+    use crate::serve::{FaultTolerance, LatencySummary, ServeConfig, ServeEngine, Workload};
+    let seed = 42u64;
+    let requests_per_load = 160usize;
+    let devices = 2usize;
+    let streams = ServeConfig::default().streams_per_device;
+
+    let run = |workload: &Workload,
+               fault: Option<(crate::gpu_sim::FaultConfig, u64)>|
+     -> (crate::serve::ServeReport, usize) {
+        let config = ServeConfig {
+            devices,
+            fault_injection: fault.as_ref().map(|(f, _)| f.clone()),
+            fault_tolerance: FaultTolerance {
+                quarantine_threshold: fault.map_or(u64::MAX, |(_, t)| t),
+                ..FaultTolerance::default()
+            },
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(config);
+        let report = engine.run(workload);
+        let leaked = (0..devices).map(|d| engine.pool(d).reserved_bytes()).sum();
+        (report, leaked)
+    };
+    let conservation = |label: &str,
+                        report: &crate::serve::ServeReport,
+                        leaked: usize,
+                        submitted: usize|
+     -> Result<(), CliError> {
+        let terminal = report.requests.len() + report.rejections.len() + report.sheds.len();
+        if terminal != submitted {
+            return Err(err(format!(
+                "saturation {label}: {} served + {} rejected + {} shed != {submitted} submitted",
+                report.requests.len(),
+                report.rejections.len(),
+                report.sheds.len()
+            )));
+        }
+        if leaked > 0 {
+            return Err(err(format!(
+                "saturation {label}: {leaked} B of pool reservations leaked"
+            )));
+        }
+        Ok(())
+    };
+
+    // Calibration: arrivals so sparse nothing queues and the deadline is
+    // effectively infinite — measures the mean execution span the capacity
+    // estimate needs.
+    let calib = crate::serve::open_loop(64, seed, 50_000.0, 1e12);
+    let (calib_report, calib_leaked) = run(&calib, None);
+    conservation(
+        "calibration",
+        &calib_report,
+        calib_leaked,
+        calib.requests.len(),
+    )?;
+    let mean_exec = calib_report.requests.iter().map(|r| r.exec_us).sum::<f64>()
+        / calib_report.requests.len() as f64;
+    // One request finishes every `capacity_gap` µs when every stream of
+    // every device is busy — the knee of the open-loop sweep.
+    let capacity_gap = mean_exec / (devices * streams) as f64;
+    let deadline_us = 12.0 * mean_exec;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "saturation: {requests_per_load} open-loop requests per offered load (seed {seed})"
+    );
+    let _ = writeln!(
+        out,
+        "  calibration: mean exec {mean_exec:.1} µs, capacity gap {capacity_gap:.1} µs \
+         ({devices} devices × {streams} streams), deadline {deadline_us:.1} µs"
+    );
+    let mut load_rows = String::new();
+    let mut overload_sheds = 0usize;
+    for rho in [0.5f64, 1.0, 2.0, 4.0] {
+        let gap = capacity_gap / rho;
+        let workload = crate::serve::open_loop(requests_per_load, seed, gap, deadline_us);
+        let (report, leaked) = run(&workload, None);
+        conservation(
+            &format!("load {rho}x"),
+            &report,
+            leaked,
+            workload.requests.len(),
+        )?;
+        let latency = LatencySummary::from_requests(&report.requests);
+        let goodput = if report.makespan_us > 0.0 {
+            report.requests.len() as f64 / (report.makespan_us * 1e-6)
+        } else {
+            0.0
+        };
+        let shed_rate = report.sheds.len() as f64 / workload.requests.len() as f64;
+        if rho >= 2.0 {
+            overload_sheds += report.sheds.len();
+        }
+        let _ = writeln!(
+            out,
+            "  load {rho:.1}x: gap {gap:>7.1} µs — {:>3} accepted, {:>3} shed, {} rejected, \
+             goodput {goodput:>8.0} req/s, p50 {:.1} / p99 {:.1} / p99.9 {:.1} µs",
+            report.requests.len(),
+            report.sheds.len(),
+            report.rejections.len(),
+            latency.p50_us,
+            latency.p99_us,
+            latency.p999_us,
+        );
+        if !load_rows.is_empty() {
+            load_rows.push_str(",\n");
+        }
+        let _ = write!(
+            load_rows,
+            "    {{\"offered_x\": {rho:.1}, \"mean_gap_us\": {gap:.3}, \
+             \"accepted\": {}, \"shed\": {}, \"rejected\": {}, \
+             \"goodput_rps\": {goodput:.1}, \"shed_rate\": {shed_rate:.4}, \
+             \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"max_us\": {:.3}}}",
+            report.requests.len(),
+            report.sheds.len(),
+            report.rejections.len(),
+            latency.p50_us,
+            latency.p99_us,
+            latency.p999_us,
+            latency.max_us,
+        );
+    }
+    if overload_sheds == 0 {
+        return Err(err(
+            "saturation: zero requests shed at ≥2x capacity — deadline admission never engaged",
+        ));
+    }
+
+    // Mid-run quarantine under overload: chaos faults with a hair-trigger
+    // threshold quarantine a device while the queue is deep; the survivors
+    // must absorb its load without losing a single request.
+    let q_workload =
+        crate::serve::open_loop(requests_per_load, seed, capacity_gap / 2.0, deadline_us);
+    let q_fault = crate::gpu_sim::FaultConfig::chaos(seed, 0.08);
+    let (q_report, q_leaked) = run(&q_workload, Some((q_fault, 2)));
+    conservation("quarantine", &q_report, q_leaked, q_workload.requests.len())?;
+    if q_report.fault_stats.devices_quarantined == 0 {
+        return Err(err(
+            "saturation quarantine case: chaos faults never quarantined a device",
+        ));
+    }
+    let _ = writeln!(
+        out,
+        "  quarantine at 2.0x (chaos:0.08, threshold 2): {} device(s) quarantined, \
+         {} affinities rebalanced — {} accepted, {} shed, {} rejected, zero lost",
+        q_report.fault_stats.devices_quarantined,
+        q_report.overload.rebalanced,
+        q_report.requests.len(),
+        q_report.sheds.len(),
+        q_report.rejections.len(),
+    );
+    let _ = writeln!(
+        out,
+        "saturation verdict: every request terminal exactly once, zero leaked bytes, \
+         overload sheds engaged, quarantine absorbed"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"saturation\",\n  \"seed\": {seed},\n  \
+         \"requests_per_load\": {requests_per_load},\n  \"devices\": {devices},\n  \
+         \"streams_per_device\": {streams},\n  \"mean_exec_us\": {mean_exec:.3},\n  \
+         \"capacity_gap_us\": {capacity_gap:.3},\n  \"deadline_us\": {deadline_us:.3},\n  \
+         \"loads\": [\n{load_rows}\n  ],\n  \
+         \"quarantine\": {{\"offered_x\": 2.0, \"fault_rate\": 0.08, \
+         \"devices_quarantined\": {}, \"affinities_rebalanced\": {}, \
+         \"accepted\": {}, \"shed\": {}, \"rejected\": {}, \"lost\": 0, \
+         \"leaked_bytes\": 0}}\n}}\n",
+        q_report.fault_stats.devices_quarantined,
+        q_report.overload.rebalanced,
+        q_report.requests.len(),
+        q_report.sheds.len(),
+        q_report.rejections.len(),
+    );
+    let default_path = Path::new("BENCH_saturation.json");
+    let path = out_path.unwrap_or(default_path);
+    std::fs::write(path, &json)
+        .map_err(|e| err(format!("cannot write {}: {e}", path.display())))?;
+    let _ = writeln!(out, "wrote {}", path.display());
+    Ok(out)
+}
+
 /// `modelcheck` subcommand: runs the serve-layer model checker over every
 /// standard scenario (the faithful protocol must prove determinism,
 /// leak-freedom, admission liveness and scrub-before-reuse across all host
@@ -1144,6 +1344,7 @@ USAGE:
   tensortool profile <workload.txt|synthetic:N:SEED> [trace.json]
   tensortool golden [--bless]
   tensortool oocbench [out.json] [nnz]
+  tensortool saturate [out.json]
   tensortool modelcheck
 
 Modes are 1-based, matching the paper's notation. `sanitize` lints the
@@ -1180,6 +1381,13 @@ the in-core path at three device-memory budgets too small for the full
 F-COO format, verifies every result bit-exactly, and writes the
 `BENCH_out_of_core.json` perf-trajectory point (throughput, chunk counts,
 overlap efficiency); it exits non-zero on any rejection or mismatch.
+`saturate` sweeps a seeded open-loop (Poisson-ish) arrival process across
+offered loads from half capacity to 4x capacity with per-request deadlines
+(docs/SERVING.md, overload policy): past saturation the engine sheds the
+provably late tail, goodput plateaus instead of collapsing, and a chaos
+quarantine case checks survivors absorb a dead device with zero lost
+requests. Writes the deterministic `BENCH_saturation.json` trajectory
+point and exits non-zero on any conservation, leak or shedding failure.
 ";
 
 #[cfg(test)]
@@ -1229,6 +1437,24 @@ mod tests {
         assert!(json.contains("\"verify_failures\": 0"));
         // Deterministic: a second run writes byte-identical JSON.
         oocbench(Some(&path), 6_000).unwrap();
+        assert_eq!(json, std::fs::read_to_string(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saturate_sheds_under_overload_and_is_deterministic() {
+        let path = std::env::temp_dir().join("tensortool_test_saturation.json");
+        let text = saturate(Some(&path)).unwrap();
+        assert!(text.contains("load 4.0x"), "{text}");
+        assert!(text.contains("saturation verdict:"), "{text}");
+        assert!(text.contains("quarantine at 2.0x"), "{text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"bench\": \"saturation\""), "{json}");
+        assert!(json.contains("\"shed_rate\""), "{json}");
+        assert!(json.contains("\"p999_us\""), "{json}");
+        assert!(json.contains("\"lost\": 0"), "{json}");
+        // Deterministic: a second run writes byte-identical JSON.
+        saturate(Some(&path)).unwrap();
         assert_eq!(json, std::fs::read_to_string(&path).unwrap());
         std::fs::remove_file(&path).ok();
     }
