@@ -36,7 +36,9 @@
 //! it; the golden suite and the property tests enforce it).
 
 use fcoo::chunk::ChunkPlan;
-use fcoo::{Fcoo, LaunchConfig, TensorOp};
+use fcoo::{
+    AnyFormat, BfCoo, Fcoo, FormatKind, LaunchConfig, TensorOp, BUCKET_RUN, BUCKET_SHUFFLE_OPS,
+};
 use gpu_sim::{scan, BlockStats, DeviceConfig, KernelCounters, KernelStats};
 use tensor_core::SparseTensorCoo;
 
@@ -397,18 +399,34 @@ struct ColumnPlan {
 }
 
 struct WarpPlan {
-    /// Summed sector count of the five-plus metadata streams.
+    /// Summed sector count of the five-plus metadata streams (BF-COO adds
+    /// its per-product-mode bucket streams here).
     stream_transactions: u64,
     /// Largest single stream's sector count (for the worst-access bound).
     stream_max: u64,
-    /// Live-lane count of each factor-gather call (one per `i` iteration).
-    gather_lives: Vec<usize>,
+    /// The warp's factor-gather schedule.
+    gather: GatherPlan,
     /// Segment ordinals finalized by this warp, in program order
     /// (segmented-scan mode).
     finals: Vec<usize>,
     /// Output rows of the COO-style atomic events, in program order
     /// (atomic-ablation mode).
     atomic_rows: Vec<usize>,
+}
+
+/// Mirror of `fcoo::kernels::GatherLayout` at the envelope level: what the
+/// certifier knows about each gather call's address batch.
+enum GatherPlan {
+    /// F-COO lane-strided batches: the live-lane count of each threadlen
+    /// iteration. Targets are value-dependent, so per call the warp probes
+    /// between `n_factors` and `live · n_factors` lines.
+    Strided(Vec<usize>),
+    /// BF-COO run-bucketed batches: per aligned 32-non-zero run, the run
+    /// length and the **exact** distinct-row count of every product mode
+    /// (the streamed bucket metadata). Each per-factor call probes between
+    /// 1 and that run's distinct-row count — the tightening the format
+    /// exists to license.
+    Bucketed(Vec<(usize, Vec<u64>)>),
 }
 
 /// Certified counter envelope of one unified-kernel launch over `fcoo` at
@@ -427,6 +445,44 @@ struct WarpPlan {
 pub fn certify(
     config: &DeviceConfig,
     fcoo: &Fcoo,
+    rank: usize,
+    cfg: &LaunchConfig,
+) -> CounterEnvelope {
+    certify_impl(config, fcoo, None, rank, cfg)
+}
+
+/// [`certify`] for a BF-COO tensor: same interpreter, but the per-run
+/// bucket metadata replaces the `live · n_factors` gather worst case with
+/// each run's exact distinct-row count, and the bucket streams plus the
+/// per-run demux shuffles are charged exactly. On skewed tensors (long
+/// fibers → small buckets) the time upper bound tightens drastically; the
+/// format-aware planner selects on exactly that bound.
+pub fn certify_bfcoo(
+    config: &DeviceConfig,
+    bfcoo: &BfCoo,
+    rank: usize,
+    cfg: &LaunchConfig,
+) -> CounterEnvelope {
+    certify_impl(config, &bfcoo.base, Some(&bfcoo.buckets), rank, cfg)
+}
+
+/// Dispatches [`certify`] / [`certify_bfcoo`] on a format-erased tensor.
+pub fn certify_format(
+    config: &DeviceConfig,
+    format: &AnyFormat,
+    rank: usize,
+    cfg: &LaunchConfig,
+) -> CounterEnvelope {
+    match format {
+        AnyFormat::Fcoo(fcoo) => certify(config, fcoo, rank, cfg),
+        AnyFormat::BfCoo(bf) => certify_bfcoo(config, bf, rank, cfg),
+    }
+}
+
+fn certify_impl(
+    config: &DeviceConfig,
+    fcoo: &Fcoo,
+    buckets: Option<&[Vec<u32>]>,
     rank: usize,
     cfg: &LaunchConfig,
 ) -> CounterEnvelope {
@@ -496,17 +552,44 @@ pub fn certify(
             let sf_last = (wft + threads_here - 1) / 8;
             charge_stream(sf_first, sf_last - sf_first + 1);
 
-            // Factor-gather calls: live lanes per threadlen iteration.
-            let mut gather_lives = Vec::new();
-            for i in 0..threadlen {
-                let live = (0..warp)
-                    .take_while(|&lane| (wft + lane) * threadlen + i < nnz)
-                    .count();
-                if live == 0 {
-                    break;
+            let gather = match buckets {
+                None => {
+                    // F-COO: live lanes per threadlen iteration.
+                    let mut gather_lives = Vec::new();
+                    for i in 0..threadlen {
+                        let live = (0..warp)
+                            .take_while(|&lane| (wft + lane) * threadlen + i < nnz)
+                            .count();
+                        if live == 0 {
+                            break;
+                        }
+                        gather_lives.push(live);
+                    }
+                    GatherPlan::Strided(gather_lives)
                 }
-                gather_lives.push(live);
-            }
+                Some(buckets) => {
+                    // BF-COO streams one distinct-row-count array per
+                    // product mode alongside the flags; `warp_nnz_start` is
+                    // a multiple of 32, so the warp's runs coincide with
+                    // the global aligned runs the buckets index.
+                    let run_first = warp_nnz_start / BUCKET_RUN;
+                    let runs = span.div_ceil(BUCKET_RUN);
+                    for _ in buckets {
+                        charge_stream(run_first * 4, runs * 4);
+                    }
+                    let mut run_plans = Vec::with_capacity(runs);
+                    for r in 0..runs {
+                        let run_start = warp_nnz_start + r * BUCKET_RUN;
+                        let run_end = (run_start + BUCKET_RUN).min(warp_nnz_end);
+                        let ds = buckets
+                            .iter()
+                            .map(|column| column[run_first + r] as u64)
+                            .collect();
+                        run_plans.push((run_end - run_start, ds));
+                    }
+                    GatherPlan::Bucketed(run_plans)
+                }
+            };
 
             // Exact lane fold over the segment flags.
             let mut finals = Vec::new();
@@ -543,7 +626,7 @@ pub fn certify(
             warps.push(WarpPlan {
                 stream_transactions: stream_transactions_total,
                 stream_max,
-                gather_lives,
+                gather,
                 finals,
                 atomic_rows,
             });
@@ -606,31 +689,70 @@ pub fn certify(
                     .max_with(Interval::exact(wp.stream_max));
 
                 // Factor gathers: the sole interval source.
-                for &live in &wp.gather_lives {
-                    any_gather = true;
-                    let per_call = Interval::new(n_factors, (live as u64) * n_factors);
-                    probes.add(per_call);
-                    if cfg.use_rocache {
-                        // Per probe: 1 hit cycle … one miss fill.
-                        cycles.add(Interval::new(per_call.lo, per_call.hi * miss_cycles));
-                    } else {
-                        // Plain coalesced loads of a reused working set.
-                        cycles.add(per_call.scale(config.mem_issue_cycles));
-                        if shape.factor_ws <= config.l2_bytes {
-                            cycles.add_exact(config.l2_latency_cycles);
-                        } else {
-                            env.dram_bytes
-                                .add(per_call.scale(config.transaction_bytes as u64));
+                match &wp.gather {
+                    GatherPlan::Strided(lives) => {
+                        for &live in lives {
+                            any_gather = true;
+                            let per_call = Interval::new(n_factors, (live as u64) * n_factors);
+                            probes.add(per_call);
+                            if cfg.use_rocache {
+                                // Per probe: 1 hit cycle … one miss fill.
+                                cycles.add(Interval::new(per_call.lo, per_call.hi * miss_cycles));
+                            } else {
+                                // Plain coalesced loads of a reused working set.
+                                cycles.add(per_call.scale(config.mem_issue_cycles));
+                                if shape.factor_ws <= config.l2_bytes {
+                                    cycles.add_exact(config.l2_latency_cycles);
+                                } else {
+                                    env.dram_bytes
+                                        .add(per_call.scale(config.transaction_bytes as u64));
+                                }
+                                env.transactions.add(per_call);
+                                let ideal = ideal_lane_transactions(live * shape.n_factors, config);
+                                env.ideal_transactions.add(Interval::new(
+                                    ideal.min(per_call.lo),
+                                    ideal.min(per_call.hi),
+                                ));
+                            }
+                            env.max_access_transactions.max_with(per_call);
+                            cycles.add_exact(shape.compute_per_element);
                         }
-                        env.transactions.add(per_call);
-                        let ideal = ideal_lane_transactions(live * shape.n_factors, config);
-                        env.ideal_transactions.add(Interval::new(
-                            ideal.min(per_call.lo),
-                            ideal.min(per_call.hi),
-                        ));
                     }
-                    env.max_access_transactions.max_with(per_call);
-                    cycles.add_exact(shape.compute_per_element);
+                    GatherPlan::Bucketed(runs) => {
+                        // One batch per factor per run: the bucket metadata
+                        // bounds each batch's distinct lines by the run's
+                        // exact distinct-row count, so `live · n_factors`
+                        // never appears — this is where BF-COO's certified
+                        // upper bound beats F-COO's.
+                        for (run_len, ds) in runs {
+                            any_gather = true;
+                            for &d in ds {
+                                let per_call = Interval::new(1, d);
+                                if cfg.use_rocache {
+                                    probes.add(per_call);
+                                    cycles
+                                        .add(Interval::new(per_call.lo, per_call.hi * miss_cycles));
+                                } else {
+                                    cycles.add(per_call.scale(config.mem_issue_cycles));
+                                    if shape.factor_ws <= config.l2_bytes {
+                                        cycles.add_exact(config.l2_latency_cycles);
+                                    } else {
+                                        env.dram_bytes
+                                            .add(per_call.scale(config.transaction_bytes as u64));
+                                    }
+                                    env.transactions.add(per_call);
+                                    let ideal = ideal_lane_transactions(*run_len, config);
+                                    env.ideal_transactions
+                                        .add(Interval::new(1, ideal.min(per_call.hi)));
+                                }
+                                env.max_access_transactions.max_with(per_call);
+                            }
+                            // Demux shuffles and the product FLOPs, exactly
+                            // as narrated: once per run.
+                            cycles.add_exact(BUCKET_SHUFFLE_OPS * config.shuffle_cycles);
+                            cycles.add_exact(shape.compute_per_element);
+                        }
+                    }
                 }
 
                 // Segmented-scan stages and batched output traffic.
@@ -726,9 +848,12 @@ pub fn certify(
                 }
                 if any_gather {
                     // The block's first probe batch is all-miss (cold cache,
-                    // in-call dedup), so the worst access sees ≥ n_factors.
+                    // in-call dedup), so the worst access sees ≥ n_factors —
+                    // except under the bucketed schedule, whose batches are
+                    // per-factor and may dedup to a single line.
+                    let cold_lo = if buckets.is_some() { 1 } else { n_factors };
                     env.max_access_transactions
-                        .max_with(Interval::new(n_factors, probes.hi));
+                        .max_with(Interval::new(cold_lo, probes.hi));
                 }
             }
             blocks.push(env);
@@ -1061,10 +1186,29 @@ pub fn certify_chunked(
     rank: usize,
     cfg: &LaunchConfig,
 ) -> CounterEnvelope {
+    certify_chunked_format(config, FormatKind::Fcoo, fcoo, plan, rank, cfg)
+}
+
+/// [`certify_chunked`] for any serving format. The chunk boundaries live in
+/// the shared F-COO payload; per-chunk bucket metadata is re-derived from
+/// each extracted chunk (exactly what the format-generic out-of-core
+/// executor uploads), so the per-chunk envelopes match the traced launches.
+pub fn certify_chunked_format(
+    config: &DeviceConfig,
+    kind: FormatKind,
+    fcoo: &Fcoo,
+    plan: &ChunkPlan,
+    rank: usize,
+    cfg: &LaunchConfig,
+) -> CounterEnvelope {
     let mut envelope = CounterEnvelope::empty();
     for desc in &plan.chunks {
         let chunk = fcoo::chunk::extract(fcoo, desc);
-        envelope.accumulate(&certify(config, &chunk, rank, cfg));
+        let per_chunk = match kind {
+            FormatKind::Fcoo => certify(config, &chunk, rank, cfg),
+            FormatKind::BfCoo => certify_bfcoo(config, &BfCoo::from_fcoo(chunk), rank, cfg),
+        };
+        envelope.accumulate(&per_chunk);
     }
     envelope
 }
@@ -1296,6 +1440,155 @@ mod tests {
             let out = device.memory().alloc_zeroed::<f32>(rows * RANK).unwrap();
             fcoo::kernels::spmttkrp_into(device, &on_device, &refs, cfg, &out);
         }
+    }
+
+    fn traced_bfcoo_counters(
+        tensor: &SparseTensorCoo,
+        op: TensorOp,
+        threadlen: usize,
+        cfg: &LaunchConfig,
+    ) -> KernelCounters {
+        let device = GpuDevice::titan_x();
+        let bf = BfCoo::from_coo(tensor, op, threadlen);
+        let on_device = fcoo::BfCooDevice::upload(device.memory(), &bf).unwrap();
+        let factors: Vec<DeviceMatrix> = tensor
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(m, &n)| {
+                let host = DenseMatrix::random(n, RANK, 1 + m as u64);
+                DeviceMatrix::upload(device.memory(), &host).unwrap()
+            })
+            .collect();
+        device.start_tracing();
+        match op {
+            TensorOp::SpTtm { mode } => {
+                on_device.spttm(&device, &factors[mode], cfg).unwrap();
+            }
+            TensorOp::SpMttkrp { .. } => {
+                let refs: Vec<&DeviceMatrix> = factors.iter().collect();
+                on_device.spmttkrp(&device, &refs, cfg).unwrap();
+            }
+            TensorOp::SpTtmc { .. } => {
+                let pm = &on_device.base.classification.product_modes;
+                let refs: Vec<&DeviceMatrix> = pm.iter().map(|&m| &factors[m]).collect();
+                on_device.spttmc_norder(&device, &refs, cfg).unwrap();
+            }
+        }
+        device.stop_tracing().counters()
+    }
+
+    #[test]
+    fn bfcoo_envelope_contains_traced_bucketed_runs() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 1500, 2017);
+        let config = DeviceConfig::titan_x();
+        for op in [
+            TensorOp::SpTtm { mode: 0 },
+            TensorOp::SpMttkrp { mode: 0 },
+            TensorOp::SpTtmc { mode: 0 },
+        ] {
+            for &(block, threadlen) in &[(64usize, 8usize), (128, 16)] {
+                let cfg = LaunchConfig::with_block_size(block);
+                let bf = BfCoo::from_coo(&tensor, op, threadlen);
+                let envelope = certify_bfcoo(&config, &bf, RANK, &cfg);
+                let measured = traced_bfcoo_counters(&tensor, op, threadlen, &cfg);
+                assert_eq!(
+                    envelope.violations(&measured),
+                    Vec::<String>::new(),
+                    "{op:?} B{block} T{threadlen}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfcoo_envelope_is_sound_without_the_readonly_cache() {
+        let (tensor, _) = datasets::generate(DatasetKind::Brainq, 1500, 2017);
+        let config = DeviceConfig::titan_x();
+        let op = TensorOp::SpMttkrp { mode: 0 };
+        let cfg = LaunchConfig {
+            block_size: 128,
+            use_rocache: false,
+            ..LaunchConfig::default()
+        };
+        let bf = BfCoo::from_coo(&tensor, op, 8);
+        let envelope = certify_bfcoo(&config, &bf, RANK, &cfg);
+        let measured = traced_bfcoo_counters(&tensor, op, 8, &cfg);
+        assert_eq!(envelope.violations(&measured), Vec::<String>::new());
+    }
+
+    #[test]
+    fn certify_format_dispatches_both_formats() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 1500, 2017);
+        let config = DeviceConfig::titan_x();
+        let op = TensorOp::SpMttkrp { mode: 0 };
+        let cfg = LaunchConfig::with_block_size(64);
+        for kind in FormatKind::ALL {
+            let format = AnyFormat::build(kind, &tensor, op, 8);
+            let envelope = certify_format(&config, &format, RANK, &cfg);
+            assert!(envelope.time_us.hi >= envelope.time_us.lo);
+            assert!(envelope.blocks > 0);
+        }
+    }
+
+    #[test]
+    fn chunked_bfcoo_envelope_contains_traced_chunked_run() {
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 1500, 2017);
+        let config = DeviceConfig::titan_x();
+        let cfg = LaunchConfig::with_block_size(128);
+        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 8);
+        let budget = (fcoo.storage().total_bytes() / 4).max(1);
+        let plan = fcoo::chunk::split(&fcoo, budget);
+        let envelope = certify_chunked_format(&config, FormatKind::BfCoo, &fcoo, &plan, RANK, &cfg);
+        let device = GpuDevice::titan_x();
+        let hosts: Vec<DenseMatrix> = tensor
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(m, &n)| DenseMatrix::random(n, RANK, 1 + m as u64))
+            .collect();
+        let factors: Vec<DeviceMatrix> = hosts
+            .iter()
+            .map(|h| DeviceMatrix::upload(device.memory(), h).unwrap())
+            .collect();
+        let refs: Vec<&DeviceMatrix> = factors.iter().collect();
+        device.start_tracing();
+        for desc in &plan.chunks {
+            let chunk = BfCoo::from_fcoo(fcoo::chunk::extract(&fcoo, desc));
+            let rows = chunk.base.shape[0];
+            let on_device = fcoo::BfCooDevice::upload(device.memory(), &chunk).unwrap();
+            let out = device.memory().alloc_zeroed::<f32>(rows * RANK).unwrap();
+            on_device.spmttkrp_into(&device, &refs, &cfg, &out);
+        }
+        let measured = device.stop_tracing().counters();
+        assert_eq!(envelope.violations(&measured), Vec::<String>::new());
+        assert_eq!(envelope.launches, plan.len() as u64);
+    }
+
+    #[test]
+    fn long_fiber_skew_tightens_the_bfcoo_bound_below_fcoo() {
+        // The format-selection criterion: on a long-fiber power-law tensor
+        // the exact buckets collapse the gather worst case, so BF-COO's
+        // certified time upper bound lands strictly below F-COO's at the
+        // same configuration.
+        let mut entries = Vec::new();
+        for s in 0..200u32 {
+            let len = ((8_000.0 / f64::powf(s as f64 + 1.0, 1.3)) as u32).clamp(1, 1000);
+            for t in 0..len {
+                entries.push((vec![s, (s * 7) % 300, (t * 13) % 1000], 1.0f32));
+            }
+        }
+        let tensor = SparseTensorCoo::from_entries(vec![200, 300, 1000], &entries);
+        let config = DeviceConfig::titan_x();
+        let op = TensorOp::SpMttkrp { mode: 0 };
+        let cfg = LaunchConfig::with_block_size(128);
+        let bf = BfCoo::from_coo(&tensor, op, 16);
+        let fc_hi = certify(&config, &bf.base, RANK, &cfg).stats_time_us().hi;
+        let bf_hi = certify_bfcoo(&config, &bf, RANK, &cfg).stats_time_us().hi;
+        assert!(
+            bf_hi < fc_hi,
+            "bucketed hi {bf_hi} must undercut strided hi {fc_hi} on skew"
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@
 pub mod cost;
 pub mod model;
 
-use fcoo::{Fcoo, TensorOp, TuneResult};
+use fcoo::{AnyFormat, Fcoo, FormatKind, TensorOp, TuneResult};
 use gpu_sim::symbolic::{AffineLaneAccess, RangeAccess};
 use gpu_sim::{DeviceConfig, GpuDevice};
 use model::{launch_shape_violation, LaunchGeometry};
@@ -825,6 +825,32 @@ pub fn tune_certified(
     block_sizes: Option<&[usize]>,
     threadlens: Option<&[usize]>,
 ) -> CertifiedTune {
+    tune_certified_format(
+        device,
+        tensor,
+        FormatKind::Fcoo,
+        op,
+        rank,
+        block_sizes,
+        threadlens,
+    )
+}
+
+/// [`tune_certified`] for any serving format: envelopes come from
+/// [`cost::certify_format`] over the format's own gather schedule, and the
+/// residual launched sweep (when envelopes overlap) runs through
+/// [`fcoo::tune_format_with_filter`] so the trials execute the same
+/// format they certify.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_certified_format(
+    device: &GpuDevice,
+    tensor: &SparseTensorCoo,
+    kind: FormatKind,
+    op: TensorOp,
+    rank: usize,
+    block_sizes: Option<&[usize]>,
+    threadlens: Option<&[usize]>,
+) -> CertifiedTune {
     let config = device.config();
     let grid_b = block_sizes.unwrap_or(&fcoo::BLOCK_SIZES);
     let grid_t = threadlens.unwrap_or(&fcoo::THREADLENS);
@@ -832,14 +858,14 @@ pub fn tune_certified(
     let mut pruned = Vec::new();
     let mut envelopes = Vec::new();
     for &threadlen in grid_t {
-        let fcoo = Fcoo::from_coo(tensor, op, threadlen);
+        let format = AnyFormat::build(kind, tensor, op, threadlen);
         for &block_size in grid_b {
-            if !keep(&fcoo, block_size) {
+            if !keep(format.base(), block_size) {
                 pruned.push((block_size, threadlen));
                 continue;
             }
             let cfg = fcoo::LaunchConfig::with_block_size(block_size);
-            let envelope = cost::certify(config, &fcoo, rank, &cfg);
+            let envelope = cost::certify_format(config, &format, rank, &cfg);
             envelopes.push(CertifiedPoint {
                 block_size,
                 threadlen,
@@ -893,9 +919,10 @@ pub fn tune_certified(
     let keep_launch = move |fcoo: &Fcoo, block_size: usize| {
         keep(fcoo, block_size) && survivors.contains(&(block_size, fcoo.threadlen))
     };
-    let mut tuned = fcoo::tune_with_filter(
+    let mut tuned = fcoo::tune_format_with_filter(
         device,
         tensor,
+        kind,
         op,
         rank,
         block_sizes,
@@ -917,6 +944,124 @@ pub fn tune_certified(
         grid_points,
         launches,
     }
+}
+
+/// One format's best certified configuration, as selected by
+/// [`tune_select`].
+#[derive(Debug, Clone)]
+pub struct FormatBest {
+    /// The format this candidate runs in.
+    pub kind: FormatKind,
+    /// Threads per block of its best grid point.
+    pub block_size: usize,
+    /// Non-zeros per thread of its best grid point.
+    pub threadlen: usize,
+    /// The grid point's certified `KernelStats::time_us` envelope — best
+    /// means minimal upper bound, the quantity selection compares.
+    pub time_us: cost::TimeBounds,
+}
+
+/// Outcome of cross-format certified selection: the winning `(format,
+/// BLOCK_SIZE, threadlen)` triple plus every format's best certificate, so
+/// consumers (the serving planner, `tensortool certify`) can show *why*
+/// the winner won.
+#[derive(Debug, Clone)]
+pub struct FormatChoice {
+    /// The selected triple and its certificate.
+    pub chosen: FormatBest,
+    /// Every format's best certified point, [`FormatKind::ALL`] order.
+    pub candidates: Vec<FormatBest>,
+}
+
+impl FormatChoice {
+    /// The selected format.
+    pub fn kind(&self) -> FormatKind {
+        self.chosen.kind
+    }
+
+    /// True when the winner's certified upper bound sits strictly below
+    /// every other format's — the selection is proven, not a tie-break.
+    pub fn strictly_dominates(&self) -> bool {
+        self.candidates
+            .iter()
+            .filter(|c| c.kind != self.chosen.kind)
+            .all(|c| self.chosen.time_us.hi < c.time_us.hi)
+    }
+
+    /// One verdict line per format: its best certified triple, marking the
+    /// winner.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.candidates {
+            let marker = if c.kind == self.chosen.kind {
+                "->"
+            } else {
+                "  "
+            };
+            let _ = writeln!(
+                out,
+                "{marker} {:<6} B{:<5} T{:<3} certified time [{:.3}, {:.3}] us",
+                c.kind.label(),
+                c.block_size,
+                c.threadlen,
+                c.time_us.lo,
+                c.time_us.hi
+            );
+        }
+        out
+    }
+}
+
+/// Cross-format certified tuning: for every serving format, certifies each
+/// structurally-surviving `(BLOCK_SIZE, threadlen)` grid point and keeps
+/// the point with the minimal certified *upper* bound; the format whose
+/// best upper bound is smallest wins. Zero launches — the choice is a
+/// certificate, not a measurement: the winner's true cost is ≤ its `hi`,
+/// which undercuts every bound the competitor can prove. Ties keep the
+/// earlier format in [`FormatKind::ALL`] order (F-COO, the paper's
+/// baseline), so uniform tensors — where bucket metadata buys nothing —
+/// never churn formats.
+pub fn tune_select(
+    config: &DeviceConfig,
+    tensor: &SparseTensorCoo,
+    op: TensorOp,
+    rank: usize,
+    block_sizes: Option<&[usize]>,
+    threadlens: Option<&[usize]>,
+) -> FormatChoice {
+    let grid_b = block_sizes.unwrap_or(&fcoo::BLOCK_SIZES);
+    let grid_t = threadlens.unwrap_or(&fcoo::THREADLENS);
+    let keep = tune_filter(config, grid_b);
+    let mut candidates: Vec<FormatBest> = Vec::with_capacity(FormatKind::ALL.len());
+    for kind in FormatKind::ALL {
+        let mut best: Option<FormatBest> = None;
+        for &threadlen in grid_t {
+            let format = AnyFormat::build(kind, tensor, op, threadlen);
+            for &block_size in grid_b {
+                if !keep(format.base(), block_size) {
+                    continue;
+                }
+                let cfg = fcoo::LaunchConfig::with_block_size(block_size);
+                let time_us = cost::certify_format(config, &format, rank, &cfg).stats_time_us();
+                if best.as_ref().is_none_or(|b| time_us.hi < b.time_us.hi) {
+                    best = Some(FormatBest {
+                        kind,
+                        block_size,
+                        threadlen,
+                        time_us,
+                    });
+                }
+            }
+        }
+        candidates.push(best.expect("the structural filter keeps at least one configuration"));
+    }
+    let chosen = candidates
+        .iter()
+        .cloned()
+        .reduce(|a, b| if b.time_us.hi < a.time_us.hi { b } else { a })
+        .expect("at least one format candidate");
+    FormatChoice { chosen, candidates }
 }
 
 /// Load-time gate for persisted serving plans: re-checks the *correctness*
@@ -960,6 +1105,52 @@ pub fn plan_report(config: &DeviceConfig, fcoo: &Fcoo, block_size: usize) -> Rep
 /// True when [`plan_report`] finds no errors — the plan may execute.
 pub fn plan_safe(config: &DeviceConfig, fcoo: &Fcoo, block_size: usize) -> bool {
     plan_report(config, fcoo, block_size).error_count() == 0
+}
+
+/// [`plan_report`] for a format-erased plan: the decoded payload is linted
+/// with its format's own invariants — BF-COO additionally re-derives the
+/// bucket metadata and rejects any deviation, since an inexact bucket would
+/// unsound the certificate the plan persists.
+pub fn plan_report_format(config: &DeviceConfig, format: &AnyFormat, block_size: usize) -> Report {
+    let fcoo = format.base();
+    let mut report = Report::default();
+    let geometry = LaunchGeometry::new(
+        block_size,
+        fcoo.threadlen,
+        fcoo.nnz(),
+        1,
+        (block_size / 32) * 8,
+    );
+    if let Some(violation) = launch_shape_violation(&geometry, config) {
+        report.findings.push(Finding {
+            pass: Pass::Symbolic,
+            severity: Severity::Error,
+            message: format!("launch-shape refuted: {violation}"),
+            launch: None,
+            block: None,
+        });
+    }
+    let flags = match format {
+        AnyFormat::Fcoo(fcoo) => sanitizer::check_fcoo(fcoo),
+        AnyFormat::BfCoo(bfcoo) => sanitizer::check_bfcoo(bfcoo),
+    };
+    if !flags.is_clean() {
+        for finding in flags.findings {
+            report.findings.push(Finding {
+                pass: Pass::Symbolic,
+                severity: finding.severity,
+                message: format!("format-invariants refuted: {}", finding.message),
+                launch: None,
+                block: None,
+            });
+        }
+    }
+    report
+}
+
+/// True when [`plan_report_format`] finds no errors — the plan may execute.
+pub fn plan_safe_format(config: &DeviceConfig, format: &AnyFormat, block_size: usize) -> bool {
+    plan_report_format(config, format, block_size).error_count() == 0
 }
 
 /// Cross-checks one kernel's verdict matrix against the production
@@ -1204,6 +1395,109 @@ mod tests {
             winner.time_us.lo,
             winner.time_us.hi,
             launched.best.time_us
+        );
+    }
+
+    /// Long-fiber power-law tensor (skewed) and a uniform scatter of the
+    /// same nnz/shape — the two regimes format selection must separate.
+    fn skew_and_uniform() -> (SparseTensorCoo, SparseTensorCoo) {
+        let (slices, jdim, kdim) = (400u32, 300u32, 2000u32);
+        let mut entries = Vec::new();
+        for s in 0..slices {
+            let len = ((30_000.0 / f64::powf(s as f64 + 1.0, 1.3)) as u32).clamp(1, kdim);
+            for t in 0..len {
+                entries.push((vec![s, (s * 7) % jdim, (t * 13) % kdim], 1.0f32));
+            }
+        }
+        let shape = vec![slices as usize, jdim as usize, kdim as usize];
+        let skew = SparseTensorCoo::from_entries(shape.clone(), &entries);
+        // Saturating uniform counterpart: 128 non-zeros per slice (runs never
+        // straddle slices) with j and k injective within each slice, so every
+        // aligned 32-run holds 32 distinct rows in both product modes — the
+        // buckets certify nothing beyond the strided worst case and the demux
+        // shuffles are pure overhead.
+        let mut uentries = Vec::new();
+        for s in 0..slices {
+            for t in 0..128u32 {
+                let j = (s * 17 + t * 7) % jdim;
+                let k = (s + t * 13) % kdim;
+                uentries.push((vec![s, j, k], 1.0f32));
+            }
+        }
+        (skew, SparseTensorCoo::from_entries(shape, &uentries))
+    }
+
+    #[test]
+    fn selection_certifies_bfcoo_on_skew_and_keeps_fcoo_on_uniform() {
+        let config = DeviceConfig::titan_x();
+        let op = TensorOp::SpMttkrp { mode: 0 };
+        let (skew, uniform) = skew_and_uniform();
+        let grids = (Some(&[64usize, 128][..]), Some(&[16usize, 32][..]));
+        let choice = tune_select(&config, &skew, op, 8, grids.0, grids.1);
+        assert_eq!(choice.kind(), FormatKind::BfCoo);
+        assert!(
+            choice.strictly_dominates(),
+            "skew selection must be proven, not tied:\n{}",
+            choice.render()
+        );
+        let fcoo_best = choice
+            .candidates
+            .iter()
+            .find(|c| c.kind == FormatKind::Fcoo)
+            .expect("fcoo candidate");
+        assert!(choice.chosen.time_us.hi < fcoo_best.time_us.hi);
+
+        let choice = tune_select(&config, &uniform, op, 8, grids.0, grids.1);
+        assert_eq!(
+            choice.kind(),
+            FormatKind::Fcoo,
+            "uniform scatter buys nothing from buckets:\n{}",
+            choice.render()
+        );
+        assert_eq!(choice.candidates.len(), FormatKind::ALL.len());
+        assert!(choice.render().contains("->"));
+    }
+
+    #[test]
+    fn certified_format_tuning_preserves_the_exhaustive_bfcoo_winner() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let op = TensorOp::SpMttkrp { mode: 0 };
+        let grids = (Some(&[64usize, 128][..]), Some(&[8usize, 16][..]));
+        let exhaustive = fcoo::tune_format_with_filter(
+            &device,
+            &tensor,
+            FormatKind::BfCoo,
+            op,
+            8,
+            grids.0,
+            grids.1,
+            |_, _| true,
+        );
+        let certified =
+            tune_certified_format(&device, &tensor, FormatKind::BfCoo, op, 8, grids.0, grids.1);
+        assert_eq!(certified.best_pair(), exhaustive.best_pair());
+        assert!(certified.launches <= certified.grid_points);
+    }
+
+    #[test]
+    fn format_plan_gate_rejects_corrupt_buckets() {
+        let config = DeviceConfig::titan_x();
+        let op = TensorOp::SpMttkrp { mode: 0 };
+        let mut bf = fcoo::BfCoo::from_coo(&sample(), op, 8);
+        let format = AnyFormat::BfCoo(std::sync::Arc::new(bf.clone()));
+        assert!(plan_safe_format(&config, &format, 128));
+        assert!(!plan_safe_format(&config, &format, 48), "bad block size");
+        bf.buckets[0][0] += 1;
+        let corrupt = AnyFormat::BfCoo(std::sync::Arc::new(bf));
+        assert!(!plan_safe_format(&config, &corrupt, 128));
+        let report = plan_report_format(&config, &corrupt, 128);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("format-invariants refuted")),
+            "{report}"
         );
     }
 

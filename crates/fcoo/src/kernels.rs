@@ -32,6 +32,34 @@ use gpu_sim::stats::BlockStats;
 use gpu_sim::{GpuDevice, KernelStats, OutOfMemory};
 use tensor_core::{DenseMatrix, SemiSparseTensor};
 
+/// Warp-shuffle operations each BF-COO gather run spends demultiplexing the
+/// bucketed lanes back onto their owning threads (arXiv:1904.03329 §4: one
+/// ballot, two index shuffles, two value shuffles per 32-non-zero run).
+pub const BUCKET_SHUFFLE_OPS: u64 = 5;
+
+/// How the unified skeleton batches its scattered factor-matrix reads.
+///
+/// `Strided` is the paper's F-COO schedule: iteration `i` gathers lane
+/// `l`'s non-zero `l·threadlen + i`, so one warp-wide batch mixes addresses
+/// `threadlen` apart in the non-zero stream. `Bucketed` is the BF-COO
+/// schedule: the warp walks its non-zero span in aligned 32-element runs,
+/// issuing one batch **per factor** per run — consecutive non-zeros share
+/// segment rows under the format's sort order, so each batch dedups to the
+/// run's distinct-row count (the per-run bucket metadata streamed alongside
+/// the tensor). Both schedules cover exactly the same non-zeros; only the
+/// batching — and therefore the cache behaviour — differs.
+#[derive(Clone, Copy)]
+pub(crate) enum GatherLayout<'a> {
+    /// F-COO lane-strided gathers (one batch per threadlen iteration).
+    Strided,
+    /// BF-COO run-bucketed gathers over per-product-mode bucket arrays.
+    Bucketed {
+        /// One distinct-row-count array per product mode, one entry per
+        /// aligned 32-non-zero run.
+        buckets: &'a [DeviceBuffer<u32>],
+    },
+}
+
 /// Tunable launch parameters and optimization toggles.
 #[derive(Debug, Clone)]
 pub struct LaunchConfig {
@@ -83,6 +111,16 @@ pub fn spttm(
     u: &DeviceMatrix,
     cfg: &LaunchConfig,
 ) -> Result<(SemiSparseTensor, KernelStats), OutOfMemory> {
+    spttm_with_layout(device, fcoo, u, cfg, GatherLayout::Strided)
+}
+
+pub(crate) fn spttm_with_layout(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    u: &DeviceMatrix,
+    cfg: &LaunchConfig,
+    layout: GatherLayout<'_>,
+) -> Result<(SemiSparseTensor, KernelStats), OutOfMemory> {
     let mode = match fcoo.op {
         TensorOp::SpTtm { mode } => mode,
         other => panic!("F-COO was preprocessed for {other:?}, not SpTTM"),
@@ -95,7 +133,7 @@ pub fn spttm(
     let r = u.cols();
     let segments = fcoo.segments();
     let out = device.memory().alloc_zeroed::<f32>(segments * r)?;
-    let stats = spttm_into(device, fcoo, u, cfg, &out);
+    let stats = spttm_into_with_layout(device, fcoo, u, cfg, &out, layout);
     let mut result = SemiSparseTensor::new(fcoo.shape.clone(), mode, r);
     let values = out.to_vec();
     for seg in 0..segments {
@@ -128,6 +166,17 @@ pub fn spttm_into(
     cfg: &LaunchConfig,
     out: &DeviceBuffer<f32>,
 ) -> KernelStats {
+    spttm_into_with_layout(device, fcoo, u, cfg, out, GatherLayout::Strided)
+}
+
+pub(crate) fn spttm_into_with_layout(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    u: &DeviceMatrix,
+    cfg: &LaunchConfig,
+    out: &DeviceBuffer<f32>,
+    layout: GatherLayout<'_>,
+) -> KernelStats {
     let mode = match fcoo.op {
         TensorOp::SpTtm { mode } => mode,
         other => panic!("F-COO was preprocessed for {other:?}, not SpTTM"),
@@ -149,6 +198,7 @@ pub fn spttm_into(
         device,
         fcoo,
         cfg,
+        layout,
         r,
         out,
         r,
@@ -175,6 +225,16 @@ pub fn spmttkrp(
     factors: &[&DeviceMatrix],
     cfg: &LaunchConfig,
 ) -> Result<(DenseMatrix, KernelStats), OutOfMemory> {
+    spmttkrp_with_layout(device, fcoo, factors, cfg, GatherLayout::Strided)
+}
+
+pub(crate) fn spmttkrp_with_layout(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    factors: &[&DeviceMatrix],
+    cfg: &LaunchConfig,
+    layout: GatherLayout<'_>,
+) -> Result<(DenseMatrix, KernelStats), OutOfMemory> {
     let mode = match fcoo.op {
         TensorOp::SpMttkrp { mode } => mode,
         other => panic!("F-COO was preprocessed for {other:?}, not SpMTTKRP"),
@@ -193,7 +253,7 @@ pub fn spmttkrp(
     }
     let rows = fcoo.shape[mode];
     let out = device.memory().alloc_zeroed::<f32>(rows * r)?;
-    let stats = spmttkrp_into(device, fcoo, factors, cfg, &out);
+    let stats = spmttkrp_into_with_layout(device, fcoo, factors, cfg, &out, layout);
     Ok((DenseMatrix::from_vec(rows, r, out.to_vec()), stats))
 }
 
@@ -211,6 +271,17 @@ pub fn spmttkrp_into(
     factors: &[&DeviceMatrix],
     cfg: &LaunchConfig,
     out: &DeviceBuffer<f32>,
+) -> KernelStats {
+    spmttkrp_into_with_layout(device, fcoo, factors, cfg, out, GatherLayout::Strided)
+}
+
+pub(crate) fn spmttkrp_into_with_layout(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    factors: &[&DeviceMatrix],
+    cfg: &LaunchConfig,
+    out: &DeviceBuffer<f32>,
+    layout: GatherLayout<'_>,
 ) -> KernelStats {
     let mode = match fcoo.op {
         TensorOp::SpMttkrp { mode } => mode,
@@ -240,6 +311,7 @@ pub fn spmttkrp_into(
         device,
         fcoo,
         cfg,
+        layout,
         r,
         out,
         r,
@@ -302,6 +374,16 @@ pub fn spttmc_norder(
     product_factors: &[&DeviceMatrix],
     cfg: &LaunchConfig,
 ) -> Result<(DenseMatrix, KernelStats), OutOfMemory> {
+    spttmc_norder_with_layout(device, fcoo, product_factors, cfg, GatherLayout::Strided)
+}
+
+pub(crate) fn spttmc_norder_with_layout(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    product_factors: &[&DeviceMatrix],
+    cfg: &LaunchConfig,
+    layout: GatherLayout<'_>,
+) -> Result<(DenseMatrix, KernelStats), OutOfMemory> {
     let mode = match fcoo.op {
         TensorOp::SpTtmc { mode } => mode,
         other => panic!("F-COO was preprocessed for {other:?}, not SpTTMc"),
@@ -322,7 +404,7 @@ pub fn spttmc_norder(
     let columns: usize = product_factors.iter().map(|f| f.cols()).product();
     let rows = fcoo.shape[mode];
     let out = device.memory().alloc_zeroed::<f32>(rows * columns)?;
-    let stats = spttmc_norder_into(device, fcoo, product_factors, cfg, &out);
+    let stats = spttmc_norder_into_with_layout(device, fcoo, product_factors, cfg, &out, layout);
     Ok((DenseMatrix::from_vec(rows, columns, out.to_vec()), stats))
 }
 
@@ -341,6 +423,24 @@ pub fn spttmc_norder_into(
     product_factors: &[&DeviceMatrix],
     cfg: &LaunchConfig,
     out: &DeviceBuffer<f32>,
+) -> KernelStats {
+    spttmc_norder_into_with_layout(
+        device,
+        fcoo,
+        product_factors,
+        cfg,
+        out,
+        GatherLayout::Strided,
+    )
+}
+
+pub(crate) fn spttmc_norder_into_with_layout(
+    device: &GpuDevice,
+    fcoo: &FcooDevice,
+    product_factors: &[&DeviceMatrix],
+    cfg: &LaunchConfig,
+    out: &DeviceBuffer<f32>,
+    layout: GatherLayout<'_>,
 ) -> KernelStats {
     let mode = match fcoo.op {
         TensorOp::SpTtmc { mode } => mode,
@@ -377,6 +477,7 @@ pub fn spttmc_norder_into(
         device,
         fcoo,
         cfg,
+        layout,
         columns,
         out,
         columns,
@@ -420,6 +521,7 @@ fn run_unified<RowOf, Product, Addrs>(
     device: &GpuDevice,
     fcoo: &FcooDevice,
     cfg: &LaunchConfig,
+    layout: GatherLayout<'_>,
     columns: usize,
     out: &DeviceBuffer<f32>,
     out_stride: usize,
@@ -454,6 +556,7 @@ where
                 ctx.set_rocache_sharers(columns.min(8) as u64);
             }
             let mut ro_addrs: Vec<u64> = Vec::with_capacity(2 * warp);
+            let mut factor_batch: Vec<u64> = Vec::with_capacity(warp);
             let mut write_rows: Vec<u64> = Vec::with_capacity(warp);
             let mut coord_reads: Vec<u64> = Vec::with_capacity(warp);
             let mut atomic_events: Vec<(usize, f32)> = Vec::new();
@@ -502,26 +605,83 @@ where
                 let sf_first = warp_first_thread / 8;
                 let sf_last = (warp_first_thread + threads_here - 1) / 8;
                 stream(ctx, fcoo.sf.addr(sf_first), sf_last - sf_first + 1);
+                if let GatherLayout::Bucketed { buckets } = layout {
+                    // BF-COO also streams its per-run distinct-row counts,
+                    // one array per product mode. `warp_nnz_start` is a
+                    // multiple of 32 (warps start on 32-thread boundaries),
+                    // so the warp's span aligns with the global runs.
+                    let run_first = warp_nnz_start / 32;
+                    let runs = span.div_ceil(32);
+                    for bucket in buckets {
+                        stream(ctx, bucket.addr(run_first), runs * 4);
+                    }
+                }
 
-                // Per-iteration factor-matrix reads (scattered by product-mode
-                // indices → read-only cache territory) and the product FLOPs.
-                for i in 0..threadlen {
-                    ro_addrs.clear();
-                    for lane in 0..warp {
-                        let nz = (warp_first_thread + lane) * threadlen + i;
-                        if nz < nnz {
-                            factor_addrs(nz, col, &mut ro_addrs);
+                // Factor-matrix reads (scattered by product-mode indices →
+                // read-only cache territory) and the product FLOPs. The
+                // strided schedule batches lane-strided addresses per
+                // threadlen iteration; the bucketed schedule batches each
+                // aligned 32-non-zero run per factor, so consecutive
+                // non-zeros sharing a segment row collapse onto the same
+                // cache lines (the load balancing of arXiv:1904.03329).
+                match layout {
+                    GatherLayout::Strided => {
+                        for i in 0..threadlen {
+                            ro_addrs.clear();
+                            for lane in 0..warp {
+                                let nz = (warp_first_thread + lane) * threadlen + i;
+                                if nz < nnz {
+                                    factor_addrs(nz, col, &mut ro_addrs);
+                                }
+                            }
+                            if ro_addrs.is_empty() {
+                                break;
+                            }
+                            if cfg.use_rocache {
+                                ctx.read_readonly_ws(&ro_addrs, factor_ws);
+                            } else {
+                                ctx.read_global_ws(&ro_addrs, factor_ws);
+                            }
+                            ctx.compute(compute_per_element);
                         }
                     }
-                    if ro_addrs.is_empty() {
-                        break;
+                    GatherLayout::Bucketed { .. } => {
+                        let runs = span.div_ceil(32);
+                        for r in 0..runs {
+                            let run_start = warp_nnz_start + r * 32;
+                            let run_end = (run_start + 32).min(warp_nnz_end);
+                            ro_addrs.clear();
+                            for nz in run_start..run_end {
+                                factor_addrs(nz, col, &mut ro_addrs);
+                            }
+                            if ro_addrs.is_empty() {
+                                break;
+                            }
+                            // Each non-zero pushed the same per-factor
+                            // address group; demux into one ≤32-address
+                            // batch per factor so the read-only cache's
+                            // line-dedup window sees a single factor's rows.
+                            let live = run_end - run_start;
+                            let per_nz = ro_addrs.len() / live;
+                            for f in 0..per_nz {
+                                factor_batch.clear();
+                                factor_batch.extend(
+                                    ro_addrs
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(j, _)| j % per_nz == f)
+                                        .map(|(_, &a)| a),
+                                );
+                                if cfg.use_rocache {
+                                    ctx.read_readonly_ws(&factor_batch, factor_ws);
+                                } else {
+                                    ctx.read_global_ws(&factor_batch, factor_ws);
+                                }
+                            }
+                            ctx.shuffle(BUCKET_SHUFFLE_OPS);
+                            ctx.compute(compute_per_element);
+                        }
                     }
-                    if cfg.use_rocache {
-                        ctx.read_readonly_ws(&ro_addrs, factor_ws);
-                    } else {
-                        ctx.read_global_ws(&ro_addrs, factor_ws);
-                    }
-                    ctx.compute(compute_per_element);
                 }
 
                 // Functional per-lane segment accumulation.

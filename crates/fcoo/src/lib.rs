@@ -41,9 +41,11 @@
 
 #![warn(missing_docs)]
 
+pub mod bfcoo;
 pub mod chunk;
 pub mod device;
 pub mod format;
+pub mod formats;
 pub mod kernels;
 pub mod modes;
 pub mod multi;
@@ -51,15 +53,19 @@ pub mod serialize;
 pub mod tune;
 pub mod two_step;
 
+pub use bfcoo::{bucket_counts, BfCoo, BfCooDevice, RUN as BUCKET_RUN};
 pub use chunk::{extract, split, ChunkDescriptor, ChunkPlan};
 pub use device::{DeviceMatrix, FcooDevice};
 pub use format::{table2_coo_bytes, table2_fcoo_bytes, BitFlags, Fcoo, StorageBreakdown};
+pub use formats::{AnyFormat, AnyFormatDevice, FormatKind, SparseFormat};
 pub use kernels::{
     spmttkrp, spmttkrp_into, spttm, spttm_into, spttmc, spttmc_norder, spttmc_norder_into,
-    LaunchConfig,
+    LaunchConfig, BUCKET_SHUFFLE_OPS,
 };
 pub use modes::{ModeClassification, TensorOp};
 pub use multi::{spmttkrp_multi_gpu, MultiGpuStats};
 pub use serialize::{read_fcoo, write_fcoo, DecodeError};
-pub use tune::{tune, tune_with_filter, TunePoint, TuneResult, BLOCK_SIZES, THREADLENS};
+pub use tune::{
+    tune, tune_format_with_filter, tune_with_filter, TunePoint, TuneResult, BLOCK_SIZES, THREADLENS,
+};
 pub use two_step::{spmttkrp_two_step_unified, TwoStepOutcome};

@@ -5,9 +5,10 @@
 //! behaviour, so the best configuration is found empirically by sweeping the
 //! two parameters and timing the kernel on the simulated device.
 
-use crate::device::{DeviceMatrix, FcooDevice};
+use crate::device::DeviceMatrix;
 use crate::format::Fcoo;
-use crate::kernels::{self, LaunchConfig};
+use crate::formats::{AnyFormat, AnyFormatDevice, FormatKind};
+use crate::kernels::LaunchConfig;
 use crate::modes::TensorOp;
 use gpu_sim::GpuDevice;
 use tensor_core::{DenseMatrix, SparseTensorCoo};
@@ -88,6 +89,33 @@ pub fn tune_with_filter(
     threadlens: Option<&[usize]>,
     keep: impl Fn(&Fcoo, usize) -> bool,
 ) -> TuneResult {
+    tune_format_with_filter(
+        device,
+        tensor,
+        FormatKind::Fcoo,
+        op,
+        rank,
+        block_sizes,
+        threadlens,
+        keep,
+    )
+}
+
+/// [`tune_with_filter`] for any serving format: preprocesses `tensor` into
+/// `kind` per threadlen and sweeps the kept block sizes through that
+/// format's gather schedule. The keep-filter still sees the shared F-COO
+/// payload (launch-shape reasoning is format-independent).
+#[allow(clippy::too_many_arguments)]
+pub fn tune_format_with_filter(
+    device: &GpuDevice,
+    tensor: &SparseTensorCoo,
+    kind: FormatKind,
+    op: TensorOp,
+    rank: usize,
+    block_sizes: Option<&[usize]>,
+    threadlens: Option<&[usize]>,
+    keep: impl Fn(&Fcoo, usize) -> bool,
+) -> TuneResult {
     let block_sizes = block_sizes.unwrap_or(&BLOCK_SIZES);
     let threadlens = threadlens.unwrap_or(&THREADLENS);
     let factors: Vec<DenseMatrix> = tensor
@@ -99,13 +127,13 @@ pub fn tune_with_filter(
     let mut surface = Vec::with_capacity(block_sizes.len() * threadlens.len());
     let mut pruned = Vec::new();
     for &threadlen in threadlens {
-        // F-COO preprocessing depends on threadlen but not on block size.
-        let fcoo = Fcoo::from_coo(tensor, op, threadlen);
+        // Format preprocessing depends on threadlen but not on block size.
+        let format = AnyFormat::build(kind, tensor, op, threadlen);
         let kept: Vec<usize> = block_sizes
             .iter()
             .copied()
             .filter(|&block_size| {
-                let keep_it = keep(&fcoo, block_size);
+                let keep_it = keep(format.base(), block_size);
                 if !keep_it {
                     pruned.push((block_size, threadlen));
                 }
@@ -115,11 +143,12 @@ pub fn tune_with_filter(
         if kept.is_empty() {
             continue;
         }
-        let fcoo_dev = FcooDevice::upload(device.memory(), &fcoo)
+        let format_dev = format
+            .upload(device.memory())
             .expect("tuning tensor must fit on the device");
         for block_size in kept {
             let cfg = LaunchConfig::with_block_size(block_size);
-            let time_us = run_once(device, &fcoo_dev, &factors, &cfg);
+            let time_us = run_once_any(device, &format_dev, &factors, &cfg);
             surface.push(TunePoint {
                 block_size,
                 threadlen,
@@ -140,16 +169,17 @@ pub fn tune_with_filter(
     }
 }
 
-fn run_once(
+fn run_once_any(
     device: &GpuDevice,
-    fcoo: &FcooDevice,
+    format: &AnyFormatDevice,
     factors: &[DenseMatrix],
     cfg: &LaunchConfig,
 ) -> f64 {
-    match fcoo.op {
+    let base = format.base();
+    match base.op {
         TensorOp::SpTtm { mode } => {
             let u = DeviceMatrix::upload(device.memory(), &factors[mode]).expect("factor upload");
-            let (_, stats) = kernels::spttm(device, fcoo, &u, cfg).expect("spttm launch");
+            let (_, stats) = format.spttm(device, &u, cfg).expect("spttm launch");
             stats.time_us
         }
         TensorOp::SpMttkrp { .. } => {
@@ -158,14 +188,23 @@ fn run_once(
                 .map(|f| DeviceMatrix::upload(device.memory(), f).expect("factor upload"))
                 .collect();
             let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
-            let (_, stats) = kernels::spmttkrp(device, fcoo, &refs, cfg).expect("spmttkrp launch");
+            let (_, stats) = format
+                .spmttkrp(device, &refs, cfg)
+                .expect("spmttkrp launch");
             stats.time_us
         }
         TensorOp::SpTtmc { .. } => {
-            let pm = &fcoo.classification.product_modes;
-            let a = DeviceMatrix::upload(device.memory(), &factors[pm[0]]).expect("factor upload");
-            let b = DeviceMatrix::upload(device.memory(), &factors[pm[1]]).expect("factor upload");
-            let (_, stats) = kernels::spttmc(device, fcoo, &a, &b, cfg).expect("spttmc launch");
+            let pm = &base.classification.product_modes;
+            let uploaded: Vec<DeviceMatrix> = pm
+                .iter()
+                .map(|&m| {
+                    DeviceMatrix::upload(device.memory(), &factors[m]).expect("factor upload")
+                })
+                .collect();
+            let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+            let (_, stats) = format
+                .spttmc_norder(device, &refs, cfg)
+                .expect("spttmc launch");
             stats.time_us
         }
     }

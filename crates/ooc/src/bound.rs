@@ -13,9 +13,9 @@
 //! atomic-count drift long before it corrupts an output value).
 
 use crate::executor::ChunkedRun;
-use analyzer::cost::{certify_chunked, CounterEnvelope};
+use analyzer::cost::{certify_chunked, certify_chunked_format, CounterEnvelope};
 use fcoo::chunk::ChunkPlan;
-use fcoo::{Fcoo, LaunchConfig};
+use fcoo::{Fcoo, FormatKind, LaunchConfig};
 use gpu_sim::DeviceConfig;
 
 /// Certified envelope of a whole chunked pipeline: every counter of the
@@ -30,6 +30,22 @@ pub fn pipeline_envelope(
     cfg: &LaunchConfig,
 ) -> CounterEnvelope {
     certify_chunked(config, fcoo, plan, rank, cfg)
+}
+
+/// [`pipeline_envelope`] generalized over the sparse format: each chunk is
+/// certified with the format's own cost interpreter (bucketed gather
+/// transactions for BF-COO), matching what
+/// [`run_chunked_format`](crate::executor::run_chunked_format) launches.
+/// `FormatKind::Fcoo` is exactly [`pipeline_envelope`].
+pub fn pipeline_envelope_format(
+    config: &DeviceConfig,
+    kind: FormatKind,
+    fcoo: &Fcoo,
+    plan: &ChunkPlan,
+    rank: usize,
+    cfg: &LaunchConfig,
+) -> CounterEnvelope {
+    certify_chunked_format(config, kind, fcoo, plan, rank, cfg)
 }
 
 /// Validates a finished chunked run against its certified envelope.
@@ -95,6 +111,40 @@ mod tests {
             );
             assert_eq!(envelope.launches, plan.len() as u64);
         }
+    }
+
+    #[test]
+    fn bfcoo_chunked_pipeline_stays_within_its_format_envelope() {
+        let device = GpuDevice::titan_x();
+        let (tensor, _) = datasets::generate(DatasetKind::Nell2, 2000, 13);
+        let fcoo = Fcoo::from_coo(&tensor, fcoo::TensorOp::SpMttkrp { mode: 0 }, 8);
+        let factors: Vec<tensor_core::DenseMatrix> = tensor
+            .shape()
+            .iter()
+            .enumerate()
+            .map(|(m, &n)| tensor_core::DenseMatrix::random(n, RANK, 1 + m as u64))
+            .collect();
+        let cfg = LaunchConfig::with_block_size(128);
+        let budget = (fcoo.storage().total_bytes() / 3).max(1);
+        let plan = fcoo::split(&fcoo, budget);
+        let envelope =
+            pipeline_envelope_format(device.config(), FormatKind::BfCoo, &fcoo, &plan, RANK, &cfg);
+        let run = crate::executor::run_chunked_format(
+            &device,
+            FormatKind::BfCoo,
+            &fcoo,
+            &plan,
+            &factors,
+            &cfg,
+        )
+        .expect("chunked run");
+        assert_eq!(check_run(&envelope, &run), Vec::<String>::new());
+        assert_eq!(envelope.launches, plan.len() as u64);
+        // The strided envelope certifies the same launch count but models
+        // the un-bucketed gathers — a BF-COO run is not obliged to fit it,
+        // only its own format envelope (checked above).
+        let strided = pipeline_envelope(device.config(), &fcoo, &plan, RANK, &cfg);
+        assert_eq!(strided.launches, envelope.launches);
     }
 
     #[test]

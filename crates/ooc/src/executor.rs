@@ -17,7 +17,7 @@
 //! chunks never re-run (the serve layer's per-chunk retry).
 
 use fcoo::chunk::{self, ChunkDescriptor, ChunkPlan};
-use fcoo::{Fcoo, FcooDevice, LaunchConfig, TensorOp};
+use fcoo::{BfCoo, BfCooDevice, Fcoo, FcooDevice, FormatKind, LaunchConfig, TensorOp};
 use gpu_sim::{GpuDevice, KernelStats, OutOfMemory};
 use tensor_core::DenseMatrix;
 
@@ -166,6 +166,34 @@ pub fn run_chunk(
     Ok((out.to_vec(), stats))
 }
 
+/// [`run_chunk`] generalized over the sparse format: rebuilds the chunk's
+/// format-specific metadata (e.g. BF-COO bucket offsets, a pure function of
+/// the chunk-local coordinate stream) before upload and dispatches through
+/// the format's kernels. `FormatKind::Fcoo` is exactly [`run_chunk`].
+pub fn run_chunk_format(
+    device: &GpuDevice,
+    kind: FormatKind,
+    chunk: &Fcoo,
+    factors: &[&fcoo::DeviceMatrix],
+    cfg: &LaunchConfig,
+    seed: &[f32],
+) -> Result<(Vec<f32>, KernelStats), OutOfMemory> {
+    match kind {
+        FormatKind::Fcoo => run_chunk(device, chunk, factors, cfg, seed),
+        FormatKind::BfCoo => {
+            let bfcoo = BfCoo::from_fcoo(chunk.clone());
+            let format = BfCooDevice::upload(device.memory(), &bfcoo)?;
+            let out = device.memory().alloc_from_slice(seed)?;
+            let stats = match chunk.op {
+                TensorOp::SpTtm { .. } => format.spttm_into(device, factors[0], cfg, &out),
+                TensorOp::SpMttkrp { .. } => format.spmttkrp_into(device, factors, cfg, &out),
+                TensorOp::SpTtmc { .. } => format.spttmc_norder_into(device, factors, cfg, &out),
+            };
+            Ok((out.to_vec(), stats))
+        }
+    }
+}
+
 /// Per-chunk byte and time accounting of one streamed execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChunkReport {
@@ -208,6 +236,23 @@ pub fn run_chunked(
     factors: &[DenseMatrix],
     cfg: &LaunchConfig,
 ) -> Result<ChunkedRun, OutOfMemory> {
+    run_chunked_format(device, FormatKind::Fcoo, fcoo, plan, factors, cfg)
+}
+
+/// [`run_chunked`] generalized over the sparse format: every chunk is
+/// executed via [`run_chunk_format`], so a BF-COO stream rebuilds each
+/// chunk's bucket metadata locally while the carry-row accumulation stays
+/// format-independent (the bucketed schedule permutes gathers within a
+/// thread, never the segment fold order, so outputs remain bit-exact with
+/// the strided path).
+pub fn run_chunked_format(
+    device: &GpuDevice,
+    kind: FormatKind,
+    fcoo: &Fcoo,
+    plan: &ChunkPlan,
+    factors: &[DenseMatrix],
+    cfg: &LaunchConfig,
+) -> Result<ChunkedRun, OutOfMemory> {
     let cols = output_cols(fcoo, factors);
     let uploaded: Vec<fcoo::DeviceMatrix> = factors
         .iter()
@@ -217,15 +262,16 @@ pub fn run_chunked(
     let mut acc = Accumulator::for_op(fcoo, cols);
     let mut reports = Vec::with_capacity(plan.len());
     let mut stats = KernelStats::default();
+    let product_modes = fcoo.product_indices.len();
     for desc in &plan.chunks {
         let chunk = chunk::extract(fcoo, desc);
         let seed = acc.seed_image(desc, &chunk);
-        let (out, chunk_stats) = run_chunk(device, &chunk, &refs, cfg, &seed)?;
+        let (out, chunk_stats) = run_chunk_format(device, kind, &chunk, &refs, cfg, &seed)?;
         acc.absorb(desc, &chunk, &out);
         reports.push(ChunkReport {
             index: desc.index,
             nnz: desc.nnz,
-            h2d_bytes: chunk.storage().total_bytes(),
+            h2d_bytes: chunk.storage().total_bytes() + kind.metadata_bytes(desc.nnz, product_modes),
             d2h_bytes: acc.d2h_bytes(desc),
             kernel_us: chunk_stats.time_us,
         });
@@ -332,6 +378,52 @@ mod tests {
         let ref_bits: Vec<u32> = reference.data().iter().map(|v| v.to_bits()).collect();
         let got_bits: Vec<u32> = run.values.iter().map(|v| v.to_bits()).collect();
         assert_eq!(ref_bits, got_bits);
+    }
+
+    #[test]
+    fn bfcoo_chunked_is_bit_exact_with_in_core_and_with_fcoo_chunks() {
+        let t = tensor();
+        let f = Fcoo::from_coo(&t, TensorOp::SpMttkrp { mode: 0 }, THREADLEN);
+        let factors: Vec<DenseMatrix> = (0..3)
+            .map(|m| factor(t.shape()[m], 40 + m as u64))
+            .collect();
+        let device = GpuDevice::titan_x();
+        let format = FcooDevice::upload(device.memory(), &f).unwrap();
+        let dev_factors: Vec<DeviceMatrix> = factors
+            .iter()
+            .map(|h| DeviceMatrix::upload(device.memory(), h).unwrap())
+            .collect();
+        let refs: Vec<&DeviceMatrix> = dev_factors.iter().collect();
+        let cfg = LaunchConfig::default();
+        let (reference, _) = fcoo::spmttkrp(&device, &format, &refs, &cfg).unwrap();
+        let ref_bits: Vec<u32> = reference.data().iter().map(|v| v.to_bits()).collect();
+
+        let plan = chunk::split(&f, 2048);
+        assert!(plan.len() >= 4, "budget must force a real pipeline");
+        let bf_run = run_chunked_format(
+            &GpuDevice::titan_x(),
+            FormatKind::BfCoo,
+            &f,
+            &plan,
+            &factors,
+            &cfg,
+        )
+        .unwrap();
+        let bf_bits: Vec<u32> = bf_run.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ref_bits, bf_bits, "BF-COO chunked diverged from in-core");
+
+        let fcoo_run = run_chunked(&GpuDevice::titan_x(), &f, &plan, &factors, &cfg).unwrap();
+        let fcoo_bits: Vec<u32> = fcoo_run.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bf_bits, fcoo_bits, "formats diverged on the chunked path");
+        // BF-COO chunks stream the extra bucket metadata host→device.
+        for (bf, fc) in bf_run.chunks.iter().zip(&fcoo_run.chunks) {
+            assert_eq!(
+                bf.h2d_bytes,
+                fc.h2d_bytes + FormatKind::BfCoo.metadata_bytes(fc.nnz, f.product_indices.len()),
+                "chunk {} h2d accounting",
+                fc.index
+            );
+        }
     }
 
     #[test]

@@ -431,6 +431,80 @@ pub fn check_chunk_plan(fcoo: &Fcoo, plan: &ChunkPlan) -> Report {
     report
 }
 
+/// Validates the bucket metadata of a BF-COO tensor on top of the base
+/// F-COO invariants.
+///
+/// The certifier's soundness rests on the buckets being **exact**: each
+/// entry must equal the distinct-row count of its aligned 32-non-zero run,
+/// not merely bound it. Checked in dependency order:
+///
+/// 1. the embedded F-COO base passes [`check_fcoo`];
+/// 2. one bucket column per product mode;
+/// 3. each column holds `⌈nnz / 32⌉` entries — one per aligned run;
+/// 4. every entry lies in `[1, min(32, run length)]` and equals the exact
+///    distinct count of the run's product indices (recomputed from the
+///    payload, which is the single source of truth —
+///    [`fcoo::bucket_counts`] is deterministic, so serialization never
+///    needs to persist the buckets).
+pub fn check_bfcoo(bfcoo: &fcoo::BfCoo) -> Report {
+    let mut report = check_fcoo(&bfcoo.base);
+    if !report.is_clean() {
+        return report;
+    }
+    let nnz = bfcoo.base.nnz();
+    let product_modes = bfcoo.base.classification.product_modes.len();
+    if bfcoo.buckets.len() != product_modes {
+        error(
+            &mut report,
+            format!(
+                "{} bucket columns for {product_modes} product modes",
+                bfcoo.buckets.len()
+            ),
+        );
+        return report;
+    }
+    let runs = nnz.div_ceil(fcoo::BUCKET_RUN);
+    for (slot, column) in bfcoo.buckets.iter().enumerate() {
+        if column.len() != runs {
+            error(
+                &mut report,
+                format!(
+                    "bucket column {slot} has {} entries for {runs} aligned runs (nnz {nnz})",
+                    column.len()
+                ),
+            );
+        }
+    }
+    if report.error_count() > 0 {
+        return report;
+    }
+    let exact = fcoo::bucket_counts(&bfcoo.base);
+    for (slot, (column, truth)) in bfcoo.buckets.iter().zip(&exact).enumerate() {
+        for (run, (&stored, &want)) in column.iter().zip(truth).enumerate() {
+            let run_len = fcoo::BUCKET_RUN.min(nnz - run * fcoo::BUCKET_RUN) as u32;
+            if stored < 1 || stored > run_len.min(fcoo::BUCKET_RUN as u32) {
+                error(
+                    &mut report,
+                    format!(
+                        "bucket column {slot} run {run} is {stored}, outside \
+                         [1, {run_len}] for a {run_len}-non-zero run"
+                    ),
+                );
+            } else if stored != want {
+                error(
+                    &mut report,
+                    format!(
+                        "bucket column {slot} run {run} is {stored}, but the run's \
+                         product indices hold {want} distinct rows — the certified \
+                         gather bound would be unsound"
+                    ),
+                );
+            }
+        }
+    }
+    report
+}
+
 /// Checks that the packed bits beyond flag `len` in the final byte of
 /// `bytes` are clear: a stray bit there is a ghost segment head inside the
 /// padded tail of the final partition.
@@ -699,6 +773,91 @@ mod tests {
                 .findings
                 .iter()
                 .any(|f| f.message.contains("no chunks")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn constructor_bfcoo_is_accepted() {
+        let tensor = sample_tensor();
+        for threadlen in [1, 4, 8] {
+            for op in [
+                TensorOp::SpTtm { mode: 2 },
+                TensorOp::SpMttkrp { mode: 0 },
+                TensorOp::SpTtmc { mode: 1 },
+            ] {
+                let bf = fcoo::BfCoo::from_coo(&tensor, op, threadlen);
+                let report = check_bfcoo(&bf);
+                assert!(report.is_clean(), "{op:?} threadlen {threadlen}: {report}");
+            }
+        }
+    }
+
+    #[test]
+    fn inflated_bucket_count_is_rejected() {
+        let mut bf = fcoo::BfCoo::from_coo(&sample_tensor(), TensorOp::SpMttkrp { mode: 0 }, 4);
+        // An overcount stays a *valid bound* but is no longer exact — the
+        // lint must still reject it (certificates assume exactness).
+        bf.buckets[0][0] += 1;
+        let report = check_bfcoo(&bf);
+        assert!(report.error_count() > 0);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("distinct rows")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_bucket_count_is_rejected() {
+        let mut bf = fcoo::BfCoo::from_coo(&sample_tensor(), TensorOp::SpMttkrp { mode: 0 }, 4);
+        bf.buckets[0][0] = 0;
+        let report = check_bfcoo(&bf);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("outside")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn wrong_bucket_arity_is_rejected() {
+        let mut bf = fcoo::BfCoo::from_coo(&sample_tensor(), TensorOp::SpMttkrp { mode: 0 }, 4);
+        bf.buckets.pop();
+        let report = check_bfcoo(&bf);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("bucket columns")),
+            "{report}"
+        );
+        let mut bf = fcoo::BfCoo::from_coo(&sample_tensor(), TensorOp::SpMttkrp { mode: 0 }, 4);
+        bf.buckets[1].pop();
+        let report = check_bfcoo(&bf);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("aligned runs")),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn corrupt_base_surfaces_through_bfcoo_lint() {
+        let mut bf = fcoo::BfCoo::from_coo(&sample_tensor(), TensorOp::SpTtm { mode: 2 }, 4);
+        bf.base.partition_first_segment[2] += 1;
+        let report = check_bfcoo(&bf);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("partition_first_segment[2]")),
             "{report}"
         );
     }

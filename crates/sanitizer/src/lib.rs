@@ -46,7 +46,7 @@ pub mod fcoo_lint;
 pub mod oob;
 pub mod racecheck;
 
-pub use fcoo_lint::{check_chunk_plan, check_fcoo};
+pub use fcoo_lint::{check_bfcoo, check_chunk_plan, check_fcoo};
 
 use gpu_sim::AccessLog;
 

@@ -19,7 +19,7 @@ use crate::profile::{RequestProfile, ServeProfile};
 use crate::scheduler::Scheduler;
 use crate::workload::{Request, ServeOp, Workload};
 use decomp::cp::{cp_als, CpOptions, MttkrpEngine};
-use fcoo::{DeviceMatrix, Fcoo, FcooDevice, LaunchConfig, TensorOp};
+use fcoo::{AnyFormat, AnyFormatDevice, DeviceMatrix, Fcoo, FcooDevice, LaunchConfig, TensorOp};
 use gpu_sim::{DeviceConfig, FaultConfig, FaultEvent, GpuDevice, Timeline};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -847,14 +847,14 @@ impl ServeEngine {
         index: usize,
         device_index: usize,
         key: PlanKey,
-        fcoo: &Fcoo,
+        format: &AnyFormat,
         format_bytes: usize,
         transient_bytes: usize,
         ready: &mut f64,
         was_deferred: &mut bool,
     ) -> AdmitOutcome {
         loop {
-            match self.pools[device_index].admit(key, fcoo, format_bytes, transient_bytes) {
+            match self.pools[device_index].admit(key, format, format_bytes, transient_bytes) {
                 Ok(admitted) => {
                     self.log_event(ProtocolEvent::AdmitOk {
                         request: index as u64,
@@ -913,7 +913,7 @@ impl ServeEngine {
         index: usize,
         device_index: usize,
         key: PlanKey,
-        fcoo: &Fcoo,
+        format: &AnyFormat,
         format_bytes: usize,
         transient_bytes: usize,
         ready: &mut f64,
@@ -923,7 +923,7 @@ impl ServeEngine {
             index,
             device_index,
             key,
-            fcoo,
+            format,
             format_bytes,
             transient_bytes,
             ready,
@@ -1291,7 +1291,8 @@ impl ServeEngine {
                         d2h_us,
                         plan_source,
                         block_size: plan.block_size,
-                        threadlen: plan.fcoo.threadlen,
+                        threadlen: plan.threadlen(),
+                        format: plan.kind(),
                         batched: true,
                         deferred: false,
                         retries: 0,
@@ -1327,14 +1328,14 @@ impl ServeEngine {
             }
         }
 
-        let transient_bytes = transient_bytes_for(&plan.fcoo, request.rank);
+        let transient_bytes = transient_bytes_for(plan.fcoo(), request.rank);
         let mut ready = now;
         let mut was_deferred = false;
         let admitted = match self.try_admit_queued(
             index,
             device_index,
             key,
-            &plan.fcoo,
+            &plan.format,
             plan.format_bytes(),
             transient_bytes,
             &mut ready,
@@ -1388,7 +1389,7 @@ impl ServeEngine {
             // proves the deadline is unreachable.
             let queue_start = ready.max(scheduler.device_available_us(device_index));
             let estimate = queue_start
-                + self.transfer_us(factor_bytes_for(&plan.fcoo, request.rank))
+                + self.transfer_us(factor_bytes_for(plan.fcoo(), request.rank))
                 + plan.certificate.time_lo_us;
             if estimate > now + rel {
                 self.pools[device_index].release(pending);
@@ -1401,7 +1402,7 @@ impl ServeEngine {
             }
         }
 
-        let threadlen = plan.fcoo.threadlen;
+        let threadlen = plan.threadlen();
         let block_size = plan.block_size;
         let mut tier = ExecTier::Unified;
         let mut tier_attempts = 0usize;
@@ -1609,6 +1610,7 @@ impl ServeEngine {
                 plan_source,
                 block_size,
                 threadlen,
+                format: plan.kind(),
                 batched: false,
                 deferred: was_deferred,
                 retries,
@@ -1695,11 +1697,20 @@ impl ServeEngine {
             .ooc_chunk_budget
             .unwrap_or(headroom / 4)
             .clamp(1, headroom);
-        let chunk_plan = self.plans.chunk_plan(key, &plan.fcoo, budget);
+        let chunk_plan = self.plans.chunk_plan(key, plan.fcoo(), budget);
         // Chunks reuse the in-core defer/evict machinery: wait out pinned
         // reservations, evict other plans' cached formats, and reject only
-        // if even one chunk plus the transients cannot fit.
-        let need = transient_bytes + chunk_plan.max_chunk_bytes() + 64;
+        // if even one chunk plus the transients cannot fit. Chunks are
+        // rehydrated into the plan's format at upload time, so the budget
+        // charges each format's schedule metadata (BF-COO buckets) too.
+        let gather_modes = plan.fcoo().product_indices.len();
+        let max_chunk_bytes = chunk_plan
+            .chunks
+            .iter()
+            .map(|c| c.format_bytes + plan.kind().metadata_bytes(c.nnz, gather_modes))
+            .max()
+            .unwrap_or(0);
+        let need = transient_bytes + max_chunk_bytes + 64;
         loop {
             match self.pools[device_index].make_room(key, need) {
                 Ok(()) => break,
@@ -1747,7 +1758,7 @@ impl ServeEngine {
             // lower bound here.
             let queue_start = ready.max(scheduler.device_available_us(device_index));
             let estimate = queue_start
-                + self.transfer_us(factor_bytes_for(&plan.fcoo, request.rank))
+                + self.transfer_us(factor_bytes_for(plan.fcoo(), request.rank))
                 + plan.certificate.time_lo_us;
             if estimate > now + rel {
                 self.pools[device_index].release(job_pending);
@@ -1763,7 +1774,7 @@ impl ServeEngine {
         // Host factors follow the in-core kernel conventions exactly (same
         // shapes, same seeds), so every factor bit matches the one-shot
         // reference.
-        let shape = &plan.fcoo.shape;
+        let shape = &plan.fcoo().shape;
         let rank = request.rank;
         let hosts: Vec<DenseMatrix> = match op {
             TensorOp::SpTtm { mode } => vec![DenseMatrix::random(
@@ -1860,8 +1871,8 @@ impl ServeEngine {
         };
 
         let cfg = LaunchConfig::with_block_size(plan.block_size);
-        let cols = ooc::output_cols(&plan.fcoo, &hosts);
-        let mut acc = ooc::Accumulator::for_op(&plan.fcoo, cols);
+        let cols = ooc::output_cols(plan.fcoo(), &hosts);
+        let mut acc = ooc::Accumulator::for_op(plan.fcoo(), cols);
         let streams = scheduler.streams(device_index).max(1);
         // Stage→stream mapping: with two streams H2D keeps its own stream
         // and kernel + D2H share one — the next chunk's upload still hides
@@ -1884,8 +1895,10 @@ impl ServeEngine {
         let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
         let mut degraded = false;
         'chunks: for desc in chunk_plan.chunks.iter() {
-            let chunk = fcoo::extract(&plan.fcoo, desc);
-            let chunk_bytes = chunk.storage().total_bytes() + 64;
+            let chunk = fcoo::extract(plan.fcoo(), desc);
+            let chunk_bytes = chunk.storage().total_bytes()
+                + plan.kind().metadata_bytes(chunk.nnz(), gather_modes)
+                + 64;
             let chunk_pending = self.pools[device_index].reserve_pending(key, chunk_bytes);
             self.log_event(ProtocolEvent::ReservePending {
                 request: index as u64,
@@ -1902,8 +1915,14 @@ impl ServeEngine {
                     attempt: attempt_index,
                     tier: ExecTier::Unified,
                 });
-                let attempt =
-                    ooc::run_chunk(&self.devices[device_index], &chunk, &refs, &cfg, &seed);
+                let attempt = ooc::run_chunk_format(
+                    &self.devices[device_index],
+                    plan.kind(),
+                    &chunk,
+                    &refs,
+                    &cfg,
+                    &seed,
+                );
                 let attempt_launches = if self.config.profile {
                     self.devices[device_index].drain_trace()
                 } else {
@@ -2038,11 +2057,11 @@ impl ServeEngine {
                 // Assemble the semi-sparse result exactly like the in-core
                 // SpTTM wrapper: one fiber per segment, values from the
                 // accumulated buffer.
-                let mut result = SemiSparseTensor::new(plan.fcoo.shape.clone(), mode, cols);
+                let mut result = SemiSparseTensor::new(plan.fcoo().shape.clone(), mode, cols);
                 let values = acc.values();
                 for seg in 0..rows {
                     let coord: Vec<u32> = plan
-                        .fcoo
+                        .fcoo()
                         .segment_coords
                         .iter()
                         .map(|column| column[seg])
@@ -2075,7 +2094,8 @@ impl ServeEngine {
                 d2h_us: d2h_us_total,
                 plan_source,
                 block_size: plan.block_size,
-                threadlen: plan.fcoo.threadlen,
+                threadlen: plan.threadlen(),
+                format: plan.kind(),
                 batched: false,
                 deferred: was_deferred,
                 retries,
@@ -2203,7 +2223,8 @@ impl ServeEngine {
                 d2h_us: 0.0,
                 plan_source,
                 block_size: plan.block_size,
-                threadlen: plan.fcoo.threadlen,
+                threadlen: plan.threadlen(),
+                format: plan.kind(),
                 batched: false,
                 deferred: was_deferred,
                 retries,
@@ -2304,7 +2325,7 @@ impl ServeEngine {
                 index,
                 device_index,
                 keys[i],
-                &plan.fcoo,
+                &plan.format,
                 plan.format_bytes(),
                 transient,
                 &mut ready,
@@ -2317,7 +2338,7 @@ impl ServeEngine {
         }
         let block_size = plans[0].block_size;
         let tensor = self.tensors[&request.tensor_id].tensor.clone();
-        let format_refs: Vec<&FcooDevice> = formats.iter().map(Arc::as_ref).collect();
+        let format_refs: Vec<&AnyFormatDevice> = formats.iter().map(Arc::as_ref).collect();
         let opts = CpOptions {
             rank,
             max_iters: iterations,
@@ -2483,7 +2504,8 @@ impl ServeEngine {
                 d2h_us,
                 plan_source: worst_source(&sources),
                 block_size,
-                threadlen: plans[0].fcoo.threadlen,
+                threadlen: plans[0].threadlen(),
+                format: plans[0].kind(),
                 batched: false,
                 deferred: was_deferred,
                 retries,
@@ -2499,7 +2521,7 @@ impl ServeEngine {
             rank,
             iterations,
             factor_seed: request.factor_seed,
-            threadlens: plans.iter().map(|p| p.fcoo.threadlen).collect(),
+            threadlens: plans.iter().map(|p| p.threadlen()).collect(),
             block_size,
             tier,
             output,
@@ -2533,7 +2555,7 @@ impl ServeEngine {
     fn execute(
         &self,
         device_index: usize,
-        format: &Arc<FcooDevice>,
+        format: &Arc<AnyFormatDevice>,
         tensor_id: &str,
         op: TensorOp,
         rank: usize,
@@ -2552,7 +2574,7 @@ impl ServeEngine {
                     DenseMatrix::random(shape[mode], rank, factor_seed_for_mode(factor_seed, mode));
                 let u = DeviceMatrix::upload(memory, &host).map_err(oom)?;
                 let factor_bytes = host.data().len() * 4;
-                let (result, stats) = fcoo::spttm(device, format, &u, &cfg).map_err(oom)?;
+                let (result, stats) = format.spttm(device, &u, &cfg).map_err(oom)?;
                 Ok((JobOutput::Semi(result), stats.time_us, factor_bytes))
             }
             TensorOp::SpMttkrp { mode: _ } => {
@@ -2568,7 +2590,7 @@ impl ServeEngine {
                     uploaded.push(DeviceMatrix::upload(memory, host).map_err(oom)?);
                 }
                 let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
-                let (result, stats) = fcoo::spmttkrp(device, format, &refs, &cfg).map_err(oom)?;
+                let (result, stats) = format.spmttkrp(device, &refs, &cfg).map_err(oom)?;
                 Ok((JobOutput::Dense(result), stats.time_us, factor_bytes))
             }
             TensorOp::SpTtmc { mode } => {
@@ -2586,8 +2608,7 @@ impl ServeEngine {
                     uploaded.push(DeviceMatrix::upload(memory, host).map_err(oom)?);
                 }
                 let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
-                let (result, stats) =
-                    fcoo::spttmc_norder(device, format, &refs, &cfg).map_err(oom)?;
+                let (result, stats) = format.spttmc_norder(device, &refs, &cfg).map_err(oom)?;
                 Ok((JobOutput::Dense(result), stats.time_us, factor_bytes))
             }
         }
@@ -2600,7 +2621,7 @@ impl ServeEngine {
         &self,
         device_index: usize,
         tier: ExecTier,
-        format: &Arc<FcooDevice>,
+        format: &Arc<AnyFormatDevice>,
         tensor_id: &str,
         op: TensorOp,
         rank: usize,
@@ -2722,7 +2743,7 @@ impl ServeEngine {
                 key.op(),
                 key.rank as usize,
                 *factor_seed,
-                plan.fcoo.threadlen,
+                plan.threadlen(),
                 plan.block_size,
                 cached.tier,
             );
@@ -2801,7 +2822,7 @@ fn transient_bytes_for(fcoo: &Fcoo, rank: usize) -> usize {
 /// kernel per mode per iteration, dense updates on a second stream (§V-E).
 struct PlannedCpEngine<'a> {
     device: &'a GpuDevice,
-    formats: &'a [&'a FcooDevice],
+    formats: &'a [&'a AnyFormatDevice],
     cfg: LaunchConfig,
     timeline: Timeline,
     last_mttkrp_finish: f64,
@@ -2827,7 +2848,7 @@ impl MttkrpEngine for PlannedCpEngine<'_> {
                 }
             };
             let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
-            match fcoo::spmttkrp(self.device, self.formats[mode], &refs, &self.cfg) {
+            match self.formats[mode].spmttkrp(self.device, &refs, &self.cfg) {
                 Ok((result, stats)) => {
                     self.last_mttkrp_finish = self.timeline.push(0, stats.time_us);
                     return (result, stats.time_us);
@@ -2866,7 +2887,7 @@ impl MttkrpEngine for PlannedCpEngine<'_> {
 /// and the two-stream GPU makespan in microseconds.
 fn run_planned_cp(
     device: &GpuDevice,
-    formats: &[&FcooDevice],
+    formats: &[&AnyFormatDevice],
     block_size: usize,
     tensor: &SparseTensorCoo,
     opts: &CpOptions,
@@ -3058,12 +3079,12 @@ pub fn one_shot_cp_reference(
     let fcoos: Vec<Fcoo> = (0..tensor.order())
         .map(|mode| Fcoo::from_coo(tensor, TensorOp::SpMttkrp { mode }, threadlens[mode]))
         .collect();
-    let formats: Vec<FcooDevice> = fcoos
+    let formats: Vec<AnyFormatDevice> = fcoos
         .iter()
-        .map(|f| FcooDevice::upload(device.memory(), f))
+        .map(|f| FcooDevice::upload(device.memory(), f).map(AnyFormatDevice::Fcoo))
         .collect::<Result<_, _>>()
         .ok()?;
-    let format_refs: Vec<&FcooDevice> = formats.iter().collect();
+    let format_refs: Vec<&AnyFormatDevice> = formats.iter().collect();
     let opts = CpOptions {
         rank,
         max_iters: iterations,

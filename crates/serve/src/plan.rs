@@ -1,32 +1,38 @@
 //! Execution plans and the plan cache.
 //!
 //! A *plan* is everything the paper's §IV-A preprocessing produces for one
-//! (tensor, operation, rank) combination: the sorted F-COO instance plus the
-//! tuned `(BLOCK_SIZE, threadlen)` pair of Table V. Building one costs a full
-//! sort of the non-zeros and a tuning sweep; serving amortizes that cost the
-//! same way CP-ALS amortizes it across iterations — build once, reuse for
-//! every subsequent request.
+//! (tensor, operation, rank) combination: the preprocessed sparse format
+//! plus the certified winning `(format, BLOCK_SIZE, threadlen)` triple.
+//! Building one costs a full sort of the non-zeros and a cross-format
+//! certification sweep; serving amortizes that cost the same way CP-ALS
+//! amortizes it across iterations — build once, reuse for every subsequent
+//! request.
 //!
 //! The cache persists plans through [`fcoo::write_fcoo`] under a small
-//! versioned header carrying the tuned block size, so a restarted server
-//! warms itself from disk instead of re-preprocessing ("warm restart").
+//! versioned header carrying the tuned block size and the chosen
+//! [`FormatKind`] tag, so a restarted server warms itself from disk instead
+//! of re-preprocessing ("warm restart"). Only the shared F-COO payload is
+//! serialized; schedule metadata (BF-COO's buckets) is re-derived on load.
 //!
-//! Three static-analyzer hooks guard the cache. Plan builds tune with
-//! [`analyzer::tune_pruned`], which drops provably-dominated grid points
-//! before any trial launch (same winner, fewer launches). Disk loads pass
-//! the decoded plan through [`analyzer::plan_report`]: a persisted plan
-//! whose tuned configuration is *refuted* — launch shape outside the device
-//! limits, inconsistent segment flags — is rejected and rebuilt instead of
-//! replayed into a panic or a wrong answer. And every built plan carries a
-//! [`PlanCertificate`] — the certified `time_us` envelope the cost
-//! interpreter derives for the tuned configuration — persisted in the
-//! header and re-derived from the decoded format at load time: a plan whose
-//! stored certificate no longer matches its own bytes (bit-rot, a tampered
-//! header pointing at a different-but-valid configuration, or a cost-model
-//! upgrade since the file was written) is refused and rebuilt.
+//! Three static-analyzer hooks guard the cache. Plan builds select with
+//! [`analyzer::tune_select`], which certifies every structurally-surviving
+//! grid point of every format and keeps the triple with the minimal
+//! certified upper bound — zero trial launches. Disk loads pass the decoded
+//! plan through [`analyzer::plan_report_format`]: a persisted plan whose
+//! tuned configuration is *refuted* — launch shape outside the device
+//! limits, inconsistent segment flags, inexact bucket metadata — is
+//! rejected and rebuilt instead of replayed into a panic or a wrong answer.
+//! And every built plan carries a [`PlanCertificate`] — the certified
+//! `time_us` envelope the cost interpreter derives for the tuned
+//! configuration *in its chosen format* — persisted in the header and
+//! re-derived from the decoded format at load time: a plan whose stored
+//! certificate no longer matches its own bytes (bit-rot, a tampered header
+//! pointing at a different-but-valid configuration or format, or a
+//! cost-model upgrade since the file was written) is refused and rebuilt.
 
 use crate::fingerprint::Fnv1a;
-use fcoo::{ChunkPlan, Fcoo, LaunchConfig, TensorOp, TuneResult};
+use analyzer::FormatChoice;
+use fcoo::{AnyFormat, ChunkPlan, Fcoo, FormatKind, LaunchConfig, TensorOp};
 use gpu_sim::{DeviceConfig, GpuDevice};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -36,9 +42,14 @@ use tensor_core::SparseTensorCoo;
 
 /// Magic bytes of a persisted plan file (header before the F-COO stream).
 const PLAN_MAGIC: &[u8; 4] = b"SPLN";
-/// Version 2 appended the [`PlanCertificate`] to the header; version-1
-/// files (no certificate) are refused and rebuilt.
-const PLAN_VERSION: u32 = 2;
+/// Version 3 appended the one-byte [`FormatKind`] tag after the
+/// certificate, so a plan records *which* format its triple was certified
+/// for. Version-2 files (certificate but no tag) predate cross-format
+/// selection and are decoded as legacy F-COO plans without a rebuild;
+/// version-1 files (no certificate) are refused and rebuilt.
+const PLAN_VERSION: u32 = 3;
+/// The pre-format-tag version still accepted at load time.
+const LEGACY_PLAN_VERSION: u32 = 2;
 
 /// The default `(BLOCK_SIZE)` grid a serving plan build sweeps — a subset of
 /// the paper's Fig. 5 grid, chosen to keep tail latency of cold requests
@@ -108,14 +119,16 @@ impl PlanKey {
 
 /// The certified cost envelope persisted alongside a tuned configuration:
 /// the analyzer's `[lo, hi]` bounds on the plan's `KernelStats::time_us`,
-/// derived from the F-COO headers alone ([`analyzer::cost::certify`]).
+/// derived from the format headers alone
+/// ([`analyzer::cost::certify_format`]).
 ///
-/// The certificate is a pure function of `(format headers, block_size,
-/// rank, device)`, so a load-time re-derivation over the decoded bytes must
-/// reproduce it bit for bit. A mismatch means the file no longer describes
-/// the configuration it was certified for — corrupted payload, a tampered
-/// header pointing at a *different but individually valid* configuration,
-/// or a cost model newer than the file — and the plan is rebuilt.
+/// The certificate is a pure function of `(format headers, format kind,
+/// block_size, rank, device)`, so a load-time re-derivation over the
+/// decoded bytes must reproduce it bit for bit. A mismatch means the file
+/// no longer describes the configuration it was certified for — corrupted
+/// payload, a tampered header pointing at a *different but individually
+/// valid* configuration or format tag, or a cost model newer than the file
+/// — and the plan is rebuilt.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlanCertificate {
     /// Certified lower bound on the tuned launch's `time_us`.
@@ -125,16 +138,19 @@ pub struct PlanCertificate {
 }
 
 impl PlanCertificate {
-    /// Derives the certificate for `fcoo` at `block_size`/`rank` on the
-    /// device model `config`. Host-side header arithmetic only.
+    /// Derives the certificate for `format` at `block_size`/`rank` on the
+    /// device model `config`. Host-side header arithmetic only — the
+    /// envelope depends on the format kind (BF-COO's buckets tighten the
+    /// gather bounds), which is what lets the certificate gate catch a
+    /// flipped-but-valid format tag.
     pub fn derive(
         config: &DeviceConfig,
-        fcoo: &Fcoo,
+        format: &AnyFormat,
         rank: usize,
         block_size: usize,
     ) -> PlanCertificate {
         let cfg = LaunchConfig::with_block_size(block_size);
-        let bounds = analyzer::cost::certify(config, fcoo, rank, &cfg).stats_time_us();
+        let bounds = analyzer::cost::certify_format(config, format, rank, &cfg).stats_time_us();
         PlanCertificate {
             time_lo_us: bounds.lo,
             time_hi_us: bounds.hi,
@@ -155,8 +171,8 @@ impl PlanCertificate {
 pub struct Plan {
     /// The key this plan answers.
     pub key: PlanKey,
-    /// The preprocessed F-COO instance (threadlen already tuned).
-    pub fcoo: Arc<Fcoo>,
+    /// The preprocessed format (kind and threadlen already selected).
+    pub format: AnyFormat,
     /// Tuned threads-per-block.
     pub block_size: usize,
     /// The certified cost envelope of the tuned configuration.
@@ -164,16 +180,28 @@ pub struct Plan {
 }
 
 impl Plan {
-    /// Tuned non-zeros per thread.
-    pub fn threadlen(&self) -> usize {
-        self.fcoo.threadlen
+    /// The format the planner certified as the winner.
+    pub fn kind(&self) -> FormatKind {
+        self.format.kind()
     }
 
-    /// Estimated device bytes of the uploaded format.
+    /// The shared F-COO payload (header arithmetic, chunk splitting,
+    /// semi-sparse assembly).
+    pub fn fcoo(&self) -> &Fcoo {
+        self.format.base()
+    }
+
+    /// Tuned non-zeros per thread.
+    pub fn threadlen(&self) -> usize {
+        self.format.threadlen()
+    }
+
+    /// Estimated device bytes of the uploaded format, including any
+    /// schedule metadata (BF-COO's buckets).
     pub fn format_bytes(&self) -> usize {
         // Upload byte count matches the storage breakdown to within flag
         // word rounding; pad so admission never under-estimates.
-        self.fcoo.storage().total_bytes() + 64
+        self.format.storage_bytes() + 64
     }
 }
 
@@ -210,6 +238,10 @@ pub struct PlanCacheStats {
     /// certificate did not match the one re-derived from the decoded bytes
     /// (each such lookup rebuilds).
     pub certificate_mismatches: u64,
+    /// Persisted version-2 plans (pre-format-tag) accepted as legacy
+    /// F-COO plans — loaded, not rebuilt; counted so operators can see how
+    /// much of the warm cache predates cross-format selection.
+    pub legacy_plan_loads: u64,
     /// Out-of-core chunk plans split from scratch (one per new
     /// `(plan, budget)` pair the engine asked for).
     pub chunk_builds: u64,
@@ -336,43 +368,49 @@ impl PlanCache {
             self.plans.insert(key, Arc::clone(&plan));
             return (plan, PlanSource::Disk);
         }
-        let tuned = self.tune(key, tensor, device);
-        let (block_size, threadlen) = tuned.best_pair();
-        let fcoo = Fcoo::from_coo(tensor, key.op(), threadlen);
-        let certificate =
-            PlanCertificate::derive(device.config(), &fcoo, key.rank as usize, block_size);
+        let choice = self.select(key, tensor, device);
+        let chosen = &choice.chosen;
+        let format = AnyFormat::build(chosen.kind, tensor, key.op(), chosen.threadlen);
+        let certificate = PlanCertificate::derive(
+            device.config(),
+            &format,
+            key.rank as usize,
+            chosen.block_size,
+        );
         let plan = Arc::new(Plan {
             key,
-            fcoo: Arc::new(fcoo),
-            block_size,
+            format,
+            block_size: chosen.block_size,
             certificate,
         });
         self.stats.builds += 1;
-        self.stats.build_ms += Self::modeled_build_ms(tensor.nnz(), &tuned);
+        self.stats.build_ms += Self::modeled_build_ms(tensor.nnz(), &choice);
         self.persist(&plan);
         self.plans.insert(key, Arc::clone(&plan));
         (plan, PlanSource::Built)
     }
 
     /// Deterministic analytic model of the host cost of one plan build: an
-    /// `O(n log n)` comparison sort of the nonzeros plus the simulated time
-    /// of every tuning trial the sweep measured. Replaces a wall-clock
-    /// `Instant::now()` measurement (banned repo-wide via clippy
-    /// `disallowed-methods`) so `PlanCacheStats::build_ms` — and therefore
-    /// the serve report — is bit-identical across runs and hosts.
-    fn modeled_build_ms(nnz: usize, tuned: &TuneResult) -> f64 {
+    /// `O(n log n)` comparison sort of the nonzeros plus the certified
+    /// upper bound of every format's best grid point (the sweep is now
+    /// zero-launch, so its modeled cost is what the certifier proves the
+    /// candidates would cost). Replaces a wall-clock `Instant::now()`
+    /// measurement (banned repo-wide via clippy `disallowed-methods`) so
+    /// `PlanCacheStats::build_ms` — and therefore the serve report — is
+    /// bit-identical across runs and hosts.
+    fn modeled_build_ms(nnz: usize, choice: &FormatChoice) -> f64 {
         // ~12 ns per comparison is a conventional host sort throughput; the
         // exact constant only scales the report, determinism is the point.
         const SORT_NS_PER_CMP: f64 = 12.0;
         let n = nnz.max(2) as f64;
         let sort_ms = n * n.log2() * SORT_NS_PER_CMP * 1e-6;
-        let sweep_ms = tuned.surface.iter().map(|p| p.time_us).sum::<f64>() * 1e-3;
+        let sweep_ms = choice.candidates.iter().map(|c| c.time_us.hi).sum::<f64>() * 1e-3;
         sort_ms + sweep_ms
     }
 
-    fn tune(&self, key: PlanKey, tensor: &SparseTensorCoo, device: &GpuDevice) -> TuneResult {
-        analyzer::tune_pruned(
-            device,
+    fn select(&self, key: PlanKey, tensor: &SparseTensorCoo, device: &GpuDevice) -> FormatChoice {
+        analyzer::tune_select(
+            device.config(),
             tensor,
             key.op(),
             key.rank as usize,
@@ -399,8 +437,9 @@ impl PlanCache {
             .and_then(|_| w.write_all(&(plan.block_size as u32).to_le_bytes()))
             .and_then(|_| w.write_all(&plan.key.rank.to_le_bytes()))
             .and_then(|_| w.write_all(&plan.certificate.time_lo_us.to_le_bytes()))
-            .and_then(|_| w.write_all(&plan.certificate.time_hi_us.to_le_bytes()));
-        if header_ok.is_err() || fcoo::write_fcoo(&plan.fcoo, &mut w).is_err() {
+            .and_then(|_| w.write_all(&plan.certificate.time_hi_us.to_le_bytes()))
+            .and_then(|_| w.write_all(&[plan.kind().tag()]));
+        if header_ok.is_err() || fcoo::write_fcoo(plan.fcoo(), &mut w).is_err() {
             drop(w);
             std::fs::remove_file(&path).ok();
         }
@@ -416,7 +455,14 @@ impl PlanCache {
     /// [`PlanCertificate`] is validated against a re-derivation over the
     /// decoded bytes — the certificate gate catches tampering the boolean
     /// gate cannot, e.g. a header rewritten to a *different but valid* block
-    /// size (counted in [`PlanCacheStats::certificate_mismatches`]).
+    /// size or a flipped-but-valid format tag (counted in
+    /// [`PlanCacheStats::certificate_mismatches`]).
+    ///
+    /// Version-2 files predate the format tag; they are decoded as legacy
+    /// F-COO plans (counted in [`PlanCacheStats::legacy_plan_loads`])
+    /// rather than rebuilt — their certificates re-derive identically
+    /// because F-COO certification is unchanged. An unknown tag byte in a
+    /// version-3 file is corruption and falls back to a rebuild.
     fn load(&mut self, key: PlanKey, device: &GpuDevice) -> Option<Plan> {
         let dir = self.dir.as_ref()?;
         let file = std::fs::File::open(dir.join(key.file_name())).ok()?;
@@ -428,7 +474,8 @@ impl PlanCache {
         }
         let mut word = [0u8; 4];
         r.read_exact(&mut word).ok()?;
-        if u32::from_le_bytes(word) != PLAN_VERSION {
+        let version = u32::from_le_bytes(word);
+        if version != PLAN_VERSION && version != LEGACY_PLAN_VERSION {
             return None;
         }
         r.read_exact(&mut word).ok()?;
@@ -444,22 +491,33 @@ impl PlanCache {
             time_lo_us,
             time_hi_us,
         };
+        let kind = if version == LEGACY_PLAN_VERSION {
+            FormatKind::Fcoo
+        } else {
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag).ok()?;
+            FormatKind::from_tag(tag[0])?
+        };
         let fcoo = fcoo::read_fcoo(&mut r).ok()?;
         if rank != key.rank || fcoo.op != key.op() {
             return None;
         }
-        if !analyzer::plan_safe(device.config(), &fcoo, block_size) {
+        let format = AnyFormat::from_fcoo(kind, Arc::new(fcoo));
+        if !analyzer::plan_safe_format(device.config(), &format, block_size) {
             self.stats.refuted_loads += 1;
             return None;
         }
-        let derived = PlanCertificate::derive(device.config(), &fcoo, rank as usize, block_size);
+        let derived = PlanCertificate::derive(device.config(), &format, rank as usize, block_size);
         if !stored.matches(&derived) {
             self.stats.certificate_mismatches += 1;
             return None;
         }
+        if version == LEGACY_PLAN_VERSION {
+            self.stats.legacy_plan_loads += 1;
+        }
         Some(Plan {
             key,
-            fcoo: Arc::new(fcoo),
+            format,
             block_size,
             certificate: derived,
         })
@@ -481,6 +539,40 @@ mod tests {
             TensorOp::SpMttkrp { mode: 0 },
             8,
         )
+    }
+
+    /// Long-fiber power-law tensor on which BF-COO's buckets certify a
+    /// strictly tighter gather bound (mirrors the analyzer's selection
+    /// regression).
+    fn skew_tensor() -> SparseTensorCoo {
+        let (slices, jdim, kdim) = (400u32, 300u32, 2000u32);
+        let mut entries = Vec::new();
+        for s in 0..slices {
+            let len = ((30_000.0 / f64::powf(s as f64 + 1.0, 1.3)) as u32).clamp(1, kdim);
+            for t in 0..len {
+                entries.push((vec![s, (s * 7) % jdim, (t * 13) % kdim], 1.0f32));
+            }
+        }
+        let shape = vec![slices as usize, jdim as usize, kdim as usize];
+        SparseTensorCoo::from_entries(shape, &entries)
+    }
+
+    /// Saturating uniform counterpart: 128 non-zeros per slice with j and k
+    /// injective within each slice, so every aligned 32-run holds 32
+    /// distinct rows and buckets certify nothing — F-COO must win the tie.
+    fn uniform_tensor() -> SparseTensorCoo {
+        let (slices, jdim, kdim) = (400u32, 300u32, 2000u32);
+        let mut entries = Vec::new();
+        for s in 0..slices {
+            for t in 0..128u32 {
+                entries.push((
+                    vec![s, (s * 17 + t * 7) % jdim, (s + t * 13) % kdim],
+                    1.0f32,
+                ));
+            }
+        }
+        let shape = vec![slices as usize, jdim as usize, kdim as usize];
+        SparseTensorCoo::from_entries(shape, &entries)
     }
 
     #[test]
@@ -516,7 +608,8 @@ mod tests {
         assert_eq!(source, PlanSource::Disk);
         assert_eq!(loaded.block_size, built.block_size);
         assert_eq!(loaded.threadlen(), built.threadlen());
-        assert_eq!(loaded.fcoo.values, built.fcoo.values);
+        assert_eq!(loaded.kind(), built.kind());
+        assert_eq!(loaded.fcoo().values, built.fcoo().values);
         assert_eq!(warm.stats().disk_hits, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -574,12 +667,14 @@ mod tests {
         let (built, source) = cold.get_or_build(key, &tensor, &device);
         assert_eq!(source, PlanSource::Built);
         assert_eq!(built.block_size, 64);
-        // Rewrite the header's block size to 128 — individually a perfectly
+        // Rewrite the header's block size to 256 — individually a perfectly
         // valid configuration, so the boolean plan gate accepts it. Only the
-        // certificate (derived for block 64) exposes the swap.
+        // certificate (derived for block 64) exposes the swap. (256, not
+        // 128: on this tensor both formats' envelopes fit one wave at 64
+        // and 128, so those two certificates coincide bit-for-bit.)
         let path = dir.join(key.file_name());
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[8..12].copy_from_slice(&128u32.to_le_bytes());
+        bytes[8..12].copy_from_slice(&256u32.to_le_bytes());
         std::fs::write(&path, bytes).unwrap();
         let mut warm = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[8]);
         let (plan, source) = warm.get_or_build(key, &tensor, &device);
@@ -642,17 +737,140 @@ mod tests {
         let key = key_for(&tensor);
         let mut cache = PlanCache::new(None).with_grids(&[64], &[8]);
         let (plan, _) = cache.get_or_build(key, &tensor, &device);
-        let small = cache.chunk_plan(key, &plan.fcoo, 2048);
-        let again = cache.chunk_plan(key, &plan.fcoo, 2048);
+        let small = cache.chunk_plan(key, plan.fcoo(), 2048);
+        let again = cache.chunk_plan(key, plan.fcoo(), 2048);
         assert_eq!(small.chunks, again.chunks);
-        let large = cache.chunk_plan(key, &plan.fcoo, 1 << 20);
+        let large = cache.chunk_plan(key, plan.fcoo(), 1 << 20);
         assert!(large.len() <= small.len());
         assert_eq!(cache.stats().chunk_builds, 2);
         assert_eq!(cache.stats().chunk_hits, 1);
         // Invalidation drops every budget variant of the plan.
         cache.invalidate(key);
-        cache.chunk_plan(key, &plan.fcoo, 2048);
+        cache.chunk_plan(key, plan.fcoo(), 2048);
         assert_eq!(cache.stats().chunk_builds, 3);
+    }
+
+    #[test]
+    fn planner_selects_bfcoo_on_skew_and_round_trips_the_tag() {
+        let device = GpuDevice::titan_x();
+        let tensor = skew_tensor();
+        let key = key_for(&tensor);
+        let dir = std::env::temp_dir().join("serve_plan_test_bfcoo_select");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cold = PlanCache::new(Some(dir.clone())).with_grids(&[64, 128], &[16, 32]);
+        let (built, source) = cold.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        assert_eq!(built.kind(), FormatKind::BfCoo);
+        // The choice is a certificate: BF-COO's upper bound strictly beats
+        // the best F-COO config the same planner grids could prove.
+        let choice = analyzer::tune_select(
+            device.config(),
+            &tensor,
+            key.op(),
+            key.rank as usize,
+            Some(&[64, 128]),
+            Some(&[16, 32]),
+        );
+        assert!(choice.strictly_dominates(), "{}", choice.render());
+        assert_eq!(
+            built.certificate.time_hi_us.to_bits(),
+            choice.chosen.time_us.hi.to_bits()
+        );
+        // A warm restart rehydrates the bucket metadata from the tag.
+        let mut warm = PlanCache::new(Some(dir.clone())).with_grids(&[64, 128], &[16, 32]);
+        let (loaded, source) = warm.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Disk);
+        assert_eq!(loaded.kind(), FormatKind::BfCoo);
+        assert!(loaded.certificate.matches(&built.certificate));
+        assert_eq!(warm.stats().legacy_plan_loads, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn planner_keeps_fcoo_on_uniform_tensors() {
+        let device = GpuDevice::titan_x();
+        let tensor = uniform_tensor();
+        let key = key_for(&tensor);
+        let mut cache = PlanCache::new(None).with_grids(&[64, 128], &[16, 32]);
+        let (plan, source) = cache.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        assert_eq!(plan.kind(), FormatKind::Fcoo);
+    }
+
+    #[test]
+    fn legacy_v2_plans_load_as_fcoo_without_a_rebuild() {
+        let device = GpuDevice::titan_x();
+        let tensor = uniform_tensor();
+        let key = key_for(&tensor);
+        let dir = std::env::temp_dir().join("serve_plan_test_legacy_v2");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cold = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[16]);
+        let (built, _) = cold.get_or_build(key, &tensor, &device);
+        assert_eq!(built.kind(), FormatKind::Fcoo);
+        // Rewrite the file into its version-2 shape: version word 2, no
+        // format-tag byte (the tag sits at offset 32, after the header).
+        let path = dir.join(key.file_name());
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        bytes.remove(32);
+        std::fs::write(&path, bytes).unwrap();
+        let mut warm = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[16]);
+        let (loaded, source) = warm.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Disk, "legacy plans must not rebuild");
+        assert_eq!(loaded.kind(), FormatKind::Fcoo);
+        assert!(loaded.certificate.matches(&built.certificate));
+        assert_eq!(warm.stats().legacy_plan_loads, 1);
+        assert_eq!(warm.stats().builds, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_format_tags_are_rejected_and_rebuilt() {
+        let device = GpuDevice::titan_x();
+        let tensor = sample();
+        let key = key_for(&tensor);
+        let dir = std::env::temp_dir().join("serve_plan_test_unknown_tag");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cold = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[8]);
+        cold.get_or_build(key, &tensor, &device);
+        let path = dir.join(key.file_name());
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[32] = 0xff;
+        std::fs::write(&path, bytes).unwrap();
+        let mut warm = PlanCache::new(Some(dir.clone())).with_grids(&[64], &[8]);
+        let (_, source) = warm.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        assert_eq!(warm.stats().disk_hits, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_format_tag_fails_the_certificate_gate() {
+        let device = GpuDevice::titan_x();
+        let tensor = skew_tensor();
+        let key = key_for(&tensor);
+        let dir = std::env::temp_dir().join("serve_plan_test_flipped_tag");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut cold = PlanCache::new(Some(dir.clone())).with_grids(&[64, 128], &[16, 32]);
+        let (built, _) = cold.get_or_build(key, &tensor, &device);
+        assert_eq!(built.kind(), FormatKind::BfCoo);
+        // Flip the tag to F-COO — individually a valid format over the same
+        // payload, so the boolean plan gate accepts it. Only the stored
+        // BF-COO certificate (strictly tighter on this tensor) exposes the
+        // swap.
+        let path = dir.join(key.file_name());
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[32], FormatKind::BfCoo.tag());
+        bytes[32] = FormatKind::Fcoo.tag();
+        std::fs::write(&path, bytes).unwrap();
+        let mut warm = PlanCache::new(Some(dir.clone())).with_grids(&[64, 128], &[16, 32]);
+        let (plan, source) = warm.get_or_build(key, &tensor, &device);
+        assert_eq!(source, PlanSource::Built);
+        assert_eq!(plan.kind(), FormatKind::BfCoo);
+        assert_eq!(warm.stats().certificate_mismatches, 1);
+        assert_eq!(warm.stats().refuted_loads, 0);
+        assert_eq!(warm.stats().disk_hits, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -14,14 +14,16 @@
 //! All accounting — residency budgets, the reservation lifecycle, LRU
 //! victim selection, the admit/defer/reject decision — lives in the pure
 //! [`PoolLedger`]; this type adds only the actual device uploads and the
-//! `Arc<FcooDevice>` handles. The `modelcheck` crate explores the ledger
+//! `Arc<AnyFormatDevice>` handles (the pool is format-erased: an F-COO and
+//! a BF-COO plan cache and evict identically, BF-COO just charges its
+//! bucket metadata too). The `modelcheck` crate explores the ledger
 //! directly, so the protocol it proves is the one running here.
 //!
 //! [`OutOfMemory`]: gpu_sim::memory::OutOfMemory
 
 use crate::ledger::PoolLedger;
 use crate::plan::PlanKey;
-use fcoo::{Fcoo, FcooDevice};
+use fcoo::{AnyFormat, AnyFormatDevice};
 use gpu_sim::memory::DeviceMemory;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -32,7 +34,7 @@ pub use crate::ledger::{AdmitError, PoolStats, ReservationId};
 #[derive(Debug)]
 pub struct Admitted {
     /// The device-resident format (cached or freshly uploaded).
-    pub format: Arc<FcooDevice>,
+    pub format: Arc<AnyFormatDevice>,
     /// True when this admission paid the host→device transfer.
     pub uploaded: bool,
 }
@@ -40,7 +42,7 @@ pub struct Admitted {
 /// Pooled view of one device's global memory.
 pub struct DevicePool {
     memory: DeviceMemory,
-    formats: BTreeMap<PlanKey, Arc<FcooDevice>>,
+    formats: BTreeMap<PlanKey, Arc<AnyFormatDevice>>,
     ledger: PoolLedger,
 }
 
@@ -91,8 +93,9 @@ impl DevicePool {
         self.ledger.touch_resident(key)
     }
 
-    /// Admits a job that needs `key`'s format (uploading `fcoo` if absent,
-    /// budgeted at `format_bytes`) plus `transient_bytes` of factors/output.
+    /// Admits a job that needs `key`'s format (uploading `format` if
+    /// absent, budgeted at `format_bytes`) plus `transient_bytes` of
+    /// factors/output.
     ///
     /// Evicts least-recently-used unpinned formats as needed. Returns
     /// [`AdmitError::Defer`] when the job must wait for in-flight
@@ -100,7 +103,7 @@ impl DevicePool {
     pub fn admit(
         &mut self,
         key: PlanKey,
-        fcoo: &Fcoo,
+        format: &AnyFormat,
         format_bytes: usize,
         transient_bytes: usize,
     ) -> Result<Admitted, AdmitError> {
@@ -131,7 +134,7 @@ impl DevicePool {
                 uploaded: false,
             });
         }
-        let format = match FcooDevice::upload(&self.memory, fcoo) {
+        let device_format = match format.upload(&self.memory) {
             Ok(f) => f,
             Err(_) => {
                 // The byte estimate was low; shed the whole cache and retry
@@ -139,7 +142,7 @@ impl DevicePool {
                 for k in self.ledger.evict_all_unpinned() {
                     self.formats.remove(&k);
                 }
-                match FcooDevice::upload(&self.memory, fcoo) {
+                match format.upload(&self.memory) {
                     Ok(f) => f,
                     Err(oom) => {
                         return Err(self
@@ -149,11 +152,11 @@ impl DevicePool {
                 }
             }
         };
-        let format = Arc::new(format);
+        let device_format = Arc::new(device_format);
         self.ledger.record_upload(key, format_bytes);
-        self.formats.insert(key, Arc::clone(&format));
+        self.formats.insert(key, Arc::clone(&device_format));
         Ok(Admitted {
-            format,
+            format: device_format,
             uploaded: true,
         })
     }
@@ -226,23 +229,27 @@ impl DevicePool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fcoo::TensorOp;
+    use fcoo::{FormatKind, TensorOp};
     use gpu_sim::GpuDevice;
     use tensor_core::datasets::{self, DatasetKind};
 
-    fn fcoo_for(seed: u64) -> (PlanKey, Fcoo) {
+    fn format_for(seed: u64, kind: FormatKind) -> (PlanKey, AnyFormat) {
         let (tensor, _) = datasets::generate(DatasetKind::Nell2, 1200, seed);
-        let fcoo = Fcoo::from_coo(&tensor, TensorOp::SpMttkrp { mode: 0 }, 16);
+        let format = AnyFormat::build(kind, &tensor, TensorOp::SpMttkrp { mode: 0 }, 16);
         let key = PlanKey::new(
             crate::fingerprint::tensor_fingerprint(&tensor),
             TensorOp::SpMttkrp { mode: 0 },
             8,
         );
-        (key, fcoo)
+        (key, format)
     }
 
-    fn bytes_of(fcoo: &Fcoo) -> usize {
-        fcoo.storage().total_bytes() + 64
+    fn fcoo_for(seed: u64) -> (PlanKey, AnyFormat) {
+        format_for(seed, FormatKind::Fcoo)
+    }
+
+    fn bytes_of(format: &AnyFormat) -> usize {
+        format.storage_bytes() + 64
     }
 
     #[test]
@@ -258,6 +265,28 @@ mod tests {
         assert_eq!(pool.stats().uploads, 1);
         assert_eq!(pool.stats().format_reuses, 1);
         assert_eq!(pool.cached_formats(), 1);
+    }
+
+    #[test]
+    fn bfcoo_admission_charges_bucket_metadata_and_caches() {
+        // Regression for the format-erased pool: pre-refactor admission
+        // uploaded a bare FcooDevice, silently dropping BF-COO's schedule
+        // metadata (and under-charging its bytes).
+        let device = GpuDevice::titan_x();
+        let mut pool = DevicePool::new(device.memory().clone());
+        let (key, bfcoo) = format_for(3, FormatKind::BfCoo);
+        let (_, fcoo) = format_for(3, FormatKind::Fcoo);
+        assert!(
+            bytes_of(&bfcoo) > bytes_of(&fcoo),
+            "bucket metadata must be part of the admission budget"
+        );
+        let admitted = pool.admit(key, &bfcoo, bytes_of(&bfcoo), 1024).unwrap();
+        assert!(admitted.uploaded);
+        assert_eq!(admitted.format.kind(), FormatKind::BfCoo);
+        let again = pool.admit(key, &bfcoo, bytes_of(&bfcoo), 1024).unwrap();
+        assert!(!again.uploaded);
+        assert_eq!(again.format.kind(), FormatKind::BfCoo);
+        assert_eq!(pool.stats().uploads, 1);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::plan::PlanSource;
 use crate::workload::ServeOp;
 use analyzer::model::LaunchGeometry;
 use analyzer::{analyze_tensor, KernelKind, Property, Verdict};
-use fcoo::Fcoo;
+use fcoo::{Fcoo, FormatKind};
 use gpu_sim::{ChromeTrace, DeviceConfig, KernelCounters, LaunchTrace};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -68,6 +68,8 @@ pub struct RequestProfile {
     pub block_size: usize,
     /// Non-zeros per thread of the tuned plan.
     pub threadlen: usize,
+    /// Sparse format the tuned plan executed with.
+    pub format: FormatKind,
     /// True when the request reused a batched same-plan result.
     pub batched: bool,
     /// True when admission control made the job wait for memory.
@@ -130,6 +132,8 @@ pub struct KernelProfile {
     pub block_size: usize,
     /// Non-zeros per thread.
     pub threadlen: usize,
+    /// Sparse format the group executed with.
+    pub format: FormatKind,
     /// Requests merged into the row.
     pub requests: usize,
     /// Aggregated dynamic counters.
@@ -233,8 +237,9 @@ impl ServeProfile {
         requests: Vec<RequestProfile>,
         tensor: impl Fn(&str) -> Option<&'a SparseTensorCoo>,
     ) -> ServeProfile {
-        // Group key: (tensor, op label, tier order, rank, block, threadlen).
-        type GroupKey = (String, String, u8, usize, usize, usize);
+        // Group key: (tensor, op label, tier order, rank, block, threadlen,
+        // format tag).
+        type GroupKey = (String, String, u8, usize, usize, usize, u8);
         let mut groups: BTreeMap<GroupKey, Vec<&RequestProfile>> = BTreeMap::new();
         for request in requests.iter().filter(|r| !r.batched) {
             let tier_rank = match request.tier {
@@ -250,6 +255,7 @@ impl ServeProfile {
                     request.rank,
                     request.block_size,
                     request.threadlen,
+                    request.format.tag(),
                 ))
                 .or_default()
                 .push(request);
@@ -257,12 +263,13 @@ impl ServeProfile {
         let kernels = groups
             .into_iter()
             .map(
-                |((tensor_id, op, _, rank, block_size, threadlen), members)| {
+                |((tensor_id, op, _, rank, block_size, threadlen, _), members)| {
                     let mut counters = KernelCounters::default();
                     for member in &members {
                         counters.merge(&member.counters());
                     }
                     let tier = members[0].tier;
+                    let format = members[0].format;
                     let statics = statics_for(
                         &device_config,
                         tensor(&tensor_id),
@@ -279,6 +286,7 @@ impl ServeProfile {
                         rank,
                         block_size,
                         threadlen,
+                        format,
                         requests: members.len(),
                         counters,
                         statics,
@@ -330,7 +338,12 @@ impl ServeProfile {
                 ("plan".to_string(), format!("{:?}", request.plan_source)),
                 (
                     "config".to_string(),
-                    format!("B{} T{}", request.block_size, request.threadlen),
+                    format!(
+                        "B{} T{} {}",
+                        request.block_size,
+                        request.threadlen,
+                        request.format.label()
+                    ),
                 ),
             ];
             if request.retries > 0 {
@@ -546,7 +559,7 @@ impl ServeProfile {
         );
         let _ = writeln!(
             out,
-            "  {:<10} {:<18} {:<8} {:>9} {:>5} {:>10} {:>7} {:>6} {:>6} {:>6} {:>8} {:>6}  static coal/warps/atomic",
+            "  {:<10} {:<18} {:<8} {:>15} {:>5} {:>10} {:>7} {:>6} {:>6} {:>6} {:>8} {:>6}  static coal/warps/atomic",
             "tensor", "op", "tier", "config", "reqs", "time(µs)", "GB/s", "bw%", "coal%",
             "cache%", "atom-ser", "occup"
         );
@@ -568,11 +581,11 @@ impl ServeProfile {
             };
             let _ = writeln!(
                 out,
-                "  {:<10} {:<18} {:<8} {:>9} {:>5} {:>10.3} {:>7.1} {:>6.1} {:>6.1} {:>6.1} {:>8.2} {:>6.3}  {}",
+                "  {:<10} {:<18} {:<8} {:>15} {:>5} {:>10.3} {:>7.1} {:>6.1} {:>6.1} {:>6.1} {:>8.2} {:>6.3}  {}",
                 row.tensor_id,
                 row.op,
                 row.tier.label(),
-                format!("B{} T{}", row.block_size, row.threadlen),
+                format!("B{} T{} {}", row.block_size, row.threadlen, row.format.label()),
                 row.requests,
                 c.time_us,
                 c.achieved_gbs(),

@@ -315,12 +315,24 @@ pub fn sanitize(
         "ttmc" => TensorOp::SpTtmc { mode },
         other => return Err(err(format!("unknown op `{other}` (spttm|mttkrp|ttmc)"))),
     };
-    let fcoo = Fcoo::from_coo(tensor, op, 16);
+    // The replay exercises the format the planner would actually serve —
+    // certified cross-format selection, not a hardcoded F-COO build — so a
+    // BF-COO-winning tensor is linted and replayed with its bucketed
+    // schedule.
+    let config = DeviceConfig::titan_x();
+    let choice = crate::analyzer::tune_select(&config, tensor, op, rank, None, None);
+    let format = AnyFormat::build(choice.kind(), tensor, op, choice.chosen.threadlen);
+    let cfg = LaunchConfig::with_block_size(choice.chosen.block_size);
     let mut out = String::new();
-    let lint = sanitizer::check_fcoo(&fcoo);
+    let lint = match &format {
+        AnyFormat::Fcoo(fcoo) => sanitizer::check_fcoo(fcoo),
+        AnyFormat::BfCoo(bfcoo) => sanitizer::check_bfcoo(bfcoo),
+    };
+    let fcoo = format.base();
     let _ = write!(
         out,
-        "F-COO lint ({} non-zeros, {} segments, {} partitions): {}",
+        "{} lint ({} non-zeros, {} segments, {} partitions): {}",
+        choice.kind().label(),
         fcoo.nnz(),
         fcoo.segments(),
         fcoo.partitions(),
@@ -328,7 +340,8 @@ pub fn sanitize(
     );
 
     let device = GpuDevice::titan_x();
-    let on_device = FcooDevice::upload(device.memory(), &fcoo)
+    let on_device = format
+        .upload(device.memory())
         .map_err(|e| err(format!("device out of memory: {e}")))?;
     device.start_recording();
     let launch_result = match op {
@@ -336,7 +349,7 @@ pub fn sanitize(
             let u_host = DenseMatrix::random(tensor.shape()[mode], rank, 1);
             let u = DeviceMatrix::upload(device.memory(), &u_host)
                 .map_err(|e| err(format!("device out of memory: {e}")))?;
-            crate::fcoo::spttm(&device, &on_device, &u, &LaunchConfig::default()).map(|_| ())
+            on_device.spttm(&device, &u, &cfg).map(|_| ())
         }
         TensorOp::SpMttkrp { .. } => {
             let hosts: Vec<DenseMatrix> = tensor
@@ -351,7 +364,7 @@ pub fn sanitize(
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(|e| err(format!("device out of memory: {e}")))?;
             let refs: Vec<&DeviceMatrix> = factors.iter().collect();
-            crate::fcoo::spmttkrp(&device, &on_device, &refs, &LaunchConfig::default()).map(|_| ())
+            on_device.spmttkrp(&device, &refs, &cfg).map(|_| ())
         }
         TensorOp::SpTtmc { .. } => {
             let pm = &fcoo.classification.product_modes;
@@ -361,7 +374,9 @@ pub fn sanitize(
                 .map_err(|e| err(format!("device out of memory: {e}")))?;
             let b = DeviceMatrix::upload(device.memory(), &b_host)
                 .map_err(|e| err(format!("device out of memory: {e}")))?;
-            crate::fcoo::spttmc(&device, &on_device, &a, &b, &LaunchConfig::default()).map(|_| ())
+            on_device
+                .spttmc_norder(&device, &[&a, &b], &cfg)
+                .map(|_| ())
         }
     };
     let log = device.stop_recording();
@@ -403,6 +418,34 @@ pub fn analyze(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<Str
         out.push('\n');
         violations.extend(crate::analyzer::gate_violations(config, tensor, analysis));
     }
+    // Two-format gate: the cross-format certified selection for the
+    // kernels the planner serves, with every candidate's payload re-linted
+    // by its own format invariants (BF-COO bucket arithmetic included). A
+    // format whose certified best configuration fails its structural lint
+    // would unsound the plan cache, so it fails the command.
+    for (label, op) in [
+        ("SpTTM", TensorOp::SpTtm { mode }),
+        ("SpMTTKRP", TensorOp::SpMttkrp { mode }),
+    ] {
+        let choice = crate::analyzer::tune_select(config, tensor, op, rank, None, None);
+        let _ = writeln!(out, "{label} format selection:");
+        for line in choice.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        for candidate in &choice.candidates {
+            let format =
+                crate::fcoo::AnyFormat::build(candidate.kind, tensor, op, candidate.threadlen);
+            let report = crate::analyzer::plan_report_format(config, &format, candidate.block_size);
+            if report.error_count() > 0 {
+                violations.push(format!(
+                    "{label}: {} payload at B{} T{} fails its structural lint",
+                    candidate.kind.label(),
+                    candidate.block_size,
+                    candidate.threadlen
+                ));
+            }
+        }
+    }
     // Residual uncertainty next to the prune count: grid points no static
     // property could decide fall through to the dynamic sanitizer.
     let unknown: usize = analyses.iter().map(|a| a.tally().2).sum();
@@ -412,6 +455,11 @@ pub fn analyze(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<Str
             "gate: every refuted configuration is pruned before launch \
              ({unknown} grid points stay unknown -> dynamic sanitizer)"
         );
+        let _ = writeln!(
+            out,
+            "format gate: every format's certified best configuration \
+             passes its own structural lint"
+        );
         Ok(out)
     } else {
         for violation in &violations {
@@ -419,6 +467,48 @@ pub fn analyze(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<Str
         }
         Err(err(out))
     }
+}
+
+/// `tensortool tune <file.tns> <mode> <rank>` — certified cross-format
+/// tuning: for every serving format, derive each grid configuration's
+/// provable time envelope from the headers alone and select the
+/// *(format, BLOCK_SIZE, threadlen)* triple with the minimal certified
+/// upper bound — the exact verdict matrix the serving planner acts on,
+/// printed with zero launches.
+pub fn tune(tensor: &SparseTensorCoo, mode: usize, rank: usize) -> Result<String, CliError> {
+    check_mode(tensor, mode)?;
+    let config = DeviceConfig::titan_x();
+    let mut out = String::new();
+    for (label, op) in [
+        ("SpTTM", TensorOp::SpTtm { mode }),
+        ("SpMTTKRP", TensorOp::SpMttkrp { mode }),
+        ("SpTTMc", TensorOp::SpTtmc { mode }),
+    ] {
+        let choice = crate::analyzer::tune_select(&config, tensor, op, rank, None, None);
+        let _ = writeln!(
+            out,
+            "{label} (mode {}, rank {rank}) format selection:",
+            mode + 1
+        );
+        for line in choice.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        let verdict = if choice.strictly_dominates() {
+            format!(
+                "{} wins — its certified upper bound undercuts every bound \
+                 the competing format can prove",
+                choice.kind().label()
+            )
+        } else {
+            format!(
+                "{} retained — no format proves a strictly lower upper bound \
+                 (tie-break keeps the paper's baseline)",
+                choice.kind().label()
+            )
+        };
+        let _ = writeln!(out, "  selection: {verdict}");
+    }
+    Ok(out)
 }
 
 /// `tensortool certify <file.tns> <mode> <rank> [out.json]` — certified
@@ -529,6 +619,26 @@ pub fn certify(
             }
             (None, None) => unreachable!("tune_certified always resolves a winner"),
         }
+        // Per-format verdict matrix: the cross-format planner's certified
+        // selection printed beside the single-format grid above, so the
+        // output shows both which grid point wins within F-COO and which
+        // format wins overall.
+        let choice =
+            crate::analyzer::tune_select(&DeviceConfig::titan_x(), tensor, op, rank, None, None);
+        let _ = writeln!(out, "  formats:");
+        for line in choice.render().lines() {
+            let _ = writeln!(out, "    {line}");
+        }
+        let _ = writeln!(
+            out,
+            "    selected {} ({})",
+            choice.kind().label(),
+            if choice.strictly_dominates() {
+                "strictly dominates on the certified upper bound"
+            } else {
+                "tie-break keeps the paper's baseline"
+            }
+        );
         // Cross-check against an exhaustive launched sweep on a fresh
         // device: the certificates must contain every measured time, and
         // skipping launches must not have changed the winner.
@@ -566,7 +676,8 @@ pub fn certify(
             grid_rows,
             "    {{\"kernel\": \"{label}\", \"grid_points\": {}, \"pruned\": {}, \
              \"dominated\": {}, \"launches\": {}, \"launches_avoided\": {}, \
-             \"zero_launch_winner\": {}, \"winner\": {{\"block_size\": {wb}, \
+             \"zero_launch_winner\": {}, \"chosen_format\": \"{}\", \
+             \"format_strictly_dominates\": {}, \"winner\": {{\"block_size\": {wb}, \
              \"threadlen\": {wt}, \"time_lo_us\": {:.6}, \"time_hi_us\": {:.6}}}}}",
             certified.grid_points,
             certified.pruned.len(),
@@ -574,6 +685,8 @@ pub fn certify(
             certified.launches,
             certified.launches_avoided(),
             certified.winner.is_some(),
+            choice.kind().label(),
+            choice.strictly_dominates(),
             winner_bounds.lo,
             winner_bounds.hi,
         );
@@ -1337,6 +1450,7 @@ USAGE:
   tensortool run <file.fcoo> <rank>
   tensortool sanitize <file.tns> <spttm|mttkrp|ttmc> <mode> <rank>
   tensortool analyze <file.tns> <mode> <rank>
+  tensortool tune <file.tns> <mode> <rank>
   tensortool certify <file.tns> <mode> <rank> [out.json]
   tensortool workload <requests> <seed> <out.txt>
   tensortool serve <workload.txt|synthetic:N:SEED> [plan-dir] [--verify]
@@ -1353,7 +1467,12 @@ F-COO invariants and replays the kernel under the memory sanitizer
 `analyze` runs the symbolic analyzer instead: a proved/refuted/unknown
 verdict matrix per kernel over the whole tuning grid, with no launches, and
 exits non-zero if any refuted configuration would still reach the tuner or
-plan cache. `certify` goes further (docs/ANALYZER.md): it derives a provable
+plan cache; it also runs the two-format gate (docs/FORMATS.md) — certified
+cross-format selection per kernel with each candidate payload re-linted by
+its own format invariants. `tune` prints the per-format verdict matrix the
+serving planner acts on: every format's best certified (BLOCK_SIZE,
+threadlen) envelope and the winning format, chosen on the certified upper
+bound with zero launches. `certify` goes further (docs/ANALYZER.md): it derives a provable
 [lo, hi] envelope on every configuration's simulated kernel time from the
 F-COO headers alone, eliminates envelope-dominated configurations with zero
 trial launches, prints the envelope matrix and launches-avoided count, and
@@ -1396,6 +1515,42 @@ mod tests {
 
     fn sample() -> SparseTensorCoo {
         datasets::generate(DatasetKind::Nell2, 2_000, 7).0
+    }
+
+    /// Long-fiber power-law tensor on which BF-COO certifies a strictly
+    /// tighter time upper bound (mirrors the analyzer's selection test).
+    fn skew_tensor() -> SparseTensorCoo {
+        let (slices, jdim, kdim) = (400u32, 300u32, 2000u32);
+        let mut entries = Vec::new();
+        for s in 0..slices {
+            let len = ((30_000.0 / f64::powf(s as f64 + 1.0, 1.3)) as u32).clamp(1, kdim);
+            for t in 0..len {
+                entries.push((vec![s, (s * 7) % jdim, (t * 13) % kdim], 1.0f32));
+            }
+        }
+        SparseTensorCoo::from_entries(
+            vec![slices as usize, jdim as usize, kdim as usize],
+            &entries,
+        )
+    }
+
+    /// Every 32-aligned run of every slice touches exactly 32 distinct
+    /// rows, so bucket metadata proves nothing and F-COO wins the tie.
+    fn uniform_tensor() -> SparseTensorCoo {
+        let (slices, jdim, kdim) = (64u32, 300u32, 2000u32);
+        let mut entries = Vec::new();
+        for s in 0..slices {
+            for t in 0..128u32 {
+                entries.push((
+                    vec![s, (s * 17 + t * 7) % jdim, (s + t * 13) % kdim],
+                    1.0f32,
+                ));
+            }
+        }
+        SparseTensorCoo::from_entries(
+            vec![slices as usize, jdim as usize, kdim as usize],
+            &entries,
+        )
     }
 
     #[test]
@@ -1521,9 +1676,22 @@ mod tests {
     fn sanitize_reports_clean_kernels() {
         let tensor = sample();
         let text = sanitize(&tensor, "mttkrp", 0, 8).unwrap();
-        assert!(text.contains("F-COO lint"), "{text}");
+        assert!(text.contains(" lint ("), "{text}");
         assert!(text.contains("no issues found"), "{text}");
         assert!(text.contains("recorded events"), "{text}");
+    }
+
+    #[test]
+    fn sanitize_replays_the_planner_selected_format() {
+        // On a high-skew tensor the planner certifiably selects BF-COO, so
+        // the sanitizer replay must lint and replay the bucketed format —
+        // the pre-refactor code path hardcoded "F-COO lint" here.
+        let text = sanitize(&skew_tensor(), "mttkrp", 0, 8).unwrap();
+        assert!(text.contains("bfcoo lint"), "{text}");
+        assert!(text.contains("no issues found"), "{text}");
+        // A saturating uniform tensor keeps the baseline.
+        let text = sanitize(&uniform_tensor(), "mttkrp", 0, 8).unwrap();
+        assert!(text.starts_with("fcoo lint"), "{text}");
     }
 
     #[test]
@@ -1554,6 +1722,37 @@ mod tests {
             text.contains("gate: every refuted configuration is pruned"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn analyze_runs_the_two_format_gate() {
+        let text = analyze(&sample(), 0, 8).unwrap();
+        assert!(text.contains("SpMTTKRP format selection:"), "{text}");
+        assert!(text.contains("fcoo"), "{text}");
+        assert!(text.contains("bfcoo"), "{text}");
+        assert!(
+            text.contains("format gate: every format's certified best configuration"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn tune_prints_per_format_verdicts_and_selects_by_certified_bound() {
+        // High skew: BF-COO must win with a strictly lower certified upper
+        // bound on every kernel's selection.
+        let text = tune(&skew_tensor(), 0, 8).unwrap();
+        assert!(
+            text.contains("SpMTTKRP (mode 1, rank 8) format selection:"),
+            "{text}"
+        );
+        assert!(text.contains("-> bfcoo"), "{text}");
+        assert!(text.contains("bfcoo wins"), "{text}");
+        // Saturating uniform: every aligned bucket run touches 32 distinct
+        // rows, so the bucket stream is pure overhead and F-COO's certified
+        // upper bound undercuts BF-COO's.
+        let text = tune(&uniform_tensor(), 0, 8).unwrap();
+        assert!(text.contains("-> fcoo"), "{text}");
+        assert!(text.contains("fcoo wins"), "{text}");
     }
 
     #[test]

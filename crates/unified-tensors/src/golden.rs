@@ -3,11 +3,12 @@
 //! The profiler (gpu-sim's `trace` module) exposes every quantity the timing
 //! model folds into a simulated duration: transactions, ideal transactions,
 //! DRAM bytes, cache hits/misses, atomic lanes and multiplicities, waves and
-//! warp occupancy. This module runs all four kernels — unified SpTTM,
-//! SpMTTKRP and SpTTMc plus the two-step SpMTTKRP baseline — over the four
-//! synthetic FROSTT stand-ins at their tuned configurations, traced, and
-//! renders the raw counters (with the bit pattern of the simulated duration)
-//! into a deterministic text document.
+//! warp occupancy. This module runs all kernel variants — unified SpTTM,
+//! SpMTTKRP and SpTTMc, the atomic and BF-COO SpMTTKRP competitors, plus the
+//! two-step SpMTTKRP baseline — over the four synthetic FROSTT stand-ins at
+//! their tuned configurations, traced, and renders the raw counters (with
+//! the bit pattern of the simulated duration) into a deterministic text
+//! document.
 //!
 //! That document is snapshotted at `golden/counters.txt` next to this
 //! crate's manifest. [`check`] re-renders and compares byte-for-byte, so any
@@ -158,6 +159,55 @@ fn run_atomic_mttkrp(config: &DeviceConfig, tensor: &SparseTensorCoo) -> GoldenR
     }
 }
 
+/// Runs the unified SpMTTKRP in BF-COO at the format-aware planner's tuned
+/// BF-COO grid point, traced through the format-erased dispatch layer. The
+/// bucketed schedule coalesces gathers within each 32-non-zero run, so these
+/// rows pin the transaction/cache counters of the load-balanced competitor;
+/// their envelopes come from `certify_format`, which charges the bucket
+/// stream on top of the shared F-COO arithmetic.
+fn run_bfcoo_mttkrp(config: &DeviceConfig, tensor: &SparseTensorCoo) -> GoldenRun {
+    let device = &GpuDevice::new(config.clone());
+    let op = TensorOp::SpMttkrp { mode: MODE };
+    let choice = analyzer::tune_select(
+        config,
+        tensor,
+        op,
+        RANK,
+        Some(&BLOCK_SIZES),
+        Some(&THREADLENS),
+    );
+    let best = choice
+        .candidates
+        .iter()
+        .find(|c| c.kind == FormatKind::BfCoo)
+        .expect("planner certifies every format");
+    let cfg = LaunchConfig {
+        block_size: best.block_size,
+        ..LaunchConfig::default()
+    };
+    let format = AnyFormat::build(FormatKind::BfCoo, tensor, op, best.threadlen);
+    let envelope = analyzer::cost::certify_format(config, &format, RANK, &cfg);
+    let on_device = format.upload(device.memory()).expect("golden bfcoo upload");
+    let hosts = factors(tensor);
+    let uploaded: Vec<DeviceMatrix> = hosts
+        .iter()
+        .map(|f| DeviceMatrix::upload(device.memory(), f).expect("golden factor upload"))
+        .collect();
+    let refs: Vec<&DeviceMatrix> = uploaded.iter().collect();
+    device.start_tracing();
+    on_device
+        .spmttkrp(device, &refs, &cfg)
+        .expect("golden bfcoo mttkrp");
+    let counters = device.stop_tracing().counters();
+    GoldenRun {
+        kernel: "mttkrp-bfcoo",
+        block_size: best.block_size,
+        threadlen: best.threadlen,
+        counters,
+        envelope,
+    }
+}
+
 /// Runs the unified SpMTTKRP through the out-of-core chunked executor,
 /// traced: the format is split at `total_bytes / divisor` and streamed
 /// chunk by chunk, so these rows pin the *aggregate* counters of a whole
@@ -241,6 +291,7 @@ fn collect_runs(config: &DeviceConfig) -> Vec<(&'static str, GoldenRun)> {
             run_unified(config, &tensor, TensorOp::SpMttkrp { mode: MODE }, "mttkrp"),
             run_unified(config, &tensor, TensorOp::SpTtmc { mode: MODE }, "ttmc"),
             run_atomic_mttkrp(config, &tensor),
+            run_bfcoo_mttkrp(config, &tensor),
         ];
         if tensor.order() == 3 {
             runs.push(run_two_step(config, &tensor));
@@ -266,7 +317,7 @@ pub fn render_with(config: &DeviceConfig) -> String {
     let _ = writeln!(
         out,
         "golden counters: {} kernels x {} datasets + chunked pipeline (nnz {NNZ}, seed {SEED}, rank {RANK}, mode {})",
-        5,
+        6,
         DATASETS.len(),
         MODE + 1
     );

@@ -75,7 +75,8 @@ pub mod prelude {
         UnifiedGpuEngine,
     };
     pub use fcoo::{
-        spmttkrp, spttm, spttmc, DeviceMatrix, Fcoo, FcooDevice, LaunchConfig, TensorOp,
+        spmttkrp, spttm, spttmc, AnyFormat, BfCoo, DeviceMatrix, Fcoo, FcooDevice, FormatKind,
+        LaunchConfig, TensorOp,
     };
     pub use gpu_sim::{DeviceConfig, GpuDevice, KernelStats};
     pub use serve::{ServeConfig, ServeEngine, ServeReport, Workload};

@@ -4,7 +4,8 @@
 //! pins every dynamic counter of the traced cost model — transactions,
 //! DRAM bytes, cache hits/misses, atomic lanes/multiplicities, waves,
 //! occupancy and the exact bit pattern of each simulated duration — for all
-//! five kernel variants over the four synthetic FROSTT stand-ins. Any drift
+//! six kernel variants (including the BF-COO competitor at its planner-tuned
+//! grid point) over the four synthetic FROSTT stand-ins. Any drift
 //! fails here; `tensortool golden --bless` re-snapshots after an
 //! intentional model change.
 
